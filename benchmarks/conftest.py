@@ -1,0 +1,62 @@
+"""Shared benchmark fixtures.
+
+Benchmarks run the full 32-block functional models.  Set
+``REPRO_BENCH_FAST=1`` to shrink sequence counts/lengths for smoke runs.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.core.calibration import calibrate_activation_probs
+from repro.hardware.presets import default_platform
+from repro.model.zoo import build_mixtral_8x7b_sim, build_phi_3_5_moe_sim
+
+FAST = bool(int(os.environ.get("REPRO_BENCH_FAST", "0")))
+
+
+def scale(n: int, minimum: int = 1) -> int:
+    """Shrink a workload knob in fast mode."""
+    return max(minimum, n // 4) if FAST else n
+
+
+@pytest.fixture(scope="session")
+def platform():
+    return default_platform()
+
+
+@pytest.fixture(scope="session")
+def mixtral():
+    return build_mixtral_8x7b_sim(seed=0, n_blocks=32)
+
+
+@pytest.fixture(scope="session")
+def phi():
+    return build_phi_3_5_moe_sim(seed=0, n_blocks=32)
+
+
+@pytest.fixture(scope="session")
+def mixtral_calibration(mixtral):
+    return calibrate_activation_probs(
+        mixtral, n_sequences=scale(6, 2), prompt_len=24, decode_len=24,
+        seed=0,
+    )
+
+
+@pytest.fixture(scope="session")
+def phi_calibration(phi):
+    return calibrate_activation_probs(
+        phi, n_sequences=scale(6, 2), prompt_len=24, decode_len=24, seed=0,
+    )
+
+
+def run_once(benchmark, fn):
+    """Execute ``fn`` exactly once under pytest-benchmark.
+
+    The interesting output of these benchmarks is the *simulated* metric
+    (tokens/s, tokens/kJ, accuracy); wall-clock timing of the simulator
+    itself is secondary, so a single round keeps the suite fast.
+    """
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

@@ -1,0 +1,50 @@
+"""Shared helpers for the benchmark suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import build_engine
+from repro.metrics import summarize_results
+from repro.workloads import SequenceGenerator
+
+
+def approx(value, rel=0.02):
+    """Shorthand for a relative-tolerance approx assertion."""
+    return pytest.approx(value, rel=rel)
+
+
+def measure_engine(
+    name,
+    bundle,
+    platform,
+    ecr,
+    calibration,
+    dataset,
+    input_len,
+    output_len,
+    n_sequences=1,
+    seed=5,
+    **engine_kwargs,
+):
+    """Run one engine over generated sequences; return a summary row.
+
+    Decode inputs are teacher-forced from the dataset's continuation so
+    every engine sees identical routing pressure (the paper compares
+    engines on the same requests).
+    """
+    engine = build_engine(name, bundle, platform, expert_cache_ratio=ecr,
+                          calibration_probs=calibration, **engine_kwargs)
+    generator = SequenceGenerator(dataset, bundle.vocab, seed=seed)
+    results = []
+    for i in range(n_sequences):
+        sequence = generator.sample_sequence(
+            input_len, output_len, sample_idx=i
+        )
+        results.append(
+            engine.generate(
+                sequence.prompt_tokens, output_len,
+                forced_tokens=sequence.continuation_tokens,
+            )
+        )
+    return summarize_results(name, results)

@@ -1,0 +1,76 @@
+"""Ablation: DAOP's applicability boundary (paper §VI-A).
+
+DAOP assumes (3) "CPU-GPU transfer latency exceeds the time required for
+expert execution on the CPU".  This study sweeps the interconnect's
+effective bandwidth: once moving an expert becomes cheaper than computing
+it on the CPU, migrate-on-miss catches up with CPU-side execution and the
+offloading advantage collapses -- the boundary the paper's discussion
+draws for future coherent-link platforms.
+"""
+
+import dataclasses
+
+import pytest
+from conftest import run_once, scale
+from helpers import measure_engine
+
+from repro.metrics import format_table
+from repro.workloads import SHAREGPT
+
+# Effective expert-upload bandwidth multipliers over the paper's PCIe 4.0.
+LINK_SCALES = (1.0, 4.0, 16.0, 64.0)
+ECR = 0.375
+
+
+@pytest.mark.benchmark(group="ablation")
+def test_ablation_applicability_boundary(benchmark, mixtral,
+                                         mixtral_calibration):
+    from repro.hardware.presets import default_platform
+
+    length = scale(96, 32)
+
+    def compute():
+        out = {}
+        for scale_factor in LINK_SCALES:
+            base = default_platform()
+            link = dataclasses.replace(
+                base.link,
+                bandwidth=base.link.bandwidth * scale_factor,
+                name=f"{scale_factor:.0f}x PCIe 4.0",
+            )
+            platform = dataclasses.replace(base, link=link)
+            for engine in ("moe-ondemand", "fiddler", "daop"):
+                summary = measure_engine(
+                    engine, mixtral, platform, ECR, mixtral_calibration,
+                    SHAREGPT, length, length,
+                )
+                out[(scale_factor, engine)] = summary.tokens_per_second
+        return out
+
+    out = run_once(benchmark, compute)
+    rows = []
+    for scale_factor in LINK_SCALES:
+        ondemand = out[(scale_factor, "moe-ondemand")]
+        fiddler = out[(scale_factor, "fiddler")]
+        daop = out[(scale_factor, "daop")]
+        rows.append([
+            f"{scale_factor:.0f}x", ondemand, fiddler, daop,
+            f"{daop / ondemand:.2f}x",
+        ])
+    print()
+    print(format_table(
+        ["link bandwidth", "ondemand tok/s", "fiddler tok/s",
+         "daop tok/s", "daop/ondemand"],
+        rows, title="Ablation: applicability vs interconnect bandwidth "
+                    "(Mixtral, ECR 37.5%)",
+    ))
+
+    # On the paper's PCIe platform assumption (3) holds: a large gap.
+    assert out[(1.0, "daop")] > 2.5 * out[(1.0, "moe-ondemand")]
+    # With a much faster link, migrate-on-miss closes most of the gap.
+    ratio_slow = out[(1.0, "daop")] / out[(1.0, "moe-ondemand")]
+    ratio_fast = out[(64.0, "daop")] / out[(64.0, "moe-ondemand")]
+    assert ratio_fast < 0.6 * ratio_slow
+    # On-demand improves monotonically with link bandwidth.
+    series = [out[(s, "moe-ondemand")] for s in LINK_SCALES]
+    assert all(b > a for a, b in zip(series, series[1:]))

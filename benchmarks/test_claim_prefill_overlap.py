@@ -1,0 +1,74 @@
+"""Claim check (paper §IV-B): prefill conceals migration overhead.
+
+"We dynamically offload non-dominant experts to CPU memory for each
+sequence and effectively conceal expert migration overhead during the
+prefill phase."  DAOP's Algorithm 1 issues swap uploads on the H2D
+channel while prefill compute continues on the GPU/CPU; the check
+compares DAOP's prefill latency against the same engine with allocation
+disabled -- the concealment is real if the delta is a small fraction of
+the uploads' raw serial cost.
+"""
+
+import pytest
+from conftest import FAST, run_once, scale
+
+from repro.core import DAOPEngine
+from repro.memory.cache import CacheConfig
+from repro.metrics import format_table
+from repro.workloads import SHAREGPT, SequenceGenerator
+
+ECR = 0.469
+
+
+@pytest.mark.benchmark(group="claims")
+def test_claim_prefill_overlap(benchmark, mixtral, platform,
+                               mixtral_calibration):
+    prompt_len = scale(256, 64)
+    generator = SequenceGenerator(SHAREGPT, mixtral.vocab, seed=56)
+    sequences = [generator.sample_sequence(prompt_len, 8, sample_idx=i)
+                 for i in range(2)]
+
+    def compute():
+        out = {}
+        for alloc in (False, True):
+            engine = DAOPEngine(
+                mixtral, platform, cache_config=CacheConfig(ecr=ECR),
+                calibration_probs=mixtral_calibration,
+                enable_seq_allocation=alloc,
+            )
+            prefill, swaps = [], []
+            for sequence in sequences:
+                result = engine.generate(sequence.prompt_tokens, 8)
+                prefill.append(result.stats.prefill_time_s)
+                swaps.append(result.stats.counters.prefill_swaps)
+            out[alloc] = (sum(prefill) / len(prefill),
+                          sum(swaps) / len(swaps))
+        return out
+
+    out = run_once(benchmark, compute)
+    (base_prefill, _), (alloc_prefill, n_swaps) = out[False], out[True]
+    upload_cost = 0.0393  # one expert upload, seconds (paper Table I)
+    serial_cost = n_swaps * upload_cost
+    added = alloc_prefill - base_prefill
+    concealed = 1.0 - added / serial_cost if serial_cost > 0 else 1.0
+    rows = [
+        ["prefill, no swaps (s)", base_prefill],
+        ["prefill, Algorithm 1 (s)", alloc_prefill],
+        ["swaps performed", n_swaps],
+        ["raw serial upload cost (s)", serial_cost],
+        ["added prefill latency (s)", added],
+        ["overhead concealed", f"{100 * concealed:.0f}%"],
+    ]
+    print()
+    print(format_table(["quantity", "value"], rows,
+                       title="Claim: prefill conceals migration overhead"))
+
+    assert n_swaps > 0
+    # The concealment claim: most of the raw upload time is hidden behind
+    # prefill compute.  A short fast-mode prompt offers less compute to
+    # hide behind, so its band is looser.
+    concealment_cap = 0.75 if FAST else 0.5
+    envelope = 2.5 if FAST else 1.6
+    assert added < concealment_cap * serial_cost
+    # And prefill stays within a sane envelope of the no-swap baseline.
+    assert alloc_prefill < envelope * base_prefill

@@ -1,0 +1,60 @@
+"""Paper §VI-B: decode-phase expert-activation drift (15-token windows).
+
+The paper measures activation-pattern variation during decoding with a
+15-token window and finds GSM8K's consecutive-window cosine similarity
+3.43 % below TriviaQA's -- the explanation for GSM8K's accuracy
+sensitivity to small expert caches in Table VI.
+"""
+
+import numpy as np
+from conftest import run_once, scale
+
+from repro.core.baselines.official import OfficialEngine
+from repro.metrics import format_table
+from repro.trace.similarity import windowed_decode_similarity
+from repro.workloads import GSM8K, TRIVIA_QA, SequenceGenerator
+
+WINDOW = 15
+
+
+def window_similarity(bundle, platform, dataset, n_sequences,
+                      decode_len, seed=4):
+    engine = OfficialEngine(bundle, platform)
+    generator = SequenceGenerator(dataset, bundle.vocab, seed=seed)
+    sims = []
+    for i in range(n_sequences):
+        sequence = generator.sample_sequence(48, decode_len, sample_idx=i)
+        result = engine.generate(
+            sequence.prompt_tokens, decode_len,
+            forced_tokens=sequence.continuation_tokens,
+        )
+        matrices = result.trace.decode_window_matrices(WINDOW)
+        sims.append(windowed_decode_similarity(matrices))
+    return 100.0 * float(np.mean(sims))
+
+
+def test_discussion_window_similarity(benchmark, mixtral, platform):
+    n_seq = scale(6, 2)
+    decode_len = scale(120, 45)
+
+    def compute():
+        return {
+            "triviaqa": window_similarity(mixtral, platform, TRIVIA_QA,
+                                          n_seq, decode_len),
+            "gsm8k": window_similarity(mixtral, platform, GSM8K, n_seq,
+                                       decode_len),
+        }
+
+    sims = run_once(benchmark, compute)
+    gap = sims["triviaqa"] - sims["gsm8k"]
+    rows = [
+        ["TriviaQA window similarity (%)", "(higher)", sims["triviaqa"]],
+        ["GSM8K window similarity (%)", "(lower)", sims["gsm8k"]],
+        ["gap (percentage points)", 3.43, gap],
+    ]
+    print()
+    print(format_table(["quantity", "paper", "measured"], rows,
+                       title="§VI-B: 15-token decode-window similarity"))
+    # Shape: GSM8K drifts more within a sequence than TriviaQA.
+    assert sims["gsm8k"] < sims["triviaqa"]
+    assert 0.5 < gap < 15.0

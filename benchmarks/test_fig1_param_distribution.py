@@ -1,0 +1,46 @@
+"""Paper Fig. 1: parameter distribution of Mixtral 8x7B.
+
+The figure shows that of Mixtral's 46.6 B parameters only 27.4 % are
+activated per input (self-attention + 2-of-8 experts + embeddings); the
+rest are inactive expert weights.  We regenerate the exact numbers from
+the architecture spec.
+"""
+
+from conftest import run_once
+from helpers import approx
+
+from repro.metrics import format_table
+from repro.model.zoo import MIXTRAL_8X7B_ARCH
+
+
+def test_fig1_param_distribution(benchmark):
+    arch = MIXTRAL_8X7B_ARCH
+
+    def compute():
+        total = arch.total_params
+        active = arch.activated_params_per_token
+        attention = arch.n_blocks * arch.block_non_expert_params
+        active_experts = arch.n_blocks * arch.top_k * arch.expert_params
+        inactive_experts = arch.n_blocks * (
+            arch.n_experts - arch.top_k
+        ) * arch.expert_params
+        other = total - attention - active_experts - inactive_experts
+        return dict(total=total, active=active, attention=attention,
+                    active_experts=active_experts,
+                    inactive_experts=inactive_experts, other=other)
+
+    r = run_once(benchmark, compute)
+    rows = [
+        ["total parameters (B)", "46.6", r["total"] / 1e9],
+        ["activated per token (%)", "27.4",
+         100.0 * r["active"] / r["total"]],
+        ["attention + gates (B)", "~1.3", r["attention"] / 1e9],
+        ["active experts (B)", "~11.3", r["active_experts"] / 1e9],
+        ["inactive experts (B)", "~33.8", r["inactive_experts"] / 1e9],
+        ["embeddings + other (B)", "~0.1", r["other"] / 1e9],
+    ]
+    print()
+    print(format_table(["quantity", "paper", "measured"], rows,
+                       title="Fig. 1: Mixtral 8x7B parameter distribution"))
+    assert r["total"] / 1e9 == approx(46.6)
+    assert 100.0 * r["active"] / r["total"] == approx(27.4)

@@ -1,0 +1,81 @@
+"""Paper Fig. 5: layer-wise expert-prediction accuracy one layer ahead.
+
+Applying block ``i+1``'s gate to block ``i``'s post-attention activations
+predicts the next block's top-2 experts with 84.11 % mean accuracy
+(Alpaca, MATH, C4 average on Mixtral), low in the first few layers and
+stable afterwards -- the justification for enabling prediction only at
+``i >= 4`` (observation 3).
+"""
+
+import numpy as np
+from conftest import run_once, scale
+
+from repro.core.predictor import NextLayerPredictor
+from repro.metrics import format_series, format_table
+from repro.trace import PredictionStats
+from repro.workloads import ALPACA, C4, MATH, SequenceGenerator
+
+
+def prediction_stats(bundle, dataset, n_sequences, prompt_len=32,
+                     decode_len=48, seed=2):
+    """Layer-ahead accuracy during teacher-forced decode (exact model)."""
+    model = bundle.model
+    predictor = NextLayerPredictor(model, start_block=0)
+    generator = SequenceGenerator(dataset, bundle.vocab, seed=seed)
+    stats = PredictionStats(model.n_blocks)
+    for i in range(n_sequences):
+        sequence = generator.sample_sequence(prompt_len, decode_len,
+                                             sample_idx=i)
+        caches = model.new_caches()
+        model.forward_exact(sequence.prompt_tokens, caches)
+        position = sequence.prompt_tokens.size
+        for token in sequence.continuation_tokens:
+            h = model.embed(np.asarray([token]))
+            positions = np.asarray([position])
+            prev_h_att = None
+            for b, block in enumerate(model.blocks):
+                h_att = block.attention_part(h, caches[b], positions)
+                decision = block.route(h_att)
+                if b >= 1:
+                    pred = predictor.predict(b - 1, prev_h_att)
+                    stats.record(b, pred.experts, decision.experts[0])
+                outs = np.stack([[
+                    block.expert_forward(int(e), h_att)[0]
+                    for e in decision.experts[0]
+                ]])
+                h = block.combine(h_att, outs, decision.weights)
+                prev_h_att = h_att
+            position += 1
+    return stats
+
+
+def test_fig5_prediction_accuracy(benchmark, mixtral):
+    n_seq = scale(4, 1)
+
+    def compute():
+        stats = PredictionStats(mixtral.model.n_blocks)
+        for spec in (ALPACA, MATH, C4):
+            stats.merge(prediction_stats(mixtral, spec, n_seq))
+        return stats
+
+    stats = run_once(benchmark, compute)
+    acc = 100.0 * stats.per_block_accuracy()
+    print()
+    print(format_series("per-block accuracy (%)",
+                        list(range(1, mixtral.model.n_blocks)),
+                        acc[1:].tolist(), x_label="block",
+                        y_fmt="{:.1f}"))
+    rows = [
+        ["mean accuracy, blocks >= 4 (%)", 84.11,
+         100.0 * stats.mean_accuracy(4)],
+        ["mean accuracy, blocks 1-3 (%)", "(lower)",
+         float(np.nanmean(acc[1:4]))],
+    ]
+    print(format_table(["quantity", "paper", "measured"], rows,
+                       title="Fig. 5: layer-ahead prediction accuracy"))
+    stable_pct = 100.0 * stats.mean_accuracy(4)
+    early_pct = float(np.nanmean(acc[1:4]))
+    # Shape: stabilized accuracy is high (paper 84.11 %)...
+    assert 75.0 < stable_pct <= 100.0
+    # ...and the first blocks are worse, motivating the i >= 4 rule.
+    assert early_pct < stable_pct

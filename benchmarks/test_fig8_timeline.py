@@ -1,0 +1,66 @@
+"""Paper Fig. 8: decode-stage execution timelines of the four designs.
+
+The figure walks two consecutive transformer blocks (experts A, B
+activated in the first; C, D in the second) and contrasts how
+MoE-OnDemand, Pre-gated MoE, Fiddler, and DAOP schedule compute and
+transfers.  This benchmark regenerates the schedules from the actual
+engines on a real decode step and renders ASCII Gantt charts, then checks
+the figure's qualitative orderings.
+"""
+
+import pytest
+from conftest import run_once
+from helpers import measure_engine
+
+from repro.core import build_engine
+from repro.metrics import format_table
+from repro.workloads import SHAREGPT, SequenceGenerator
+
+ENGINES = ("moe-ondemand", "pregated-moe", "fiddler", "daop")
+ECR = 0.469
+
+
+def decode_step_times(bundle, platform, calibration):
+    """Per-engine mean decode-step latency plus a rendered timeline."""
+    generator = SequenceGenerator(SHAREGPT, bundle.vocab, seed=8)
+    sequence = generator.sample_sequence(64, 32, sample_idx=0)
+    out = {}
+    for name in ENGINES:
+        engine = build_engine(name, bundle, platform, ECR, calibration)
+        result = engine.generate(
+            sequence.prompt_tokens, 32,
+            forced_tokens=sequence.continuation_tokens,
+        )
+        step_time = result.stats.decode_time_s / result.stats.n_generated
+        # Window on a slice of steady-state decode for the Gantt chart.
+        t0 = result.stats.prefill_time_s + 3 * step_time
+        gantt = result.timeline.render_gantt(t0, t0 + 2 * step_time,
+                                             width=96)
+        out[name] = (step_time, gantt)
+    return out
+
+
+@pytest.mark.benchmark(group="fig8")
+def test_fig8_timeline(benchmark, mixtral, platform, mixtral_calibration):
+    out = run_once(
+        benchmark,
+        lambda: decode_step_times(mixtral, platform, mixtral_calibration),
+    )
+    print()
+    for name in ENGINES:
+        step_time, gantt = out[name]
+        print(f"--- {name}: ~two decode blocks "
+              f"(mean step {step_time * 1e3:.1f} ms) ---")
+        print(gantt)
+    rows = [[name, out[name][0] * 1e3] for name in ENGINES]
+    print(format_table(["engine", "decode step (ms)"], rows,
+                       title="Fig. 8: decode-step latency per design"))
+
+    t = {name: out[name][0] for name in ENGINES}
+    # Fig. 8's qualitative story:
+    # 1) migrating engines stall on uploads -> slowest steps;
+    assert t["moe-ondemand"] > 2.0 * t["fiddler"]
+    # 2) one-layer prefetch cannot hide a 40 ms transfer;
+    assert t["pregated-moe"] > 1.5 * t["fiddler"]
+    # 3) DAOP's pre-calculation beats Fiddler's same-block CPU start.
+    assert t["daop"] < t["fiddler"]

@@ -1,0 +1,95 @@
+"""Paper Fig. 9: inference speed vs input/output lengths, all engines.
+
+At full GPU memory utilization (ECR 46.9 % for the cached engines) the
+paper reports, for Mixtral 8x7B, well under 1 token/s for MoE-OnDemand,
+DeepSpeed-MII, and Mixtral-Offloading; Fiddler around 3.2 tokens/s; and
+DAOP 4.52 tokens/s at [256, 512] (8.21 for Phi-3.5 MoE), a 40.4 % gain
+over Fiddler and >= 8.2x over the caching/prefetching family.  Throughput
+improves with output length as prefill amortizes.
+"""
+
+import pytest
+from conftest import run_once, scale
+from helpers import measure_engine
+
+from repro.metrics import format_table
+from repro.workloads import SHAREGPT
+
+ENGINES = ("moe-ondemand", "deepspeed-mii", "mixtral-offloading",
+           "fiddler", "daop")
+LENGTHS = ((128, 128), (128, 256), (256, 256), (256, 512))
+ECR = 0.469
+
+PAPER_MIXTRAL_256_512 = {"daop": 4.52, "fiddler": 3.22}
+PAPER_PHI_256_512 = {"daop": 8.21}
+
+
+def run_grid(bundle, platform, calibration):
+    grid = {}
+    for engine in ENGINES:
+        for input_len, output_len in LENGTHS:
+            summary = measure_engine(
+                engine, bundle, platform, ECR, calibration, SHAREGPT,
+                scale(input_len, 32), scale(output_len, 32),
+            )
+            grid[(engine, input_len, output_len)] = (
+                summary.tokens_per_second
+            )
+    return grid
+
+
+def report(grid, model_name):
+    rows = []
+    for engine in ENGINES:
+        row = [engine]
+        for input_len, output_len in LENGTHS:
+            row.append(grid[(engine, input_len, output_len)])
+        rows.append(row)
+    headers = ["engine"] + [f"[{i},{o}]" for i, o in LENGTHS]
+    print()
+    print(format_table(headers, rows,
+                       title=f"Fig. 9: tokens/s, {model_name}, "
+                             f"ECR {ECR:.1%}"))
+
+
+@pytest.mark.benchmark(group="fig9")
+def test_fig9_mixtral(benchmark, mixtral, platform, mixtral_calibration):
+    grid = run_once(
+        benchmark,
+        lambda: run_grid(mixtral, platform, mixtral_calibration),
+    )
+    report(grid, "Mixtral 8x7B")
+    daop = grid[("daop", 256, 512)]
+    fiddler = grid[("fiddler", 256, 512)]
+    print(f"paper: DAOP 4.52 tok/s, Fiddler ~3.22 -> measured "
+          f"DAOP {daop:.2f}, Fiddler {fiddler:.2f}")
+
+    # Shape assertions mirroring the paper's claims.
+    for caching in ("moe-ondemand", "deepspeed-mii", "mixtral-offloading"):
+        assert grid[(caching, 256, 512)] < 1.5, caching  # ~<1 tok/s family
+        assert daop > 3.0 * grid[(caching, 256, 512)]
+    assert daop > fiddler * 1.15              # DAOP wins by a clear margin
+    assert 2.5 < daop < 8.0                   # right absolute regime
+    # Longer outputs amortize prefill; the growing KV-cache cost partially
+    # offsets this in the simulator, so assert it with tolerance rather
+    # than strict monotonicity.
+    for engine in ("fiddler", "daop"):
+        assert grid[(engine, 128, 256)] > 0.95 * grid[(engine, 128, 128)]
+        assert (grid[(engine, 256, 512)]
+                > 0.95 * grid[(engine, 256, 256)])
+
+
+@pytest.mark.benchmark(group="fig9")
+def test_fig9_phi(benchmark, phi, platform, phi_calibration):
+    grid = run_once(
+        benchmark, lambda: run_grid(phi, platform, phi_calibration)
+    )
+    report(grid, "Phi-3.5 MoE")
+    daop = grid[("daop", 256, 512)]
+    fiddler = grid[("fiddler", 256, 512)]
+    print(f"paper: DAOP 8.21 tok/s -> measured DAOP {daop:.2f}, "
+          f"Fiddler {fiddler:.2f}")
+    assert daop > fiddler
+    assert 5.0 < daop < 16.0
+    # Phi's smaller experts make every engine faster than on Mixtral.
+    assert grid[("daop", 256, 256)] > 0

@@ -1,0 +1,80 @@
+"""Observation deep-dive: the routing structure DAOP exploits, per dataset.
+
+Extends the paper's Fig. 4 / Table II analysis with three structural
+metrics (from :mod:`repro.trace.statistics`) measured on real decode
+traces:
+
+- per-sequence expert-load Gini (dominant experts, observation 1),
+- dataset-aggregate Gini (near-balanced overall),
+- decode temporal locality (what caching exploits) -- highest on
+  low-drift datasets (TriviaQA), lowest on GSM8K.
+"""
+
+import numpy as np
+import pytest
+from conftest import run_once, scale
+
+from repro.core.baselines.official import OfficialEngine
+from repro.metrics import format_table
+from repro.trace.statistics import expert_load_stats, temporal_locality
+from repro.workloads import C4, GSM8K, TRIVIA_QA, SequenceGenerator
+
+DATASETS = (TRIVIA_QA, C4, GSM8K)
+
+
+@pytest.mark.benchmark(group="observations")
+def test_observation_routing_structure(benchmark, mixtral, platform):
+    n_seq = scale(4, 2)
+    decode_len = scale(96, 32)
+
+    def compute():
+        engine = OfficialEngine(mixtral, platform)
+        out = {}
+        for spec in DATASETS:
+            generator = SequenceGenerator(spec, mixtral.vocab, seed=66)
+            seq_ginis, localities = [], []
+            agg_counts = np.zeros(
+                (mixtral.model.n_blocks, mixtral.model.n_experts)
+            )
+            for i in range(n_seq):
+                sequence = generator.sample_sequence(
+                    48, decode_len, sample_idx=i
+                )
+                result = engine.generate(
+                    sequence.prompt_tokens, decode_len,
+                    forced_tokens=sequence.continuation_tokens,
+                )
+                stats = expert_load_stats(result.trace)
+                seq_ginis.append(stats["mean_gini"])
+                localities.append(np.mean([
+                    temporal_locality(result.trace, b)
+                    for b in range(mixtral.model.n_blocks)
+                ]))
+                agg_counts += result.trace.activation_counts()
+            from repro.trace.statistics import gini_coefficient
+
+            agg_gini = float(np.mean(
+                [gini_coefficient(row) for row in agg_counts]
+            ))
+            out[spec.name] = (
+                float(np.mean(seq_ginis)), agg_gini,
+                float(np.mean(localities)),
+            )
+        return out
+
+    out = run_once(benchmark, compute)
+    rows = [[name, seq_gini, agg_gini, locality]
+            for name, (seq_gini, agg_gini, locality) in out.items()]
+    print()
+    print(format_table(
+        ["dataset", "per-seq load Gini", "aggregate Gini",
+         "decode locality"],
+        rows, title="Routing structure per dataset (official engine)",
+        float_fmt="{:.3f}",
+    ))
+
+    for name, (seq_gini, agg_gini, _) in out.items():
+        # Observation 1: sequences are more skewed than the aggregate.
+        assert seq_gini > agg_gini, name
+    # GSM8K's drift lowers temporal locality vs TriviaQA (paper §VI-B).
+    assert out["gsm8k"][2] < out["triviaqa"][2]

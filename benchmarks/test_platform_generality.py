@@ -1,0 +1,78 @@
+"""Claim check (paper §VI-A): DAOP's advantage generalizes across GPUs.
+
+"Most commercial GPU devices satisfy these assumptions, enabling DAOP to
+provide faster and more energy-efficient inference optimization."  The
+check repeats the core comparison on an RTX 4090 box (24 GB: a much
+smaller cache fits) and on the A100 microbenchmark platform, asserting
+the DAOP > Fiddler > migrate-on-miss ordering on each.
+"""
+
+import dataclasses
+
+import pytest
+from conftest import run_once, scale
+from helpers import measure_engine
+
+from repro.hardware.cost_model import CostModel
+from repro.hardware.presets import (
+    NVIDIA_RTX4090,
+    default_platform,
+    paper_table1_platform,
+)
+from repro.metrics import format_table
+from repro.workloads import SHAREGPT
+
+
+def rtx4090_platform():
+    """A consumer box: RTX 4090 + the same i9 host."""
+    base = default_platform()
+    return dataclasses.replace(base, gpu=NVIDIA_RTX4090)
+
+
+@pytest.mark.benchmark(group="claims")
+def test_platform_generality(benchmark, mixtral, mixtral_calibration):
+    length = scale(96, 32)
+    platforms = {
+        "A6000 + i9 (paper eval)": (default_platform(), None),
+        "RTX 4090 + i9 (24 GB)": (rtx4090_platform(), None),
+        "A100 + Xeon (Table I)": (paper_table1_platform(), None),
+    }
+
+    def compute():
+        out = {}
+        for label, (platform, _) in platforms.items():
+            # Use each platform's real capacity-derived ECR (capped for
+            # comparability at the paper's 46.9 %).
+            slots = CostModel(mixtral.arch, platform).gpu_expert_slots()
+            ecr = min(slots / (32 * 8), 0.469)
+            for engine in ("moe-ondemand", "fiddler", "daop"):
+                summary = measure_engine(
+                    engine, mixtral, platform, ecr, mixtral_calibration,
+                    SHAREGPT, length, length,
+                )
+                out[(label, engine)] = summary.tokens_per_second
+            out[(label, "ecr")] = ecr
+        return out
+
+    out = run_once(benchmark, compute)
+    rows = []
+    for label in platforms:
+        rows.append([
+            label, f"{out[(label, 'ecr')]:.1%}",
+            out[(label, "moe-ondemand")],
+            out[(label, "fiddler")],
+            out[(label, "daop")],
+        ])
+    print()
+    print(format_table(
+        ["platform", "ECR", "ondemand tok/s", "fiddler tok/s",
+         "daop tok/s"],
+        rows, title="Claim: DAOP ordering holds across platforms",
+    ))
+
+    for label in platforms:
+        assert (out[(label, "daop")] > out[(label, "fiddler")]
+                > out[(label, "moe-ondemand")]), label
+    # The 4090's small memory (tiny ECR) widens DAOP's relative edge over
+    # migrate-on-miss rather than shrinking it.
+    assert out[("RTX 4090 + i9 (24 GB)", "ecr")] < 0.25

@@ -1,0 +1,48 @@
+"""Paper Table III (+ Fig. 2): model structures and platform specs."""
+
+from conftest import run_once
+from helpers import approx
+
+from repro.hardware.presets import NVIDIA_A6000
+from repro.metrics import format_table
+from repro.model.zoo import MIXTRAL_8X7B_ARCH, PHI_3_5_MOE_ARCH
+
+
+def test_table3_model_structures(benchmark):
+    def compute():
+        rows = []
+        for arch, experts_b, total_b in (
+            (MIXTRAL_8X7B_ARCH, 45.1, 46.6),
+            (PHI_3_5_MOE_ARCH, 40.3, 41.7),
+        ):
+            rows.append([
+                arch.name, arch.n_blocks, arch.n_experts, arch.top_k,
+                f"{arch.total_expert_params / 1e9:.1f}B (paper {experts_b}B)",
+                f"{arch.total_params / 1e9:.1f}B (paper {total_b}B)",
+            ])
+        return rows
+
+    rows = run_once(benchmark, compute)
+    print()
+    print(format_table(
+        ["Model", "Blocks", "Experts", "Top-k", "Expert params", "Params"],
+        rows, title="Table III: structural details",
+    ))
+    assert MIXTRAL_8X7B_ARCH.total_expert_params / 1e9 == approx(45.1)
+    assert PHI_3_5_MOE_ARCH.total_expert_params / 1e9 == approx(40.3)
+
+
+def test_fig2_a6000_specs(benchmark):
+    def compute():
+        return NVIDIA_A6000
+
+    gpu = run_once(benchmark, compute)
+    rows = [
+        ["HBM capacity (GB)", "48", gpu.mem_capacity / 1e9],
+        ["memory bandwidth (GB/s)", "768", gpu.mem_bandwidth / 1e9],
+    ]
+    print()
+    print(format_table(["spec", "paper", "modeled"], rows,
+                       title="Fig. 2: NVIDIA A6000 specifications"))
+    assert gpu.mem_capacity / 1e9 == approx(48.0)
+    assert gpu.mem_bandwidth / 1e9 == approx(768.0)

@@ -1,0 +1,79 @@
+"""Paper Table IV: energy efficiency (tokens/kJ), in/out 256, full GPU.
+
+Paper values for Mixtral 8x7B: MoE-OnDemand 2.63, DeepSpeed-MII 0.59,
+Mixtral-Offloading 2.13, Fiddler 10.06, DAOP 14.37; for Phi-3.5 MoE:
+OnDemand 6.94, Fiddler 17.15, DAOP 27.07.  DAOP averages ~1.5x Fiddler.
+"""
+
+import pytest
+from conftest import FAST, run_once, scale
+from helpers import measure_engine
+
+from repro.metrics import format_table
+from repro.workloads import SHAREGPT
+
+ENGINES = ("moe-ondemand", "deepspeed-mii", "mixtral-offloading",
+           "fiddler", "daop")
+PAPER_MIXTRAL = {"moe-ondemand": 2.63, "deepspeed-mii": 0.59,
+                 "mixtral-offloading": 2.13, "fiddler": 10.06,
+                 "daop": 14.37}
+PAPER_PHI = {"moe-ondemand": 6.94, "fiddler": 17.15, "daop": 27.07}
+ECR = 0.469
+LENGTH = 256
+
+
+def measure(bundle, platform, calibration):
+    return {
+        engine: measure_engine(
+            engine, bundle, platform, ECR, calibration, SHAREGPT,
+            scale(LENGTH, 32), scale(LENGTH, 32),
+        )
+        for engine in ENGINES
+    }
+
+
+def report(summaries, paper, model_name):
+    rows = []
+    for engine in ENGINES:
+        s = summaries[engine]
+        rows.append([
+            engine, paper.get(engine, "-"), s.tokens_per_kilojoule,
+            s.average_power_w,
+        ])
+    print()
+    print(format_table(
+        ["engine", "paper tok/kJ", "measured tok/kJ", "avg power (W)"],
+        rows, title=f"Table IV: energy efficiency, {model_name}",
+    ))
+
+
+@pytest.mark.benchmark(group="table4")
+def test_table4_mixtral(benchmark, mixtral, platform, mixtral_calibration):
+    summaries = run_once(
+        benchmark, lambda: measure(mixtral, platform, mixtral_calibration)
+    )
+    report(summaries, PAPER_MIXTRAL, "Mixtral 8x7B")
+    eff = {e: s.tokens_per_kilojoule for e, s in summaries.items()}
+    # Shape: DAOP is the most energy-efficient method evaluated.
+    assert eff["daop"] == max(eff.values())
+    # DAOP ~1.5x Fiddler (paper); allow a generous band.
+    assert 1.15 < eff["daop"] / eff["fiddler"] < 2.2
+    # The GPU-only migrating family is far below the offloaders.
+    for caching in ("moe-ondemand", "deepspeed-mii", "mixtral-offloading"):
+        assert eff["fiddler"] > 1.5 * eff[caching]
+    # DeepSpeed-MII (no offloading mechanism at all) is the worst.
+    assert eff["deepspeed-mii"] == min(eff.values())
+
+
+@pytest.mark.benchmark(group="table4")
+def test_table4_phi(benchmark, phi, platform, phi_calibration):
+    summaries = run_once(
+        benchmark, lambda: measure(phi, platform, phi_calibration)
+    )
+    report(summaries, PAPER_PHI, "Phi-3.5 MoE")
+    eff = {e: s.tokens_per_kilojoule for e, s in summaries.items()}
+    assert eff["daop"] == max(eff.values())
+    # Short fast-mode sequences leave less decode to amortize prefill, so
+    # the efficiency margin narrows there.
+    floor = 1.05 if FAST else 1.15
+    assert eff["daop"] > floor * eff["fiddler"]

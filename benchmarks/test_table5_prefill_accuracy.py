@@ -1,0 +1,77 @@
+"""Paper Table V: accuracy on prefill-dependent tasks (first output token).
+
+The paper scores six tasks by the first generated token and finds DAOP at
+ECR 25 % indistinguishable from the official model (e.g. Mixtral MMLU
+70.60 -> 70.47).  The mechanism: DAOP's prefill is mathematically exact
+(Algorithm 1 moves weights, not values) and the first token involves no
+decode-phase approximation, so per-sample scores match the oracle's
+exactly.
+"""
+
+import pytest
+from conftest import run_once, scale
+
+from repro.core import build_engine
+from repro.eval.harness import AccuracyHarness
+from repro.metrics import format_table
+from repro.workloads import TABLE5_TASKS
+
+PAPER_MIXTRAL = {
+    "arc_challenge": (66.96, 66.80), "hellaswag": (83.10, 84.39),
+    "truthfulqa": (63.74, 63.82), "piqa": (83.60, 82.59),
+    "winogrande": (81.69, 81.77), "mmlu": (70.60, 70.47),
+}
+PAPER_PHI = {
+    "arc_challenge": (69.21, 69.25), "hellaswag": (76.77, 76.43),
+    "truthfulqa": (66.64, 66.38), "piqa": (78.84, 79.00),
+    "winogrande": (78.37, 78.37), "mmlu": (78.78, 78.69),
+}
+ECR = 0.25
+
+
+def evaluate(bundle, platform, calibration, n_samples):
+    harness = AccuracyHarness(bundle, platform, seed=3)
+    daop = build_engine("daop", bundle, platform, ECR, calibration)
+    rows = {}
+    for task in TABLE5_TASKS:
+        official = harness.evaluate_official(task, n_samples=n_samples)
+        ours = harness.evaluate(daop, task, n_samples=n_samples)
+        rows[task.name] = (official.score * 100, ours.score * 100)
+    return rows
+
+
+def report(rows, paper, model_name):
+    table = []
+    for name, (official, ours) in rows.items():
+        p_off, p_ours = paper[name]
+        table.append([name, p_off, p_ours, official, ours])
+    print()
+    print(format_table(
+        ["task", "paper official", "paper DAOP@25%", "official", "DAOP@25%"],
+        table, title=f"Table V: prefill-dependent accuracy, {model_name}",
+    ))
+
+
+@pytest.mark.benchmark(group="table5")
+def test_table5_mixtral(benchmark, mixtral, platform, mixtral_calibration):
+    n = scale(16, 4)
+    rows = run_once(
+        benchmark,
+        lambda: evaluate(mixtral, platform, mixtral_calibration, n),
+    )
+    report(rows, PAPER_MIXTRAL, "Mixtral 8x7B")
+    for name, (official, ours) in rows.items():
+        # Paper's finding: no degradation on prefill-dependent tasks.
+        assert ours == pytest.approx(official, abs=1e-9), name
+        assert 30.0 <= official <= 100.0, name
+
+
+@pytest.mark.benchmark(group="table5")
+def test_table5_phi(benchmark, phi, platform, phi_calibration):
+    n = scale(12, 4)
+    rows = run_once(
+        benchmark, lambda: evaluate(phi, platform, phi_calibration, n)
+    )
+    report(rows, PAPER_PHI, "Phi-3.5 MoE")
+    for name, (official, ours) in rows.items():
+        assert ours == pytest.approx(official, abs=1e-9), name

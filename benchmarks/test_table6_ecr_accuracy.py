@@ -1,0 +1,128 @@
+"""Paper Table VI: full-inference accuracy across expert cache ratios.
+
+The paper evaluates TriviaQA / BBH (ExactMatch), TruthfulQA (Rouge-1/2),
+and GSM8K (ExactMatch) with DAOP at ECR in {62.5, 50, 37.5, 25} % against
+the official model.  Findings to reproduce in shape: accuracy stays close
+to official on most tasks at every ECR, while GSM8K -- whose expert
+activations drift within a sequence (§VI-B) -- degrades markedly as the
+cache shrinks (58.91 -> 33.51 for Mixtral).
+"""
+
+import pytest
+from conftest import FAST, run_once, scale
+
+from repro.core import build_engine
+from repro.eval.harness import AccuracyHarness
+from repro.metrics import format_table
+from repro.workloads import TABLE6_TASKS, get_task
+
+ECRS = (0.625, 0.50, 0.375, 0.25)
+
+PAPER_MIXTRAL = {
+    # task -> {row: score}; rows: official, then ECRs descending
+    "triviaqa": {"official": 71.59, 0.625: 70.98, 0.50: 70.60,
+                 0.375: 70.13, 0.25: 69.08},
+    "bbh": {"official": 49.36, 0.625: 47.63, 0.50: 47.10,
+            0.375: 47.14, 0.25: 46.61},
+    "truthfulqa_gen": {"official": 45.04, 0.625: 46.02, 0.50: 45.29,
+                       0.375: 48.10, 0.25: 48.47},
+    "gsm8k": {"official": 58.91, 0.625: 51.48, 0.50: 48.07,
+              0.375: 41.77, 0.25: 33.51},
+}
+
+
+def evaluate(bundle, platform, calibration, n_samples):
+    harness = AccuracyHarness(bundle, platform, seed=3)
+    out = {}
+    for task in TABLE6_TASKS:
+        out[(task.name, "official")] = harness.evaluate_official(
+            task, n_samples=n_samples
+        )
+        for ecr in ECRS:
+            daop = build_engine("daop", bundle, platform, ecr, calibration)
+            out[(task.name, ecr)] = harness.evaluate(
+                daop, task, n_samples=n_samples
+            )
+    return out
+
+
+def report(out, model_name):
+    from repro.eval.significance import bootstrap_mean
+
+    rows = []
+    for task in TABLE6_TASKS:
+        paper = PAPER_MIXTRAL.get(task.name, {})
+        for key in ("official",) + ECRS:
+            r = out[(task.name, key)]
+            label = "official" if key == "official" else f"ECR {key:.1%}"
+            ci = bootstrap_mean(r.per_sample, seed=1)
+            rows.append([
+                task.name, label, paper.get(key, "-"),
+                100 * r.score,
+                f"[{100 * ci.lower:.0f}, {100 * ci.upper:.0f}]",
+                "-" if r.rouge2 is None else f"{100 * r.rouge2:.1f}",
+            ])
+    print()
+    print(format_table(
+        ["task", "config", "paper", "measured", "95% CI", "rouge-2"],
+        rows, title=f"Table VI: accuracy vs ECR, {model_name}",
+    ))
+
+
+@pytest.mark.benchmark(group="table6")
+def test_table6_mixtral(benchmark, mixtral, platform, mixtral_calibration):
+    n = scale(16, 4)
+    out = run_once(
+        benchmark,
+        lambda: evaluate(mixtral, platform, mixtral_calibration, n),
+    )
+    report(out, "Mixtral 8x7B")
+
+    # Shape 1: on TriviaQA/BBH/TruthfulQA, DAOP stays close to official at
+    # every ECR (paper: within a few points).
+    for task_name in ("triviaqa", "bbh", "truthfulqa_gen"):
+        official = out[(task_name, "official")].score
+        for ecr in ECRS:
+            ours = out[(task_name, ecr)].score
+            assert ours >= official - 0.25, (task_name, ecr)
+
+    # Shape 2: GSM8K is the most degradation-sensitive task at the
+    # smallest cache (paper: -25.4 points at ECR 25 % vs. <= -3 on others).
+    gsm_drop = (out[("gsm8k", "official")].score
+                - out[("gsm8k", 0.25)].score)
+    other_drops = [
+        out[(t, "official")].score - out[(t, 0.25)].score
+        for t in ("triviaqa", "bbh")
+    ]
+    assert gsm_drop >= max(other_drops) - 1e-9
+
+    # Shape 3: official scores land in a plausible band (not saturated).
+    # With fast mode's 4 samples a hard task can legitimately score 0.
+    floor = -0.01 if FAST else 0.05
+    for task in TABLE6_TASKS:
+        assert floor < out[(task.name, "official")].score <= 1.0
+
+
+@pytest.mark.benchmark(group="table6")
+def test_table6_phi(benchmark, phi, platform, phi_calibration):
+    """Phi rows: official 86.88 -> 74.07 on GSM8K across the same sweep."""
+    n = scale(10, 4)
+    task = get_task("gsm8k")
+    harness = AccuracyHarness(phi, platform, seed=3)
+
+    def compute():
+        out = {"official": harness.evaluate_official(task, n_samples=n)}
+        for ecr in (0.625, 0.25):
+            daop = build_engine("daop", phi, platform, ecr,
+                                phi_calibration)
+            out[ecr] = harness.evaluate(daop, task, n_samples=n)
+        return out
+
+    out = run_once(benchmark, compute)
+    rows = [["gsm8k", "official", 86.88, 100 * out["official"].score],
+            ["gsm8k", "ECR 62.5%", 82.79, 100 * out[0.625].score],
+            ["gsm8k", "ECR 25.0%", 74.07, 100 * out[0.25].score]]
+    print()
+    print(format_table(["task", "config", "paper", "measured"], rows,
+                       title="Table VI (Phi-3.5 MoE, GSM8K)"))
+    assert out[0.25].score <= out["official"].score + 0.25

@@ -1,0 +1,56 @@
+"""DAOP reproduction: Data-Aware Offloading and Predictive Pre-Calculation
+for Efficient MoE Inference (DATE 2025).
+
+This package implements, from scratch and in pure Python/numpy:
+
+- a functional decoder-only Mixture-of-Experts transformer
+  (:mod:`repro.model`),
+- an event-driven GPU-CPU platform simulator with an op-level cost model
+  calibrated to the paper's measurements (:mod:`repro.hardware`),
+- expert placement, caching, and migration machinery (:mod:`repro.memory`),
+- synthetic workload generators reproducing the routing statistics the
+  paper's observations rely on (:mod:`repro.workloads`),
+- routing-trace instrumentation and the paper's similarity / prediction
+  metrics (:mod:`repro.trace`),
+- the DAOP inference engine and all evaluated baselines
+  (:mod:`repro.core`),
+- the downstream-task accuracy harness (:mod:`repro.eval`), and
+- throughput / energy metrics and report helpers (:mod:`repro.metrics`).
+
+Quickstart::
+
+    from repro import build_mixtral_8x7b_sim, default_platform
+    from repro.core import build_daop, calibrate_activation_probs
+    from repro.workloads import C4, SequenceGenerator
+
+    bundle = build_mixtral_8x7b_sim(seed=0, n_blocks=8)
+    platform = default_platform()
+    calibration = calibrate_activation_probs(bundle)
+    engine = build_daop(bundle, platform, expert_cache_ratio=0.5,
+                        calibration_probs=calibration)
+    generator = SequenceGenerator(C4, bundle.vocab, seed=0)
+    sequence = generator.sample_sequence(prompt_len=64)
+    result = engine.generate(sequence.prompt_tokens, max_new_tokens=32)
+    print(result.stats.tokens_per_second)
+"""
+
+from repro.model.zoo import (
+    build_mixtral_8x7b_sim,
+    build_phi_3_5_moe_sim,
+    build_tiny_moe,
+    MIXTRAL_8X7B_ARCH,
+    PHI_3_5_MOE_ARCH,
+)
+from repro.hardware.presets import default_platform, paper_table1_platform
+
+__all__ = [
+    "build_mixtral_8x7b_sim",
+    "build_phi_3_5_moe_sim",
+    "build_tiny_moe",
+    "MIXTRAL_8X7B_ARCH",
+    "PHI_3_5_MOE_ARCH",
+    "default_platform",
+    "paper_table1_platform",
+]
+
+__version__ = "1.0.0"

@@ -1,0 +1,33 @@
+"""Schedule analysis: utilization, attribution, critical paths."""
+
+from repro.analysis.bottleneck import (
+    CPU_BOUND,
+    GPU_BOUND,
+    TRANSFER_BOUND,
+    BottleneckReport,
+    diagnose,
+)
+from repro.analysis.timeline_analysis import (
+    AttributionReport,
+    CriticalPath,
+    UtilizationReport,
+    attribution_report,
+    critical_path,
+    summarize_schedule,
+    utilization_report,
+)
+
+__all__ = [
+    "CPU_BOUND",
+    "GPU_BOUND",
+    "TRANSFER_BOUND",
+    "BottleneckReport",
+    "diagnose",
+    "AttributionReport",
+    "CriticalPath",
+    "UtilizationReport",
+    "attribution_report",
+    "critical_path",
+    "summarize_schedule",
+    "utilization_report",
+]

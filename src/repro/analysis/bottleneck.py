@@ -1,0 +1,54 @@
+"""Bottleneck diagnosis for engine runs.
+
+Classifies a generation's decode phase as transfer-bound, CPU-bound, or
+GPU-bound, and estimates the headroom each class implies.  This is the
+quantitative version of the paper's Fig. 8 narrative: MoE-OnDemand and
+Pre-gated MoE are H2D-bound, Fiddler is CPU-bound on the critical path,
+DAOP pushes utilization toward the GPU.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.timeline_analysis import critical_path
+from repro.core.engine import GenerationResult
+from repro.hardware.timeline import CPU, D2H, GPU, H2D
+
+TRANSFER_BOUND = "transfer-bound"
+CPU_BOUND = "cpu-bound"
+GPU_BOUND = "gpu-bound"
+
+
+@dataclass(frozen=True)
+class BottleneckReport:
+    """Diagnosis of what limits a generation's decode latency."""
+
+    classification: str
+    critical_fractions: dict[str, float]
+    decode_time_s: float
+
+    @property
+    def dominant_fraction(self) -> float:
+        """The critical-path share of the dominant resource class."""
+        return max(self.critical_fractions.values())
+
+
+def diagnose(result: GenerationResult) -> BottleneckReport:
+    """Classify a generation by its critical path's resource mix."""
+    path = critical_path(result.timeline)
+    by_resource = path.resource_breakdown()
+    total = sum(by_resource.values()) or 1.0
+    fractions = {
+        GPU_BOUND: by_resource.get(GPU, 0.0) / total,
+        CPU_BOUND: by_resource.get(CPU, 0.0) / total,
+        TRANSFER_BOUND: (
+            by_resource.get(H2D, 0.0) + by_resource.get(D2H, 0.0)
+        ) / total,
+    }
+    classification = max(fractions, key=fractions.get)
+    return BottleneckReport(
+        classification=classification,
+        critical_fractions=fractions,
+        decode_time_s=result.stats.decode_time_s,
+    )

@@ -1,0 +1,346 @@
+"""Command-line interface for the DAOP reproduction.
+
+Subcommands::
+
+    repro info                         model + platform + Table I summary
+    repro speed    [--engines ...]     throughput/energy comparison
+    repro accuracy [--task ...]        harness accuracy vs the oracle
+    repro observe  [--dataset ...]     similarity + prediction statistics
+    repro serve    [--rate ...]        request-level serving simulation
+    repro trace    [--engine ...]      schedule analysis + Chrome trace
+
+Every command accepts ``--model {mixtral,phi,tiny}``, ``--blocks N`` (to
+shrink the functional model), and ``--seed``.  All results are simulated:
+no GPU is required.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+from repro.analysis import summarize_schedule
+from repro.core import ENGINE_NAMES, build_engine
+from repro.core.calibration import calibrate_activation_probs
+from repro.eval.harness import AccuracyHarness
+from repro.hardware.cost_model import CostModel
+from repro.hardware.presets import default_platform
+from repro.metrics import format_table, summarize_results
+from repro.model.zoo import (
+    build_mixtral_8x7b_sim,
+    build_phi_3_5_moe_sim,
+    build_tiny_moe,
+)
+from repro.serving import ServingSimulator, poisson_arrivals
+from repro.trace.export import timeline_to_chrome_trace
+from repro.workloads import SequenceGenerator, get_dataset, get_task
+
+_BUILDERS = {
+    "mixtral": build_mixtral_8x7b_sim,
+    "phi": build_phi_3_5_moe_sim,
+    "tiny": build_tiny_moe,
+}
+
+DEFAULT_ENGINES = ("moe-ondemand", "fiddler", "daop")
+
+
+def _add_common(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--model", choices=sorted(_BUILDERS),
+                        default="mixtral", help="model analogue to build")
+    parser.add_argument("--blocks", type=int, default=16,
+                        help="functional block count (paper topology: 32)")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--ecr", type=float, default=0.469,
+                        help="expert cache ratio for cached engines")
+
+
+def _build(args):
+    builder = _BUILDERS[args.model]
+    kwargs = {"seed": args.seed}
+    if args.model == "tiny":
+        kwargs["n_blocks"] = min(args.blocks, 8)
+    else:
+        kwargs["n_blocks"] = args.blocks
+    return builder(**kwargs)
+
+
+def _calibrate(bundle):
+    return calibrate_activation_probs(
+        bundle, n_sequences=4, prompt_len=24, decode_len=24
+    )
+
+
+def cmd_info(args) -> int:
+    """Print model, platform, and Table I cost-model summary."""
+    bundle = _build(args)
+    platform = default_platform()
+    arch = bundle.arch
+    cm = CostModel(arch, platform)
+    rows = [
+        ["model", arch.name],
+        ["blocks x experts (top-k)",
+         f"{arch.n_blocks} x {arch.n_experts} (top-{arch.top_k})"],
+        ["total params", f"{arch.total_params / 1e9:.1f} B"],
+        ["expert params", f"{arch.total_expert_params / 1e9:.1f} B"],
+        ["activated per token", f"{100 * arch.activated_fraction:.1f} %"],
+        ["expert size (fp16)", f"{arch.expert_bytes / 1e6:.0f} MB"],
+        ["platform", f"{platform.gpu.name} + {platform.cpu.name}"],
+        ["GPU expert slots",
+         f"{cm.gpu_expert_slots()} of {arch.n_blocks * arch.n_experts} "
+         f"(ECR {cm.gpu_expert_slots() / (arch.n_blocks * arch.n_experts):.1%})"],
+        ["GPU block (decode)",
+         f"{1e3 * cm.block_time(platform.gpu, 1, 256):.2f} ms"],
+        ["CPU block (decode)",
+         f"{1e3 * cm.block_time(platform.cpu, 1, 256):.2f} ms"],
+        ["expert upload", f"{1e3 * cm.expert_transfer_time():.2f} ms"],
+    ]
+    print(format_table(["property", "value"], rows, title="repro info"))
+    return 0
+
+
+def cmd_speed(args) -> int:
+    """Compare engine throughput and energy on one workload."""
+    bundle = _build(args)
+    platform = default_platform()
+    calibration = _calibrate(bundle)
+    dataset = get_dataset(args.dataset)
+    generator = SequenceGenerator(dataset, bundle.vocab, seed=args.seed + 1)
+    sequences = [
+        generator.sample_sequence(args.input_len, args.output_len,
+                                  sample_idx=i)
+        for i in range(args.sequences)
+    ]
+    rows = []
+    for name in args.engines:
+        engine = build_engine(name, bundle, platform,
+                              expert_cache_ratio=args.ecr,
+                              calibration_probs=calibration)
+        results = [
+            engine.generate(s.prompt_tokens, args.output_len,
+                            forced_tokens=s.continuation_tokens)
+            for s in sequences
+        ]
+        summary = summarize_results(name, results)
+        rows.append([
+            name, summary.tokens_per_second,
+            summary.tokens_per_kilojoule,
+            f"{100 * summary.gpu_hit_rate:.0f}%",
+        ])
+    print(format_table(
+        ["engine", "tok/s", "tok/kJ", "gpu hits"],
+        rows,
+        title=f"speed: {args.model}, {args.dataset}, "
+              f"in/out {args.input_len}/{args.output_len}, "
+              f"ECR {args.ecr:.1%}",
+    ))
+    return 0
+
+
+def cmd_accuracy(args) -> int:
+    """Score an engine against the official oracle on one task."""
+    bundle = _build(args)
+    platform = default_platform()
+    calibration = _calibrate(bundle)
+    task = get_task(args.task)
+    harness = AccuracyHarness(bundle, platform, seed=args.seed + 3)
+    official = harness.evaluate_official(task, n_samples=args.samples)
+    rows = [["official", "-", 100 * official.score]]
+    for name in args.engines:
+        if name == "official":
+            continue
+        engine = build_engine(name, bundle, platform,
+                              expert_cache_ratio=args.ecr,
+                              calibration_probs=calibration)
+        result = harness.evaluate(engine, task, n_samples=args.samples)
+        rows.append([name, f"{args.ecr:.1%}", 100 * result.score])
+    print(format_table(
+        ["engine", "ECR", f"{task.metric} (%)"], rows,
+        title=f"accuracy: {args.task} ({task.n_samples} max samples)",
+    ))
+    return 0
+
+
+def cmd_observe(args) -> int:
+    """Measure the paper's observation statistics on one dataset."""
+    from repro.trace import ActivationTrace, matrix_similarity
+
+    bundle = _build(args)
+    model = bundle.model
+    dataset = get_dataset(args.dataset)
+    generator = SequenceGenerator(dataset, bundle.vocab, seed=args.seed + 4)
+    sims = []
+    for i in range(args.sequences):
+        sequence = generator.sample_sequence(48, 48, sample_idx=i)
+        trace = ActivationTrace(model.n_blocks, model.n_experts)
+        caches = model.new_caches()
+        _, decisions = model.forward_exact(sequence.prompt_tokens, caches)
+        for b, decision in enumerate(decisions):
+            for t in range(decision.n_tokens):
+                trace.record("prefill", b, t, decision.experts[t])
+        position = sequence.prompt_tokens.size
+        for token in sequence.continuation_tokens:
+            _, decisions = model.forward_exact(
+                np.asarray([token]), caches, start_pos=position
+            )
+            for b, decision in enumerate(decisions):
+                trace.record("decode", b, position, decision.experts[0])
+            position += 1
+        sims.append(matrix_similarity(
+            trace.activation_matrix("prefill"),
+            trace.activation_matrix("decode"),
+        ))
+    # Routing-structure statistics over the last sequence's trace.
+    from repro.trace.statistics import expert_load_stats, temporal_locality
+
+    load = expert_load_stats(trace)
+    locality = float(np.mean([
+        temporal_locality(trace, b) for b in range(model.n_blocks)
+    ]))
+    print(format_table(
+        ["statistic", "value"],
+        [["prefill/decode similarity (Eq. 1)",
+          f"{100 * float(np.mean(sims)):.2f} %"],
+         ["mean per-block load Gini", f"{load['mean_gini']:.3f}"],
+         ["mean per-block load entropy", f"{load['mean_entropy']:.3f}"],
+         ["mean decode temporal locality", f"{locality:.3f}"],
+         ["sequences", args.sequences]],
+        title=f"observe: {args.dataset}",
+    ))
+    return 0
+
+
+def cmd_serve(args) -> int:
+    """Run the request-level serving simulation."""
+    bundle = _build(args)
+    platform = default_platform()
+    calibration = _calibrate(bundle)
+    rows = []
+    for name in args.engines:
+        engine = build_engine(name, bundle, platform,
+                              expert_cache_ratio=args.ecr,
+                              calibration_probs=calibration)
+        generator = SequenceGenerator(
+            get_dataset(args.dataset), bundle.vocab, seed=args.seed + 5
+        )
+        simulator = ServingSimulator(engine, generator)
+        arrivals = poisson_arrivals(
+            args.rate, args.requests,
+            np.random.default_rng(args.seed + 6),
+        )
+        report = simulator.run(arrivals, args.input_len, args.output_len)
+        rows.append([
+            name,
+            report.throughput_tokens_per_s,
+            report.ttft_percentile(50), report.ttft_percentile(95),
+            report.latency_percentile(95),
+            report.mean_queue_delay_s,
+        ])
+    print(format_table(
+        ["engine", "tok/s", "TTFT p50 (s)", "TTFT p95 (s)",
+         "latency p95 (s)", "queue (s)"],
+        rows,
+        title=f"serve: {args.requests} requests @ {args.rate}/s "
+              f"({args.dataset})",
+    ))
+    return 0
+
+
+def cmd_trace(args) -> int:
+    """Analyze one generation's schedule; optionally dump a Chrome trace."""
+    bundle = _build(args)
+    platform = default_platform()
+    calibration = _calibrate(bundle)
+    engine = build_engine(args.engine, bundle, platform,
+                          expert_cache_ratio=args.ecr,
+                          calibration_probs=calibration)
+    generator = SequenceGenerator(
+        get_dataset(args.dataset), bundle.vocab, seed=args.seed + 7
+    )
+    sequence = generator.sample_sequence(args.input_len, args.output_len,
+                                         sample_idx=0)
+    result = engine.generate(sequence.prompt_tokens, args.output_len,
+                             forced_tokens=sequence.continuation_tokens)
+    print(f"engine: {args.engine}  "
+          f"tok/s: {result.stats.tokens_per_second:.2f}  "
+          f"tok/kJ: {result.stats.tokens_per_kilojoule:.2f}")
+    print(summarize_schedule(result.timeline))
+    if args.output:
+        with open(args.output, "w") as handle:
+            handle.write(timeline_to_chrome_trace(
+                result.timeline, process_name=args.engine
+            ))
+        print(f"chrome trace written to {args.output}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the CLI argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro", description="DAOP reproduction command-line tools"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_info = sub.add_parser("info", help="model + platform summary")
+    _add_common(p_info)
+    p_info.set_defaults(func=cmd_info)
+
+    p_speed = sub.add_parser("speed", help="engine throughput comparison")
+    _add_common(p_speed)
+    p_speed.add_argument("--engines", nargs="+", default=DEFAULT_ENGINES,
+                         choices=ENGINE_NAMES)
+    p_speed.add_argument("--dataset", default="sharegpt")
+    p_speed.add_argument("--input-len", type=int, default=64)
+    p_speed.add_argument("--output-len", type=int, default=64)
+    p_speed.add_argument("--sequences", type=int, default=1)
+    p_speed.set_defaults(func=cmd_speed)
+
+    p_acc = sub.add_parser("accuracy", help="task accuracy vs the oracle")
+    _add_common(p_acc)
+    p_acc.add_argument("--engines", nargs="+", default=("daop",),
+                       choices=ENGINE_NAMES)
+    p_acc.add_argument("--task", default="triviaqa")
+    p_acc.add_argument("--samples", type=int, default=8)
+    p_acc.set_defaults(func=cmd_accuracy)
+
+    p_obs = sub.add_parser("observe", help="routing statistics")
+    _add_common(p_obs)
+    p_obs.add_argument("--dataset", default="c4")
+    p_obs.add_argument("--sequences", type=int, default=3)
+    p_obs.set_defaults(func=cmd_observe)
+
+    p_serve = sub.add_parser("serve", help="serving simulation")
+    _add_common(p_serve)
+    p_serve.add_argument("--engines", nargs="+", default=("fiddler", "daop"),
+                         choices=ENGINE_NAMES)
+    p_serve.add_argument("--dataset", default="sharegpt")
+    p_serve.add_argument("--rate", type=float, default=0.05,
+                         help="mean request arrival rate per second")
+    p_serve.add_argument("--requests", type=int, default=4)
+    p_serve.add_argument("--input-len", type=int, default=48)
+    p_serve.add_argument("--output-len", type=int, default=48)
+    p_serve.set_defaults(func=cmd_serve)
+
+    p_trace = sub.add_parser("trace", help="schedule analysis")
+    _add_common(p_trace)
+    p_trace.add_argument("--engine", default="daop", choices=ENGINE_NAMES)
+    p_trace.add_argument("--dataset", default="sharegpt")
+    p_trace.add_argument("--input-len", type=int, default=48)
+    p_trace.add_argument("--output-len", type=int, default=32)
+    p_trace.add_argument("--output", default=None,
+                         help="write a Chrome trace JSON here")
+    p_trace.set_defaults(func=cmd_trace)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

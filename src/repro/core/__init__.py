@@ -1,0 +1,132 @@
+"""The DAOP engine, its baselines, and the engine factory."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.allocation import (
+    SWAP_IN_OUT_DEFAULT,
+    SwapPlan,
+    activity_from_routing,
+    plan_block_swaps,
+)
+from repro.core.baselines import (
+    DeepSpeedMIIEngine,
+    FiddlerEngine,
+    MixtralOffloadingEngine,
+    MoEInfinityEngine,
+    MoEOnDemandEngine,
+    OfficialEngine,
+    PreGatedMoEEngine,
+)
+from repro.core.calibration import calibrate_activation_probs
+from repro.core.daop import DAOPEngine, build_daop
+from repro.core.engine import (
+    BaseEngine,
+    EngineCounters,
+    GenerationResult,
+    GenerationStats,
+)
+from repro.core.precalc import DegradationResult, apply_graceful_degradation
+from repro.core.predictor import (
+    PREDICTION_START_BLOCK_DEFAULT,
+    ExpertPrediction,
+    NextLayerPredictor,
+)
+from repro.hardware.platform import Platform
+from repro.memory.cache import CacheConfig
+from repro.model.zoo import ModelBundle
+
+ENGINE_NAMES = (
+    "official",
+    "moe-ondemand",
+    "deepspeed-mii",
+    "mixtral-offloading",
+    "moe-infinity",
+    "fiddler",
+    "pregated-moe",
+    "daop",
+)
+
+
+def build_engine(
+    name: str,
+    bundle: ModelBundle,
+    platform: Platform,
+    expert_cache_ratio: float = 0.5,
+    calibration_probs: np.ndarray | None = None,
+    **kwargs,
+) -> BaseEngine:
+    """Construct any evaluated engine by name.
+
+    ``calibration_probs`` should come from
+    :func:`repro.core.calibration.calibrate_activation_probs` (the paper
+    calibrates on ShareGPT); pass ``None`` to fall back to a flat prior.
+    The ``official`` and ``deepspeed-mii`` engines ignore the cache ratio
+    (they are all-GPU and no-cache respectively).
+    """
+    config = CacheConfig(ecr=expert_cache_ratio)
+    if name == "official":
+        return OfficialEngine(bundle, platform)
+    if name == "moe-ondemand":
+        return MoEOnDemandEngine(
+            bundle, platform, cache_config=config,
+            calibration_probs=calibration_probs, **kwargs,
+        )
+    if name == "deepspeed-mii":
+        return DeepSpeedMIIEngine(bundle, platform)
+    if name == "moe-infinity":
+        return MoEInfinityEngine(
+            bundle, platform, cache_config=config,
+            calibration_probs=calibration_probs, **kwargs,
+        )
+    if name == "mixtral-offloading":
+        return MixtralOffloadingEngine(
+            bundle, platform, cache_config=config,
+            calibration_probs=calibration_probs, **kwargs,
+        )
+    if name == "fiddler":
+        return FiddlerEngine(
+            bundle, platform, cache_config=config,
+            calibration_probs=calibration_probs, **kwargs,
+        )
+    if name == "pregated-moe":
+        return PreGatedMoEEngine(
+            bundle, platform, cache_config=config,
+            calibration_probs=calibration_probs, **kwargs,
+        )
+    if name == "daop":
+        return DAOPEngine(
+            bundle, platform, cache_config=config,
+            calibration_probs=calibration_probs, **kwargs,
+        )
+    raise KeyError(f"unknown engine {name!r}; known: {ENGINE_NAMES}")
+
+
+__all__ = [
+    "SWAP_IN_OUT_DEFAULT",
+    "SwapPlan",
+    "activity_from_routing",
+    "plan_block_swaps",
+    "DeepSpeedMIIEngine",
+    "FiddlerEngine",
+    "MixtralOffloadingEngine",
+    "MoEInfinityEngine",
+    "MoEOnDemandEngine",
+    "OfficialEngine",
+    "PreGatedMoEEngine",
+    "calibrate_activation_probs",
+    "DAOPEngine",
+    "build_daop",
+    "BaseEngine",
+    "EngineCounters",
+    "GenerationResult",
+    "GenerationStats",
+    "DegradationResult",
+    "apply_graceful_degradation",
+    "PREDICTION_START_BLOCK_DEFAULT",
+    "ExpertPrediction",
+    "NextLayerPredictor",
+    "ENGINE_NAMES",
+    "build_engine",
+]

@@ -1,0 +1,19 @@
+"""Baseline engines evaluated against DAOP in the paper."""
+
+from repro.core.baselines.deepspeed_mii import DeepSpeedMIIEngine
+from repro.core.baselines.fiddler import FiddlerEngine
+from repro.core.baselines.mixtral_offloading import MixtralOffloadingEngine
+from repro.core.baselines.moe_infinity import MoEInfinityEngine
+from repro.core.baselines.official import OfficialEngine
+from repro.core.baselines.on_demand import MoEOnDemandEngine
+from repro.core.baselines.pregated import PreGatedMoEEngine
+
+__all__ = [
+    "DeepSpeedMIIEngine",
+    "FiddlerEngine",
+    "MixtralOffloadingEngine",
+    "MoEInfinityEngine",
+    "OfficialEngine",
+    "MoEOnDemandEngine",
+    "PreGatedMoEEngine",
+]

@@ -1,0 +1,40 @@
+"""Fiddler baseline (Kamahori et al., 2024).
+
+Fiddler avoids expert migration entirely: experts missing from the GPU
+execute on the CPU, with only the (tiny) activations crossing PCIe.  The
+placement is the calibrated initial cache and never changes; there is no
+sequence-specific reallocation and no lookahead, so a CPU expert can only
+start after its own block's gate has run -- the serialization DAOP's
+pre-calculation removes.
+
+This is exactly the standard dataflow of :class:`BaseEngine` with a
+calibrated static placement, so no hooks are needed.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.engine import BaseEngine
+from repro.hardware.platform import Platform
+from repro.memory.cache import CacheConfig
+from repro.model.zoo import ModelBundle
+
+
+class FiddlerEngine(BaseEngine):
+    """CPU-GPU orchestration without migration or prediction."""
+
+    name = "fiddler"
+
+    def __init__(
+        self,
+        bundle: ModelBundle,
+        platform: Platform,
+        cache_config: CacheConfig | None = None,
+        calibration_probs: np.ndarray | None = None,
+    ) -> None:
+        super().__init__(
+            bundle, platform,
+            cache_config=cache_config or CacheConfig(ecr=0.5),
+            calibration_probs=calibration_probs,
+        )

@@ -1,0 +1,26 @@
+"""The official (oracle) engine: every expert on the GPU, exact math.
+
+This corresponds to the paper's "Official" rows (ECR = 100 %): no
+placement constraints, no approximation.  It serves both as a performance
+reference and as the accuracy oracle the harness scores other engines
+against.
+"""
+
+from __future__ import annotations
+
+from repro.core.engine import BaseEngine
+from repro.hardware.platform import Platform
+from repro.memory.placement import ExpertPlacement
+from repro.model.zoo import ModelBundle
+
+
+class OfficialEngine(BaseEngine):
+    """All experts GPU-resident; the standard dataflow needs no hooks."""
+
+    name = "official"
+
+    def __init__(self, bundle: ModelBundle, platform: Platform) -> None:
+        placement = ExpertPlacement.all_on_gpu(
+            bundle.model.n_blocks, bundle.model.n_experts
+        )
+        super().__init__(bundle, platform, initial_placement=placement)

@@ -1,0 +1,60 @@
+"""Expert-activation calibration (paper §IV-A).
+
+DAOP initializes its GPU expert cache from decode-phase activation
+probabilities measured on a calibration dataset (the paper uses ShareGPT,
+which is disjoint from the downstream evaluation tasks).  The calibrator
+runs the exact functional model -- no placement effects exist yet at
+calibration time -- and returns the ``(n_blocks, n_experts)`` probability
+matrix consumed by
+:func:`repro.memory.cache.build_calibrated_placement`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.model.zoo import ModelBundle
+from repro.workloads.datasets import SHAREGPT, DatasetSpec
+from repro.workloads.generator import SequenceGenerator
+
+
+def calibrate_activation_probs(
+    bundle: ModelBundle,
+    dataset: DatasetSpec = SHAREGPT,
+    n_sequences: int = 8,
+    prompt_len: int = 32,
+    decode_len: int = 48,
+    seed: int = 0,
+) -> np.ndarray:
+    """Measure decode-phase expert activation probabilities.
+
+    Each calibration sequence is prefetched through the exact model, then
+    its continuation is teacher-forced token by token while every block's
+    routing decision is counted.
+
+    Returns:
+        ``(n_blocks, n_experts)`` matrix whose rows sum to ``top_k``.
+    """
+    model = bundle.model
+    generator = SequenceGenerator(dataset, bundle.vocab, seed=seed)
+    counts = np.zeros((model.n_blocks, model.n_experts), dtype=np.float64)
+    total_tokens = 0
+    for idx in range(n_sequences):
+        sequence = generator.sample_sequence(
+            prompt_len, decode_len, sample_idx=idx
+        )
+        caches = model.new_caches()
+        model.forward_exact(sequence.prompt_tokens, caches)
+        position = sequence.prompt_tokens.size
+        for token in sequence.continuation_tokens:
+            _, decisions = model.forward_exact(
+                np.asarray([token]), caches, start_pos=position
+            )
+            for block_idx, decision in enumerate(decisions):
+                for expert in decision.experts[0]:
+                    counts[block_idx, int(expert)] += 1.0
+            position += 1
+            total_tokens += 1
+    if total_tokens == 0:
+        raise ValueError("calibration produced no decode tokens")
+    return counts / total_tokens

@@ -1,0 +1,342 @@
+"""The DAOP inference engine (paper §IV).
+
+DAOP combines three mechanisms on top of the shared substrate:
+
+1. **Calibrated memory initialization** -- the GPU expert cache starts
+   from decode-phase activation probabilities measured on a calibration
+   dataset (§IV-A, :mod:`repro.core.calibration`).
+2. **Sequence-specific expert allocation** -- during prefill, each block's
+   per-sequence expert activity drives hot-CPU/cold-GPU swaps (§IV-B,
+   Algorithm 1, :mod:`repro.core.allocation`); migrations overlap with
+   prefill compute and the placement then stays fixed for decode.
+3. **Prediction-based expert pre-calculation** -- during decode, block
+   ``i+1``'s gate evaluated on block ``i``'s non-MoE output predicts the
+   next block's experts (§IV-C); predicted CPU-resident experts start
+   computing immediately on the CPU using those (one-block-stale) hidden
+   states, and graceful degradation swaps the weaker of two CPU-resident
+   predictions for the best GPU-resident expert.
+
+The prediction path is an *approximation*: for predicted blocks the
+executed expert set comes from the predictive gate (plus degradation), and
+CPU experts consume stale inputs.  This is exactly the accuracy/latency
+trade Tables V and VI of the paper measure.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+import numpy as np
+
+from repro.core.allocation import SWAP_IN_OUT_DEFAULT, plan_block_swaps
+from repro.core.engine import BaseEngine, _SequenceContext
+from repro.core.precalc import apply_graceful_degradation
+from repro.core.predictor import (
+    PREDICTION_START_BLOCK_DEFAULT,
+    NextLayerPredictor,
+)
+from repro.hardware.platform import Platform
+from repro.hardware.timeline import GPU, Op
+from repro.memory.cache import CacheConfig
+from repro.model.gating import Router
+from repro.model.zoo import ModelBundle
+from repro.trace.recorder import DECODE
+
+
+class DAOPEngine(BaseEngine):
+    """Data-aware offloading with predictive pre-calculation."""
+
+    name = "daop"
+
+    def __init__(
+        self,
+        bundle: ModelBundle,
+        platform: Platform,
+        cache_config: CacheConfig | None = None,
+        calibration_probs: np.ndarray | None = None,
+        swap_threshold: float = SWAP_IN_OUT_DEFAULT,
+        prediction_start_block: int = PREDICTION_START_BLOCK_DEFAULT,
+        graceful_degradation: bool = True,
+        max_cpu_experts: int = 1,
+        enable_seq_allocation: bool = True,
+        enable_precalc: bool = True,
+        decode_realloc_interval: int | None = None,
+        decode_realloc_window: int = 15,
+        decode_realloc_threshold: float = 2.0,
+        decode_realloc_min_activity: float = 4.0,
+        decode_realloc_max_swaps_per_block: int = 1,
+    ) -> None:
+        """See class docstring; the last two arguments enable the
+        decode-phase re-allocation extension.
+
+        The paper restricts migration to prefill and observes (§VI-B)
+        that GSM8K-style within-sequence drift then defeats a small
+        cache.  Setting ``decode_realloc_interval = k`` re-runs
+        Algorithm 1 every ``k`` decode tokens using routing counts from
+        the trailing ``decode_realloc_window`` tokens (the paper's own
+        drift analysis uses a 15-token window), with the swap uploads
+        overlapped against subsequent decode compute.  ``None`` (the
+        default) reproduces the paper's engine exactly.
+
+        Decode swaps use a much stricter policy than prefill (higher
+        threshold, a minimum window activity, and a per-block swap cap):
+        window counts are small and noisy, and each upload occupies the
+        H2D channel the pre-calculation round-trips also need, so churn
+        is far more expensive than during prefill.
+        """
+        super().__init__(
+            bundle, platform,
+            cache_config=cache_config or CacheConfig(ecr=0.5),
+            calibration_probs=calibration_probs,
+        )
+        if decode_realloc_interval is not None and decode_realloc_interval < 1:
+            raise ValueError("decode_realloc_interval must be positive")
+        if decode_realloc_window < 1:
+            raise ValueError("decode_realloc_window must be positive")
+        self.swap_threshold = swap_threshold
+        self.predictor = NextLayerPredictor(
+            self.model, start_block=prediction_start_block
+        )
+        self.graceful_degradation = graceful_degradation
+        self.max_cpu_experts = max_cpu_experts
+        self.enable_seq_allocation = enable_seq_allocation
+        self.enable_precalc = enable_precalc
+        self.decode_realloc_interval = decode_realloc_interval
+        self.decode_realloc_window = decode_realloc_window
+        self.decode_realloc_threshold = decode_realloc_threshold
+        self.decode_realloc_min_activity = decode_realloc_min_activity
+        self.decode_realloc_max_swaps_per_block = (
+            decode_realloc_max_swaps_per_block
+        )
+
+    def _begin_sequence(self, ctx: _SequenceContext) -> None:
+        # Rolling window of per-token (n_blocks, n_experts) routing counts
+        # plus pending decode-migration upload ops, both used only when
+        # the decode re-allocation extension is enabled.
+        self._decode_window: deque[np.ndarray] = deque(
+            maxlen=self.decode_realloc_window
+        )
+        self._decode_steps = 0
+        self._pending_uploads: dict[tuple[int, int], Op] = {}
+
+    # ---- prefill: Algorithm 1 ---------------------------------------------------
+
+    def _prepare_prefill_block(self, ctx: _SequenceContext, block_idx: int,
+                               activated: np.ndarray, activity: np.ndarray,
+                               deps: list[Op]) -> dict[int, list[Op]]:
+        if not self.enable_seq_allocation:
+            return {}
+        plans = plan_block_swaps(
+            block_idx, activity, self.placement, self.swap_threshold
+        )
+        extra: dict[int, list[Op]] = {}
+        for plan in plans:
+            # Read-only inference weights: the outgoing expert's host copy
+            # is valid, so the swap costs one H2D upload that overlaps with
+            # the ongoing prefill compute.
+            self._drop_expert(block_idx, plan.cold_expert)
+            up = self._upload_expert(ctx, block_idx, plan.hot_expert, deps)
+            extra[plan.hot_expert] = [up]
+            ctx.counters.prefill_swaps += 1
+        return extra
+
+    # ---- decode: predictive pre-calculation ---------------------------------------
+
+    def _decode_step(self, ctx: _SequenceContext, token: int,
+                     deps: list[Op]) -> tuple[np.ndarray, Op]:
+        if not self.enable_precalc:
+            return self._decode_step_standard(ctx, token, deps)
+
+        h = self.model.embed(np.asarray([token]))
+        last_ops = list(deps)
+        carry = None  # prediction made at the previous block for this one
+        for block_idx in range(self.model.n_blocks):
+            h_att, attn_op = self._attention(ctx, block_idx, h, last_ops,
+                                             DECODE)
+            next_carry = self._issue_precalc(ctx, block_idx, h_att, attn_op)
+            if carry is None:
+                h, last_ops = self._execute_true_gated(
+                    ctx, block_idx, h_att, attn_op
+                )
+            else:
+                h, last_ops = self._execute_predicted(
+                    ctx, block_idx, h_att, attn_op, carry
+                )
+            carry = next_carry
+        ctx.position += 1
+        done = ctx.timeline.add(
+            GPU, 0.0, deps=last_ops, label="decode done", kind="sync"
+        )
+        self._after_decode_token(ctx, done)
+        return h[-1], done
+
+    def _after_decode_token(self, ctx: _SequenceContext, done: Op) -> None:
+        """Decode re-allocation extension hook (no-op when disabled)."""
+        if self.decode_realloc_interval is None:
+            return
+        counts = np.zeros(
+            (self.model.n_blocks, self.model.n_experts), dtype=np.float64
+        )
+        for event in ctx.trace.events:
+            if event.phase == DECODE and event.token_pos == ctx.position - 1:
+                for expert in event.experts:
+                    counts[event.block, expert] += 1.0
+        self._decode_window.append(counts)
+        self._decode_steps += 1
+        if self._decode_steps % self.decode_realloc_interval != 0:
+            return
+        window_activity = np.sum(self._decode_window, axis=0)
+        for block_idx in range(self.model.n_blocks):
+            plans = plan_block_swaps(
+                block_idx, window_activity[block_idx], self.placement,
+                self.decode_realloc_threshold,
+            )
+            plans = [
+                plan for plan in plans
+                if plan.hot_activity >= self.decode_realloc_min_activity
+            ][: self.decode_realloc_max_swaps_per_block]
+            for plan in plans:
+                self._drop_expert(block_idx, plan.cold_expert)
+                up = self._upload_expert(
+                    ctx, block_idx, plan.hot_expert, [done]
+                )
+                self._pending_uploads[(block_idx, plan.hot_expert)] = up
+                ctx.counters.decode_swaps += 1
+
+    def _issue_precalc(self, ctx: _SequenceContext, block_idx: int,
+                       h_att: np.ndarray, attn_op: Op):
+        """Predict block ``block_idx + 1`` and start its CPU experts early.
+
+        Returns the carry consumed when the loop reaches the next block:
+        ``(executed_experts, predicted_logits, cpu_results)``.
+        """
+        if not self.predictor.can_predict_from(block_idx):
+            return None
+        prediction = self.predictor.predict(block_idx, h_att)
+        pred_gate = ctx.timeline.add(
+            GPU,
+            self.framework_overhead_s
+            + self.cost_model.gate_time(self.platform.gpu, 1),
+            deps=[attn_op], label=f"pred-gate B{block_idx + 1}", kind="gate",
+        )
+        degradation = apply_graceful_degradation(
+            block_idx + 1,
+            prediction.experts,
+            prediction.logits,
+            self.placement,
+            max_cpu_experts=self.max_cpu_experts,
+            enabled=self.graceful_degradation,
+        )
+        ctx.counters.degraded_swaps += len(degradation.replaced)
+        cpu_results: dict[int, tuple[np.ndarray, Op]] = {}
+        for expert in degradation.experts:
+            expert = int(expert)
+            if self.placement.is_on_gpu(block_idx + 1, expert):
+                continue
+            # Pre-calculate on the CPU from the *current* block's non-MoE
+            # hidden states (one block stale -- the paper's approximation).
+            y, h2d = self._expert_cpu(
+                ctx, block_idx + 1, expert, h_att, [pred_gate],
+                stale_input=True,
+            )
+            cpu_results[expert] = (y[0], h2d)
+        return degradation.experts, prediction.logits, cpu_results
+
+    def _execute_true_gated(self, ctx: _SequenceContext, block_idx: int,
+                            h_att: np.ndarray,
+                            attn_op: Op) -> tuple[np.ndarray, list[Op]]:
+        """Blocks without a usable prediction run the original gate."""
+        logits, gate_op = self._gate(ctx, block_idx, h_att, [attn_op])
+        routing = self.model.blocks[block_idx].router.route_from_logits(
+            logits
+        )
+        ctx.trace.record(
+            DECODE, block_idx, ctx.position, routing.experts[0],
+            executed_experts=routing.experts[0],
+        )
+        self._record_activation_counters(ctx, block_idx, routing.experts[0])
+        extra = self._consume_pending_uploads(block_idx, routing.experts[0])
+        h, expert_ops = self._execute_experts_at_location(
+            ctx, block_idx, h_att, routing.experts, routing.weights,
+            [gate_op], extra,
+        )
+        return h, expert_ops
+
+    def _consume_pending_uploads(self, block_idx: int,
+                                 experts) -> dict[int, list[Op]]:
+        """Dependencies on in-flight decode-migration uploads."""
+        extra: dict[int, list[Op]] = {}
+        for expert in np.atleast_1d(experts):
+            pending = self._pending_uploads.pop((block_idx, int(expert)),
+                                                None)
+            if pending is not None:
+                extra[int(expert)] = [pending]
+        return extra
+
+    def _execute_predicted(self, ctx: _SequenceContext, block_idx: int,
+                           h_att: np.ndarray, attn_op: Op,
+                           carry) -> tuple[np.ndarray, list[Op]]:
+        """Execute a block whose expert set was predicted one block ago."""
+        executed, pred_logits, cpu_results = carry
+        block = self.model.blocks[block_idx]
+
+        # Oracle instrumentation: what the true gate *would* have selected
+        # (functional only; DAOP does not spend time on this gate).
+        true_logits = block.gate_logits(h_att)[0]
+        true_selection = np.argsort(-true_logits, kind="stable")[
+            : self.model.top_k
+        ]
+        ctx.trace.record(
+            DECODE, block_idx, ctx.position, true_selection,
+            executed_experts=executed, predicted=True,
+        )
+        self._record_activation_counters(ctx, block_idx, executed)
+
+        weights = Router.renormalize(pred_logits, np.asarray(executed))
+        outs = np.zeros(
+            (1, len(executed), h_att.shape[1]), dtype=np.float32
+        )
+        expert_ops: list[Op] = []
+        for slot, expert in enumerate(executed):
+            expert = int(expert)
+            if expert in cpu_results:
+                y, op = cpu_results[expert]
+                outs[0, slot] = y
+                expert_ops.append(op)
+            elif self.placement.is_on_gpu(block_idx, expert):
+                pending = self._pending_uploads.pop((block_idx, expert),
+                                                    None)
+                gpu_deps = [attn_op] + ([pending] if pending else [])
+                y, op = self._expert_gpu(
+                    ctx, block_idx, expert, h_att, gpu_deps
+                )
+                outs[0, slot] = y[0]
+                expert_ops.append(op)
+            else:
+                # Predicted CPU expert whose pre-calculation was not issued
+                # (e.g. degradation disabled and more CPU experts than
+                # pre-calc slots): fall back to a Fiddler-style round-trip
+                # with fresh inputs.
+                y, op = self._expert_cpu(
+                    ctx, block_idx, expert, h_att, [attn_op]
+                )
+                outs[0, slot] = y[0]
+                expert_ops.append(op)
+        h = block.combine(h_att, outs, weights.reshape(1, -1))
+        return h, expert_ops
+
+
+def build_daop(
+    bundle: ModelBundle,
+    platform: Platform,
+    expert_cache_ratio: float = 0.5,
+    calibration_probs: np.ndarray | None = None,
+    **kwargs,
+) -> DAOPEngine:
+    """Convenience constructor used by examples and benchmarks."""
+    return DAOPEngine(
+        bundle, platform,
+        cache_config=CacheConfig(ecr=expert_cache_ratio),
+        calibration_probs=calibration_probs,
+        **kwargs,
+    )

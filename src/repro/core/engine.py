@@ -1,0 +1,550 @@
+"""Inference-engine base class.
+
+An engine runs the functional model for *values* while charging simulated
+time for every op against the platform timeline at paper-scale dimensions.
+Subclasses implement the prefill and decode policies that differentiate
+DAOP from the baselines: where experts execute, when they migrate, and
+whether next-layer predictions pre-calculate anything.
+
+The shared primitives here guarantee that all engines are compared on an
+identical substrate: same functional model, same cost model, same timeline
+semantics, same trace instrumentation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.hardware.cost_model import CostModel
+from repro.hardware.device import DeviceKind
+from repro.hardware.energy import EnergyBreakdown, EnergyModel
+from repro.hardware.platform import Platform
+from repro.hardware.timeline import CPU, D2H, GPU, H2D, Op, Timeline
+from repro.memory.cache import CacheConfig, build_calibrated_placement
+from repro.memory.placement import ExpertPlacement
+from repro.model.attention import KVCache
+from repro.model.sampling import greedy
+from repro.model.zoo import ModelBundle
+from repro.trace.recorder import DECODE, PREFILL, ActivationTrace
+
+
+@dataclass
+class EngineCounters:
+    """Operational counters accumulated over one generation."""
+
+    gpu_expert_execs: int = 0
+    cpu_expert_execs: int = 0
+    expert_uploads: int = 0
+    expert_downloads: int = 0
+    stale_input_execs: int = 0
+    degraded_swaps: int = 0
+    activated_gpu_resident: int = 0
+    activated_total: int = 0
+    prefill_swaps: int = 0
+    decode_swaps: int = 0
+
+    @property
+    def gpu_hit_rate(self) -> float:
+        """Fraction of activated experts GPU-resident at execution time."""
+        if self.activated_total == 0:
+            return 0.0
+        return self.activated_gpu_resident / self.activated_total
+
+
+@dataclass
+class GenerationStats:
+    """Simulated performance summary of one generation."""
+
+    n_prompt_tokens: int
+    n_generated: int
+    prefill_time_s: float
+    total_time_s: float
+    energy: EnergyBreakdown
+    counters: EngineCounters
+
+    @property
+    def decode_time_s(self) -> float:
+        """Simulated time spent in the decode phase."""
+        return self.total_time_s - self.prefill_time_s
+
+    @property
+    def tokens_per_second(self) -> float:
+        """End-to-end generated tokens per simulated second."""
+        if self.total_time_s <= 0:
+            return 0.0
+        return self.n_generated / self.total_time_s
+
+    @property
+    def decode_tokens_per_second(self) -> float:
+        """Decode-phase generated tokens per simulated second."""
+        if self.decode_time_s <= 0:
+            return 0.0
+        return self.n_generated / self.decode_time_s
+
+    @property
+    def tokens_per_kilojoule(self) -> float:
+        """Energy efficiency (paper Table IV metric)."""
+        kj = self.energy.total_kj
+        if kj <= 0:
+            return 0.0
+        return self.n_generated / kj
+
+    @property
+    def average_power_w(self) -> float:
+        """Mean platform power over the generation."""
+        if self.total_time_s <= 0:
+            return 0.0
+        return self.energy.total_j / self.total_time_s
+
+
+@dataclass
+class GenerationResult:
+    """Everything produced by one engine generation."""
+
+    tokens: np.ndarray
+    trace: ActivationTrace
+    timeline: Timeline
+    stats: GenerationStats
+    placement: ExpertPlacement
+
+
+@dataclass
+class _SequenceContext:
+    """Per-generation mutable state threaded through the engine hooks."""
+
+    caches: list[KVCache]
+    timeline: Timeline
+    trace: ActivationTrace
+    counters: EngineCounters
+    position: int = 0
+    extra: dict = field(default_factory=dict)
+
+
+class BaseEngine:
+    """Common machinery for all MoE inference engines."""
+
+    name = "base"
+
+    #: Per-op host-side dispatch overhead (seconds) of the Python
+    #: orchestration stack.  The paper's engine is built on Hugging Face
+    #: Transformers, whose per-module dispatch dominates small decode ops
+    #: at batch size one; the raw cost model stays kernel-level so Table I
+    #: still reproduces, while engines charge this on every scheduled op.
+    FRAMEWORK_OVERHEAD_S = 2.5e-4
+
+    def __init__(
+        self,
+        bundle: ModelBundle,
+        platform: Platform,
+        cache_config: CacheConfig | None = None,
+        calibration_probs: np.ndarray | None = None,
+        initial_placement: ExpertPlacement | None = None,
+        framework_overhead_s: float | None = None,
+    ) -> None:
+        self.bundle = bundle
+        self.model = bundle.model
+        self.platform = platform
+        self.cost_model = CostModel(bundle.arch, platform)
+        self.energy_model = EnergyModel(platform)
+        self.framework_overhead_s = (
+            self.FRAMEWORK_OVERHEAD_S
+            if framework_overhead_s is None
+            else framework_overhead_s
+        )
+        n_blocks = self.model.n_blocks
+        n_experts = self.model.n_experts
+        if calibration_probs is not None:
+            calibration_probs = np.asarray(calibration_probs, dtype=float)
+            if calibration_probs.shape != (n_blocks, n_experts):
+                raise ValueError(
+                    "calibration_probs shape "
+                    f"{calibration_probs.shape} does not match the model "
+                    f"topology ({n_blocks}, {n_experts})"
+                )
+        if initial_placement is not None:
+            placement = initial_placement
+        elif cache_config is not None:
+            if calibration_probs is None:
+                # Without calibration, fall back to a flat prior so the
+                # slot budget is still honored deterministically.
+                calibration_probs = np.tile(
+                    np.linspace(1.0, 0.9, n_experts), (n_blocks, 1)
+                )
+            placement = build_calibrated_placement(
+                calibration_probs, cache_config
+            )
+        else:
+            placement = ExpertPlacement.all_on_gpu(n_blocks, n_experts)
+        self.initial_placement = placement
+        self.calibration_probs = calibration_probs
+
+    # ---- public API ------------------------------------------------------------
+
+    def generate(
+        self,
+        prompt_tokens: np.ndarray,
+        max_new_tokens: int,
+        forced_tokens: np.ndarray | None = None,
+        sampler=None,
+    ) -> GenerationResult:
+        """Run prefill plus ``max_new_tokens`` decode steps.
+
+        Args:
+            prompt_tokens: input token ids.
+            max_new_tokens: decode steps to run.
+            forced_tokens: optional teacher-forced decode inputs.  When
+                given, step ``t`` consumes ``forced_tokens[t]`` instead of
+                the engine's own previous sample (used by the statistics
+                benchmarks so decode routing follows the dataset's topic
+                process); the engine's sampled outputs are still returned.
+            sampler: callable ``logits -> token id``; defaults to greedy.
+
+        Returns:
+            A :class:`GenerationResult` with tokens, trace, timeline, and
+            simulated performance statistics.
+        """
+        prompt_tokens = np.asarray(prompt_tokens, dtype=np.int64)
+        if prompt_tokens.ndim != 1 or prompt_tokens.size == 0:
+            raise ValueError("prompt_tokens must be a non-empty 1-D array")
+        if max_new_tokens < 1:
+            raise ValueError("max_new_tokens must be positive")
+        if forced_tokens is not None:
+            forced_tokens = np.asarray(forced_tokens, dtype=np.int64)
+            if forced_tokens.size < max_new_tokens - 1:
+                raise ValueError(
+                    "forced_tokens must cover max_new_tokens - 1 steps"
+                )
+        sampler = sampler or greedy
+
+        self.placement = self.initial_placement.copy()
+        ctx = _SequenceContext(
+            caches=self.model.new_caches(),
+            timeline=Timeline(),
+            trace=ActivationTrace(self.model.n_blocks, self.model.n_experts),
+            counters=EngineCounters(),
+        )
+        self._begin_sequence(ctx)
+
+        h_last, last_op = self._prefill(ctx, prompt_tokens)
+        logits, last_op = self._lm_head(ctx, h_last, [last_op])
+        prefill_end = last_op.end
+        token = int(sampler(logits))
+
+        generated: list[int] = []
+        for step in range(max_new_tokens):
+            generated.append(token)
+            if step == max_new_tokens - 1:
+                break
+            step_input = (
+                int(forced_tokens[step]) if forced_tokens is not None else token
+            )
+            h_last, last_op = self._decode_step(ctx, step_input, [last_op])
+            logits, last_op = self._lm_head(ctx, h_last, [last_op])
+            token = int(sampler(logits))
+
+        stats = GenerationStats(
+            n_prompt_tokens=int(prompt_tokens.size),
+            n_generated=len(generated),
+            prefill_time_s=prefill_end,
+            total_time_s=ctx.timeline.makespan,
+            energy=self.energy_model.energy(ctx.timeline),
+            counters=ctx.counters,
+        )
+        return GenerationResult(
+            tokens=np.asarray(generated, dtype=np.int64),
+            trace=ctx.trace,
+            timeline=ctx.timeline,
+            stats=stats,
+            placement=self.placement,
+        )
+
+    # ---- policy hooks (subclasses override) -------------------------------------
+
+    def _begin_sequence(self, ctx: _SequenceContext) -> None:
+        """Reset per-sequence engine state (optional hook)."""
+
+    # ---- shared primitives -------------------------------------------------------
+
+    def _device_spec(self, resource: str):
+        return self.platform.gpu if resource == GPU else self.platform.cpu
+
+    def _attention(self, ctx: _SequenceContext, block_idx: int,
+                   h: np.ndarray, deps: list[Op],
+                   phase: str) -> tuple[np.ndarray, Op]:
+        """Non-MoE part of one block on the GPU (functional + timed)."""
+        block = self.model.blocks[block_idx]
+        n_tokens = h.shape[0]
+        positions = ctx.position + np.arange(n_tokens)
+        context_len = len(ctx.caches[block_idx]) + n_tokens
+        h_att = block.attention_part(h, ctx.caches[block_idx], positions)
+        duration = self.framework_overhead_s + self.cost_model.non_moe_time(
+            self.platform.gpu, n_tokens, context_len
+        )
+        op = ctx.timeline.add(
+            GPU, duration, deps=deps,
+            label=f"attn B{block_idx} {phase}", kind="non_moe",
+        )
+        return h_att, op
+
+    def _gate(self, ctx: _SequenceContext, block_idx: int,
+              h_att: np.ndarray, deps: list[Op]) -> tuple[np.ndarray, Op]:
+        """Router logits on the GPU (functional + timed)."""
+        block = self.model.blocks[block_idx]
+        logits = block.gate_logits(h_att)
+        duration = self.framework_overhead_s + self.cost_model.gate_time(
+            self.platform.gpu, h_att.shape[0]
+        )
+        op = ctx.timeline.add(
+            GPU, duration, deps=deps, label=f"gate B{block_idx}", kind="gate",
+        )
+        return logits, op
+
+    def _expert_gpu(self, ctx: _SequenceContext, block_idx: int,
+                    expert: int, x: np.ndarray,
+                    deps: list[Op]) -> tuple[np.ndarray, Op]:
+        """Execute one expert on the GPU."""
+        y = self.model.blocks[block_idx].expert_forward(expert, x)
+        duration = self.framework_overhead_s + self.cost_model.expert_time(
+            self.platform.gpu, x.shape[0]
+        )
+        op = ctx.timeline.add(
+            GPU, duration, deps=deps,
+            label=f"E{expert}@B{block_idx} gpu", kind="expert_gpu",
+        )
+        ctx.counters.gpu_expert_execs += 1
+        return y, op
+
+    def _expert_cpu(self, ctx: _SequenceContext, block_idx: int,
+                    expert: int, x: np.ndarray, deps: list[Op],
+                    stale_input: bool = False) -> tuple[np.ndarray, Op]:
+        """Execute one expert on the CPU with activation round-trip.
+
+        The hidden states move device-to-host, the expert runs on the CPU,
+        and the result returns host-to-device; per the paper these
+        activation transfers are ~1/10000 the size of the expert weights.
+        Returns the output and the H2D op that lands it back on the GPU.
+        """
+        n_tokens = x.shape[0]
+        d2h = ctx.timeline.add(
+            D2H,
+            self.framework_overhead_s
+            + self.cost_model.activation_transfer_time(n_tokens),
+            deps=deps, label=f"act>cpu B{block_idx}", kind="act_d2h",
+        )
+        y = self.model.blocks[block_idx].expert_forward(expert, x)
+        exec_op = ctx.timeline.add(
+            CPU,
+            self.framework_overhead_s
+            + self.cost_model.expert_time(self.platform.cpu, n_tokens),
+            deps=[d2h], label=f"E{expert}@B{block_idx} cpu", kind="expert_cpu",
+        )
+        h2d = ctx.timeline.add(
+            H2D,
+            self.framework_overhead_s
+            + self.cost_model.activation_transfer_time(n_tokens),
+            deps=[exec_op], label=f"act>gpu B{block_idx}", kind="act_h2d",
+        )
+        ctx.counters.cpu_expert_execs += 1
+        if stale_input:
+            ctx.counters.stale_input_execs += 1
+        return y, h2d
+
+    def _upload_expert(self, ctx: _SequenceContext, block_idx: int,
+                       expert: int, deps: list[Op],
+                       quant_ratio: float = 1.0) -> Op:
+        """Move one expert host -> device and mark it GPU-resident."""
+        op = ctx.timeline.add(
+            H2D,
+            self.framework_overhead_s
+            + self.cost_model.expert_transfer_time(quant_ratio),
+            deps=deps, label=f"up E{expert}@B{block_idx}", kind="expert_upload",
+        )
+        self.placement.set_device(block_idx, expert, DeviceKind.GPU)
+        ctx.counters.expert_uploads += 1
+        return op
+
+    def _drop_expert(self, block_idx: int, expert: int) -> None:
+        """Free a device copy (host copy of inference weights stays valid)."""
+        self.placement.set_device(block_idx, expert, DeviceKind.CPU)
+
+    def _lm_head(self, ctx: _SequenceContext, h_last: np.ndarray,
+                 deps: list[Op]) -> tuple[np.ndarray, Op]:
+        """Final norm + LM head on the GPU for the last token."""
+        logits = self.model.lm_logits(h_last.reshape(1, -1))[0]
+        duration = self.framework_overhead_s + self.cost_model.lm_head_time(
+            self.platform.gpu, 1
+        )
+        op = ctx.timeline.add(
+            GPU, duration, deps=deps, label="lm_head", kind="lm_head",
+        )
+        return logits, op
+
+    def _record_activation_counters(self, ctx: _SequenceContext,
+                                    block_idx: int,
+                                    experts: np.ndarray) -> None:
+        """Update GPU-residency hit counters for activated experts."""
+        for expert in np.atleast_1d(experts):
+            ctx.counters.activated_total += 1
+            if self.placement.is_on_gpu(block_idx, int(expert)):
+                ctx.counters.activated_gpu_resident += 1
+
+    # ---- standard prefill / decode skeletons ------------------------------------
+    #
+    # Most engines share the same dataflow and differ only in what happens
+    # *before* each block's experts execute (migrations, uploads, swaps).
+    # The hooks below express exactly that difference.
+
+    def _prepare_prefill_block(self, ctx: _SequenceContext, block_idx: int,
+                               activated: np.ndarray, activity: np.ndarray,
+                               deps: list[Op]) -> dict[int, list[Op]]:
+        """Hook: arrange residency for a prefill block's activated experts.
+
+        Returns extra dependencies per expert (e.g. its upload op).
+        """
+        return {}
+
+    def _prepare_decode_block(self, ctx: _SequenceContext, block_idx: int,
+                              activated: np.ndarray,
+                              deps: list[Op]) -> dict[int, list[Op]]:
+        """Hook: arrange residency for a decode block's activated experts."""
+        return {}
+
+    def _execute_experts_at_location(
+        self,
+        ctx: _SequenceContext,
+        block_idx: int,
+        h_att: np.ndarray,
+        experts_per_token: np.ndarray,
+        weights: np.ndarray,
+        deps: list[Op],
+        extra_deps: dict[int, list[Op]] | None = None,
+        force_gpu: set[int] | None = None,
+    ) -> tuple[np.ndarray, list[Op]]:
+        """Run each activated expert where it currently resides.
+
+        Args:
+            h_att: post-attention hidden states ``(n_tokens, d)``.
+            experts_per_token: ``(n_tokens, k)`` selected expert ids.
+            weights: ``(n_tokens, k)`` mixing weights.
+            deps: ops every expert execution must wait for.
+            extra_deps: per-expert additional dependencies (uploads).
+            force_gpu: experts executed on the GPU regardless of the
+                placement map (streamed-through scratch buffers).
+
+        Returns:
+            The block output (after combine) and the expert ops.
+        """
+        extra_deps = extra_deps or {}
+        force_gpu = force_gpu or set()
+        block = self.model.blocks[block_idx]
+        n_tokens, top_k = experts_per_token.shape
+        outs = np.zeros(
+            (n_tokens, top_k, h_att.shape[1]), dtype=np.float32
+        )
+        ops: list[Op] = []
+        for expert in np.unique(experts_per_token):
+            expert = int(expert)
+            mask = experts_per_token == expert
+            token_idx = np.nonzero(mask.any(axis=1))[0]
+            x = h_att[token_idx]
+            expert_deps = deps + extra_deps.get(expert, [])
+            if expert in force_gpu or self.placement.is_on_gpu(block_idx, expert):
+                y, op = self._expert_gpu(ctx, block_idx, expert, x, expert_deps)
+            else:
+                y, op = self._expert_cpu(ctx, block_idx, expert, x, expert_deps)
+            ops.append(op)
+            for row, t in enumerate(token_idx):
+                slot = int(np.nonzero(mask[t])[0][0])
+                outs[t, slot] = y[row]
+        h_out = block.combine(h_att, outs, weights)
+        return h_out, ops
+
+    def _prefill_standard(self, ctx: _SequenceContext,
+                          prompt_tokens: np.ndarray) -> tuple[np.ndarray, Op]:
+        """Shared prefill: per block, attend -> gate -> prepare -> execute."""
+        from repro.core.allocation import activity_from_routing
+
+        h = self.model.embed(prompt_tokens)
+        n_tokens = prompt_tokens.size
+        last_ops: list[Op] = []
+        for block_idx in range(self.model.n_blocks):
+            h_att, attn_op = self._attention(
+                ctx, block_idx, h, last_ops, PREFILL
+            )
+            logits, gate_op = self._gate(ctx, block_idx, h_att, [attn_op])
+            routing = self.model.blocks[block_idx].router.route_from_logits(
+                logits
+            )
+            for t in range(n_tokens):
+                ctx.trace.record(
+                    PREFILL, block_idx, ctx.position + t, routing.experts[t]
+                )
+            activity = activity_from_routing(
+                routing.experts, self.model.n_experts
+            )
+            extra = self._prepare_prefill_block(
+                ctx, block_idx, np.unique(routing.experts), activity,
+                [gate_op],
+            )
+            for t in range(n_tokens):
+                self._record_activation_counters(
+                    ctx, block_idx, routing.experts[t]
+                )
+            force_gpu = ctx.extra.pop("force_gpu", None)
+            h, expert_ops = self._execute_experts_at_location(
+                ctx, block_idx, h_att, routing.experts, routing.weights,
+                [gate_op], extra, force_gpu,
+            )
+            last_ops = expert_ops
+        ctx.position += n_tokens
+        done = ctx.timeline.add(
+            GPU, 0.0, deps=last_ops, label="prefill done", kind="sync"
+        )
+        return h[-1], done
+
+    def _decode_step_standard(self, ctx: _SequenceContext, token: int,
+                              deps: list[Op]) -> tuple[np.ndarray, Op]:
+        """Shared decode step: true gate, experts run where they live."""
+        h = self.model.embed(np.asarray([token]))
+        last_ops = list(deps)
+        for block_idx in range(self.model.n_blocks):
+            h_att, attn_op = self._attention(
+                ctx, block_idx, h, last_ops, DECODE
+            )
+            logits, gate_op = self._gate(ctx, block_idx, h_att, [attn_op])
+            routing = self.model.blocks[block_idx].router.route_from_logits(
+                logits
+            )
+            ctx.trace.record(
+                DECODE, block_idx, ctx.position, routing.experts[0]
+            )
+            self._record_activation_counters(
+                ctx, block_idx, routing.experts[0]
+            )
+            extra = self._prepare_decode_block(
+                ctx, block_idx, routing.experts[0], [gate_op]
+            )
+            force_gpu = ctx.extra.pop("force_gpu", None)
+            h, expert_ops = self._execute_experts_at_location(
+                ctx, block_idx, h_att, routing.experts, routing.weights,
+                [gate_op], extra, force_gpu,
+            )
+            last_ops = expert_ops
+        ctx.position += 1
+        done = ctx.timeline.add(
+            GPU, 0.0, deps=last_ops, label="decode done", kind="sync"
+        )
+        return h[-1], done
+
+    # Default implementations: engines that follow the standard dataflow
+    # simply inherit these.
+
+    def _prefill(self, ctx: _SequenceContext,
+                 prompt_tokens: np.ndarray) -> tuple[np.ndarray, Op]:
+        return self._prefill_standard(ctx, prompt_tokens)
+
+    def _decode_step(self, ctx: _SequenceContext, token: int,
+                     deps: list[Op]) -> tuple[np.ndarray, Op]:
+        return self._decode_step_standard(ctx, token, deps)

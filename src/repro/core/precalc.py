@@ -1,0 +1,90 @@
+"""Graceful degradation for prediction-based pre-calculation (paper §IV-C-b).
+
+When both predicted experts of an upcoming block are CPU-resident, DAOP
+replaces the lower-scored one with the highest-scored expert already on
+the GPU: the replacement sees the block's *true* hidden states (it runs on
+the GPU in-line), which the paper argues contributes strongly to the
+output even at a lower gate score.  If no GPU-resident alternative exists,
+the original selection stands.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.memory.placement import ExpertPlacement
+
+
+@dataclass(frozen=True)
+class DegradationResult:
+    """Outcome of applying graceful degradation to a predicted set."""
+
+    experts: np.ndarray        # final executed expert set, descending score
+    replaced: tuple[int, ...]  # experts dropped from the prediction
+    substitutes: tuple[int, ...]  # GPU experts brought in
+
+
+def apply_graceful_degradation(
+    block_idx: int,
+    predicted_experts: np.ndarray,
+    logits: np.ndarray,
+    placement: ExpertPlacement,
+    max_cpu_experts: int = 1,
+    enabled: bool = True,
+) -> DegradationResult:
+    """Cap the number of CPU-resident experts in the executed set.
+
+    Args:
+        block_idx: the block the prediction targets.
+        predicted_experts: predicted expert ids, descending gate score.
+        logits: the full predicted gate logits for the block.
+        placement: current expert placement.
+        max_cpu_experts: maximum CPU-resident experts tolerated (the paper
+            uses 1 for top-2 routing: only when *both* predicted experts
+            are on the CPU is the weaker one replaced).
+        enabled: ablation switch; when ``False`` the prediction is kept.
+
+    Returns:
+        The final executed expert set plus the replacement bookkeeping.
+    """
+    predicted = np.asarray(predicted_experts, dtype=np.int64)
+    if not enabled or max_cpu_experts >= predicted.size:
+        return DegradationResult(predicted, (), ())
+
+    on_cpu = [
+        e for e in predicted if not placement.is_on_gpu(block_idx, int(e))
+    ]
+    if len(on_cpu) <= max_cpu_experts:
+        return DegradationResult(predicted, (), ())
+
+    # Replace the lowest-scored CPU-resident experts with the best unused
+    # GPU-resident experts.
+    final = list(int(e) for e in predicted)
+    replaced: list[int] = []
+    substitutes: list[int] = []
+    gpu_pool = [
+        int(e)
+        for e in np.argsort(-np.asarray(logits), kind="stable")
+        if placement.is_on_gpu(block_idx, int(e)) and int(e) not in final
+    ]
+    # CPU-resident predictions, weakest first.
+    cpu_sorted = sorted(on_cpu, key=lambda e: logits[int(e)])
+    excess = len(on_cpu) - max_cpu_experts
+    for expert in cpu_sorted[:excess]:
+        if not gpu_pool:
+            break  # no suitable alternative: keep the original selection
+        substitute = gpu_pool.pop(0)
+        final[final.index(int(expert))] = substitute
+        replaced.append(int(expert))
+        substitutes.append(substitute)
+
+    final_arr = np.asarray(final, dtype=np.int64)
+    # Keep descending-score order for downstream weight renormalization.
+    order = np.argsort(-np.asarray(logits)[final_arr], kind="stable")
+    return DegradationResult(
+        experts=final_arr[order],
+        replaced=tuple(replaced),
+        substitutes=tuple(substitutes),
+    )

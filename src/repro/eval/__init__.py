@@ -1,0 +1,32 @@
+"""Downstream-task accuracy evaluation."""
+
+from repro.eval.accuracy import (
+    exact_match,
+    first_token_match,
+    prefix_agreement,
+    token_agreement,
+)
+from repro.eval.harness import AccuracyHarness, TaskResult
+from repro.eval.significance import (
+    ConfidenceInterval,
+    bootstrap_mean,
+    paired_difference,
+    significantly_below,
+)
+from repro.eval.rouge import rouge_1, rouge_2, rouge_n
+
+__all__ = [
+    "exact_match",
+    "first_token_match",
+    "prefix_agreement",
+    "token_agreement",
+    "AccuracyHarness",
+    "TaskResult",
+    "ConfidenceInterval",
+    "bootstrap_mean",
+    "paired_difference",
+    "significantly_below",
+    "rouge_1",
+    "rouge_2",
+    "rouge_n",
+]

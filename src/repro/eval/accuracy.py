@@ -1,0 +1,53 @@
+"""Token-sequence accuracy metrics."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+
+def exact_match(hypothesis: Sequence[int], reference: Sequence[int]) -> float:
+    """1.0 iff the two token sequences are identical."""
+    hyp = np.asarray(list(hypothesis))
+    ref = np.asarray(list(reference))
+    if hyp.shape != ref.shape:
+        return 0.0
+    return float(np.array_equal(hyp, ref))
+
+
+def first_token_match(hypothesis: Sequence[int],
+                      reference: Sequence[int]) -> float:
+    """1.0 iff the first generated tokens agree (paper Table V protocol)."""
+    hyp = list(hypothesis)
+    ref = list(reference)
+    if not hyp or not ref:
+        return 0.0
+    return float(hyp[0] == ref[0])
+
+
+def token_agreement(hypothesis: Sequence[int],
+                    reference: Sequence[int]) -> float:
+    """Positionwise agreement rate over the overlapping span."""
+    hyp = list(hypothesis)
+    ref = list(reference)
+    span = min(len(hyp), len(ref))
+    if span == 0:
+        return 0.0
+    matches = sum(1 for a, b in zip(hyp[:span], ref[:span]) if a == b)
+    return matches / span
+
+
+def prefix_agreement(hypothesis: Sequence[int],
+                     reference: Sequence[int]) -> float:
+    """Length of the common prefix divided by the reference length."""
+    hyp = list(hypothesis)
+    ref = list(reference)
+    if not ref:
+        return 1.0 if not hyp else 0.0
+    common = 0
+    for a, b in zip(hyp, ref):
+        if a != b:
+            break
+        common += 1
+    return common / len(ref)

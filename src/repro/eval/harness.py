@@ -1,0 +1,143 @@
+"""Downstream-task accuracy harness.
+
+Protocol (see DESIGN.md substitution table): every task sample has a
+*canonical* prompt and a topic-preserving *paraphrase* of it.  The
+full-precision all-GPU :class:`~repro.core.baselines.official.OfficialEngine`
+greedy-decodes the canonical prompt to produce the reference answer; the
+engine under test greedy-decodes the paraphrased prompt and is scored
+against that reference.  The paraphrase strength (a per-dataset constant)
+sets the task's difficulty -- the official engine itself scores below
+100 % -- and any routing approximation an engine makes (graceful
+degradation, stale pre-calculated inputs, mispredicted experts) compounds
+on top, exactly the degradation paper Tables V and VI measure.
+
+Scoring the official engine under this harness measures the model's
+paraphrase robustness, i.e. the "Official" rows of the paper's tables.
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.baselines.official import OfficialEngine
+from repro.core.engine import BaseEngine
+from repro.eval.accuracy import exact_match, first_token_match
+from repro.eval.rouge import rouge_1, rouge_2
+from repro.hardware.platform import Platform
+from repro.model.sampling import top_k_sample
+from repro.model.zoo import ModelBundle
+from repro.workloads.generator import SequenceGenerator
+from repro.workloads.tasks import TaskSpec
+
+#: Decoding configuration shared by the oracle and every engine under
+#: test.  The sampler rng is re-seeded identically per sample, so two
+#: engines producing identical logits generate identical answers and any
+#: disagreement is attributable to input paraphrasing plus the engine's
+#: routing approximations.
+SAMPLE_TOP_K = 20
+SAMPLE_TEMPERATURE = 0.8
+
+
+@dataclass
+class TaskResult:
+    """Aggregate accuracy of one engine on one task."""
+
+    task: str
+    engine: str
+    metric: str
+    score: float
+    rouge1: float | None = None
+    rouge2: float | None = None
+    n_samples: int = 0
+    per_sample: list[float] = field(default_factory=list)
+
+
+class AccuracyHarness:
+    """Evaluates engines against the official oracle on synthetic tasks."""
+
+    def __init__(self, bundle: ModelBundle, platform: Platform,
+                 seed: int = 0) -> None:
+        self.bundle = bundle
+        self.platform = platform
+        self.seed = seed
+        self.official = OfficialEngine(bundle, platform)
+        # (task name, sample idx) -> reference answer tokens.
+        self._reference_cache: dict[tuple[str, int], np.ndarray] = {}
+
+    def _generator(self, task: TaskSpec) -> SequenceGenerator:
+        return SequenceGenerator(task.dataset, self.bundle.vocab,
+                                 seed=self.seed)
+
+    def _sampler(self, task: TaskSpec, sample_idx: int):
+        """Deterministic per-sample stochastic sampler (shared seed)."""
+        rng = np.random.default_rng(
+            np.random.SeedSequence(
+                [self.seed, zlib.crc32(task.name.encode()) & 0xFFFF,
+                 sample_idx, 0x5A]
+            )
+        )
+        return lambda logits: top_k_sample(
+            logits, SAMPLE_TOP_K, rng, temperature=SAMPLE_TEMPERATURE
+        )
+
+    def reference_answer(self, task: TaskSpec, sample_idx: int,
+                         generator: SequenceGenerator) -> np.ndarray:
+        """Official answer on the canonical prompt (cached)."""
+        key = (task.name, sample_idx)
+        if key not in self._reference_cache:
+            sequence = generator.sample_sequence(
+                task.prompt_len, 0, sample_idx=sample_idx
+            )
+            result = self.official.generate(
+                sequence.prompt_tokens, task.answer_len,
+                sampler=self._sampler(task, sample_idx),
+            )
+            self._reference_cache[key] = result.tokens
+        return self._reference_cache[key]
+
+    def evaluate(self, engine: BaseEngine, task: TaskSpec,
+                 n_samples: int | None = None) -> TaskResult:
+        """Score one engine on one task."""
+        n = n_samples or task.n_samples
+        generator = self._generator(task)
+        scores: list[float] = []
+        r1s: list[float] = []
+        r2s: list[float] = []
+        for idx in range(n):
+            sequence = generator.sample_sequence(
+                task.prompt_len, 0, sample_idx=idx
+            )
+            reference = self.reference_answer(task, idx, generator)
+            perturbed = generator.perturb_prompt(sequence)
+            hypothesis = engine.generate(
+                perturbed, task.answer_len,
+                sampler=self._sampler(task, idx),
+            ).tokens
+            if task.metric == "first_token":
+                scores.append(first_token_match(hypothesis, reference))
+            elif task.metric == "exact_match":
+                scores.append(exact_match(hypothesis, reference))
+            elif task.metric == "rouge":
+                r1s.append(rouge_1(hypothesis, reference))
+                r2s.append(rouge_2(hypothesis, reference))
+                scores.append(r1s[-1])
+            else:  # pragma: no cover - TaskSpec validates the metric
+                raise ValueError(f"unknown metric {task.metric}")
+        return TaskResult(
+            task=task.name,
+            engine=engine.name,
+            metric=task.metric,
+            score=float(np.mean(scores)) if scores else 0.0,
+            rouge1=float(np.mean(r1s)) if r1s else None,
+            rouge2=float(np.mean(r2s)) if r2s else None,
+            n_samples=n,
+            per_sample=scores,
+        )
+
+    def evaluate_official(self, task: TaskSpec,
+                          n_samples: int | None = None) -> TaskResult:
+        """The 'Official' table rows: the oracle scored on paraphrases."""
+        return self.evaluate(self.official, task, n_samples=n_samples)

@@ -1,0 +1,46 @@
+"""Rouge-N scoring over token sequences.
+
+The paper reports Rouge-1 and Rouge-2 F1 for TruthfulQA generation
+(Table VI).  We score token-id sequences directly; with the toy tokenizer
+one token is one "word", so this is the standard Rouge-N computation.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Sequence
+
+
+def _ngrams(tokens: Sequence[int], n: int) -> Counter:
+    return Counter(
+        tuple(tokens[i : i + n]) for i in range(len(tokens) - n + 1)
+    )
+
+
+def rouge_n(hypothesis: Sequence[int], reference: Sequence[int],
+            n: int) -> float:
+    """Rouge-N F1 between a hypothesis and a reference token sequence."""
+    if n < 1:
+        raise ValueError("n must be positive")
+    hyp = _ngrams(list(hypothesis), n)
+    ref = _ngrams(list(reference), n)
+    overlap = sum((hyp & ref).values())
+    hyp_total = sum(hyp.values())
+    ref_total = sum(ref.values())
+    if hyp_total == 0 or ref_total == 0:
+        return 1.0 if hyp_total == ref_total else 0.0
+    precision = overlap / hyp_total
+    recall = overlap / ref_total
+    if precision + recall == 0:
+        return 0.0
+    return 2 * precision * recall / (precision + recall)
+
+
+def rouge_1(hypothesis: Sequence[int], reference: Sequence[int]) -> float:
+    """Rouge-1 (unigram) F1."""
+    return rouge_n(hypothesis, reference, 1)
+
+
+def rouge_2(hypothesis: Sequence[int], reference: Sequence[int]) -> float:
+    """Rouge-2 (bigram) F1."""
+    return rouge_n(hypothesis, reference, 2)

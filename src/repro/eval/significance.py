@@ -1,0 +1,80 @@
+"""Bootstrap confidence intervals for accuracy comparisons.
+
+The paper's Tables V/VI compare per-task accuracies of approximated
+engines against the official model; with finite sample counts some
+differences are noise.  These helpers quantify that: a percentile
+bootstrap over per-sample scores yields confidence intervals for a single
+engine's score and for the paired difference between two engines
+evaluated on the same samples.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class ConfidenceInterval:
+    """A point estimate with a two-sided bootstrap interval."""
+
+    mean: float
+    lower: float
+    upper: float
+    confidence: float
+
+    def contains(self, value: float) -> bool:
+        """Whether a value lies inside the interval."""
+        return self.lower <= value <= self.upper
+
+    @property
+    def width(self) -> float:
+        """Interval width."""
+        return self.upper - self.lower
+
+
+def bootstrap_mean(scores, confidence: float = 0.95,
+                   n_resamples: int = 2000,
+                   seed: int = 0) -> ConfidenceInterval:
+    """Percentile-bootstrap CI of a score list's mean."""
+    scores = np.asarray(list(scores), dtype=np.float64)
+    if scores.size == 0:
+        raise ValueError("scores must be non-empty")
+    if not 0.0 < confidence < 1.0:
+        raise ValueError("confidence must be in (0, 1)")
+    rng = np.random.default_rng(seed)
+    idx = rng.integers(0, scores.size, size=(n_resamples, scores.size))
+    means = scores[idx].mean(axis=1)
+    alpha = 100.0 * (1.0 - confidence) / 2.0
+    return ConfidenceInterval(
+        mean=float(scores.mean()),
+        lower=float(np.percentile(means, alpha)),
+        upper=float(np.percentile(means, 100.0 - alpha)),
+        confidence=confidence,
+    )
+
+
+def paired_difference(scores_a, scores_b, confidence: float = 0.95,
+                      n_resamples: int = 2000,
+                      seed: int = 0) -> ConfidenceInterval:
+    """Bootstrap CI of ``mean(a - b)`` over paired per-sample scores.
+
+    Both engines must have been evaluated on the same samples (the
+    harness guarantees this: ``per_sample[i]`` corresponds to
+    ``sample_idx=i``).  A CI excluding zero indicates a significant
+    accuracy difference at the chosen confidence.
+    """
+    a = np.asarray(list(scores_a), dtype=np.float64)
+    b = np.asarray(list(scores_b), dtype=np.float64)
+    if a.shape != b.shape or a.size == 0:
+        raise ValueError("paired score lists must match and be non-empty")
+    return bootstrap_mean(a - b, confidence=confidence,
+                          n_resamples=n_resamples, seed=seed)
+
+
+def significantly_below(scores_a, scores_b,
+                        confidence: float = 0.95) -> bool:
+    """True when engine A scores significantly below engine B."""
+    ci = paired_difference(scores_a, scores_b, confidence=confidence)
+    return ci.upper < 0.0

@@ -1,0 +1,60 @@
+"""Event-driven GPU-CPU platform simulator with an op-level cost model."""
+
+from repro.hardware.cost_model import CostModel
+from repro.hardware.device import GB, DeviceKind, DeviceSpec
+from repro.hardware.energy import EnergyBreakdown, EnergyModel
+from repro.hardware.link import LinkSpec
+from repro.hardware.platform import Platform
+from repro.hardware.presets import (
+    INTEL_I9_10980XE,
+    NVIDIA_A100,
+    NVIDIA_A6000,
+    NVIDIA_RTX4090,
+    PCIE_4_X16,
+    XEON_GOLD_6326,
+    default_platform,
+    paper_table1_platform,
+)
+from repro.hardware.sweeps import (
+    AXES,
+    run_sweep,
+    scale_cpu_bandwidth,
+    scale_gpu_bandwidth,
+    scale_gpu_capacity,
+    scale_link_bandwidth,
+    sweep,
+)
+from repro.hardware.timeline import CPU, D2H, GPU, H2D, RESOURCES, Op, Timeline
+
+__all__ = [
+    "CostModel",
+    "GB",
+    "DeviceKind",
+    "DeviceSpec",
+    "EnergyBreakdown",
+    "EnergyModel",
+    "LinkSpec",
+    "Platform",
+    "INTEL_I9_10980XE",
+    "NVIDIA_A100",
+    "NVIDIA_A6000",
+    "NVIDIA_RTX4090",
+    "PCIE_4_X16",
+    "XEON_GOLD_6326",
+    "default_platform",
+    "paper_table1_platform",
+    "AXES",
+    "run_sweep",
+    "scale_cpu_bandwidth",
+    "scale_gpu_bandwidth",
+    "scale_gpu_capacity",
+    "scale_link_bandwidth",
+    "sweep",
+    "CPU",
+    "D2H",
+    "GPU",
+    "H2D",
+    "RESOURCES",
+    "Op",
+    "Timeline",
+]

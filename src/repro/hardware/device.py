@@ -1,0 +1,77 @@
+"""Device specifications for the platform simulator.
+
+A device is characterized by a roofline pair (peak compute throughput and
+memory bandwidth), derating efficiencies that fold in kernel-launch and
+framework overheads, a memory capacity, and a two-level power model
+(idle / active).  The cost model in :mod:`repro.hardware.cost_model` turns
+op shapes into latencies using these numbers.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+GB = 1e9
+
+
+class DeviceKind(enum.Enum):
+    """Which side of the PCIe link a device sits on."""
+
+    GPU = "gpu"
+    CPU = "cpu"
+
+
+@dataclass(frozen=True)
+class DeviceSpec:
+    """Static description of one compute device.
+
+    Attributes:
+        name: human-readable device name.
+        kind: GPU or CPU.
+        peak_flops: peak dense fp16 throughput in FLOP/s.
+        mem_bandwidth: peak memory bandwidth in bytes/s.
+        mem_capacity: memory capacity in bytes.
+        compute_efficiency: achievable fraction of ``peak_flops``.
+        mem_efficiency: achievable fraction of ``mem_bandwidth``.
+        op_overhead: fixed per-op launch/dispatch latency in seconds.
+        idle_power_w: power draw when idle (board power floor).
+        active_power_w: power draw while executing work.
+    """
+
+    name: str
+    kind: DeviceKind
+    peak_flops: float
+    mem_bandwidth: float
+    mem_capacity: float
+    compute_efficiency: float = 0.6
+    mem_efficiency: float = 0.7
+    op_overhead: float = 5e-6
+    idle_power_w: float = 30.0
+    active_power_w: float = 200.0
+
+    def __post_init__(self) -> None:
+        if self.peak_flops <= 0 or self.mem_bandwidth <= 0:
+            raise ValueError("throughput figures must be positive")
+        if not 0 < self.compute_efficiency <= 1:
+            raise ValueError("compute_efficiency must be in (0, 1]")
+        if not 0 < self.mem_efficiency <= 1:
+            raise ValueError("mem_efficiency must be in (0, 1]")
+        if self.active_power_w < self.idle_power_w:
+            raise ValueError("active power cannot be below idle power")
+
+    @property
+    def effective_flops(self) -> float:
+        """Sustained FLOP/s after derating."""
+        return self.peak_flops * self.compute_efficiency
+
+    @property
+    def effective_bandwidth(self) -> float:
+        """Sustained memory bandwidth after derating, bytes/s."""
+        return self.mem_bandwidth * self.mem_efficiency
+
+    def op_time(self, flops: float, bytes_touched: float) -> float:
+        """Roofline latency of one op: max of compute and memory time."""
+        compute = flops / self.effective_flops
+        memory = bytes_touched / self.effective_bandwidth
+        return self.op_overhead + max(compute, memory)

@@ -1,0 +1,67 @@
+"""Platform energy accounting over an executed timeline.
+
+Each device draws ``idle_power_w`` for the whole makespan plus
+``active_power_w - idle_power_w`` while executing ops; the link draws its
+incremental power during transfers; the platform adds a constant base
+draw.  This mirrors how the paper measures whole-platform wall power with
+an external meter and reports tokens per kilojoule (Table IV).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.hardware.platform import Platform
+from repro.hardware.timeline import CPU, D2H, GPU, H2D, Timeline
+
+
+@dataclass(frozen=True)
+class EnergyBreakdown:
+    """Energy (joules) attributed to each platform component."""
+
+    gpu_j: float
+    cpu_j: float
+    link_j: float
+    base_j: float
+
+    @property
+    def total_j(self) -> float:
+        """Total platform energy in joules."""
+        return self.gpu_j + self.cpu_j + self.link_j + self.base_j
+
+    @property
+    def total_kj(self) -> float:
+        """Total platform energy in kilojoules."""
+        return self.total_j / 1e3
+
+
+class EnergyModel:
+    """Integrates platform power over a timeline."""
+
+    def __init__(self, platform: Platform) -> None:
+        self.platform = platform
+
+    def energy(self, timeline: Timeline) -> EnergyBreakdown:
+        """Energy consumed executing ``timeline`` to completion."""
+        span = timeline.makespan
+        gpu = self.platform.gpu
+        cpu = self.platform.cpu
+        gpu_j = gpu.idle_power_w * span + (
+            gpu.active_power_w - gpu.idle_power_w
+        ) * timeline.busy_time(GPU)
+        cpu_j = cpu.idle_power_w * span + (
+            cpu.active_power_w - cpu.idle_power_w
+        ) * timeline.busy_time(CPU)
+        link_busy = timeline.busy_time(H2D) + timeline.busy_time(D2H)
+        link_j = self.platform.link.power_w * link_busy
+        base_j = self.platform.base_power_w * span
+        return EnergyBreakdown(
+            gpu_j=gpu_j, cpu_j=cpu_j, link_j=link_j, base_j=base_j
+        )
+
+    def average_power_w(self, timeline: Timeline) -> float:
+        """Mean platform power over the timeline's makespan."""
+        span = timeline.makespan
+        if span <= 0:
+            return 0.0
+        return self.energy(timeline).total_j / span

@@ -1,0 +1,53 @@
+"""PCIe interconnect model.
+
+Transfers are modeled as latency plus size over an *effective* bandwidth.
+Two efficiency factors exist because bulk expert-weight transfers from
+pageable host memory achieve a far smaller fraction of the nominal PCIe
+bandwidth than small pinned activation transfers do -- the paper's Table I
+measures 352 MB expert uploads at ~8.8 GB/s on a 64 GB/s PCIe 4.0 link.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class LinkSpec:
+    """Point-to-point CPU<->GPU link.
+
+    Attributes:
+        name: link name, e.g. ``"PCIe 4.0 x16"``.
+        bandwidth: nominal unidirectional bandwidth in bytes/s.
+        latency: per-transfer setup latency in seconds.
+        bulk_efficiency: achieved fraction of nominal bandwidth for large
+            pageable weight transfers.
+        activation_efficiency: achieved fraction for small activation
+            transfers (dominated by ``latency`` anyway).
+        power_w: incremental power draw while a transfer is in flight.
+    """
+
+    name: str
+    bandwidth: float
+    latency: float = 15e-6
+    bulk_efficiency: float = 0.14
+    activation_efficiency: float = 0.6
+    power_w: float = 15.0
+
+    def __post_init__(self) -> None:
+        if self.bandwidth <= 0:
+            raise ValueError("bandwidth must be positive")
+        if not 0 < self.bulk_efficiency <= 1:
+            raise ValueError("bulk_efficiency must be in (0, 1]")
+        if not 0 < self.activation_efficiency <= 1:
+            raise ValueError("activation_efficiency must be in (0, 1]")
+
+    def weight_transfer_time(self, n_bytes: float) -> float:
+        """Latency of a bulk weight transfer of ``n_bytes``."""
+        return self.latency + n_bytes / (self.bandwidth * self.bulk_efficiency)
+
+    def activation_transfer_time(self, n_bytes: float) -> float:
+        """Latency of a small activation transfer of ``n_bytes``."""
+        return self.latency + n_bytes / (
+            self.bandwidth * self.activation_efficiency
+        )

@@ -1,0 +1,50 @@
+"""A GPU + CPU platform joined by a PCIe link."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.hardware.device import DeviceKind, DeviceSpec
+from repro.hardware.link import LinkSpec
+
+
+@dataclass(frozen=True)
+class Platform:
+    """The simulated inference platform.
+
+    Attributes:
+        gpu: the accelerator device.
+        cpu: the host device (also owns host memory for offloaded experts).
+        link: the CPU<->GPU interconnect.
+        base_power_w: constant platform power (DRAM, fans, VRMs, ...) added
+            on top of the per-device power model when integrating energy.
+    """
+
+    gpu: DeviceSpec
+    cpu: DeviceSpec
+    link: LinkSpec
+    base_power_w: float = 60.0
+
+    def __post_init__(self) -> None:
+        if self.gpu.kind is not DeviceKind.GPU:
+            raise ValueError("gpu spec must have kind GPU")
+        if self.cpu.kind is not DeviceKind.CPU:
+            raise ValueError("cpu spec must have kind CPU")
+
+    def device(self, kind: DeviceKind) -> DeviceSpec:
+        """Look up the device spec for a :class:`DeviceKind`."""
+        return self.gpu if kind is DeviceKind.GPU else self.cpu
+
+    def gpu_expert_capacity(self, non_expert_bytes: float,
+                            expert_bytes: float,
+                            reserve_fraction: float = 0.1) -> int:
+        """How many experts fit on the GPU next to the non-MoE weights.
+
+        ``reserve_fraction`` of GPU memory is held back for the KV cache and
+        activations, mirroring real deployments.
+        """
+        usable = self.gpu.mem_capacity * (1.0 - reserve_fraction)
+        free = usable - non_expert_bytes
+        if free <= 0:
+            return 0
+        return int(free // expert_bytes)

@@ -1,0 +1,100 @@
+"""Device, link, and platform presets used by the paper.
+
+The derating efficiencies are calibrated so the cost model reproduces the
+paper's Table I microbenchmarks (A100 + Xeon Gold 6326 over PCIe 4.0):
+CPU block 8.02 ms, GPU block 1.24 ms, expert upload 39.87 ms, activation
+transition 0.02 ms.  The evaluation platform (A6000 + i9-10980XE) uses the
+same efficiency factors with that platform's nominal specs.
+"""
+
+from __future__ import annotations
+
+from repro.hardware.device import GB, DeviceKind, DeviceSpec
+from repro.hardware.link import LinkSpec
+from repro.hardware.platform import Platform
+
+NVIDIA_A100 = DeviceSpec(
+    name="NVIDIA A100 80GB",
+    kind=DeviceKind.GPU,
+    peak_flops=312e12,
+    mem_bandwidth=1935 * GB,
+    mem_capacity=80 * GB,
+    compute_efficiency=0.55,
+    mem_efficiency=0.34,
+    op_overhead=8e-6,
+    idle_power_w=55.0,
+    active_power_w=320.0,
+)
+
+NVIDIA_A6000 = DeviceSpec(
+    name="NVIDIA RTX A6000 48GB",
+    kind=DeviceKind.GPU,
+    peak_flops=155e12,
+    mem_bandwidth=768 * GB,
+    mem_capacity=48 * GB,
+    compute_efficiency=0.55,
+    mem_efficiency=0.34,
+    op_overhead=8e-6,
+    idle_power_w=28.0,
+    active_power_w=290.0,
+)
+
+NVIDIA_RTX4090 = DeviceSpec(
+    name="NVIDIA GeForce RTX 4090 24GB",
+    kind=DeviceKind.GPU,
+    peak_flops=330e12,
+    mem_bandwidth=1008 * GB,
+    mem_capacity=24 * GB,
+    compute_efficiency=0.55,
+    mem_efficiency=0.34,
+    op_overhead=8e-6,
+    idle_power_w=25.0,
+    active_power_w=420.0,
+)
+
+XEON_GOLD_6326 = DeviceSpec(
+    name="Intel Xeon Gold 6326 (16c @ 2.9 GHz)",
+    kind=DeviceKind.CPU,
+    peak_flops=3.0e12,
+    mem_bandwidth=204.8 * GB,
+    mem_capacity=256 * GB,
+    compute_efficiency=0.45,
+    mem_efficiency=0.48,
+    op_overhead=3e-6,
+    idle_power_w=55.0,
+    active_power_w=195.0,
+)
+
+INTEL_I9_10980XE = DeviceSpec(
+    name="Intel Core i9-10980XE (18c @ 3.0 GHz)",
+    kind=DeviceKind.CPU,
+    peak_flops=3.4e12,
+    mem_bandwidth=94 * GB,
+    mem_capacity=130 * GB,
+    compute_efficiency=0.45,
+    mem_efficiency=0.55,
+    op_overhead=3e-6,
+    idle_power_w=40.0,
+    active_power_w=170.0,
+)
+
+PCIE_4_X16 = LinkSpec(
+    name="PCIe 4.0 x16",
+    bandwidth=64 * GB,
+    latency=15e-6,
+    bulk_efficiency=0.14,
+    activation_efficiency=0.6,
+    power_w=15.0,
+)
+
+
+def default_platform() -> Platform:
+    """The paper's evaluation platform: A6000 + i9-10980XE over PCIe 4.0."""
+    return Platform(gpu=NVIDIA_A6000, cpu=INTEL_I9_10980XE, link=PCIE_4_X16,
+                    base_power_w=70.0)
+
+
+def paper_table1_platform() -> Platform:
+    """The microbenchmark platform of Table I: A100 + Xeon Gold 6326."""
+    return Platform(gpu=NVIDIA_A100, cpu=XEON_GOLD_6326, link=PCIE_4_X16,
+                    base_power_w=90.0)

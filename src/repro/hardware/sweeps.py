@@ -1,0 +1,88 @@
+"""Platform sensitivity sweeps.
+
+Hardware-design studies ask "how does the conclusion move as a device
+parameter scales?".  These helpers derive platform variants from a base
+platform by scaling one parameter at a time (link bandwidth, CPU memory
+bandwidth, GPU memory bandwidth, GPU memory capacity), keeping everything
+else fixed, so a benchmark can sweep the axis and locate crossovers such
+as the paper's §VI-A applicability boundary.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Callable, Iterable
+
+from repro.hardware.platform import Platform
+
+PlatformTransform = Callable[[Platform, float], Platform]
+
+
+def scale_link_bandwidth(platform: Platform, factor: float) -> Platform:
+    """Platform with the CPU<->GPU link bandwidth scaled by ``factor``."""
+    _check(factor)
+    link = dataclasses.replace(
+        platform.link,
+        bandwidth=platform.link.bandwidth * factor,
+        name=f"{platform.link.name} x{factor:g}",
+    )
+    return dataclasses.replace(platform, link=link)
+
+
+def scale_cpu_bandwidth(platform: Platform, factor: float) -> Platform:
+    """Platform with the CPU's memory bandwidth scaled by ``factor``."""
+    _check(factor)
+    cpu = dataclasses.replace(
+        platform.cpu, mem_bandwidth=platform.cpu.mem_bandwidth * factor
+    )
+    return dataclasses.replace(platform, cpu=cpu)
+
+
+def scale_gpu_bandwidth(platform: Platform, factor: float) -> Platform:
+    """Platform with the GPU's memory bandwidth scaled by ``factor``."""
+    _check(factor)
+    gpu = dataclasses.replace(
+        platform.gpu, mem_bandwidth=platform.gpu.mem_bandwidth * factor
+    )
+    return dataclasses.replace(platform, gpu=gpu)
+
+
+def scale_gpu_capacity(platform: Platform, factor: float) -> Platform:
+    """Platform with the GPU's memory capacity scaled by ``factor``."""
+    _check(factor)
+    gpu = dataclasses.replace(
+        platform.gpu, mem_capacity=platform.gpu.mem_capacity * factor
+    )
+    return dataclasses.replace(platform, gpu=gpu)
+
+
+AXES: dict[str, PlatformTransform] = {
+    "link_bandwidth": scale_link_bandwidth,
+    "cpu_bandwidth": scale_cpu_bandwidth,
+    "gpu_bandwidth": scale_gpu_bandwidth,
+    "gpu_capacity": scale_gpu_capacity,
+}
+
+
+def _check(factor: float) -> None:
+    if factor <= 0:
+        raise ValueError("scale factor must be positive")
+
+
+def sweep(base: Platform, axis: str,
+          factors: Iterable[float]) -> list[tuple[float, Platform]]:
+    """Platform variants along one axis, one per scale factor."""
+    try:
+        transform = AXES[axis]
+    except KeyError:
+        raise KeyError(f"unknown axis {axis!r}; known: {sorted(AXES)}")
+    return [(float(f), transform(base, float(f))) for f in factors]
+
+
+def run_sweep(base: Platform, axis: str, factors: Iterable[float],
+              measure: Callable[[Platform], float]) -> dict[float, float]:
+    """Evaluate ``measure`` on each variant; returns factor -> value."""
+    return {
+        factor: measure(platform)
+        for factor, platform in sweep(base, axis, factors)
+    }

@@ -1,0 +1,125 @@
+"""Event-driven execution timeline for the two-device platform.
+
+Engines submit ops to named resources (``gpu``, ``cpu``, ``h2d``, ``d2h``);
+each resource executes its ops in submission order, and an op additionally
+waits for its dependencies.  This is deterministic list scheduling, which
+matches how a real engine enqueues kernels on CUDA streams, CPU worker
+pools, and copy engines.
+
+The timeline records every op with its start/end time, so benchmarks can
+compute makespans, per-resource utilization, and Gantt-style renderings
+(paper Fig. 8), and the energy model can integrate busy time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+GPU = "gpu"
+CPU = "cpu"
+H2D = "h2d"
+D2H = "d2h"
+
+RESOURCES = (GPU, CPU, H2D, D2H)
+
+
+@dataclass
+class Op:
+    """One scheduled operation on a resource."""
+
+    index: int
+    resource: str
+    duration: float
+    start: float
+    end: float
+    label: str = ""
+    kind: str = ""
+
+    def __hash__(self) -> int:
+        return self.index
+
+
+@dataclass
+class Timeline:
+    """Accumulates ops and resolves their start/end times on submission."""
+
+    ops: list[Op] = field(default_factory=list)
+    _resource_free: dict[str, float] = field(
+        default_factory=lambda: {r: 0.0 for r in RESOURCES}
+    )
+
+    def add(self, resource: str, duration: float,
+            deps: list[Op] | None = None, label: str = "",
+            kind: str = "") -> Op:
+        """Schedule an op; returns its handle with resolved times."""
+        if resource not in self._resource_free:
+            raise ValueError(f"unknown resource {resource!r}")
+        if duration < 0:
+            raise ValueError("duration must be non-negative")
+        ready = self._resource_free[resource]
+        if deps:
+            ready = max(ready, max(d.end for d in deps))
+        op = Op(
+            index=len(self.ops),
+            resource=resource,
+            duration=duration,
+            start=ready,
+            end=ready + duration,
+            label=label,
+            kind=kind,
+        )
+        self.ops.append(op)
+        self._resource_free[resource] = op.end
+        return op
+
+    def barrier(self, deps: list[Op]) -> float:
+        """Latest finish time among ``deps`` (no op is scheduled)."""
+        if not deps:
+            return 0.0
+        return max(d.end for d in deps)
+
+    # ---- statistics ----------------------------------------------------------
+
+    @property
+    def makespan(self) -> float:
+        """End time of the last-finishing op."""
+        return max((op.end for op in self.ops), default=0.0)
+
+    def busy_time(self, resource: str) -> float:
+        """Total execution time charged to one resource."""
+        return sum(op.duration for op in self.ops if op.resource == resource)
+
+    def utilization(self, resource: str) -> float:
+        """Busy fraction of one resource over the makespan."""
+        span = self.makespan
+        if span <= 0:
+            return 0.0
+        return self.busy_time(resource) / span
+
+    def ops_on(self, resource: str) -> list[Op]:
+        """All ops scheduled on one resource, in submission order."""
+        return [op for op in self.ops if op.resource == resource]
+
+    def window(self, t0: float, t1: float) -> list[Op]:
+        """Ops overlapping the time window ``[t0, t1)``."""
+        return [op for op in self.ops if op.start < t1 and op.end > t0]
+
+    def render_gantt(self, t0: float = 0.0, t1: float | None = None,
+                     width: int = 100) -> str:
+        """ASCII Gantt chart of the window (used for paper Fig. 8)."""
+        if t1 is None:
+            t1 = self.makespan
+        span = max(t1 - t0, 1e-12)
+        lines = [f"time window: [{t0 * 1e3:.3f} ms, {t1 * 1e3:.3f} ms]"]
+        for resource in RESOURCES:
+            row = [" "] * width
+            for op in self.ops_on(resource):
+                if op.end <= t0 or op.start >= t1:
+                    continue
+                lo = int((max(op.start, t0) - t0) / span * width)
+                hi = max(lo + 1, int((min(op.end, t1) - t0) / span * width))
+                glyph = (op.label[:1] or op.kind[:1] or "#").upper()
+                for i in range(lo, min(hi, width)):
+                    row[i] = glyph
+            lines.append(f"{resource:>4} |{''.join(row)}|")
+        return "\n".join(lines)

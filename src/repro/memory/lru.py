@@ -1,0 +1,58 @@
+"""Per-layer LRU expert cache policy (Mixtral-Offloading baseline).
+
+Mixtral-Offloading keeps a fixed number of expert slots per layer on the
+GPU and evicts the least-recently-used expert when an uncached one is
+activated.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+
+class LRUExpertCache:
+    """LRU set of expert indices for one layer."""
+
+    def __init__(self, capacity: int) -> None:
+        if capacity < 0:
+            raise ValueError("capacity must be non-negative")
+        self.capacity = capacity
+        self._entries: OrderedDict[int, None] = OrderedDict()
+
+    def __contains__(self, expert: int) -> bool:
+        return expert in self._entries
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @property
+    def experts(self) -> list[int]:
+        """Cached experts from least- to most-recently used."""
+        return list(self._entries)
+
+    def touch(self, expert: int) -> None:
+        """Mark a cached expert as most recently used."""
+        if expert not in self._entries:
+            raise KeyError("expert not cached")
+        self._entries.move_to_end(expert)
+
+    def admit(self, expert: int) -> int | None:
+        """Insert an expert, returning the evicted expert (or ``None``).
+
+        Admitting an already-cached expert just refreshes its recency.
+        """
+        if self.capacity == 0:
+            return None
+        if expert in self._entries:
+            self._entries.move_to_end(expert)
+            return None
+        evicted = None
+        if len(self._entries) >= self.capacity:
+            evicted, _ = self._entries.popitem(last=False)
+        self._entries[expert] = None
+        return evicted
+
+    def seed(self, experts: list[int]) -> None:
+        """Pre-populate the cache (calibration order: coldest first)."""
+        for expert in experts:
+            self.admit(expert)

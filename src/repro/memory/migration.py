@@ -1,0 +1,98 @@
+"""Expert migration between host and device memory.
+
+A migration is a placement update plus the simulated transfer it costs.
+Swaps (paper Algorithm 1 lines 12-13) move the evicted expert device-to-host
+and the promoted expert host-to-device; the two directions use separate
+PCIe channels and therefore overlap.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.hardware.cost_model import CostModel
+from repro.hardware.device import DeviceKind
+from repro.hardware.timeline import D2H, H2D, Op, Timeline
+from repro.memory.placement import ExpertPlacement
+
+
+@dataclass
+class MigrationRecord:
+    """One completed migration for bookkeeping/reporting."""
+
+    block: int
+    expert: int
+    to_gpu: bool
+    op: Op
+
+
+@dataclass
+class MigrationEngine:
+    """Executes placement changes against a timeline."""
+
+    placement: ExpertPlacement
+    cost_model: CostModel
+    timeline: Timeline
+    quant_ratio: float = 1.0
+    records: list[MigrationRecord] = field(default_factory=list)
+
+    def upload(self, block: int, expert: int,
+               deps: list[Op] | None = None, label: str = "") -> Op:
+        """Move one expert host -> device; returns the transfer op."""
+        duration = self.cost_model.expert_transfer_time(self.quant_ratio)
+        op = self.timeline.add(
+            H2D, duration, deps=deps,
+            label=label or f"up L{block}E{expert}", kind="expert_upload",
+        )
+        self.placement.set_device(block, expert, DeviceKind.GPU)
+        self.records.append(MigrationRecord(block, expert, True, op))
+        return op
+
+    def evict(self, block: int, expert: int,
+              deps: list[Op] | None = None, label: str = "") -> Op:
+        """Move one expert device -> host; returns the transfer op.
+
+        Eviction of clean (never-updated) inference weights could be a pure
+        free, but we follow the paper's Table I which measures a real
+        CPU<->GPU transition cost, and engines that must preserve host
+        copies do not pay it (they drop the device copy); callers choose.
+        """
+        duration = self.cost_model.expert_transfer_time(self.quant_ratio)
+        op = self.timeline.add(
+            D2H, duration, deps=deps,
+            label=label or f"down L{block}E{expert}", kind="expert_evict",
+        )
+        self.placement.set_device(block, expert, DeviceKind.CPU)
+        self.records.append(MigrationRecord(block, expert, False, op))
+        return op
+
+    def drop(self, block: int, expert: int) -> None:
+        """Free a device copy without a transfer (host copy still valid)."""
+        self.placement.set_device(block, expert, DeviceKind.CPU)
+
+    def swap(self, block: int, expert_in: int, expert_out: int,
+             deps: list[Op] | None = None) -> tuple[Op, Op]:
+        """Swap ``expert_in`` onto the GPU while ``expert_out`` leaves it.
+
+        Inference weights are read-only, so the outgoing expert's host copy
+        is already valid: the eviction frees the slot immediately and only
+        the upload occupies the link (H2D).  Returns (upload_op, upload_op)
+        -- the slot becomes usable when the upload lands.
+        """
+        if not self.placement.is_on_gpu(block, expert_out):
+            raise ValueError("expert_out is not on the GPU")
+        if self.placement.is_on_gpu(block, expert_in):
+            raise ValueError("expert_in is already on the GPU")
+        self.drop(block, expert_out)
+        up = self.upload(block, expert_in, deps=deps)
+        return up, up
+
+    @property
+    def upload_count(self) -> int:
+        """Number of host->device expert transfers so far."""
+        return sum(1 for r in self.records if r.to_gpu)
+
+    @property
+    def evict_count(self) -> int:
+        """Number of device->host expert transfers so far."""
+        return sum(1 for r in self.records if not r.to_gpu)

@@ -1,0 +1,86 @@
+"""Pluggable eviction policies for per-layer expert caches.
+
+The paper's caching baselines evict least-recently-used experts; this
+module generalizes the cache so alternatives can be compared: LRU, LFU
+(least frequently used this sequence), and calibrated priority (evict the
+expert with the lowest offline activation probability, i.e. never adapt).
+The eviction-policy ablation benchmark quantifies how much the choice
+matters relative to DAOP's avoid-migration design.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+import numpy as np
+
+LRU = "lru"
+LFU = "lfu"
+PRIORITY = "priority"
+POLICIES = (LRU, LFU, PRIORITY)
+
+
+class EvictionPolicyCache:
+    """Fixed-capacity expert set with a selectable eviction policy."""
+
+    def __init__(self, capacity: int, policy: str = LRU,
+                 priorities: np.ndarray | None = None) -> None:
+        if capacity < 0:
+            raise ValueError("capacity must be non-negative")
+        if policy not in POLICIES:
+            raise ValueError(f"policy must be one of {POLICIES}")
+        if policy == PRIORITY and priorities is None:
+            raise ValueError("priority policy needs a priorities vector")
+        self.capacity = capacity
+        self.policy = policy
+        self.priorities = (
+            None if priorities is None
+            else np.asarray(priorities, dtype=np.float64)
+        )
+        self._entries: OrderedDict[int, int] = OrderedDict()  # id -> freq
+
+    def __contains__(self, expert: int) -> bool:
+        return expert in self._entries
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @property
+    def experts(self) -> list[int]:
+        """Cached experts (recency order for LRU semantics)."""
+        return list(self._entries)
+
+    def touch(self, expert: int) -> None:
+        """Record a hit."""
+        if expert not in self._entries:
+            raise KeyError("expert not cached")
+        self._entries[expert] += 1
+        self._entries.move_to_end(expert)
+
+    def _victim(self) -> int:
+        if self.policy == LRU:
+            return next(iter(self._entries))
+        if self.policy == LFU:
+            # Least frequency; ties broken by least recency.
+            return min(self._entries, key=lambda e: (self._entries[e],))
+        # PRIORITY: lowest offline priority leaves first.
+        return min(self._entries, key=lambda e: self.priorities[e])
+
+    def admit(self, expert: int) -> int | None:
+        """Insert an expert, returning the evicted one (or ``None``)."""
+        if self.capacity == 0:
+            return None
+        if expert in self._entries:
+            self.touch(expert)
+            return None
+        evicted = None
+        if len(self._entries) >= self.capacity:
+            evicted = self._victim()
+            del self._entries[evicted]
+        self._entries[expert] = 1
+        return evicted
+
+    def seed(self, experts: list[int]) -> None:
+        """Pre-populate (first = coldest under LRU)."""
+        for expert in experts:
+            self.admit(expert)

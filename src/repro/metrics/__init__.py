@@ -1,0 +1,15 @@
+"""Performance metrics aggregation and report formatting."""
+
+from repro.metrics.plots import bar_chart, line_plot, sparkline
+from repro.metrics.report import format_series, format_table
+from repro.metrics.throughput import PerformanceSummary, summarize_results
+
+__all__ = [
+    "bar_chart",
+    "line_plot",
+    "sparkline",
+    "format_series",
+    "format_table",
+    "PerformanceSummary",
+    "summarize_results",
+]

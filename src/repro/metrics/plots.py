@@ -1,0 +1,84 @@
+"""ASCII chart rendering for benchmark reports and the CLI.
+
+Terminal-friendly bar charts and line plots so the figure benchmarks can
+show the paper's figures' shapes directly in test output without any
+plotting dependency.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+
+def bar_chart(labels: Sequence[str], values: Sequence[float],
+              width: int = 50, title: str | None = None,
+              value_fmt: str = "{:.2f}") -> str:
+    """Horizontal bar chart, one row per label."""
+    if len(labels) != len(values):
+        raise ValueError("labels and values must have equal length")
+    if not labels:
+        return title or ""
+    peak = max(max(values), 1e-12)
+    label_width = max(len(str(label)) for label in labels)
+    lines = [title] if title else []
+    for label, value in zip(labels, values):
+        n = int(round(width * value / peak)) if value > 0 else 0
+        bar = "#" * n
+        lines.append(
+            f"{str(label):>{label_width}} |{bar:<{width}}| "
+            f"{value_fmt.format(value)}"
+        )
+    return "\n".join(lines)
+
+
+def line_plot(xs: Sequence[float], series: dict[str, Sequence[float]],
+              height: int = 12, width: int = 60,
+              title: str | None = None) -> str:
+    """Multi-series scatter/line plot on a character grid.
+
+    Each series gets the first letter of its name as the plot glyph.
+    """
+    if not series:
+        return title or ""
+    n_points = len(xs)
+    for name, ys in series.items():
+        if len(ys) != n_points:
+            raise ValueError(f"series {name!r} length mismatch")
+    all_values = [v for ys in series.values() for v in ys]
+    lo, hi = min(all_values), max(all_values)
+    if hi == lo:
+        hi = lo + 1.0
+    x_lo, x_hi = min(xs), max(xs)
+    x_span = (x_hi - x_lo) or 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    for name, ys in series.items():
+        glyph = name[0].upper()
+        for x, y in zip(xs, ys):
+            col = int((x - x_lo) / x_span * (width - 1))
+            row = int((hi - y) / (hi - lo) * (height - 1))
+            grid[row][col] = glyph
+
+    lines = [title] if title else []
+    for i, row in enumerate(grid):
+        y_value = hi - (hi - lo) * i / (height - 1)
+        prefix = f"{y_value:8.2f} |" if i % 3 == 0 else "         |"
+        lines.append(prefix + "".join(row))
+    lines.append("         +" + "-" * width)
+    lines.append(f"          x: {x_lo:g} .. {x_hi:g}   series: "
+                 + ", ".join(f"{name[0].upper()}={name}"
+                             for name in series))
+    return "\n".join(lines)
+
+
+def sparkline(values: Sequence[float]) -> str:
+    """One-line sparkline of a value series."""
+    glyphs = "▁▂▃▄▅▆▇█"
+    values = list(values)
+    if not values:
+        return ""
+    lo, hi = min(values), max(values)
+    span = (hi - lo) or 1.0
+    return "".join(
+        glyphs[int((v - lo) / span * (len(glyphs) - 1))] for v in values
+    )

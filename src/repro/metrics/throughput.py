@@ -1,0 +1,59 @@
+"""Aggregated throughput / energy summaries over multiple generations."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.engine import GenerationResult
+
+
+@dataclass(frozen=True)
+class PerformanceSummary:
+    """Mean simulated performance over a batch of generations."""
+
+    engine: str
+    n_sequences: int
+    tokens_per_second: float
+    decode_tokens_per_second: float
+    tokens_per_kilojoule: float
+    average_power_w: float
+    gpu_hit_rate: float
+    cpu_expert_execs: float
+    expert_uploads: float
+
+
+def summarize_results(engine_name: str,
+                      results: list[GenerationResult]) -> PerformanceSummary:
+    """Aggregate per-sequence stats into one summary row.
+
+    Rates are computed from totals (total tokens / total time), matching
+    how a sustained-serving measurement would average.
+    """
+    if not results:
+        raise ValueError("no results to summarize")
+    total_tokens = sum(r.stats.n_generated for r in results)
+    total_time = sum(r.stats.total_time_s for r in results)
+    total_decode = sum(r.stats.decode_time_s for r in results)
+    total_kj = sum(r.stats.energy.total_kj for r in results)
+    total_j = sum(r.stats.energy.total_j for r in results)
+    return PerformanceSummary(
+        engine=engine_name,
+        n_sequences=len(results),
+        tokens_per_second=total_tokens / total_time if total_time else 0.0,
+        decode_tokens_per_second=(
+            total_tokens / total_decode if total_decode else 0.0
+        ),
+        tokens_per_kilojoule=total_tokens / total_kj if total_kj else 0.0,
+        average_power_w=total_j / total_time if total_time else 0.0,
+        gpu_hit_rate=float(
+            np.mean([r.stats.counters.gpu_hit_rate for r in results])
+        ),
+        cpu_expert_execs=float(
+            np.mean([r.stats.counters.cpu_expert_execs for r in results])
+        ),
+        expert_uploads=float(
+            np.mean([r.stats.counters.expert_uploads for r in results])
+        ),
+    )

@@ -1,0 +1,62 @@
+"""Functional decoder-only MoE transformer (numpy)."""
+
+from repro.model.config import ArchSpec, ModelProfile, SimSpec
+from repro.model.attention import GroupedQueryAttention, KVCache
+from repro.model.experts import SwiGLUExpert
+from repro.model.gating import Router, RoutingDecision
+from repro.model.layers import Linear, RMSNorm, silu, softmax, log_softmax
+from repro.model.moe_block import MoEBlock
+from repro.model.quantization import (
+    fake_quantize,
+    quantization_error,
+    quantize_expert,
+    quantize_experts,
+)
+from repro.model.rope import RotaryEmbedding
+from repro.model.sampling import greedy, top_k_sample
+from repro.model.tokenizer import ToyTokenizer
+from repro.model.transformer import MoETransformer
+from repro.model.vocab import TopicVocabulary
+from repro.model.zoo import (
+    MIXTRAL_8X7B_ARCH,
+    PHI_3_5_MOE_ARCH,
+    TINY_ARCH,
+    ModelBundle,
+    build_mixtral_8x7b_sim,
+    build_phi_3_5_moe_sim,
+    build_tiny_moe,
+)
+
+__all__ = [
+    "ArchSpec",
+    "ModelProfile",
+    "SimSpec",
+    "GroupedQueryAttention",
+    "KVCache",
+    "SwiGLUExpert",
+    "Router",
+    "RoutingDecision",
+    "Linear",
+    "RMSNorm",
+    "silu",
+    "softmax",
+    "log_softmax",
+    "MoEBlock",
+    "fake_quantize",
+    "quantization_error",
+    "quantize_expert",
+    "quantize_experts",
+    "RotaryEmbedding",
+    "greedy",
+    "top_k_sample",
+    "ToyTokenizer",
+    "MoETransformer",
+    "TopicVocabulary",
+    "MIXTRAL_8X7B_ARCH",
+    "PHI_3_5_MOE_ARCH",
+    "TINY_ARCH",
+    "ModelBundle",
+    "build_mixtral_8x7b_sim",
+    "build_phi_3_5_moe_sim",
+    "build_tiny_moe",
+]

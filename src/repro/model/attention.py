@@ -1,0 +1,132 @@
+"""Grouped-query self-attention with a KV cache for the functional model."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.model.config import SimSpec
+from repro.model.layers import Linear, softmax
+from repro.model.rope import RotaryEmbedding
+
+
+class KVCache:
+    """Append-only key/value cache for one block.
+
+    Stores tensors of shape ``(n_kv_heads, n_cached, head_dim)`` and grows
+    geometrically to amortize reallocation during decode.
+    """
+
+    def __init__(self, n_kv_heads: int, head_dim: int) -> None:
+        self.n_kv_heads = n_kv_heads
+        self.head_dim = head_dim
+        self._capacity = 64
+        self._len = 0
+        self._k = np.zeros((n_kv_heads, self._capacity, head_dim), dtype=np.float32)
+        self._v = np.zeros((n_kv_heads, self._capacity, head_dim), dtype=np.float32)
+
+    def __len__(self) -> int:
+        return self._len
+
+    def _grow(self, needed: int) -> None:
+        while self._capacity < needed:
+            self._capacity *= 2
+        k = np.zeros((self.n_kv_heads, self._capacity, self.head_dim), dtype=np.float32)
+        v = np.zeros_like(k)
+        k[:, : self._len] = self._k[:, : self._len]
+        v[:, : self._len] = self._v[:, : self._len]
+        self._k, self._v = k, v
+
+    def append(self, k: np.ndarray, v: np.ndarray) -> None:
+        """Append ``(n_kv_heads, n_new, head_dim)`` keys and values."""
+        n_new = k.shape[1]
+        if self._len + n_new > self._capacity:
+            self._grow(self._len + n_new)
+        self._k[:, self._len : self._len + n_new] = k
+        self._v[:, self._len : self._len + n_new] = v
+        self._len += n_new
+
+    @property
+    def keys(self) -> np.ndarray:
+        """View of the cached keys, shape ``(n_kv_heads, len, head_dim)``."""
+        return self._k[:, : self._len]
+
+    @property
+    def values(self) -> np.ndarray:
+        """View of the cached values, shape ``(n_kv_heads, len, head_dim)``."""
+        return self._v[:, : self._len]
+
+    def truncate(self, length: int) -> None:
+        """Drop cached entries beyond ``length`` (used to reset sequences)."""
+        if length < 0 or length > self._len:
+            raise ValueError("invalid truncation length")
+        self._len = length
+
+
+class GroupedQueryAttention:
+    """Multi-head attention with grouped KV heads, RoPE, and causal masking."""
+
+    def __init__(self, sim: SimSpec, rng: np.random.Generator) -> None:
+        self.sim = sim
+        d = sim.d_model
+        kv_dim = sim.n_kv_heads * sim.head_dim
+        self.wq = Linear(d, d, rng)
+        self.wk = Linear(d, kv_dim, rng)
+        self.wv = Linear(d, kv_dim, rng)
+        self.wo = Linear(d, d, rng)
+        self.rope = RotaryEmbedding(sim.head_dim, sim.rope_base)
+        self._group = sim.n_heads // sim.n_kv_heads
+
+    def new_cache(self) -> KVCache:
+        """Create an empty KV cache matching this attention's geometry."""
+        return KVCache(self.sim.n_kv_heads, self.sim.head_dim)
+
+    def __call__(self, x: np.ndarray, cache: KVCache,
+                 positions: np.ndarray) -> np.ndarray:
+        """Attend ``x`` (``(n_new, d_model)``) over the cache plus itself.
+
+        New keys/values are appended to ``cache``.  ``positions`` gives the
+        absolute positions of the new tokens; causality is enforced for the
+        new tokens relative to each other and everything already cached is
+        visible (it precedes them).
+        """
+        sim = self.sim
+        n_new = x.shape[0]
+        q = self.wq(x).reshape(n_new, sim.n_heads, sim.head_dim)
+        k = self.wk(x).reshape(n_new, sim.n_kv_heads, sim.head_dim)
+        v = self.wv(x).reshape(n_new, sim.n_kv_heads, sim.head_dim)
+
+        # (heads, tokens, head_dim) layout for rope + attention.
+        q = np.transpose(q, (1, 0, 2))
+        k = np.transpose(k, (1, 0, 2))
+        v = np.transpose(v, (1, 0, 2))
+        q = self.rope.apply(q, positions)
+        k = self.rope.apply(k, positions)
+
+        n_prev = len(cache)
+        cache.append(k, v)
+        keys = cache.keys      # (n_kv, n_total, hd)
+        values = cache.values  # (n_kv, n_total, hd)
+        n_total = keys.shape[1]
+
+        # Expand KV heads to query heads (grouped-query attention).
+        keys_q = np.repeat(keys, self._group, axis=0)
+        values_q = np.repeat(values, self._group, axis=0)
+
+        scores = q @ np.transpose(keys_q, (0, 2, 1))
+        scores /= np.sqrt(sim.head_dim)
+
+        # Causal mask: new token i (absolute n_prev + i) sees keys 0..n_prev+i.
+        key_pos = np.arange(n_total)
+        query_pos = n_prev + np.arange(n_new)
+        mask = key_pos[None, :] > query_pos[:, None]
+        scores = np.where(mask[None, :, :], -1e9, scores)
+
+        weights = softmax(scores, axis=-1)
+        out = weights @ values_q                       # (n_heads, n_new, hd)
+        out = np.transpose(out, (1, 0, 2)).reshape(n_new, sim.d_model)
+        return self.wo(out)
+
+    @property
+    def n_params(self) -> int:
+        """Number of parameters in the attention projections."""
+        return sum(w.n_params for w in (self.wq, self.wk, self.wv, self.wo))

@@ -1,0 +1,214 @@
+"""Model configuration objects.
+
+Two kinds of dimensions exist side by side in this reproduction:
+
+- :class:`ArchSpec` carries the *paper-scale* architectural dimensions of
+  the evaluated models (Mixtral 8x7B, Phi-3.5 MoE).  These drive the
+  hardware cost model: parameter counts, bytes moved per op, FLOPs per op.
+  No numpy computation ever runs at these sizes.
+
+- :class:`SimSpec` carries the *functional* dimensions of the scaled-down
+  numpy transformer that actually executes.  Routing decisions, hidden
+  states, KV caches, and generated tokens all come from this model.
+
+The two are bundled by :class:`ModelProfile`.  Structural fields that the
+engine logic depends on (block count, expert count, top-k) are shared: the
+functional model always mirrors the architectural block/expert topology so
+that placement maps, routing traces and schedules line up one-to-one with
+the paper's models.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class ArchSpec:
+    """Paper-scale architecture of a decoder-only MoE transformer.
+
+    All sizes are in elements (not bytes); ``dtype_bytes`` gives the
+    storage width used for weights and activations on the simulated
+    platform (2 bytes = fp16, matching the paper's deployments).
+    """
+
+    name: str
+    d_model: int
+    n_heads: int
+    n_kv_heads: int
+    d_ff: int
+    n_blocks: int
+    n_experts: int
+    top_k: int
+    vocab_size: int
+    dtype_bytes: int = 2
+
+    def __post_init__(self) -> None:
+        if self.n_heads % self.n_kv_heads != 0:
+            raise ValueError("n_heads must be a multiple of n_kv_heads")
+        if not 0 < self.top_k <= self.n_experts:
+            raise ValueError("top_k must be in (0, n_experts]")
+
+    @property
+    def head_dim(self) -> int:
+        """Per-head dimension of the attention projections."""
+        return self.d_model // self.n_heads
+
+    # ---- parameter counting -------------------------------------------------
+
+    @property
+    def attention_params(self) -> int:
+        """Parameters of one block's attention (q, k, v, o projections)."""
+        q = self.d_model * self.d_model
+        kv = 2 * self.d_model * (self.n_kv_heads * self.head_dim)
+        o = self.d_model * self.d_model
+        return q + kv + o
+
+    @property
+    def expert_params(self) -> int:
+        """Parameters of a single SwiGLU expert (w1, w2, w3)."""
+        return 3 * self.d_model * self.d_ff
+
+    @property
+    def gate_params(self) -> int:
+        """Parameters of one block's router (gating MLP)."""
+        return self.d_model * self.n_experts
+
+    @property
+    def norm_params(self) -> int:
+        """Parameters of one block's two RMSNorm layers."""
+        return 2 * self.d_model
+
+    @property
+    def block_non_expert_params(self) -> int:
+        """Per-block parameters excluding the expert FFNs."""
+        return self.attention_params + self.gate_params + self.norm_params
+
+    @property
+    def block_params(self) -> int:
+        """Total parameters of one transformer block (all experts)."""
+        return self.block_non_expert_params + self.n_experts * self.expert_params
+
+    @property
+    def embedding_params(self) -> int:
+        """Token embedding table parameters (the LM head is weight-tied)."""
+        return self.vocab_size * self.d_model
+
+    @property
+    def total_expert_params(self) -> int:
+        """Parameters of every expert in the model."""
+        return self.n_blocks * self.n_experts * self.expert_params
+
+    @property
+    def total_params(self) -> int:
+        """Total model parameters (embeddings + blocks + final norm)."""
+        final_norm = self.d_model
+        return self.embedding_params + self.n_blocks * self.block_params + final_norm
+
+    @property
+    def activated_params_per_token(self) -> int:
+        """Parameters touched for one token (attention + top-k experts)."""
+        per_block = self.block_non_expert_params + self.top_k * self.expert_params
+        return self.embedding_params + self.n_blocks * per_block + self.d_model
+
+    @property
+    def activated_fraction(self) -> float:
+        """Fraction of total parameters activated per token (paper Fig. 1)."""
+        return self.activated_params_per_token / self.total_params
+
+    # ---- byte sizing (for the cost model) -----------------------------------
+
+    @property
+    def expert_bytes(self) -> int:
+        """Storage footprint of a single expert."""
+        return self.expert_params * self.dtype_bytes
+
+    @property
+    def block_non_expert_bytes(self) -> int:
+        """Storage footprint of one block without its experts."""
+        return self.block_non_expert_params * self.dtype_bytes
+
+    @property
+    def hidden_state_bytes(self) -> int:
+        """Bytes of one token's hidden state vector."""
+        return self.d_model * self.dtype_bytes
+
+    @property
+    def kv_bytes_per_token_per_block(self) -> int:
+        """KV-cache bytes appended per token per block."""
+        return 2 * self.n_kv_heads * self.head_dim * self.dtype_bytes
+
+
+@dataclass(frozen=True)
+class SimSpec:
+    """Functional dimensions of the scaled-down numpy transformer."""
+
+    d_model: int = 64
+    n_heads: int = 4
+    n_kv_heads: int = 2
+    d_ff: int = 128
+    vocab_size: int = 512
+    rope_base: float = 10000.0
+    # Per-block residual update scale.  Keeping block outputs small relative
+    # to the residual stream is what makes consecutive hidden states highly
+    # correlated -- the mechanism behind the paper's observation (3) that the
+    # next layer's gate evaluated on the current layer's activations predicts
+    # the next layer's expert selection with high accuracy.
+    residual_scale: float = 0.5
+    # Early blocks transform the residual stream more aggressively (their
+    # update scale is multiplied by ``1 + early_residual_boost * exp(-i)``),
+    # reproducing the paper's Fig. 5 shape where layer-ahead prediction is
+    # poor in the first few blocks and stabilizes afterwards -- the reason
+    # DAOP only enables prediction for blocks i >= 4.
+    early_residual_boost: float = 2.5
+
+    def __post_init__(self) -> None:
+        if self.n_heads % self.n_kv_heads != 0:
+            raise ValueError("n_heads must be a multiple of n_kv_heads")
+        if self.d_model % self.n_heads != 0:
+            raise ValueError("d_model must be a multiple of n_heads")
+
+    @property
+    def head_dim(self) -> int:
+        """Per-head dimension of the functional attention."""
+        return self.d_model // self.n_heads
+
+
+@dataclass(frozen=True)
+class ModelProfile:
+    """Bundle of architectural and functional specs plus shared topology."""
+
+    arch: ArchSpec
+    sim: SimSpec
+    n_blocks: int
+    n_experts: int
+    top_k: int
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.n_blocks < 1:
+            raise ValueError("n_blocks must be positive")
+        if not 0 < self.top_k <= self.n_experts:
+            raise ValueError("top_k must be in (0, n_experts]")
+
+    @classmethod
+    def from_arch(
+        cls,
+        arch: ArchSpec,
+        sim: SimSpec | None = None,
+        n_blocks: int | None = None,
+        seed: int = 0,
+    ) -> "ModelProfile":
+        """Create a profile mirroring ``arch``'s topology.
+
+        ``n_blocks`` may shrink the functional block count (for fast tests)
+        while the cost model keeps using the paper-scale per-block costs.
+        """
+        return cls(
+            arch=arch,
+            sim=sim or SimSpec(),
+            n_blocks=n_blocks if n_blocks is not None else arch.n_blocks,
+            n_experts=arch.n_experts,
+            top_k=arch.top_k,
+            seed=seed,
+        )

@@ -1,0 +1,24 @@
+"""SwiGLU expert feed-forward networks."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.model.layers import Linear, silu
+
+
+class SwiGLUExpert:
+    """One expert: ``w2(silu(w1 x) * w3 x)`` as used by Mixtral-style MoEs."""
+
+    def __init__(self, d_model: int, d_ff: int, rng: np.random.Generator) -> None:
+        self.w1 = Linear(d_model, d_ff, rng)
+        self.w3 = Linear(d_model, d_ff, rng)
+        self.w2 = Linear(d_ff, d_model, rng)
+
+    def __call__(self, x: np.ndarray) -> np.ndarray:
+        return self.w2(silu(self.w1(x)) * self.w3(x))
+
+    @property
+    def n_params(self) -> int:
+        """Number of parameters in the expert."""
+        return self.w1.n_params + self.w2.n_params + self.w3.n_params

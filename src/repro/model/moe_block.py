@@ -1,0 +1,101 @@
+"""One MoE transformer block with a fine-grained execution API.
+
+The inference engines in :mod:`repro.core` schedule attention, gating, and
+individual expert FFNs separately (that is the whole point of DAOP), so the
+block exposes each stage as its own method instead of a single ``forward``.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.model.attention import GroupedQueryAttention, KVCache
+from repro.model.config import SimSpec
+from repro.model.experts import SwiGLUExpert
+from repro.model.gating import Router, RoutingDecision
+from repro.model.layers import RMSNorm
+
+
+class MoEBlock:
+    """Self-attention followed by a top-k mixture-of-experts FFN."""
+
+    def __init__(self, sim: SimSpec, n_experts: int, top_k: int,
+                 rng: np.random.Generator, block_idx: int = 0) -> None:
+        self.sim = sim
+        self.n_experts = n_experts
+        self.top_k = top_k
+        self.block_idx = block_idx
+        # Early blocks update the residual stream more strongly (Fig. 5).
+        self.residual_scale = sim.residual_scale * (
+            1.0 + sim.early_residual_boost * math.exp(-float(block_idx))
+        )
+        self.attn_norm = RMSNorm(sim.d_model)
+        self.attention = GroupedQueryAttention(sim, rng)
+        self.ffn_norm = RMSNorm(sim.d_model)
+        self.router = Router(sim.d_model, n_experts, top_k, rng)
+        self.experts = [
+            SwiGLUExpert(sim.d_model, sim.d_ff, rng) for _ in range(n_experts)
+        ]
+
+    # ---- fine-grained stages -------------------------------------------------
+
+    def attention_part(self, h: np.ndarray, cache: KVCache,
+                       positions: np.ndarray) -> np.ndarray:
+        """Non-MoE part: pre-norm attention plus residual connection."""
+        attn_out = self.attention(self.attn_norm(h), cache, positions)
+        return h + self.residual_scale * attn_out
+
+    def gate_logits(self, h_att: np.ndarray) -> np.ndarray:
+        """Router logits on the (normalized) post-attention hidden states."""
+        return self.router.logits(self.ffn_norm(np.atleast_2d(h_att)))
+
+    def route(self, h_att: np.ndarray) -> RoutingDecision:
+        """Top-k routing decision from post-attention hidden states."""
+        return self.router.route_from_logits(self.gate_logits(h_att))
+
+    def expert_forward(self, expert_idx: int, h_att: np.ndarray) -> np.ndarray:
+        """Run one expert FFN on post-attention hidden states."""
+        return self.experts[expert_idx](self.ffn_norm(np.atleast_2d(h_att)))
+
+    def combine(self, h_att: np.ndarray, expert_outputs: np.ndarray,
+                weights: np.ndarray) -> np.ndarray:
+        """Mix expert outputs and apply the FFN residual connection.
+
+        Args:
+            h_att: post-attention hidden states ``(n_tokens, d)``.
+            expert_outputs: stacked outputs ``(n_tokens, k, d)``.
+            weights: mixing weights ``(n_tokens, k)``.
+        """
+        mixed = np.einsum("tk,tkd->td", weights, expert_outputs)
+        return h_att + self.residual_scale * mixed
+
+    # ---- convenience ---------------------------------------------------------
+
+    def forward(self, h: np.ndarray, cache: KVCache,
+                positions: np.ndarray) -> tuple[np.ndarray, RoutingDecision]:
+        """Reference (exact) forward pass through the whole block."""
+        h_att = self.attention_part(h, cache, positions)
+        decision = self.route(h_att)
+        outs = np.stack(
+            [
+                np.stack(
+                    [self.expert_forward(int(e), h_att[t : t + 1])[0]
+                     for e in decision.experts[t]]
+                )
+                for t in range(h_att.shape[0])
+            ]
+        )
+        return self.combine(h_att, outs, decision.weights), decision
+
+    @property
+    def n_params(self) -> int:
+        """Number of parameters in the block."""
+        return (
+            self.attn_norm.n_params
+            + self.attention.n_params
+            + self.ffn_norm.n_params
+            + self.router.n_params
+            + sum(e.n_params for e in self.experts)
+        )

@@ -1,0 +1,47 @@
+"""Rotary positional embeddings (RoPE) for the functional model."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class RotaryEmbedding:
+    """Precomputes and applies rotary position embeddings.
+
+    The cache grows lazily as longer positions are requested, so a single
+    instance can serve arbitrarily long generations.
+    """
+
+    def __init__(self, head_dim: int, base: float = 10000.0) -> None:
+        if head_dim % 2 != 0:
+            raise ValueError("head_dim must be even for RoPE")
+        self.head_dim = head_dim
+        self.base = base
+        self._cos = np.zeros((0, head_dim // 2), dtype=np.float32)
+        self._sin = np.zeros((0, head_dim // 2), dtype=np.float32)
+        inv_freq = 1.0 / (base ** (np.arange(0, head_dim, 2) / head_dim))
+        self._inv_freq = inv_freq.astype(np.float32)
+
+    def _ensure(self, max_pos: int) -> None:
+        if self._cos.shape[0] >= max_pos:
+            return
+        positions = np.arange(max_pos, dtype=np.float32)
+        angles = np.outer(positions, self._inv_freq)
+        self._cos = np.cos(angles).astype(np.float32)
+        self._sin = np.sin(angles).astype(np.float32)
+
+    def apply(self, x: np.ndarray, positions: np.ndarray) -> np.ndarray:
+        """Rotate ``x`` of shape ``(..., n_tokens, head_dim)`` by position.
+
+        ``positions`` is a 1-D integer array of length ``n_tokens``.
+        """
+        positions = np.asarray(positions)
+        self._ensure(int(positions.max()) + 1)
+        cos = self._cos[positions]
+        sin = self._sin[positions]
+        x1 = x[..., 0::2]
+        x2 = x[..., 1::2]
+        out = np.empty_like(x)
+        out[..., 0::2] = x1 * cos - x2 * sin
+        out[..., 1::2] = x1 * sin + x2 * cos
+        return out

@@ -1,0 +1,26 @@
+"""Token sampling strategies for decode."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.model.layers import softmax
+
+
+def greedy(logits: np.ndarray) -> int:
+    """Deterministic argmax sampling."""
+    return int(np.argmax(np.asarray(logits).ravel()))
+
+
+def top_k_sample(logits: np.ndarray, k: int, rng: np.random.Generator,
+                 temperature: float = 1.0) -> int:
+    """Sample from the ``k`` highest-probability tokens."""
+    logits = np.asarray(logits, dtype=np.float64).ravel()
+    if k < 1:
+        raise ValueError("k must be positive")
+    if temperature <= 0:
+        return greedy(logits)
+    k = min(k, logits.size)
+    top = np.argpartition(-logits, k - 1)[:k]
+    probs = softmax(logits[top] / temperature)
+    return int(rng.choice(top, p=probs))

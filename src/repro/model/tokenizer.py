@@ -1,0 +1,50 @@
+"""A toy word-level tokenizer over the synthetic topical vocabulary.
+
+The reproduction's workloads are streams of token ids; the tokenizer exists
+so examples can print human-readable text and round-trip strings.  Token
+surface forms encode their topic (``t07_w012``), which makes generated text
+easy to eyeball for topical coherence.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.model.vocab import TopicVocabulary
+
+_SPECIAL_NAMES = {0: "<pad>", 1: "<bos>", 2: "<eos>", 3: "<unk>"}
+
+
+class ToyTokenizer:
+    """Bidirectional token-id / string mapping for a :class:`TopicVocabulary`."""
+
+    def __init__(self, vocab: TopicVocabulary) -> None:
+        self.vocab = vocab
+        self._id_to_word: list[str] = []
+        per_topic_counter = [0] * vocab.n_topics
+        for token in range(vocab.vocab_size):
+            topic = vocab.topic_of(token)
+            if topic < 0:
+                self._id_to_word.append(
+                    _SPECIAL_NAMES.get(token, f"<special{token}>")
+                )
+            else:
+                word = f"t{topic:02d}_w{per_topic_counter[topic]:03d}"
+                per_topic_counter[topic] += 1
+                self._id_to_word.append(word)
+        self._word_to_id = {w: i for i, w in enumerate(self._id_to_word)}
+
+    def decode(self, tokens: np.ndarray | list[int]) -> str:
+        """Render token ids as a space-separated string."""
+        return " ".join(self._id_to_word[int(t)] for t in np.asarray(tokens))
+
+    def encode(self, text: str) -> np.ndarray:
+        """Parse a space-separated string back into token ids."""
+        ids = [
+            self._word_to_id.get(word, self.vocab.unk_id)
+            for word in text.split()
+        ]
+        return np.asarray(ids, dtype=np.int64)
+
+    def __len__(self) -> int:
+        return self.vocab.vocab_size

@@ -1,0 +1,141 @@
+"""The functional decoder-only MoE transformer.
+
+This is a real (if scaled-down) numpy transformer: embeddings, rotary
+grouped-query attention with KV caches, top-k expert routing, SwiGLU
+experts, RMSNorm, and a weight-tied LM head.  Inference engines drive the
+per-block stages directly; :meth:`MoETransformer.forward_exact` gives the
+reference end-to-end path used as the accuracy oracle.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.model.attention import KVCache
+from repro.model.config import ModelProfile
+from repro.model.gating import RoutingDecision
+from repro.model.layers import RMSNorm, log_softmax
+from repro.model.moe_block import MoEBlock
+
+
+class MoETransformer:
+    """Decoder-only mixture-of-experts language model."""
+
+    def __init__(self, profile: ModelProfile,
+                 embedding: np.ndarray | None = None) -> None:
+        self.profile = profile
+        sim = profile.sim
+        rng = np.random.default_rng(profile.seed)
+        if embedding is None:
+            embedding = rng.standard_normal(
+                (sim.vocab_size, sim.d_model)
+            ).astype(np.float32)
+        if embedding.shape != (sim.vocab_size, sim.d_model):
+            raise ValueError("embedding shape must be (vocab_size, d_model)")
+        self.embedding = embedding.astype(np.float32)
+        self.blocks = [
+            MoEBlock(sim, profile.n_experts, profile.top_k, rng, block_idx=i)
+            for i in range(profile.n_blocks)
+        ]
+        self.final_norm = RMSNorm(sim.d_model)
+
+    # ---- component access ----------------------------------------------------
+
+    @property
+    def n_blocks(self) -> int:
+        """Number of transformer blocks."""
+        return len(self.blocks)
+
+    @property
+    def n_experts(self) -> int:
+        """Experts per block."""
+        return self.profile.n_experts
+
+    @property
+    def top_k(self) -> int:
+        """Experts activated per token."""
+        return self.profile.top_k
+
+    def new_caches(self) -> list[KVCache]:
+        """Fresh per-block KV caches for a new sequence."""
+        return [block.attention.new_cache() for block in self.blocks]
+
+    def embed(self, tokens: np.ndarray) -> np.ndarray:
+        """Token embeddings, shape ``(n_tokens, d_model)``."""
+        tokens = np.asarray(tokens, dtype=np.int64)
+        if tokens.size and (tokens.min() < 0
+                            or tokens.max() >= self.embedding.shape[0]):
+            raise ValueError("token id out of vocabulary range")
+        return self.embedding[tokens]
+
+    def lm_logits(self, h: np.ndarray) -> np.ndarray:
+        """Weight-tied LM head logits from final hidden states."""
+        return self.final_norm(np.atleast_2d(h)) @ self.embedding.T
+
+    def lm_log_probs(self, h: np.ndarray) -> np.ndarray:
+        """Log-probabilities over the vocabulary."""
+        return log_softmax(self.lm_logits(h), axis=-1)
+
+    # ---- reference forward ----------------------------------------------------
+
+    def forward_exact(
+        self,
+        tokens: np.ndarray,
+        caches: list[KVCache] | None = None,
+        start_pos: int = 0,
+    ) -> tuple[np.ndarray, list[RoutingDecision]]:
+        """Exact forward pass over ``tokens``.
+
+        Returns the final-layer hidden states and the per-block routing
+        decisions.  If ``caches`` is given the tokens extend those caches
+        (decode); otherwise fresh caches are used (single-shot prefill).
+        """
+        tokens = np.asarray(tokens, dtype=np.int64)
+        if caches is None:
+            caches = self.new_caches()
+        positions = start_pos + np.arange(tokens.shape[0])
+        h = self.embed(tokens)
+        decisions: list[RoutingDecision] = []
+        for block, cache in zip(self.blocks, caches):
+            h_att = block.attention_part(h, cache, positions)
+            decision = block.route(h_att)
+            outs = np.empty(
+                (h_att.shape[0], self.top_k, self.profile.sim.d_model),
+                dtype=np.float32,
+            )
+            for expert_idx in np.unique(decision.experts):
+                mask = decision.experts == expert_idx
+                token_idx = np.nonzero(mask.any(axis=1))[0]
+                out = block.expert_forward(int(expert_idx), h_att[token_idx])
+                for row, t in enumerate(token_idx):
+                    slot = int(np.nonzero(mask[t])[0][0])
+                    outs[t, slot] = out[row]
+            h = block.combine(h_att, outs, decision.weights)
+            decisions.append(decision)
+        return h, decisions
+
+    def greedy_generate(self, prompt: np.ndarray,
+                        max_new_tokens: int) -> np.ndarray:
+        """Reference greedy decoding (exact math, no placement effects)."""
+        caches = self.new_caches()
+        h, _ = self.forward_exact(np.asarray(prompt), caches)
+        generated: list[int] = []
+        pos = len(prompt)
+        next_token = int(np.argmax(self.lm_logits(h[-1:])[0]))
+        for _ in range(max_new_tokens):
+            generated.append(next_token)
+            h, _ = self.forward_exact(
+                np.asarray([next_token]), caches, start_pos=pos
+            )
+            pos += 1
+            next_token = int(np.argmax(self.lm_logits(h[-1:])[0]))
+        return np.asarray(generated, dtype=np.int64)
+
+    @property
+    def n_params(self) -> int:
+        """Functional parameter count (not the paper-scale count)."""
+        return (
+            self.embedding.size
+            + sum(block.n_params for block in self.blocks)
+            + self.final_norm.n_params
+        )

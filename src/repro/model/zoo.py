@@ -1,0 +1,114 @@
+"""Model zoo: the paper's evaluated models and a tiny test model.
+
+Each builder returns a :class:`repro.model.transformer.MoETransformer`
+whose *topology* (block count, expert count, top-k) matches the paper's
+model and whose *architectural spec* carries the true paper-scale
+dimensions for the hardware cost model.  The functional numpy dimensions
+are small so inference runs quickly on a laptop.
+
+Parameter-count sanity (reproduces paper Table III and Fig. 1):
+
+- Mixtral 8x7B: 46.6 B total, 45.1 B expert, 27.4 % activated per token.
+- Phi-3.5 MoE: 41.7 B total, 40.3 B expert.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.model.config import ArchSpec, ModelProfile, SimSpec
+from repro.model.tokenizer import ToyTokenizer
+from repro.model.transformer import MoETransformer
+from repro.model.vocab import TopicVocabulary
+
+MIXTRAL_8X7B_ARCH = ArchSpec(
+    name="Mixtral-8x7B",
+    d_model=4096,
+    n_heads=32,
+    n_kv_heads=8,
+    d_ff=14336,
+    n_blocks=32,
+    n_experts=8,
+    top_k=2,
+    vocab_size=32000,
+)
+
+PHI_3_5_MOE_ARCH = ArchSpec(
+    name="Phi-3.5-MoE",
+    d_model=4096,
+    n_heads=32,
+    n_kv_heads=8,
+    d_ff=6400,
+    n_blocks=32,
+    n_experts=16,
+    top_k=2,
+    vocab_size=32064,
+)
+
+TINY_ARCH = ArchSpec(
+    name="Tiny-MoE",
+    d_model=256,
+    n_heads=4,
+    n_kv_heads=2,
+    d_ff=512,
+    n_blocks=4,
+    n_experts=4,
+    top_k=2,
+    vocab_size=512,
+)
+
+DEFAULT_N_TOPICS = 32
+
+
+@dataclass
+class ModelBundle:
+    """A functional model plus its vocabulary and tokenizer."""
+
+    model: MoETransformer
+    vocab: TopicVocabulary
+    tokenizer: ToyTokenizer
+
+    @property
+    def profile(self) -> ModelProfile:
+        """The model's profile (arch + sim specs)."""
+        return self.model.profile
+
+    @property
+    def arch(self) -> ArchSpec:
+        """Paper-scale architecture spec."""
+        return self.model.profile.arch
+
+
+def _build(arch: ArchSpec, seed: int, n_blocks: int | None,
+           sim: SimSpec | None, n_topics: int) -> ModelBundle:
+    sim = sim or SimSpec()
+    profile = ModelProfile.from_arch(arch, sim=sim, n_blocks=n_blocks, seed=seed)
+    vocab = TopicVocabulary(
+        vocab_size=sim.vocab_size,
+        n_topics=n_topics,
+        d_model=sim.d_model,
+        seed=seed,
+    )
+    model = MoETransformer(profile, embedding=vocab.build_embedding())
+    return ModelBundle(model=model, vocab=vocab, tokenizer=ToyTokenizer(vocab))
+
+
+def build_mixtral_8x7b_sim(seed: int = 0, n_blocks: int | None = None,
+                           sim: SimSpec | None = None,
+                           n_topics: int = DEFAULT_N_TOPICS) -> ModelBundle:
+    """Functional analogue of Mixtral 8x7B (32 blocks, 8 experts, top-2)."""
+    return _build(MIXTRAL_8X7B_ARCH, seed, n_blocks, sim, n_topics)
+
+
+def build_phi_3_5_moe_sim(seed: int = 0, n_blocks: int | None = None,
+                          sim: SimSpec | None = None,
+                          n_topics: int = DEFAULT_N_TOPICS) -> ModelBundle:
+    """Functional analogue of Phi-3.5 MoE (32 blocks, 16 experts, top-2)."""
+    return _build(PHI_3_5_MOE_ARCH, seed, n_blocks, sim, n_topics)
+
+
+def build_tiny_moe(seed: int = 0, n_blocks: int = 4,
+                   n_topics: int = 8) -> ModelBundle:
+    """A tiny 4-block / 4-expert model for fast unit tests."""
+    sim = SimSpec(d_model=32, n_heads=2, n_kv_heads=1, d_ff=48, vocab_size=128)
+    return _build(TINY_ARCH, seed, n_blocks, sim, n_topics)

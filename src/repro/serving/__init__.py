@@ -1,0 +1,21 @@
+"""Request-level serving simulation (queueing on top of the engines)."""
+
+from repro.serving.arrivals import (
+    bursty_arrivals,
+    poisson_arrivals,
+    uniform_arrivals,
+)
+from repro.serving.simulator import (
+    ServedRequest,
+    ServingReport,
+    ServingSimulator,
+)
+
+__all__ = [
+    "bursty_arrivals",
+    "poisson_arrivals",
+    "uniform_arrivals",
+    "ServedRequest",
+    "ServingReport",
+    "ServingSimulator",
+]

@@ -1,0 +1,167 @@
+"""Request-level serving simulation on top of the inference engines.
+
+The paper evaluates single-request latency ("our experiments simulate
+real-time inference scenarios by setting the batch size to one"); this
+module extends the reproduction to the obvious deployment question: what
+do queueing and sustained load do to each engine's user-visible latency?
+Requests arrive by an arrival process, are served FIFO at batch size one,
+and each service time is the engine's *simulated* generation time, so the
+whole serving trace stays in simulated time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.engine import BaseEngine
+from repro.workloads.generator import SequenceGenerator
+
+
+@dataclass(frozen=True)
+class ServedRequest:
+    """Per-request timing record (all times in simulated seconds)."""
+
+    request_id: int
+    arrival_s: float
+    start_s: float
+    first_token_s: float
+    finish_s: float
+    n_prompt_tokens: int
+    n_generated: int
+    energy_j: float
+
+    @property
+    def queue_delay_s(self) -> float:
+        """Time spent waiting for the engine."""
+        return self.start_s - self.arrival_s
+
+    @property
+    def ttft_s(self) -> float:
+        """Time to first token, from arrival."""
+        return self.first_token_s - self.arrival_s
+
+    @property
+    def latency_s(self) -> float:
+        """End-to-end latency, from arrival to last token."""
+        return self.finish_s - self.arrival_s
+
+    @property
+    def tpot_s(self) -> float:
+        """Time per output token during decode."""
+        decode = self.finish_s - self.first_token_s
+        if self.n_generated <= 1:
+            return 0.0
+        return decode / (self.n_generated - 1)
+
+
+@dataclass
+class ServingReport:
+    """Aggregate serving metrics over a request trace."""
+
+    engine: str
+    requests: list[ServedRequest] = field(default_factory=list)
+
+    def _percentile(self, values, q: float) -> float:
+        return float(np.percentile(np.asarray(values), q))
+
+    @property
+    def n_requests(self) -> int:
+        """Number of served requests."""
+        return len(self.requests)
+
+    @property
+    def makespan_s(self) -> float:
+        """Simulated time from first arrival to last completion."""
+        if not self.requests:
+            return 0.0
+        start = min(r.arrival_s for r in self.requests)
+        end = max(r.finish_s for r in self.requests)
+        return end - start
+
+    @property
+    def throughput_tokens_per_s(self) -> float:
+        """Sustained generated-token throughput."""
+        span = self.makespan_s
+        if span <= 0:
+            return 0.0
+        return sum(r.n_generated for r in self.requests) / span
+
+    def ttft_percentile(self, q: float) -> float:
+        """TTFT percentile in seconds."""
+        return self._percentile([r.ttft_s for r in self.requests], q)
+
+    def latency_percentile(self, q: float) -> float:
+        """End-to-end latency percentile in seconds."""
+        return self._percentile([r.latency_s for r in self.requests], q)
+
+    def tpot_percentile(self, q: float) -> float:
+        """Time-per-output-token percentile in seconds."""
+        return self._percentile([r.tpot_s for r in self.requests], q)
+
+    @property
+    def mean_queue_delay_s(self) -> float:
+        """Mean time requests spent queued."""
+        if not self.requests:
+            return 0.0
+        return float(np.mean([r.queue_delay_s for r in self.requests]))
+
+    @property
+    def total_energy_kj(self) -> float:
+        """Total serving energy in kilojoules."""
+        return sum(r.energy_j for r in self.requests) / 1e3
+
+    @property
+    def tokens_per_kilojoule(self) -> float:
+        """Serving-level energy efficiency."""
+        kj = self.total_energy_kj
+        if kj <= 0:
+            return 0.0
+        return sum(r.n_generated for r in self.requests) / kj
+
+
+class ServingSimulator:
+    """FIFO batch-size-one serving of one engine (the paper's regime)."""
+
+    def __init__(self, engine: BaseEngine,
+                 generator: SequenceGenerator) -> None:
+        self.engine = engine
+        self.generator = generator
+
+    def run(self, arrival_times: np.ndarray, prompt_len: int,
+            output_len: int) -> ServingReport:
+        """Serve one request per arrival time; returns the report.
+
+        Requests are generated deterministically from the simulator's
+        workload generator (request ``i`` uses ``sample_idx=i``), so two
+        engines given the same arrival trace serve identical work.
+        """
+        arrival_times = np.sort(np.asarray(arrival_times, dtype=np.float64))
+        report = ServingReport(engine=self.engine.name)
+        engine_free = 0.0
+        for i, arrival in enumerate(arrival_times):
+            sequence = self.generator.sample_sequence(
+                prompt_len, output_len, sample_idx=i
+            )
+            result = self.engine.generate(
+                sequence.prompt_tokens, output_len,
+                forced_tokens=sequence.continuation_tokens,
+            )
+            start = max(engine_free, float(arrival))
+            first_token = start + result.stats.prefill_time_s
+            finish = start + result.stats.total_time_s
+            engine_free = finish
+            report.requests.append(
+                ServedRequest(
+                    request_id=i,
+                    arrival_s=float(arrival),
+                    start_s=start,
+                    first_token_s=first_token,
+                    finish_s=finish,
+                    n_prompt_tokens=result.stats.n_prompt_tokens,
+                    n_generated=result.stats.n_generated,
+                    energy_j=result.stats.energy.total_j,
+                )
+            )
+        return report

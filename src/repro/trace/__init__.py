@@ -1,0 +1,51 @@
+"""Routing-trace instrumentation and the paper's observation metrics."""
+
+from repro.trace.export import (
+    save_run,
+    timeline_to_chrome_trace,
+    timeline_to_dict,
+    trace_to_dict,
+)
+from repro.trace.prediction import PredictionStats
+from repro.trace.recorder import (
+    DECODE,
+    PHASES,
+    PREFILL,
+    ActivationTrace,
+    RoutingEvent,
+)
+from repro.trace.statistics import (
+    coactivation_matrix,
+    expert_load_stats,
+    gini_coefficient,
+    normalized_entropy,
+    summarize_routing,
+    temporal_locality,
+)
+from repro.trace.similarity import (
+    cosine_similarity,
+    matrix_similarity,
+    windowed_decode_similarity,
+)
+
+__all__ = [
+    "save_run",
+    "timeline_to_chrome_trace",
+    "timeline_to_dict",
+    "trace_to_dict",
+    "PredictionStats",
+    "DECODE",
+    "PHASES",
+    "PREFILL",
+    "ActivationTrace",
+    "RoutingEvent",
+    "coactivation_matrix",
+    "expert_load_stats",
+    "gini_coefficient",
+    "normalized_entropy",
+    "summarize_routing",
+    "temporal_locality",
+    "cosine_similarity",
+    "matrix_similarity",
+    "windowed_decode_similarity",
+]

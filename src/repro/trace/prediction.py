@@ -1,0 +1,60 @@
+"""Layer-ahead expert-prediction accuracy statistics (paper Fig. 5).
+
+The paper's observation (3): applying block ``i+1``'s gating function to
+block ``i``'s post-attention hidden states predicts block ``i+1``'s actual
+expert selection with high accuracy (84.11 % averaged over Alpaca, MATH,
+and C4 for Mixtral 8x7B), stabilizing after the first few layers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+
+@dataclass
+class PredictionStats:
+    """Accumulates per-block prediction hit rates."""
+
+    n_blocks: int
+    hits: np.ndarray = field(init=False)
+    totals: np.ndarray = field(init=False)
+
+    def __post_init__(self) -> None:
+        self.hits = np.zeros(self.n_blocks, dtype=np.float64)
+        self.totals = np.zeros(self.n_blocks, dtype=np.float64)
+
+    def record(self, block: int, predicted, actual) -> None:
+        """Record one token's prediction for ``block``.
+
+        Accuracy is set overlap: ``|predicted ∩ actual| / |actual|`` --
+        with top-2 routing a token scores 0, 0.5, or 1.
+        """
+        predicted_set = {int(e) for e in np.atleast_1d(predicted)}
+        actual_set = {int(e) for e in np.atleast_1d(actual)}
+        if not actual_set:
+            return
+        overlap = len(predicted_set & actual_set) / len(actual_set)
+        self.hits[block] += overlap
+        self.totals[block] += 1.0
+
+    def per_block_accuracy(self) -> np.ndarray:
+        """Per-block accuracy; NaN for blocks with no observations."""
+        with np.errstate(invalid="ignore", divide="ignore"):
+            return np.where(self.totals > 0, self.hits / self.totals, np.nan)
+
+    def mean_accuracy(self, start_block: int = 0) -> float:
+        """Mean accuracy over blocks ``>= start_block`` with observations."""
+        acc = self.per_block_accuracy()[start_block:]
+        acc = acc[~np.isnan(acc)]
+        if acc.size == 0:
+            return float("nan")
+        return float(np.mean(acc))
+
+    def merge(self, other: "PredictionStats") -> None:
+        """Accumulate another stats object into this one."""
+        if other.n_blocks != self.n_blocks:
+            raise ValueError("block counts differ")
+        self.hits += other.hits
+        self.totals += other.totals

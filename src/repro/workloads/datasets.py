@@ -1,0 +1,108 @@
+"""Synthetic dataset specifications.
+
+Each paper dataset is replaced by a synthetic analogue characterized by a
+handful of routing-relevant statistics (see DESIGN.md substitution table):
+
+- how many topics a sequence mixes (``n_active_topics``),
+- how peaked the per-sequence topic mixture is (``concentration``),
+- how fast the mixture drifts within a sequence (``drift_rate``) -- the
+  paper's §VI-B attributes GSM8K's accuracy sensitivity to exactly this
+  within-sequence drift,
+- background token noise (``noise_rate``), and
+- the paraphrase strength used by the accuracy harness
+  (``perturbation_strength``) which sets task difficulty.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+
+@dataclass(frozen=True)
+class DatasetSpec:
+    """Routing-statistics profile of one synthetic dataset."""
+
+    name: str
+    n_active_topics: int = 3
+    concentration: float = 0.5
+    drift_rate: float = 0.01
+    noise_rate: float = 0.10
+    perturbation_strength: float = 0.15
+
+    def __post_init__(self) -> None:
+        if self.n_active_topics < 1:
+            raise ValueError("n_active_topics must be positive")
+        if self.concentration <= 0:
+            raise ValueError("concentration must be positive")
+        for rate in (self.drift_rate, self.noise_rate,
+                     self.perturbation_strength):
+            if not 0.0 <= rate <= 1.0:
+                raise ValueError("rates must be in [0, 1]")
+
+    def with_overrides(self, **kwargs) -> "DatasetSpec":
+        """Copy with some fields replaced."""
+        return replace(self, **kwargs)
+
+
+# -- Presets mirroring the paper's evaluation datasets -------------------------
+
+C4 = DatasetSpec("c4", n_active_topics=3, concentration=0.55,
+                 drift_rate=0.010, noise_rate=0.12,
+                 perturbation_strength=0.12)
+MATH = DatasetSpec("math", n_active_topics=2, concentration=0.45,
+                   drift_rate=0.015, noise_rate=0.08,
+                   perturbation_strength=0.16)
+GSM8K = DatasetSpec("gsm8k", n_active_topics=4, concentration=0.70,
+                    drift_rate=0.060, noise_rate=0.12,
+                    perturbation_strength=0.18)
+TRIVIA_QA = DatasetSpec("triviaqa", n_active_topics=2, concentration=0.40,
+                        drift_rate=0.006, noise_rate=0.08,
+                        perturbation_strength=0.10)
+ALPACA = DatasetSpec("alpaca", n_active_topics=3, concentration=0.50,
+                     drift_rate=0.012, noise_rate=0.10,
+                     perturbation_strength=0.13)
+SHAREGPT = DatasetSpec("sharegpt", n_active_topics=4, concentration=0.60,
+                       drift_rate=0.020, noise_rate=0.12,
+                       perturbation_strength=0.14)
+HELLASWAG = DatasetSpec("hellaswag", n_active_topics=2, concentration=0.45,
+                        drift_rate=0.010, noise_rate=0.10,
+                        perturbation_strength=0.115)
+ARC_E = DatasetSpec("arc_easy", n_active_topics=2, concentration=0.45,
+                    drift_rate=0.010, noise_rate=0.09,
+                    perturbation_strength=0.06)
+ARC_C = DatasetSpec("arc_challenge", n_active_topics=3, concentration=0.50,
+                    drift_rate=0.012, noise_rate=0.10,
+                    perturbation_strength=0.125)
+PIQA = DatasetSpec("piqa", n_active_topics=2, concentration=0.45,
+                   drift_rate=0.010, noise_rate=0.09,
+                   perturbation_strength=0.065)
+WINOGRANDE = DatasetSpec("winogrande", n_active_topics=2, concentration=0.45,
+                         drift_rate=0.010, noise_rate=0.10,
+                         perturbation_strength=0.07)
+TRUTHFULQA = DatasetSpec("truthfulqa", n_active_topics=3, concentration=0.50,
+                         drift_rate=0.012, noise_rate=0.10,
+                         perturbation_strength=0.14)
+MMLU = DatasetSpec("mmlu", n_active_topics=3, concentration=0.50,
+                   drift_rate=0.012, noise_rate=0.10,
+                   perturbation_strength=0.105)
+BBH = DatasetSpec("bbh", n_active_topics=3, concentration=0.55,
+                  drift_rate=0.020, noise_rate=0.11,
+                  perturbation_strength=0.17)
+
+ALL_DATASETS = {
+    spec.name: spec
+    for spec in (
+        C4, MATH, GSM8K, TRIVIA_QA, ALPACA, SHAREGPT, HELLASWAG,
+        ARC_E, ARC_C, PIQA, WINOGRANDE, TRUTHFULQA, MMLU, BBH,
+    )
+}
+
+
+def get_dataset(name: str) -> DatasetSpec:
+    """Look up a dataset preset by name."""
+    try:
+        return ALL_DATASETS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown dataset {name!r}; known: {sorted(ALL_DATASETS)}"
+        ) from None

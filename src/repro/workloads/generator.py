@@ -1,0 +1,160 @@
+"""Synthetic sequence generation over the topical vocabulary.
+
+A sequence carries a latent topic mixture over a few active topics.  Each
+token is drawn from that mixture (or, with ``noise_rate``, uniformly from
+the whole vocabulary).  With probability ``drift_rate`` per token the
+mixture random-walks: the weakest active topic is replaced by a fresh one
+and the weights are resampled.  Prompt and continuation are drawn from the
+same evolving process, which is what gives the high prefill/decode routing
+similarity of the paper's observation (2); high drift (GSM8K) erodes it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import zlib
+
+import numpy as np
+
+from repro.model.vocab import TopicVocabulary
+from repro.workloads.datasets import DatasetSpec
+
+
+@dataclass
+class SyntheticSequence:
+    """One generated sample: prompt plus reference continuation."""
+
+    dataset: str
+    prompt_tokens: np.ndarray
+    continuation_tokens: np.ndarray
+    topic_history: np.ndarray = field(repr=False, default=None)
+    seed: int = 0
+
+    @property
+    def full_tokens(self) -> np.ndarray:
+        """Prompt and continuation concatenated."""
+        return np.concatenate(
+            [self.prompt_tokens, self.continuation_tokens]
+        )
+
+
+class _TopicMixtureState:
+    """The evolving per-sequence topic mixture."""
+
+    def __init__(self, spec: DatasetSpec, n_topics: int,
+                 rng: np.random.Generator) -> None:
+        self.spec = spec
+        self.n_topics = n_topics
+        self.rng = rng
+        n_active = min(spec.n_active_topics, n_topics)
+        self.active = rng.choice(n_topics, size=n_active, replace=False)
+        self.weights = self._sample_weights(n_active)
+
+    def _sample_weights(self, n_active: int) -> np.ndarray:
+        return self.rng.dirichlet(np.full(n_active, self.spec.concentration))
+
+    def maybe_drift(self) -> None:
+        """With probability ``drift_rate``, mutate the active-topic set."""
+        if self.rng.random() >= self.spec.drift_rate:
+            return
+        weakest = int(np.argmin(self.weights))
+        candidates = np.setdiff1d(np.arange(self.n_topics), self.active)
+        if candidates.size:
+            self.active = self.active.copy()
+            self.active[weakest] = self.rng.choice(candidates)
+        self.weights = self._sample_weights(self.active.size)
+
+    def sample_topic(self) -> int:
+        """Draw one topic from the current mixture."""
+        return int(self.rng.choice(self.active, p=self.weights))
+
+
+class SequenceGenerator:
+    """Draws :class:`SyntheticSequence` samples for one dataset."""
+
+    def __init__(self, spec: DatasetSpec, vocab: TopicVocabulary,
+                 seed: int = 0) -> None:
+        self.spec = spec
+        self.vocab = vocab
+        self.seed = seed
+        self._topic_tokens = [
+            vocab.tokens_of_topic(t) for t in range(vocab.n_topics)
+        ]
+        self._regular_tokens = np.nonzero(vocab.token_topic >= 0)[0]
+
+    def _emit_tokens(self, n: int, state: _TopicMixtureState,
+                     rng: np.random.Generator) -> tuple[np.ndarray, np.ndarray]:
+        tokens = np.empty(n, dtype=np.int64)
+        topics = np.empty(n, dtype=np.int64)
+        for i in range(n):
+            state.maybe_drift()
+            if rng.random() < self.spec.noise_rate:
+                tokens[i] = rng.choice(self._regular_tokens)
+                topics[i] = self.vocab.topic_of(int(tokens[i]))
+            else:
+                topic = state.sample_topic()
+                tokens[i] = rng.choice(self._topic_tokens[topic])
+                topics[i] = topic
+        return tokens, topics
+
+    def sample_sequence(self, prompt_len: int, continuation_len: int = 0,
+                        sample_idx: int = 0) -> SyntheticSequence:
+        """Generate one deterministic sample (keyed by ``sample_idx``)."""
+        if prompt_len < 1:
+            raise ValueError("prompt_len must be positive")
+        rng = np.random.default_rng(
+            np.random.SeedSequence([self.seed, zlib.crc32(self.spec.name.encode()) & 0xFFFF,
+                                    sample_idx])
+        )
+        state = _TopicMixtureState(self.spec, self.vocab.n_topics, rng)
+        prompt, topics_p = self._emit_tokens(prompt_len, state, rng)
+        prompt[0] = self.vocab.bos_id
+        continuation, topics_c = self._emit_tokens(
+            continuation_len, state, rng
+        )
+        return SyntheticSequence(
+            dataset=self.spec.name,
+            prompt_tokens=prompt,
+            continuation_tokens=continuation,
+            topic_history=np.concatenate([topics_p, topics_c]),
+            seed=sample_idx,
+        )
+
+    def sample_batch(self, n_samples: int, prompt_len: int,
+                     continuation_len: int = 0) -> list[SyntheticSequence]:
+        """Generate ``n_samples`` independent sequences."""
+        return [
+            self.sample_sequence(prompt_len, continuation_len, sample_idx=i)
+            for i in range(n_samples)
+        ]
+
+    def perturb_prompt(self, sequence: SyntheticSequence,
+                       strength: float | None = None,
+                       salt: int = 1) -> np.ndarray:
+        """Paraphrase a prompt: swap tokens within their own topic.
+
+        The accuracy harness feeds the perturbed prompt to the engine under
+        test and scores its output against the official model's output on
+        the *canonical* prompt; ``strength`` (defaulting to the dataset's
+        ``perturbation_strength``) therefore sets task difficulty.
+        """
+        if strength is None:
+            strength = self.spec.perturbation_strength
+        if not 0.0 <= strength <= 1.0:
+            raise ValueError("strength must be in [0, 1]")
+        rng = np.random.default_rng(
+            np.random.SeedSequence(
+                [self.seed, zlib.crc32(self.spec.name.encode()) & 0xFFFF,
+                 sequence.seed, salt]
+            )
+        )
+        perturbed = sequence.prompt_tokens.copy()
+        for i in range(1, perturbed.size):  # keep BOS intact
+            if rng.random() >= strength:
+                continue
+            topic = self.vocab.topic_of(int(perturbed[i]))
+            if topic < 0:
+                continue
+            perturbed[i] = rng.choice(self._topic_tokens[topic])
+        return perturbed

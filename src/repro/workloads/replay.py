@@ -1,0 +1,88 @@
+"""Workload recording and replay.
+
+A recorded workload pins down the exact requests (prompt tokens, forced
+continuations, arrival order) of an experiment as a JSON file, so a
+result can be re-examined later, shared, or replayed against a different
+engine/platform without depending on generator code staying bit-stable
+across versions.
+"""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+
+from repro.workloads.generator import SequenceGenerator, SyntheticSequence
+
+FORMAT_VERSION = 1
+
+
+def record_workload(generator: SequenceGenerator, n_sequences: int,
+                    prompt_len: int, continuation_len: int) -> dict:
+    """Materialize a generator's first ``n_sequences`` samples."""
+    sequences = generator.sample_batch(n_sequences, prompt_len,
+                                       continuation_len)
+    return {
+        "version": FORMAT_VERSION,
+        "dataset": generator.spec.name,
+        "seed": generator.seed,
+        "prompt_len": prompt_len,
+        "continuation_len": continuation_len,
+        "sequences": [
+            {
+                "sample_idx": seq.seed,
+                "prompt": seq.prompt_tokens.tolist(),
+                "continuation": seq.continuation_tokens.tolist(),
+            }
+            for seq in sequences
+        ],
+    }
+
+
+def save_workload(path: str, payload: dict) -> None:
+    """Write a recorded workload to disk."""
+    with open(path, "w") as handle:
+        json.dump(payload, handle)
+
+
+def load_workload(path: str) -> list[SyntheticSequence]:
+    """Load a recorded workload back into sequence objects."""
+    with open(path) as handle:
+        payload = json.load(handle)
+    if payload.get("version") != FORMAT_VERSION:
+        raise ValueError(
+            f"unsupported workload format: {payload.get('version')!r}"
+        )
+    sequences = []
+    for entry in payload["sequences"]:
+        sequences.append(
+            SyntheticSequence(
+                dataset=payload["dataset"],
+                prompt_tokens=np.asarray(entry["prompt"], dtype=np.int64),
+                continuation_tokens=np.asarray(entry["continuation"],
+                                               dtype=np.int64),
+                topic_history=None,
+                seed=int(entry["sample_idx"]),
+            )
+        )
+    return sequences
+
+
+def replay_workload(engine, sequences: list[SyntheticSequence],
+                    max_new_tokens: int | None = None) -> list:
+    """Run an engine over a recorded workload; returns the results."""
+    results = []
+    for sequence in sequences:
+        n_new = max_new_tokens
+        if n_new is None:
+            n_new = max(int(sequence.continuation_tokens.size), 1)
+        forced = (
+            sequence.continuation_tokens
+            if sequence.continuation_tokens.size >= n_new - 1 else None
+        )
+        results.append(
+            engine.generate(sequence.prompt_tokens, n_new,
+                            forced_tokens=forced)
+        )
+    return results

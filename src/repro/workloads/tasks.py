@@ -1,0 +1,80 @@
+"""Downstream-task definitions for the accuracy harness.
+
+A task binds a dataset profile to an evaluation protocol: prompt length,
+answer length, and metric.  Three metrics cover the paper's tables:
+
+- ``first_token``: accuracy of the first generated token (paper Table V
+  evaluates "the first output token generated rather than the entire
+  output sequence").
+- ``exact_match``: full equality of the generated answer span
+  (TriviaQA / BBH / GSM8K in Table VI).
+- ``rouge``: Rouge-1/2 F1 of a longer generation (TruthfulQA in Table VI).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.workloads import datasets as ds
+from repro.workloads.datasets import DatasetSpec
+
+METRICS = ("first_token", "exact_match", "rouge")
+
+
+@dataclass(frozen=True)
+class TaskSpec:
+    """One downstream evaluation task."""
+
+    name: str
+    dataset: DatasetSpec
+    prompt_len: int
+    answer_len: int
+    metric: str
+    n_samples: int = 32
+
+    def __post_init__(self) -> None:
+        if self.metric not in METRICS:
+            raise ValueError(f"metric must be one of {METRICS}")
+        if self.prompt_len < 1 or self.answer_len < 1:
+            raise ValueError("prompt_len and answer_len must be positive")
+        if self.n_samples < 1:
+            raise ValueError("n_samples must be positive")
+
+
+# -- Paper Table V: tasks scored on the first output token --------------------
+
+TABLE5_TASKS = (
+    TaskSpec("arc_challenge", ds.ARC_C, prompt_len=96, answer_len=1,
+             metric="first_token"),
+    TaskSpec("hellaswag", ds.HELLASWAG, prompt_len=64, answer_len=1,
+             metric="first_token"),
+    TaskSpec("truthfulqa", ds.TRUTHFULQA, prompt_len=64, answer_len=1,
+             metric="first_token"),
+    TaskSpec("piqa", ds.PIQA, prompt_len=48, answer_len=1,
+             metric="first_token"),
+    TaskSpec("winogrande", ds.WINOGRANDE, prompt_len=48, answer_len=1,
+             metric="first_token"),
+    TaskSpec("mmlu", ds.MMLU, prompt_len=96, answer_len=1,
+             metric="first_token"),
+)
+
+# -- Paper Table VI: tasks scored over the entire generation ------------------
+
+TABLE6_TASKS = (
+    TaskSpec("triviaqa", ds.TRIVIA_QA, prompt_len=48, answer_len=6,
+             metric="exact_match"),
+    TaskSpec("bbh", ds.BBH, prompt_len=80, answer_len=8,
+             metric="exact_match"),
+    TaskSpec("truthfulqa_gen", ds.TRUTHFULQA, prompt_len=64, answer_len=24,
+             metric="rouge"),
+    TaskSpec("gsm8k", ds.GSM8K, prompt_len=80, answer_len=8,
+             metric="exact_match"),
+)
+
+
+def get_task(name: str) -> TaskSpec:
+    """Look up a task preset by name."""
+    for task in TABLE5_TASKS + TABLE6_TASKS:
+        if task.name == name:
+            return task
+    raise KeyError(f"unknown task {name!r}")

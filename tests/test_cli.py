@@ -1,0 +1,77 @@
+"""CLI integration tests (all on the tiny model for speed)."""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+
+TINY = ["--model", "tiny", "--blocks", "4", "--ecr", "0.5"]
+
+
+def test_parser_requires_command():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args([])
+
+
+def test_info(capsys):
+    assert main(["info", *TINY]) == 0
+    out = capsys.readouterr().out
+    assert "Tiny-MoE" in out
+    assert "expert upload" in out
+
+
+def test_speed(capsys):
+    rc = main(["speed", *TINY, "--engines", "fiddler", "daop",
+               "--input-len", "12", "--output-len", "6"])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "fiddler" in out and "daop" in out
+    assert "tok/s" in out and "tok/kJ" in out
+
+
+def test_speed_rejects_unknown_engine():
+    with pytest.raises(SystemExit):
+        main(["speed", *TINY, "--engines", "vllm"])
+
+
+def test_accuracy(capsys):
+    rc = main(["accuracy", *TINY, "--task", "piqa", "--samples", "2",
+               "--engines", "daop"])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "official" in out
+    assert "piqa" in out
+
+
+def test_observe(capsys):
+    rc = main(["observe", *TINY, "--dataset", "c4", "--sequences", "2"])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "similarity" in out
+
+
+def test_serve(capsys):
+    rc = main(["serve", *TINY, "--engines", "daop", "--requests", "2",
+               "--rate", "1.0", "--input-len", "10", "--output-len", "4"])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "TTFT p50" in out
+
+
+def test_trace_with_chrome_export(tmp_path, capsys):
+    trace_path = tmp_path / "trace.json"
+    rc = main(["trace", *TINY, "--engine", "daop", "--input-len", "10",
+               "--output-len", "4", "--output", str(trace_path)])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "makespan" in out
+    payload = json.loads(trace_path.read_text())
+    assert payload["traceEvents"]
+
+
+def test_trace_without_export(capsys):
+    rc = main(["trace", *TINY, "--engine", "fiddler", "--input-len", "10",
+               "--output-len", "4"])
+    assert rc == 0
+    assert "critical path" in capsys.readouterr().out

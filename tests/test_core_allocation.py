@@ -1,0 +1,90 @@
+"""Unit tests for Algorithm 1 (sequence-specific expert allocation)."""
+
+import numpy as np
+import pytest
+
+from repro.core.allocation import (
+    activity_from_routing,
+    plan_block_swaps,
+)
+from repro.hardware.device import DeviceKind
+from repro.memory.placement import ExpertPlacement
+
+
+def make_placement(gpu_experts, n_experts=8):
+    p = ExpertPlacement(1, n_experts)
+    for e in gpu_experts:
+        p.set_device(0, e, DeviceKind.GPU)
+    return p
+
+
+def test_activity_from_routing():
+    experts = np.array([[0, 1], [0, 2], [1, 0]])
+    counts = activity_from_routing(experts, 4)
+    np.testing.assert_array_equal(counts, [3, 2, 1, 0])
+
+
+def test_hot_cpu_swaps_with_cold_gpu():
+    placement = make_placement([0, 1, 2, 3])
+    activity = np.array([10.0, 9.0, 8.0, 0.0, 20.0, 0.0, 0.0, 0.0])
+    plans = plan_block_swaps(0, activity, placement)
+    # CPU expert 4 (20 tokens) should displace GPU expert 3 (0 tokens).
+    assert len(plans) == 1
+    assert plans[0].hot_expert == 4
+    assert plans[0].cold_expert == 3
+
+
+def test_threshold_blocks_marginal_swaps():
+    placement = make_placement([0])
+    # CPU expert 1 has activity 10, GPU expert 0 has 9.8: inside the 1.05
+    # band, so no swap (Alg. 1's SwapInOut guard).
+    activity = np.zeros(8)
+    activity[0] = 9.8
+    activity[1] = 10.0
+    assert plan_block_swaps(0, activity, placement) == []
+    # But 10.3 >= 1.05 * 9.8 triggers it.
+    activity[1] = 10.3
+    plans = plan_block_swaps(0, activity, placement)
+    assert len(plans) == 1
+
+
+def test_swap_num_caps_pairings():
+    """At most n_experts // 2 tuples are considered."""
+    placement = make_placement([0, 1, 2, 3])
+    activity = np.array([0.0, 0.0, 0.0, 0.0, 10.0, 10.0, 10.0, 10.0])
+    plans = plan_block_swaps(0, activity, placement)
+    assert len(plans) == 4  # SwapNum = 4 for 8 experts
+
+
+def test_pairing_order_hottest_vs_coldest():
+    placement = make_placement([0, 1])
+    activity = np.array([5.0, 1.0, 0.0, 0.0, 20.0, 10.0, 0.0, 0.0])
+    plans = plan_block_swaps(0, activity, placement)
+    # Hottest CPU (4: 20) pairs with coldest GPU (1: 1).
+    assert plans[0].hot_expert == 4
+    assert plans[0].cold_expert == 1
+    # Second pairing (5: 10) vs (0: 5) also swaps.
+    assert plans[1].hot_expert == 5
+    assert plans[1].cold_expert == 0
+
+
+def test_no_swaps_without_cpu_or_gpu_experts():
+    all_gpu = make_placement(range(8))
+    activity = np.arange(8.0)
+    assert plan_block_swaps(0, activity, all_gpu) == []
+    all_cpu = make_placement([])
+    assert plan_block_swaps(0, activity, all_cpu) == []
+
+
+def test_zero_activity_never_swaps():
+    placement = make_placement([0, 1])
+    activity = np.zeros(8)
+    assert plan_block_swaps(0, activity, placement) == []
+
+
+def test_validation():
+    placement = make_placement([0])
+    with pytest.raises(ValueError):
+        plan_block_swaps(0, np.zeros(4), placement)  # wrong length
+    with pytest.raises(ValueError):
+        plan_block_swaps(0, np.zeros(8), placement, swap_threshold=0.0)

@@ -1,0 +1,138 @@
+"""Baseline-engine behaviour tests."""
+
+import numpy as np
+import pytest
+
+from repro.core import build_engine
+from repro.workloads import C4, SequenceGenerator
+
+
+@pytest.fixture(scope="module")
+def sequence(tiny_bundle):
+    gen = SequenceGenerator(C4, tiny_bundle.vocab, seed=21)
+    return gen.sample_sequence(12, 6, sample_idx=0)
+
+
+class TestOnDemand:
+    def test_uploads_on_miss(self, tiny_bundle, platform, tiny_calibration,
+                             sequence):
+        engine = build_engine("moe-ondemand", tiny_bundle, platform, 0.25,
+                              tiny_calibration)
+        result = engine.generate(sequence.prompt_tokens, 6)
+        assert result.stats.counters.expert_uploads > 0
+        # Migration happens in decode too (unlike DAOP).
+        uploads = [op for op in result.timeline.ops
+                   if op.kind == "expert_upload"]
+        assert any(op.start > result.stats.prefill_time_s for op in uploads)
+
+    def test_no_cpu_execution(self, tiny_bundle, platform, tiny_calibration,
+                              sequence):
+        engine = build_engine("moe-ondemand", tiny_bundle, platform, 0.25,
+                              tiny_calibration)
+        result = engine.generate(sequence.prompt_tokens, 6)
+        assert result.stats.counters.cpu_expert_execs == 0
+
+    def test_full_cache_never_uploads(self, tiny_bundle, platform,
+                                      tiny_calibration, sequence):
+        engine = build_engine("moe-ondemand", tiny_bundle, platform, 1.0,
+                              tiny_calibration)
+        result = engine.generate(sequence.prompt_tokens, 6)
+        assert result.stats.counters.expert_uploads == 0
+
+
+class TestDeepSpeedMII:
+    def test_streams_every_activation(self, tiny_bundle, platform, sequence):
+        engine = build_engine("deepspeed-mii", tiny_bundle, platform)
+        result = engine.generate(sequence.prompt_tokens, 6)
+        # Prefill: one upload per activated expert per block; decode: one
+        # per (token, block, expert).  Far more than OnDemand with a cache.
+        assert result.stats.counters.expert_uploads >= (
+            tiny_bundle.model.n_blocks * 2
+        )
+        assert result.stats.counters.cpu_expert_execs == 0
+
+    def test_nothing_stays_resident(self, tiny_bundle, platform, sequence):
+        engine = build_engine("deepspeed-mii", tiny_bundle, platform)
+        result = engine.generate(sequence.prompt_tokens, 6)
+        assert result.placement.expert_cache_ratio == 0.0
+
+
+class TestMixtralOffloading:
+    def test_quantized_uploads_cheaper_than_ondemand(
+            self, tiny_bundle, platform, tiny_calibration, sequence):
+        quant = build_engine("mixtral-offloading", tiny_bundle, platform,
+                             0.25, tiny_calibration, stream_overhead=1.0)
+        full = build_engine("moe-ondemand", tiny_bundle, platform, 0.25,
+                            tiny_calibration)
+        up_q = [op for op in quant.generate(sequence.prompt_tokens, 6)
+                .timeline.ops if op.kind == "expert_upload"]
+        up_f = [op for op in full.generate(sequence.prompt_tokens, 6)
+                .timeline.ops if op.kind == "expert_upload"]
+        assert up_q and up_f
+        assert up_q[0].duration < up_f[0].duration
+
+    def test_dequant_ops_emitted(self, tiny_bundle, platform,
+                                 tiny_calibration, sequence):
+        engine = build_engine("mixtral-offloading", tiny_bundle, platform,
+                              0.25, tiny_calibration)
+        result = engine.generate(sequence.prompt_tokens, 6)
+        dequants = [op for op in result.timeline.ops if op.kind == "dequant"]
+        uploads = [op for op in result.timeline.ops
+                   if op.kind == "expert_upload"]
+        assert len(dequants) == len(uploads) > 0
+
+    def test_validation(self, tiny_bundle, platform, tiny_calibration):
+        with pytest.raises(ValueError):
+            build_engine("mixtral-offloading", tiny_bundle, platform, 0.25,
+                         tiny_calibration, quant_ratio=0.0)
+        with pytest.raises(ValueError):
+            build_engine("mixtral-offloading", tiny_bundle, platform, 0.25,
+                         tiny_calibration, stream_overhead=0.5)
+
+
+class TestFiddler:
+    def test_no_migration_ever(self, tiny_bundle, platform,
+                               tiny_calibration, sequence):
+        engine = build_engine("fiddler", tiny_bundle, platform, 0.25,
+                              tiny_calibration)
+        result = engine.generate(sequence.prompt_tokens, 6)
+        assert result.stats.counters.expert_uploads == 0
+        np.testing.assert_array_equal(
+            result.placement.as_matrix(),
+            engine.initial_placement.as_matrix(),
+        )
+
+    def test_cpu_execution_on_miss(self, tiny_bundle, platform,
+                                   tiny_calibration, sequence):
+        engine = build_engine("fiddler", tiny_bundle, platform, 0.25,
+                              tiny_calibration)
+        result = engine.generate(sequence.prompt_tokens, 6)
+        assert result.stats.counters.cpu_expert_execs > 0
+
+    def test_activation_roundtrips_scheduled(self, tiny_bundle, platform,
+                                             tiny_calibration, sequence):
+        engine = build_engine("fiddler", tiny_bundle, platform, 0.25,
+                              tiny_calibration)
+        result = engine.generate(sequence.prompt_tokens, 6)
+        d2h = [op for op in result.timeline.ops if op.kind == "act_d2h"]
+        h2d = [op for op in result.timeline.ops if op.kind == "act_h2d"]
+        assert len(d2h) == len(h2d) == result.stats.counters.cpu_expert_execs
+
+
+class TestPreGated:
+    def test_prefetches_ahead(self, tiny_bundle, platform, tiny_calibration,
+                              sequence):
+        engine = build_engine("pregated-moe", tiny_bundle, platform, 0.25,
+                              tiny_calibration)
+        result = engine.generate(sequence.prompt_tokens, 6)
+        assert result.stats.counters.expert_uploads > 0
+
+    def test_exact_routing_preserved(self, tiny_bundle, platform,
+                                     tiny_calibration, sequence):
+        """Pre-gated prefetching must not change the computed tokens."""
+        official = build_engine("official", tiny_bundle, platform)
+        pregated = build_engine("pregated-moe", tiny_bundle, platform, 0.25,
+                                tiny_calibration)
+        a = official.generate(sequence.prompt_tokens, 6)
+        b = pregated.generate(sequence.prompt_tokens, 6)
+        np.testing.assert_array_equal(a.tokens, b.tokens)

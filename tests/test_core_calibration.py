@@ -1,0 +1,40 @@
+"""Unit tests for activation-probability calibration (paper §IV-A)."""
+
+import numpy as np
+import pytest
+
+from repro.core.calibration import calibrate_activation_probs
+from repro.workloads.datasets import C4
+
+
+def test_shape_and_normalization(tiny_bundle, tiny_calibration):
+    model = tiny_bundle.model
+    probs = tiny_calibration
+    assert probs.shape == (model.n_blocks, model.n_experts)
+    # Each token activates exactly top_k experts per block.
+    np.testing.assert_allclose(
+        probs.sum(axis=1), np.full(model.n_blocks, model.top_k), rtol=1e-9
+    )
+    assert np.all(probs >= 0)
+
+
+def test_deterministic(tiny_bundle):
+    a = calibrate_activation_probs(tiny_bundle, n_sequences=2,
+                                   prompt_len=8, decode_len=8, seed=1)
+    b = calibrate_activation_probs(tiny_bundle, n_sequences=2,
+                                   prompt_len=8, decode_len=8, seed=1)
+    np.testing.assert_array_equal(a, b)
+
+
+def test_dataset_changes_distribution(tiny_bundle):
+    sharegpt = calibrate_activation_probs(tiny_bundle, n_sequences=2,
+                                          prompt_len=8, decode_len=12, seed=0)
+    c4 = calibrate_activation_probs(tiny_bundle, dataset=C4, n_sequences=2,
+                                    prompt_len=8, decode_len=12, seed=0)
+    assert not np.allclose(sharegpt, c4)
+
+
+def test_rejects_empty_decode(tiny_bundle):
+    with pytest.raises(ValueError):
+        calibrate_activation_probs(tiny_bundle, n_sequences=0,
+                                   prompt_len=8, decode_len=8)

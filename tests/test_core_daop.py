@@ -1,0 +1,160 @@
+"""DAOP engine behaviour tests."""
+
+import numpy as np
+import pytest
+
+from repro.core.daop import DAOPEngine
+from repro.memory.cache import CacheConfig
+from repro.workloads import C4, SequenceGenerator
+
+
+@pytest.fixture(scope="module")
+def sequence(tiny_bundle):
+    gen = SequenceGenerator(C4, tiny_bundle.vocab, seed=11)
+    return gen.sample_sequence(16, 8, sample_idx=0)
+
+
+def make_daop(tiny_bundle, platform, tiny_calibration, **kw):
+    return DAOPEngine(
+        tiny_bundle, platform,
+        cache_config=CacheConfig(ecr=kw.pop("ecr", 0.5)),
+        calibration_probs=tiny_calibration,
+        prediction_start_block=kw.pop("prediction_start_block", 2),
+        **kw,
+    )
+
+
+def test_migrations_restricted_to_prefill(tiny_bundle, platform,
+                                          tiny_calibration, sequence):
+    """Paper §IV-B: expert migration only happens during prefill."""
+    engine = make_daop(tiny_bundle, platform, tiny_calibration)
+    result = engine.generate(sequence.prompt_tokens, 8)
+    prefill_end = result.stats.prefill_time_s
+    uploads = [op for op in result.timeline.ops
+               if op.kind == "expert_upload"]
+    assert all(op.start <= prefill_end for op in uploads)
+
+
+def test_swaps_preserve_cache_size(tiny_bundle, platform, tiny_calibration,
+                                   sequence):
+    """Algorithm 1 swaps one-in-one-out: the ECR never changes."""
+    engine = make_daop(tiny_bundle, platform, tiny_calibration)
+    before = engine.initial_placement.expert_cache_ratio
+    result = engine.generate(sequence.prompt_tokens, 8)
+    assert result.placement.expert_cache_ratio == pytest.approx(before)
+
+
+def test_sequence_allocation_improves_hit_rate(tiny_bundle, platform,
+                                               tiny_calibration):
+    """Algorithm 1 should lift the decode GPU hit rate on skewed input."""
+    gen = SequenceGenerator(C4, tiny_bundle.vocab, seed=13)
+    hits = {}
+    for alloc in (False, True):
+        engine = make_daop(tiny_bundle, platform, tiny_calibration,
+                           enable_seq_allocation=alloc, ecr=0.25,
+                           enable_precalc=False)
+        rates = []
+        for i in range(4):
+            seq = gen.sample_sequence(24, 12, sample_idx=i)
+            result = engine.generate(
+                seq.prompt_tokens, 12,
+                forced_tokens=seq.continuation_tokens,
+            )
+            rates.append(result.stats.counters.gpu_hit_rate)
+        hits[alloc] = np.mean(rates)
+    assert hits[True] > hits[False]
+
+
+def test_precalc_emits_stale_executions(tiny_bundle, platform,
+                                        tiny_calibration, sequence):
+    engine = make_daop(tiny_bundle, platform, tiny_calibration, ecr=0.25)
+    result = engine.generate(sequence.prompt_tokens, 8)
+    assert result.stats.counters.stale_input_execs > 0
+
+
+def test_precalc_disabled_no_stale(tiny_bundle, platform, tiny_calibration,
+                                   sequence):
+    engine = make_daop(tiny_bundle, platform, tiny_calibration,
+                       enable_precalc=False, ecr=0.25)
+    result = engine.generate(sequence.prompt_tokens, 8)
+    assert result.stats.counters.stale_input_execs == 0
+    assert result.stats.counters.degraded_swaps == 0
+
+
+def test_graceful_degradation_counter(tiny_bundle, platform,
+                                      tiny_calibration):
+    """With a tiny cache and drifting input, both predicted experts often
+    sit on the CPU, so graceful degradation must fire."""
+    from repro.workloads import GSM8K
+
+    gen = SequenceGenerator(
+        GSM8K.with_overrides(drift_rate=0.2), tiny_bundle.vocab, seed=5
+    )
+    engine = make_daop(tiny_bundle, platform, tiny_calibration, ecr=0.25,
+                       enable_seq_allocation=False)
+    total = 0
+    for i in range(3):
+        seq = gen.sample_sequence(16, 24, sample_idx=i)
+        result = engine.generate(seq.prompt_tokens, 24,
+                                 forced_tokens=seq.continuation_tokens)
+        total += result.stats.counters.degraded_swaps
+    assert total > 0
+
+
+def test_degradation_off_executes_prediction_verbatim(
+        tiny_bundle, platform, tiny_calibration, sequence):
+    engine = make_daop(tiny_bundle, platform, tiny_calibration, ecr=0.25,
+                       graceful_degradation=False)
+    result = engine.generate(sequence.prompt_tokens, 8)
+    assert result.stats.counters.degraded_swaps == 0
+
+
+def test_predicted_blocks_marked_in_trace(tiny_bundle, platform,
+                                          tiny_calibration, sequence):
+    engine = make_daop(tiny_bundle, platform, tiny_calibration)
+    result = engine.generate(sequence.prompt_tokens, 8)
+    predicted_blocks = {e.block for e in result.trace.events if e.predicted}
+    n = tiny_bundle.model.n_blocks
+    # Prediction from block >= 2 targets blocks 3..n-1.
+    assert predicted_blocks == set(range(3, n))
+
+
+def test_early_blocks_use_true_gate(tiny_bundle, platform, tiny_calibration,
+                                    sequence):
+    engine = make_daop(tiny_bundle, platform, tiny_calibration,
+                       prediction_start_block=4)
+    result = engine.generate(sequence.prompt_tokens, 8)
+    for event in result.trace.events:
+        if event.phase == "decode" and event.block <= 4:
+            assert not event.predicted
+            assert event.executed_experts == event.experts
+
+
+def test_precalc_overlap_reduces_latency(tiny_bundle, platform,
+                                         tiny_calibration, sequence):
+    """Pre-calculation must strictly help at equal placement quality."""
+    base = make_daop(tiny_bundle, platform, tiny_calibration, ecr=0.25,
+                     enable_precalc=False)
+    fast = make_daop(tiny_bundle, platform, tiny_calibration, ecr=0.25)
+    t_base = base.generate(sequence.prompt_tokens, 12).stats.decode_time_s
+    t_fast = fast.generate(sequence.prompt_tokens, 12).stats.decode_time_s
+    assert t_fast < t_base
+
+
+def test_executed_cpu_experts_capped_by_degradation(
+        tiny_bundle, platform, tiny_calibration, sequence):
+    """With degradation on, predicted blocks run at most one CPU expert."""
+    engine = make_daop(tiny_bundle, platform, tiny_calibration, ecr=0.25,
+                       max_cpu_experts=1)
+    result = engine.generate(sequence.prompt_tokens, 12)
+    placement = result.placement
+    for event in result.trace.events:
+        if not event.predicted or event.executed_experts is None:
+            continue
+        on_cpu = sum(
+            1 for e in event.executed_experts
+            if not placement.is_on_gpu(event.block, e)
+        )
+        # Cap holds whenever any GPU-resident alternative existed.
+        if placement.gpu_experts(event.block).size >= 1:
+            assert on_cpu <= 1

@@ -1,0 +1,79 @@
+"""Analyses over DAOP's oracle-instrumented traces.
+
+DAOP records both what the true gate *would* have selected
+(``RoutingEvent.experts``) and what it actually executed
+(``executed_experts``) for every predicted block, so in-engine prediction
+quality and degradation effects can be measured from generation traces.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.daop import DAOPEngine
+from repro.memory.cache import CacheConfig
+from repro.trace.prediction import PredictionStats
+from repro.workloads import C4, SequenceGenerator
+
+
+@pytest.fixture(scope="module")
+def daop_result(tiny_bundle, platform, tiny_calibration):
+    engine = DAOPEngine(
+        tiny_bundle, platform, cache_config=CacheConfig(ecr=0.5),
+        calibration_probs=tiny_calibration, prediction_start_block=1,
+    )
+    gen = SequenceGenerator(C4, tiny_bundle.vocab, seed=141)
+    seq = gen.sample_sequence(16, 32, sample_idx=0)
+    return engine.generate(seq.prompt_tokens, 32,
+                           forced_tokens=seq.continuation_tokens)
+
+
+def test_in_engine_prediction_beats_chance(daop_result, tiny_bundle):
+    """Executed (predicted) sets overlap true selections well above the
+    ~58 % chance level of top-2-of-4 routing."""
+    stats = PredictionStats(tiny_bundle.model.n_blocks)
+    for event in daop_result.trace.events:
+        if event.predicted:
+            stats.record(event.block, event.executed_experts,
+                         event.experts)
+    accuracy = stats.mean_accuracy()
+    assert accuracy > 0.70
+
+
+def test_degradation_only_moves_to_gpu(daop_result, tiny_bundle):
+    """Any executed expert outside the true top-2 must be GPU-resident
+    (a graceful-degradation substitute) or a prediction, never a random
+    CPU expert."""
+    placement = daop_result.placement
+    for event in daop_result.trace.events:
+        if not event.predicted or event.executed_experts is None:
+            continue
+        substitutes = set(event.executed_experts) - set(event.experts)
+        # Substitutions beyond prediction error must sit on the GPU when
+        # the block has any GPU expert at all.
+        if placement.gpu_experts(event.block).size == 0:
+            continue
+        cpu_extra = [
+            e for e in substitutes
+            if not placement.is_on_gpu(event.block, e)
+        ]
+        # CPU-resident extras can only come from prediction error, which
+        # graceful degradation caps at one per block.
+        assert len(cpu_extra) <= 1
+
+
+def test_predicted_events_have_executed_sets(daop_result):
+    predicted = [e for e in daop_result.trace.events if e.predicted]
+    assert predicted
+    for event in predicted:
+        assert event.executed_experts is not None
+        assert len(event.executed_experts) == len(event.experts)
+
+
+def test_executed_counts_match_gpu_cpu_split(daop_result):
+    """Counter cross-check: executed expert events equal the sum of GPU
+    and CPU expert executions during decode plus prefill batches."""
+    counters = daop_result.stats.counters
+    total_execs = counters.gpu_expert_execs + counters.cpu_expert_execs
+    assert total_execs > 0
+    # Stale pre-calculations are a subset of CPU executions.
+    assert counters.stale_input_execs <= counters.cpu_expert_execs

@@ -1,0 +1,116 @@
+"""Boundary-condition tests: extreme cache ratios and routing configs."""
+
+import numpy as np
+import pytest
+
+from repro.core import ENGINE_NAMES, build_engine
+from repro.model.config import ArchSpec, ModelProfile, SimSpec
+from repro.model.tokenizer import ToyTokenizer
+from repro.model.transformer import MoETransformer
+from repro.model.vocab import TopicVocabulary
+from repro.model.zoo import ModelBundle
+from repro.workloads import C4, SequenceGenerator
+
+CACHED_ENGINES = [n for n in ENGINE_NAMES
+                  if n not in ("official", "deepspeed-mii")]
+
+
+@pytest.fixture(scope="module")
+def sequence(tiny_bundle):
+    gen = SequenceGenerator(C4, tiny_bundle.vocab, seed=101)
+    return gen.sample_sequence(10, 5, sample_idx=0)
+
+
+@pytest.mark.parametrize("name", CACHED_ENGINES)
+def test_zero_cache_ratio(name, tiny_bundle, platform, tiny_calibration,
+                          sequence):
+    """ECR 0: nothing resident; every engine must still generate."""
+    engine = build_engine(name, tiny_bundle, platform, 0.0,
+                          tiny_calibration)
+    result = engine.generate(sequence.prompt_tokens, 4)
+    assert result.tokens.shape == (4,)
+    assert result.stats.total_time_s > 0
+
+
+@pytest.mark.parametrize("name", CACHED_ENGINES)
+def test_full_cache_ratio(name, tiny_bundle, platform, tiny_calibration,
+                          sequence):
+    """ECR 1: all resident; no engine may upload or use the CPU."""
+    engine = build_engine(name, tiny_bundle, platform, 1.0,
+                          tiny_calibration)
+    result = engine.generate(sequence.prompt_tokens, 4)
+    assert result.stats.counters.expert_uploads == 0
+    assert result.stats.counters.cpu_expert_execs == 0
+
+
+@pytest.mark.parametrize("name", CACHED_ENGINES)
+def test_full_cache_matches_official_tokens(name, tiny_bundle, platform,
+                                            tiny_calibration, sequence):
+    """At ECR 1 every engine's math reduces to the official engine's."""
+    official = build_engine("official", tiny_bundle, platform)
+    engine = build_engine(name, tiny_bundle, platform, 1.0,
+                          tiny_calibration)
+    a = official.generate(sequence.prompt_tokens, 5)
+    b = engine.generate(sequence.prompt_tokens, 5)
+    np.testing.assert_array_equal(a.tokens, b.tokens)
+
+
+def test_single_token_prompt(tiny_bundle, platform, tiny_calibration):
+    engine = build_engine("daop", tiny_bundle, platform, 0.5,
+                          tiny_calibration)
+    result = engine.generate(np.asarray([5]), 3)
+    assert result.tokens.shape == (3,)
+
+
+def test_single_decode_token(tiny_bundle, platform, tiny_calibration,
+                             sequence):
+    engine = build_engine("daop", tiny_bundle, platform, 0.5,
+                          tiny_calibration)
+    result = engine.generate(sequence.prompt_tokens, 1)
+    assert result.tokens.shape == (1,)
+    # One generated token means no decode-phase forward at all.
+    assert result.trace.token_count("decode") == 0
+
+
+def _build_topk_bundle(top_k: int) -> ModelBundle:
+    arch = ArchSpec(
+        name=f"Top{top_k}-MoE", d_model=256, n_heads=4, n_kv_heads=2,
+        d_ff=512, n_blocks=6, n_experts=4, top_k=top_k, vocab_size=128,
+    )
+    sim = SimSpec(d_model=32, n_heads=2, n_kv_heads=1, d_ff=48,
+                  vocab_size=128)
+    profile = ModelProfile.from_arch(arch, sim=sim, seed=1)
+    vocab = TopicVocabulary(vocab_size=128, n_topics=8, d_model=32, seed=1)
+    model = MoETransformer(profile, embedding=vocab.build_embedding())
+    return ModelBundle(model=model, vocab=vocab,
+                       tokenizer=ToyTokenizer(vocab))
+
+
+@pytest.mark.parametrize("top_k", [1, 3])
+def test_non_top2_routing(top_k, platform):
+    """Engines generalize beyond the paper's top-2 configuration."""
+    bundle = _build_topk_bundle(top_k)
+    gen = SequenceGenerator(C4, bundle.vocab, seed=7)
+    seq = gen.sample_sequence(10, 5, sample_idx=0)
+    for name in ("official", "fiddler", "daop"):
+        engine = build_engine(name, bundle, platform, 0.5)
+        result = engine.generate(seq.prompt_tokens, 4)
+        assert result.tokens.shape == (4,)
+        for event in result.trace.events:
+            assert len(event.experts) == top_k
+
+
+def test_daop_without_prediction_window(tiny_bundle, platform,
+                                        tiny_calibration, sequence):
+    """prediction_start_block beyond the model: DAOP must degrade to
+    true-gated execution everywhere and still work."""
+    from repro.core.daop import DAOPEngine
+    from repro.memory.cache import CacheConfig
+
+    engine = DAOPEngine(
+        tiny_bundle, platform, cache_config=CacheConfig(ecr=0.5),
+        calibration_probs=tiny_calibration,
+        prediction_start_block=tiny_bundle.model.n_blocks + 5,
+    )
+    result = engine.generate(sequence.prompt_tokens, 4)
+    assert not any(e.predicted for e in result.trace.events)

@@ -1,0 +1,46 @@
+"""Tests for the engine factory helpers."""
+
+import numpy as np
+import pytest
+
+from repro.core import ENGINE_NAMES, build_engine
+from repro.core.daop import DAOPEngine, build_daop
+
+
+def test_build_daop_convenience(tiny_bundle, platform, tiny_calibration):
+    engine = build_daop(tiny_bundle, platform, expert_cache_ratio=0.25,
+                        calibration_probs=tiny_calibration,
+                        swap_threshold=1.2)
+    assert isinstance(engine, DAOPEngine)
+    assert engine.swap_threshold == 1.2
+    assert engine.initial_placement.expert_cache_ratio == pytest.approx(
+        0.25
+    )
+
+
+def test_factory_covers_every_name(tiny_bundle, platform,
+                                   tiny_calibration):
+    for name in ENGINE_NAMES:
+        engine = build_engine(name, tiny_bundle, platform, 0.5,
+                              tiny_calibration)
+        assert engine.name == name
+
+
+def test_factory_passes_engine_kwargs(tiny_bundle, platform,
+                                      tiny_calibration):
+    engine = build_engine("daop", tiny_bundle, platform, 0.5,
+                          tiny_calibration, graceful_degradation=False)
+    assert engine.graceful_degradation is False
+    engine = build_engine("moe-infinity", tiny_bundle, platform, 0.5,
+                          tiny_calibration, lookahead=3)
+    assert engine.lookahead == 3
+
+
+def test_factory_default_calibration(tiny_bundle, platform):
+    """Without calibration the factory still builds a valid placement."""
+    engine = build_engine("fiddler", tiny_bundle, platform, 0.5)
+    assert engine.initial_placement.expert_cache_ratio == pytest.approx(
+        0.5
+    )
+    result = engine.generate(np.arange(5, 13), 3)
+    assert result.tokens.shape == (3,)

@@ -1,0 +1,80 @@
+"""Behaviour tests for the MoE-Infinity-style baseline."""
+
+import numpy as np
+import pytest
+
+from repro.core import build_engine
+from repro.core.baselines.moe_infinity import MoEInfinityEngine
+from repro.memory.cache import CacheConfig
+from repro.workloads import C4, SequenceGenerator
+
+
+@pytest.fixture(scope="module")
+def sequence(tiny_bundle):
+    gen = SequenceGenerator(C4, tiny_bundle.vocab, seed=91)
+    return gen.sample_sequence(16, 12, sample_idx=0)
+
+
+def test_validation(tiny_bundle, platform, tiny_calibration):
+    with pytest.raises(ValueError):
+        MoEInfinityEngine(tiny_bundle, platform,
+                          cache_config=CacheConfig(ecr=0.5),
+                          calibration_probs=tiny_calibration, lookahead=0)
+    with pytest.raises(ValueError):
+        MoEInfinityEngine(tiny_bundle, platform,
+                          cache_config=CacheConfig(ecr=0.5),
+                          calibration_probs=tiny_calibration,
+                          score_decay=0.0)
+
+
+def test_generates_and_prefetches(tiny_bundle, platform, tiny_calibration,
+                                  sequence):
+    engine = build_engine("moe-infinity", tiny_bundle, platform, 0.25,
+                          tiny_calibration)
+    result = engine.generate(sequence.prompt_tokens, 12,
+                             forced_tokens=sequence.continuation_tokens)
+    assert result.tokens.shape == (12,)
+    assert result.stats.counters.expert_uploads > 0
+    # GPU-only execution like the rest of the prefetch family.
+    assert result.stats.counters.cpu_expert_execs == 0
+
+
+def test_exact_routing_preserved(tiny_bundle, platform, tiny_calibration,
+                                 sequence):
+    """Prefetching must not change computed tokens."""
+    official = build_engine("official", tiny_bundle, platform)
+    infinity = build_engine("moe-infinity", tiny_bundle, platform, 0.25,
+                            tiny_calibration)
+    a = official.generate(sequence.prompt_tokens, 8)
+    b = infinity.generate(sequence.prompt_tokens, 8)
+    np.testing.assert_array_equal(a.tokens, b.tokens)
+
+
+def test_activation_aware_beats_on_demand(tiny_bundle, platform,
+                                          tiny_calibration):
+    """Sequence-aware prefetching should reduce critical-path uploads
+    relative to pure migrate-on-miss on topically-skewed input."""
+    gen = SequenceGenerator(C4, tiny_bundle.vocab, seed=92)
+    speeds = {}
+    for name in ("moe-ondemand", "moe-infinity"):
+        engine = build_engine(name, tiny_bundle, platform, 0.25,
+                              tiny_calibration)
+        tps = []
+        for i in range(3):
+            seq = gen.sample_sequence(24, 16, sample_idx=i)
+            result = engine.generate(
+                seq.prompt_tokens, 16,
+                forced_tokens=seq.continuation_tokens,
+            )
+            tps.append(result.stats.tokens_per_second)
+        speeds[name] = np.mean(tps)
+    assert speeds["moe-infinity"] >= 0.95 * speeds["moe-ondemand"]
+
+
+def test_deterministic(tiny_bundle, platform, tiny_calibration, sequence):
+    engine = build_engine("moe-infinity", tiny_bundle, platform, 0.5,
+                          tiny_calibration)
+    a = engine.generate(sequence.prompt_tokens, 8)
+    b = engine.generate(sequence.prompt_tokens, 8)
+    np.testing.assert_array_equal(a.tokens, b.tokens)
+    assert a.stats.total_time_s == pytest.approx(b.stats.total_time_s)

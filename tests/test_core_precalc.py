@@ -1,0 +1,102 @@
+"""Unit tests for graceful degradation (paper §IV-C-b)."""
+
+import numpy as np
+import pytest
+
+from repro.core.precalc import apply_graceful_degradation
+from repro.hardware.device import DeviceKind
+from repro.memory.placement import ExpertPlacement
+
+
+def make_placement(gpu_experts, n_experts=8):
+    p = ExpertPlacement(1, n_experts)
+    for e in gpu_experts:
+        p.set_device(0, e, DeviceKind.GPU)
+    return p
+
+
+LOGITS = np.array([3.0, 2.5, 2.0, 1.5, 1.0, 0.5, 0.0, -0.5])
+
+
+def test_no_change_when_one_cpu_expert():
+    placement = make_placement([0])  # predicted {0 gpu, 1 cpu}
+    result = apply_graceful_degradation(
+        0, np.array([0, 1]), LOGITS, placement
+    )
+    np.testing.assert_array_equal(result.experts, [0, 1])
+    assert result.replaced == ()
+
+
+def test_both_cpu_replaces_weaker():
+    placement = make_placement([2, 3])  # predicted {0, 1} both on CPU
+    result = apply_graceful_degradation(
+        0, np.array([0, 1]), LOGITS, placement
+    )
+    # Weaker prediction (1) replaced by best GPU expert (2).
+    assert result.replaced == (1,)
+    assert result.substitutes == (2,)
+    assert set(result.experts) == {0, 2}
+
+
+def test_substitute_is_highest_scoring_gpu_expert():
+    placement = make_placement([5, 6])
+    result = apply_graceful_degradation(
+        0, np.array([0, 1]), LOGITS, placement
+    )
+    assert result.substitutes == (5,)  # 5 outscores 6
+
+
+def test_no_suitable_alternative_keeps_original():
+    """Paper: 'If no suitable alternative is available, the original
+    selection is maintained for execution.'"""
+    placement = make_placement([])  # nothing on the GPU
+    result = apply_graceful_degradation(
+        0, np.array([0, 1]), LOGITS, placement
+    )
+    np.testing.assert_array_equal(result.experts, [0, 1])
+    assert result.replaced == ()
+
+
+def test_disabled_passthrough():
+    placement = make_placement([2, 3])
+    result = apply_graceful_degradation(
+        0, np.array([0, 1]), LOGITS, placement, enabled=False
+    )
+    np.testing.assert_array_equal(result.experts, [0, 1])
+
+
+def test_result_sorted_by_score():
+    placement = make_placement([7])  # substitute has the lowest logit
+    result = apply_graceful_degradation(
+        0, np.array([0, 1]), LOGITS, placement
+    )
+    assert set(result.experts) == {0, 7}
+    # Descending predicted-logit order.
+    assert result.experts[0] == 0
+
+
+def test_max_cpu_experts_zero_replaces_all():
+    placement = make_placement([4, 5, 6])
+    result = apply_graceful_degradation(
+        0, np.array([0, 1]), LOGITS, placement, max_cpu_experts=0
+    )
+    assert set(result.experts) <= {4, 5, 6}
+    assert len(result.replaced) == 2
+
+
+def test_gpu_predictions_untouched():
+    placement = make_placement([0, 1])
+    result = apply_graceful_degradation(
+        0, np.array([0, 1]), LOGITS, placement
+    )
+    np.testing.assert_array_equal(result.experts, [0, 1])
+
+
+def test_no_duplicate_experts():
+    placement = make_placement([0, 2])  # 0 predicted and on GPU
+    result = apply_graceful_degradation(
+        0, np.array([0, 1]), LOGITS, placement, max_cpu_experts=0
+    )
+    assert len(set(result.experts.tolist())) == len(result.experts)
+    assert 0 in result.experts  # kept
+    assert 2 in result.experts  # substitute, not a duplicate of 0

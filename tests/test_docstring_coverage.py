@@ -1,0 +1,56 @@
+"""Quality gate: every public item in the library carries a docstring."""
+
+import importlib
+import inspect
+import pkgutil
+
+import pytest
+
+import repro
+
+MODULES = sorted(
+    name
+    for _, name, _ in pkgutil.walk_packages(repro.__path__, "repro.")
+)
+
+
+def _public_members(module):
+    for attr_name in dir(module):
+        if attr_name.startswith("_"):
+            continue
+        member = getattr(module, attr_name)
+        if getattr(member, "__module__", None) != module.__name__:
+            continue  # re-export; documented at its definition site
+        if inspect.isclass(member) or inspect.isfunction(member):
+            yield attr_name, member
+
+
+def test_all_modules_have_docstrings():
+    missing = []
+    for name in MODULES:
+        module = importlib.import_module(name)
+        if not (module.__doc__ or "").strip():
+            missing.append(name)
+    assert not missing, f"modules without docstrings: {missing}"
+
+
+@pytest.mark.parametrize("module_name", MODULES)
+def test_public_items_documented(module_name):
+    module = importlib.import_module(module_name)
+    missing = []
+    for attr_name, member in _public_members(module):
+        if not (member.__doc__ or "").strip():
+            missing.append(f"{module_name}.{attr_name}")
+        if inspect.isclass(member):
+            for meth_name, meth in inspect.getmembers(
+                member, inspect.isfunction
+            ):
+                if meth_name.startswith("_"):
+                    continue
+                if meth.__qualname__.split(".")[0] != member.__name__:
+                    continue  # inherited
+                if not (meth.__doc__ or "").strip():
+                    missing.append(
+                        f"{module_name}.{attr_name}.{meth_name}"
+                    )
+    assert not missing, f"undocumented public items: {missing}"

@@ -1,0 +1,35 @@
+"""Unit tests for accuracy metrics."""
+
+import pytest
+
+from repro.eval.accuracy import (
+    exact_match,
+    first_token_match,
+    prefix_agreement,
+    token_agreement,
+)
+
+
+def test_exact_match():
+    assert exact_match([1, 2], [1, 2]) == 1.0
+    assert exact_match([1, 2], [1, 3]) == 0.0
+    assert exact_match([1], [1, 2]) == 0.0
+
+
+def test_first_token_match():
+    assert first_token_match([5, 9], [5, 1]) == 1.0
+    assert first_token_match([4, 9], [5, 9]) == 0.0
+    assert first_token_match([], [1]) == 0.0
+
+
+def test_token_agreement():
+    assert token_agreement([1, 2, 3, 4], [1, 0, 3, 0]) == pytest.approx(0.5)
+    assert token_agreement([1, 2], [1, 2, 3]) == pytest.approx(1.0)
+    assert token_agreement([], []) == 0.0
+
+
+def test_prefix_agreement():
+    assert prefix_agreement([1, 2, 9, 9], [1, 2, 3, 4]) == pytest.approx(0.5)
+    assert prefix_agreement([1, 2, 3], [1, 2, 3]) == 1.0
+    assert prefix_agreement([9], [1, 2]) == 0.0
+    assert prefix_agreement([], []) == 1.0

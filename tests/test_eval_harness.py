@@ -1,0 +1,86 @@
+"""Integration tests for the accuracy harness."""
+
+import pytest
+
+from repro.core import build_engine
+from repro.eval.harness import AccuracyHarness
+from repro.workloads import get_task
+from repro.workloads.datasets import PIQA
+from repro.workloads.tasks import TaskSpec
+
+N_SAMPLES = 8
+
+
+@pytest.fixture(scope="module")
+def harness(tiny_bundle, platform):
+    return AccuracyHarness(tiny_bundle, platform, seed=7)
+
+
+def test_official_below_perfect(harness):
+    """Paraphrasing makes even the oracle imperfect (sets difficulty)."""
+    task = get_task("piqa")
+    result = harness.evaluate_official(task, n_samples=N_SAMPLES)
+    assert 0.0 < result.score <= 1.0
+
+
+def test_zero_perturbation_is_perfect(harness, tiny_bundle, platform):
+    """With no paraphrase the official engine matches itself exactly."""
+    easy = TaskSpec("identity", PIQA.with_overrides(
+        perturbation_strength=0.0), prompt_len=16, answer_len=4,
+        metric="exact_match")
+    result = harness.evaluate_official(easy, n_samples=4)
+    assert result.score == pytest.approx(1.0)
+
+
+def test_daop_prefill_exact_first_token(harness, tiny_bundle, platform,
+                                        tiny_calibration):
+    """Paper Table V: first-token tasks see no degradation from DAOP.
+
+    DAOP's prefill is mathematically exact (migration moves weights, not
+    values), so its first output token equals the official engine's on the
+    same input -- per-sample scores must match exactly, not just on
+    average.
+    """
+    task = get_task("piqa")
+    daop = build_engine("daop", tiny_bundle, platform, 0.25,
+                        tiny_calibration, prediction_start_block=2)
+    official = harness.evaluate_official(task, n_samples=N_SAMPLES)
+    ours = harness.evaluate(daop, task, n_samples=N_SAMPLES)
+    assert ours.per_sample == official.per_sample
+
+
+def test_fiddler_accuracy_equals_official(harness, tiny_bundle, platform,
+                                          tiny_calibration):
+    """Engines with exact routing score identically to the oracle."""
+    task = TaskSpec("gen", PIQA, prompt_len=16, answer_len=6,
+                    metric="exact_match")
+    fiddler = build_engine("fiddler", tiny_bundle, platform, 0.25,
+                           tiny_calibration)
+    official = harness.evaluate_official(task, n_samples=4)
+    ours = harness.evaluate(fiddler, task, n_samples=4)
+    assert ours.per_sample == official.per_sample
+
+
+def test_rouge_task_reports_both_scores(harness):
+    task = get_task("truthfulqa_gen")
+    result = harness.evaluate_official(task, n_samples=4)
+    assert result.rouge1 is not None
+    assert result.rouge2 is not None
+    assert result.rouge2 <= result.rouge1 + 1e-9
+
+
+def test_reference_cache_reused(harness):
+    task = get_task("piqa")
+    harness.evaluate_official(task, n_samples=2)
+    n_cached = len(harness._reference_cache)
+    harness.evaluate_official(task, n_samples=2)
+    assert len(harness._reference_cache) == n_cached
+
+
+def test_result_metadata(harness):
+    task = get_task("triviaqa")
+    result = harness.evaluate_official(task, n_samples=3)
+    assert result.task == "triviaqa"
+    assert result.engine == "official"
+    assert result.n_samples == 3
+    assert len(result.per_sample) == 3

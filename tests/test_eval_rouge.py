@@ -1,0 +1,55 @@
+"""Unit tests for Rouge scoring."""
+
+import pytest
+
+from repro.eval.rouge import rouge_1, rouge_2, rouge_n
+
+
+def test_identical_sequences():
+    assert rouge_1([1, 2, 3], [1, 2, 3]) == pytest.approx(1.0)
+    assert rouge_2([1, 2, 3], [1, 2, 3]) == pytest.approx(1.0)
+
+
+def test_disjoint_sequences():
+    assert rouge_1([1, 2], [3, 4]) == 0.0
+    assert rouge_2([1, 2, 3], [4, 5, 6]) == 0.0
+
+
+def test_partial_overlap_unigram():
+    # hyp {1,2}, ref {2,3}: overlap 1; P = R = 0.5 -> F1 = 0.5
+    assert rouge_1([1, 2], [2, 3]) == pytest.approx(0.5)
+
+
+def test_bigram_order_sensitivity():
+    assert rouge_2([1, 2, 3], [3, 2, 1]) == 0.0
+    assert rouge_1([1, 2, 3], [3, 2, 1]) == pytest.approx(1.0)
+
+
+def test_f1_symmetry():
+    a, b = [1, 2, 3, 4], [2, 3]
+    assert rouge_1(a, b) == pytest.approx(rouge_1(b, a))
+
+
+def test_duplicate_counting():
+    # hyp [1,1], ref [1]: clipped overlap 1; P=0.5, R=1 -> F1 = 2/3
+    assert rouge_1([1, 1], [1]) == pytest.approx(2.0 / 3.0)
+
+
+def test_empty_sequences():
+    assert rouge_1([], []) == 1.0
+    assert rouge_1([1], []) == 0.0
+    assert rouge_1([], [1]) == 0.0
+    assert rouge_2([1], [1]) == 1.0  # both have zero bigrams
+
+
+def test_invalid_n():
+    with pytest.raises(ValueError):
+        rouge_n([1], [1], 0)
+
+
+def test_bounds(rng):
+    for _ in range(20):
+        hyp = rng.integers(0, 5, size=rng.integers(1, 10)).tolist()
+        ref = rng.integers(0, 5, size=rng.integers(1, 10)).tolist()
+        score = rouge_2(hyp, ref)
+        assert 0.0 <= score <= 1.0

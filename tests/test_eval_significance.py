@@ -1,0 +1,67 @@
+"""Unit tests for bootstrap significance helpers."""
+
+import numpy as np
+import pytest
+
+from repro.eval.significance import (
+    bootstrap_mean,
+    paired_difference,
+    significantly_below,
+)
+
+
+def test_bootstrap_mean_centers_on_mean(rng):
+    scores = rng.random(60)
+    ci = bootstrap_mean(scores, seed=1)
+    assert ci.lower <= ci.mean <= ci.upper
+    assert ci.mean == pytest.approx(float(scores.mean()))
+
+
+def test_constant_scores_zero_width():
+    ci = bootstrap_mean([0.5] * 20)
+    assert ci.lower == ci.upper == ci.mean == 0.5
+    assert ci.width == 0.0
+
+
+def test_wider_confidence_wider_interval(rng):
+    scores = rng.random(40)
+    narrow = bootstrap_mean(scores, confidence=0.8, seed=2)
+    wide = bootstrap_mean(scores, confidence=0.99, seed=2)
+    assert wide.width >= narrow.width
+
+
+def test_more_samples_narrower_interval(rng):
+    small = bootstrap_mean(rng.random(10), seed=3)
+    large = bootstrap_mean(rng.random(1000), seed=3)
+    assert large.width < small.width
+
+
+def test_contains():
+    ci = bootstrap_mean([0.0, 1.0] * 20, seed=4)
+    assert ci.contains(0.5)
+    assert not ci.contains(2.0)
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        bootstrap_mean([])
+    with pytest.raises(ValueError):
+        bootstrap_mean([1.0], confidence=1.5)
+    with pytest.raises(ValueError):
+        paired_difference([1.0, 0.0], [1.0])
+
+
+def test_paired_difference_detects_gap(rng):
+    better = (rng.random(80) < 0.9).astype(float)
+    worse = (rng.random(80) < 0.3).astype(float)
+    ci = paired_difference(better, worse, seed=5)
+    assert ci.lower > 0.0  # significantly better
+    assert significantly_below(worse, better)
+    assert not significantly_below(better, worse)
+
+
+def test_paired_difference_no_gap_on_identical(rng):
+    scores = (rng.random(50) < 0.5).astype(float)
+    ci = paired_difference(scores, scores, seed=6)
+    assert ci.contains(0.0)
+    assert not significantly_below(scores, scores)

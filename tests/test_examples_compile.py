@@ -1,0 +1,53 @@
+"""Smoke checks that every example script is importable and well-formed.
+
+The examples run full 16-block models (tens of seconds each), so CI-speed
+tests only verify that each script compiles, exposes a ``main`` entry
+point, and documents itself; the benchmark/bench_output artifacts cover
+actual execution.
+"""
+
+import ast
+import pathlib
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).resolve().parent.parent / "examples"
+EXAMPLE_FILES = sorted(EXAMPLES_DIR.glob("*.py"))
+
+
+def test_examples_exist():
+    names = {path.name for path in EXAMPLE_FILES}
+    assert "quickstart.py" in names
+    assert len(names) >= 3  # the deliverable minimum
+
+
+@pytest.mark.parametrize("path", EXAMPLE_FILES,
+                         ids=[p.name for p in EXAMPLE_FILES])
+def test_example_compiles(path):
+    source = path.read_text()
+    tree = ast.parse(source, filename=str(path))
+    # Module docstring present.
+    assert ast.get_docstring(tree), f"{path.name} lacks a docstring"
+    # A main() function and the __main__ guard.
+    functions = {node.name for node in ast.walk(tree)
+                 if isinstance(node, ast.FunctionDef)}
+    assert "main" in functions, f"{path.name} lacks main()"
+    assert '__name__ == "__main__"' in source
+
+
+@pytest.mark.parametrize("path", EXAMPLE_FILES,
+                         ids=[p.name for p in EXAMPLE_FILES])
+def test_example_imports_resolve(path):
+    """Every repro import named by an example must actually exist."""
+    import importlib
+
+    tree = ast.parse(path.read_text())
+    for node in ast.walk(tree):
+        if isinstance(node, ast.ImportFrom) and node.module:
+            if not node.module.startswith("repro"):
+                continue
+            module = importlib.import_module(node.module)
+            for alias in node.names:
+                assert hasattr(module, alias.name), (
+                    f"{path.name}: {node.module}.{alias.name} missing"
+                )

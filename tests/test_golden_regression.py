@@ -1,0 +1,59 @@
+"""Golden-value regression pins.
+
+These values were captured from a verified build; any change here means
+model math, workload generation, calibration, or engine scheduling moved,
+which would silently shift every benchmark in EXPERIMENTS.md.  Update
+deliberately, never casually.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import build_engine
+from repro.workloads import C4, SequenceGenerator
+
+GOLDEN_PROMPT = [1, 74, 94, 18, 54, 63, 58, 66, 106, 115, 74, 105]
+GOLDEN_GREEDY = [105, 105, 105, 105, 105, 105]
+GOLDEN_CALIB_CHECKSUM = 246.8333333333
+GOLDEN_TIMES = {
+    "official": 0.056015522,
+    "fiddler": 0.067482037,
+    "daop": 0.059737881,
+}
+
+
+@pytest.fixture(scope="module")
+def golden_sequence(tiny_bundle):
+    generator = SequenceGenerator(C4, tiny_bundle.vocab, seed=9)
+    return generator.sample_sequence(12, 6, sample_idx=0)
+
+
+def test_workload_generation_pinned(golden_sequence):
+    assert golden_sequence.prompt_tokens.tolist() == GOLDEN_PROMPT
+
+
+def test_model_forward_pinned(tiny_bundle, golden_sequence):
+    tokens = tiny_bundle.model.greedy_generate(
+        golden_sequence.prompt_tokens, 6
+    )
+    assert tokens.tolist() == GOLDEN_GREEDY
+
+
+def test_calibration_pinned(tiny_calibration):
+    checksum = float(np.sum(
+        tiny_calibration
+        * np.arange(tiny_calibration.size).reshape(tiny_calibration.shape)
+    ))
+    assert checksum == pytest.approx(GOLDEN_CALIB_CHECKSUM, abs=1e-6)
+
+
+@pytest.mark.parametrize("name", sorted(GOLDEN_TIMES))
+def test_engine_schedule_pinned(name, tiny_bundle, platform,
+                                tiny_calibration, golden_sequence):
+    engine = build_engine(name, tiny_bundle, platform, 0.5,
+                          tiny_calibration)
+    result = engine.generate(golden_sequence.prompt_tokens, 6)
+    assert result.tokens.tolist() == GOLDEN_GREEDY
+    assert result.stats.total_time_s == pytest.approx(
+        GOLDEN_TIMES[name], rel=1e-6
+    )

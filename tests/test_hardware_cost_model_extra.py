@@ -1,0 +1,81 @@
+"""Additional cost-model coverage: scaling laws and cross-model effects."""
+
+import pytest
+
+from repro.hardware.cost_model import CostModel
+from repro.model.zoo import MIXTRAL_8X7B_ARCH, PHI_3_5_MOE_ARCH
+
+
+@pytest.fixture()
+def mixtral_cm(platform):
+    return CostModel(MIXTRAL_8X7B_ARCH, platform)
+
+
+@pytest.fixture()
+def phi_cm(platform):
+    return CostModel(PHI_3_5_MOE_ARCH, platform)
+
+
+def test_phi_expert_cheaper_than_mixtral(mixtral_cm, phi_cm, platform):
+    """Phi's d_ff=6400 experts are ~2.2x smaller than Mixtral's 14336."""
+    mixtral = mixtral_cm.expert_time(platform.gpu, 1)
+    phi = phi_cm.expert_time(platform.gpu, 1)
+    assert phi < mixtral
+    ratio = mixtral_cm.arch.expert_bytes / phi_cm.arch.expert_bytes
+    assert ratio == pytest.approx(14336 / 6400, rel=0.01)
+
+
+def test_phi_transfer_cheaper(mixtral_cm, phi_cm):
+    assert (phi_cm.expert_transfer_time()
+            < mixtral_cm.expert_transfer_time())
+
+
+def test_embed_time_scales_with_tokens(mixtral_cm, platform):
+    one = mixtral_cm.embed_time(platform.gpu, 1)
+    many = mixtral_cm.embed_time(platform.gpu, 256)
+    assert many > one
+
+
+def test_lm_head_heavier_than_gate(mixtral_cm, platform):
+    """The weight-tied head touches the whole embedding table."""
+    assert (mixtral_cm.lm_head_time(platform.gpu, 1)
+            > mixtral_cm.gate_time(platform.gpu, 1))
+
+
+def test_activation_transfer_scales_sublinearly(mixtral_cm):
+    """Small transfers are latency-dominated (paper Table I: 0.02 ms)."""
+    one = mixtral_cm.activation_transfer_time(1)
+    hundred = mixtral_cm.activation_transfer_time(100)
+    assert hundred < 100 * one
+
+
+def test_gpu_faster_than_cpu_everywhere(mixtral_cm, platform):
+    """Paper §VI-A assumption (2) holds on the modeled platform."""
+    for n_tokens in (1, 16, 256):
+        assert (mixtral_cm.expert_time(platform.gpu, n_tokens)
+                < mixtral_cm.expert_time(platform.cpu, n_tokens))
+        assert (mixtral_cm.non_moe_time(platform.gpu, n_tokens, 256)
+                < mixtral_cm.non_moe_time(platform.cpu, n_tokens, 256))
+
+
+def test_cpu_expert_cheaper_than_transfer(mixtral_cm, platform):
+    """Paper §VI-A assumption (3): executing on the CPU beats moving the
+    expert to the GPU, at decode batch size."""
+    assert (mixtral_cm.expert_time(platform.cpu, 1)
+            < mixtral_cm.expert_transfer_time())
+
+
+def test_dequant_time_small_vs_transfer(mixtral_cm, platform):
+    assert (mixtral_cm.dequant_time(platform.gpu, 0.25)
+            < mixtral_cm.expert_transfer_time(0.25))
+
+
+def test_block_time_additivity(mixtral_cm, platform):
+    parts = (
+        mixtral_cm.non_moe_time(platform.gpu, 1, 256)
+        + mixtral_cm.gate_time(platform.gpu, 1)
+        + 2 * mixtral_cm.expert_time(platform.gpu, 1)
+    )
+    assert mixtral_cm.block_time(platform.gpu, 1, 256) == pytest.approx(
+        parts
+    )

@@ -1,0 +1,57 @@
+"""Unit tests for device specs and the roofline."""
+
+import pytest
+
+from repro.hardware.device import GB, DeviceKind, DeviceSpec
+
+
+def make(**kw):
+    base = dict(
+        name="dev", kind=DeviceKind.GPU, peak_flops=100e12,
+        mem_bandwidth=1000 * GB, mem_capacity=48 * GB,
+        compute_efficiency=0.5, mem_efficiency=0.5, op_overhead=1e-6,
+        idle_power_w=10.0, active_power_w=100.0,
+    )
+    base.update(kw)
+    return DeviceSpec(**base)
+
+
+def test_effective_rates():
+    dev = make()
+    assert dev.effective_flops == pytest.approx(50e12)
+    assert dev.effective_bandwidth == pytest.approx(500 * GB)
+
+
+def test_memory_bound_op():
+    dev = make()
+    # tiny flops, large bytes -> memory time dominates
+    t = dev.op_time(flops=1.0, bytes_touched=500 * GB)
+    assert t == pytest.approx(1.0 + 1e-6, rel=1e-3)
+
+
+def test_compute_bound_op():
+    dev = make()
+    t = dev.op_time(flops=50e12, bytes_touched=1.0)
+    assert t == pytest.approx(1.0 + 1e-6, rel=1e-3)
+
+
+def test_overhead_included():
+    dev = make(op_overhead=0.5)
+    assert dev.op_time(0.0, 0.0) == pytest.approx(0.5)
+
+
+@pytest.mark.parametrize("field,value", [
+    ("peak_flops", 0.0),
+    ("mem_bandwidth", -1.0),
+    ("compute_efficiency", 0.0),
+    ("compute_efficiency", 1.5),
+    ("mem_efficiency", 0.0),
+])
+def test_validation(field, value):
+    with pytest.raises(ValueError):
+        make(**{field: value})
+
+
+def test_active_below_idle_rejected():
+    with pytest.raises(ValueError):
+        make(idle_power_w=100.0, active_power_w=50.0)

@@ -1,0 +1,62 @@
+"""Unit tests for the energy model."""
+
+import pytest
+
+from repro.hardware.energy import EnergyModel
+from repro.hardware.timeline import CPU, GPU, H2D, Timeline
+
+
+@pytest.fixture()
+def model(platform):
+    return EnergyModel(platform)
+
+
+def test_idle_floor(model, platform):
+    """An idle makespan still burns idle + base power."""
+    tl = Timeline()
+    tl.add(GPU, 0.0)  # zero-duration marker; makespan 0
+    e = model.energy(tl)
+    assert e.total_j == 0.0
+
+
+def test_busy_energy_exceeds_idle(model):
+    tl_idle = Timeline()
+    tl_idle.add(CPU, 0.0)
+    tl_idle.add(GPU, 10.0)  # gpu busy 10 s
+    tl_busy = Timeline()
+    tl_busy.add(CPU, 10.0)
+    tl_busy.add(GPU, 10.0)
+    assert model.energy(tl_busy).total_j > model.energy(tl_idle).total_j
+
+
+def test_breakdown_adds_up(model):
+    tl = Timeline()
+    tl.add(GPU, 2.0)
+    tl.add(CPU, 1.0)
+    tl.add(H2D, 0.5)
+    e = model.energy(tl)
+    assert e.total_j == pytest.approx(e.gpu_j + e.cpu_j + e.link_j + e.base_j)
+    assert e.total_kj == pytest.approx(e.total_j / 1e3)
+
+
+def test_exact_integration(model, platform):
+    tl = Timeline()
+    tl.add(GPU, 2.0)  # makespan 2
+    e = model.energy(tl)
+    gpu = platform.gpu
+    expected_gpu = gpu.idle_power_w * 2.0 + (
+        gpu.active_power_w - gpu.idle_power_w
+    ) * 2.0
+    assert e.gpu_j == pytest.approx(expected_gpu)
+    assert e.cpu_j == pytest.approx(platform.cpu.idle_power_w * 2.0)
+    assert e.base_j == pytest.approx(platform.base_power_w * 2.0)
+
+
+def test_average_power(model, platform):
+    tl = Timeline()
+    tl.add(GPU, 4.0)
+    avg = model.average_power_w(tl)
+    floor = (platform.gpu.idle_power_w + platform.cpu.idle_power_w
+             + platform.base_power_w)
+    assert avg > floor
+    assert model.average_power_w(Timeline()) == 0.0

@@ -1,0 +1,35 @@
+"""Unit tests for the PCIe link model."""
+
+import pytest
+
+from repro.hardware.link import LinkSpec
+
+
+@pytest.fixture()
+def link():
+    return LinkSpec(name="pcie", bandwidth=64e9, latency=10e-6,
+                    bulk_efficiency=0.5, activation_efficiency=0.8)
+
+
+def test_weight_transfer_time(link):
+    # 32 GB at 32 GB/s effective = 1 s plus latency.
+    assert link.weight_transfer_time(32e9) == pytest.approx(1.0 + 10e-6)
+
+
+def test_activation_transfer_latency_dominated(link):
+    t = link.activation_transfer_time(8192)
+    assert t == pytest.approx(10e-6, rel=0.05)
+
+
+def test_bulk_slower_than_activation(link):
+    n = 1e9
+    assert link.weight_transfer_time(n) > link.activation_transfer_time(n)
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        LinkSpec(name="bad", bandwidth=0.0)
+    with pytest.raises(ValueError):
+        LinkSpec(name="bad", bandwidth=1e9, bulk_efficiency=0.0)
+    with pytest.raises(ValueError):
+        LinkSpec(name="bad", bandwidth=1e9, activation_efficiency=2.0)

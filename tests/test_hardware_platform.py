@@ -1,0 +1,60 @@
+"""Unit tests for the platform container."""
+
+import dataclasses
+
+import pytest
+
+from repro.hardware.device import DeviceKind
+from repro.hardware.presets import (
+    INTEL_I9_10980XE,
+    NVIDIA_A6000,
+    PCIE_4_X16,
+    default_platform,
+    paper_table1_platform,
+)
+from repro.hardware.platform import Platform
+
+
+def test_default_platform_is_paper_testbed():
+    p = default_platform()
+    assert "A6000" in p.gpu.name
+    assert "i9-10980XE" in p.cpu.name
+    assert "PCIe 4.0" in p.link.name
+
+
+def test_table1_platform():
+    p = paper_table1_platform()
+    assert "A100" in p.gpu.name
+    assert "6326" in p.cpu.name
+
+
+def test_kind_validation():
+    with pytest.raises(ValueError):
+        Platform(gpu=INTEL_I9_10980XE, cpu=INTEL_I9_10980XE, link=PCIE_4_X16)
+    with pytest.raises(ValueError):
+        Platform(gpu=NVIDIA_A6000, cpu=NVIDIA_A6000, link=PCIE_4_X16)
+
+
+def test_device_lookup():
+    p = default_platform()
+    assert p.device(DeviceKind.GPU) is p.gpu
+    assert p.device(DeviceKind.CPU) is p.cpu
+
+
+def test_expert_capacity_math():
+    p = default_platform()
+    # 48 GB, 10% reserve -> 43.2 GB usable; 3.2 GB non-expert leaves 40 GB.
+    slots = p.gpu_expert_capacity(3.2e9, 0.4e9, reserve_fraction=0.1)
+    assert slots == 100
+
+
+def test_expert_capacity_zero_when_full():
+    p = default_platform()
+    assert p.gpu_expert_capacity(48e9, 1e9) == 0
+
+
+def test_capacity_shrinks_with_reserve():
+    p = default_platform()
+    a = p.gpu_expert_capacity(1e9, 0.35e9, reserve_fraction=0.0)
+    b = p.gpu_expert_capacity(1e9, 0.35e9, reserve_fraction=0.3)
+    assert a > b

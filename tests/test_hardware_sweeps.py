@@ -1,0 +1,81 @@
+"""Unit tests for platform sensitivity sweeps."""
+
+import pytest
+
+from repro.hardware.sweeps import (
+    AXES,
+    run_sweep,
+    scale_cpu_bandwidth,
+    scale_gpu_bandwidth,
+    scale_gpu_capacity,
+    scale_link_bandwidth,
+    sweep,
+)
+
+
+def test_link_scaling(platform):
+    scaled = scale_link_bandwidth(platform, 4.0)
+    assert scaled.link.bandwidth == pytest.approx(
+        4.0 * platform.link.bandwidth
+    )
+    # Everything else untouched.
+    assert scaled.gpu is platform.gpu
+    assert scaled.cpu is platform.cpu
+
+
+def test_cpu_and_gpu_scaling(platform):
+    assert scale_cpu_bandwidth(platform, 2.0).cpu.mem_bandwidth == (
+        pytest.approx(2.0 * platform.cpu.mem_bandwidth)
+    )
+    assert scale_gpu_bandwidth(platform, 0.5).gpu.mem_bandwidth == (
+        pytest.approx(0.5 * platform.gpu.mem_bandwidth)
+    )
+    assert scale_gpu_capacity(platform, 2.0).gpu.mem_capacity == (
+        pytest.approx(2.0 * platform.gpu.mem_capacity)
+    )
+
+
+def test_original_platform_not_mutated(platform):
+    before = platform.link.bandwidth
+    scale_link_bandwidth(platform, 8.0)
+    assert platform.link.bandwidth == before
+
+
+def test_invalid_factor(platform):
+    with pytest.raises(ValueError):
+        scale_link_bandwidth(platform, 0.0)
+    with pytest.raises(ValueError):
+        scale_cpu_bandwidth(platform, -1.0)
+
+
+def test_sweep_axes(platform):
+    for axis in AXES:
+        variants = sweep(platform, axis, [1.0, 2.0])
+        assert len(variants) == 2
+        assert variants[0][0] == 1.0
+
+
+def test_unknown_axis(platform):
+    with pytest.raises(KeyError):
+        sweep(platform, "quantum_tunneling", [1.0])
+
+
+def test_run_sweep_measures_each_variant(platform):
+    values = run_sweep(platform, "link_bandwidth", [1.0, 2.0, 4.0],
+                       measure=lambda p: p.link.bandwidth)
+    assert values[2.0] == pytest.approx(2.0 * values[1.0])
+    assert values[4.0] == pytest.approx(4.0 * values[1.0])
+
+
+def test_sweep_changes_cost_model(platform):
+    """Scaling the link really changes simulated upload latency."""
+    from repro.hardware.cost_model import CostModel
+    from repro.model.zoo import MIXTRAL_8X7B_ARCH
+
+    values = run_sweep(
+        platform, "link_bandwidth", [1.0, 10.0],
+        measure=lambda p: CostModel(
+            MIXTRAL_8X7B_ARCH, p
+        ).expert_transfer_time(),
+    )
+    assert values[10.0] < values[1.0] / 5.0

@@ -1,0 +1,108 @@
+"""Unit tests for the event-driven timeline."""
+
+import pytest
+
+from repro.hardware.timeline import CPU, D2H, GPU, H2D, Op, Timeline
+
+
+def test_fifo_on_one_resource():
+    tl = Timeline()
+    a = tl.add(GPU, 1.0)
+    b = tl.add(GPU, 2.0)
+    assert a.start == 0.0 and a.end == 1.0
+    assert b.start == 1.0 and b.end == 3.0
+
+
+def test_parallel_resources():
+    tl = Timeline()
+    a = tl.add(GPU, 1.0)
+    b = tl.add(CPU, 1.0)
+    assert a.start == b.start == 0.0
+    assert tl.makespan == 1.0
+
+
+def test_dependency_across_resources():
+    tl = Timeline()
+    a = tl.add(GPU, 2.0)
+    b = tl.add(CPU, 1.0, deps=[a])
+    assert b.start == 2.0
+    assert tl.makespan == 3.0
+
+
+def test_dependency_and_fifo_interact():
+    tl = Timeline()
+    gpu1 = tl.add(GPU, 5.0)
+    cpu1 = tl.add(CPU, 1.0)
+    # Depends on cpu1 (ends 1.0) but GPU is busy until 5.0.
+    gpu2 = tl.add(GPU, 1.0, deps=[cpu1])
+    assert gpu2.start == 5.0
+
+
+def test_transfer_channels_independent():
+    tl = Timeline()
+    up = tl.add(H2D, 3.0)
+    down = tl.add(D2H, 3.0)
+    assert up.start == down.start == 0.0
+
+
+def test_barrier():
+    tl = Timeline()
+    a = tl.add(GPU, 1.0)
+    b = tl.add(CPU, 4.0)
+    assert tl.barrier([a, b]) == 4.0
+    assert tl.barrier([]) == 0.0
+
+
+def test_busy_time_and_utilization():
+    tl = Timeline()
+    tl.add(GPU, 1.0)
+    tl.add(GPU, 1.0)
+    tl.add(CPU, 4.0)
+    assert tl.busy_time(GPU) == pytest.approx(2.0)
+    assert tl.utilization(GPU) == pytest.approx(0.5)
+    assert tl.utilization(CPU) == pytest.approx(1.0)
+
+
+def test_empty_timeline():
+    tl = Timeline()
+    assert tl.makespan == 0.0
+    assert tl.utilization(GPU) == 0.0
+
+
+def test_unknown_resource_rejected():
+    tl = Timeline()
+    with pytest.raises(ValueError):
+        tl.add("tpu", 1.0)
+
+
+def test_negative_duration_rejected():
+    tl = Timeline()
+    with pytest.raises(ValueError):
+        tl.add(GPU, -1.0)
+
+
+def test_window_query():
+    tl = Timeline()
+    a = tl.add(GPU, 1.0)
+    b = tl.add(GPU, 1.0)
+    c = tl.add(GPU, 1.0)
+    inside = tl.window(0.5, 1.5)
+    assert a in inside and b in inside and c not in inside
+
+
+def test_zero_duration_op_allowed():
+    tl = Timeline()
+    a = tl.add(GPU, 1.0)
+    sync = tl.add(GPU, 0.0, deps=[a])
+    assert sync.start == sync.end == 1.0
+
+
+def test_render_gantt_contains_rows():
+    tl = Timeline()
+    tl.add(GPU, 1.0, label="attn")
+    tl.add(CPU, 2.0, label="expert")
+    art = tl.render_gantt(width=40)
+    assert " gpu |" in art
+    assert " cpu |" in art
+    assert "A" in art  # attn glyph
+    assert "E" in art  # expert glyph

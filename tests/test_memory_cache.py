@@ -1,0 +1,85 @@
+"""Unit tests for cache sizing and calibrated initialization (paper IV-A)."""
+
+import numpy as np
+import pytest
+
+from repro.memory.cache import (
+    CacheConfig,
+    build_calibrated_placement,
+    uniform_placement,
+)
+
+
+def test_config_resolution():
+    assert CacheConfig(ecr=0.5).resolve_slots(4, 8) == 16
+    assert CacheConfig(total_slots=10).resolve_slots(4, 8) == 10
+    # total_slots wins over ecr
+    assert CacheConfig(ecr=0.5, total_slots=3).resolve_slots(4, 8) == 3
+
+
+def test_config_validation():
+    with pytest.raises(ValueError):
+        CacheConfig().resolve_slots(4, 8)
+    with pytest.raises(ValueError):
+        CacheConfig(ecr=1.5).resolve_slots(4, 8)
+    with pytest.raises(ValueError):
+        CacheConfig(total_slots=33).resolve_slots(4, 8)
+
+
+def test_hottest_experts_cached_per_layer():
+    probs = np.array([
+        [0.9, 0.1, 0.5, 0.3],
+        [0.1, 0.9, 0.3, 0.5],
+    ])
+    placement = build_calibrated_placement(probs, CacheConfig(ecr=0.5))
+    # 4 slots total, 2 per layer: each layer's top-2.
+    assert set(placement.gpu_experts(0)) == {0, 2}
+    assert set(placement.gpu_experts(1)) == {1, 3}
+
+
+def test_remainder_goes_to_globally_hottest():
+    probs = np.array([
+        [0.9, 0.1, 0.2, 0.3],
+        [0.8, 0.7, 0.2, 0.1],
+    ])
+    # 3 slots: base 1 per layer + 1 remainder -> layer 1 expert 1 (0.7 is
+    # the hottest uncached entry).
+    placement = build_calibrated_placement(probs, CacheConfig(total_slots=3))
+    assert set(placement.gpu_experts(0)) == {0}
+    assert set(placement.gpu_experts(1)) == {0, 1}
+
+
+def test_slot_budget_exact():
+    rng = np.random.default_rng(0)
+    probs = rng.random((6, 8))
+    for slots in (0, 1, 7, 13, 48):
+        placement = build_calibrated_placement(
+            probs, CacheConfig(total_slots=slots)
+        )
+        assert placement.gpu_count() == slots
+
+
+def test_standardized_across_layers():
+    """Per-layer counts differ by at most 1 (base + remainder)."""
+    rng = np.random.default_rng(1)
+    probs = rng.random((8, 8))
+    placement = build_calibrated_placement(probs, CacheConfig(ecr=0.469))
+    counts = [placement.gpu_count(b) for b in range(8)]
+    assert max(counts) - min(counts) <= 1
+
+
+def test_ecr_round_trip():
+    rng = np.random.default_rng(2)
+    probs = rng.random((32, 8))
+    placement = build_calibrated_placement(probs, CacheConfig(ecr=0.25))
+    assert placement.expert_cache_ratio == pytest.approx(0.25, abs=0.01)
+
+
+def test_rejects_bad_shapes():
+    with pytest.raises(ValueError):
+        build_calibrated_placement(np.ones(8), CacheConfig(ecr=0.5))
+
+
+def test_uniform_placement_budget():
+    placement = uniform_placement(4, 8, CacheConfig(ecr=0.5))
+    assert placement.gpu_count() == 16

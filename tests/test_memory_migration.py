@@ -1,0 +1,74 @@
+"""Unit tests for the migration engine."""
+
+import pytest
+
+from repro.hardware.cost_model import CostModel
+from repro.hardware.device import DeviceKind
+from repro.hardware.timeline import D2H, H2D, Timeline
+from repro.memory.migration import MigrationEngine
+from repro.memory.placement import ExpertPlacement
+from repro.model.zoo import MIXTRAL_8X7B_ARCH
+
+
+@pytest.fixture()
+def engine(platform):
+    placement = ExpertPlacement(4, 8)
+    placement.set_device(0, 0, DeviceKind.GPU)
+    return MigrationEngine(
+        placement=placement,
+        cost_model=CostModel(MIXTRAL_8X7B_ARCH, platform),
+        timeline=Timeline(),
+    )
+
+
+def test_upload_updates_placement_and_timeline(engine):
+    op = engine.upload(1, 3)
+    assert engine.placement.is_on_gpu(1, 3)
+    assert op.resource == H2D
+    assert op.duration > 0
+    assert engine.upload_count == 1
+
+
+def test_evict_updates_placement(engine):
+    op = engine.evict(0, 0)
+    assert not engine.placement.is_on_gpu(0, 0)
+    assert op.resource == D2H
+    assert engine.evict_count == 1
+
+
+def test_drop_is_free(engine):
+    before = len(engine.timeline.ops)
+    engine.drop(0, 0)
+    assert not engine.placement.is_on_gpu(0, 0)
+    assert len(engine.timeline.ops) == before
+
+
+def test_swap(engine):
+    up, _ = engine.swap(0, expert_in=5, expert_out=0)
+    assert engine.placement.is_on_gpu(0, 5)
+    assert not engine.placement.is_on_gpu(0, 0)
+    assert up.resource == H2D
+
+
+def test_swap_validation(engine):
+    with pytest.raises(ValueError):
+        engine.swap(0, expert_in=5, expert_out=6)  # 6 not on GPU
+    engine.upload(0, 5)
+    with pytest.raises(ValueError):
+        engine.swap(0, expert_in=5, expert_out=0)  # 5 already on GPU
+
+
+def test_quantized_migration_faster(platform):
+    placement = ExpertPlacement(2, 4)
+    cm = CostModel(MIXTRAL_8X7B_ARCH, platform)
+    full = MigrationEngine(placement.copy(), cm, Timeline(),
+                           quant_ratio=1.0).upload(0, 0)
+    quant = MigrationEngine(placement.copy(), cm, Timeline(),
+                            quant_ratio=0.25).upload(0, 0)
+    assert quant.duration < full.duration
+
+
+def test_upload_respects_deps(engine):
+    first = engine.timeline.add("gpu", 5.0)
+    op = engine.upload(1, 1, deps=[first])
+    assert op.start == 5.0

@@ -1,0 +1,58 @@
+"""Unit tests for metrics aggregation and report formatting."""
+
+import pytest
+
+from repro.core import build_engine
+from repro.metrics import format_series, format_table, summarize_results
+from repro.workloads import C4, SequenceGenerator
+
+
+def test_format_table_alignment():
+    table = format_table(
+        ["engine", "tok/s"],
+        [["daop", 4.52], ["fiddler", 3.23]],
+        title="Fig. 9",
+    )
+    lines = table.splitlines()
+    assert lines[0] == "Fig. 9"
+    assert "engine" in lines[1] and "tok/s" in lines[1]
+    assert "4.52" in table and "3.23" in table
+    # All data rows aligned to the same width.
+    assert len(lines[3]) == len(lines[4])
+
+
+def test_format_table_custom_float_fmt():
+    table = format_table(["x"], [[1.23456]], float_fmt="{:.4f}")
+    assert "1.2346" in table
+
+
+def test_format_series():
+    s = format_series("daop", [0.25, 0.5], [3.2, 4.5], x_label="ecr")
+    assert "daop" in s
+    assert "0.25=3.20" in s
+    assert "0.5=4.50" in s
+
+
+def test_summarize_results(tiny_bundle, platform, tiny_calibration):
+    engine = build_engine("fiddler", tiny_bundle, platform, 0.5,
+                          tiny_calibration)
+    gen = SequenceGenerator(C4, tiny_bundle.vocab, seed=41)
+    results = [
+        engine.generate(gen.sample_sequence(12, 0, sample_idx=i)
+                        .prompt_tokens, 6)
+        for i in range(2)
+    ]
+    summary = summarize_results("fiddler", results)
+    assert summary.engine == "fiddler"
+    assert summary.n_sequences == 2
+    assert summary.tokens_per_second > 0
+    total_tokens = sum(r.stats.n_generated for r in results)
+    total_time = sum(r.stats.total_time_s for r in results)
+    assert summary.tokens_per_second == pytest.approx(
+        total_tokens / total_time
+    )
+
+
+def test_summarize_empty_raises():
+    with pytest.raises(ValueError):
+        summarize_results("x", [])

@@ -1,0 +1,65 @@
+"""Unit tests for ASCII plots."""
+
+import pytest
+
+from repro.metrics.plots import bar_chart, line_plot, sparkline
+
+
+class TestBarChart:
+    def test_basic(self):
+        art = bar_chart(["daop", "fiddler"], [4.5, 3.0], width=20,
+                        title="speed")
+        lines = art.splitlines()
+        assert lines[0] == "speed"
+        assert "daop" in lines[1] and "4.50" in lines[1]
+        # Longest bar belongs to the largest value.
+        assert lines[1].count("#") > lines[2].count("#")
+
+    def test_proportionality(self):
+        art = bar_chart(["a", "b"], [10.0, 5.0], width=40)
+        rows = art.splitlines()
+        assert rows[0].count("#") == 40
+        assert rows[1].count("#") == 20
+
+    def test_zero_and_negative_safe(self):
+        art = bar_chart(["x", "y"], [0.0, 1.0])
+        assert art.splitlines()[0].count("#") == 0
+
+    def test_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            bar_chart(["a"], [1.0, 2.0])
+
+    def test_empty(self):
+        assert bar_chart([], [], title="t") == "t"
+
+
+class TestLinePlot:
+    def test_glyphs_present(self):
+        art = line_plot([0, 1, 2], {"daop": [1, 2, 3],
+                                    "fiddler": [3, 2, 1]})
+        assert "D" in art and "F" in art
+        assert "x: 0 .. 2" in art
+
+    def test_constant_series_safe(self):
+        art = line_plot([0, 1], {"flat": [2.0, 2.0]})
+        assert "F" in art
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            line_plot([0, 1], {"s": [1.0]})
+
+    def test_empty(self):
+        assert line_plot([], {}, title="t") == "t"
+
+
+class TestSparkline:
+    def test_monotone(self):
+        art = sparkline([1, 2, 3, 4])
+        assert len(art) == 4
+        assert art[0] == "▁" and art[-1] == "█"
+
+    def test_constant(self):
+        assert sparkline([5, 5, 5]) == "▁▁▁"
+
+    def test_empty(self):
+        assert sparkline([]) == ""

@@ -1,0 +1,89 @@
+"""Unit tests for grouped-query attention and the KV cache."""
+
+import numpy as np
+import pytest
+
+from repro.model.attention import GroupedQueryAttention, KVCache
+from repro.model.config import SimSpec
+
+
+@pytest.fixture()
+def sim():
+    return SimSpec(d_model=32, n_heads=4, n_kv_heads=2, d_ff=48,
+                   vocab_size=64)
+
+
+@pytest.fixture()
+def attn(sim, rng):
+    return GroupedQueryAttention(sim, rng)
+
+
+class TestKVCache:
+    def test_append_and_len(self):
+        cache = KVCache(2, 8)
+        k = np.ones((2, 3, 8), dtype=np.float32)
+        cache.append(k, k)
+        assert len(cache) == 3
+        assert cache.keys.shape == (2, 3, 8)
+
+    def test_growth_preserves_contents(self, rng):
+        cache = KVCache(1, 4)
+        chunks = [rng.standard_normal((1, 40, 4)).astype(np.float32)
+                  for _ in range(4)]
+        for c in chunks:
+            cache.append(c, c)
+        expected = np.concatenate(chunks, axis=1)
+        np.testing.assert_allclose(cache.keys, expected)
+
+    def test_truncate(self, rng):
+        cache = KVCache(1, 4)
+        data = rng.standard_normal((1, 10, 4)).astype(np.float32)
+        cache.append(data, data)
+        cache.truncate(4)
+        assert len(cache) == 4
+        np.testing.assert_allclose(cache.keys, data[:, :4])
+
+    def test_truncate_invalid(self):
+        cache = KVCache(1, 4)
+        with pytest.raises(ValueError):
+            cache.truncate(5)
+
+
+class TestAttention:
+    def test_output_shape(self, attn, rng):
+        cache = attn.new_cache()
+        x = rng.standard_normal((5, 32)).astype(np.float32)
+        out = attn(x, cache, np.arange(5))
+        assert out.shape == (5, 32)
+        assert len(cache) == 5
+
+    def test_incremental_matches_batch(self, attn, sim, rng):
+        """Prefill-then-decode must equal one-shot processing (causality)."""
+        x = rng.standard_normal((6, 32)).astype(np.float32)
+        cache_full = attn.new_cache()
+        full = attn(x, cache_full, np.arange(6))
+
+        cache_inc = attn.new_cache()
+        first = attn(x[:4], cache_inc, np.arange(4))
+        np.testing.assert_allclose(first, full[:4], rtol=1e-4, atol=1e-5)
+        for i in range(4, 6):
+            step = attn(x[i : i + 1], cache_inc, np.array([i]))
+            np.testing.assert_allclose(step, full[i : i + 1], rtol=1e-4,
+                                       atol=1e-5)
+
+    def test_causality(self, attn, rng):
+        """Future tokens must not influence earlier outputs."""
+        x = rng.standard_normal((6, 32)).astype(np.float32)
+        out_full = attn(x, attn.new_cache(), np.arange(6))
+        y = x.copy()
+        y[5] += 10.0  # change only the last token
+        out_mod = attn(y, attn.new_cache(), np.arange(6))
+        np.testing.assert_allclose(out_mod[:5], out_full[:5], rtol=1e-4,
+                                   atol=1e-5)
+        assert not np.allclose(out_mod[5], out_full[5])
+
+    def test_param_count(self, attn, sim):
+        q = sim.d_model * sim.d_model
+        kv = 2 * sim.d_model * sim.n_kv_heads * sim.head_dim
+        o = sim.d_model * sim.d_model
+        assert attn.n_params == q + kv + o

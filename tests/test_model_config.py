@@ -1,0 +1,86 @@
+"""Unit tests for configuration dataclasses."""
+
+import pytest
+
+from repro.model.config import ArchSpec, ModelProfile, SimSpec
+from repro.model.zoo import MIXTRAL_8X7B_ARCH
+
+
+def make_arch(**kw):
+    base = dict(name="m", d_model=64, n_heads=4, n_kv_heads=2, d_ff=128,
+                n_blocks=4, n_experts=8, top_k=2, vocab_size=100)
+    base.update(kw)
+    return ArchSpec(**base)
+
+
+class TestArchSpec:
+    def test_head_dim(self):
+        assert make_arch().head_dim == 16
+
+    def test_kv_head_divisibility(self):
+        with pytest.raises(ValueError):
+            make_arch(n_heads=4, n_kv_heads=3)
+
+    def test_top_k_bounds(self):
+        with pytest.raises(ValueError):
+            make_arch(top_k=0)
+        with pytest.raises(ValueError):
+            make_arch(top_k=9)
+
+    def test_param_identities(self):
+        arch = make_arch()
+        assert arch.expert_params == 3 * 64 * 128
+        assert arch.block_params == (
+            arch.block_non_expert_params + 8 * arch.expert_params
+        )
+        assert arch.total_expert_params == 4 * 8 * arch.expert_params
+        # Activated < total whenever top_k < n_experts.
+        assert arch.activated_params_per_token < arch.total_params
+        assert 0 < arch.activated_fraction < 1
+
+    def test_byte_sizes(self):
+        arch = make_arch(dtype_bytes=2)
+        assert arch.expert_bytes == arch.expert_params * 2
+        assert arch.hidden_state_bytes == 64 * 2
+        assert arch.kv_bytes_per_token_per_block == 2 * 2 * 16 * 2
+
+    def test_mixtral_consistency(self):
+        arch = MIXTRAL_8X7B_ARCH
+        # Total = embeddings + blocks + final norm exactly.
+        total = (arch.embedding_params + arch.n_blocks * arch.block_params
+                 + arch.d_model)
+        assert arch.total_params == total
+
+
+class TestSimSpec:
+    def test_defaults_valid(self):
+        sim = SimSpec()
+        assert sim.head_dim * sim.n_heads == sim.d_model
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SimSpec(n_heads=4, n_kv_heads=3)
+        with pytest.raises(ValueError):
+            SimSpec(d_model=65, n_heads=4, n_kv_heads=2)
+
+
+class TestModelProfile:
+    def test_from_arch_defaults(self):
+        arch = make_arch()
+        profile = ModelProfile.from_arch(arch)
+        assert profile.n_blocks == arch.n_blocks
+        assert profile.n_experts == arch.n_experts
+        assert profile.top_k == arch.top_k
+
+    def test_shrunken_blocks(self):
+        profile = ModelProfile.from_arch(make_arch(), n_blocks=2)
+        assert profile.n_blocks == 2
+        assert profile.arch.n_blocks == 4  # arch untouched
+
+    def test_validation(self):
+        arch = make_arch()
+        with pytest.raises(ValueError):
+            ModelProfile.from_arch(arch, n_blocks=0)
+        with pytest.raises(ValueError):
+            ModelProfile(arch=arch, sim=SimSpec(), n_blocks=2,
+                         n_experts=4, top_k=5)

@@ -1,0 +1,31 @@
+"""Unit tests for SwiGLU experts."""
+
+import numpy as np
+
+from repro.model.experts import SwiGLUExpert
+from repro.model.layers import silu
+
+
+def test_output_shape(rng):
+    expert = SwiGLUExpert(16, 32, rng)
+    out = expert(rng.standard_normal((5, 16)))
+    assert out.shape == (5, 16)
+
+
+def test_matches_definition(rng):
+    expert = SwiGLUExpert(8, 12, rng)
+    x = rng.standard_normal((2, 8)).astype(np.float32)
+    expected = expert.w2(silu(expert.w1(x)) * expert.w3(x))
+    np.testing.assert_allclose(expert(x), expected)
+
+
+def test_param_count(rng):
+    expert = SwiGLUExpert(8, 12, rng)
+    assert expert.n_params == 3 * 8 * 12
+
+
+def test_nonlinearity(rng):
+    """SwiGLU is not linear: f(2x) != 2 f(x) in general."""
+    expert = SwiGLUExpert(8, 12, rng)
+    x = rng.standard_normal((1, 8)).astype(np.float32)
+    assert not np.allclose(expert(2 * x), 2 * expert(x), rtol=1e-2)

@@ -1,0 +1,77 @@
+"""Unit tests for the top-k router."""
+
+import numpy as np
+import pytest
+
+from repro.model.gating import Router
+
+
+@pytest.fixture()
+def router(rng):
+    return Router(d_model=16, n_experts=8, top_k=2, rng=rng)
+
+
+def test_invalid_top_k(rng):
+    with pytest.raises(ValueError):
+        Router(16, 4, 0, rng)
+    with pytest.raises(ValueError):
+        Router(16, 4, 5, rng)
+
+
+def test_route_shapes(router, rng):
+    x = rng.standard_normal((5, 16))
+    decision = router.route(x)
+    assert decision.logits.shape == (5, 8)
+    assert decision.experts.shape == (5, 2)
+    assert decision.weights.shape == (5, 2)
+    assert decision.n_tokens == 5
+    assert decision.top_k == 2
+
+
+def test_experts_are_argmax(router, rng):
+    x = rng.standard_normal((10, 16))
+    decision = router.route(x)
+    for t in range(10):
+        top = set(np.argsort(-decision.logits[t])[:2])
+        assert set(decision.experts[t]) == top
+
+
+def test_experts_sorted_descending(router, rng):
+    x = rng.standard_normal((10, 16))
+    decision = router.route(x)
+    for t in range(10):
+        logits = decision.logits[t][decision.experts[t]]
+        assert logits[0] >= logits[1]
+
+
+def test_weights_softmax_over_selected(router, rng):
+    x = rng.standard_normal((4, 16))
+    decision = router.route(x)
+    np.testing.assert_allclose(decision.weights.sum(axis=1), np.ones(4),
+                               rtol=1e-6)
+    # Higher-logit expert gets the larger weight.
+    assert np.all(decision.weights[:, 0] >= decision.weights[:, 1])
+
+
+def test_route_from_logits_matches_route(router, rng):
+    x = rng.standard_normal((3, 16))
+    a = router.route(x)
+    b = router.route_from_logits(router.logits(x))
+    np.testing.assert_array_equal(a.experts, b.experts)
+    np.testing.assert_allclose(a.weights, b.weights)
+
+
+def test_renormalize_arbitrary_subset():
+    logits = np.array([3.0, 1.0, 2.0, 0.0])
+    weights = Router.renormalize(logits, np.array([0, 3]))
+    assert weights.sum() == pytest.approx(1.0)
+    assert weights[0] > weights[1]
+    # Matches a direct softmax over the chosen logits.
+    expected = np.exp([3.0, 0.0]) / np.exp([3.0, 0.0]).sum()
+    np.testing.assert_allclose(weights, expected, rtol=1e-6)
+
+
+def test_1d_input_promoted(router, rng):
+    x = rng.standard_normal(16)
+    decision = router.route(x)
+    assert decision.experts.shape == (1, 2)

@@ -1,0 +1,99 @@
+"""Unit tests for the elementary layers."""
+
+import numpy as np
+import pytest
+
+from repro.model.layers import Linear, RMSNorm, log_softmax, silu, softmax
+
+
+class TestSilu:
+    def test_zero(self):
+        assert silu(np.zeros(3)) == pytest.approx(0.0)
+
+    def test_positive_limit(self):
+        x = np.array([50.0])
+        assert silu(x)[0] == pytest.approx(50.0, rel=1e-6)
+
+    def test_negative_limit(self):
+        x = np.array([-50.0])
+        assert silu(x)[0] == pytest.approx(0.0, abs=1e-6)
+
+    def test_matches_definition(self, rng):
+        x = rng.standard_normal(100)
+        expected = x / (1.0 + np.exp(-x))
+        np.testing.assert_allclose(silu(x), expected)
+
+
+class TestSoftmax:
+    def test_sums_to_one(self, rng):
+        x = rng.standard_normal((5, 7))
+        np.testing.assert_allclose(softmax(x).sum(axis=-1), np.ones(5),
+                                   rtol=1e-6)
+
+    def test_shift_invariance(self, rng):
+        x = rng.standard_normal(9)
+        np.testing.assert_allclose(softmax(x), softmax(x + 100.0), rtol=1e-5)
+
+    def test_large_values_stable(self):
+        x = np.array([1e4, 1e4 - 1.0])
+        out = softmax(x)
+        assert np.all(np.isfinite(out))
+        assert out[0] > out[1]
+
+    def test_axis(self, rng):
+        x = rng.standard_normal((3, 4))
+        np.testing.assert_allclose(softmax(x, axis=0).sum(axis=0),
+                                   np.ones(4), rtol=1e-6)
+
+    def test_log_softmax_consistent(self, rng):
+        x = rng.standard_normal(11)
+        np.testing.assert_allclose(log_softmax(x), np.log(softmax(x)),
+                                   rtol=1e-5)
+
+
+class TestLinear:
+    def test_shapes(self, rng):
+        layer = Linear(6, 4, rng)
+        out = layer(rng.standard_normal((3, 6)))
+        assert out.shape == (3, 4)
+
+    def test_linearity(self, rng):
+        layer = Linear(5, 5, rng)
+        a = rng.standard_normal((2, 5)).astype(np.float32)
+        b = rng.standard_normal((2, 5)).astype(np.float32)
+        np.testing.assert_allclose(layer(a + b), layer(a) + layer(b),
+                                   rtol=1e-4, atol=1e-5)
+
+    def test_param_count(self, rng):
+        layer = Linear(6, 4, rng)
+        assert layer.n_params == 24
+
+    def test_custom_scale(self, rng):
+        layer = Linear(100, 100, rng, scale=0.0)
+        assert np.all(layer.weight == 0.0)
+
+
+class TestRMSNorm:
+    def test_unit_rms_output(self, rng):
+        norm = RMSNorm(16)
+        x = rng.standard_normal((4, 16)) * 10.0
+        out = norm(x)
+        rms = np.sqrt(np.mean(out**2, axis=-1))
+        np.testing.assert_allclose(rms, np.ones(4), rtol=1e-4)
+
+    def test_scale_invariance(self, rng):
+        norm = RMSNorm(8)
+        x = rng.standard_normal(8)
+        np.testing.assert_allclose(norm(x), norm(x * 7.3), rtol=1e-4)
+
+    def test_gain_applied(self, rng):
+        norm = RMSNorm(8)
+        norm.gain[:] = 2.0
+        x = rng.standard_normal(8)
+        rms = np.sqrt(np.mean(norm(x) ** 2))
+        assert rms == pytest.approx(2.0, rel=1e-3)
+
+    def test_zero_input_finite(self):
+        norm = RMSNorm(4)
+        out = norm(np.zeros(4))
+        assert np.all(np.isfinite(out))

@@ -1,0 +1,83 @@
+"""Unit tests for the MoE transformer block."""
+
+import numpy as np
+import pytest
+
+from repro.model.config import SimSpec
+from repro.model.moe_block import MoEBlock
+
+
+@pytest.fixture()
+def sim():
+    return SimSpec(d_model=32, n_heads=4, n_kv_heads=2, d_ff=48,
+                   vocab_size=64)
+
+
+@pytest.fixture()
+def block(sim, rng):
+    return MoEBlock(sim, n_experts=4, top_k=2, rng=rng, block_idx=5)
+
+
+def test_fine_grained_matches_forward(block, rng):
+    """Stage-by-stage execution equals the reference block forward."""
+    h = rng.standard_normal((4, 32)).astype(np.float32)
+    cache_a = block.attention.new_cache()
+    positions = np.arange(4)
+    ref, decision = block.forward(h, cache_a, positions)
+
+    cache_b = block.attention.new_cache()
+    h_att = block.attention_part(h, cache_b, positions)
+    routing = block.route(h_att)
+    np.testing.assert_array_equal(routing.experts, decision.experts)
+    outs = np.stack([
+        np.stack([block.expert_forward(int(e), h_att[t : t + 1])[0]
+                  for e in routing.experts[t]])
+        for t in range(4)
+    ])
+    out = block.combine(h_att, outs, routing.weights)
+    np.testing.assert_allclose(out, ref, rtol=1e-5, atol=1e-6)
+
+
+def test_residual_scale_early_boost(sim, rng):
+    early = MoEBlock(sim, 4, 2, rng, block_idx=0)
+    late = MoEBlock(sim, 4, 2, rng, block_idx=10)
+    assert early.residual_scale > late.residual_scale
+    assert late.residual_scale == pytest.approx(sim.residual_scale, rel=0.01)
+
+
+def test_gate_logits_shape(block, rng):
+    h = rng.standard_normal((3, 32)).astype(np.float32)
+    assert block.gate_logits(h).shape == (3, 4)
+
+
+def test_combine_weighted_sum(block, rng):
+    h_att = rng.standard_normal((2, 32)).astype(np.float32)
+    outs = rng.standard_normal((2, 2, 32)).astype(np.float32)
+    weights = np.array([[1.0, 0.0], [0.5, 0.5]], dtype=np.float32)
+    out = block.combine(h_att, outs, weights)
+    expected0 = h_att[0] + block.residual_scale * outs[0, 0]
+    np.testing.assert_allclose(out[0], expected0, rtol=1e-5)
+    expected1 = h_att[1] + block.residual_scale * 0.5 * (
+        outs[1, 0] + outs[1, 1]
+    )
+    np.testing.assert_allclose(out[1], expected1, rtol=1e-5)
+
+
+def test_n_params_consistent(block):
+    manual = (
+        block.attn_norm.n_params
+        + block.attention.n_params
+        + block.ffn_norm.n_params
+        + block.router.n_params
+        + sum(e.n_params for e in block.experts)
+    )
+    assert block.n_params == manual
+
+
+def test_expert_forward_isolated(block, rng):
+    """Each expert is a distinct function."""
+    x = rng.standard_normal((1, 32)).astype(np.float32)
+    outs = [block.expert_forward(e, x) for e in range(4)]
+    for i in range(4):
+        for j in range(i + 1, 4):
+            assert not np.allclose(outs[i], outs[j])

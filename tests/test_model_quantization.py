@@ -1,0 +1,77 @@
+"""Unit tests for fake quantization."""
+
+import numpy as np
+import pytest
+
+from repro.model.quantization import (
+    fake_quantize,
+    quantization_error,
+    quantize_expert,
+    quantize_experts,
+)
+from repro.model.zoo import build_tiny_moe
+
+
+def test_identity_at_high_bits(rng):
+    w = rng.standard_normal((8, 16)).astype(np.float32)
+    assert quantization_error(w, 16) < 1e-3
+
+
+def test_error_decreases_with_bits(rng):
+    w = rng.standard_normal((16, 32)).astype(np.float32)
+    errors = [quantization_error(w, bits) for bits in (2, 4, 8)]
+    assert errors[0] > errors[1] > errors[2]
+
+
+def test_range_preserved(rng):
+    w = rng.standard_normal((4, 8)).astype(np.float32)
+    q = fake_quantize(w, 4)
+    # Per-row max magnitude cannot grow.
+    assert np.all(np.abs(q).max(axis=1) <= np.abs(w).max(axis=1) + 1e-6)
+
+
+def test_zero_rows_stay_zero():
+    w = np.zeros((3, 5), dtype=np.float32)
+    np.testing.assert_array_equal(fake_quantize(w, 4), w)
+
+
+def test_bits_validated(rng):
+    w = rng.standard_normal((2, 2))
+    with pytest.raises(ValueError):
+        fake_quantize(w, 1)
+    with pytest.raises(ValueError):
+        fake_quantize(w, 17)
+
+
+def test_quantize_expert_in_place(rng):
+    bundle = build_tiny_moe(seed=3, n_blocks=2)
+    expert = bundle.model.blocks[0].experts[0]
+    original = expert.w1.weight.copy()
+    quantize_expert(expert, 4)
+    assert not np.allclose(expert.w1.weight, original)
+    # Idempotent: quantizing a quantized grid changes nothing.
+    after = expert.w1.weight.copy()
+    quantize_expert(expert, 4)
+    np.testing.assert_allclose(expert.w1.weight, after, atol=1e-6)
+
+
+def test_quantize_experts_counts_and_scope():
+    bundle = build_tiny_moe(seed=4, n_blocks=3)
+    model = bundle.model
+    router_before = model.blocks[0].router.gate.weight.copy()
+    n = quantize_experts(model, 4, blocks=[0, 2])
+    assert n == 2 * model.n_experts
+    # Router weights untouched (mixed quantization: experts only).
+    np.testing.assert_array_equal(
+        model.blocks[0].router.gate.weight, router_before
+    )
+
+
+def test_quantization_perturbs_outputs():
+    bundle = build_tiny_moe(seed=5, n_blocks=3)
+    prompt = np.arange(5, 17)
+    reference = bundle.model.greedy_generate(prompt, 8)
+    quantize_experts(bundle.model, 3)
+    quantized = bundle.model.greedy_generate(prompt, 8)
+    # 3-bit experts visibly change behaviour (not necessarily every token).
+    assert quantized.shape == reference.shape

@@ -1,0 +1,61 @@
+"""Unit tests for rotary positional embeddings."""
+
+import numpy as np
+import pytest
+
+from repro.model.rope import RotaryEmbedding
+
+
+def test_rejects_odd_head_dim():
+    with pytest.raises(ValueError):
+        RotaryEmbedding(7)
+
+
+def test_norm_preserved(rng):
+    rope = RotaryEmbedding(16)
+    x = rng.standard_normal((2, 5, 16)).astype(np.float32)
+    out = rope.apply(x, np.arange(5))
+    np.testing.assert_allclose(
+        np.linalg.norm(out, axis=-1), np.linalg.norm(x, axis=-1), rtol=1e-4
+    )
+
+
+def test_position_zero_is_identity(rng):
+    rope = RotaryEmbedding(8)
+    x = rng.standard_normal((1, 1, 8)).astype(np.float32)
+    out = rope.apply(x, np.array([0]))
+    np.testing.assert_allclose(out, x, atol=1e-6)
+
+
+def test_relative_rotation_property(rng):
+    """Dot products of rotated q/k depend only on relative position."""
+    rope = RotaryEmbedding(8)
+    q = rng.standard_normal(8).astype(np.float32)
+    k = rng.standard_normal(8).astype(np.float32)
+
+    def score(pq, pk):
+        rq = rope.apply(q.reshape(1, 8), np.array([pq]))[0]
+        rk = rope.apply(k.reshape(1, 8), np.array([pk]))[0]
+        return float(rq @ rk)
+
+    assert score(3, 1) == pytest.approx(score(12, 10), rel=1e-4)
+    assert score(0, 0) == pytest.approx(score(9, 9), rel=1e-4)
+
+
+def test_cache_grows_lazily(rng):
+    rope = RotaryEmbedding(8)
+    x = rng.standard_normal((1, 1, 8)).astype(np.float32)
+    rope.apply(x, np.array([3]))
+    assert rope._cos.shape[0] >= 4
+    rope.apply(x, np.array([100]))
+    assert rope._cos.shape[0] >= 101
+
+
+def test_noncontiguous_positions(rng):
+    rope = RotaryEmbedding(8)
+    x = rng.standard_normal((1, 3, 8)).astype(np.float32)
+    out = rope.apply(x, np.array([5, 2, 11]))
+    # Each row must match an individual application at its own position.
+    for i, pos in enumerate([5, 2, 11]):
+        single = rope.apply(x[:, i : i + 1], np.array([pos]))
+        np.testing.assert_allclose(out[:, i : i + 1], single, atol=1e-6)

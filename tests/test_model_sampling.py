@@ -1,0 +1,42 @@
+"""Unit tests for sampling strategies."""
+
+import numpy as np
+import pytest
+
+from repro.model.sampling import greedy, top_k_sample
+
+
+def test_greedy_argmax():
+    assert greedy(np.array([0.1, 5.0, 2.0])) == 1
+
+
+def test_greedy_flattens():
+    assert greedy(np.array([[0.1, 5.0, 2.0]])) == 1
+
+
+def test_top_k_validates(rng):
+    with pytest.raises(ValueError):
+        top_k_sample(np.zeros(4), 0, rng)
+
+
+def test_top_k_respects_support(rng):
+    logits = np.array([10.0, 9.0, -50.0, -50.0])
+    for _ in range(50):
+        assert top_k_sample(logits, 2, rng) in (0, 1)
+
+
+def test_top_k_deterministic_with_seed():
+    logits = np.random.default_rng(0).standard_normal(16)
+    a = [top_k_sample(logits, 4, np.random.default_rng(9)) for _ in range(5)]
+    b = [top_k_sample(logits, 4, np.random.default_rng(9)) for _ in range(5)]
+    assert a == b
+
+
+def test_zero_temperature_is_greedy(rng):
+    logits = np.array([1.0, 3.0, 2.0])
+    assert top_k_sample(logits, 3, rng, temperature=0.0) == 1
+
+
+def test_k_larger_than_vocab(rng):
+    logits = np.array([1.0, 2.0])
+    assert top_k_sample(logits, 10, rng) in (0, 1)

@@ -1,0 +1,88 @@
+"""Unit tests for the full functional transformer."""
+
+import numpy as np
+import pytest
+
+from repro.model.zoo import build_tiny_moe
+
+
+@pytest.fixture(scope="module")
+def bundle():
+    return build_tiny_moe(seed=7, n_blocks=4)
+
+
+def test_embed_bounds(bundle):
+    with pytest.raises(ValueError):
+        bundle.model.embed(np.array([bundle.vocab.vocab_size]))
+    with pytest.raises(ValueError):
+        bundle.model.embed(np.array([-1]))
+
+
+def test_forward_exact_shapes(bundle):
+    model = bundle.model
+    h, decisions = model.forward_exact(np.array([5, 6, 7]))
+    assert h.shape == (3, model.profile.sim.d_model)
+    assert len(decisions) == model.n_blocks
+    assert decisions[0].experts.shape == (3, model.top_k)
+
+
+def test_incremental_equals_batch(bundle):
+    """Prefill + decode token-by-token equals one-shot forward."""
+    model = bundle.model
+    tokens = np.array([5, 9, 13, 21, 8])
+    h_full, dec_full = model.forward_exact(tokens)
+
+    caches = model.new_caches()
+    h_pre, _ = model.forward_exact(tokens[:3], caches)
+    np.testing.assert_allclose(h_pre, h_full[:3], rtol=1e-4, atol=1e-5)
+    for i in range(3, 5):
+        h_step, dec_step = model.forward_exact(
+            tokens[i : i + 1], caches, start_pos=i
+        )
+        np.testing.assert_allclose(h_step, h_full[i : i + 1], rtol=1e-4,
+                                   atol=1e-5)
+        for b in range(model.n_blocks):
+            np.testing.assert_array_equal(
+                dec_step[b].experts[0], dec_full[b].experts[i]
+            )
+
+
+def test_greedy_generate_deterministic(bundle):
+    model = bundle.model
+    prompt = np.array([5, 6, 7, 8])
+    a = model.greedy_generate(prompt, 6)
+    b = model.greedy_generate(prompt, 6)
+    np.testing.assert_array_equal(a, b)
+    assert a.shape == (6,)
+    assert np.all((a >= 0) & (a < bundle.vocab.vocab_size))
+
+
+def test_lm_logits_weight_tied(bundle):
+    model = bundle.model
+    h = np.random.default_rng(0).standard_normal(
+        (1, model.profile.sim.d_model)
+    ).astype(np.float32)
+    logits = model.lm_logits(h)
+    assert logits.shape == (1, bundle.vocab.vocab_size)
+    expected = model.final_norm(h) @ model.embedding.T
+    np.testing.assert_allclose(logits, expected, rtol=1e-5)
+
+
+def test_log_probs_normalized(bundle):
+    model = bundle.model
+    h = np.random.default_rng(1).standard_normal(
+        (2, model.profile.sim.d_model)
+    ).astype(np.float32)
+    lp = model.lm_log_probs(h)
+    np.testing.assert_allclose(np.exp(lp).sum(axis=-1), np.ones(2),
+                               rtol=1e-5)
+
+
+def test_seed_controls_weights():
+    a = build_tiny_moe(seed=1, n_blocks=2).model
+    b = build_tiny_moe(seed=2, n_blocks=2).model
+    c = build_tiny_moe(seed=1, n_blocks=2).model
+    assert not np.allclose(a.blocks[0].router.gate.weight,
+                           b.blocks[0].router.gate.weight)
+    np.testing.assert_array_equal(a.blocks[0].router.gate.weight,
+                                  c.blocks[0].router.gate.weight)

@@ -1,0 +1,81 @@
+"""Unit tests for the topical vocabulary and toy tokenizer."""
+
+import numpy as np
+import pytest
+
+from repro.model.tokenizer import ToyTokenizer
+from repro.model.vocab import TopicVocabulary
+
+
+@pytest.fixture()
+def vocab():
+    return TopicVocabulary(vocab_size=68, n_topics=8, d_model=16, seed=3)
+
+
+def test_special_tokens_have_no_topic(vocab):
+    for token in (vocab.pad_id, vocab.bos_id, vocab.eos_id, vocab.unk_id):
+        assert vocab.topic_of(token) == -1
+
+
+def test_topics_partition_regular_tokens(vocab):
+    seen = set()
+    for topic in range(vocab.n_topics):
+        tokens = vocab.tokens_of_topic(topic)
+        assert tokens.size > 0
+        assert not seen & set(tokens.tolist())
+        seen |= set(tokens.tolist())
+    assert len(seen) == vocab.vocab_size - vocab.n_special
+
+
+def test_topics_balanced(vocab):
+    sizes = [vocab.tokens_of_topic(t).size for t in range(vocab.n_topics)]
+    assert max(sizes) - min(sizes) <= 1
+
+
+def test_embedding_clusters_by_topic(vocab):
+    emb = vocab.build_embedding()
+    # Same-topic tokens are more similar than cross-topic tokens on average.
+    def cos(a, b):
+        return a @ b / (np.linalg.norm(a) * np.linalg.norm(b))
+
+    t0 = vocab.tokens_of_topic(0)
+    t1 = vocab.tokens_of_topic(1)
+    same = np.mean([cos(emb[t0[0]], emb[t]) for t in t0[1:]])
+    cross = np.mean([cos(emb[t0[0]], emb[t]) for t in t1])
+    assert same > cross
+
+
+def test_embedding_deterministic(vocab):
+    np.testing.assert_array_equal(vocab.build_embedding(),
+                                  vocab.build_embedding())
+
+
+def test_too_small_vocab_rejected():
+    with pytest.raises(ValueError):
+        TopicVocabulary(vocab_size=8, n_topics=8, d_model=4)
+
+
+def test_topic_out_of_range(vocab):
+    with pytest.raises(ValueError):
+        vocab.tokens_of_topic(99)
+
+
+class TestTokenizer:
+    def test_round_trip(self, vocab):
+        tok = ToyTokenizer(vocab)
+        ids = np.array([5, 10, 20, 3])
+        text = tok.decode(ids)
+        np.testing.assert_array_equal(tok.encode(text), ids)
+
+    def test_special_names(self, vocab):
+        tok = ToyTokenizer(vocab)
+        assert tok.decode([0, 1, 2, 3]) == "<pad> <bos> <eos> <unk>"
+
+    def test_unknown_word_maps_to_unk(self, vocab):
+        tok = ToyTokenizer(vocab)
+        assert tok.encode("not_a_word")[0] == vocab.unk_id
+
+    def test_word_encodes_topic(self, vocab):
+        tok = ToyTokenizer(vocab)
+        token = int(vocab.tokens_of_topic(5)[0])
+        assert tok.decode([token]).startswith("t05_")

@@ -1,0 +1,89 @@
+"""Zoo tests: paper-scale parameter accounting (Fig. 1 and Table III)."""
+
+import pytest
+
+from repro.model.zoo import (
+    MIXTRAL_8X7B_ARCH,
+    PHI_3_5_MOE_ARCH,
+    build_mixtral_8x7b_sim,
+    build_phi_3_5_moe_sim,
+    build_tiny_moe,
+)
+
+
+class TestMixtralArch:
+    def test_total_params(self):
+        """Paper Table III: 46.6 B total parameters."""
+        assert MIXTRAL_8X7B_ARCH.total_params / 1e9 == pytest.approx(
+            46.6, abs=0.15
+        )
+
+    def test_expert_params(self):
+        """Paper Table III: 45.1 B expert parameters."""
+        assert MIXTRAL_8X7B_ARCH.total_expert_params / 1e9 == pytest.approx(
+            45.1, abs=0.1
+        )
+
+    def test_activated_fraction(self):
+        """Paper Fig. 1: 27.4 % of parameters activated per token."""
+        assert MIXTRAL_8X7B_ARCH.activated_fraction == pytest.approx(
+            0.274, abs=0.005
+        )
+
+    def test_topology(self):
+        assert MIXTRAL_8X7B_ARCH.n_blocks == 32
+        assert MIXTRAL_8X7B_ARCH.n_experts == 8
+        assert MIXTRAL_8X7B_ARCH.top_k == 2
+
+    def test_expert_bytes_fp16(self):
+        """One Mixtral expert is ~352 MB in fp16 (3 x 4096 x 14336)."""
+        assert MIXTRAL_8X7B_ARCH.expert_bytes / 1e6 == pytest.approx(
+            352.3, abs=1.0
+        )
+
+
+class TestPhiArch:
+    def test_total_params(self):
+        """Paper Table III: 41.7 B total parameters."""
+        assert PHI_3_5_MOE_ARCH.total_params / 1e9 == pytest.approx(
+            41.7, abs=0.15
+        )
+
+    def test_expert_params(self):
+        """Paper Table III: 40.3 B expert parameters."""
+        assert PHI_3_5_MOE_ARCH.total_expert_params / 1e9 == pytest.approx(
+            40.3, abs=0.1
+        )
+
+    def test_topology(self):
+        assert PHI_3_5_MOE_ARCH.n_blocks == 32
+        assert PHI_3_5_MOE_ARCH.n_experts == 16
+        assert PHI_3_5_MOE_ARCH.top_k == 2
+
+
+class TestBuilders:
+    def test_mixtral_topology_mirrored(self):
+        bundle = build_mixtral_8x7b_sim(seed=0, n_blocks=4)
+        assert bundle.model.n_blocks == 4
+        assert bundle.model.n_experts == 8
+        assert bundle.model.top_k == 2
+        assert bundle.arch is MIXTRAL_8X7B_ARCH
+
+    def test_phi_topology_mirrored(self):
+        bundle = build_phi_3_5_moe_sim(seed=0, n_blocks=4)
+        assert bundle.model.n_experts == 16
+
+    def test_default_block_count_from_arch(self):
+        bundle = build_mixtral_8x7b_sim(seed=0)
+        assert bundle.model.n_blocks == 32
+
+    def test_tiny(self):
+        bundle = build_tiny_moe(seed=0, n_blocks=3)
+        assert bundle.model.n_blocks == 3
+        assert bundle.model.n_experts == 4
+        assert len(bundle.tokenizer) == bundle.vocab.vocab_size
+
+    def test_tokenizer_attached(self):
+        bundle = build_tiny_moe(seed=0)
+        text = bundle.tokenizer.decode([5, 6, 7])
+        assert len(text.split()) == 3

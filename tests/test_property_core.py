@@ -1,0 +1,106 @@
+"""Property-based tests for Algorithm 1 and graceful degradation."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.core.allocation import plan_block_swaps
+from repro.core.precalc import apply_graceful_degradation
+from repro.hardware.device import DeviceKind
+from repro.memory.placement import ExpertPlacement
+
+N_EXPERTS = 8
+
+
+def placement_from_mask(mask):
+    p = ExpertPlacement(1, N_EXPERTS)
+    for e, on_gpu in enumerate(mask):
+        if on_gpu:
+            p.set_device(0, e, DeviceKind.GPU)
+    return p
+
+
+activities = arrays(np.float64, N_EXPERTS,
+                    elements=st.floats(0.0, 100.0, allow_nan=False))
+masks = st.lists(st.booleans(), min_size=N_EXPERTS, max_size=N_EXPERTS)
+thresholds = st.floats(1.0, 2.0)
+
+
+@settings(max_examples=80)
+@given(activities, masks, thresholds)
+def test_swaps_are_valid_and_justified(activity, mask, threshold):
+    placement = placement_from_mask(mask)
+    plans = plan_block_swaps(0, activity, placement, threshold)
+    hot_seen = set()
+    cold_seen = set()
+    for plan in plans:
+        # Directions respect residency.
+        assert not placement.is_on_gpu(0, plan.hot_expert)
+        assert placement.is_on_gpu(0, plan.cold_expert)
+        # The threshold justified the swap.
+        assert plan.hot_activity >= threshold * plan.cold_activity
+        # No expert appears in two swaps.
+        assert plan.hot_expert not in hot_seen
+        assert plan.cold_expert not in cold_seen
+        hot_seen.add(plan.hot_expert)
+        cold_seen.add(plan.cold_expert)
+    assert len(plans) <= N_EXPERTS // 2
+
+
+@settings(max_examples=80)
+@given(activities, masks)
+def test_swap_count_bounded_by_minority_side(activity, mask):
+    placement = placement_from_mask(mask)
+    plans = plan_block_swaps(0, activity, placement)
+    n_gpu = placement.gpu_count(0)
+    n_cpu = N_EXPERTS - n_gpu
+    assert len(plans) <= min(n_gpu, n_cpu, N_EXPERTS // 2)
+
+
+logits_strategy = arrays(np.float64, N_EXPERTS,
+                         elements=st.floats(-5.0, 5.0, allow_nan=False))
+
+
+@settings(max_examples=80)
+@given(logits_strategy, masks, st.integers(0, 2))
+def test_degradation_invariants(logits, mask, max_cpu):
+    placement = placement_from_mask(mask)
+    predicted = np.argsort(-logits, kind="stable")[:2]
+    result = apply_graceful_degradation(
+        0, predicted, logits, placement, max_cpu_experts=max_cpu
+    )
+    # Size preserved, no duplicates.
+    assert len(result.experts) == 2
+    assert len(set(result.experts.tolist())) == 2
+    # Replacements and substitutes pair up.
+    assert len(result.replaced) == len(result.substitutes)
+    # Substitutes are GPU-resident and were not predicted.
+    for sub in result.substitutes:
+        assert placement.is_on_gpu(0, sub)
+        assert sub not in predicted
+    # CPU-expert cap holds whenever enough GPU substitutes existed.
+    n_gpu_available = sum(
+        1 for e in range(N_EXPERTS)
+        if placement.is_on_gpu(0, e) and e not in predicted
+    )
+    on_cpu = sum(1 for e in result.experts
+                 if not placement.is_on_gpu(0, int(e)))
+    over_cap = max(0, sum(
+        1 for e in predicted if not placement.is_on_gpu(0, int(e))
+    ) - max_cpu)
+    expected_remaining = max(over_cap - n_gpu_available, 0) + min(
+        max_cpu, sum(1 for e in predicted
+                     if not placement.is_on_gpu(0, int(e)))
+    )
+    assert on_cpu <= expected_remaining + 1e-9
+
+
+@settings(max_examples=80)
+@given(logits_strategy, masks)
+def test_degradation_keeps_descending_score_order(logits, mask):
+    placement = placement_from_mask(mask)
+    predicted = np.argsort(-logits, kind="stable")[:2]
+    result = apply_graceful_degradation(0, predicted, logits, placement)
+    scores = logits[result.experts]
+    assert scores[0] >= scores[1] - 1e-12

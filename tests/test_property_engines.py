@@ -1,0 +1,75 @@
+"""Property-based engine invariants on randomized tiny workloads.
+
+Each example draws a random engine, cache ratio, and request shape, runs
+a full generation, and checks structural invariants that must hold for
+*any* schedule the engine could emit.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core import build_engine
+from repro.hardware.presets import default_platform
+from repro.hardware.timeline import RESOURCES
+from repro.model.zoo import build_tiny_moe
+from repro.workloads import C4, SequenceGenerator
+
+_BUNDLE = build_tiny_moe(seed=0, n_blocks=6)
+_PLATFORM = default_platform()
+_GENERATOR = SequenceGenerator(C4, _BUNDLE.vocab, seed=7)
+
+engine_names = st.sampled_from(
+    ["official", "moe-ondemand", "deepspeed-mii", "mixtral-offloading",
+     "moe-infinity", "fiddler", "pregated-moe", "daop"]
+)
+
+
+@settings(max_examples=25, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(
+    name=engine_names,
+    ecr=st.sampled_from([0.0, 0.25, 0.5, 1.0]),
+    prompt_len=st.integers(2, 20),
+    n_new=st.integers(1, 8),
+    sample_idx=st.integers(0, 5),
+)
+def test_engine_run_invariants(name, ecr, prompt_len, n_new, sample_idx):
+    engine = build_engine(name, _BUNDLE, _PLATFORM, ecr)
+    sequence = _GENERATOR.sample_sequence(prompt_len, 0,
+                                          sample_idx=sample_idx)
+    result = engine.generate(sequence.prompt_tokens, n_new)
+
+    # Tokens: right count, in vocabulary.
+    assert result.tokens.shape == (n_new,)
+    assert np.all((result.tokens >= 0)
+                  & (result.tokens < _BUNDLE.vocab.vocab_size))
+
+    # Timing: positive, prefill within total, finite energy.
+    stats = result.stats
+    assert 0 < stats.prefill_time_s <= stats.total_time_s
+    assert stats.energy.total_j > 0
+    assert 0.0 <= stats.counters.gpu_hit_rate <= 1.0
+
+    # Timeline: every op within [0, makespan], FIFO per resource.
+    makespan = result.timeline.makespan
+    assert stats.total_time_s == pytest.approx(makespan)
+    for resource in RESOURCES:
+        ops = result.timeline.ops_on(resource)
+        for a, b in zip(ops, ops[1:]):
+            assert b.start >= a.end - 1e-12
+    for op in result.timeline.ops:
+        assert 0.0 <= op.start <= op.end <= makespan + 1e-12
+
+    # Trace: prefill covers the prompt; decode covers n_new - 1 inputs.
+    assert result.trace.token_count("prefill") == prompt_len
+    assert result.trace.token_count("decode") == n_new - 1
+
+    # Placement: ECR preserved for engines that never change the budget
+    # (all of them: swaps are one-in-one-out, uploads evict or stream).
+    if name not in ("deepspeed-mii",):
+        expected = engine.initial_placement.expert_cache_ratio
+        assert result.placement.expert_cache_ratio == pytest.approx(
+            expected, abs=1e-9
+        )

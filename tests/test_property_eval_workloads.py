@@ -1,0 +1,67 @@
+"""Property-based tests for Rouge, accuracy metrics, and the generator."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.eval.accuracy import (
+    exact_match,
+    prefix_agreement,
+    token_agreement,
+)
+from repro.eval.rouge import rouge_1, rouge_2
+
+token_seqs = st.lists(st.integers(0, 30), min_size=0, max_size=20)
+
+
+@given(token_seqs)
+def test_rouge_self_identity(seq):
+    assert rouge_1(seq, seq) == 1.0
+    assert rouge_2(seq, seq) == 1.0
+
+
+@given(token_seqs, token_seqs)
+def test_rouge_bounds_and_symmetry(a, b):
+    for fn in (rouge_1, rouge_2):
+        score = fn(a, b)
+        assert 0.0 <= score <= 1.0
+        assert score == fn(b, a)  # F1 is symmetric
+
+
+@given(token_seqs, token_seqs)
+def test_exact_match_iff_equal(a, b):
+    assert exact_match(a, b) == (1.0 if a == b else 0.0)
+
+
+@given(token_seqs, token_seqs)
+def test_agreement_bounds(a, b):
+    assert 0.0 <= token_agreement(a, b) <= 1.0
+    assert 0.0 <= prefix_agreement(a, b) <= 1.0
+
+
+@given(token_seqs)
+def test_prefix_agreement_self(a):
+    assert prefix_agreement(a, a) == 1.0
+
+
+@given(token_seqs, token_seqs)
+def test_exact_match_implies_full_agreement(a, b):
+    if exact_match(a, b) == 1.0 and a:
+        assert token_agreement(a, b) == 1.0
+        assert prefix_agreement(a, b) == 1.0
+
+
+class TestGeneratorProperties:
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(1, 40), st.integers(0, 20), st.integers(0, 50))
+    def test_lengths_and_vocab(self, prompt_len, cont_len, idx):
+        from repro.model.zoo import build_tiny_moe
+        from repro.workloads import C4, SequenceGenerator
+
+        bundle = build_tiny_moe(seed=0, n_blocks=2)
+        gen = SequenceGenerator(C4, bundle.vocab, seed=1)
+        seq = gen.sample_sequence(prompt_len, cont_len, sample_idx=idx)
+        assert seq.prompt_tokens.shape == (prompt_len,)
+        assert seq.continuation_tokens.shape == (cont_len,)
+        assert seq.full_tokens.min() >= 0
+        assert seq.full_tokens.max() < bundle.vocab.vocab_size

@@ -1,0 +1,81 @@
+"""Property-based tests for numerical layers."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.model.layers import RMSNorm, log_softmax, silu, softmax
+
+finite_floats = st.floats(min_value=-50.0, max_value=50.0,
+                          allow_nan=False, allow_infinity=False)
+
+
+def vec(n_max=16):
+    return st.integers(1, n_max).flatmap(
+        lambda n: arrays(np.float64, n, elements=finite_floats)
+    )
+
+
+@given(vec())
+def test_softmax_is_distribution(x):
+    p = softmax(x)
+    assert np.all(p >= 0)
+    assert p.sum() == np.float64(1.0) or abs(p.sum() - 1.0) < 1e-9
+
+
+@given(vec(), st.floats(-30, 30, allow_nan=False))
+def test_softmax_shift_invariant(x, c):
+    np.testing.assert_allclose(softmax(x), softmax(x + c), atol=1e-9)
+
+
+@given(vec())
+def test_softmax_preserves_order(x):
+    p = softmax(x)
+    for i in range(len(x)):
+        for j in range(len(x)):
+            if x[i] > x[j]:
+                assert p[i] >= p[j]
+
+
+@given(vec())
+def test_log_softmax_matches_log_of_softmax(x):
+    np.testing.assert_allclose(log_softmax(x), np.log(softmax(x)),
+                               atol=1e-8)
+
+
+@given(vec())
+def test_silu_bounds(x):
+    y = silu(x)
+    # silu(x) is bounded below by ~-0.279 and by x from above for x>0.
+    assert np.all(y >= -0.2785)
+    assert np.all(y[x > 0] <= x[x > 0])
+
+
+@given(vec())
+def test_silu_monotone_above_minimum(x):
+    """SiLU is increasing for inputs above ~-1.278."""
+    xs = np.sort(x[x > -1.27])
+    ys = silu(xs)
+    assert np.all(np.diff(ys) >= -1e-12)
+
+
+@settings(max_examples=25)
+@given(arrays(np.float64, (4, 8),
+              elements=st.floats(min_value=1.0, max_value=50.0)),
+       st.floats(0.1, 10.0))
+def test_rmsnorm_scale_invariance(x, scale):
+    norm = RMSNorm(8)
+    a = norm(x)
+    b = norm(x * scale)
+    np.testing.assert_allclose(a, b, atol=1e-4)
+
+
+@settings(max_examples=25)
+@given(arrays(np.float64, (3, 8),
+              elements=st.floats(min_value=0.1, max_value=50.0)))
+def test_rmsnorm_output_rms_is_one(x):
+    norm = RMSNorm(8)
+    out = norm(x)
+    rms = np.sqrt(np.mean(out**2, axis=-1))
+    np.testing.assert_allclose(rms, np.ones(3), rtol=1e-3)

@@ -1,0 +1,91 @@
+"""Property-based tests for cache initialization and placement."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.memory.cache import CacheConfig, build_calibrated_placement
+
+shapes = st.tuples(st.integers(1, 12), st.integers(2, 16))
+
+
+@settings(max_examples=50)
+@given(
+    shapes.flatmap(
+        lambda s: st.tuples(
+            arrays(np.float64, s,
+                   elements=st.floats(0.0, 1.0, allow_nan=False)),
+            st.integers(0, s[0] * s[1]),
+        )
+    )
+)
+def test_slot_budget_exact(data):
+    probs, slots = data
+    placement = build_calibrated_placement(
+        probs, CacheConfig(total_slots=slots)
+    )
+    assert placement.gpu_count() == slots
+
+
+@settings(max_examples=50)
+@given(
+    shapes.flatmap(
+        lambda s: st.tuples(
+            arrays(np.float64, s,
+                   elements=st.floats(0.0, 1.0, allow_nan=False)),
+            st.floats(0.0, 1.0),
+        )
+    )
+)
+def test_ecr_within_rounding(data):
+    probs, ecr = data
+    placement = build_calibrated_placement(probs, CacheConfig(ecr=ecr))
+    total = probs.shape[0] * probs.shape[1]
+    assert abs(placement.gpu_count() - ecr * total) <= 0.5 + 1e-9
+
+
+@settings(max_examples=50)
+@given(
+    shapes.flatmap(
+        lambda s: st.tuples(
+            arrays(np.float64, s,
+                   elements=st.floats(0.0, 1.0, allow_nan=False)),
+            st.integers(0, s[0] * s[1]),
+        )
+    )
+)
+def test_standardized_per_layer(data):
+    """Every layer gets base or base+1 slots (paper IV-A)."""
+    probs, slots = data
+    placement = build_calibrated_placement(
+        probs, CacheConfig(total_slots=slots)
+    )
+    n_blocks = probs.shape[0]
+    base = slots // n_blocks
+    counts = [placement.gpu_count(b) for b in range(n_blocks)]
+    assert all(c in (base, base + 1) for c in counts)
+
+
+@settings(max_examples=50)
+@given(
+    shapes.flatmap(
+        lambda s: arrays(
+            np.float64, s,
+            elements=st.floats(0.01, 1.0, allow_nan=False),
+        )
+    )
+)
+def test_cached_experts_dominate_uncached(probs):
+    """Within each layer, every base-cached expert has activation >= every
+    uncached expert (the cache holds the layer's hottest experts)."""
+    n_blocks, n_experts = probs.shape
+    base = n_experts // 2
+    placement = build_calibrated_placement(
+        probs, CacheConfig(total_slots=base * n_blocks)
+    )
+    for block in range(n_blocks):
+        cached = placement.gpu_experts(block)
+        uncached = placement.cpu_experts(block)
+        if cached.size and uncached.size:
+            assert probs[block][cached].min() >= probs[block][uncached].max() - 1e-12

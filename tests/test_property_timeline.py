@@ -1,0 +1,72 @@
+"""Property-based tests for the event-driven timeline."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hardware.timeline import RESOURCES, Timeline
+
+op_specs = st.lists(
+    st.tuples(
+        st.sampled_from(RESOURCES),
+        st.floats(0.0, 10.0, allow_nan=False),
+        st.lists(st.integers(0, 100), max_size=3),  # dep indices (mod i)
+    ),
+    min_size=1,
+    max_size=40,
+)
+
+
+def build(specs):
+    tl = Timeline()
+    ops = []
+    for i, (resource, duration, dep_idx) in enumerate(specs):
+        deps = [ops[d % i] for d in dep_idx] if i else []
+        ops.append(tl.add(resource, duration, deps=deps))
+    return tl, [(o, [ops[d % i] for d in dep]) if i else (o, [])
+                for i, ((_, _, dep), o) in enumerate(zip(specs, ops))]
+
+
+@settings(max_examples=60)
+@given(op_specs)
+def test_dependencies_respected(specs):
+    _, annotated = build(specs)
+    for op, deps in annotated:
+        for dep in deps:
+            assert op.start >= dep.end - 1e-12
+
+
+@settings(max_examples=60)
+@given(op_specs)
+def test_fifo_per_resource(specs):
+    tl, _ = build(specs)
+    for resource in RESOURCES:
+        ops = tl.ops_on(resource)
+        for a, b in zip(ops, ops[1:]):
+            assert b.start >= a.end - 1e-12
+
+
+@settings(max_examples=60)
+@given(op_specs)
+def test_makespan_bounds(specs):
+    tl, _ = build(specs)
+    assert tl.makespan >= max(op.end for op in tl.ops) - 1e-12
+    # Makespan is at least the busiest resource's total work.
+    for resource in RESOURCES:
+        assert tl.makespan >= tl.busy_time(resource) - 1e-9
+
+
+@settings(max_examples=60)
+@given(op_specs)
+def test_durations_preserved(specs):
+    tl, _ = build(specs)
+    for op, (_, duration, _) in zip(tl.ops, specs):
+        assert abs((op.end - op.start) - duration) < 1e-9
+
+
+@settings(max_examples=30)
+@given(op_specs)
+def test_utilization_bounded(specs):
+    tl, _ = build(specs)
+    for resource in RESOURCES:
+        u = tl.utilization(resource)
+        assert 0.0 <= u <= 1.0 + 1e-9

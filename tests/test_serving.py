@@ -1,0 +1,126 @@
+"""Unit tests for the serving simulator and arrival processes."""
+
+import numpy as np
+import pytest
+
+from repro.core import build_engine
+from repro.serving import (
+    ServingSimulator,
+    bursty_arrivals,
+    poisson_arrivals,
+    uniform_arrivals,
+)
+from repro.workloads import SHAREGPT, SequenceGenerator
+
+
+class TestArrivals:
+    def test_poisson_mean_rate(self, rng):
+        times = poisson_arrivals(10.0, 2000, rng)
+        assert times.shape == (2000,)
+        assert np.all(np.diff(times) >= 0)
+        mean_gap = times[-1] / 2000
+        assert mean_gap == pytest.approx(0.1, rel=0.15)
+
+    def test_uniform_spacing(self):
+        times = uniform_arrivals(4.0, 8)
+        np.testing.assert_allclose(np.diff(times), 0.25)
+
+    def test_bursty_clusters(self, rng):
+        times = bursty_arrivals(10.0, 40, rng, burst_size=4,
+                                burst_spread_s=0.01)
+        assert times.shape == (40,)
+        assert np.all(np.diff(times) >= 0)
+        # Most consecutive gaps inside bursts are tiny.
+        gaps = np.diff(times)
+        assert np.median(gaps) < 0.05
+
+    def test_validation(self, rng):
+        with pytest.raises(ValueError):
+            poisson_arrivals(0.0, 5, rng)
+        with pytest.raises(ValueError):
+            poisson_arrivals(1.0, 0, rng)
+        with pytest.raises(ValueError):
+            uniform_arrivals(-1.0, 5)
+        with pytest.raises(ValueError):
+            bursty_arrivals(1.0, 5, rng, burst_size=0)
+
+
+@pytest.fixture(scope="module")
+def served(tiny_bundle, platform, tiny_calibration):
+    engine = build_engine("daop", tiny_bundle, platform, 0.5,
+                          tiny_calibration)
+    generator = SequenceGenerator(SHAREGPT, tiny_bundle.vocab, seed=61)
+    simulator = ServingSimulator(engine, generator)
+    arrivals = uniform_arrivals(2.0, 6)
+    return simulator.run(arrivals, prompt_len=12, output_len=6)
+
+
+class TestServingSimulator:
+    def test_all_requests_served(self, served):
+        assert served.n_requests == 6
+        assert all(r.n_generated == 6 for r in served.requests)
+
+    def test_fifo_no_overlap(self, served):
+        reqs = sorted(served.requests, key=lambda r: r.start_s)
+        for a, b in zip(reqs, reqs[1:]):
+            assert b.start_s >= a.finish_s - 1e-12
+
+    def test_request_invariants(self, served):
+        for r in served.requests:
+            assert r.start_s >= r.arrival_s
+            assert r.arrival_s <= r.first_token_s <= r.finish_s
+            assert r.queue_delay_s >= 0
+            assert r.ttft_s >= 0
+            assert r.latency_s >= r.ttft_s
+            assert r.tpot_s >= 0
+            assert r.energy_j > 0
+
+    def test_percentiles_ordered(self, served):
+        assert (served.latency_percentile(50)
+                <= served.latency_percentile(95)
+                <= served.latency_percentile(99))
+        assert served.ttft_percentile(50) <= served.ttft_percentile(99)
+
+    def test_throughput_positive(self, served):
+        assert served.throughput_tokens_per_s > 0
+        assert served.tokens_per_kilojoule > 0
+
+    def test_overload_grows_queue(self, tiny_bundle, platform,
+                                  tiny_calibration):
+        """Arrivals faster than service accumulate queue delay."""
+        engine = build_engine("fiddler", tiny_bundle, platform, 0.25,
+                              tiny_calibration)
+        generator = SequenceGenerator(SHAREGPT, tiny_bundle.vocab, seed=62)
+        simulator = ServingSimulator(engine, generator)
+        slow = simulator.run(uniform_arrivals(0.01, 4), 12, 6)
+        fast = simulator.run(uniform_arrivals(100.0, 4), 12, 6)
+        assert fast.mean_queue_delay_s > slow.mean_queue_delay_s
+        # Last request in the overloaded trace waits behind all others.
+        assert fast.requests[-1].queue_delay_s > 0
+
+    def test_identical_work_across_engines(self, tiny_bundle, platform,
+                                           tiny_calibration):
+        """Two engines given the same arrivals serve identical prompts."""
+        generator_a = SequenceGenerator(SHAREGPT, tiny_bundle.vocab, seed=63)
+        generator_b = SequenceGenerator(SHAREGPT, tiny_bundle.vocab, seed=63)
+        a = ServingSimulator(
+            build_engine("fiddler", tiny_bundle, platform, 0.5,
+                         tiny_calibration), generator_a)
+        b = ServingSimulator(
+            build_engine("daop", tiny_bundle, platform, 0.5,
+                         tiny_calibration), generator_b)
+        arrivals = uniform_arrivals(1.0, 3)
+        ra = a.run(arrivals, 12, 6)
+        rb = b.run(arrivals, 12, 6)
+        assert [r.n_prompt_tokens for r in ra.requests] == [
+            r.n_prompt_tokens for r in rb.requests
+        ]
+
+    def test_empty_report(self):
+        from repro.serving.simulator import ServingReport
+
+        report = ServingReport(engine="x")
+        assert report.makespan_s == 0.0
+        assert report.throughput_tokens_per_s == 0.0
+        assert report.mean_queue_delay_s == 0.0
+        assert report.tokens_per_kilojoule == 0.0

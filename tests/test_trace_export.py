@@ -1,0 +1,78 @@
+"""Unit tests for trace/timeline serialization."""
+
+import json
+
+import pytest
+
+from repro.hardware.timeline import CPU, GPU, Timeline
+from repro.trace.export import (
+    save_run,
+    timeline_to_chrome_trace,
+    timeline_to_dict,
+    trace_to_dict,
+)
+from repro.trace.recorder import ActivationTrace
+
+
+@pytest.fixture()
+def timeline():
+    tl = Timeline()
+    a = tl.add(GPU, 1.0, label="attn", kind="non_moe")
+    tl.add(CPU, 2.0, deps=[a], label="expert", kind="expert_cpu")
+    tl.add(GPU, 0.0, label="sync", kind="sync")
+    return tl
+
+
+@pytest.fixture()
+def trace():
+    t = ActivationTrace(2, 4)
+    t.record("prefill", 0, 0, [0, 1])
+    t.record("decode", 1, 1, [2, 3], executed_experts=[2, 0],
+             predicted=True)
+    return t
+
+
+def test_timeline_to_dict(timeline):
+    d = timeline_to_dict(timeline)
+    assert d["makespan_s"] == pytest.approx(3.0)
+    assert len(d["ops"]) == 3
+    assert d["ops"][1]["kind"] == "expert_cpu"
+    json.dumps(d)  # serializable
+
+
+def test_trace_to_dict(trace):
+    d = trace_to_dict(trace)
+    assert d["n_blocks"] == 2
+    assert d["events"][0]["experts"] == [0, 1]
+    assert d["events"][1]["executed_experts"] == [2, 0]
+    assert d["events"][1]["predicted"] is True
+    json.dumps(d)
+
+
+def test_chrome_trace_format(timeline):
+    payload = json.loads(timeline_to_chrome_trace(timeline))
+    events = payload["traceEvents"]
+    complete = [e for e in events if e.get("ph") == "X"]
+    # Zero-duration sync ops are omitted.
+    assert len(complete) == 2
+    for event in complete:
+        assert event["dur"] > 0
+        assert "ts" in event
+    metadata = [e for e in events if e.get("ph") == "M"]
+    names = {e["args"]["name"] for e in metadata}
+    assert "gpu" in names and "cpu" in names
+
+
+def test_save_run_roundtrip(tmp_path, timeline, trace):
+    path = tmp_path / "run.json"
+    save_run(str(path), timeline, trace)
+    loaded = json.loads(path.read_text())
+    assert loaded["timeline"]["makespan_s"] == pytest.approx(3.0)
+    assert loaded["trace"]["n_experts"] == 4
+
+
+def test_save_run_without_trace(tmp_path, timeline):
+    path = tmp_path / "run.json"
+    save_run(str(path), timeline)
+    loaded = json.loads(path.read_text())
+    assert "trace" not in loaded

@@ -1,0 +1,60 @@
+"""Unit tests for prediction-accuracy statistics (paper Fig. 5)."""
+
+import numpy as np
+import pytest
+
+from repro.trace.prediction import PredictionStats
+
+
+def test_exact_hit():
+    stats = PredictionStats(4)
+    stats.record(1, predicted=[0, 1], actual=[0, 1])
+    assert stats.per_block_accuracy()[1] == pytest.approx(1.0)
+
+
+def test_half_hit():
+    stats = PredictionStats(4)
+    stats.record(1, predicted=[0, 2], actual=[0, 1])
+    assert stats.per_block_accuracy()[1] == pytest.approx(0.5)
+
+
+def test_miss():
+    stats = PredictionStats(4)
+    stats.record(2, predicted=[2, 3], actual=[0, 1])
+    assert stats.per_block_accuracy()[2] == pytest.approx(0.0)
+
+
+def test_unobserved_blocks_nan():
+    stats = PredictionStats(4)
+    stats.record(0, [0], [0])
+    acc = stats.per_block_accuracy()
+    assert np.isnan(acc[3])
+    assert acc[0] == 1.0
+
+
+def test_mean_accuracy_start_block():
+    stats = PredictionStats(4)
+    stats.record(0, [0], [1])   # 0.0
+    stats.record(2, [0], [0])   # 1.0
+    stats.record(3, [0], [0])   # 1.0
+    assert stats.mean_accuracy(0) == pytest.approx(2.0 / 3.0)
+    assert stats.mean_accuracy(2) == pytest.approx(1.0)
+
+
+def test_mean_accuracy_empty():
+    stats = PredictionStats(4)
+    assert np.isnan(stats.mean_accuracy())
+
+
+def test_merge():
+    a = PredictionStats(2)
+    b = PredictionStats(2)
+    a.record(0, [0], [0])
+    b.record(0, [1], [0])
+    a.merge(b)
+    assert a.per_block_accuracy()[0] == pytest.approx(0.5)
+
+
+def test_merge_shape_mismatch():
+    with pytest.raises(ValueError):
+        PredictionStats(2).merge(PredictionStats(3))

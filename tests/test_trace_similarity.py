@@ -1,0 +1,59 @@
+"""Unit tests for similarity metrics (paper Eq. 1 and §VI-B)."""
+
+import numpy as np
+import pytest
+
+from repro.trace.similarity import (
+    cosine_similarity,
+    matrix_similarity,
+    windowed_decode_similarity,
+)
+
+
+def test_cosine_identical():
+    v = np.array([1.0, 2.0, 3.0])
+    assert cosine_similarity(v, v) == pytest.approx(1.0)
+
+
+def test_cosine_orthogonal():
+    assert cosine_similarity([1, 0], [0, 1]) == pytest.approx(0.0)
+
+
+def test_cosine_zero_vector():
+    assert cosine_similarity([0, 0], [1, 1]) == 0.0
+
+
+def test_cosine_scale_invariant():
+    a = np.array([1.0, 2.0])
+    assert cosine_similarity(a, 10 * a) == pytest.approx(1.0)
+
+
+def test_matrix_similarity_is_row_mean():
+    p = np.array([[1.0, 0.0], [0.0, 1.0]])
+    d = np.array([[1.0, 0.0], [1.0, 0.0]])
+    # Row 0: identical (1.0); row 1: orthogonal (0.0).
+    assert matrix_similarity(p, d) == pytest.approx(0.5)
+
+
+def test_matrix_similarity_shape_checks():
+    with pytest.raises(ValueError):
+        matrix_similarity(np.ones((2, 2)), np.ones((3, 2)))
+    with pytest.raises(ValueError):
+        matrix_similarity(np.ones(4), np.ones(4))
+
+
+def test_windowed_similarity_constant_windows():
+    m = np.ones((2, 4))
+    assert windowed_decode_similarity([m, m, m]) == pytest.approx(1.0)
+
+
+def test_windowed_similarity_single_window():
+    assert windowed_decode_similarity([np.ones((2, 2))]) == 1.0
+
+
+def test_windowed_similarity_detects_drift():
+    a = np.array([[1.0, 0.0], [1.0, 0.0]])
+    b = np.array([[0.0, 1.0], [0.0, 1.0]])
+    drifting = windowed_decode_similarity([a, b, a])
+    stable = windowed_decode_similarity([a, a, a])
+    assert drifting < stable

@@ -1,0 +1,101 @@
+"""Unit tests for routing-pattern statistics."""
+
+import numpy as np
+import pytest
+
+from repro.trace.recorder import ActivationTrace
+from repro.trace.statistics import (
+    coactivation_matrix,
+    expert_load_stats,
+    gini_coefficient,
+    normalized_entropy,
+    summarize_routing,
+    temporal_locality,
+)
+
+
+class TestGini:
+    def test_balanced_is_zero(self):
+        assert gini_coefficient(np.ones(8)) == pytest.approx(0.0, abs=1e-9)
+
+    def test_concentrated_is_high(self):
+        loads = np.zeros(8)
+        loads[0] = 100.0
+        assert gini_coefficient(loads) > 0.8
+
+    def test_monotone_in_skew(self):
+        mild = np.array([3.0, 2.0, 2.0, 1.0])
+        strong = np.array([6.0, 1.0, 0.5, 0.5])
+        assert gini_coefficient(strong) > gini_coefficient(mild)
+
+    def test_zero_loads(self):
+        assert gini_coefficient(np.zeros(4)) == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            gini_coefficient(np.array([]))
+        with pytest.raises(ValueError):
+            gini_coefficient(np.array([-1.0, 1.0]))
+
+
+class TestEntropy:
+    def test_uniform_is_one(self):
+        assert normalized_entropy(np.ones(8)) == pytest.approx(1.0)
+
+    def test_degenerate_is_zero(self):
+        loads = np.zeros(8)
+        loads[3] = 5.0
+        assert normalized_entropy(loads) == pytest.approx(0.0)
+
+    def test_needs_two_experts(self):
+        with pytest.raises(ValueError):
+            normalized_entropy(np.array([1.0]))
+
+
+@pytest.fixture()
+def trace():
+    t = ActivationTrace(2, 4)
+    # Block 0 decode: expert 0 always on, partner rotates.
+    for pos in range(4):
+        t.record("decode", 0, pos, [0, 1 + pos % 3])
+        t.record("decode", 1, pos, [pos % 4, (pos + 1) % 4])
+    return t
+
+
+def test_expert_load_stats(trace):
+    stats = expert_load_stats(trace)
+    assert stats["gini_per_block"].shape == (2,)
+    # Block 0 (dominant expert 0) is more skewed than block 1 (rotating).
+    assert stats["gini_per_block"][0] > stats["gini_per_block"][1]
+    assert stats["entropy_per_block"][0] < stats["entropy_per_block"][1]
+    assert 0.0 <= stats["mean_entropy"] <= 1.0
+
+
+def test_coactivation_matrix(trace):
+    m = coactivation_matrix(trace, block=0)
+    assert m.shape == (4, 4)
+    np.testing.assert_allclose(m, m.T)
+    assert np.all(np.diag(m) == 0)
+    # Expert 0 co-activates with everything in block 0.
+    assert m[0].sum() == 4
+
+
+def test_temporal_locality(trace):
+    # Expert 0 persists across every consecutive block-0 pair: of the two
+    # experts per step, one always survives.
+    locality = temporal_locality(trace, block=0)
+    assert 0.4 <= locality <= 1.0
+    # Block 1 rotates: each step shares exactly one expert with the next.
+    assert temporal_locality(trace, block=1) == pytest.approx(0.5)
+
+
+def test_temporal_locality_short_trace():
+    t = ActivationTrace(1, 4)
+    t.record("decode", 0, 0, [0, 1])
+    assert temporal_locality(t, 0) == 0.0
+
+
+def test_summarize_routing(trace):
+    text = summarize_routing(trace)
+    assert "Gini" in text
+    assert "locality" in text

@@ -1,0 +1,69 @@
+"""Unit tests for dataset and task presets."""
+
+import pytest
+
+from repro.workloads.datasets import ALL_DATASETS, C4, DatasetSpec, get_dataset
+from repro.workloads.tasks import (
+    TABLE5_TASKS,
+    TABLE6_TASKS,
+    TaskSpec,
+    get_task,
+)
+
+
+def test_all_paper_datasets_present():
+    for name in ("c4", "math", "gsm8k", "triviaqa", "alpaca", "sharegpt",
+                 "hellaswag", "arc_easy", "arc_challenge", "piqa",
+                 "winogrande", "truthfulqa", "mmlu", "bbh"):
+        assert name in ALL_DATASETS
+
+
+def test_get_dataset():
+    assert get_dataset("c4") is C4
+    with pytest.raises(KeyError):
+        get_dataset("imagenet")
+
+
+def test_spec_validation():
+    with pytest.raises(ValueError):
+        DatasetSpec("bad", n_active_topics=0)
+    with pytest.raises(ValueError):
+        DatasetSpec("bad", drift_rate=1.5)
+    with pytest.raises(ValueError):
+        DatasetSpec("bad", concentration=0.0)
+
+
+def test_with_overrides():
+    spec = C4.with_overrides(drift_rate=0.5)
+    assert spec.drift_rate == 0.5
+    assert spec.name == C4.name
+    assert C4.drift_rate != 0.5  # original untouched
+
+
+def test_table5_tasks_are_first_token():
+    assert len(TABLE5_TASKS) == 6
+    assert all(t.metric == "first_token" for t in TABLE5_TASKS)
+    assert all(t.answer_len == 1 for t in TABLE5_TASKS)
+
+
+def test_table6_tasks_cover_paper_columns():
+    names = {t.name for t in TABLE6_TASKS}
+    assert {"triviaqa", "bbh", "truthfulqa_gen", "gsm8k"} <= names
+    gsm = get_task("gsm8k")
+    assert gsm.metric == "exact_match"
+    assert get_task("truthfulqa_gen").metric == "rouge"
+
+
+def test_task_validation():
+    with pytest.raises(ValueError):
+        TaskSpec("bad", C4, prompt_len=8, answer_len=1, metric="bleu")
+    with pytest.raises(ValueError):
+        TaskSpec("bad", C4, prompt_len=0, answer_len=1, metric="rouge")
+    with pytest.raises(ValueError):
+        TaskSpec("bad", C4, prompt_len=8, answer_len=1, metric="rouge",
+                 n_samples=0)
+
+
+def test_get_task_unknown():
+    with pytest.raises(KeyError):
+        get_task("nonexistent")

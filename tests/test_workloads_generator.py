@@ -1,0 +1,128 @@
+"""Unit tests for the synthetic sequence generator."""
+
+import numpy as np
+import pytest
+
+from repro.workloads.datasets import C4, GSM8K, DatasetSpec
+from repro.workloads.generator import SequenceGenerator
+
+
+@pytest.fixture()
+def generator(tiny_bundle):
+    return SequenceGenerator(C4, tiny_bundle.vocab, seed=0)
+
+
+def test_lengths(generator):
+    seq = generator.sample_sequence(16, 8, sample_idx=0)
+    assert seq.prompt_tokens.shape == (16,)
+    assert seq.continuation_tokens.shape == (8,)
+    assert seq.full_tokens.shape == (24,)
+
+
+def test_tokens_in_vocab(generator, tiny_bundle):
+    seq = generator.sample_sequence(64, 64, sample_idx=1)
+    assert seq.full_tokens.min() >= 0
+    assert seq.full_tokens.max() < tiny_bundle.vocab.vocab_size
+
+
+def test_starts_with_bos(generator, tiny_bundle):
+    seq = generator.sample_sequence(8, 0, sample_idx=2)
+    assert seq.prompt_tokens[0] == tiny_bundle.vocab.bos_id
+
+
+def test_deterministic_per_index(generator):
+    a = generator.sample_sequence(16, 8, sample_idx=5)
+    b = generator.sample_sequence(16, 8, sample_idx=5)
+    np.testing.assert_array_equal(a.full_tokens, b.full_tokens)
+
+
+def test_distinct_across_indices(generator):
+    a = generator.sample_sequence(32, 0, sample_idx=0)
+    b = generator.sample_sequence(32, 0, sample_idx=1)
+    assert not np.array_equal(a.prompt_tokens, b.prompt_tokens)
+
+
+def test_topic_concentration(tiny_bundle):
+    """A low-drift sequence concentrates on few topics (observation 1)."""
+    spec = DatasetSpec("focused", n_active_topics=2, concentration=0.4,
+                       drift_rate=0.0, noise_rate=0.0)
+    gen = SequenceGenerator(spec, tiny_bundle.vocab, seed=1)
+    seq = gen.sample_sequence(64, 0, sample_idx=0)
+    topics = {tiny_bundle.vocab.topic_of(int(t))
+              for t in seq.prompt_tokens[1:]}
+    assert len(topics) <= 2
+
+
+def test_drift_broadens_topics(tiny_bundle):
+    low = DatasetSpec("low", n_active_topics=2, drift_rate=0.0,
+                      noise_rate=0.0)
+    high = DatasetSpec("high", n_active_topics=2, drift_rate=0.25,
+                       noise_rate=0.0)
+    counts = []
+    for spec in (low, high):
+        gen = SequenceGenerator(spec, tiny_bundle.vocab, seed=2)
+        distinct = []
+        for i in range(5):
+            seq = gen.sample_sequence(80, 0, sample_idx=i)
+            distinct.append(len({
+                tiny_bundle.vocab.topic_of(int(t))
+                for t in seq.prompt_tokens[1:]
+            }))
+        counts.append(np.mean(distinct))
+    assert counts[1] > counts[0]
+
+
+def test_gsm8k_drifts_more_than_c4(tiny_bundle):
+    """The paper attributes GSM8K degradation to within-sequence drift."""
+    assert GSM8K.drift_rate > C4.drift_rate
+
+
+def test_batch(generator):
+    batch = generator.sample_batch(3, 8, 4)
+    assert len(batch) == 3
+    assert all(s.prompt_tokens.shape == (8,) for s in batch)
+
+
+def test_invalid_prompt_len(generator):
+    with pytest.raises(ValueError):
+        generator.sample_sequence(0, 4)
+
+
+class TestPerturbation:
+    def test_preserves_topics(self, generator, tiny_bundle):
+        seq = generator.sample_sequence(64, 0, sample_idx=3)
+        perturbed = generator.perturb_prompt(seq, strength=1.0)
+        for orig, new in zip(seq.prompt_tokens[1:], perturbed[1:]):
+            t_orig = tiny_bundle.vocab.topic_of(int(orig))
+            if t_orig >= 0:
+                assert tiny_bundle.vocab.topic_of(int(new)) == t_orig
+
+    def test_keeps_bos(self, generator, tiny_bundle):
+        seq = generator.sample_sequence(16, 0, sample_idx=4)
+        perturbed = generator.perturb_prompt(seq, strength=1.0)
+        assert perturbed[0] == tiny_bundle.vocab.bos_id
+
+    def test_zero_strength_identity(self, generator):
+        seq = generator.sample_sequence(16, 0, sample_idx=4)
+        np.testing.assert_array_equal(
+            generator.perturb_prompt(seq, strength=0.0), seq.prompt_tokens
+        )
+
+    def test_strength_scales_changes(self, generator):
+        seq = generator.sample_sequence(128, 0, sample_idx=6)
+        weak = generator.perturb_prompt(seq, strength=0.1)
+        strong = generator.perturb_prompt(seq, strength=0.9)
+        n_weak = int(np.sum(weak != seq.prompt_tokens))
+        n_strong = int(np.sum(strong != seq.prompt_tokens))
+        assert n_strong > n_weak
+
+    def test_deterministic(self, generator):
+        seq = generator.sample_sequence(32, 0, sample_idx=7)
+        a = generator.perturb_prompt(seq)
+        b = generator.perturb_prompt(seq)
+        np.testing.assert_array_equal(a, b)
+
+    def test_validates_strength(self, generator):
+        seq = generator.sample_sequence(8, 0, sample_idx=0)
+        with pytest.raises(ValueError):
+            generator.perturb_prompt(seq, strength=1.5)

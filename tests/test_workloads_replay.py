@@ -1,0 +1,96 @@
+"""Unit tests for workload recording and replay."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core import build_engine
+from repro.workloads import (
+    C4,
+    SequenceGenerator,
+    load_workload,
+    record_workload,
+    replay_workload,
+    save_workload,
+)
+
+
+@pytest.fixture()
+def generator(tiny_bundle):
+    return SequenceGenerator(C4, tiny_bundle.vocab, seed=81)
+
+
+def test_record_structure(generator):
+    payload = record_workload(generator, 3, prompt_len=10,
+                              continuation_len=5)
+    assert payload["dataset"] == "c4"
+    assert len(payload["sequences"]) == 3
+    assert len(payload["sequences"][0]["prompt"]) == 10
+    json.dumps(payload)
+
+
+def test_round_trip(tmp_path, generator):
+    payload = record_workload(generator, 2, 8, 4)
+    path = tmp_path / "workload.json"
+    save_workload(str(path), payload)
+    sequences = load_workload(str(path))
+    assert len(sequences) == 2
+    original = generator.sample_sequence(8, 4, sample_idx=0)
+    np.testing.assert_array_equal(sequences[0].prompt_tokens,
+                                  original.prompt_tokens)
+    np.testing.assert_array_equal(sequences[0].continuation_tokens,
+                                  original.continuation_tokens)
+
+
+def test_version_check(tmp_path):
+    path = tmp_path / "bad.json"
+    path.write_text(json.dumps({"version": 99, "sequences": []}))
+    with pytest.raises(ValueError):
+        load_workload(str(path))
+
+
+def test_replay_produces_results(tmp_path, generator, tiny_bundle,
+                                 platform, tiny_calibration):
+    payload = record_workload(generator, 2, 10, 6)
+    path = tmp_path / "workload.json"
+    save_workload(str(path), payload)
+    sequences = load_workload(str(path))
+    engine = build_engine("fiddler", tiny_bundle, platform, 0.5,
+                          tiny_calibration)
+    results = replay_workload(engine, sequences)
+    assert len(results) == 2
+    assert all(r.stats.n_generated == 6 for r in results)
+
+
+def test_replay_is_reproducible(tmp_path, generator, tiny_bundle,
+                                platform, tiny_calibration):
+    payload = record_workload(generator, 1, 10, 6)
+    path = tmp_path / "workload.json"
+    save_workload(str(path), payload)
+    engine = build_engine("daop", tiny_bundle, platform, 0.5,
+                          tiny_calibration)
+    a = replay_workload(engine, load_workload(str(path)))[0]
+    b = replay_workload(engine, load_workload(str(path)))[0]
+    np.testing.assert_array_equal(a.tokens, b.tokens)
+    assert a.stats.total_time_s == pytest.approx(b.stats.total_time_s)
+
+
+def test_replay_max_tokens_override(generator, tiny_bundle, platform,
+                                    tiny_calibration):
+    from repro.workloads.generator import SyntheticSequence
+
+    payload = record_workload(generator, 1, 10, 8)
+    seq = SyntheticSequence(
+        dataset="c4",
+        prompt_tokens=np.asarray(payload["sequences"][0]["prompt"]),
+        continuation_tokens=np.asarray(
+            payload["sequences"][0]["continuation"]
+        ),
+        topic_history=None,
+        seed=0,
+    )
+    engine = build_engine("fiddler", tiny_bundle, platform, 0.5,
+                          tiny_calibration)
+    results = replay_workload(engine, [seq], max_new_tokens=3)
+    assert results[0].stats.n_generated == 3
