@@ -8,6 +8,7 @@ Subcommands::
     repro observe  [--dataset ...]     similarity + prediction statistics
     repro serve    [--rate ...]        request-level serving simulation
     repro trace    [--engine ...]      schedule analysis + Chrome trace
+    repro lint     [paths ...]         daoplint static invariant checker
 
 Every command accepts ``--model {mixtral,phi,tiny}``, ``--blocks N`` (to
 shrink the functional model), and ``--seed``.  All results are simulated:
@@ -275,6 +276,18 @@ def cmd_trace(args) -> int:
     return 0
 
 
+def cmd_lint(args) -> int:
+    """Run the daoplint static analyzer (see docs/linting.md)."""
+    from repro.lint.runner import main as lint_main
+
+    argv = list(args.paths)
+    if args.select:
+        argv += ["--select", *args.select]
+    if args.list_rules:
+        argv.append("--list-rules")
+    return lint_main(argv)
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the CLI argument parser."""
     parser = argparse.ArgumentParser(
@@ -331,6 +344,18 @@ def build_parser() -> argparse.ArgumentParser:
     p_trace.add_argument("--output", default=None,
                          help="write a Chrome trace JSON here")
     p_trace.set_defaults(func=cmd_trace)
+
+    p_lint = sub.add_parser(
+        "lint", help="daoplint: AST-based invariant checker"
+    )
+    p_lint.add_argument("paths", nargs="*",
+                        help="files/directories to lint (default: the "
+                             "installed repro package)")
+    p_lint.add_argument("--select", nargs="+", metavar="RULE",
+                        help="run only these rules (names or codes)")
+    p_lint.add_argument("--list-rules", action="store_true",
+                        help="list registered rules and exit")
+    p_lint.set_defaults(func=cmd_lint)
 
     return parser
 

@@ -35,8 +35,8 @@ class DeviceSpec:
         compute_efficiency: achievable fraction of ``peak_flops``.
         mem_efficiency: achievable fraction of ``mem_bandwidth``.
         op_overhead: fixed per-op launch/dispatch latency in seconds.
-        idle_power_w: power draw when idle (board power floor).
-        active_power_w: power draw while executing work.
+        idle_power_w: power draw in watts when idle (board power floor).
+        active_power_w: power draw in watts while executing work.
     """
 
     name: str

@@ -17,7 +17,14 @@ from repro.hardware.timeline import CPU, D2H, GPU, H2D, Timeline
 
 @dataclass(frozen=True)
 class EnergyBreakdown:
-    """Energy (joules) attributed to each platform component."""
+    """Energy attributed to each platform component.
+
+    Attributes:
+        gpu_j: GPU energy in joules.
+        cpu_j: CPU energy in joules.
+        link_j: interconnect (PCIe transfer) energy in joules.
+        base_j: platform base-power energy in joules.
+    """
 
     gpu_j: float
     cpu_j: float

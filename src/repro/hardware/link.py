@@ -24,7 +24,8 @@ class LinkSpec:
             pageable weight transfers.
         activation_efficiency: achieved fraction for small activation
             transfers (dominated by ``latency`` anyway).
-        power_w: incremental power draw while a transfer is in flight.
+        power_w: incremental power draw in watts while a transfer is in
+            flight.
     """
 
     name: str

@@ -16,8 +16,9 @@ class Platform:
         gpu: the accelerator device.
         cpu: the host device (also owns host memory for offloaded experts).
         link: the CPU<->GPU interconnect.
-        base_power_w: constant platform power (DRAM, fans, VRMs, ...) added
-            on top of the per-device power model when integrating energy.
+        base_power_w: constant platform power in watts (DRAM, fans,
+            VRMs, ...) added on top of the per-device power model when
+            integrating energy.
     """
 
     gpu: DeviceSpec

@@ -25,7 +25,17 @@ RESOURCES = (GPU, CPU, H2D, D2H)
 
 @dataclass
 class Op:
-    """One scheduled operation on a resource."""
+    """One scheduled operation on a resource.
+
+    Attributes:
+        index: submission-order identifier within the timeline.
+        resource: executing lane (``gpu``/``cpu``/``h2d``/``d2h``).
+        duration: busy time charged to the lane, in simulated seconds.
+        start: start time in simulated seconds.
+        end: completion time in simulated seconds.
+        label: human-readable op label (Gantt/Chrome-trace rendering).
+        kind: op category used by analysis and energy attribution.
+    """
 
     index: int
     resource: str

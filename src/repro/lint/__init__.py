@@ -1,0 +1,63 @@
+"""daoplint: AST-based invariant checker + runtime contracts for DAOP.
+
+The reproduction rests on invariants the paper states in prose but code
+cannot express locally: migration is prefill-only (SS IV-B, Algorithm 1),
+prediction fires only from the configured start block onward (SS IV-C),
+every engine compares on an identical substrate, and the simulation is
+deterministic end-to-end.  This package enforces them mechanically:
+
+- a static analyzer (``repro lint`` / ``python -m repro.lint``) with a
+  pluggable rule registry, ``path:line:col`` diagnostics, and per-line
+  ``# daoplint: disable=RULE`` suppressions
+  (:mod:`repro.lint.runner`, :mod:`repro.lint.rules`);
+- opt-in runtime contract validators for timeline monotonicity, slot
+  budgets, and prefill-only migration (:mod:`repro.lint.contracts`).
+
+See ``docs/linting.md`` for every rule and its paper justification.
+"""
+
+from repro.lint.contracts import (
+    ContractViolation,
+    EngineContractGuard,
+    validate_slot_budget,
+    validate_timeline,
+)
+from repro.lint.diagnostics import Diagnostic, Severity
+from repro.lint.registry import (
+    LintContext,
+    Rule,
+    all_rules,
+    dotted_name,
+    get_rule,
+    register,
+)
+from repro.lint.runner import (
+    LintReport,
+    lint_paths,
+    lint_source,
+    package_root,
+    run_lint,
+)
+from repro.lint.suppressions import SuppressionIndex, SuppressionMarker
+
+__all__ = [
+    "ContractViolation",
+    "EngineContractGuard",
+    "validate_slot_budget",
+    "validate_timeline",
+    "Diagnostic",
+    "Severity",
+    "LintContext",
+    "Rule",
+    "all_rules",
+    "dotted_name",
+    "get_rule",
+    "register",
+    "LintReport",
+    "lint_paths",
+    "lint_source",
+    "package_root",
+    "run_lint",
+    "SuppressionIndex",
+    "SuppressionMarker",
+]

@@ -1,0 +1,44 @@
+"""Diagnostic records emitted by the daoplint static analyzer.
+
+A diagnostic pins one rule violation to a file, line, and column so the
+output is directly clickable (``path:line:col``) and suppressible with a
+per-line ``# daoplint: disable=RULE`` marker.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class Severity(enum.IntEnum):
+    """How serious a diagnostic is; sortable (``ERROR`` ranks highest)."""
+
+    WARNING = 1
+    ERROR = 2
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One finding: a rule violation at a file/line/column."""
+
+    path: str
+    line: int
+    col: int
+    rule: str
+    code: str
+    severity: Severity
+    message: str
+
+    def format(self) -> str:
+        """Render as ``path:line:col: severity CODE [rule] message``."""
+        return (
+            f"{self.path}:{self.line}:{self.col}: "
+            f"{self.severity.name.lower()} {self.code} "
+            f"[{self.rule}] {self.message}"
+        )
+
+    @property
+    def sort_key(self) -> tuple:
+        """Stable ordering: by path, then position, then rule code."""
+        return (self.path, self.line, self.col, self.code)

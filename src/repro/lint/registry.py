@@ -1,0 +1,121 @@
+"""Pluggable rule registry and per-file lint context for daoplint.
+
+Rules are plain classes with a ``check(ctx)`` method; decorating them with
+:func:`register` adds one instance to the global registry that the runner
+iterates.  Each rule declares a kebab-case ``name`` (used in suppression
+markers and ``--select``), a short ``code`` (``DET001`` style), a
+``severity``, and a one-line ``description`` shown by ``--list-rules``.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+
+from repro.lint.diagnostics import Diagnostic, Severity
+
+
+@dataclass(frozen=True)
+class LintContext:
+    """Everything a rule needs to check one parsed source file.
+
+    Attributes:
+        path: display path used in diagnostics (repo-relative when
+            possible).
+        rel: path parts relative to the ``repro`` package root, e.g.
+            ``("core", "baselines", "fiddler.py")``; a bare ``(name,)``
+            for files outside the package (test fixtures).
+        tree: the parsed :mod:`ast` module.
+        source: raw file contents.
+    """
+
+    path: str
+    rel: tuple
+    tree: ast.Module
+    source: str
+
+    @property
+    def package(self) -> str:
+        """Top-level subpackage ("core", ...) or the module stem for
+        files sitting directly in the package root ("cli")."""
+        if len(self.rel) == 1:
+            name = self.rel[0]
+            return name[:-3] if name.endswith(".py") else name
+        return self.rel[0]
+
+    @property
+    def is_dunder_init(self) -> bool:
+        """Whether this file is an ``__init__.py``."""
+        return bool(self.rel) and self.rel[-1] == "__init__.py"
+
+    def in_subpath(self, *parts: str) -> bool:
+        """Whether the file lives under ``repro/<parts...>/``."""
+        return self.rel[: len(parts)] == parts
+
+
+class Rule:
+    """Base class for daoplint rules."""
+
+    name = "rule"
+    code = "XXX000"
+    severity = Severity.ERROR
+    description = ""
+
+    def check(self, ctx: LintContext):
+        """Yield :class:`Diagnostic` objects for violations in ``ctx``."""
+        raise NotImplementedError
+
+    def diag(self, ctx: LintContext, node, message: str) -> Diagnostic:
+        """Build a diagnostic anchored at an AST node (or (line, col))."""
+        if isinstance(node, tuple):
+            line, col = node
+        else:
+            line = getattr(node, "lineno", 1)
+            col = getattr(node, "col_offset", 0) + 1
+        return Diagnostic(
+            path=ctx.path, line=line, col=col, rule=self.name,
+            code=self.code, severity=self.severity, message=message,
+        )
+
+
+_REGISTRY = {}
+
+
+def register(cls):
+    """Class decorator: instantiate the rule and add it to the registry."""
+    instance = cls()
+    if instance.name in _REGISTRY:
+        raise ValueError(f"duplicate rule name {instance.name!r}")
+    _REGISTRY[instance.name] = instance
+    return cls
+
+
+def all_rules():
+    """Every registered rule, ordered by code."""
+    return sorted(_REGISTRY.values(), key=lambda rule: rule.code)
+
+
+def get_rule(name: str) -> Rule:
+    """Look up one rule by kebab-case name or code."""
+    if name in _REGISTRY:
+        return _REGISTRY[name]
+    for rule in _REGISTRY.values():
+        if rule.code == name:
+            return rule
+    raise KeyError(f"unknown rule {name!r}")
+
+
+def dotted_name(node) -> str:
+    """Flatten an ``ast.Attribute``/``ast.Name`` chain to ``a.b.c``.
+
+    Returns an empty string when the chain is rooted in something other
+    than a plain name (e.g. a call result), which no rule matches on.
+    """
+    parts = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return ""

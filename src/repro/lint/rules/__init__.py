@@ -1,0 +1,45 @@
+"""daoplint rule families; importing this package registers every rule.
+
+Rule families (see ``docs/linting.md`` for the paper justification):
+
+- :mod:`repro.lint.rules.determinism` (DET00x) -- no hidden entropy or
+  wall-clock reads; the simulation is deterministic end-to-end.
+- :mod:`repro.lint.rules.layering` (LAY001) -- the package import DAG.
+- :mod:`repro.lint.rules.engine_contract` (ENG00x) -- the "identical
+  substrate" guarantee for DAOP vs. the baselines.
+- :mod:`repro.lint.rules.api_hygiene` (API00x) -- docstrings, __all__
+  consistency, and units on hardware-model dataclass fields.
+"""
+
+from repro.lint.rules.api_hygiene import (
+    DunderAllRule,
+    ExportDriftRule,
+    FieldUnitsRule,
+    ModuleDocstringRule,
+)
+from repro.lint.rules.determinism import (
+    StdlibRandomRule,
+    UnseededNumpyRule,
+    WallClockRule,
+)
+from repro.lint.rules.engine_contract import (
+    BaselineMigrationRule,
+    PrivateSubstrateAccessRule,
+    SubstrateOverrideRule,
+)
+from repro.lint.rules.layering import LAYERS, ImportLayeringRule
+
+__all__ = [
+    "DunderAllRule",
+    "ExportDriftRule",
+    "FieldUnitsRule",
+    "ModuleDocstringRule",
+    "StdlibRandomRule",
+    "UnseededNumpyRule",
+    "WallClockRule",
+    "BaselineMigrationRule",
+    "PrivateSubstrateAccessRule",
+    "SubstrateOverrideRule",
+    "LAYERS",
+    "ImportLayeringRule",
+]

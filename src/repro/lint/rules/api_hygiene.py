@@ -1,0 +1,232 @@
+"""API-hygiene rules: docstrings, ``__all__`` consistency, unit docs.
+
+A reproduction is only auditable if its public surface is documented:
+every module says what paper section it implements, every package facade
+(``__init__.py``) exports exactly what it imports, and every physical
+quantity in the hardware model states its unit so cost-model numbers can
+be checked against the paper's tables.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+
+from repro.lint.registry import LintContext, Rule, register
+
+#: Dataclass field names that denote a physical quantity and therefore
+#: must document a unit.
+_UNIT_FIELD = re.compile(
+    r"(?:_s|_ms|_w|_kw|_j|_kj|_bytes|_flops)$"
+    r"|bytes|bandwidth|latency|capacity|flops|power|duration"
+    r"|energy|overhead"
+)
+
+#: Accepted unit spellings inside a docstring.
+_UNIT_TOKEN = re.compile(
+    r"FLOP/s|GB/s|bytes|byte\b|seconds|second\b|watts|watt\b"
+    r"|joules|joule\b|kilojoules?|\bms\b|\bHz\b|/s\b"
+)
+
+
+def _is_dataclass(node: ast.ClassDef) -> bool:
+    for deco in node.decorator_list:
+        target = deco.func if isinstance(deco, ast.Call) else deco
+        if isinstance(target, ast.Name) and target.id == "dataclass":
+            return True
+        if isinstance(target, ast.Attribute) and target.attr == "dataclass":
+            return True
+    return False
+
+
+def _top_level_bindings(body):
+    """Names bound at module top level (descending into If/Try blocks)."""
+    bound = set()
+    for stmt in body:
+        if isinstance(stmt, ast.Import):
+            for alias in stmt.names:
+                bound.add(alias.asname or alias.name.split(".")[0])
+        elif isinstance(stmt, ast.ImportFrom):
+            for alias in stmt.names:
+                if alias.name != "*":
+                    bound.add(alias.asname or alias.name)
+        elif isinstance(stmt, ast.Assign):
+            for target in stmt.targets:
+                for node in ast.walk(target):
+                    if isinstance(node, ast.Name):
+                        bound.add(node.id)
+        elif isinstance(stmt, ast.AnnAssign):
+            if isinstance(stmt.target, ast.Name):
+                bound.add(stmt.target.id)
+        elif isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef,
+                               ast.ClassDef)):
+            bound.add(stmt.name)
+        elif isinstance(stmt, ast.If):
+            bound |= _top_level_bindings(stmt.body)
+            bound |= _top_level_bindings(stmt.orelse)
+        elif isinstance(stmt, ast.Try):
+            bound |= _top_level_bindings(stmt.body)
+            bound |= _top_level_bindings(stmt.orelse)
+            bound |= _top_level_bindings(stmt.finalbody)
+            for handler in stmt.handlers:
+                bound |= _top_level_bindings(handler.body)
+    return bound
+
+
+def _find_dunder_all(tree: ast.Module):
+    """The ``__all__`` assignment node and value, or (None, None)."""
+    for stmt in tree.body:
+        if isinstance(stmt, ast.Assign):
+            for target in stmt.targets:
+                if isinstance(target, ast.Name) and target.id == "__all__":
+                    return stmt, stmt.value
+    return None, None
+
+
+@register
+class ModuleDocstringRule(Rule):
+    """Every module states its purpose (and paper section) up front."""
+
+    name = "module-docstring"
+    code = "API001"
+    description = "every module must open with a docstring"
+
+    def check(self, ctx: LintContext):
+        """Flag modules whose first statement is not a docstring."""
+        if not (ast.get_docstring(ctx.tree) or "").strip():
+            yield self.diag(ctx, (1, 1), "module has no docstring")
+
+
+@register
+class DunderAllRule(Rule):
+    """Package facades declare a well-formed, resolvable ``__all__``."""
+
+    name = "dunder-all"
+    code = "API002"
+    description = ("__init__.py must define a literal __all__ whose "
+                   "entries are importable and unique")
+
+    def check(self, ctx: LintContext):
+        """Flag missing/non-literal/dangling/duplicate __all__ entries."""
+        if not ctx.is_dunder_init:
+            return
+        node, value = _find_dunder_all(ctx.tree)
+        if node is None:
+            yield self.diag(ctx, (1, 1),
+                            "__init__.py does not define __all__")
+            return
+        if not isinstance(value, (ast.List, ast.Tuple)):
+            yield self.diag(ctx, node,
+                            "__all__ must be a literal list/tuple")
+            return
+        bound = _top_level_bindings(ctx.tree.body)
+        seen = set()
+        for element in value.elts:
+            if not (isinstance(element, ast.Constant)
+                    and isinstance(element.value, str)):
+                yield self.diag(ctx, element,
+                                "__all__ entries must be string literals")
+                continue
+            name = element.value
+            if name in seen:
+                yield self.diag(ctx, element,
+                                f"duplicate __all__ entry '{name}'")
+            seen.add(name)
+            if name not in bound:
+                yield self.diag(
+                    ctx, element,
+                    f"__all__ entry '{name}' is not defined or imported "
+                    "in this module",
+                )
+
+
+@register
+class ExportDriftRule(Rule):
+    """Own-package re-exports in ``__init__.py`` must appear in __all__."""
+
+    name = "export-drift"
+    code = "API003"
+    description = ("public names imported from the package's own "
+                   "submodules must be listed in __all__")
+
+    def check(self, ctx: LintContext):
+        """Flag own-submodule imports missing from ``__all__``."""
+        if not ctx.is_dunder_init:
+            return
+        _, value = _find_dunder_all(ctx.tree)
+        if not isinstance(value, (ast.List, ast.Tuple)):
+            return  # API002 already reports the structural problem.
+        exported = {
+            element.value for element in value.elts
+            if isinstance(element, ast.Constant)
+            and isinstance(element.value, str)
+        }
+        own_module = "repro"
+        if len(ctx.rel) > 1:
+            own_module += "." + ".".join(ctx.rel[:-1])
+        for stmt in ctx.tree.body:
+            if not isinstance(stmt, ast.ImportFrom) or not stmt.module:
+                continue
+            if not (stmt.module == own_module
+                    or stmt.module.startswith(own_module + ".")):
+                continue
+            for alias in stmt.names:
+                name = alias.asname or alias.name
+                if name.startswith("_") or name == "*":
+                    continue
+                if name not in exported:
+                    yield self.diag(
+                        ctx, stmt,
+                        f"'{name}' is re-exported from {stmt.module} but "
+                        "missing from __all__",
+                    )
+
+
+@register
+class FieldUnitsRule(Rule):
+    """Hardware-model dataclass fields document their physical units."""
+
+    name = "field-units"
+    code = "API004"
+    description = ("hardware dataclass fields holding physical "
+                   "quantities must state their unit in a docstring")
+
+    def check(self, ctx: LintContext):
+        """Flag unit-bearing fields whose docstrings name no unit."""
+        if not ctx.in_subpath("hardware"):
+            return
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.ClassDef) or not _is_dataclass(node):
+                continue
+            class_doc = ast.get_docstring(node) or ""
+            body = node.body
+            for i, stmt in enumerate(body):
+                if not (isinstance(stmt, ast.AnnAssign)
+                        and isinstance(stmt.target, ast.Name)):
+                    continue
+                field = stmt.target.id
+                if field.startswith("_") or not _UNIT_FIELD.search(field):
+                    continue
+                if self._documented(field, class_doc, body, i):
+                    continue
+                yield self.diag(
+                    ctx, stmt,
+                    f"dataclass field '{node.name}.{field}' holds a "
+                    "physical quantity but its docstring names no unit "
+                    "(seconds/bytes/watts/joules/FLOP/s/...)",
+                )
+
+    @staticmethod
+    def _documented(field, class_doc, body, index):
+        """Unit mentioned in the class docstring entry or attr docstring."""
+        at = class_doc.find(field)
+        if at >= 0 and _UNIT_TOKEN.search(class_doc[at:at + 220]):
+            return True
+        if index + 1 < len(body):
+            nxt = body[index + 1]
+            if isinstance(nxt, ast.Expr) \
+                    and isinstance(nxt.value, ast.Constant) \
+                    and isinstance(nxt.value.value, str) \
+                    and _UNIT_TOKEN.search(nxt.value.value):
+                return True
+        return False

@@ -1,0 +1,141 @@
+"""Determinism rules: the simulation must be reproducible end-to-end.
+
+The paper's results are single-run numbers on a deterministic simulator;
+any hidden entropy source (stdlib ``random`` module globals, the legacy
+``np.random.*`` singleton, wall-clock reads) would make the reproduction
+unverifiable.  All randomness must flow through an explicitly seeded
+``np.random.Generator`` threaded down from configuration, and all *time*
+must come from the simulated :class:`repro.hardware.timeline.Timeline`.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.lint.registry import LintContext, Rule, dotted_name, register
+
+#: ``np.random`` attributes that construct explicit generators/seeds and
+#: are therefore allowed (the call-site seed check is separate).
+_NP_RANDOM_ALLOWED = frozenset({
+    "default_rng", "Generator", "SeedSequence", "BitGenerator",
+    "PCG64", "PCG64DXSM", "Philox", "SFC64", "MT19937", "RandomState",
+})
+
+#: Wall-clock call suffixes forbidden in simulator value paths.
+_WALL_CLOCK = frozenset({
+    "time.time", "time.time_ns", "time.monotonic", "time.monotonic_ns",
+    "time.perf_counter", "time.perf_counter_ns", "time.process_time",
+    "time.process_time_ns", "datetime.now", "datetime.utcnow",
+    "datetime.today", "date.today",
+})
+
+_WALL_CLOCK_FROM_TIME = frozenset({
+    "time", "time_ns", "monotonic", "perf_counter", "process_time",
+})
+
+
+def _matches_wall_clock(dotted: str) -> bool:
+    if dotted in _WALL_CLOCK:
+        return True
+    return any(dotted.endswith("." + suffix) for suffix in _WALL_CLOCK)
+
+
+@register
+class StdlibRandomRule(Rule):
+    """Forbid the stdlib ``random`` module (hidden global RNG state)."""
+
+    name = "stdlib-random"
+    code = "DET001"
+    description = ("stdlib random module is process-global state; use a "
+                   "seeded np.random.Generator instead")
+
+    def check(self, ctx: LintContext):
+        """Flag ``import random`` / ``from random import`` / ``random.*``."""
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.name == "random" or \
+                            alias.name.startswith("random."):
+                        yield self.diag(
+                            ctx, node,
+                            "import of the stdlib 'random' module; route "
+                            "randomness through a seeded "
+                            "np.random.Generator",
+                        )
+            elif isinstance(node, ast.ImportFrom):
+                if node.module == "random":
+                    yield self.diag(
+                        ctx, node,
+                        "import from the stdlib 'random' module; route "
+                        "randomness through a seeded np.random.Generator",
+                    )
+
+
+@register
+class UnseededNumpyRule(Rule):
+    """Forbid legacy/unseeded ``np.random`` entry points."""
+
+    name = "unseeded-numpy"
+    code = "DET002"
+    description = ("legacy np.random.* singleton calls and "
+                   "np.random.default_rng() without a seed break "
+                   "reproducibility")
+
+    def check(self, ctx: LintContext):
+        """Flag legacy ``np.random.X`` uses and seedless ``default_rng``."""
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Attribute):
+                dotted = dotted_name(node)
+                parts = dotted.split(".")
+                if len(parts) == 3 and parts[0] in ("np", "numpy") \
+                        and parts[1] == "random" \
+                        and parts[2] not in _NP_RANDOM_ALLOWED:
+                    yield self.diag(
+                        ctx, node,
+                        f"legacy global-state RNG '{dotted}'; use a "
+                        "seeded np.random.Generator passed down from "
+                        "config",
+                    )
+            elif isinstance(node, ast.Call):
+                dotted = dotted_name(node.func)
+                if dotted in ("np.random.default_rng",
+                              "numpy.random.default_rng") \
+                        and not node.args and not node.keywords:
+                    yield self.diag(
+                        ctx, node,
+                        "np.random.default_rng() without a seed draws OS "
+                        "entropy; pass an explicit seed",
+                    )
+
+
+@register
+class WallClockRule(Rule):
+    """Forbid wall-clock reads; simulated time comes from Timeline."""
+
+    name = "wall-clock"
+    code = "DET003"
+    description = ("time.time/datetime.now in value paths; simulated "
+                   "time must come from the Timeline")
+
+    def check(self, ctx: LintContext):
+        """Flag wall-clock calls and ``from time import time`` forms."""
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Call):
+                dotted = dotted_name(node.func)
+                if dotted and _matches_wall_clock(dotted):
+                    yield self.diag(
+                        ctx, node,
+                        f"wall-clock read '{dotted}()'; simulated time "
+                        "must come from the Timeline",
+                    )
+            elif isinstance(node, ast.ImportFrom):
+                if node.module == "time":
+                    bad = [alias.name for alias in node.names
+                           if alias.name in _WALL_CLOCK_FROM_TIME]
+                    if bad:
+                        yield self.diag(
+                            ctx, node,
+                            "importing wall-clock reads "
+                            f"{bad} from 'time'; simulated time must "
+                            "come from the Timeline",
+                        )

@@ -1,0 +1,146 @@
+"""Engine-contract rules: the "identical substrate" guarantee as lint.
+
+The paper's speedups are only meaningful if every baseline runs on the
+same cost model, timeline semantics, and trace instrumentation as DAOP
+(engine.py's stated contract).  Three things would silently break that:
+
+1. a baseline borrowing DAOP's sequence-aware migration planner
+   (Algorithm 1, SS IV-B) -- the data-aware allocation *is* the
+   contribution under test, so baselines must not call it;
+2. a baseline overriding the shared substrate primitives (``generate``,
+   ``_expert_gpu``, ``_upload_expert``, ...) instead of the policy hooks,
+   which would let it charge different costs for the same op;
+3. any engine-layer code reaching into ``_``-private attributes of the
+   Timeline / CostModel / ExpertPlacement objects, bypassing the public
+   accounting API.
+
+Note the rules deliberately do NOT forbid baselines from *uploading*
+experts during decode: on-demand caching and prefetching baselines
+(MoE-OnDemand, Mixtral-Offloading, Pre-gated MoE, ...) upload as their
+published behavior.  What is forbidden statically is using DAOP's swap
+planner; "migration stays in prefill when ``decode_realloc_interval`` is
+None" is a *runtime* contract checked by
+:mod:`repro.lint.contracts`.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.lint.registry import LintContext, Rule, dotted_name, register
+
+#: Modules that implement DAOP's data-aware migration machinery.
+_MIGRATION_MODULES = ("repro.core.allocation", "repro.memory.migration")
+
+#: Names from those modules that baselines must never touch.
+_MIGRATION_NAMES = frozenset({
+    "plan_block_swaps", "SwapPlan", "MigrationEngine", "MigrationRecord",
+})
+
+#: BaseEngine substrate primitives baselines may use but never redefine.
+_SUBSTRATE_METHODS = frozenset({
+    "generate", "_attention", "_gate", "_expert_gpu", "_expert_cpu",
+    "_upload_expert", "_drop_expert", "_lm_head",
+    "_execute_experts_at_location", "_record_activation_counters",
+    "_prefill_standard", "_decode_step_standard", "_device_spec",
+})
+
+
+@register
+class BaselineMigrationRule(Rule):
+    """Baselines may not use DAOP's migration planner (SS IV-B)."""
+
+    name = "baseline-migration"
+    code = "ENG001"
+    description = ("baseline engines may not import or call DAOP's "
+                   "sequence-aware migration primitives (Algorithm 1)")
+
+    def check(self, ctx: LintContext):
+        """Flag migration-module imports and planner names in baselines."""
+        if not ctx.in_subpath("core", "baselines"):
+            return
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.name.startswith(_MIGRATION_MODULES):
+                        yield self.diag(
+                            ctx, node,
+                            f"baseline imports migration module "
+                            f"'{alias.name}'; Algorithm 1 swaps are "
+                            "DAOP-only",
+                        )
+            elif isinstance(node, ast.ImportFrom) and node.module:
+                if node.module.startswith(_MIGRATION_MODULES):
+                    yield self.diag(
+                        ctx, node,
+                        f"baseline imports from '{node.module}'; "
+                        "Algorithm 1 swaps are DAOP-only",
+                    )
+            elif isinstance(node, ast.Name) and \
+                    isinstance(node.ctx, ast.Load) and \
+                    node.id in _MIGRATION_NAMES:
+                yield self.diag(
+                    ctx, node,
+                    f"baseline references migration primitive "
+                    f"'{node.id}'; Algorithm 1 swaps are DAOP-only",
+                )
+
+
+@register
+class SubstrateOverrideRule(Rule):
+    """Baselines customize policy hooks, never substrate primitives."""
+
+    name = "substrate-override"
+    code = "ENG002"
+    description = ("baseline engines may not override BaseEngine "
+                   "substrate primitives (generate/_expert_*/...); only "
+                   "the policy hooks")
+
+    def check(self, ctx: LintContext):
+        """Flag substrate-primitive method definitions in baselines."""
+        if not ctx.in_subpath("core", "baselines"):
+            return
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.ClassDef):
+                continue
+            for stmt in node.body:
+                if isinstance(stmt, (ast.FunctionDef,
+                                     ast.AsyncFunctionDef)) \
+                        and stmt.name in _SUBSTRATE_METHODS:
+                    yield self.diag(
+                        ctx, stmt,
+                        f"baseline '{node.name}' overrides substrate "
+                        f"primitive '{stmt.name}'; engines must be "
+                        "compared on an identical substrate",
+                    )
+
+
+@register
+class PrivateSubstrateAccessRule(Rule):
+    """Engine code must use public Timeline/CostModel/placement APIs."""
+
+    name = "private-substrate"
+    code = "ENG003"
+    description = ("core engine code may not access _-private attributes "
+                   "of other objects (Timeline/CostModel/placement "
+                   "internals)")
+
+    def check(self, ctx: LintContext):
+        """Flag ``obj._attr`` where ``obj`` is not ``self``/``cls``."""
+        if not ctx.in_subpath("core"):
+            return
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Attribute):
+                continue
+            attr = node.attr
+            if not attr.startswith("_") or attr.startswith("__"):
+                continue
+            base = node.value
+            if isinstance(base, ast.Name) and base.id in ("self", "cls"):
+                continue
+            owner = dotted_name(base) or "<expr>"
+            yield self.diag(
+                ctx, node,
+                f"access to private attribute '{owner}.{attr}'; use the "
+                "substrate's public API",
+            )

@@ -1,0 +1,85 @@
+"""Import-layering rule: keep the package dependency graph a DAG.
+
+The substrate layers (``model``/``hardware``/``memory``/``trace``/
+``workloads``) must stay importable without the engines, the engines
+(``core``) without the evaluation stack, and everything without the CLI.
+This is what lets every engine be compared on an identical substrate: a
+lower layer can never grow a hidden dependency on engine policy code.
+
+Layer ranks (a package may import strictly lower ranks, plus itself)::
+
+    0  model
+    1  hardware, workloads
+    2  memory, trace
+    3  core, lint
+    4  analysis, eval, metrics, serving
+    5  cli
+
+``repro/__init__.py`` is the public facade and is exempt; unknown future
+packages are skipped rather than guessed at.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.lint.registry import LintContext, Rule, register
+
+LAYERS = {
+    "model": 0,
+    "hardware": 1,
+    "workloads": 1,
+    "memory": 2,
+    "trace": 2,
+    "core": 3,
+    "lint": 3,
+    "analysis": 4,
+    "eval": 4,
+    "metrics": 4,
+    "serving": 4,
+    "cli": 5,
+}
+
+
+def _dep_package(module: str):
+    """Top-level repro subpackage of a dotted import target, or None."""
+    parts = module.split(".")
+    if parts[0] != "repro" or len(parts) < 2:
+        return None
+    return parts[1]
+
+
+@register
+class ImportLayeringRule(Rule):
+    """Enforce the package DAG (e.g. repro.model never imports repro.core)."""
+
+    name = "import-layering"
+    code = "LAY001"
+    description = ("package imports must follow the layer DAG "
+                   "model/hardware/memory/trace -> core -> "
+                   "serving/eval/analysis/metrics/cli")
+
+    def check(self, ctx: LintContext):
+        """Flag imports of a same-or-higher-layer repro package."""
+        own = ctx.package
+        if own == "__init__" or own not in LAYERS:
+            return
+        own_rank = LAYERS[own]
+        for node in ast.walk(ctx.tree):
+            targets = []
+            if isinstance(node, ast.Import):
+                targets = [alias.name for alias in node.names]
+            elif isinstance(node, ast.ImportFrom) and node.module \
+                    and node.level == 0:
+                targets = [node.module]
+            for target in targets:
+                dep = _dep_package(target)
+                if dep is None or dep == own or dep not in LAYERS:
+                    continue
+                if LAYERS[dep] >= own_rank:
+                    yield self.diag(
+                        ctx, node,
+                        f"layering violation: repro.{own} (layer "
+                        f"{own_rank}) may not import repro.{dep} (layer "
+                        f"{LAYERS[dep]})",
+                    )

@@ -1,0 +1,198 @@
+"""File discovery, rule execution, and the daoplint entry point.
+
+``run_lint()`` lints the whole installed ``repro`` package;
+``lint_paths()`` lints explicit files/directories (the CLI's positional
+arguments); ``lint_source()`` lints an in-memory snippet against a
+virtual path, which is how the rule unit tests exercise fixtures.
+"""
+
+from __future__ import annotations
+
+import argparse
+import ast
+import sys
+from dataclasses import dataclass, field
+from pathlib import Path
+
+import repro.lint.rules  # noqa: F401  (importing registers every rule)
+from repro.lint.diagnostics import Diagnostic, Severity
+from repro.lint.registry import LintContext, all_rules, get_rule
+from repro.lint.suppressions import SuppressionIndex
+
+
+@dataclass
+class LintReport:
+    """Outcome of one lint run."""
+
+    diagnostics: list = field(default_factory=list)
+    suppressed: list = field(default_factory=list)
+    suppression_markers: list = field(default_factory=list)
+    files: int = 0
+
+    @property
+    def errors(self) -> list:
+        """Diagnostics at ERROR severity."""
+        return [d for d in self.diagnostics
+                if d.severity is Severity.ERROR]
+
+    @property
+    def exit_code(self) -> int:
+        """Process exit code: non-zero iff any diagnostic survived."""
+        return 1 if self.diagnostics else 0
+
+    def merge(self, other: "LintReport") -> None:
+        """Fold another report's findings into this one."""
+        self.diagnostics.extend(other.diagnostics)
+        self.suppressed.extend(other.suppressed)
+        self.suppression_markers.extend(other.suppression_markers)
+        self.files += other.files
+
+    def finalize(self) -> "LintReport":
+        """Sort diagnostics into stable path/position order."""
+        self.diagnostics.sort(key=lambda d: d.sort_key)
+        return self
+
+
+def package_root() -> Path:
+    """Directory of the installed ``repro`` package (lint scope root)."""
+    return Path(__file__).resolve().parents[1]
+
+
+def _display_path(path: Path) -> str:
+    try:
+        return str(path.resolve().relative_to(Path.cwd()))
+    except ValueError:
+        return str(path)
+
+
+def _rel_parts(path: Path) -> tuple:
+    """Path parts relative to the ``repro`` package root.
+
+    Files outside the package (e.g. test fixtures) fall back to their
+    bare filename, so package-scoped rules simply skip them.
+    """
+    resolved = path.resolve()
+    try:
+        return resolved.relative_to(package_root()).parts
+    except ValueError:
+        parts = resolved.parts
+        if "repro" in parts:
+            rel = parts[len(parts) - parts[::-1].index("repro"):]
+            if rel:
+                return rel
+        return (resolved.name,)
+
+
+def _select_rules(select):
+    if not select:
+        return all_rules()
+    return [get_rule(name) for name in select]
+
+
+def lint_source(source: str, path: str = "src/repro/module.py",
+                select=None) -> list:
+    """Lint an in-memory snippet; returns surviving diagnostics.
+
+    ``path`` is virtual: its components after the last ``repro`` segment
+    decide which package-scoped rules apply, so tests can probe e.g. the
+    baseline rules with ``src/repro/core/baselines/sample.py``.
+    """
+    report = _lint_one(source, display=path,
+                       rel=_rel_parts(Path(path)), select=select)
+    return report.finalize().diagnostics
+
+
+def _lint_one(source: str, display: str, rel: tuple,
+              select=None) -> LintReport:
+    report = LintReport(files=1)
+    suppressions = SuppressionIndex(source)
+    report.suppression_markers.extend(
+        (display, marker.line, marker.rules, marker.file_wide)
+        for marker in suppressions.markers
+    )
+    try:
+        tree = ast.parse(source)
+    except SyntaxError as exc:
+        report.diagnostics.append(Diagnostic(
+            path=display, line=exc.lineno or 1, col=exc.offset or 1,
+            rule="syntax-error", code="SYN000", severity=Severity.ERROR,
+            message=f"cannot parse file: {exc.msg}",
+        ))
+        return report
+    ctx = LintContext(path=display, rel=rel, tree=tree, source=source)
+    for rule in _select_rules(select):
+        for diagnostic in rule.check(ctx):
+            if suppressions.is_suppressed(diagnostic.rule, diagnostic.code,
+                                          diagnostic.line):
+                report.suppressed.append(diagnostic)
+            else:
+                report.diagnostics.append(diagnostic)
+    return report
+
+
+def iter_source_files(root: Path):
+    """All ``.py`` files under ``root`` (or ``root`` itself), sorted."""
+    if root.is_file():
+        return [root]
+    return sorted(p for p in root.rglob("*.py") if p.is_file())
+
+
+def lint_paths(paths, select=None) -> LintReport:
+    """Lint explicit files and/or directories."""
+    report = LintReport()
+    for path in paths:
+        path = Path(path)
+        if not path.exists():
+            raise FileNotFoundError(f"no such file or directory: {path}")
+        for source_file in iter_source_files(path):
+            source = source_file.read_text(encoding="utf-8")
+            report.merge(_lint_one(
+                source, display=_display_path(source_file),
+                rel=_rel_parts(source_file), select=select,
+            ))
+    return report.finalize()
+
+
+def run_lint(root=None, select=None) -> LintReport:
+    """Lint the whole ``repro`` package (the default CLI behavior)."""
+    return lint_paths([root or package_root()], select=select)
+
+
+def main(argv=None) -> int:
+    """``repro lint`` / ``python -m repro.lint`` entry point."""
+    parser = argparse.ArgumentParser(
+        prog="daoplint",
+        description="AST-based invariant checker for the DAOP "
+                    "reproduction (see docs/linting.md)",
+    )
+    parser.add_argument("paths", nargs="*",
+                        help="files/directories to lint (default: the "
+                             "installed repro package)")
+    parser.add_argument("--select", nargs="+", metavar="RULE",
+                        help="run only these rules (names or codes)")
+    parser.add_argument("--list-rules", action="store_true",
+                        help="list registered rules and exit")
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        for rule in all_rules():
+            print(f"{rule.code}  {rule.name:<22} {rule.description}")
+        return 0
+
+    try:
+        if args.paths:
+            report = lint_paths(args.paths, select=args.select)
+        else:
+            report = run_lint(select=args.select)
+    except (KeyError, FileNotFoundError) as exc:
+        message = exc.args[0] if exc.args else exc
+        print(f"daoplint: error: {message}", file=sys.stderr)
+        return 2
+    for diagnostic in report.diagnostics:
+        print(diagnostic.format())
+    if report.diagnostics:
+        print(f"daoplint: {len(report.diagnostics)} problem(s) across "
+              f"{report.files} file(s)")
+    else:
+        print(f"daoplint: {report.files} file(s) clean")
+    return report.exit_code

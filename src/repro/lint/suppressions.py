@@ -1,0 +1,64 @@
+"""Per-line and per-file suppression markers for daoplint.
+
+Syntax (inside a Python comment)::
+
+    x = foo()  # daoplint: disable=rule-name
+    y = bar()  # daoplint: disable=rule-name,OTHER-CODE
+    # daoplint: disable-file=rule-name
+
+``disable=`` suppresses matching diagnostics on that source line only;
+``disable-file=`` suppresses the rule everywhere in the file.  A rule can
+be referenced by its kebab-case name (``stdlib-random``) or its code
+(``DET001``); the special name ``all`` matches every rule.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+_MARKER = re.compile(
+    r"#\s*daoplint:\s*(disable(?:-file)?)\s*=\s*([A-Za-z0-9_,\- ]+)"
+)
+
+
+@dataclass(frozen=True)
+class SuppressionMarker:
+    """One ``# daoplint: disable[-file]=...`` marker found in a file."""
+
+    line: int
+    rules: tuple
+    file_wide: bool
+
+
+class SuppressionIndex:
+    """Parsed suppression markers of one source file."""
+
+    def __init__(self, source: str) -> None:
+        self.markers = []
+        self._line_rules = {}
+        self._file_rules = set()
+        for lineno, text in enumerate(source.splitlines(), start=1):
+            match = _MARKER.search(text)
+            if not match:
+                continue
+            kind, raw = match.groups()
+            rules = tuple(
+                token.strip() for token in raw.split(",") if token.strip()
+            )
+            file_wide = kind == "disable-file"
+            self.markers.append(
+                SuppressionMarker(line=lineno, rules=rules,
+                                  file_wide=file_wide)
+            )
+            if file_wide:
+                self._file_rules.update(rules)
+            else:
+                self._line_rules.setdefault(lineno, set()).update(rules)
+
+    def is_suppressed(self, rule: str, code: str, line: int) -> bool:
+        """Whether diagnostics of ``rule``/``code`` at ``line`` are muted."""
+        for pool in (self._file_rules, self._line_rules.get(line, ())):
+            if "all" in pool or rule in pool or code in pool:
+                return True
+        return False

@@ -1,0 +1,14 @@
+"""Deliberately bad fixture file for the daoplint CLI tests."""
+
+import random
+
+import numpy as np
+
+
+def unseeded_everything():
+    """Trip every determinism rule at once."""
+    rng = np.random.default_rng()
+    values = np.random.rand(4)
+    import time
+
+    return random.random() + float(values.sum()) + rng.random() + time.time()

@@ -1,0 +1,68 @@
+"""CLI integration tests for ``repro lint`` and ``python -m repro.lint``."""
+
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+from repro.cli import main
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+BAD_FIXTURE = Path(__file__).parent / "fixtures" / "lint_bad" / \
+    "bad_module.py"
+
+
+def test_lint_clean_repo_exits_zero(capsys):
+    assert main(["lint"]) == 0
+    out = capsys.readouterr().out
+    assert "clean" in out
+
+
+def test_lint_bad_fixture_exits_nonzero_with_locations(capsys):
+    assert main(["lint", str(BAD_FIXTURE)]) == 1
+    out = capsys.readouterr().out
+    assert "bad_module.py:" in out
+    # file:line:col locations plus codes from more than one rule.
+    assert "DET001" in out and "DET002" in out and "DET003" in out
+    first = next(line for line in out.splitlines() if "DET001" in line)
+    location = first.split(" ")[0]
+    assert location.count(":") == 3  # path:line:col:
+
+
+def test_lint_select_restricts_rules(capsys):
+    assert main(["lint", str(BAD_FIXTURE), "--select",
+                 "stdlib-random"]) == 1
+    out = capsys.readouterr().out
+    assert "DET001" in out and "DET002" not in out
+
+
+def test_lint_list_rules(capsys):
+    assert main(["lint", "--list-rules"]) == 0
+    out = capsys.readouterr().out
+    for code in ("DET001", "DET002", "DET003", "LAY001", "ENG001",
+                 "ENG002", "ENG003", "API001", "API002", "API003",
+                 "API004"):
+        assert code in out
+
+
+def test_lint_unknown_rule_is_a_clean_error(capsys):
+    assert main(["lint", "--select", "no-such-rule"]) == 2
+    err = capsys.readouterr().err
+    assert "unknown rule" in err and "no-such-rule" in err
+
+
+def test_lint_missing_path_is_a_clean_error(capsys):
+    assert main(["lint", "does/not/exist.py"]) == 2
+    err = capsys.readouterr().err
+    assert "no such file" in err
+
+
+def test_python_dash_m_entry_point():
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO_ROOT / "src")
+    result = subprocess.run(
+        [sys.executable, "-m", "repro.lint", str(BAD_FIXTURE)],
+        capture_output=True, text=True, cwd=str(REPO_ROOT), env=env,
+    )
+    assert result.returncode == 1
+    assert "bad_module.py:" in result.stdout

@@ -1,0 +1,35 @@
+"""Repo-wide lint gate: runs daoplint on every pytest invocation.
+
+This is the wiring that keeps future PRs honest: the full rule set must
+pass over ``src/repro`` with zero suppression markers anywhere in
+``repro/core`` and ``repro/memory`` (acceptance criterion of the lint
+subsystem issue).
+"""
+
+from repro.lint import run_lint
+
+
+def _report():
+    report = run_lint()
+    assert report.files > 50, "lint walked suspiciously few files"
+    return report
+
+
+def test_repo_is_lint_clean():
+    report = _report()
+    rendered = "\n".join(d.format() for d in report.diagnostics)
+    assert report.diagnostics == [], f"daoplint violations:\n{rendered}"
+    assert report.exit_code == 0
+
+
+def test_no_suppressions_in_core_or_memory():
+    report = _report()
+    offenders = [
+        (path, line)
+        for path, line, _rules, _file_wide in report.suppression_markers
+        if "core" in path.split("/") or "memory" in path.split("/")
+    ]
+    assert offenders == [], (
+        "daoplint suppression markers are forbidden in repro/core and "
+        f"repro/memory: {offenders}"
+    )

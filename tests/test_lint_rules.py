@@ -1,0 +1,275 @@
+"""Unit tests for each daoplint rule family (positive + negative)."""
+
+import textwrap
+
+from repro.lint import all_rules, get_rule, lint_source
+
+CORE = "src/repro/core/sample.py"
+BASELINE = "src/repro/core/baselines/sample.py"
+INIT = "src/repro/memory/__init__.py"
+HARDWARE = "src/repro/hardware/sample.py"
+
+
+def lint(source, path=CORE, select=None):
+    """Lint a dedented snippet against a virtual repo path."""
+    return lint_source(textwrap.dedent(source), path=path, select=select)
+
+
+def codes(diagnostics):
+    """The set of diagnostic codes found."""
+    return {d.code for d in diagnostics}
+
+
+def test_registry_exposes_all_rule_families():
+    registered = {rule.code for rule in all_rules()}
+    assert {"DET001", "DET002", "DET003", "LAY001", "ENG001", "ENG002",
+            "ENG003", "API001", "API002", "API003",
+            "API004"} <= registered
+    assert get_rule("stdlib-random").code == "DET001"
+    assert get_rule("DET001").name == "stdlib-random"
+
+
+# ---- determinism --------------------------------------------------------------
+
+
+def test_stdlib_random_flagged():
+    diags = lint('"""Doc."""\nimport random\n', select=["stdlib-random"])
+    assert codes(diags) == {"DET001"}
+    diags = lint('"""Doc."""\nfrom random import choice\n',
+                 select=["stdlib-random"])
+    assert codes(diags) == {"DET001"}
+
+
+def test_legacy_numpy_random_flagged():
+    diags = lint(
+        '''\
+        """Doc."""
+        import numpy as np
+        x = np.random.rand(3)
+        ''',
+        select=["unseeded-numpy"],
+    )
+    assert codes(diags) == {"DET002"}
+    assert diags[0].line == 3
+
+
+def test_unseeded_default_rng_flagged_but_seeded_ok():
+    bad = lint('"""Doc."""\nimport numpy as np\n'
+               'rng = np.random.default_rng()\n',
+               select=["unseeded-numpy"])
+    assert codes(bad) == {"DET002"}
+    good = lint('"""Doc."""\nimport numpy as np\n'
+                'rng = np.random.default_rng(7)\n'
+                'ss = np.random.SeedSequence([1, 2])\n',
+                select=["unseeded-numpy"])
+    assert good == []
+
+
+def test_wall_clock_flagged():
+    diags = lint(
+        '''\
+        """Doc."""
+        import time
+        from datetime import datetime
+
+        def now():
+            """Doc."""
+            return time.time() + datetime.now().timestamp()
+        ''',
+        select=["wall-clock"],
+    )
+    assert len(diags) == 2
+    diags = lint('"""Doc."""\nfrom time import perf_counter\n',
+                 select=["wall-clock"])
+    assert codes(diags) == {"DET003"}
+
+
+def test_timeline_usage_not_flagged():
+    diags = lint(
+        '''\
+        """Doc."""
+        from repro.hardware.timeline import Timeline
+
+        def makespan(timeline):
+            """Doc."""
+            return timeline.makespan
+        ''',
+        select=["stdlib-random", "unseeded-numpy", "wall-clock"],
+    )
+    assert diags == []
+
+
+# ---- import layering ----------------------------------------------------------
+
+
+def test_lower_layer_may_not_import_core():
+    diags = lint('"""Doc."""\nfrom repro.core.engine import BaseEngine\n',
+                 path="src/repro/model/sample.py",
+                 select=["import-layering"])
+    assert codes(diags) == {"LAY001"}
+    assert "repro.model" in diags[0].message
+
+
+def test_core_may_import_substrate_but_not_cli():
+    good = lint('"""Doc."""\nfrom repro.memory.placement import '
+                'ExpertPlacement\n', select=["import-layering"])
+    assert good == []
+    bad = lint('"""Doc."""\nimport repro.cli\n',
+               select=["import-layering"])
+    assert codes(bad) == {"LAY001"}
+
+
+def test_cli_may_import_everything():
+    diags = lint('"""Doc."""\nfrom repro.core import build_engine\n'
+                 'from repro.lint import run_lint\n',
+                 path="src/repro/cli.py", select=["import-layering"])
+    assert diags == []
+
+
+# ---- engine contract -----------------------------------------------------------
+
+
+def test_baseline_may_not_import_migration_planner():
+    source = '''\
+        """Doc."""
+        from repro.core.allocation import plan_block_swaps
+        '''
+    assert codes(lint(source, path=BASELINE,
+                      select=["baseline-migration"])) == {"ENG001"}
+    # The same import is fine outside core/baselines/ (DAOP itself).
+    assert lint(source, path=CORE, select=["baseline-migration"]) == []
+
+
+def test_baseline_may_not_override_substrate_primitives():
+    source = '''\
+        """Doc."""
+        from repro.core.engine import BaseEngine
+
+        class Sneaky(BaseEngine):
+            """Doc."""
+
+            def _expert_gpu(self, ctx, block_idx, expert, x, deps):
+                """Doc."""
+                return None
+
+            def _prepare_decode_block(self, ctx, block_idx, act, deps):
+                """Doc."""
+                return {}
+        '''
+    diags = lint(source, path=BASELINE, select=["substrate-override"])
+    assert codes(diags) == {"ENG002"}
+    assert len(diags) == 1  # the hook override is allowed
+
+
+def test_private_substrate_access_flagged_only_off_self():
+    source = '''\
+        """Doc."""
+
+        class Engine:
+            """Doc."""
+
+            def peek(self, ctx):
+                """Doc."""
+                self._own = 1  # fine: own private state
+                return ctx.timeline._resource_free
+        '''
+    diags = lint(source, path=BASELINE, select=["private-substrate"])
+    assert codes(diags) == {"ENG003"}
+    assert "timeline._resource_free" in diags[0].message
+
+
+# ---- API hygiene ---------------------------------------------------------------
+
+
+def test_module_docstring_required():
+    diags = lint("x = 1\n", select=["module-docstring"])
+    assert codes(diags) == {"API001"}
+
+
+def test_dunder_all_missing_and_dangling_entries():
+    missing = lint('"""Doc."""\nfrom repro.memory.cache import '
+                   'CacheConfig\n', path=INIT, select=["dunder-all"])
+    assert codes(missing) == {"API002"}
+    dangling = lint('"""Doc."""\n__all__ = ["Ghost"]\n', path=INIT,
+                    select=["dunder-all"])
+    assert any("Ghost" in d.message for d in dangling)
+    dupes = lint('"""Doc."""\nx = 1\n__all__ = ["x", "x"]\n', path=INIT,
+                 select=["dunder-all"])
+    assert any("duplicate" in d.message for d in dupes)
+
+
+def test_export_drift_detected_for_own_package_imports():
+    source = '''\
+        """Doc."""
+        from repro.memory.cache import CacheConfig
+        from repro.hardware.platform import Platform
+
+        __all__ = []
+        '''
+    diags = lint(source, path=INIT, select=["export-drift"])
+    # Own-package re-export must be listed; the cross-package
+    # dependency import (Platform) is exempt.
+    assert len(diags) == 1
+    assert "CacheConfig" in diags[0].message
+
+
+def test_field_units_required_in_hardware_dataclasses():
+    bad = '''\
+        """Doc."""
+        from dataclasses import dataclass
+
+        @dataclass
+        class Spec:
+            """A spec.
+
+            Attributes:
+                latency: how slow it is.
+            """
+
+            latency: float
+        '''
+    assert codes(lint(bad, path=HARDWARE,
+                      select=["field-units"])) == {"API004"}
+    good = bad.replace("how slow it is", "setup latency in seconds")
+    assert lint(good, path=HARDWARE, select=["field-units"]) == []
+
+
+def test_attribute_docstring_satisfies_field_units():
+    source = '''\
+        """Doc."""
+        from dataclasses import dataclass
+
+        @dataclass
+        class Spec:
+            """A spec."""
+
+            mem_bandwidth: float
+            """Peak bandwidth in bytes/s."""
+        '''
+    assert lint(source, path=HARDWARE, select=["field-units"]) == []
+
+
+# ---- suppressions --------------------------------------------------------------
+
+
+def test_line_suppression_by_name_and_code():
+    base = '"""Doc."""\nimport numpy as np\n'
+    line = "x = np.random.rand(3)"
+    for marker in ("unseeded-numpy", "DET002", "all"):
+        diags = lint(f"{base}{line}  # daoplint: disable={marker}\n",
+                     select=["unseeded-numpy"])
+        assert diags == [], marker
+
+
+def test_file_suppression():
+    diags = lint('"""Doc."""\n# daoplint: disable-file=unseeded-numpy\n'
+                 'import numpy as np\nx = np.random.rand(3)\n'
+                 'y = np.random.randn(2)\n', select=["unseeded-numpy"])
+    assert diags == []
+
+
+def test_suppression_of_other_rule_does_not_mask():
+    diags = lint('"""Doc."""\nimport numpy as np\n'
+                 'x = np.random.rand(3)  # daoplint: disable=wall-clock\n',
+                 select=["unseeded-numpy"])
+    assert codes(diags) == {"DET002"}
