@@ -7,6 +7,7 @@ Subcommands::
     repro accuracy [--task ...]        harness accuracy vs the oracle
     repro observe  [--dataset ...]     similarity + prediction statistics
     repro serve    [--rate ...]        request-level serving simulation
+    repro serve-cluster [--policy ...] multi-replica cluster simulation
     repro trace    [--engine ...]      schedule analysis + Chrome trace
     repro lint     [paths ...]         daoplint static invariant checker
 
@@ -23,6 +24,13 @@ import sys
 import numpy as np
 
 from repro.analysis import summarize_schedule
+from repro.cluster import (
+    POLICY_NAMES,
+    AdmissionController,
+    ClusterSimulator,
+    SLOTarget,
+    build_policy,
+)
 from repro.core import ENGINE_NAMES, build_engine
 from repro.core.calibration import calibrate_activation_probs
 from repro.eval.harness import AccuracyHarness
@@ -34,7 +42,11 @@ from repro.model.zoo import (
     build_phi_3_5_moe_sim,
     build_tiny_moe,
 )
-from repro.serving import ServingSimulator, poisson_arrivals
+from repro.serving import (
+    ServingSimulator,
+    bursty_arrivals,
+    poisson_arrivals,
+)
 from repro.trace.export import timeline_to_chrome_trace
 from repro.workloads import SequenceGenerator, get_dataset, get_task
 
@@ -248,6 +260,65 @@ def cmd_serve(args) -> int:
     return 0
 
 
+def cmd_serve_cluster(args) -> int:
+    """Run the multi-replica cluster serving simulation."""
+    bundle = _build(args)
+    platform = default_platform()
+    calibration = _calibrate(bundle)
+    rng = np.random.default_rng(args.seed + 6)
+    if args.arrivals == "bursty":
+        arrivals = bursty_arrivals(args.rate, args.requests, rng)
+    else:
+        arrivals = poisson_arrivals(args.rate, args.requests, rng)
+    sample_indices = None
+    if args.clusters:
+        sample_indices = [i % args.clusters for i in range(args.requests)]
+    rows = []
+    report = None
+    for policy_name in args.policies:
+        engines = [
+            build_engine(args.engine, bundle, platform,
+                         expert_cache_ratio=args.ecr,
+                         calibration_probs=calibration)
+            for _ in range(args.replicas)
+        ]
+        generator = SequenceGenerator(
+            get_dataset(args.dataset), bundle.vocab, seed=args.seed + 5
+        )
+        simulator = ClusterSimulator(
+            engines, generator, build_policy(policy_name),
+            admission=AdmissionController(
+                max_queue_len=args.max_queue,
+                ttft_deadline_s=args.ttft_deadline,
+            ),
+            slo=SLOTarget(ttft_s=args.slo_ttft, tpot_s=args.slo_tpot),
+        )
+        report = simulator.run(arrivals, args.input_len, args.output_len,
+                               sample_indices=sample_indices)
+        rows.append([
+            policy_name,
+            report.goodput_tokens_per_s,
+            f"{100 * report.slo_attainment:.0f}%",
+            report.ttft_percentile(50), report.ttft_percentile(99),
+            f"{100 * report.mean_warm_hit_rate:.0f}%",
+            report.load_balance_index,
+            f"{report.n_shed}/{report.n_expired}",
+        ])
+    print(format_table(
+        ["policy", "goodput tok/s", "SLO", "TTFT p50 (s)", "TTFT p99 (s)",
+         "cache warm", "balance", "shed/expired"],
+        rows,
+        title=f"serve-cluster: {args.engine} x{args.replicas}, "
+              f"{args.requests} requests @ {args.rate}/s "
+              f"({args.arrivals}, {args.dataset})",
+    ))
+    if args.json and report is not None:
+        with open(args.json, "w") as handle:
+            handle.write(report.to_json())
+        print(f"cluster report ({args.policies[-1]}) written to {args.json}")
+    return 0
+
+
 def cmd_trace(args) -> int:
     """Analyze one generation's schedule; optionally dump a Chrome trace."""
     bundle = _build(args)
@@ -334,6 +405,40 @@ def build_parser() -> argparse.ArgumentParser:
     p_serve.add_argument("--input-len", type=int, default=48)
     p_serve.add_argument("--output-len", type=int, default=48)
     p_serve.set_defaults(func=cmd_serve)
+
+    p_cluster = sub.add_parser(
+        "serve-cluster", help="multi-replica cluster serving simulation"
+    )
+    _add_common(p_cluster)
+    p_cluster.add_argument("--engine", default="daop", choices=ENGINE_NAMES)
+    p_cluster.add_argument("--replicas", type=int, default=2)
+    p_cluster.add_argument("--policies", nargs="+",
+                           default=("round-robin", "cache-affinity"),
+                           choices=POLICY_NAMES)
+    p_cluster.add_argument("--arrivals", choices=("poisson", "bursty"),
+                           default="poisson")
+    p_cluster.add_argument("--dataset", default="sharegpt")
+    p_cluster.add_argument("--rate", type=float, default=0.05,
+                           help="mean request arrival rate per second")
+    p_cluster.add_argument("--requests", type=int, default=8)
+    p_cluster.add_argument("--clusters", type=int, default=3,
+                           help="similarity clusters in the workload "
+                                "(0 = every request unique)")
+    p_cluster.add_argument("--input-len", type=int, default=32)
+    p_cluster.add_argument("--output-len", type=int, default=16)
+    p_cluster.add_argument("--max-queue", type=int, default=8,
+                           help="waiting-request bound per replica")
+    p_cluster.add_argument("--ttft-deadline", type=float, default=None,
+                           help="expire queued requests past this TTFT "
+                                "deadline (seconds)")
+    p_cluster.add_argument("--slo-ttft", type=float, default=30.0,
+                           help="TTFT SLO target in seconds")
+    p_cluster.add_argument("--slo-tpot", type=float, default=1.0,
+                           help="TPOT SLO target in seconds")
+    p_cluster.add_argument("--json", default=None,
+                           help="write the last policy's ClusterReport "
+                                "JSON here")
+    p_cluster.set_defaults(func=cmd_serve_cluster)
 
     p_trace = sub.add_parser("trace", help="schedule analysis")
     _add_common(p_trace)

@@ -1,0 +1,140 @@
+"""Event core of the multi-replica serving simulator.
+
+The cluster simulator is a deterministic discrete-event simulation over
+simulated seconds: every state change is an :class:`Event` popped from a
+binary heap ordered by ``(time, submission sequence)``, so ties resolve
+in submission order and two runs with identical inputs replay the exact
+same event sequence.  This module holds the engine-agnostic pieces — the
+event records, the heap/clock, per-replica FIFO queues, and the
+pre-computed per-request metadata the routing policies consume — while
+:mod:`repro.cluster.simulator` binds them to real inference engines.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections import deque
+from dataclasses import dataclass, field
+
+import numpy as np
+
+ARRIVAL = "arrival"
+DISPATCH = "dispatch"
+COMPLETION = "completion"
+
+EVENT_KINDS = (ARRIVAL, DISPATCH, COMPLETION)
+
+
+@dataclass(frozen=True)
+class Event:
+    """One scheduled simulator event.
+
+    Attributes:
+        time: firing time in simulated seconds.
+        seq: submission-order tiebreaker (events at equal times fire in
+            submission order).
+        kind: one of ``arrival`` / ``dispatch`` / ``completion``.
+        request_id: the request the event concerns (-1 for pure
+            replica-side events).
+        replica: the replica the event concerns (-1 for arrivals, which
+            are routed when the event fires).
+    """
+
+    time: float
+    seq: int
+    kind: str
+    request_id: int = -1
+    replica: int = -1
+
+
+class EventQueue:
+    """Min-heap of events keyed on ``(time, seq)`` with a monotone clock."""
+
+    def __init__(self) -> None:
+        self._heap: list[tuple[float, int, Event]] = []
+        self._seq = 0
+        self._now = 0.0
+
+    @property
+    def now(self) -> float:
+        """Simulated time of the most recently popped event."""
+        return self._now
+
+    def push(self, time: float, kind: str, request_id: int = -1,
+             replica: int = -1) -> Event:
+        """Schedule an event; returns the created record."""
+        if kind not in EVENT_KINDS:
+            raise ValueError(f"kind must be one of {EVENT_KINDS}")
+        if time < self._now:
+            raise ValueError(
+                f"cannot schedule event at {time} before now={self._now}"
+            )
+        event = Event(time=float(time), seq=self._seq, kind=kind,
+                      request_id=request_id, replica=replica)
+        self._seq += 1
+        heapq.heappush(self._heap, (event.time, event.seq, event))
+        return event
+
+    def pop(self) -> Event:
+        """Remove and return the earliest event, advancing the clock."""
+        if not self._heap:
+            raise IndexError("pop from an empty EventQueue")
+        _, _, event = heapq.heappop(self._heap)
+        self._now = event.time
+        return event
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def __bool__(self) -> bool:
+        return bool(self._heap)
+
+
+@dataclass(frozen=True)
+class RequestInfo:
+    """Immutable per-request metadata known at arrival time.
+
+    Attributes:
+        request_id: arrival-order identifier.
+        arrival_s: arrival time in simulated seconds.
+        sample_idx: workload-generator sample index backing the request.
+        fingerprint: per-(block, expert) prefill activation counts of the
+            request's prompt (see
+            :func:`repro.cluster.simulator.prefill_fingerprint`), used by
+            cache-affinity routing and the warm-cache hit metric.
+    """
+
+    request_id: int
+    arrival_s: float
+    sample_idx: int
+    fingerprint: np.ndarray = field(repr=False, default=None)
+
+
+@dataclass
+class ReplicaState:
+    """Queueing state of one engine replica.
+
+    Attributes:
+        queue: FIFO of waiting request ids (bounded by admission control).
+        in_service: request id currently being served, or None if idle.
+        busy_until: completion time (simulated seconds) of the in-flight
+            request; meaningful only while ``in_service`` is set.
+        busy_time_s: cumulative service time in simulated seconds.
+        n_served: completed request count.
+    """
+
+    queue: deque = field(default_factory=deque)
+    in_service: int | None = None
+    busy_until: float = 0.0
+    busy_time_s: float = 0.0
+    n_served: int = 0
+
+    @property
+    def idle(self) -> bool:
+        """Whether no request is currently in service."""
+        return self.in_service is None
+
+    @property
+    def backlog(self) -> int:
+        """Waiting plus in-service request count (the JSQ load signal)."""
+        return len(self.queue) + (0 if self.idle else 1)

@@ -1,0 +1,168 @@
+"""Pluggable request-routing policies for the cluster simulator.
+
+Three policies span the design space the DAOP paper makes interesting:
+
+- **round-robin** — the load-oblivious baseline.
+- **join-shortest-queue** — the classic load-aware baseline.
+- **cache-affinity** — routes each request to the replica whose recent
+  traffic it most resembles.  DAOP's sequence-specific expert allocation
+  (Algorithm 1) re-tunes a replica's GPU expert cache toward the
+  sequences it serves, so a replica that has been serving similar
+  requests already holds their dominant experts: routing for similarity
+  preserves cache warmth, the same workload-awareness argument the paper
+  grounds its calibration and allocation mechanisms in.  Similarity is
+  the cosine between the request's prefill expert-activation fingerprint
+  and a running per-replica centroid of admitted fingerprints
+  (:func:`repro.trace.similarity.cosine_similarity`, the paper's Eq. 1
+  row metric), with a join-shortest-queue fallback when the preferred
+  replica's backlog runs too far ahead of the fleet.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.cluster.events import ReplicaState, RequestInfo
+from repro.trace.similarity import cosine_similarity
+
+
+class RoutingPolicy:
+    """Base class: stateful per-run replica selection."""
+
+    name = "base"
+
+    def reset(self, n_replicas: int) -> None:
+        """Clear all per-run state for a fleet of ``n_replicas``."""
+        if n_replicas < 1:
+            raise ValueError("n_replicas must be positive")
+        self.n_replicas = n_replicas
+
+    def select(self, request: RequestInfo,
+               replicas: list[ReplicaState]) -> int:
+        """Pick the replica index that should receive ``request``."""
+        raise NotImplementedError
+
+    def observe(self, replica_idx: int, request: RequestInfo) -> None:
+        """Record that ``request`` was admitted to ``replica_idx``."""
+
+
+class RoundRobinPolicy(RoutingPolicy):
+    """Cycle through replicas regardless of load or content."""
+
+    name = "round-robin"
+
+    def reset(self, n_replicas: int) -> None:
+        """Clear the rotation counter."""
+        super().reset(n_replicas)
+        self._next = 0
+
+    def select(self, request: RequestInfo,
+               replicas: list[ReplicaState]) -> int:
+        """Return the next replica in rotation."""
+        chosen = self._next
+        self._next = (self._next + 1) % self.n_replicas
+        return chosen
+
+
+def least_loaded(replicas: list[ReplicaState]) -> int:
+    """Index of the replica with the smallest backlog (ties: lowest)."""
+    return min(range(len(replicas)), key=lambda i: (replicas[i].backlog, i))
+
+
+class JoinShortestQueuePolicy(RoutingPolicy):
+    """Route to the replica with the fewest queued + in-service requests."""
+
+    name = "join-shortest-queue"
+
+    def select(self, request: RequestInfo,
+               replicas: list[ReplicaState]) -> int:
+        """Return the least-loaded replica (ties break to lowest index)."""
+        return least_loaded(replicas)
+
+
+class CacheAffinityPolicy(RoutingPolicy):
+    """Route to the replica with the most similar recent traffic.
+
+    Each admitted request's prefill expert-activation fingerprint updates
+    a running per-replica centroid; new requests go to the replica with
+    the highest cosine similarity to its centroid.  Two guard rails keep
+    the policy from degenerating:
+
+    - **cold start** — replicas with no traffic history yet are filled
+      first (least-loaded, then lowest index), so every centroid gets
+      seeded deterministically before affinity takes over;
+    - **load-balance fallback** — if the preferred replica's backlog
+      exceeds the fleet minimum by more than ``load_slack`` requests, the
+      request falls back to join-shortest-queue; cache warmth is never
+      worth an unbounded queue.
+    """
+
+    name = "cache-affinity"
+
+    def __init__(self, load_slack: int = 2) -> None:
+        """``load_slack``: backlog lead (requests) that triggers fallback."""
+        if load_slack < 0:
+            raise ValueError("load_slack must be non-negative")
+        self.load_slack = load_slack
+
+    def reset(self, n_replicas: int) -> None:
+        """Clear centroids and admission counts."""
+        super().reset(n_replicas)
+        self._centroids: list = [None] * n_replicas
+        self._counts = [0] * n_replicas
+
+    def centroid(self, replica_idx: int):
+        """The replica's running fingerprint centroid, or None if cold."""
+        return self._centroids[replica_idx]
+
+    def similarity(self, replica_idx: int, request: RequestInfo) -> float:
+        """Cosine similarity of a request to one replica's centroid."""
+        centroid = self._centroids[replica_idx]
+        if centroid is None:
+            return 0.0
+        return cosine_similarity(request.fingerprint.ravel(), centroid)
+
+    def select(self, request: RequestInfo,
+               replicas: list[ReplicaState]) -> int:
+        """Most-similar warm replica, with cold-start and load fallbacks."""
+        cold = [i for i in range(self.n_replicas)
+                if self._centroids[i] is None]
+        if cold:
+            return min(cold, key=lambda i: (replicas[i].backlog, i))
+        sims = [self.similarity(i, request) for i in range(self.n_replicas)]
+        best = int(np.argmax(sims))  # argmax ties break to lowest index
+        floor = min(r.backlog for r in replicas)
+        if replicas[best].backlog - floor > self.load_slack:
+            return least_loaded(replicas)
+        return best
+
+    def observe(self, replica_idx: int, request: RequestInfo) -> None:
+        """Fold an admitted request's fingerprint into the centroid."""
+        fingerprint = np.asarray(request.fingerprint,
+                                 dtype=np.float64).ravel()
+        count = self._counts[replica_idx]
+        if self._centroids[replica_idx] is None:
+            self._centroids[replica_idx] = fingerprint.copy()
+        else:
+            self._centroids[replica_idx] = (
+                self._centroids[replica_idx] * count + fingerprint
+            ) / (count + 1)
+        self._counts[replica_idx] = count + 1
+
+
+POLICIES = {
+    RoundRobinPolicy.name: RoundRobinPolicy,
+    JoinShortestQueuePolicy.name: JoinShortestQueuePolicy,
+    CacheAffinityPolicy.name: CacheAffinityPolicy,
+}
+
+POLICY_NAMES = tuple(sorted(POLICIES))
+
+
+def build_policy(name: str, **kwargs) -> RoutingPolicy:
+    """Construct a routing policy by registry name."""
+    if name not in POLICIES:
+        raise ValueError(
+            f"unknown policy {name!r}; choose from {POLICY_NAMES}"
+        )
+    return POLICIES[name](**kwargs)

@@ -1,0 +1,296 @@
+"""Discrete-event multi-replica serving simulation over real engines.
+
+One arrival trace is served by N engine replicas.  The simulation is an
+event loop over :mod:`repro.cluster.events`: arrivals are routed to a
+replica by the active :class:`~repro.cluster.routing.RoutingPolicy`
+(subject to :class:`~repro.cluster.admission.AdmissionController`
+bounds), dispatches start service on idle replicas, and completions free
+them.  Service times are each engine's *simulated* generation times, so
+the whole cluster trace stays in simulated seconds; everything is
+deterministic given the arrival trace, the workload seed, and the
+policy.
+
+Cache warmth is modeled with the engines' own machinery: each replica
+carries its expert placement forward from request to request, so a DAOP
+replica's GPU cache stays tuned to the traffic it recently served
+(Algorithm 1 re-tunes it during each prefill).  Routing therefore
+*matters*: sending a request to a replica warmed on similar traffic
+finds its dominant experts already resident — fewer prefill swaps and a
+higher expert-cache hit rate, the dominant latency term in the
+caching/pre-fetching analyses this subsystem reproduces at fleet scale.
+
+Request fingerprints (for affinity routing and the warm-cache metric)
+come from an exact forward pass over the prompt — the same routing the
+engine's own prefill will compute (all engines' prefill routing is
+exact), treated as control-plane work that charges no simulated time.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.cluster.admission import AdmissionController, EXPIRED, SHED, SLOTarget
+from repro.cluster.events import (
+    ARRIVAL,
+    COMPLETION,
+    DISPATCH,
+    EventQueue,
+    ReplicaState,
+    RequestInfo,
+)
+from repro.cluster.report import (
+    ClusterReport,
+    ClusterRequest,
+    RejectedRequest,
+)
+from repro.cluster.routing import RoutingPolicy
+from repro.core.engine import BaseEngine
+from repro.memory.placement import ExpertPlacement
+from repro.workloads.generator import SequenceGenerator
+
+
+def prefill_fingerprint(model, prompt_tokens: np.ndarray) -> np.ndarray:
+    """Per-(block, expert) activation counts of a prompt's exact routing.
+
+    This is the request's row in the paper's prefill activation matrix
+    (Eq. 1's :math:`P_{i,j}` numerator): how many prompt tokens each
+    expert attracts at each block.  Engines' prefill routing is exact,
+    so the fingerprint predicts where the request's prefill (and, per
+    the paper's observation ②, most of its decode) will execute.
+    """
+    _, decisions = model.forward_exact(np.asarray(prompt_tokens,
+                                                  dtype=np.int64))
+    counts = np.zeros((model.n_blocks, model.n_experts), dtype=np.float64)
+    for block_idx, decision in enumerate(decisions):
+        for t in range(decision.n_tokens):
+            for expert in decision.experts[t]:
+                counts[block_idx, int(expert)] += 1.0
+    return counts
+
+
+def warm_hit_rate(placement: ExpertPlacement,
+                  fingerprint: np.ndarray) -> float:
+    """Count-weighted fraction of fingerprint activations GPU-resident.
+
+    Evaluated against a replica's placement *before* it serves the
+    request, this is the expert-cache hit rate the request would see on
+    arrival — the quantity cache-affinity routing tries to maximize.
+    """
+    fingerprint = np.asarray(fingerprint, dtype=np.float64)
+    total = fingerprint.sum()
+    if total <= 0:
+        return 0.0
+    resident = fingerprint * placement.as_matrix()
+    return float(resident.sum() / total)
+
+
+class ClusterSimulator:
+    """Serve one arrival trace across N engine replicas.
+
+    Args:
+        engines: one constructed engine per replica (they are mutated:
+            each replica's placement is carried across requests when
+            ``carry_placement`` is on).
+        generator: workload generator; request ``i`` with sample index
+            ``s`` serves ``generator.sample_sequence(..., sample_idx=s)``
+            so all policies serve byte-identical work.
+        policy: routing policy instance (reset at each ``run``).
+        admission: queue bounds and deadlines; defaults to
+            ``AdmissionController()``.
+        slo: targets for goodput / SLO-attainment accounting.
+        carry_placement: keep each replica's expert placement warm
+            across requests (on, the point of the subsystem) or reset to
+            the engine's initial placement per request (an ablation).
+    """
+
+    def __init__(
+        self,
+        engines: list[BaseEngine],
+        generator: SequenceGenerator,
+        policy: RoutingPolicy,
+        admission: AdmissionController | None = None,
+        slo: SLOTarget | None = None,
+        carry_placement: bool = True,
+    ) -> None:
+        if not engines:
+            raise ValueError("at least one engine replica is required")
+        self.engines = list(engines)
+        self.generator = generator
+        self.policy = policy
+        self.admission = admission or AdmissionController()
+        self.slo = slo or SLOTarget()
+        self.carry_placement = carry_placement
+        # Snapshot so repeated run() calls replay from identical state.
+        self._base_placements = [
+            engine.initial_placement.copy() for engine in self.engines
+        ]
+
+    def run(self, arrival_times: np.ndarray, prompt_len: int,
+            output_len: int,
+            sample_indices: list[int] | None = None) -> ClusterReport:
+        """Simulate the fleet over one arrival trace; returns the report.
+
+        Args:
+            arrival_times: request arrival times in simulated seconds.
+            prompt_len: prompt length of every request.
+            output_len: decode length of every request.
+            sample_indices: workload sample index per request; defaults
+                to ``0..n-1``.  Repeating indices builds
+                similarity-clustered traffic (sticky sessions, shared
+                templates) — the regime where cache-affinity routing
+                pays off.
+        """
+        arrival_times = np.sort(
+            np.asarray(arrival_times, dtype=np.float64)
+        )
+        n_requests = arrival_times.size
+        if sample_indices is None:
+            sample_indices = list(range(n_requests))
+        if len(sample_indices) != n_requests:
+            raise ValueError(
+                "sample_indices must match arrival_times in length"
+            )
+
+        model = self.engines[0].model
+        sequences = {}
+        fingerprints = {}
+        for idx in sample_indices:
+            if idx not in sequences:
+                sequences[idx] = self.generator.sample_sequence(
+                    prompt_len, output_len, sample_idx=idx
+                )
+                fingerprints[idx] = prefill_fingerprint(
+                    model, sequences[idx].prompt_tokens
+                )
+        requests = [
+            RequestInfo(
+                request_id=i,
+                arrival_s=float(arrival_times[i]),
+                sample_idx=int(sample_indices[i]),
+                fingerprint=fingerprints[int(sample_indices[i])],
+            )
+            for i in range(n_requests)
+        ]
+
+        replicas = [ReplicaState() for _ in self.engines]
+        warm = [placement.copy() for placement in self._base_placements]
+        for engine, placement in zip(self.engines, warm):
+            engine.initial_placement = placement
+        self.policy.reset(len(self.engines))
+
+        report = ClusterReport(
+            engine=",".join(sorted({e.name for e in self.engines})),
+            policy=self.policy.name,
+            n_replicas=len(self.engines),
+            slo=self.slo,
+        )
+        heap = EventQueue()
+        for request in requests:
+            heap.push(request.arrival_s, ARRIVAL,
+                      request_id=request.request_id)
+
+        while heap:
+            event = heap.pop()
+            if event.kind == ARRIVAL:
+                self._on_arrival(heap, requests[event.request_id],
+                                 replicas, report)
+            elif event.kind == DISPATCH:
+                self._on_dispatch(heap, event.replica, requests, replicas,
+                                  warm, output_len, sequences, report)
+            elif event.kind == COMPLETION:
+                self._on_completion(heap, event.replica, replicas)
+
+        report.replica_busy_s = [r.busy_time_s for r in replicas]
+        return report
+
+    # ---- event handlers --------------------------------------------------------
+
+    def _on_arrival(self, heap: EventQueue, request: RequestInfo,
+                    replicas: list[ReplicaState],
+                    report: ClusterReport) -> None:
+        """Route one arrival; admit it to a queue or shed it."""
+        replica_idx = self.policy.select(request, replicas)
+        replica = replicas[replica_idx]
+        if not self.admission.admit(len(replica.queue)):
+            report.rejected.append(
+                RejectedRequest(
+                    request_id=request.request_id,
+                    arrival_s=request.arrival_s,
+                    replica=replica_idx,
+                    reason=SHED,
+                )
+            )
+            return
+        replica.queue.append(request.request_id)
+        self.policy.observe(replica_idx, request)
+        if replica.idle:
+            heap.push(heap.now, DISPATCH, replica=replica_idx)
+
+    def _on_dispatch(self, heap: EventQueue, replica_idx: int,
+                     requests: list[RequestInfo],
+                     replicas: list[ReplicaState], warm: list,
+                     output_len: int, sequences: dict,
+                     report: ClusterReport) -> None:
+        """Start service on an idle replica, expiring dead requests."""
+        replica = replicas[replica_idx]
+        if not replica.idle or not replica.queue:
+            return  # stale dispatch event
+        now = heap.now
+        request = requests[replica.queue.popleft()]
+        if self.admission.expired(request.arrival_s, now):
+            report.rejected.append(
+                RejectedRequest(
+                    request_id=request.request_id,
+                    arrival_s=request.arrival_s,
+                    replica=replica_idx,
+                    reason=EXPIRED,
+                )
+            )
+            if replica.queue:
+                heap.push(now, DISPATCH, replica=replica_idx)
+            return
+
+        engine = self.engines[replica_idx]
+        hit_rate = warm_hit_rate(warm[replica_idx], request.fingerprint)
+        if self.carry_placement:
+            engine.initial_placement = warm[replica_idx]
+        sequence = sequences[request.sample_idx]
+        result = engine.generate(
+            sequence.prompt_tokens, output_len,
+            forced_tokens=sequence.continuation_tokens,
+        )
+        if self.carry_placement:
+            warm[replica_idx] = result.placement
+
+        stats = result.stats
+        finish = now + stats.total_time_s
+        replica.in_service = request.request_id
+        replica.busy_until = finish
+        replica.busy_time_s += stats.total_time_s
+        replica.n_served += 1
+        report.requests.append(
+            ClusterRequest(
+                request_id=request.request_id,
+                arrival_s=request.arrival_s,
+                start_s=now,
+                first_token_s=now + stats.prefill_time_s,
+                finish_s=finish,
+                n_prompt_tokens=stats.n_prompt_tokens,
+                n_generated=stats.n_generated,
+                energy_j=stats.energy.total_j,
+                replica=replica_idx,
+                warm_hit_rate=hit_rate,
+                engine_hit_rate=stats.counters.gpu_hit_rate,
+                prefill_swaps=stats.counters.prefill_swaps,
+            )
+        )
+        heap.push(finish, COMPLETION, request_id=request.request_id,
+                  replica=replica_idx)
+
+    def _on_completion(self, heap: EventQueue, replica_idx: int,
+                       replicas: list[ReplicaState]) -> None:
+        """Free the replica and pull the next queued request, if any."""
+        replica = replicas[replica_idx]
+        replica.in_service = None
+        if replica.queue:
+            heap.push(heap.now, DISPATCH, replica=replica_idx)

@@ -9,6 +9,8 @@ Rule families (see ``docs/linting.md`` for the paper justification):
   substrate" guarantee for DAOP vs. the baselines.
 - :mod:`repro.lint.rules.api_hygiene` (API00x) -- docstrings, __all__
   consistency, and units on hardware-model dataclass fields.
+- :mod:`repro.lint.rules.timeline` (TL00x) -- the timeline op record is
+  append-only and owned by repro.hardware.
 """
 
 from repro.lint.rules.api_hygiene import (
@@ -28,6 +30,7 @@ from repro.lint.rules.engine_contract import (
     SubstrateOverrideRule,
 )
 from repro.lint.rules.layering import LAYERS, ImportLayeringRule
+from repro.lint.rules.timeline import TimelineOpsMutationRule
 
 __all__ = [
     "DunderAllRule",
@@ -42,4 +45,5 @@ __all__ = [
     "SubstrateOverrideRule",
     "LAYERS",
     "ImportLayeringRule",
+    "TimelineOpsMutationRule",
 ]

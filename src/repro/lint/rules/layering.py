@@ -13,10 +13,15 @@ Layer ranks (a package may import strictly lower ranks, plus itself)::
     2  memory, trace
     3  core, lint
     4  analysis, eval, metrics, serving
-    5  cli
+    5  cluster
+    6  cli
 
-``repro/__init__.py`` is the public facade and is exempt; unknown future
-packages are skipped rather than guessed at.
+``cluster`` sits in the serving tier but one rank above ``serving``: the
+fleet simulator builds on the single-engine serving vocabulary (it
+extends ``ServingReport``'s request records), while ``serving`` must
+stay importable without any fleet machinery.  ``repro/__init__.py`` is
+the public facade and is exempt; unknown future packages are skipped
+rather than guessed at.
 """
 
 from __future__ import annotations
@@ -37,7 +42,8 @@ LAYERS = {
     "eval": 4,
     "metrics": 4,
     "serving": 4,
-    "cli": 5,
+    "cluster": 5,
+    "cli": 6,
 }
 
 
@@ -57,7 +63,7 @@ class ImportLayeringRule(Rule):
     code = "LAY001"
     description = ("package imports must follow the layer DAG "
                    "model/hardware/memory/trace -> core -> "
-                   "serving/eval/analysis/metrics/cli")
+                   "serving/eval/analysis/metrics -> cluster -> cli")
 
     def check(self, ctx: LintContext):
         """Flag imports of a same-or-higher-layer repro package."""

@@ -1,0 +1,102 @@
+"""Timeline-integrity rules: the op record is append-only, by one owner.
+
+Every paper number in this repo — makespans, utilizations, energy
+integrals, critical paths — is derived from ``Timeline.ops``.  The
+timeline resolves each op's start/end *at submission* against per-lane
+FIFO state, so the list is only meaningful if it is built exclusively
+through ``Timeline.add()``: code elsewhere appending, reordering, or
+rewriting ``ops`` entries would silently desynchronize the schedule from
+the per-resource clocks and corrupt every downstream metric.  Reading
+``.ops`` (iteration, indexing, rendering) is of course fine and common.
+
+This is one of the ROADMAP's candidate rules: forbid ``Timeline.ops``
+mutation outside :mod:`repro.hardware`, statically.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.lint.registry import LintContext, Rule, dotted_name, register
+
+#: list methods that mutate in place.
+_MUTATING_METHODS = frozenset({
+    "append", "extend", "insert", "pop", "remove", "clear", "sort",
+    "reverse",
+})
+
+
+def _is_ops_attribute(node) -> bool:
+    """Whether ``node`` is an ``<expr>.ops`` attribute access."""
+    return isinstance(node, ast.Attribute) and node.attr == "ops"
+
+
+def _owner(node) -> str:
+    """Readable owner expression for diagnostics."""
+    return dotted_name(node) or "<expr>"
+
+
+@register
+class TimelineOpsMutationRule(Rule):
+    """``Timeline.ops`` may only be mutated inside ``repro.hardware``."""
+
+    name = "timeline-ops-mutation"
+    code = "TL001"
+    description = ("Timeline.ops is append-only via Timeline.add(); no "
+                   "mutation of a .ops attribute outside repro.hardware")
+
+    def check(self, ctx: LintContext):
+        """Flag writes to any ``.ops`` attribute outside the owner package.
+
+        The check is name-based (any attribute called ``ops``), matching
+        the bluntness of the other static rules: the only ``ops``
+        attribute in the library is the timeline's op record, and a
+        false positive on a future unrelated ``ops`` is a naming smell
+        worth flagging anyway.
+        """
+        if ctx.in_subpath("hardware"):
+            return
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Call) \
+                    and isinstance(node.func, ast.Attribute) \
+                    and node.func.attr in _MUTATING_METHODS \
+                    and _is_ops_attribute(node.func.value):
+                yield self.diag(
+                    ctx, node,
+                    f"'{_owner(node.func.value.value)}.ops"
+                    f".{node.func.attr}(...)' mutates the timeline op "
+                    "record; ops are appended only by Timeline.add() in "
+                    "repro.hardware",
+                )
+            elif isinstance(node, ast.Assign):
+                for target in node.targets:
+                    yield from self._check_write(ctx, target)
+            elif isinstance(node, (ast.AugAssign, ast.AnnAssign)):
+                yield from self._check_write(ctx, node.target)
+            elif isinstance(node, ast.Delete):
+                for target in node.targets:
+                    yield from self._check_write(ctx, target)
+
+    def _check_write(self, ctx: LintContext, target):
+        """Diagnostics for one assignment/deletion target."""
+        # x.ops = ... / del x.ops
+        if _is_ops_attribute(target):
+            yield self.diag(
+                ctx, target,
+                f"assignment to '{_owner(target.value)}.ops' replaces "
+                "the timeline op record; build schedules through "
+                "Timeline.add() in repro.hardware",
+            )
+        # x.ops[i] = ... / del x.ops[i] / x.ops[i:j] = ...
+        elif isinstance(target, ast.Subscript) \
+                and _is_ops_attribute(target.value):
+            yield self.diag(
+                ctx, target,
+                f"item write on '{_owner(target.value.value)}.ops' "
+                "mutates the timeline op record; ops are append-only "
+                "via Timeline.add() in repro.hardware",
+            )
+        # (a, b.ops) = ... style tuple targets
+        elif isinstance(target, (ast.Tuple, ast.List)):
+            for element in target.elts:
+                yield from self._check_write(ctx, element)

@@ -9,12 +9,14 @@ from repro.serving.simulator import (
     ServedRequest,
     ServingReport,
     ServingSimulator,
+    percentile_or_zero,
 )
 
 __all__ = [
     "bursty_arrivals",
     "poisson_arrivals",
     "uniform_arrivals",
+    "percentile_or_zero",
     "ServedRequest",
     "ServingReport",
     "ServingSimulator",

@@ -19,6 +19,19 @@ from repro.core.engine import BaseEngine
 from repro.workloads.generator import SequenceGenerator
 
 
+def percentile_or_zero(values, q: float) -> float:
+    """``np.percentile`` that returns 0.0 for an empty value list.
+
+    ``np.percentile`` raises on empty input; serving reports regularly
+    aggregate zero requests (overloaded replicas that shed everything,
+    filtered views), and a 0.0 keeps those reports renderable.
+    """
+    arr = np.asarray(list(values), dtype=np.float64)
+    if arr.size == 0:
+        return 0.0
+    return float(np.percentile(arr, q))
+
+
 @dataclass(frozen=True)
 class ServedRequest:
     """Per-request timing record (all times in simulated seconds)."""
@@ -64,7 +77,7 @@ class ServingReport:
     requests: list[ServedRequest] = field(default_factory=list)
 
     def _percentile(self, values, q: float) -> float:
-        return float(np.percentile(np.asarray(values), q))
+        return percentile_or_zero(values, q)
 
     @property
     def n_requests(self) -> int:

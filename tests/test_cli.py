@@ -75,3 +75,22 @@ def test_trace_without_export(capsys):
                "--output-len", "4"])
     assert rc == 0
     assert "critical path" in capsys.readouterr().out
+
+
+def test_serve_cluster(tmp_path, capsys):
+    report_path = tmp_path / "cluster.json"
+    rc = main(["serve-cluster", *TINY, "--replicas", "2", "--requests", "4",
+               "--rate", "1.0", "--input-len", "10", "--output-len", "4",
+               "--json", str(report_path)])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "round-robin" in out and "cache-affinity" in out
+    assert "goodput" in out
+    payload = json.loads(report_path.read_text())
+    assert payload["summary"]["served"] >= 1
+    assert payload["n_replicas"] == 2
+
+
+def test_serve_cluster_rejects_unknown_policy():
+    with pytest.raises(SystemExit):
+        main(["serve-cluster", *TINY, "--policies", "random"])

@@ -1,0 +1,75 @@
+"""Unit tests for the cluster event heap, clock, and replica state."""
+
+from collections import deque
+
+import pytest
+
+from repro.cluster import (
+    ARRIVAL,
+    COMPLETION,
+    DISPATCH,
+    EventQueue,
+    ReplicaState,
+)
+
+
+class TestEventQueue:
+    def test_pops_in_time_order(self):
+        q = EventQueue()
+        q.push(3.0, ARRIVAL, request_id=0)
+        q.push(1.0, ARRIVAL, request_id=1)
+        q.push(2.0, DISPATCH, replica=0)
+        assert [q.pop().time for _ in range(3)] == [1.0, 2.0, 3.0]
+
+    def test_ties_break_by_submission_order(self):
+        q = EventQueue()
+        q.push(5.0, COMPLETION, request_id=7)
+        q.push(5.0, ARRIVAL, request_id=8)
+        q.push(5.0, DISPATCH, replica=1)
+        kinds = [q.pop().kind for _ in range(3)]
+        assert kinds == [COMPLETION, ARRIVAL, DISPATCH]
+
+    def test_clock_advances_on_pop(self):
+        q = EventQueue()
+        assert q.now == 0.0
+        q.push(2.5, ARRIVAL)
+        q.push(4.0, ARRIVAL)
+        q.pop()
+        assert q.now == 2.5
+        q.pop()
+        assert q.now == 4.0
+
+    def test_push_into_the_past_rejected(self):
+        q = EventQueue()
+        q.push(10.0, ARRIVAL)
+        q.pop()
+        with pytest.raises(ValueError):
+            q.push(9.0, DISPATCH)
+        # Scheduling at exactly `now` is fine (immediate dispatch).
+        q.push(10.0, DISPATCH)
+
+    def test_invalid_kind_rejected(self):
+        with pytest.raises(ValueError):
+            EventQueue().push(0.0, "teleport")
+
+    def test_len_and_bool(self):
+        q = EventQueue()
+        assert not q and len(q) == 0
+        q.push(1.0, ARRIVAL)
+        assert q and len(q) == 1
+        q.pop()
+        assert not q
+        with pytest.raises(IndexError):
+            q.pop()
+
+
+class TestReplicaState:
+    def test_idle_and_backlog(self):
+        replica = ReplicaState()
+        assert replica.idle
+        assert replica.backlog == 0
+        replica.queue = deque([3, 4])
+        assert replica.backlog == 2
+        replica.in_service = 2
+        assert not replica.idle
+        assert replica.backlog == 3

@@ -1,0 +1,127 @@
+"""Unit tests for cluster routing policies (no engines involved)."""
+
+from collections import deque
+
+import numpy as np
+import pytest
+
+from repro.cluster import (
+    POLICIES,
+    POLICY_NAMES,
+    CacheAffinityPolicy,
+    JoinShortestQueuePolicy,
+    ReplicaState,
+    RequestInfo,
+    RoundRobinPolicy,
+    build_policy,
+    least_loaded,
+)
+
+
+def request(request_id=0, fingerprint=None):
+    """A RequestInfo with an optional (2, 2) fingerprint."""
+    if fingerprint is not None:
+        fingerprint = np.asarray(fingerprint, dtype=np.float64)
+    return RequestInfo(request_id=request_id, arrival_s=0.0,
+                       sample_idx=request_id, fingerprint=fingerprint)
+
+
+def fleet(*backlogs):
+    """Replica states with the given queue lengths (all idle)."""
+    replicas = []
+    for backlog in backlogs:
+        replica = ReplicaState()
+        replica.queue = deque(range(backlog))
+        replicas.append(replica)
+    return replicas
+
+
+class TestRegistry:
+    def test_names_cover_all_policies(self):
+        assert set(POLICY_NAMES) == set(POLICIES)
+        assert POLICY_NAMES == tuple(sorted(POLICY_NAMES))
+
+    def test_build_policy(self):
+        assert isinstance(build_policy("round-robin"), RoundRobinPolicy)
+        affinity = build_policy("cache-affinity", load_slack=5)
+        assert affinity.load_slack == 5
+        with pytest.raises(ValueError):
+            build_policy("random")
+
+    def test_reset_validation(self):
+        with pytest.raises(ValueError):
+            RoundRobinPolicy().reset(0)
+
+
+class TestRoundRobin:
+    def test_cycles_regardless_of_load(self):
+        policy = RoundRobinPolicy()
+        policy.reset(3)
+        replicas = fleet(9, 0, 0)
+        picks = [policy.select(request(i), replicas) for i in range(7)]
+        assert picks == [0, 1, 2, 0, 1, 2, 0]
+
+
+class TestJoinShortestQueue:
+    def test_least_loaded_counts_in_service(self):
+        replicas = fleet(1, 1)
+        replicas[1].in_service = 42
+        assert least_loaded(replicas) == 0
+
+    def test_picks_min_backlog_ties_to_lowest(self):
+        policy = JoinShortestQueuePolicy()
+        policy.reset(3)
+        assert policy.select(request(), fleet(2, 0, 1)) == 1
+        assert policy.select(request(), fleet(1, 1, 1)) == 0
+
+
+class TestCacheAffinity:
+    A = [[4.0, 0.0], [4.0, 0.0]]   # cluster A: experts 0 everywhere
+    B = [[0.0, 4.0], [0.0, 4.0]]   # cluster B: experts 1 everywhere
+
+    def warmed(self):
+        """A 2-replica policy seeded with one A and one B request."""
+        policy = CacheAffinityPolicy()
+        policy.reset(2)
+        policy.observe(0, request(0, self.A))
+        policy.observe(1, request(1, self.B))
+        return policy
+
+    def test_cold_start_fills_every_replica_first(self):
+        policy = CacheAffinityPolicy()
+        policy.reset(2)
+        replicas = fleet(0, 0)
+        first = policy.select(request(0, self.A), replicas)
+        assert first == 0  # least-loaded, lowest index
+        policy.observe(first, request(0, self.A))
+        # Replica 1 is still cold, so even an A-like request goes there.
+        assert policy.select(request(1, self.A), replicas) == 1
+
+    def test_routes_by_similarity_when_warm(self):
+        policy = self.warmed()
+        replicas = fleet(0, 0)
+        assert policy.select(request(2, self.A), replicas) == 0
+        assert policy.select(request(3, self.B), replicas) == 1
+
+    def test_similarity_values(self):
+        policy = self.warmed()
+        assert policy.similarity(0, request(9, self.A)) == pytest.approx(1.0)
+        assert policy.similarity(1, request(9, self.A)) == pytest.approx(0.0)
+
+    def test_centroid_is_running_mean(self):
+        policy = self.warmed()
+        policy.observe(0, request(2, self.B))
+        np.testing.assert_allclose(policy.centroid(0),
+                                   [2.0, 2.0, 2.0, 2.0])
+
+    def test_load_fallback_when_favorite_overloaded(self):
+        policy = self.warmed()
+        assert policy.load_slack == 2
+        # Backlog lead of exactly load_slack: affinity still wins.
+        assert policy.select(request(4, self.A), fleet(2, 0)) == 0
+        # One more and the request falls back to least-loaded.
+        assert policy.select(request(5, self.A), fleet(3, 0)) == 1
+
+    def test_load_slack_validation(self):
+        with pytest.raises(ValueError):
+            CacheAffinityPolicy(load_slack=-1)

@@ -23,10 +23,11 @@ def codes(diagnostics):
 def test_registry_exposes_all_rule_families():
     registered = {rule.code for rule in all_rules()}
     assert {"DET001", "DET002", "DET003", "LAY001", "ENG001", "ENG002",
-            "ENG003", "API001", "API002", "API003",
-            "API004"} <= registered
+            "ENG003", "API001", "API002", "API003", "API004",
+            "TL001"} <= registered
     assert get_rule("stdlib-random").code == "DET001"
     assert get_rule("DET001").name == "stdlib-random"
+    assert get_rule("timeline-ops-mutation").code == "TL001"
 
 
 # ---- determinism --------------------------------------------------------------
@@ -273,3 +274,65 @@ def test_suppression_of_other_rule_does_not_mask():
                  'x = np.random.rand(3)  # daoplint: disable=wall-clock\n',
                  select=["unseeded-numpy"])
     assert codes(diags) == {"DET002"}
+
+
+# ---- timeline integrity --------------------------------------------------------
+
+
+def test_timeline_ops_mutations_flagged():
+    source = '''\
+        """Doc."""
+
+        def tamper(timeline, op):
+            """Doc."""
+            timeline.ops.append(op)
+            timeline.ops.extend([op])
+            timeline.ops.sort()
+            timeline.ops = []
+            timeline.ops += [op]
+            timeline.ops[0] = op
+            del timeline.ops[0]
+        '''
+    diags = lint(source, select=["timeline-ops-mutation"])
+    assert codes(diags) == {"TL001"}
+    assert len(diags) == 7
+
+
+def test_timeline_ops_tuple_target_flagged():
+    diags = lint('"""Doc."""\n(a, t.ops) = (1, [])\n',
+                 select=["timeline-ops-mutation"])
+    assert codes(diags) == {"TL001"}
+
+
+def test_timeline_ops_reads_allowed():
+    source = '''\
+        """Doc."""
+
+        def render(timeline):
+            """Doc."""
+            for op in timeline.ops:
+                last = timeline.ops[-1]
+            return len(timeline.ops), sorted(timeline.ops)
+        '''
+    assert lint(source, select=["timeline-ops-mutation"]) == []
+
+
+def test_timeline_ops_mutation_allowed_in_hardware():
+    source = '''\
+        """Doc."""
+
+        class Timeline:
+            """Doc."""
+
+            def add(self, op):
+                """Doc."""
+                self.ops.append(op)
+        '''
+    assert lint(source, path=HARDWARE,
+                select=["timeline-ops-mutation"]) == []
+
+
+def test_unrelated_attribute_mutation_allowed():
+    diags = lint('"""Doc."""\nqueue.items.append(3)\nqueue.items = []\n',
+                 select=["timeline-ops-mutation"])
+    assert diags == []

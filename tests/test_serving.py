@@ -44,6 +44,24 @@ class TestArrivals:
         with pytest.raises(ValueError):
             bursty_arrivals(1.0, 5, rng, burst_size=0)
 
+    def test_bursty_exact_count_non_multiple(self, rng):
+        """10 requests in bursts of 4: the last burst is truncated."""
+        times = bursty_arrivals(10.0, 10, rng, burst_size=4)
+        assert times.shape == (10,)
+
+    @pytest.mark.parametrize("n_requests", [1, 3, 4, 5, 17])
+    def test_bursty_count_and_sortedness(self, rng, n_requests):
+        times = bursty_arrivals(5.0, n_requests, rng, burst_size=4)
+        assert times.shape == (n_requests,)
+        assert np.all(np.diff(times) >= 0)
+
+    def test_bursty_seed_determinism(self):
+        a = bursty_arrivals(10.0, 11, np.random.default_rng(7),
+                            burst_size=3)
+        b = bursty_arrivals(10.0, 11, np.random.default_rng(7),
+                            burst_size=3)
+        np.testing.assert_array_equal(a, b)
+
 
 @pytest.fixture(scope="module")
 def served(tiny_bundle, platform, tiny_calibration):
@@ -124,3 +142,29 @@ class TestServingSimulator:
         assert report.throughput_tokens_per_s == 0.0
         assert report.mean_queue_delay_s == 0.0
         assert report.tokens_per_kilojoule == 0.0
+
+    def test_empty_report_percentiles(self):
+        """Regression: percentiles of an empty report must not crash."""
+        from repro.serving.simulator import ServingReport
+
+        report = ServingReport(engine="x")
+        assert report.ttft_percentile(50) == 0.0
+        assert report.tpot_percentile(99) == 0.0
+        assert report.latency_percentile(95) == 0.0
+
+
+class TestPercentileOrZero:
+    def test_empty_returns_zero(self):
+        from repro.serving import percentile_or_zero
+
+        assert percentile_or_zero([], 50) == 0.0
+        assert percentile_or_zero((), 99) == 0.0
+
+    def test_matches_numpy_when_nonempty(self):
+        from repro.serving import percentile_or_zero
+
+        values = [3.0, 1.0, 2.0, 10.0]
+        for q in (0, 50, 95, 100):
+            assert percentile_or_zero(values, q) == pytest.approx(
+                float(np.percentile(values, q))
+            )
