@@ -1,0 +1,64 @@
+"""Runtime invariant auditor and cross-engine differential harness.
+
+``repro.audit`` is the safety net under every engine in the repo: the
+invariant auditor (:mod:`repro.audit.invariants`) checks any finished
+generation against the substrate contracts (timeline causality, counter
+conservation, energy/makespan consistency, prefill-only migration,
+divergence provenance), and the differential harness
+(:mod:`repro.audit.differential`) asserts that expert placement never
+changes *values* -- every non-predictive engine is token-identical to
+the all-on-GPU oracle, and DAOP diverges only through trace events
+marked ``predicted=True``.  See ``docs/auditing.md``.
+"""
+
+from repro.audit.differential import (
+    DEFAULT_SEEDS,
+    ORACLE_ENGINE,
+    BlockDivergence,
+    DifferentialReport,
+    EngineComparison,
+    block_divergence_accounting,
+    compare_token_streams,
+    run_differential_audit,
+)
+from repro.audit.invariants import (
+    EXPERT_OP_KINDS,
+    TIME_TOLERANCE_S,
+    AuditReport,
+    Violation,
+    audit_generation,
+    audit_result,
+    check_counter_conservation,
+    check_divergence_provenance,
+    check_energy_consistency,
+    check_pending_uploads_resident,
+    check_prefill_only_migration,
+    check_timeline_causality,
+    check_upload_placement,
+    expects_prefill_only_uploads,
+)
+
+__all__ = [
+    "DEFAULT_SEEDS",
+    "ORACLE_ENGINE",
+    "BlockDivergence",
+    "DifferentialReport",
+    "EngineComparison",
+    "block_divergence_accounting",
+    "compare_token_streams",
+    "run_differential_audit",
+    "EXPERT_OP_KINDS",
+    "TIME_TOLERANCE_S",
+    "AuditReport",
+    "Violation",
+    "audit_generation",
+    "audit_result",
+    "check_counter_conservation",
+    "check_divergence_provenance",
+    "check_energy_consistency",
+    "check_pending_uploads_resident",
+    "check_prefill_only_migration",
+    "check_timeline_causality",
+    "check_upload_placement",
+    "expects_prefill_only_uploads",
+]

@@ -1,0 +1,291 @@
+"""Cross-engine differential audit against the all-on-GPU oracle.
+
+The central correctness invariant of this reproduction (and of the
+compute-placement-invariance assumption Fiddler and Pre-gated MoE share
+with DAOP) is that expert *placement* may change simulated time and
+energy but never values: every non-predictive engine must emit a
+byte-identical token stream to the all-on-GPU ``official`` oracle, and
+DAOP's prediction path may diverge only through the approximations its
+trace marks ``predicted=True`` (predicted expert sets, stale CPU inputs,
+graceful degradation).
+
+:func:`run_differential_audit` runs every registered engine against the
+oracle over a seeded prompt matrix and asserts exactly that, with
+per-block divergence accounting (how many decode events each block
+predicted and mispredicted) and a full invariant audit
+(:mod:`repro.audit.invariants`) of every generation produced.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.audit.invariants import AuditReport, audit_generation
+from repro.core import ENGINE_NAMES, build_engine
+from repro.core.engine import GenerationResult
+from repro.hardware.platform import Platform
+from repro.model.zoo import ModelBundle
+from repro.trace.recorder import DECODE
+from repro.workloads import C4, SequenceGenerator
+
+#: The engine whose output defines correctness (ECR 100 %, exact math).
+ORACLE_ENGINE = "official"
+
+#: Default seeds for the prompt matrix (acceptance: >= 3).
+DEFAULT_SEEDS = (0, 1, 2)
+
+
+@dataclass(frozen=True)
+class BlockDivergence:
+    """Per-block accounting of decode-phase prediction divergence."""
+
+    block: int
+    decode_events: int
+    predicted_events: int
+    mispredicted_events: int
+
+    @property
+    def prediction_accuracy(self) -> float:
+        """Fraction of predicted events whose executed set matched."""
+        if self.predicted_events == 0:
+            return 1.0
+        return 1.0 - self.mispredicted_events / self.predicted_events
+
+
+@dataclass
+class EngineComparison:
+    """One engine vs the oracle on one seeded prompt."""
+
+    engine: str
+    seed: int
+    n_tokens: int
+    n_divergent: int
+    first_divergence: int | None
+    predictive: bool
+    problems: list = field(default_factory=list)
+    block_divergence: list = field(default_factory=list)
+    audit: AuditReport | None = None
+
+    @property
+    def ok(self) -> bool:
+        """Whether this comparison satisfied its identity contract."""
+        return not self.problems and (self.audit is None or self.audit.ok)
+
+    @property
+    def identical(self) -> bool:
+        """Whether the token stream matched the oracle exactly."""
+        return self.n_divergent == 0
+
+
+@dataclass
+class DifferentialReport:
+    """Aggregated outcome of a differential audit run."""
+
+    oracle: str
+    comparisons: list = field(default_factory=list)
+    oracle_audits: list = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        """Whether every comparison and every invariant audit passed."""
+        return (all(c.ok for c in self.comparisons)
+                and all(a.ok for a in self.oracle_audits))
+
+    @property
+    def problems(self) -> list:
+        """Every problem string across all comparisons and audits."""
+        out = []
+        for comparison in self.comparisons:
+            prefix = f"{comparison.engine}/seed{comparison.seed}"
+            out.extend(f"{prefix}: {p}" for p in comparison.problems)
+            if comparison.audit is not None:
+                out.extend(f"{prefix}: {v.format()}"
+                           for v in comparison.audit.violations)
+        for audit in self.oracle_audits:
+            out.extend(f"{self.oracle}: {v.format()}"
+                       for v in audit.violations)
+        return out
+
+    def rows(self) -> list:
+        """Tabular summary: one row per (engine, seed) comparison."""
+        rows = []
+        for c in self.comparisons:
+            mispredicted = sum(b.mispredicted_events
+                               for b in c.block_divergence)
+            rows.append([
+                c.engine, c.seed,
+                "yes" if c.identical else f"@{c.first_divergence}",
+                c.n_divergent, mispredicted,
+                "ok" if c.ok else "FAIL",
+            ])
+        return rows
+
+    def format(self) -> str:
+        """Multi-line human-readable summary of the whole run."""
+        lines = [
+            f"differential audit vs {self.oracle}: "
+            f"{len(self.comparisons)} comparison(s), "
+            f"{'all ok' if self.ok else 'FAILURES'}"
+        ]
+        lines.extend(f"  {p}" for p in self.problems)
+        return "\n".join(lines)
+
+
+def compare_token_streams(oracle_tokens: np.ndarray,
+                          engine_tokens: np.ndarray):
+    """Token-stream difference summary.
+
+    Returns:
+        ``(n_divergent, first_divergence)`` where ``first_divergence`` is
+        the index of the first differing position (``None`` when the
+        streams are identical); a length mismatch counts every position
+        past the common prefix as divergent.
+    """
+    oracle_tokens = np.asarray(oracle_tokens)
+    engine_tokens = np.asarray(engine_tokens)
+    n = min(oracle_tokens.size, engine_tokens.size)
+    diff = oracle_tokens[:n] != engine_tokens[:n]
+    tail = max(oracle_tokens.size, engine_tokens.size) - n
+    n_divergent = int(np.count_nonzero(diff)) + tail
+    if n_divergent == 0:
+        return 0, None
+    if diff.any():
+        return n_divergent, int(np.argmax(diff))
+    return n_divergent, n
+
+
+def block_divergence_accounting(result: GenerationResult) -> list:
+    """Per-block decode divergence summary of one generation's trace."""
+    per_block: dict = {}
+    for event in result.trace.events:
+        if event.phase != DECODE:
+            continue
+        stats = per_block.setdefault(event.block, [0, 0, 0])
+        stats[0] += 1
+        if event.predicted:
+            stats[1] += 1
+            executed = (event.executed_experts
+                        if event.executed_experts is not None
+                        else event.experts)
+            if set(executed) != set(event.experts):
+                stats[2] += 1
+    return [
+        BlockDivergence(block=block, decode_events=stats[0],
+                        predicted_events=stats[1],
+                        mispredicted_events=stats[2])
+        for block, stats in sorted(per_block.items())
+    ]
+
+
+def _is_predictive(engine) -> bool:
+    """Whether the engine's *math* may deviate from the true gate."""
+    return bool(getattr(engine, "enable_precalc", False))
+
+
+def _compare(engine, name: str, seed: int, oracle: GenerationResult,
+             result: GenerationResult,
+             audit_invariants: bool) -> EngineComparison:
+    n_divergent, first = compare_token_streams(oracle.tokens, result.tokens)
+    comparison = EngineComparison(
+        engine=name, seed=seed, n_tokens=int(result.tokens.size),
+        n_divergent=n_divergent, first_divergence=first,
+        predictive=_is_predictive(engine),
+        block_divergence=block_divergence_accounting(result),
+    )
+    if result.tokens.size != oracle.tokens.size:
+        comparison.problems.append(
+            f"generated {result.tokens.size} tokens but the oracle "
+            f"generated {oracle.tokens.size}"
+        )
+    has_predicted = any(e.predicted for e in result.trace.events)
+    if not comparison.predictive:
+        if n_divergent:
+            comparison.problems.append(
+                f"non-predictive engine diverged from the oracle at "
+                f"token {first} ({n_divergent} position(s)); placement "
+                "must never change values"
+            )
+        if has_predicted:
+            comparison.problems.append(
+                "non-predictive engine marked trace events predicted=True"
+            )
+    else:
+        if result.tokens.size and oracle.tokens.size \
+                and result.tokens[0] != oracle.tokens[0]:
+            comparison.problems.append(
+                "first token diverged from the oracle; DAOP prefill is "
+                "exact so divergence may only start in decode"
+            )
+        if n_divergent and not has_predicted:
+            comparison.problems.append(
+                f"diverged from the oracle at token {first} without a "
+                "single predicted=True trace event to attribute it to"
+            )
+    if audit_invariants:
+        comparison.audit = audit_generation(engine, result)
+    return comparison
+
+
+def run_differential_audit(
+    bundle: ModelBundle,
+    platform: Platform,
+    engine_names=None,
+    seeds=DEFAULT_SEEDS,
+    prompt_len: int = 16,
+    max_new_tokens: int = 12,
+    expert_cache_ratio: float = 0.5,
+    calibration_probs: np.ndarray | None = None,
+    dataset=C4,
+    audit_invariants: bool = True,
+) -> DifferentialReport:
+    """Run every engine against the oracle over a seeded prompt matrix.
+
+    Args:
+        bundle: the model to drive every engine with.
+        platform: simulated hardware platform.
+        engine_names: engines to audit (default: every registered
+            engine except the oracle itself).
+        seeds: one prompt is drawn per seed (>= 3 for the acceptance
+            criterion).
+        prompt_len: prompt length in tokens.
+        max_new_tokens: decode steps per generation.
+        expert_cache_ratio: ECR for the cached engines.
+        calibration_probs: calibrated activation probabilities (optional).
+        dataset: workload dataset the prompt matrix is drawn from.
+        audit_invariants: also run the full invariant audit on every
+            generation (including the oracle's).
+
+    Returns:
+        A :class:`DifferentialReport`; ``report.ok`` is the audited
+        invariant of the whole reproduction.
+    """
+    if engine_names is None:
+        engine_names = tuple(n for n in ENGINE_NAMES if n != ORACLE_ENGINE)
+    oracle_engine = build_engine(ORACLE_ENGINE, bundle, platform,
+                                 expert_cache_ratio, calibration_probs)
+    engines = {
+        name: build_engine(name, bundle, platform, expert_cache_ratio,
+                           calibration_probs)
+        for name in engine_names
+    }
+    report = DifferentialReport(oracle=ORACLE_ENGINE)
+    for seed in seeds:
+        generator = SequenceGenerator(dataset, bundle.vocab,
+                                      seed=int(seed))
+        prompt = generator.sample_sequence(
+            prompt_len, 0, sample_idx=0
+        ).prompt_tokens
+        oracle_result = oracle_engine.generate(prompt, max_new_tokens)
+        if audit_invariants:
+            report.oracle_audits.append(
+                audit_generation(oracle_engine, oracle_result)
+            )
+        for name, engine in engines.items():
+            result = engine.generate(prompt, max_new_tokens)
+            report.comparisons.append(
+                _compare(engine, name, int(seed), oracle_result, result,
+                         audit_invariants)
+            )
+    return report

@@ -9,6 +9,7 @@ Subcommands::
     repro serve    [--rate ...]        request-level serving simulation
     repro serve-cluster [--policy ...] multi-replica cluster simulation
     repro trace    [--engine ...]      schedule analysis + Chrome trace
+    repro audit    [--engines ...]     differential + invariant audit
     repro lint     [paths ...]         daoplint static invariant checker
 
 Every command accepts ``--model {mixtral,phi,tiny}``, ``--blocks N`` (to
@@ -347,6 +348,39 @@ def cmd_trace(args) -> int:
     return 0
 
 
+def cmd_audit(args) -> int:
+    """Differential + invariant audit of every registered engine."""
+    from repro.audit import run_differential_audit
+
+    bundle = _build(args)
+    platform = default_platform()
+    calibration = _calibrate(bundle)
+    report = run_differential_audit(
+        bundle, platform,
+        engine_names=args.engines,
+        seeds=tuple(range(args.seed, args.seed + args.seeds)),
+        prompt_len=args.input_len,
+        max_new_tokens=args.output_len,
+        expert_cache_ratio=args.ecr,
+        calibration_probs=calibration,
+    )
+    print(format_table(
+        ["engine", "seed", "identical", "divergent", "mispredicted",
+         "audit"],
+        report.rows(),
+        title=f"audit vs {report.oracle}: {args.model}, "
+              f"{args.seeds} seed(s), in/out "
+              f"{args.input_len}/{args.output_len}, ECR {args.ecr:.1%}",
+    ))
+    if not report.ok:
+        for problem in report.problems:
+            print(f"AUDIT FAILURE: {problem}")
+        return 1
+    print(f"audit ok: {len(report.comparisons)} comparison(s), "
+          f"{len(report.oracle_audits)} oracle audit(s)")
+    return 0
+
+
 def cmd_lint(args) -> int:
     """Run the daoplint static analyzer (see docs/linting.md)."""
     from repro.lint.runner import main as lint_main
@@ -449,6 +483,20 @@ def build_parser() -> argparse.ArgumentParser:
     p_trace.add_argument("--output", default=None,
                          help="write a Chrome trace JSON here")
     p_trace.set_defaults(func=cmd_trace)
+
+    p_audit = sub.add_parser(
+        "audit", help="cross-engine differential + invariant audit"
+    )
+    _add_common(p_audit)
+    p_audit.add_argument("--engines", nargs="+", default=None,
+                         choices=ENGINE_NAMES,
+                         help="engines to audit (default: all but the "
+                              "oracle)")
+    p_audit.add_argument("--seeds", type=int, default=3,
+                         help="number of seeded prompts in the matrix")
+    p_audit.add_argument("--input-len", type=int, default=16)
+    p_audit.add_argument("--output-len", type=int, default=12)
+    p_audit.set_defaults(func=cmd_audit)
 
     p_lint = sub.add_parser(
         "lint", help="daoplint: AST-based invariant checker"

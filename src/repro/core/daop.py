@@ -119,6 +119,15 @@ class DAOPEngine(BaseEngine):
         self._decode_steps = 0
         self._pending_uploads: dict[tuple[int, int], Op] = {}
 
+    @property
+    def pending_upload_keys(self) -> tuple[tuple[int, int], ...]:
+        """In-flight decode-migration uploads as ``(block, expert)`` keys.
+
+        Every key must name a GPU-resident expert: a swap-out purges its
+        pending upload (audited by :mod:`repro.audit.invariants`).
+        """
+        return tuple(sorted(self._pending_uploads))
+
     # ---- prefill: Algorithm 1 ---------------------------------------------------
 
     def _prepare_prefill_block(self, ctx: _SequenceContext, block_idx: int,
@@ -177,10 +186,14 @@ class DAOPEngine(BaseEngine):
         counts = np.zeros(
             (self.model.n_blocks, self.model.n_experts), dtype=np.float64
         )
-        for event in ctx.trace.events:
-            if event.phase == DECODE and event.token_pos == ctx.position - 1:
-                for expert in event.experts:
-                    counts[event.block, expert] += 1.0
+        # The current token's events sit at the tail of the trace (one per
+        # block, appended by this decode step), so an O(n_blocks) reverse
+        # scan collects them without re-reading the whole history.
+        for event in reversed(ctx.trace.events):
+            if event.phase != DECODE or event.token_pos != ctx.position - 1:
+                break
+            for expert in event.experts:
+                counts[event.block, expert] += 1.0
         self._decode_window.append(counts)
         self._decode_steps += 1
         if self._decode_steps % self.decode_realloc_interval != 0:
@@ -197,6 +210,11 @@ class DAOPEngine(BaseEngine):
             ][: self.decode_realloc_max_swaps_per_block]
             for plan in plans:
                 self._drop_expert(block_idx, plan.cold_expert)
+                # The swapped-out expert's weights are no longer resident:
+                # any still-pending upload of it must not survive as a
+                # dependency for a future activation.
+                self._pending_uploads.pop((block_idx, plan.cold_expert),
+                                          None)
                 up = self._upload_expert(
                     ctx, block_idx, plan.hot_expert, [done]
                 )

@@ -78,10 +78,16 @@ class GenerationStats:
 
     @property
     def decode_tokens_per_second(self) -> float:
-        """Decode-phase generated tokens per simulated second."""
-        if self.decode_time_s <= 0:
+        """Decode-phase generated tokens per simulated second.
+
+        The first generated token comes from the *prefill* logits, so a
+        generation of ``n_generated`` tokens runs only ``n_generated - 1``
+        decode steps; dividing by that count matches
+        :attr:`repro.serving.simulator.ServedRequest.tpot_s`.
+        """
+        if self.decode_time_s <= 0 or self.n_generated <= 1:
             return 0.0
-        return self.n_generated / self.decode_time_s
+        return (self.n_generated - 1) / self.decode_time_s
 
     @property
     def tokens_per_kilojoule(self) -> float:
@@ -456,8 +462,11 @@ class BaseEngine:
                 y, op = self._expert_cpu(ctx, block_idx, expert, x, expert_deps)
             ops.append(op)
             for row, t in enumerate(token_idx):
-                slot = int(np.nonzero(mask[t])[0][0])
-                outs[t, slot] = y[row]
+                # A router can only select an expert once per token, but a
+                # hand-built (or degraded) selection may repeat an id; every
+                # matching slot gets the output so its weight is honored.
+                for slot in np.nonzero(mask[t])[0]:
+                    outs[t, int(slot)] = y[row]
         h_out = block.combine(h_att, outs, weights)
         return h_out, ops
 

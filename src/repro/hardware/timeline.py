@@ -35,6 +35,9 @@ class Op:
         end: completion time in simulated seconds.
         label: human-readable op label (Gantt/Chrome-trace rendering).
         kind: op category used by analysis and energy attribution.
+        dep_indices: indices of the ops this op waited on (the explicit
+            dependency edges given at submission; lane FIFO ordering is
+            implicit and not recorded here).
     """
 
     index: int
@@ -44,6 +47,7 @@ class Op:
     end: float
     label: str = ""
     kind: str = ""
+    dep_indices: tuple[int, ...] = ()
 
     def __hash__(self) -> int:
         return self.index
@@ -77,6 +81,7 @@ class Timeline:
             end=ready + duration,
             label=label,
             kind=kind,
+            dep_indices=tuple(d.index for d in deps) if deps else (),
         )
         self.ops.append(op)
         self._resource_free[resource] = op.end

@@ -11,6 +11,9 @@ Rule families (see ``docs/linting.md`` for the paper justification):
   consistency, and units on hardware-model dataclass fields.
 - :mod:`repro.lint.rules.timeline` (TL00x) -- the timeline op record is
   append-only and owned by repro.hardware.
+- :mod:`repro.lint.rules.docs_sync` (DOC001/NUM001) -- registered
+  engines stay documented in the architecture taxonomy, and golden
+  tests compare floats through ``pytest.approx``.
 """
 
 from repro.lint.rules.api_hygiene import (
@@ -23,6 +26,10 @@ from repro.lint.rules.determinism import (
     StdlibRandomRule,
     UnseededNumpyRule,
     WallClockRule,
+)
+from repro.lint.rules.docs_sync import (
+    EngineTaxonomyDocRule,
+    FloatEqualityRule,
 )
 from repro.lint.rules.engine_contract import (
     BaselineMigrationRule,
@@ -37,6 +44,8 @@ __all__ = [
     "ExportDriftRule",
     "FieldUnitsRule",
     "ModuleDocstringRule",
+    "EngineTaxonomyDocRule",
+    "FloatEqualityRule",
     "StdlibRandomRule",
     "UnseededNumpyRule",
     "WallClockRule",

@@ -1,0 +1,154 @@
+"""Docs-sync rules: registered engines documented, golden tests tolerant.
+
+Two drift failure modes this family closes:
+
+- DOC001: an engine gets registered in ``repro.core`` (``ENGINE_NAMES``
+  / ``build_engine``) without a row in the engine-taxonomy table of
+  ``docs/architecture.md``, so the comparison docs silently rot.
+- NUM001: a golden-regression test compares floats with bare ``==`` /
+  ``!=``; simulated times are sums of many float64 durations, so golden
+  pins must use ``pytest.approx`` (a reordered-but-equivalent schedule
+  would otherwise fail on the last ulp).
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+
+from repro.lint.registry import LintContext, Rule, register
+
+#: Test files whose comparisons pin golden floating-point baselines.
+GOLDEN_TEST_FILES = ("test_golden_regression.py",)
+
+
+def _architecture_doc() -> str | None:
+    """Text of ``docs/architecture.md``, or None outside a repo checkout.
+
+    The doc lives next to the source tree, not inside the installed
+    package, so a site-packages install (or a virtual ``lint_source``
+    path) simply skips the check.
+    """
+    package = Path(__file__).resolve().parents[2]
+    for root in (package.parent.parent, package.parent):
+        doc = root / "docs" / "architecture.md"
+        if doc.is_file():
+            return doc.read_text(encoding="utf-8")
+    return None
+
+
+def taxonomy_engine_names(markdown: str) -> set:
+    """First-column cells of every markdown table row in the doc."""
+    names = set()
+    for line in markdown.splitlines():
+        stripped = line.strip()
+        if not stripped.startswith("|"):
+            continue
+        cells = [cell.strip() for cell in stripped.strip("|").split("|")]
+        if cells and cells[0] and not set(cells[0]) <= {"-", ":"}:
+            names.add(cells[0].strip("`"))
+    return names
+
+
+def _registered_engine_literals(tree: ast.Module):
+    """(name, node) for every engine-name string the registry declares.
+
+    Collects the ``ENGINE_NAMES`` tuple elements plus every string
+    compared against ``name`` inside ``build_engine`` so a branch added
+    without updating the tuple is still caught.
+    """
+    out = []
+    for node in tree.body:
+        if isinstance(node, ast.Assign) and any(
+            isinstance(t, ast.Name) and t.id == "ENGINE_NAMES"
+            for t in node.targets
+        ) and isinstance(node.value, (ast.Tuple, ast.List)):
+            out.extend(
+                (elt.value, elt) for elt in node.value.elts
+                if isinstance(elt, ast.Constant)
+                and isinstance(elt.value, str)
+            )
+        if isinstance(node, ast.FunctionDef) \
+                and node.name == "build_engine":
+            for sub in ast.walk(node):
+                if not isinstance(sub, ast.Compare):
+                    continue
+                operands = [sub.left] + list(sub.comparators)
+                if not any(isinstance(o, ast.Name) and o.id == "name"
+                           for o in operands):
+                    continue
+                out.extend(
+                    (o.value, o) for o in operands
+                    if isinstance(o, ast.Constant)
+                    and isinstance(o.value, str)
+                )
+    return out
+
+
+@register
+class EngineTaxonomyDocRule(Rule):
+    """Every registered engine needs a row in the architecture taxonomy."""
+
+    name = "engine-taxonomy-doc"
+    code = "DOC001"
+    description = ("every engine registered in repro.core (ENGINE_NAMES/"
+                   "build_engine) must have a row in the "
+                   "docs/architecture.md taxonomy table")
+
+    def check(self, ctx: LintContext):
+        """Flag registered engine names absent from the taxonomy table."""
+        if ctx.rel != ("core", "__init__.py"):
+            return
+        literals = _registered_engine_literals(ctx.tree)
+        if not literals:
+            return
+        doc = _architecture_doc()
+        if doc is None:
+            return
+        documented = taxonomy_engine_names(doc)
+        seen = set()
+        for engine, node in literals:
+            if engine in documented or engine in seen:
+                continue
+            seen.add(engine)
+            yield self.diag(
+                ctx, node,
+                f"engine {engine!r} is registered but has no row in the "
+                "docs/architecture.md engine-taxonomy table",
+            )
+
+
+def _is_float_literal(node) -> bool:
+    """Whether the AST node is a float constant (unary minus included)."""
+    if isinstance(node, ast.UnaryOp) \
+            and isinstance(node.op, (ast.USub, ast.UAdd)):
+        node = node.operand
+    return isinstance(node, ast.Constant) and isinstance(node.value, float)
+
+
+@register
+class FloatEqualityRule(Rule):
+    """Golden baselines must compare floats through a tolerance."""
+
+    name = "float-equality"
+    code = "NUM001"
+    description = ("golden-regression tests must not compare float "
+                   "literals with bare ==/!=; use pytest.approx")
+
+    def check(self, ctx: LintContext):
+        """Flag exact ==/!= comparisons against float literals."""
+        if not ctx.rel or ctx.rel[-1] not in GOLDEN_TEST_FILES:
+            return
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Compare):
+                continue
+            if not any(isinstance(op, (ast.Eq, ast.NotEq))
+                       for op in node.ops):
+                continue
+            operands = [node.left] + list(node.comparators)
+            if any(_is_float_literal(o) for o in operands):
+                yield self.diag(
+                    ctx, node,
+                    "bare ==/!= against a float literal in a golden "
+                    "test; wrap the expectation in pytest.approx",
+                )

@@ -12,7 +12,7 @@ Layer ranks (a package may import strictly lower ranks, plus itself)::
     1  hardware, workloads
     2  memory, trace
     3  core, lint
-    4  analysis, eval, metrics, serving
+    4  analysis, audit, eval, metrics, serving
     5  cluster
     6  cli
 
@@ -39,6 +39,7 @@ LAYERS = {
     "core": 3,
     "lint": 3,
     "analysis": 4,
+    "audit": 4,
     "eval": 4,
     "metrics": 4,
     "serving": 4,
@@ -63,7 +64,7 @@ class ImportLayeringRule(Rule):
     code = "LAY001"
     description = ("package imports must follow the layer DAG "
                    "model/hardware/memory/trace -> core -> "
-                   "serving/eval/analysis/metrics -> cluster -> cli")
+                   "serving/eval/analysis/audit/metrics -> cluster -> cli")
 
     def check(self, ctx: LintContext):
         """Flag imports of a same-or-higher-layer repro package."""

@@ -34,6 +34,9 @@ def summarize_results(engine_name: str,
     if not results:
         raise ValueError("no results to summarize")
     total_tokens = sum(r.stats.n_generated for r in results)
+    # The first token of each generation comes from prefill logits, so the
+    # decode window only produced n_generated - 1 tokens per sequence.
+    decode_tokens = sum(max(r.stats.n_generated - 1, 0) for r in results)
     total_time = sum(r.stats.total_time_s for r in results)
     total_decode = sum(r.stats.decode_time_s for r in results)
     total_kj = sum(r.stats.energy.total_kj for r in results)
@@ -43,7 +46,7 @@ def summarize_results(engine_name: str,
         n_sequences=len(results),
         tokens_per_second=total_tokens / total_time if total_time else 0.0,
         decode_tokens_per_second=(
-            total_tokens / total_decode if total_decode else 0.0
+            decode_tokens / total_decode if total_decode else 0.0
         ),
         tokens_per_kilojoule=total_tokens / total_kj if total_kj else 0.0,
         average_power_w=total_j / total_time if total_time else 0.0,

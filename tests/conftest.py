@@ -42,6 +42,25 @@ def rng():
     return np.random.default_rng(1234)
 
 
+@pytest.fixture(scope="session")
+def audit_result():
+    """Post-hoc invariant audit: ``audit_result(engine, result)``.
+
+    Runs :func:`repro.audit.audit_generation` on a finished generation
+    (timeline causality, counter conservation, upload/placement
+    bookkeeping, energy consistency, divergence provenance) and fails
+    the test with the formatted report if any invariant is violated.
+    """
+    from repro.audit import audit_generation
+
+    def _audit(engine, result, platform=None):
+        report = audit_generation(engine, result, platform=platform)
+        assert report.ok, report.format()
+        return report
+
+    return _audit
+
+
 @pytest.fixture()
 def engine_contracts():
     """Opt-in runtime contracts: ``engine_contracts(engine, **kwargs)``.

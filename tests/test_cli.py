@@ -94,3 +94,18 @@ def test_serve_cluster(tmp_path, capsys):
 def test_serve_cluster_rejects_unknown_policy():
     with pytest.raises(SystemExit):
         main(["serve-cluster", *TINY, "--policies", "random"])
+
+
+def test_audit(capsys):
+    rc = main(["audit", *TINY, "--engines", "fiddler", "daop",
+               "--seeds", "2", "--input-len", "10", "--output-len", "6"])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "audit vs official" in out
+    assert "fiddler" in out and "daop" in out
+    assert "audit ok" in out
+
+
+def test_audit_rejects_unknown_engine():
+    with pytest.raises(SystemExit):
+        main(["audit", *TINY, "--engines", "vllm"])

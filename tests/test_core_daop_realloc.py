@@ -96,6 +96,64 @@ def test_realloc_improves_hit_rate_under_drift(tiny_bundle, platform,
     assert hits[8] > hits[None]
 
 
+def test_decode_window_matches_trace(tiny_bundle, platform,
+                                     tiny_calibration, drifty_sequences):
+    """The O(n_blocks) tail scan must count exactly the trace's events.
+
+    Re-derives the sliding activation window from the recorded trace and
+    checks the engine's incrementally maintained window agrees.
+    """
+    engine = make(tiny_bundle, platform, tiny_calibration,
+                  decode_realloc_interval=8, decode_realloc_window=6)
+    seq = drifty_sequences[0]
+    result = engine.generate(seq.prompt_tokens, 16,
+                             forced_tokens=seq.continuation_tokens)
+    per_token = {}
+    for event in result.trace.events:
+        if event.phase != "decode":
+            continue
+        counts = per_token.setdefault(
+            event.token_pos,
+            np.zeros((engine.model.n_blocks, engine.model.n_experts)),
+        )
+        for expert in event.experts:
+            counts[event.block, expert] += 1.0
+    expected = [per_token[pos] for pos in sorted(per_token)][-6:]
+    window = list(engine._decode_window)
+    assert len(window) == len(expected)
+    for got, want in zip(window, expected):
+        np.testing.assert_array_equal(got, want)
+
+
+def test_pending_uploads_stay_gpu_resident(tiny_bundle, platform,
+                                           tiny_calibration,
+                                           drifty_sequences):
+    """A swap-out must purge any in-flight upload of the evicted expert."""
+    engine = make(tiny_bundle, platform, tiny_calibration,
+                  decode_realloc_interval=4)
+    for seq in drifty_sequences:
+        engine.generate(seq.prompt_tokens, 24,
+                        forced_tokens=seq.continuation_tokens)
+        for block, expert in engine.pending_upload_keys:
+            assert engine.placement.is_on_gpu(block, expert), (
+                f"pending upload for E{expert}@B{block} references a "
+                "non-resident expert"
+            )
+
+
+def test_realloc_passes_invariant_audit(tiny_bundle, platform,
+                                        tiny_calibration, drifty_sequences,
+                                        audit_result):
+    """Decode-phase migration must still satisfy every audited invariant."""
+    engine = make(tiny_bundle, platform, tiny_calibration,
+                  decode_realloc_interval=4)
+    seq = drifty_sequences[1]
+    result = engine.generate(seq.prompt_tokens, 24,
+                             forced_tokens=seq.continuation_tokens)
+    assert result.stats.counters.decode_swaps > 0
+    audit_result(engine, result, platform=platform)
+
+
 def test_realloc_uploads_depend_on_decode_progress(tiny_bundle, platform,
                                                    tiny_calibration,
                                                    drifty_sequences):

@@ -118,3 +118,48 @@ def test_custom_sampler_used(tiny_bundle, platform, sequence):
     result = engine.generate(sequence.prompt_tokens, 3,
                              sampler=lambda logits: 42)
     np.testing.assert_array_equal(result.tokens, [42, 42, 42])
+
+
+def test_duplicate_expert_ids_fill_every_slot(tiny_bundle, platform):
+    """A hand-built selection repeating an expert id must honor both
+    weight slots (real routers never emit duplicates -- see
+    test_model_gating -- but degraded selections may).
+    """
+    from repro.core.engine import _SequenceContext
+    from repro.hardware.timeline import Timeline
+    from repro.trace.recorder import ActivationTrace
+
+    def fresh_ctx(engine):
+        from repro.core.engine import EngineCounters
+
+        engine.placement = engine.initial_placement.copy()
+        return _SequenceContext(
+            caches=engine.model.new_caches(),
+            timeline=Timeline(),
+            trace=ActivationTrace(engine.model.n_blocks,
+                                  engine.model.n_experts),
+            counters=EngineCounters(),
+        )
+
+    engine = build_engine("official", tiny_bundle, platform,
+                          expert_cache_ratio=1.0)
+    rng = np.random.default_rng(7)
+    h_att = rng.standard_normal(
+        (2, tiny_bundle.model.profile.sim.d_model)
+    ).astype(np.float32)
+    dup_experts = np.array([[1, 1], [1, 1]])
+
+    ctx = fresh_ctx(engine)
+    h_dup, ops = engine._execute_experts_at_location(
+        ctx, 0, h_att, dup_experts, np.array([[0.6, 0.4], [0.3, 0.7]]), []
+    )
+    # One op per *unique* expert, matching counter-conservation.
+    assert len(ops) == 1
+
+    # Both slots hold the same expert output, so the duplicate pair must
+    # combine exactly like the full weight on a single slot.
+    ctx = fresh_ctx(engine)
+    h_full, _ = engine._execute_experts_at_location(
+        ctx, 0, h_att, dup_experts, np.array([[1.0, 0.0], [1.0, 0.0]]), []
+    )
+    np.testing.assert_allclose(h_dup, h_full, rtol=1e-5)

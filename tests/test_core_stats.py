@@ -27,7 +27,16 @@ def test_decode_time():
 def test_tokens_per_second():
     stats = make_stats()
     assert stats.tokens_per_second == pytest.approx(8 / 5.0)
-    assert stats.decode_tokens_per_second == pytest.approx(8 / 4.0)
+    # The first generated token comes from the prefill logits, so only
+    # n_generated - 1 tokens are produced by decode steps (matches
+    # ServedRequest.tpot_s).
+    assert stats.decode_tokens_per_second == pytest.approx(7 / 4.0)
+
+
+def test_decode_tps_single_token():
+    # One generated token means zero decode steps: rate is defined as 0.
+    stats = make_stats(n_generated=1)
+    assert stats.decode_tokens_per_second == 0.0
 
 
 def test_tokens_per_kilojoule():

@@ -20,7 +20,7 @@ DECODE = 16
 
 
 @pytest.fixture(scope="module")
-def summaries(tiny_bundle, platform, tiny_calibration):
+def summaries(tiny_bundle, platform, tiny_calibration, audit_result):
     gen = SequenceGenerator(C4, tiny_bundle.vocab, seed=31)
     sequences = [gen.sample_sequence(PROMPT, DECODE, sample_idx=i)
                  for i in range(N_SEQ)]
@@ -29,11 +29,14 @@ def summaries(tiny_bundle, platform, tiny_calibration):
                  "mixtral-offloading", "fiddler", "pregated-moe", "daop"):
         engine = build_engine(name, tiny_bundle, platform, ECR,
                               tiny_calibration)
-        results = [
-            engine.generate(s.prompt_tokens, DECODE,
-                            forced_tokens=s.continuation_tokens)
-            for s in sequences
-        ]
+        results = []
+        for s in sequences:
+            result = engine.generate(s.prompt_tokens, DECODE,
+                                     forced_tokens=s.continuation_tokens)
+            # Audit while the engine still holds this generation's
+            # placement state (the next generate() resets it).
+            audit_result(engine, result, platform=platform)
+            results.append(result)
         out[name] = summarize_results(name, results)
     return out
 

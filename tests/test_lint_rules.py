@@ -24,7 +24,7 @@ def test_registry_exposes_all_rule_families():
     registered = {rule.code for rule in all_rules()}
     assert {"DET001", "DET002", "DET003", "LAY001", "ENG001", "ENG002",
             "ENG003", "API001", "API002", "API003", "API004",
-            "TL001"} <= registered
+            "TL001", "DOC001", "NUM001"} <= registered
     assert get_rule("stdlib-random").code == "DET001"
     assert get_rule("DET001").name == "stdlib-random"
     assert get_rule("timeline-ops-mutation").code == "TL001"
@@ -336,3 +336,93 @@ def test_unrelated_attribute_mutation_allowed():
     diags = lint('"""Doc."""\nqueue.items.append(3)\nqueue.items = []\n',
                  select=["timeline-ops-mutation"])
     assert diags == []
+
+
+# ---- docs sync ----------------------------------------------------------------
+
+CORE_INIT = "src/repro/core/__init__.py"
+GOLDEN = "tests/test_golden_regression.py"
+
+
+def test_undocumented_engine_flagged():
+    source = '''\
+        """Doc."""
+        ENGINE_NAMES = ("official", "totally-new-engine")
+        '''
+    diags = lint(source, path=CORE_INIT, select=["engine-taxonomy-doc"])
+    assert codes(diags) == {"DOC001"}
+    assert "totally-new-engine" in diags[0].message
+    assert len(diags) == 1  # "official" has a taxonomy row
+
+
+def test_undocumented_build_engine_branch_flagged():
+    source = '''\
+        """Doc."""
+        ENGINE_NAMES = ("official",)
+
+        def build_engine(name):
+            """Doc."""
+            if name == "sneaky-branch-engine":
+                return object()
+        '''
+    diags = lint(source, path=CORE_INIT, select=["engine-taxonomy-doc"])
+    assert codes(diags) == {"DOC001"}
+    assert "sneaky-branch-engine" in diags[0].message
+
+
+def test_documented_engines_clean():
+    from repro.lint import lint_paths
+
+    report = lint_paths(["src/repro/core/__init__.py"],
+                        select=["engine-taxonomy-doc"])
+    assert report.diagnostics == []
+
+
+def test_taxonomy_rule_scoped_to_core_init():
+    source = '"""Doc."""\nENGINE_NAMES = ("bogus",)\n'
+    assert lint(source, path=CORE, select=["engine-taxonomy-doc"]) == []
+
+
+def test_float_equality_flagged_in_golden_tests():
+    source = '''\
+        """Doc."""
+
+        def test_time():
+            """Doc."""
+            assert summary.total_time_s == 1.2345
+        '''
+    diags = lint(source, path=GOLDEN, select=["float-equality"])
+    assert codes(diags) == {"NUM001"}
+
+
+def test_float_inequality_and_negative_literal_flagged():
+    diags = lint('"""Doc."""\nok = x != -0.5\n', path=GOLDEN,
+                 select=["float-equality"])
+    assert codes(diags) == {"NUM001"}
+
+
+def test_approx_and_int_comparisons_clean():
+    source = '''\
+        """Doc."""
+        import pytest
+
+        def test_time():
+            """Doc."""
+            assert summary.total_time_s == pytest.approx(1.2345)
+            assert summary.expert_uploads == 3
+            assert 0.5 < summary.ratio
+        '''
+    assert lint(source, path=GOLDEN, select=["float-equality"]) == []
+
+
+def test_float_equality_scoped_to_golden_tests():
+    assert lint('"""Doc."""\nok = x == 1.5\n', path=CORE,
+                select=["float-equality"]) == []
+
+
+def test_real_golden_test_file_is_tolerant():
+    from repro.lint import lint_paths
+
+    report = lint_paths(["tests/test_golden_regression.py"],
+                        select=["float-equality"])
+    assert report.diagnostics == []

@@ -75,3 +75,21 @@ def test_1d_input_promoted(router, rng):
     x = rng.standard_normal(16)
     decision = router.route(x)
     assert decision.experts.shape == (1, 2)
+
+
+def test_topk_selection_never_repeats_an_expert(rng):
+    """argsort top-k yields k *distinct* experts for every token.
+
+    The engines' combine step relies on this (a duplicate id would mean
+    one expert claiming two weight slots); the property must hold even
+    with heavily tied logits.
+    """
+    router = Router(d_model=16, n_experts=4, top_k=3, rng=rng)
+    x = rng.standard_normal((256, 16))
+    decision = router.route(x)
+    for row in decision.experts:
+        assert len(set(row.tolist())) == len(row)
+    # Ties everywhere: identical logits still route to distinct experts.
+    tied = router.route_from_logits(np.zeros((8, 4)))
+    for row in tied.experts:
+        assert len(set(row.tolist())) == len(row)
