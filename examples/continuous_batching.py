@@ -1,0 +1,85 @@
+#!/usr/bin/env python
+"""Interleave several requests on one engine with continuous batching.
+
+The paper serves one request at a time; this example drives the engine
+core's resumable step machine (``start``/``step``/``finish``) through
+:class:`repro.sched.ContinuousBatchScheduler` so several sequences share
+the four hardware lanes at once.  Admission is FIFO and stepping is
+round-robin, so the decode of one request proceeds while the next
+request's prefill is in flight.  The lane clocks are forward-only (the
+substrate's FIFO list scheduling), so batching does not shrink total
+lane-busy time -- what it buys is concurrency: later requests stop
+waiting for earlier ones to fully finish, which collapses time to first
+token and queueing delay.
+
+Run:  python examples/continuous_batching.py
+"""
+
+from repro import build_mixtral_8x7b_sim, default_platform
+from repro.core import build_engine, calibrate_activation_probs
+from repro.core.engine import SequenceRequest
+from repro.metrics import format_table
+from repro.sched import ContinuousBatchScheduler
+from repro.workloads import SHAREGPT, SequenceGenerator
+
+N_REQUESTS = 6
+PROMPT_LEN = 48
+OUTPUT_LEN = 32
+BATCH_SIZES = (1, 2, 4)
+
+
+def main() -> None:
+    bundle = build_mixtral_8x7b_sim(seed=0, n_blocks=16)
+    platform = default_platform()
+    calibration = calibrate_activation_probs(
+        bundle, n_sequences=4, prompt_len=24, decode_len=24
+    )
+
+    generator = SequenceGenerator(SHAREGPT, bundle.vocab, seed=9)
+    requests = []
+    for i in range(N_REQUESTS):
+        sequence = generator.sample_sequence(PROMPT_LEN, OUTPUT_LEN,
+                                             sample_idx=i)
+        requests.append(SequenceRequest(
+            prompt_tokens=sequence.prompt_tokens,
+            max_new_tokens=OUTPUT_LEN,
+            forced_tokens=sequence.continuation_tokens,
+            seq_id=i,
+        ))
+
+    rows = []
+    for batch_size in BATCH_SIZES:
+        engine = build_engine("daop", bundle, platform,
+                              expert_cache_ratio=0.469,
+                              calibration_probs=calibration)
+        scheduler = ContinuousBatchScheduler(engine, max_batch=batch_size)
+        report = scheduler.run(requests)
+        rows.append([
+            batch_size,
+            report.makespan_s,
+            report.sum_solo_makespans_s,
+            f"{100 * report.overlap_ratio:.0f}%",
+            report.mean_ttft_s(),
+            report.mean_tpot_s(),
+        ])
+        print(f"served {N_REQUESTS} requests at max_batch={batch_size} ...")
+
+    print()
+    print(format_table(
+        ["batch", "makespan (s)", "sum spans (s)", "overlap",
+         "mean TTFT (s)", "mean TPOT (s)"],
+        rows,
+        title=f"DAOP continuous batching: {N_REQUESTS} requests, "
+              f"in/out {PROMPT_LEN}/{OUTPUT_LEN}",
+    ))
+    print()
+    print("Expected shape: at batch 1 the service spans tile the makespan")
+    print("(overlap 0%); at batch 4 several sequences are resident at once,")
+    print("so mean TTFT drops sharply while the makespan stays pinned by")
+    print("the serialized lane work.  Per-sequence TPOT rises with batch")
+    print("size -- the classic continuous-batching latency/concurrency")
+    print("trade-off.")
+
+
+if __name__ == "__main__":
+    main()

@@ -17,9 +17,12 @@ from repro.audit.differential import (
     BlockDivergence,
     DifferentialReport,
     EngineComparison,
+    StepParityComparison,
+    StepParityReport,
     block_divergence_accounting,
     compare_token_streams,
     run_differential_audit,
+    run_step_parity_audit,
 )
 from repro.audit.invariants import (
     EXPERT_OP_KINDS,
@@ -44,9 +47,12 @@ __all__ = [
     "BlockDivergence",
     "DifferentialReport",
     "EngineComparison",
+    "StepParityComparison",
+    "StepParityReport",
     "block_divergence_accounting",
     "compare_token_streams",
     "run_differential_audit",
+    "run_step_parity_audit",
     "EXPERT_OP_KINDS",
     "TIME_TOLERANCE_S",
     "AuditReport",

@@ -14,6 +14,14 @@ oracle over a seeded prompt matrix and asserts exactly that, with
 per-block divergence accounting (how many decode events each block
 predicted and mispredicted) and a full invariant audit
 (:mod:`repro.audit.invariants`) of every generation produced.
+
+:func:`run_step_parity_audit` guards the step-machine refactor itself:
+for every engine, one sequence driven through the explicit
+``start``/``step``/``finish`` API and one driven through the
+batch-1 :class:`~repro.sched.scheduler.ContinuousBatchScheduler` must
+reproduce the monolithic ``generate()`` run exactly — same tokens, same
+counters, same makespan — and the scheduler-produced result must pass
+the full invariant audit.
 """
 
 from __future__ import annotations
@@ -24,9 +32,10 @@ import numpy as np
 
 from repro.audit.invariants import AuditReport, audit_generation
 from repro.core import ENGINE_NAMES, build_engine
-from repro.core.engine import GenerationResult
+from repro.core.engine import GenerationResult, SequenceRequest
 from repro.hardware.platform import Platform
 from repro.model.zoo import ModelBundle
+from repro.sched.scheduler import ContinuousBatchScheduler
 from repro.trace.recorder import DECODE
 from repro.workloads import C4, SequenceGenerator
 
@@ -288,4 +297,140 @@ def run_differential_audit(
                 _compare(engine, name, int(seed), oracle_result, result,
                          audit_invariants)
             )
+    return report
+
+
+@dataclass
+class StepParityComparison:
+    """One engine's step-path runs vs its monolithic ``generate()``."""
+
+    engine: str
+    seed: int
+    problems: list = field(default_factory=list)
+    audit: AuditReport | None = None
+
+    @property
+    def ok(self) -> bool:
+        """Whether both step paths reproduced ``generate()`` exactly."""
+        return not self.problems and (self.audit is None or self.audit.ok)
+
+
+@dataclass
+class StepParityReport:
+    """Aggregated outcome of a step-parity audit run."""
+
+    comparisons: list = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        """Whether every engine passed on every seed."""
+        return all(c.ok for c in self.comparisons)
+
+    @property
+    def problems(self) -> list:
+        """Every problem string, prefixed with engine/seed."""
+        out = []
+        for c in self.comparisons:
+            prefix = f"{c.engine}/seed{c.seed}"
+            out.extend(f"{prefix}: {p}" for p in c.problems)
+            if c.audit is not None:
+                out.extend(f"{prefix}: {v.format()}"
+                           for v in c.audit.violations)
+        return out
+
+    def format(self) -> str:
+        """Multi-line human-readable summary of the whole run."""
+        lines = [
+            f"step-parity audit: {len(self.comparisons)} comparison(s), "
+            f"{'all ok' if self.ok else 'FAILURES'}"
+        ]
+        lines.extend(f"  {p}" for p in self.problems)
+        return "\n".join(lines)
+
+
+def _check_parity(comparison: StepParityComparison, path: str,
+                  reference: GenerationResult,
+                  candidate: GenerationResult) -> None:
+    """Assert one step-path result reproduces ``generate()`` exactly."""
+    if not np.array_equal(reference.tokens, candidate.tokens):
+        comparison.problems.append(
+            f"{path}: token stream differs from generate()"
+        )
+    if reference.stats.counters != candidate.stats.counters:
+        comparison.problems.append(
+            f"{path}: EngineCounters differ from generate()"
+        )
+    for attr in ("prefill_time_s", "total_time_s"):
+        ref = getattr(reference.stats, attr)
+        got = getattr(candidate.stats, attr)
+        if ref != got:
+            comparison.problems.append(
+                f"{path}: {attr} {got!r} != generate()'s {ref!r}"
+            )
+    if reference.timeline.makespan != candidate.timeline.makespan:
+        comparison.problems.append(
+            f"{path}: makespan {candidate.timeline.makespan!r} != "
+            f"generate()'s {reference.timeline.makespan!r}"
+        )
+    if len(reference.timeline.ops) != len(candidate.timeline.ops):
+        comparison.problems.append(
+            f"{path}: op count {len(candidate.timeline.ops)} != "
+            f"generate()'s {len(reference.timeline.ops)}"
+        )
+
+
+def run_step_parity_audit(
+    bundle: ModelBundle,
+    platform: Platform,
+    engine_names=None,
+    seeds=(0,),
+    prompt_len: int = 16,
+    max_new_tokens: int = 8,
+    expert_cache_ratio: float = 0.5,
+    calibration_probs: np.ndarray | None = None,
+    dataset=C4,
+    audit_invariants: bool = True,
+) -> StepParityReport:
+    """Audit start/step/finish parity with ``generate()`` per engine.
+
+    For every engine and seed, the same request is run three ways: the
+    monolithic ``generate()``, an explicit ``start``/``step``/``finish``
+    loop, and a batch-1 :class:`ContinuousBatchScheduler`.  All three
+    must agree bitwise on tokens, counters, and timing; the
+    scheduler-produced result additionally passes the full invariant
+    audit (so scheduler output is interchangeable with ``generate()``
+    output everywhere downstream).
+    """
+    if engine_names is None:
+        engine_names = ENGINE_NAMES
+    report = StepParityReport()
+    for seed in seeds:
+        generator = SequenceGenerator(dataset, bundle.vocab,
+                                      seed=int(seed))
+        prompt = generator.sample_sequence(
+            prompt_len, 0, sample_idx=0
+        ).prompt_tokens
+        for name in engine_names:
+            engine = build_engine(name, bundle, platform,
+                                  expert_cache_ratio, calibration_probs)
+            comparison = StepParityComparison(engine=name, seed=int(seed))
+            reference = engine.generate(prompt, max_new_tokens)
+
+            state = engine.start(SequenceRequest(
+                prompt_tokens=prompt, max_new_tokens=max_new_tokens,
+            ))
+            while not state.done:
+                engine.step(state)
+            _check_parity(comparison, "start/step/finish",
+                          reference, engine.finish(state))
+
+            scheduler = ContinuousBatchScheduler(engine, max_batch=1)
+            batch = scheduler.run([SequenceRequest(
+                prompt_tokens=prompt, max_new_tokens=max_new_tokens,
+            )])
+            scheduled = batch.records[0].result
+            _check_parity(comparison, "scheduler@1", reference, scheduled)
+            if audit_invariants:
+                comparison.audit = audit_generation(engine, scheduled)
+            report.comparisons.append(comparison)
     return report

@@ -8,6 +8,7 @@ Subcommands::
     repro observe  [--dataset ...]     similarity + prediction statistics
     repro serve    [--rate ...]        request-level serving simulation
     repro serve-cluster [--policy ...] multi-replica cluster simulation
+    repro bench-batch [--batch-sizes ...] continuous-batching benchmark
     repro trace    [--engine ...]      schedule analysis + Chrome trace
     repro audit    [--engines ...]     differential + invariant audit
     repro lint     [paths ...]         daoplint static invariant checker
@@ -320,6 +321,71 @@ def cmd_serve_cluster(args) -> int:
     return 0
 
 
+def cmd_bench_batch(args) -> int:
+    """Benchmark continuous batching across batch sizes."""
+    import json
+
+    from repro.core.engine import SequenceRequest
+    from repro.hardware.timeline import GPU
+    from repro.sched import ContinuousBatchScheduler
+
+    bundle = _build(args)
+    platform = default_platform()
+    calibration = _calibrate(bundle)
+    rows = []
+    payload = {
+        "model": args.model,
+        "dataset": args.dataset,
+        "requests": args.requests,
+        "input_len": args.input_len,
+        "output_len": args.output_len,
+        "runs": [],
+    }
+    for name in args.engines:
+        generator = SequenceGenerator(
+            get_dataset(args.dataset), bundle.vocab, seed=args.seed + 8
+        )
+        requests = []
+        for i in range(args.requests):
+            sequence = generator.sample_sequence(
+                args.input_len, args.output_len, sample_idx=i
+            )
+            requests.append(SequenceRequest(
+                prompt_tokens=sequence.prompt_tokens,
+                max_new_tokens=args.output_len,
+                forced_tokens=sequence.continuation_tokens,
+                seq_id=i,
+            ))
+        for batch_size in args.batch_sizes:
+            engine = build_engine(name, bundle, platform,
+                                  expert_cache_ratio=args.ecr,
+                                  calibration_probs=calibration)
+            scheduler = ContinuousBatchScheduler(engine,
+                                                 max_batch=batch_size)
+            report = scheduler.run(requests)
+            rows.append([
+                name, batch_size,
+                report.makespan_s, report.sum_solo_makespans_s,
+                f"{100 * report.overlap_ratio:.1f}%",
+                report.throughput_tokens_per_s,
+                report.mean_ttft_s(),
+                f"{100 * report.occupancy(GPU):.0f}%",
+            ])
+            payload["runs"].append(json.loads(report.to_json()))
+    print(format_table(
+        ["engine", "batch", "makespan (s)", "sum solo (s)", "overlap",
+         "tok/s", "mean TTFT (s)", "GPU busy"],
+        rows,
+        title=f"bench-batch: {args.requests} requests, in/out "
+              f"{args.input_len}/{args.output_len} ({args.dataset})",
+    ))
+    if args.json:
+        with open(args.json, "w") as handle:
+            handle.write(json.dumps(payload, indent=2, sort_keys=True))
+        print(f"batch report written to {args.json}")
+    return 0
+
+
 def cmd_trace(args) -> int:
     """Analyze one generation's schedule; optionally dump a Chrome trace."""
     bundle = _build(args)
@@ -349,8 +415,8 @@ def cmd_trace(args) -> int:
 
 
 def cmd_audit(args) -> int:
-    """Differential + invariant audit of every registered engine."""
-    from repro.audit import run_differential_audit
+    """Differential + invariant + step-parity audit of every engine."""
+    from repro.audit import run_differential_audit, run_step_parity_audit
 
     bundle = _build(args)
     platform = default_platform()
@@ -372,12 +438,23 @@ def cmd_audit(args) -> int:
               f"{args.seeds} seed(s), in/out "
               f"{args.input_len}/{args.output_len}, ECR {args.ecr:.1%}",
     ))
-    if not report.ok:
-        for problem in report.problems:
+    parity = run_step_parity_audit(
+        bundle, platform,
+        engine_names=args.engines,
+        seeds=(args.seed,),
+        prompt_len=args.input_len,
+        max_new_tokens=args.output_len,
+        expert_cache_ratio=args.ecr,
+        calibration_probs=calibration,
+    )
+    print(parity.format())
+    if not report.ok or not parity.ok:
+        for problem in report.problems + parity.problems:
             print(f"AUDIT FAILURE: {problem}")
         return 1
     print(f"audit ok: {len(report.comparisons)} comparison(s), "
-          f"{len(report.oracle_audits)} oracle audit(s)")
+          f"{len(report.oracle_audits)} oracle audit(s), "
+          f"{len(parity.comparisons)} step-parity comparison(s)")
     return 0
 
 
@@ -473,6 +550,24 @@ def build_parser() -> argparse.ArgumentParser:
                            help="write the last policy's ClusterReport "
                                 "JSON here")
     p_cluster.set_defaults(func=cmd_serve_cluster)
+
+    p_batch = sub.add_parser(
+        "bench-batch", help="continuous-batching benchmark"
+    )
+    _add_common(p_batch)
+    p_batch.add_argument("--engines", nargs="+",
+                         default=("fiddler", "daop"),
+                         choices=ENGINE_NAMES)
+    p_batch.add_argument("--dataset", default="sharegpt")
+    p_batch.add_argument("--requests", type=int, default=4)
+    p_batch.add_argument("--batch-sizes", nargs="+", type=int,
+                         default=(1, 2, 4),
+                         help="max_batch values to sweep")
+    p_batch.add_argument("--input-len", type=int, default=32)
+    p_batch.add_argument("--output-len", type=int, default=16)
+    p_batch.add_argument("--json", default=None,
+                         help="write the full batch report JSON here")
+    p_batch.set_defaults(func=cmd_bench_batch)
 
     p_trace = sub.add_parser("trace", help="schedule analysis")
     _add_common(p_trace)

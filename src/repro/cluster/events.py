@@ -116,15 +116,19 @@ class ReplicaState:
 
     Attributes:
         queue: FIFO of waiting request ids (bounded by admission control).
-        in_service: request id currently being served, or None if idle.
+        in_service: id of the request (for a gang dispatch: the first
+            request of the gang) currently being served, or None if idle.
+        in_flight: number of gang members still running; 0 outside gang
+            dispatch, where ``in_service`` alone tracks occupancy.
         busy_until: completion time (simulated seconds) of the in-flight
-            request; meaningful only while ``in_service`` is set.
+            work; meaningful only while ``in_service`` is set.
         busy_time_s: cumulative service time in simulated seconds.
         n_served: completed request count.
     """
 
     queue: deque = field(default_factory=deque)
     in_service: int | None = None
+    in_flight: int = 0
     busy_until: float = 0.0
     busy_time_s: float = 0.0
     n_served: int = 0
@@ -132,9 +136,10 @@ class ReplicaState:
     @property
     def idle(self) -> bool:
         """Whether no request is currently in service."""
-        return self.in_service is None
+        return self.in_service is None and self.in_flight == 0
 
     @property
     def backlog(self) -> int:
         """Waiting plus in-service request count (the JSQ load signal)."""
-        return len(self.queue) + (0 if self.idle else 1)
+        active = max(self.in_flight, 0 if self.in_service is None else 1)
+        return len(self.queue) + active

@@ -5,8 +5,12 @@ event loop over :mod:`repro.cluster.events`: arrivals are routed to a
 replica by the active :class:`~repro.cluster.routing.RoutingPolicy`
 (subject to :class:`~repro.cluster.admission.AdmissionController`
 bounds), dispatches start service on idle replicas, and completions free
-them.  Service times are each engine's *simulated* generation times, so
-the whole cluster trace stays in simulated seconds; everything is
+them.  A dispatch serves a *gang* of up to ``concurrency`` queued
+requests through the engine's resumable step machine (so one replica can
+overlap the decode of one request with the prefill of the next); at the
+default ``concurrency=1`` service is sequential, one request at a time.
+Service times are each engine's *simulated* generation times, so the
+whole cluster trace stays in simulated seconds; everything is
 deterministic given the arrival trace, the workload seed, and the
 policy.
 
@@ -44,8 +48,9 @@ from repro.cluster.report import (
     RejectedRequest,
 )
 from repro.cluster.routing import RoutingPolicy
-from repro.core.engine import BaseEngine
+from repro.core.engine import BaseEngine, SequenceRequest
 from repro.memory.placement import ExpertPlacement
+from repro.sched.scheduler import ContinuousBatchScheduler
 from repro.workloads.generator import SequenceGenerator
 
 
@@ -101,6 +106,13 @@ class ClusterSimulator:
         carry_placement: keep each replica's expert placement warm
             across requests (on, the point of the subsystem) or reset to
             the engine's initial placement per request (an ablation).
+        concurrency: requests a replica serves concurrently per dispatch
+            (a *gang*): the replica pulls up to this many queued requests
+            at once and interleaves them through the engine's step
+            machine via :class:`ContinuousBatchScheduler`, dispatching
+            the next gang only once the whole gang has completed.  The
+            default of 1 is the sequential one-request-at-a-time service
+            of the paper's regime.
     """
 
     def __init__(
@@ -111,15 +123,19 @@ class ClusterSimulator:
         admission: AdmissionController | None = None,
         slo: SLOTarget | None = None,
         carry_placement: bool = True,
+        concurrency: int = 1,
     ) -> None:
         if not engines:
             raise ValueError("at least one engine replica is required")
+        if concurrency < 1:
+            raise ValueError("concurrency must be positive")
         self.engines = list(engines)
         self.generator = generator
         self.policy = policy
         self.admission = admission or AdmissionController()
         self.slo = slo or SLOTarget()
         self.carry_placement = carry_placement
+        self.concurrency = concurrency
         # Snapshot so repeated run() calls replay from identical state.
         self._base_placements = [
             engine.initial_placement.copy() for engine in self.engines
@@ -231,7 +247,16 @@ class ClusterSimulator:
                      replicas: list[ReplicaState], warm: list,
                      output_len: int, sequences: dict,
                      report: ClusterReport) -> None:
-        """Start service on an idle replica, expiring dead requests."""
+        """Start service on an idle replica, expiring dead requests.
+
+        The replica pulls a *gang* of up to ``self.concurrency`` queued
+        requests and serves them concurrently through the engine step
+        machine on a fresh resource clock (so a gang of one is exactly
+        the engine's solo ``generate()`` schedule).  Every gang member's
+        warm-cache hit rate is evaluated against the placement as warmed
+        by the *previous* gang; the placement carried forward is the one
+        left by the gang's last-finishing member.
+        """
         replica = replicas[replica_idx]
         if not replica.idle or not replica.queue:
             return  # stale dispatch event
@@ -249,48 +274,86 @@ class ClusterSimulator:
             if replica.queue:
                 heap.push(now, DISPATCH, replica=replica_idx)
             return
+        gang = [request]
+        while len(gang) < self.concurrency and replica.queue:
+            extra = requests[replica.queue.popleft()]
+            if self.admission.expired(extra.arrival_s, now):
+                report.rejected.append(
+                    RejectedRequest(
+                        request_id=extra.request_id,
+                        arrival_s=extra.arrival_s,
+                        replica=replica_idx,
+                        reason=EXPIRED,
+                    )
+                )
+                continue
+            gang.append(extra)
 
         engine = self.engines[replica_idx]
-        hit_rate = warm_hit_rate(warm[replica_idx], request.fingerprint)
+        hit_rates = {
+            member.request_id: warm_hit_rate(warm[replica_idx],
+                                             member.fingerprint)
+            for member in gang
+        }
         if self.carry_placement:
             engine.initial_placement = warm[replica_idx]
-        sequence = sequences[request.sample_idx]
-        result = engine.generate(
-            sequence.prompt_tokens, output_len,
-            forced_tokens=sequence.continuation_tokens,
-        )
-        if self.carry_placement:
-            warm[replica_idx] = result.placement
-
-        stats = result.stats
-        finish = now + stats.total_time_s
-        replica.in_service = request.request_id
-        replica.busy_until = finish
-        replica.busy_time_s += stats.total_time_s
-        replica.n_served += 1
-        report.requests.append(
-            ClusterRequest(
-                request_id=request.request_id,
-                arrival_s=request.arrival_s,
-                start_s=now,
-                first_token_s=now + stats.prefill_time_s,
-                finish_s=finish,
-                n_prompt_tokens=stats.n_prompt_tokens,
-                n_generated=stats.n_generated,
-                energy_j=stats.energy.total_j,
-                replica=replica_idx,
-                warm_hit_rate=hit_rate,
-                engine_hit_rate=stats.counters.gpu_hit_rate,
-                prefill_swaps=stats.counters.prefill_swaps,
+        seq_requests = []
+        for member in gang:
+            sequence = sequences[member.sample_idx]
+            seq_requests.append(
+                SequenceRequest(
+                    prompt_tokens=sequence.prompt_tokens,
+                    max_new_tokens=output_len,
+                    forced_tokens=sequence.continuation_tokens,
+                    seq_id=member.request_id,
+                )
             )
+        scheduler = ContinuousBatchScheduler(
+            engine, max_batch=self.concurrency
         )
-        heap.push(finish, COMPLETION, request_id=request.request_id,
-                  replica=replica_idx)
+        batch = scheduler.run(seq_requests)
+        if self.carry_placement:
+            last = max(batch.records,
+                       key=lambda rec: (rec.finish_s, rec.seq_id))
+            warm[replica_idx] = last.result.placement
+
+        batch_span = max(rec.finish_s for rec in batch.records)
+        replica.in_service = gang[0].request_id
+        replica.in_flight = len(gang)
+        replica.busy_until = now + batch_span
+        replica.busy_time_s += batch_span
+        replica.n_served += len(gang)
+        by_id = {rec.seq_id: rec for rec in batch.records}
+        for member in gang:
+            rec = by_id[member.request_id]
+            stats = rec.result.stats
+            report.requests.append(
+                ClusterRequest(
+                    request_id=member.request_id,
+                    arrival_s=member.arrival_s,
+                    start_s=now + rec.service_start_s,
+                    first_token_s=now + rec.first_token_s,
+                    finish_s=now + rec.finish_s,
+                    n_prompt_tokens=stats.n_prompt_tokens,
+                    n_generated=stats.n_generated,
+                    energy_j=stats.energy.total_j,
+                    replica=replica_idx,
+                    warm_hit_rate=hit_rates[member.request_id],
+                    engine_hit_rate=stats.counters.gpu_hit_rate,
+                    prefill_swaps=stats.counters.prefill_swaps,
+                )
+            )
+            heap.push(now + rec.finish_s, COMPLETION,
+                      request_id=member.request_id, replica=replica_idx)
 
     def _on_completion(self, heap: EventQueue, replica_idx: int,
                        replicas: list[ReplicaState]) -> None:
-        """Free the replica and pull the next queued request, if any."""
+        """Retire one gang member; free the replica once all are done."""
         replica = replicas[replica_idx]
+        if replica.in_flight > 0:
+            replica.in_flight -= 1
+        if replica.in_flight:
+            return
         replica.in_service = None
         if replica.queue:
             heap.push(heap.now, DISPATCH, replica=replica_idx)

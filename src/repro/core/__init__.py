@@ -22,10 +22,17 @@ from repro.core.baselines import (
 from repro.core.calibration import calibrate_activation_probs
 from repro.core.daop import DAOPEngine, build_daop
 from repro.core.engine import (
+    SEQ_DECODE,
+    SEQ_DONE,
+    SEQ_PREFILL,
     BaseEngine,
+    BlockPlan,
     EngineCounters,
     GenerationResult,
     GenerationStats,
+    SequenceRequest,
+    SequenceState,
+    StepResult,
 )
 from repro.core.precalc import DegradationResult, apply_graceful_degradation
 from repro.core.predictor import (
@@ -119,9 +126,16 @@ __all__ = [
     "DAOPEngine",
     "build_daop",
     "BaseEngine",
+    "BlockPlan",
     "EngineCounters",
     "GenerationResult",
     "GenerationStats",
+    "SequenceRequest",
+    "SequenceState",
+    "StepResult",
+    "SEQ_PREFILL",
+    "SEQ_DECODE",
+    "SEQ_DONE",
     "DegradationResult",
     "apply_graceful_degradation",
     "PREDICTION_START_BLOCK_DEFAULT",

@@ -16,7 +16,7 @@ import dataclasses
 
 import numpy as np
 
-from repro.core.engine import BaseEngine, _SequenceContext
+from repro.core.engine import BaseEngine, BlockPlan, _SequenceContext
 from repro.hardware.platform import Platform
 from repro.hardware.timeline import Op
 from repro.memory.placement import ExpertPlacement
@@ -48,17 +48,16 @@ class DeepSpeedMIIEngine(BaseEngine):
 
     def _stream_experts(self, ctx: _SequenceContext, block_idx: int,
                         activated: np.ndarray,
-                        deps: list[Op]) -> dict[int, list[Op]]:
+                        deps: list[Op]) -> BlockPlan:
         extra: dict[int, list[Op]] = {}
         force_gpu: set[int] = set()
         for expert in np.atleast_1d(activated):
             expert = int(expert)
             op = self._upload_expert(ctx, block_idx, expert, deps)
-            self._drop_expert(block_idx, expert)
+            self._drop_expert(ctx, block_idx, expert)
             extra[expert] = [op]
             force_gpu.add(expert)
-        ctx.extra["force_gpu"] = force_gpu
-        return extra
+        return BlockPlan(extra_deps=extra, force_gpu=force_gpu)
 
     def _prepare_prefill_block(self, ctx, block_idx, activated, activity,
                                deps):

@@ -13,7 +13,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.core.engine import BaseEngine, _SequenceContext
+from repro.core.engine import BaseEngine, BlockPlan, _SequenceContext
 from repro.hardware.platform import Platform
 from repro.hardware.timeline import GPU, Op
 from repro.memory.cache import CacheConfig
@@ -56,21 +56,22 @@ class MixtralOffloadingEngine(BaseEngine):
         self.stream_overhead = stream_overhead
 
     def _begin_sequence(self, ctx: _SequenceContext) -> None:
-        self._lru: list[LRUExpertCache] = []
+        lru: list[LRUExpertCache] = []
         probs = self.calibration_probs
         for block_idx in range(self.model.n_blocks):
-            resident = list(self.placement.gpu_experts(block_idx))
+            resident = list(ctx.placement.gpu_experts(block_idx))
             cache = LRUExpertCache(capacity=max(len(resident), 0))
             if probs is not None:
                 resident.sort(key=lambda e: probs[block_idx][e])
             cache.seed([int(e) for e in resident])
-            self._lru.append(cache)
+            lru.append(cache)
+        ctx.policy = lru
 
     def _ensure_resident(self, ctx: _SequenceContext, block_idx: int,
                          activated: np.ndarray,
-                         deps: list[Op]) -> dict[int, list[Op]]:
+                         deps: list[Op]) -> BlockPlan:
         extra: dict[int, list[Op]] = {}
-        cache = self._lru[block_idx]
+        cache = ctx.policy[block_idx]
         force_gpu: set[int] = set()
         for expert in np.atleast_1d(activated):
             expert = int(expert)
@@ -86,7 +87,7 @@ class MixtralOffloadingEngine(BaseEngine):
                 kind="expert_upload",
             )
             from repro.hardware.device import DeviceKind
-            self.placement.set_device(block_idx, expert, DeviceKind.GPU)
+            ctx.placement.set_device(block_idx, expert, DeviceKind.GPU)
             ctx.counters.expert_uploads += 1
             dequant = ctx.timeline.add(
                 GPU,
@@ -101,15 +102,14 @@ class MixtralOffloadingEngine(BaseEngine):
             if cache.capacity > 0:
                 evicted = cache.admit(expert)
                 if evicted is not None:
-                    self._drop_expert(block_idx, int(evicted))
+                    self._drop_expert(ctx, block_idx, int(evicted))
             else:
-                self._drop_expert(block_idx, expert)
+                self._drop_expert(ctx, block_idx, expert)
         # All activated experts execute on the GPU: even one evicted by a
         # sibling's admission before executing runs out of its staging
         # buffer (Mixtral-Offloading never computes experts on the CPU).
         force_gpu.update(int(e) for e in np.atleast_1d(activated))
-        ctx.extra["force_gpu"] = force_gpu
-        return extra
+        return BlockPlan(extra_deps=extra, force_gpu=force_gpu)
 
     def _prepare_prefill_block(self, ctx, block_idx, activated, activity,
                                deps):

@@ -17,14 +17,25 @@ observed activations.  Execution is GPU-only; misses upload on demand.
 
 from __future__ import annotations
 
+from dataclasses import dataclass, field
+
 import numpy as np
 
-from repro.core.engine import BaseEngine, _SequenceContext
+from repro.core.engine import BaseEngine, BlockPlan, _SequenceContext
 from repro.hardware.platform import Platform
 from repro.hardware.timeline import Op
 from repro.memory.cache import CacheConfig
 from repro.memory.lru import LRUExpertCache
 from repro.model.zoo import ModelBundle
+
+
+@dataclass
+class _InfinitySequencePolicy:
+    """Per-sequence prefetch state (``ctx.policy``)."""
+
+    lru: list
+    scores: np.ndarray
+    pending: dict = field(default_factory=dict)
 
 
 class MoEInfinityEngine(BaseEngine):
@@ -54,86 +65,95 @@ class MoEInfinityEngine(BaseEngine):
         self.score_decay = score_decay
 
     def _begin_sequence(self, ctx: _SequenceContext) -> None:
-        self._lru: list[LRUExpertCache] = []
+        lru: list[LRUExpertCache] = []
         probs = self.calibration_probs
         for block_idx in range(self.model.n_blocks):
-            resident = list(self.placement.gpu_experts(block_idx))
+            resident = list(ctx.placement.gpu_experts(block_idx))
             cache = LRUExpertCache(capacity=max(len(resident), 0))
             if probs is not None:
                 resident.sort(key=lambda e: probs[block_idx][e])
             cache.seed([int(e) for e in resident])
-            self._lru.append(cache)
-        self._scores = np.zeros(
-            (self.model.n_blocks, self.model.n_experts), dtype=np.float64
+            lru.append(cache)
+        ctx.policy = _InfinitySequencePolicy(
+            lru=lru,
+            scores=np.zeros(
+                (self.model.n_blocks, self.model.n_experts),
+                dtype=np.float64,
+            ),
         )
-        self._pending: dict[tuple[int, int], Op] = {}
 
-    def _observe(self, block_idx: int, experts) -> None:
+    def _observe(self, ctx: _SequenceContext, block_idx: int,
+                 experts) -> None:
         """Exponential-moving-average update of the sequence's pattern."""
-        self._scores[block_idx] *= self.score_decay
+        ctx.policy.scores[block_idx] *= self.score_decay
         for expert in np.atleast_1d(experts):
-            self._scores[block_idx, int(expert)] += 1.0
+            ctx.policy.scores[block_idx, int(expert)] += 1.0
 
     def _upload_with_lru(self, ctx: _SequenceContext, block_idx: int,
                          expert: int, deps: list[Op]) -> Op | None:
-        cache = self._lru[block_idx]
+        cache = ctx.policy.lru[block_idx]
         if cache.capacity == 0:
             op = self._upload_expert(ctx, block_idx, expert, deps)
-            self._drop_expert(block_idx, expert)
+            self._drop_expert(ctx, block_idx, expert)
             return op
         if expert in cache:
             cache.touch(expert)
             return None
         evicted = cache.admit(expert)
         if evicted is not None:
-            self._drop_expert(block_idx, int(evicted))
+            self._drop_expert(ctx, block_idx, int(evicted))
         return self._upload_expert(ctx, block_idx, expert, deps)
 
     # ---- prefill: observe + on-demand uploads ---------------------------------
 
     def _prepare_prefill_block(self, ctx, block_idx, activated, activity,
                                deps):
-        self._scores[block_idx] += activity
+        ctx.policy.scores[block_idx] += activity
         extra: dict[int, list[Op]] = {}
         for expert in np.atleast_1d(activated):
             expert = int(expert)
             op = self._upload_with_lru(ctx, block_idx, expert, deps)
             if op is not None:
                 extra[expert] = [op]
-        ctx.extra["force_gpu"] = {int(e) for e in np.atleast_1d(activated)}
-        return extra
+        return BlockPlan(
+            extra_deps=extra,
+            force_gpu={int(e) for e in np.atleast_1d(activated)},
+        )
 
     # ---- decode: activation-aware prefetch ------------------------------------
 
     def _prepare_decode_block(self, ctx, block_idx, activated, deps):
-        self._observe(block_idx, activated)
+        policy = ctx.policy
+        self._observe(ctx, block_idx, activated)
         extra: dict[int, list[Op]] = {}
         # Serve this block's activations (prefetched or on demand).
         for expert in np.atleast_1d(activated):
             expert = int(expert)
-            pending = self._pending.pop((block_idx, expert), None)
+            pending = policy.pending.pop((block_idx, expert), None)
             if pending is not None:
                 extra[expert] = [pending]
-                if expert in self._lru[block_idx]:
-                    self._lru[block_idx].touch(expert)
+                if expert in policy.lru[block_idx]:
+                    policy.lru[block_idx].touch(expert)
                 continue
             op = self._upload_with_lru(ctx, block_idx, expert, deps)
             if op is not None:
                 extra[expert] = [op]
-        ctx.extra["force_gpu"] = {int(e) for e in np.atleast_1d(activated)}
         # Prefetch the sequence's hottest experts `lookahead` blocks out.
         target = block_idx + self.lookahead
         if target < self.model.n_blocks:
-            ranked = np.argsort(-self._scores[target], kind="stable")
+            ranked = np.argsort(-policy.scores[target], kind="stable")
             for expert in ranked[: self.model.top_k]:
                 expert = int(expert)
-                if self._scores[target, expert] <= 0.0:
+                if policy.scores[target, expert] <= 0.0:
                     break
-                if self.placement.is_on_gpu(target, expert):
+                if ctx.placement.is_on_gpu(target, expert):
                     continue
-                if (target, expert) in self._pending:
+                if (target, expert) in policy.pending:
                     continue
                 op = self._upload_with_lru(ctx, target, expert, deps)
                 if op is not None:
-                    self._pending[(target, expert)] = op
-        return extra
+                    policy.pending[(target, expert)] = op
+        return BlockPlan(
+            extra_deps=extra,
+            force_gpu={int(e) for e in np.atleast_1d(activated)},
+        )

@@ -13,7 +13,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.core.engine import BaseEngine, _SequenceContext
+from repro.core.engine import BaseEngine, BlockPlan, _SequenceContext
 from repro.hardware.platform import Platform
 from repro.hardware.timeline import Op
 from repro.memory.cache import CacheConfig
@@ -49,10 +49,10 @@ class MoEOnDemandEngine(BaseEngine):
     def _begin_sequence(self, ctx: _SequenceContext) -> None:
         # Per-block policy cache over the GPU-resident experts, seeded from
         # the calibrated placement (coldest first so hot experts survive).
-        self._lru: list[EvictionPolicyCache] = []
+        caches: list[EvictionPolicyCache] = []
         probs = self.calibration_probs
         for block_idx in range(self.model.n_blocks):
-            resident = list(self.placement.gpu_experts(block_idx))
+            resident = list(ctx.placement.gpu_experts(block_idx))
             cache = EvictionPolicyCache(
                 capacity=max(len(resident), 0),
                 policy=self.eviction_policy,
@@ -61,13 +61,14 @@ class MoEOnDemandEngine(BaseEngine):
             if probs is not None:
                 resident.sort(key=lambda e: probs[block_idx][e])
             cache.seed([int(e) for e in resident])
-            self._lru.append(cache)
+            caches.append(cache)
+        ctx.policy = caches
 
     def _ensure_resident(self, ctx: _SequenceContext, block_idx: int,
                          activated: np.ndarray,
-                         deps: list[Op]) -> dict[int, list[Op]]:
+                         deps: list[Op]) -> BlockPlan:
         extra: dict[int, list[Op]] = {}
-        cache = self._lru[block_idx]
+        cache = ctx.policy[block_idx]
         activated = [int(e) for e in np.atleast_1d(activated)]
         if cache.capacity == 0:
             # No GPU slots at all: experts stream through a scratch buffer;
@@ -75,11 +76,10 @@ class MoEOnDemandEngine(BaseEngine):
             force_gpu: set[int] = set()
             for expert in activated:
                 op = self._upload_expert(ctx, block_idx, expert, deps)
-                self._drop_expert(block_idx, expert)
+                self._drop_expert(ctx, block_idx, expert)
                 extra[expert] = [op]
                 force_gpu.add(expert)
-            ctx.extra["force_gpu"] = force_gpu
-            return extra
+            return BlockPlan(extra_deps=extra, force_gpu=force_gpu)
         # Hits refresh recency; misses upload + evict LRU.  If the cache is
         # smaller than the activated set, an activated expert can be
         # evicted by a sibling's admission before it executes -- it still
@@ -90,11 +90,10 @@ class MoEOnDemandEngine(BaseEngine):
                 continue
             evicted = cache.admit(expert)
             if evicted is not None:
-                self._drop_expert(block_idx, int(evicted))
+                self._drop_expert(ctx, block_idx, int(evicted))
             op = self._upload_expert(ctx, block_idx, expert, deps)
             extra[expert] = [op]
-        ctx.extra["force_gpu"] = set(activated)
-        return extra
+        return BlockPlan(extra_deps=extra, force_gpu=set(activated))
 
     def _prepare_prefill_block(self, ctx, block_idx, activated, activity,
                                deps):

@@ -16,9 +16,11 @@ with exact routing (no accuracy impact).
 
 from __future__ import annotations
 
+from dataclasses import dataclass, field
+
 import numpy as np
 
-from repro.core.engine import BaseEngine, _SequenceContext
+from repro.core.engine import BaseEngine, BlockPlan, _SequenceContext
 from repro.core.predictor import NextLayerPredictor
 from repro.hardware.platform import Platform
 from repro.hardware.timeline import GPU, Op
@@ -26,6 +28,14 @@ from repro.memory.cache import CacheConfig
 from repro.memory.lru import LRUExpertCache
 from repro.model.zoo import ModelBundle
 from repro.trace.recorder import DECODE as DECODE_PHASE
+
+
+@dataclass
+class _PreGatedSequencePolicy:
+    """Per-sequence prefetch state (``ctx.policy``)."""
+
+    lru: list
+    pending: dict = field(default_factory=dict)
 
 
 class PreGatedMoEEngine(BaseEngine):
@@ -51,33 +61,32 @@ class PreGatedMoEEngine(BaseEngine):
         )
 
     def _begin_sequence(self, ctx: _SequenceContext) -> None:
-        self._lru: list[LRUExpertCache] = []
+        lru: list[LRUExpertCache] = []
         probs = self.calibration_probs
         for block_idx in range(self.model.n_blocks):
-            resident = list(self.placement.gpu_experts(block_idx))
+            resident = list(ctx.placement.gpu_experts(block_idx))
             cache = LRUExpertCache(capacity=max(len(resident), 0))
             if probs is not None:
                 resident.sort(key=lambda e: probs[block_idx][e])
             cache.seed([int(e) for e in resident])
-            self._lru.append(cache)
-        # Pending prefetch upload ops per (block, expert).
-        self._pending: dict[tuple[int, int], Op] = {}
+            lru.append(cache)
+        ctx.policy = _PreGatedSequencePolicy(lru=lru)
 
     def _upload_with_lru(self, ctx: _SequenceContext, block_idx: int,
                          expert: int, deps: list[Op]) -> Op | None:
         """Upload ``expert`` evicting via LRU; None if already resident."""
-        cache = self._lru[block_idx]
+        cache = ctx.policy.lru[block_idx]
         if cache.capacity == 0:
             # No persistent slots: stream through a scratch buffer.
             op = self._upload_expert(ctx, block_idx, expert, deps)
-            self._drop_expert(block_idx, expert)
+            self._drop_expert(ctx, block_idx, expert)
             return op
         if expert in cache:
             cache.touch(expert)
             return None
         evicted = cache.admit(expert)
         if evicted is not None:
-            self._drop_expert(block_idx, int(evicted))
+            self._drop_expert(ctx, block_idx, int(evicted))
         return self._upload_expert(ctx, block_idx, expert, deps)
 
     # ---- prefill: on-demand uploads ------------------------------------------
@@ -90,8 +99,10 @@ class PreGatedMoEEngine(BaseEngine):
             op = self._upload_with_lru(ctx, block_idx, expert, deps)
             if op is not None:
                 extra[expert] = [op]
-        ctx.extra["force_gpu"] = {int(e) for e in np.atleast_1d(activated)}
-        return extra
+        return BlockPlan(
+            extra_deps=extra,
+            force_gpu={int(e) for e in np.atleast_1d(activated)},
+        )
 
     # ---- decode: predictive prefetch one block ahead --------------------------
 
@@ -120,7 +131,7 @@ class PreGatedMoEEngine(BaseEngine):
                         ctx, block_idx + 1, expert, [pred_gate]
                     )
                     if op is not None:
-                        self._pending[(block_idx + 1, expert)] = op
+                        ctx.policy.pending[(block_idx + 1, expert)] = op
 
             logits, gate_op = self._gate(ctx, block_idx, h_att, [attn_op])
             routing = self.model.blocks[block_idx].router.route_from_logits(
@@ -135,10 +146,10 @@ class PreGatedMoEEngine(BaseEngine):
             extra: dict[int, list[Op]] = {}
             for expert in routing.experts[0]:
                 expert = int(expert)
-                pending = self._pending.pop((block_idx, expert), None)
+                pending = ctx.policy.pending.pop((block_idx, expert), None)
                 if pending is not None:
                     extra[expert] = [pending]
-                elif not self.placement.is_on_gpu(block_idx, expert):
+                elif not ctx.placement.is_on_gpu(block_idx, expert):
                     # Misprediction: on-demand upload on the critical path.
                     op = self._upload_with_lru(
                         ctx, block_idx, expert, [gate_op]

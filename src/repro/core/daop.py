@@ -25,11 +25,12 @@ trade Tables V and VI of the paper measure.
 from __future__ import annotations
 
 from collections import deque
+from dataclasses import dataclass, field
 
 import numpy as np
 
 from repro.core.allocation import SWAP_IN_OUT_DEFAULT, plan_block_swaps
-from repro.core.engine import BaseEngine, _SequenceContext
+from repro.core.engine import BaseEngine, BlockPlan, _SequenceContext
 from repro.core.precalc import apply_graceful_degradation
 from repro.core.predictor import (
     PREDICTION_START_BLOCK_DEFAULT,
@@ -41,6 +42,23 @@ from repro.memory.cache import CacheConfig
 from repro.model.gating import Router
 from repro.model.zoo import ModelBundle
 from repro.trace.recorder import DECODE
+
+
+@dataclass
+class _DAOPSequencePolicy:
+    """Per-sequence DAOP policy state (``ctx.policy``).
+
+    Attributes:
+        window: rolling per-token ``(n_blocks, n_experts)`` routing
+            counts for the decode re-allocation extension.
+        steps: decode tokens completed so far.
+        pending_uploads: in-flight decode-migration uploads keyed by
+            ``(block, expert)``.
+    """
+
+    window: deque
+    steps: int = 0
+    pending_uploads: dict = field(default_factory=dict)
 
 
 class DAOPEngine(BaseEngine):
@@ -110,44 +128,46 @@ class DAOPEngine(BaseEngine):
         )
 
     def _begin_sequence(self, ctx: _SequenceContext) -> None:
-        # Rolling window of per-token (n_blocks, n_experts) routing counts
-        # plus pending decode-migration upload ops, both used only when
-        # the decode re-allocation extension is enabled.
-        self._decode_window: deque[np.ndarray] = deque(
-            maxlen=self.decode_realloc_window
+        # Window and pending-upload map are used only when the decode
+        # re-allocation extension is enabled; they live on the sequence
+        # state so interleaved sequences never share migration state.
+        ctx.policy = _DAOPSequencePolicy(
+            window=deque(maxlen=self.decode_realloc_window)
         )
-        self._decode_steps = 0
-        self._pending_uploads: dict[tuple[int, int], Op] = {}
 
     @property
     def pending_upload_keys(self) -> tuple[tuple[int, int], ...]:
         """In-flight decode-migration uploads as ``(block, expert)`` keys.
 
-        Every key must name a GPU-resident expert: a swap-out purges its
-        pending upload (audited by :mod:`repro.audit.invariants`).
+        Deprecated view of the most recently started sequence (like
+        :attr:`BaseEngine.placement`); every key must name a
+        GPU-resident expert, since a swap-out purges its pending upload
+        (audited by :mod:`repro.audit.invariants`).
         """
-        return tuple(sorted(self._pending_uploads))
+        if self._active_state is None or self._active_state.policy is None:
+            return ()
+        return tuple(sorted(self._active_state.policy.pending_uploads))
 
     # ---- prefill: Algorithm 1 ---------------------------------------------------
 
     def _prepare_prefill_block(self, ctx: _SequenceContext, block_idx: int,
                                activated: np.ndarray, activity: np.ndarray,
-                               deps: list[Op]) -> dict[int, list[Op]]:
+                               deps: list[Op]) -> BlockPlan:
         if not self.enable_seq_allocation:
-            return {}
+            return BlockPlan()
         plans = plan_block_swaps(
-            block_idx, activity, self.placement, self.swap_threshold
+            block_idx, activity, ctx.placement, self.swap_threshold
         )
         extra: dict[int, list[Op]] = {}
         for plan in plans:
             # Read-only inference weights: the outgoing expert's host copy
             # is valid, so the swap costs one H2D upload that overlaps with
             # the ongoing prefill compute.
-            self._drop_expert(block_idx, plan.cold_expert)
+            self._drop_expert(ctx, block_idx, plan.cold_expert)
             up = self._upload_expert(ctx, block_idx, plan.hot_expert, deps)
             extra[plan.hot_expert] = [up]
             ctx.counters.prefill_swaps += 1
-        return extra
+        return BlockPlan(extra_deps=extra)
 
     # ---- decode: predictive pre-calculation ---------------------------------------
 
@@ -194,14 +214,15 @@ class DAOPEngine(BaseEngine):
                 break
             for expert in event.experts:
                 counts[event.block, expert] += 1.0
-        self._decode_window.append(counts)
-        self._decode_steps += 1
-        if self._decode_steps % self.decode_realloc_interval != 0:
+        policy = ctx.policy
+        policy.window.append(counts)
+        policy.steps += 1
+        if policy.steps % self.decode_realloc_interval != 0:
             return
-        window_activity = np.sum(self._decode_window, axis=0)
+        window_activity = np.sum(policy.window, axis=0)
         for block_idx in range(self.model.n_blocks):
             plans = plan_block_swaps(
-                block_idx, window_activity[block_idx], self.placement,
+                block_idx, window_activity[block_idx], ctx.placement,
                 self.decode_realloc_threshold,
             )
             plans = [
@@ -209,16 +230,16 @@ class DAOPEngine(BaseEngine):
                 if plan.hot_activity >= self.decode_realloc_min_activity
             ][: self.decode_realloc_max_swaps_per_block]
             for plan in plans:
-                self._drop_expert(block_idx, plan.cold_expert)
+                self._drop_expert(ctx, block_idx, plan.cold_expert)
                 # The swapped-out expert's weights are no longer resident:
                 # any still-pending upload of it must not survive as a
                 # dependency for a future activation.
-                self._pending_uploads.pop((block_idx, plan.cold_expert),
-                                          None)
+                policy.pending_uploads.pop((block_idx, plan.cold_expert),
+                                           None)
                 up = self._upload_expert(
                     ctx, block_idx, plan.hot_expert, [done]
                 )
-                self._pending_uploads[(block_idx, plan.hot_expert)] = up
+                policy.pending_uploads[(block_idx, plan.hot_expert)] = up
                 ctx.counters.decode_swaps += 1
 
     def _issue_precalc(self, ctx: _SequenceContext, block_idx: int,
@@ -241,7 +262,7 @@ class DAOPEngine(BaseEngine):
             block_idx + 1,
             prediction.experts,
             prediction.logits,
-            self.placement,
+            ctx.placement,
             max_cpu_experts=self.max_cpu_experts,
             enabled=self.graceful_degradation,
         )
@@ -249,7 +270,7 @@ class DAOPEngine(BaseEngine):
         cpu_results: dict[int, tuple[np.ndarray, Op]] = {}
         for expert in degradation.experts:
             expert = int(expert)
-            if self.placement.is_on_gpu(block_idx + 1, expert):
+            if ctx.placement.is_on_gpu(block_idx + 1, expert):
                 continue
             # Pre-calculate on the CPU from the *current* block's non-MoE
             # hidden states (one block stale -- the paper's approximation).
@@ -273,20 +294,22 @@ class DAOPEngine(BaseEngine):
             executed_experts=routing.experts[0],
         )
         self._record_activation_counters(ctx, block_idx, routing.experts[0])
-        extra = self._consume_pending_uploads(block_idx, routing.experts[0])
+        extra = self._consume_pending_uploads(ctx, block_idx,
+                                              routing.experts[0])
         h, expert_ops = self._execute_experts_at_location(
             ctx, block_idx, h_att, routing.experts, routing.weights,
             [gate_op], extra,
         )
         return h, expert_ops
 
-    def _consume_pending_uploads(self, block_idx: int,
+    def _consume_pending_uploads(self, ctx: _SequenceContext, block_idx: int,
                                  experts) -> dict[int, list[Op]]:
         """Dependencies on in-flight decode-migration uploads."""
         extra: dict[int, list[Op]] = {}
         for expert in np.atleast_1d(experts):
-            pending = self._pending_uploads.pop((block_idx, int(expert)),
-                                                None)
+            pending = ctx.policy.pending_uploads.pop(
+                (block_idx, int(expert)), None
+            )
             if pending is not None:
                 extra[int(expert)] = [pending]
         return extra
@@ -321,9 +344,9 @@ class DAOPEngine(BaseEngine):
                 y, op = cpu_results[expert]
                 outs[0, slot] = y
                 expert_ops.append(op)
-            elif self.placement.is_on_gpu(block_idx, expert):
-                pending = self._pending_uploads.pop((block_idx, expert),
-                                                    None)
+            elif ctx.placement.is_on_gpu(block_idx, expert):
+                pending = ctx.policy.pending_uploads.pop((block_idx, expert),
+                                                         None)
                 gpu_deps = [attn_op] + ([pending] if pending else [])
                 y, op = self._expert_gpu(
                     ctx, block_idx, expert, h_att, gpu_deps

@@ -116,16 +116,120 @@ class GenerationResult:
     placement: ExpertPlacement
 
 
-@dataclass
-class _SequenceContext:
-    """Per-generation mutable state threaded through the engine hooks."""
+#: Sequence lifecycle phases (:attr:`SequenceState.phase`).
+SEQ_PREFILL = "prefill"
+SEQ_DECODE = "decode"
+SEQ_DONE = "done"
 
+
+@dataclass(frozen=True)
+class SequenceRequest:
+    """One generation request, as handed to :meth:`BaseEngine.start`.
+
+    Attributes:
+        prompt_tokens: input token ids (non-empty 1-D array).
+        max_new_tokens: decode steps to run (>= 1).
+        forced_tokens: optional teacher-forced decode inputs; step ``t``
+            consumes ``forced_tokens[t]`` instead of the engine's own
+            previous sample (the engine's sampled outputs are still
+            returned).
+        sampler: callable ``logits -> token id``; ``None`` means greedy.
+        seq_id: caller-chosen identifier carried through to the state
+            and scheduler reports.
+    """
+
+    prompt_tokens: np.ndarray
+    max_new_tokens: int
+    forced_tokens: np.ndarray | None = None
+    sampler: object = None
+    seq_id: int = 0
+
+
+@dataclass(frozen=True)
+class BlockPlan:
+    """Residency arrangement returned by the per-block policy hooks.
+
+    Attributes:
+        extra_deps: per-expert additional dependency ops (e.g. the
+            upload that brings the expert's weights onto the device).
+        force_gpu: experts that must execute on the GPU regardless of
+            the placement map (streamed through scratch buffers that the
+            placement bookkeeping has already released).
+    """
+
+    extra_deps: dict[int, list[Op]] = field(default_factory=dict)
+    force_gpu: set[int] | None = None
+
+
+@dataclass
+class SequenceState:
+    """Everything one in-flight sequence owns, threaded through the hooks.
+
+    A state is created by :meth:`BaseEngine.start`, advanced one prefill
+    pass or one decode token at a time by :meth:`BaseEngine.step`, and
+    summarized into a :class:`GenerationResult` by
+    :meth:`BaseEngine.finish`.  Because the placement copy, KV caches,
+    trace, counters, and engine-policy state all live here (not on the
+    engine), any number of states may be interleaved on one engine.
+
+    ``policy`` belongs to the engine subclass (set in
+    ``_begin_sequence``); ``extra`` is scratch private to
+    ``repro.core.engine`` itself -- policy code must communicate through
+    hook arguments and :class:`BlockPlan` returns (lint rule ENG004).
+    """
+
+    request: SequenceRequest
+    sampler: object
+    placement: ExpertPlacement
     caches: list[KVCache]
     timeline: Timeline
     trace: ActivationTrace
     counters: EngineCounters
     position: int = 0
+    phase: str = SEQ_PREFILL
+    generated: list[int] = field(default_factory=list)
+    last_op: Op | None = None
+    prefill_time_s: float = 0.0
+    policy: object = None
     extra: dict = field(default_factory=dict)
+
+    @property
+    def seq_id(self) -> int:
+        """Identifier carried over from the request."""
+        return self.request.seq_id
+
+    @property
+    def done(self) -> bool:
+        """Whether the sequence has produced all requested tokens."""
+        return self.phase == SEQ_DONE
+
+    @property
+    def n_generated(self) -> int:
+        """Tokens generated so far."""
+        return len(self.generated)
+
+
+#: Deprecated alias kept for code written against the pre-step-machine
+#: engine; new code should name :class:`SequenceState` directly.
+_SequenceContext = SequenceState
+
+
+@dataclass(frozen=True)
+class StepResult:
+    """Outcome of one :meth:`BaseEngine.step` call.
+
+    Attributes:
+        phase: the phase the step executed (``SEQ_PREFILL`` ran the
+            whole prompt, ``SEQ_DECODE`` ran one token).
+        token: the token id appended to the sequence by this step.
+        done: whether the sequence is now finished.
+        n_generated: tokens generated so far, including this one.
+    """
+
+    phase: str
+    token: int
+    done: bool
+    n_generated: int
 
 
 class BaseEngine:
@@ -185,8 +289,157 @@ class BaseEngine:
             placement = ExpertPlacement.all_on_gpu(n_blocks, n_experts)
         self.initial_placement = placement
         self.calibration_probs = calibration_probs
+        #: Most recently started sequence state (deprecated access path
+        #: for post-hoc inspection; see the ``placement`` property).
+        self._active_state: SequenceState | None = None
 
     # ---- public API ------------------------------------------------------------
+
+    @property
+    def placement(self) -> ExpertPlacement:
+        """Deprecated: the most recently started sequence's placement.
+
+        Residency now lives on each :class:`SequenceState` so multiple
+        sequences can interleave on one engine without corrupting each
+        other; this read-only view exists for the audit harness and
+        older tests that inspect placement right after a ``generate()``
+        call.  Engine policy code must use ``ctx.placement``.
+        """
+        if self._active_state is None:
+            return self.initial_placement
+        return self._active_state.placement
+
+    def start(self, request: SequenceRequest,
+              timeline: Timeline | None = None) -> SequenceState:
+        """Validate a request and build its resumable sequence state.
+
+        Args:
+            request: the generation request.
+            timeline: optional externally built timeline -- a scheduler
+                passes one whose :class:`~repro.hardware.timeline.
+                ResourceClock` is shared across sequences so they
+                contend for the same lanes.  ``None`` builds a private
+                timeline (the solo, batch-size-one regime).
+
+        Returns:
+            A fresh :class:`SequenceState` in the ``prefill`` phase; no
+            simulated work has been charged yet.
+        """
+        prompt_tokens = np.asarray(request.prompt_tokens, dtype=np.int64)
+        if prompt_tokens.ndim != 1 or prompt_tokens.size == 0:
+            raise ValueError("prompt_tokens must be a non-empty 1-D array")
+        if request.max_new_tokens < 1:
+            raise ValueError("max_new_tokens must be positive")
+        forced_tokens = request.forced_tokens
+        if forced_tokens is not None:
+            forced_tokens = np.asarray(forced_tokens, dtype=np.int64)
+            if forced_tokens.size < request.max_new_tokens - 1:
+                raise ValueError(
+                    "forced_tokens must cover max_new_tokens - 1 steps"
+                )
+        request = SequenceRequest(
+            prompt_tokens=prompt_tokens,
+            max_new_tokens=int(request.max_new_tokens),
+            forced_tokens=forced_tokens,
+            sampler=request.sampler,
+            seq_id=request.seq_id,
+        )
+        state = SequenceState(
+            request=request,
+            sampler=request.sampler or greedy,
+            placement=self.initial_placement.copy(),
+            caches=self.model.new_caches(),
+            timeline=timeline if timeline is not None else Timeline(),
+            trace=ActivationTrace(self.model.n_blocks, self.model.n_experts),
+            counters=EngineCounters(),
+        )
+        self._active_state = state
+        self._begin_sequence(state)
+        return state
+
+    def step(self, state: SequenceState) -> StepResult:
+        """Advance one sequence by one unit of work.
+
+        In the ``prefill`` phase this runs the whole prompt through the
+        model (plus the LM head) and samples the first token; in the
+        ``decode`` phase it runs one decode token.  Either way exactly
+        one token is appended to ``state.generated``.
+
+        Raises:
+            RuntimeError: if the sequence is already done.
+        """
+        if state.phase == SEQ_DONE:
+            raise RuntimeError(
+                f"sequence {state.seq_id} is done; call finish()"
+            )
+        request = state.request
+        if state.phase == SEQ_PREFILL:
+            h_last, last_op = self._prefill(state, request.prompt_tokens)
+            logits, last_op = self._lm_head(state, h_last, [last_op])
+            state.prefill_time_s = last_op.end
+            phase_run = SEQ_PREFILL
+        else:
+            forced = request.forced_tokens
+            step_idx = len(state.generated) - 1
+            step_input = (
+                int(forced[step_idx]) if forced is not None
+                else state.generated[-1]
+            )
+            h_last, last_op = self._decode_step(
+                state, step_input, [state.last_op]
+            )
+            logits, last_op = self._lm_head(state, h_last, [last_op])
+            phase_run = SEQ_DECODE
+        state.last_op = last_op
+        token = int(state.sampler(logits))
+        state.generated.append(token)
+        if len(state.generated) >= request.max_new_tokens:
+            state.phase = SEQ_DONE
+        else:
+            state.phase = SEQ_DECODE
+        return StepResult(
+            phase=phase_run,
+            token=token,
+            done=state.done,
+            n_generated=len(state.generated),
+        )
+
+    def finish(self, state: SequenceState) -> GenerationResult:
+        """Summarize a finished sequence into a :class:`GenerationResult`.
+
+        The state's timeline is rebased to its own service start, so the
+        result is expressed in sequence-local time exactly as a solo
+        ``generate()`` would report it (stats durations, energy
+        integral, audit invariants); a scheduler records absolute
+        arrival/start/finish times itself before calling this.
+
+        Raises:
+            RuntimeError: if the sequence has not produced all its
+                tokens yet.
+        """
+        if state.phase != SEQ_DONE:
+            raise RuntimeError(
+                f"sequence {state.seq_id} is still in phase "
+                f"{state.phase!r}; step() it to completion first"
+            )
+        t0 = state.timeline.ops[0].start if state.timeline.ops else 0.0
+        state.timeline.rebase(t0)
+        state.prefill_time_s -= t0
+        stats = GenerationStats(
+            n_prompt_tokens=int(state.request.prompt_tokens.size),
+            n_generated=len(state.generated),
+            prefill_time_s=state.prefill_time_s,
+            total_time_s=state.timeline.makespan,
+            energy=self.energy_model.energy(state.timeline),
+            counters=state.counters,
+        )
+        return GenerationResult(
+            tokens=np.asarray(state.generated, dtype=np.int64),
+            trace=state.trace,
+            timeline=state.timeline,
+            stats=stats,
+            placement=state.placement,
+        )
 
     def generate(
         self,
@@ -196,6 +449,12 @@ class BaseEngine:
         sampler=None,
     ) -> GenerationResult:
         """Run prefill plus ``max_new_tokens`` decode steps.
+
+        This is a thin wrapper over the resumable step machine: it
+        starts one sequence on a private timeline and steps it to
+        completion (the paper's batch-size-one regime).  Schedulers use
+        :meth:`start` / :meth:`step` / :meth:`finish` directly to
+        interleave sequences.
 
         Args:
             prompt_tokens: input token ids.
@@ -211,65 +470,20 @@ class BaseEngine:
             A :class:`GenerationResult` with tokens, trace, timeline, and
             simulated performance statistics.
         """
-        prompt_tokens = np.asarray(prompt_tokens, dtype=np.int64)
-        if prompt_tokens.ndim != 1 or prompt_tokens.size == 0:
-            raise ValueError("prompt_tokens must be a non-empty 1-D array")
-        if max_new_tokens < 1:
-            raise ValueError("max_new_tokens must be positive")
-        if forced_tokens is not None:
-            forced_tokens = np.asarray(forced_tokens, dtype=np.int64)
-            if forced_tokens.size < max_new_tokens - 1:
-                raise ValueError(
-                    "forced_tokens must cover max_new_tokens - 1 steps"
-                )
-        sampler = sampler or greedy
-
-        self.placement = self.initial_placement.copy()
-        ctx = _SequenceContext(
-            caches=self.model.new_caches(),
-            timeline=Timeline(),
-            trace=ActivationTrace(self.model.n_blocks, self.model.n_experts),
-            counters=EngineCounters(),
-        )
-        self._begin_sequence(ctx)
-
-        h_last, last_op = self._prefill(ctx, prompt_tokens)
-        logits, last_op = self._lm_head(ctx, h_last, [last_op])
-        prefill_end = last_op.end
-        token = int(sampler(logits))
-
-        generated: list[int] = []
-        for step in range(max_new_tokens):
-            generated.append(token)
-            if step == max_new_tokens - 1:
-                break
-            step_input = (
-                int(forced_tokens[step]) if forced_tokens is not None else token
-            )
-            h_last, last_op = self._decode_step(ctx, step_input, [last_op])
-            logits, last_op = self._lm_head(ctx, h_last, [last_op])
-            token = int(sampler(logits))
-
-        stats = GenerationStats(
-            n_prompt_tokens=int(prompt_tokens.size),
-            n_generated=len(generated),
-            prefill_time_s=prefill_end,
-            total_time_s=ctx.timeline.makespan,
-            energy=self.energy_model.energy(ctx.timeline),
-            counters=ctx.counters,
-        )
-        return GenerationResult(
-            tokens=np.asarray(generated, dtype=np.int64),
-            trace=ctx.trace,
-            timeline=ctx.timeline,
-            stats=stats,
-            placement=self.placement,
-        )
+        state = self.start(SequenceRequest(
+            prompt_tokens=prompt_tokens,
+            max_new_tokens=max_new_tokens,
+            forced_tokens=forced_tokens,
+            sampler=sampler,
+        ))
+        while not state.done:
+            self.step(state)
+        return self.finish(state)
 
     # ---- policy hooks (subclasses override) -------------------------------------
 
-    def _begin_sequence(self, ctx: _SequenceContext) -> None:
-        """Reset per-sequence engine state (optional hook)."""
+    def _begin_sequence(self, ctx: SequenceState) -> None:
+        """Install per-sequence policy state on ``ctx.policy`` (optional)."""
 
     # ---- shared primitives -------------------------------------------------------
 
@@ -367,13 +581,14 @@ class BaseEngine:
             + self.cost_model.expert_transfer_time(quant_ratio),
             deps=deps, label=f"up E{expert}@B{block_idx}", kind="expert_upload",
         )
-        self.placement.set_device(block_idx, expert, DeviceKind.GPU)
+        ctx.placement.set_device(block_idx, expert, DeviceKind.GPU)
         ctx.counters.expert_uploads += 1
         return op
 
-    def _drop_expert(self, block_idx: int, expert: int) -> None:
+    def _drop_expert(self, ctx: _SequenceContext, block_idx: int,
+                     expert: int) -> None:
         """Free a device copy (host copy of inference weights stays valid)."""
-        self.placement.set_device(block_idx, expert, DeviceKind.CPU)
+        ctx.placement.set_device(block_idx, expert, DeviceKind.CPU)
 
     def _lm_head(self, ctx: _SequenceContext, h_last: np.ndarray,
                  deps: list[Op]) -> tuple[np.ndarray, Op]:
@@ -393,7 +608,7 @@ class BaseEngine:
         """Update GPU-residency hit counters for activated experts."""
         for expert in np.atleast_1d(experts):
             ctx.counters.activated_total += 1
-            if self.placement.is_on_gpu(block_idx, int(expert)):
+            if ctx.placement.is_on_gpu(block_idx, int(expert)):
                 ctx.counters.activated_gpu_resident += 1
 
     # ---- standard prefill / decode skeletons ------------------------------------
@@ -404,18 +619,19 @@ class BaseEngine:
 
     def _prepare_prefill_block(self, ctx: _SequenceContext, block_idx: int,
                                activated: np.ndarray, activity: np.ndarray,
-                               deps: list[Op]) -> dict[int, list[Op]]:
+                               deps: list[Op]) -> BlockPlan:
         """Hook: arrange residency for a prefill block's activated experts.
 
-        Returns extra dependencies per expert (e.g. its upload op).
+        Returns a :class:`BlockPlan` carrying per-expert extra
+        dependencies (e.g. upload ops) and any forced-GPU executions.
         """
-        return {}
+        return BlockPlan()
 
     def _prepare_decode_block(self, ctx: _SequenceContext, block_idx: int,
                               activated: np.ndarray,
-                              deps: list[Op]) -> dict[int, list[Op]]:
+                              deps: list[Op]) -> BlockPlan:
         """Hook: arrange residency for a decode block's activated experts."""
-        return {}
+        return BlockPlan()
 
     def _execute_experts_at_location(
         self,
@@ -456,7 +672,7 @@ class BaseEngine:
             token_idx = np.nonzero(mask.any(axis=1))[0]
             x = h_att[token_idx]
             expert_deps = deps + extra_deps.get(expert, [])
-            if expert in force_gpu or self.placement.is_on_gpu(block_idx, expert):
+            if expert in force_gpu or ctx.placement.is_on_gpu(block_idx, expert):
                 y, op = self._expert_gpu(ctx, block_idx, expert, x, expert_deps)
             else:
                 y, op = self._expert_cpu(ctx, block_idx, expert, x, expert_deps)
@@ -493,7 +709,7 @@ class BaseEngine:
             activity = activity_from_routing(
                 routing.experts, self.model.n_experts
             )
-            extra = self._prepare_prefill_block(
+            plan = self._prepare_prefill_block(
                 ctx, block_idx, np.unique(routing.experts), activity,
                 [gate_op],
             )
@@ -501,10 +717,9 @@ class BaseEngine:
                 self._record_activation_counters(
                     ctx, block_idx, routing.experts[t]
                 )
-            force_gpu = ctx.extra.pop("force_gpu", None)
             h, expert_ops = self._execute_experts_at_location(
                 ctx, block_idx, h_att, routing.experts, routing.weights,
-                [gate_op], extra, force_gpu,
+                [gate_op], plan.extra_deps, plan.force_gpu,
             )
             last_ops = expert_ops
         ctx.position += n_tokens
@@ -532,13 +747,12 @@ class BaseEngine:
             self._record_activation_counters(
                 ctx, block_idx, routing.experts[0]
             )
-            extra = self._prepare_decode_block(
+            plan = self._prepare_decode_block(
                 ctx, block_idx, routing.experts[0], [gate_op]
             )
-            force_gpu = ctx.extra.pop("force_gpu", None)
             h, expert_ops = self._execute_experts_at_location(
                 ctx, block_idx, h_att, routing.experts, routing.weights,
-                [gate_op], extra, force_gpu,
+                [gate_op], plan.extra_deps, plan.force_gpu,
             )
             last_ops = expert_ops
         ctx.position += 1

@@ -54,23 +54,55 @@ class Op:
 
 
 @dataclass
+class ResourceClock:
+    """Per-lane availability state, shareable between timelines.
+
+    A :class:`Timeline` resolves op start times against one of these.
+    Each timeline owns a private clock by default; handing the *same*
+    clock to several timelines makes their sequences contend for the
+    same physical lanes (the continuous-batching regime): every ``add``
+    call, whichever timeline it lands in, advances the shared lane in
+    global submission order, exactly like concurrent sequences enqueuing
+    onto one CUDA stream / copy engine.
+    """
+
+    free: dict[str, float] = field(
+        default_factory=lambda: {r: 0.0 for r in RESOURCES}
+    )
+
+    def advance_all(self, t: float) -> None:
+        """Fast-forward every idle lane to at least ``t``.
+
+        Used by schedulers to model wall-clock gaps between requests
+        (the system sits idle until the next arrival); lanes already
+        past ``t`` are left untouched, so time never moves backwards.
+        """
+        for resource in self.free:
+            if self.free[resource] < t:
+                self.free[resource] = t
+
+    @property
+    def horizon(self) -> float:
+        """Latest lane-availability time across all resources."""
+        return max(self.free.values())
+
+
+@dataclass
 class Timeline:
     """Accumulates ops and resolves their start/end times on submission."""
 
     ops: list[Op] = field(default_factory=list)
-    _resource_free: dict[str, float] = field(
-        default_factory=lambda: {r: 0.0 for r in RESOURCES}
-    )
+    clock: ResourceClock = field(default_factory=ResourceClock)
 
     def add(self, resource: str, duration: float,
             deps: list[Op] | None = None, label: str = "",
             kind: str = "") -> Op:
         """Schedule an op; returns its handle with resolved times."""
-        if resource not in self._resource_free:
+        if resource not in self.clock.free:
             raise ValueError(f"unknown resource {resource!r}")
         if duration < 0:
             raise ValueError("duration must be non-negative")
-        ready = self._resource_free[resource]
+        ready = self.clock.free[resource]
         if deps:
             ready = max(ready, max(d.end for d in deps))
         op = Op(
@@ -84,8 +116,43 @@ class Timeline:
             dep_indices=tuple(d.index for d in deps) if deps else (),
         )
         self.ops.append(op)
-        self._resource_free[resource] = op.end
+        self.clock.free[resource] = op.end
         return op
+
+    def rebase(self, t0: float) -> None:
+        """Shift every recorded op ``t0`` seconds toward zero.
+
+        A sequence served on a *shared* clock records absolute lane
+        times; rebasing by its service-start time turns the record into
+        the same sequence-local schedule a solo run would have produced
+        (op 0 starts at 0, ``makespan`` is the service duration), which
+        is what :class:`GenerationStats` and the energy integral expect.
+        Only a finished timeline may be rebased -- the shared clock is
+        deliberately left untouched, so adding ops afterwards would
+        desynchronize the record.
+
+        Raises:
+            ValueError: if ``t0`` exceeds the earliest op start (a shift
+                that would move an op before time zero).
+        """
+        if t0 == 0.0 or not self.ops:
+            return
+        first = min(op.start for op in self.ops)
+        if t0 > first + 1e-12:
+            raise ValueError(
+                f"cannot rebase by {t0}: earliest op starts at {first}"
+            )
+        rebased = [
+            Op(
+                index=op.index, resource=op.resource,
+                duration=op.duration, start=op.start - t0,
+                end=op.end - t0, label=op.label, kind=op.kind,
+                dep_indices=op.dep_indices,
+            )
+            for op in self.ops
+        ]
+        self.ops.clear()
+        self.ops.extend(rebased)
 
     def barrier(self, deps: list[Op]) -> float:
         """Latest finish time among ``deps`` (no op is scheduled)."""

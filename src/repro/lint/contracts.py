@@ -174,7 +174,14 @@ class EngineContractGuard:
             self.phase = "decode"
 
     def _guarded_upload(self, original, *args, **kwargs):
-        if self.prefill_only and self.phase == "decode":
+        # The sequence state carries its own phase, which stays correct
+        # when a scheduler interleaves several sequences (one may be in
+        # decode while another is still prefilling); the guard-level
+        # phase is the fallback for direct primitive calls.
+        phase = self.phase
+        if args:
+            phase = getattr(args[0], "phase", phase)
+        if self.prefill_only and phase == "decode":
             raise ContractViolation(
                 f"engine '{self.engine.name}' uploaded an expert during "
                 "decode, but migration is restricted to prefill "

@@ -12,7 +12,11 @@ same cost model, timeline semantics, and trace instrumentation as DAOP
    which would let it charge different costs for the same op;
 3. any engine-layer code reaching into ``_``-private attributes of the
    Timeline / CostModel / ExpertPlacement objects, bypassing the public
-   accounting API.
+   accounting API;
+4. engine policy code smuggling state through the sequence state's
+   ``extra`` scratch dict instead of the typed hook API
+   (:class:`~repro.core.engine.BlockPlan` returns and ``ctx.policy``) --
+   the side channel the step-machine refactor removed.
 
 Note the rules deliberately do NOT forbid baselines from *uploading*
 experts during decode: on-demand caching and prefetching baselines
@@ -39,7 +43,8 @@ _MIGRATION_NAMES = frozenset({
 
 #: BaseEngine substrate primitives baselines may use but never redefine.
 _SUBSTRATE_METHODS = frozenset({
-    "generate", "_attention", "_gate", "_expert_gpu", "_expert_cpu",
+    "generate", "start", "step", "finish",
+    "_attention", "_gate", "_expert_gpu", "_expert_cpu",
     "_upload_expert", "_drop_expert", "_lm_head",
     "_execute_experts_at_location", "_record_activation_counters",
     "_prefill_standard", "_decode_step_standard", "_device_spec",
@@ -143,4 +148,30 @@ class PrivateSubstrateAccessRule(Rule):
                 ctx, node,
                 f"access to private attribute '{owner}.{attr}'; use the "
                 "substrate's public API",
+            )
+
+
+@register
+class SequenceExtraAccessRule(Rule):
+    """Policy code communicates via BlockPlan/ctx.policy, not ctx.extra."""
+
+    name = "sequence-extra-access"
+    code = "ENG004"
+    description = ("engines outside repro/core/engine.py may not read or "
+                   "write the sequence state's 'extra' scratch dict; "
+                   "return a BlockPlan or keep state on ctx.policy")
+
+    def check(self, ctx: LintContext):
+        """Flag any ``<obj>.extra`` attribute access in engine code."""
+        if not ctx.in_subpath("core") or ctx.rel == ("core", "engine.py"):
+            return
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Attribute) or node.attr != "extra":
+                continue
+            owner = dotted_name(node.value) or "<expr>"
+            yield self.diag(
+                ctx, node,
+                f"access to sequence scratch dict '{owner}.extra'; pass "
+                "residency through BlockPlan returns and keep per-"
+                "sequence policy state on ctx.policy",
             )

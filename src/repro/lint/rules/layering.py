@@ -12,16 +12,20 @@ Layer ranks (a package may import strictly lower ranks, plus itself)::
     1  hardware, workloads
     2  memory, trace
     3  core, lint
-    4  analysis, audit, eval, metrics, serving
-    5  cluster
-    6  cli
+    4  sched
+    5  analysis, audit, eval, metrics, serving
+    6  cluster
+    7  cli
 
-``cluster`` sits in the serving tier but one rank above ``serving``: the
-fleet simulator builds on the single-engine serving vocabulary (it
-extends ``ServingReport``'s request records), while ``serving`` must
-stay importable without any fleet machinery.  ``repro/__init__.py`` is
-the public facade and is exempt; unknown future packages are skipped
-rather than guessed at.
+``sched`` sits between the engines and the evaluation stack: the
+continuous-batching scheduler drives the engine step machine directly
+(rank 3) and is itself consumed by ``serving``.  ``cluster`` sits in
+the serving tier but one rank above ``serving``: the fleet simulator
+builds on the single-engine serving vocabulary (it extends
+``ServingReport``'s request records), while ``serving`` must stay
+importable without any fleet machinery.  ``repro/__init__.py`` is the
+public facade and is exempt; unknown future packages are skipped rather
+than guessed at.
 """
 
 from __future__ import annotations
@@ -38,13 +42,14 @@ LAYERS = {
     "trace": 2,
     "core": 3,
     "lint": 3,
-    "analysis": 4,
-    "audit": 4,
-    "eval": 4,
-    "metrics": 4,
-    "serving": 4,
-    "cluster": 5,
-    "cli": 6,
+    "sched": 4,
+    "analysis": 5,
+    "audit": 5,
+    "eval": 5,
+    "metrics": 5,
+    "serving": 5,
+    "cluster": 6,
+    "cli": 7,
 }
 
 
@@ -63,7 +68,7 @@ class ImportLayeringRule(Rule):
     name = "import-layering"
     code = "LAY001"
     description = ("package imports must follow the layer DAG "
-                   "model/hardware/memory/trace -> core -> "
+                   "model/hardware/memory/trace -> core -> sched -> "
                    "serving/eval/analysis/audit/metrics -> cluster -> cli")
 
     def check(self, ctx: LintContext):

@@ -4,9 +4,14 @@ The paper evaluates single-request latency ("our experiments simulate
 real-time inference scenarios by setting the batch size to one"); this
 module extends the reproduction to the obvious deployment question: what
 do queueing and sustained load do to each engine's user-visible latency?
-Requests arrive by an arrival process, are served FIFO at batch size one,
-and each service time is the engine's *simulated* generation time, so the
-whole serving trace stays in simulated time.
+Requests arrive by an arrival process and are served FIFO through the
+engine's resumable step machine via
+:class:`~repro.sched.scheduler.ContinuousBatchScheduler`: at the default
+``concurrency=1`` this is exactly the paper's batch-size-one regime,
+while higher concurrencies let the decode of one request overlap the
+prefill of the next on the shared resource clock.  Every service time is
+the engine's *simulated* generation time, so the whole serving trace
+stays in simulated time.
 """
 
 from __future__ import annotations
@@ -15,7 +20,8 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.core.engine import BaseEngine
+from repro.core.engine import BaseEngine, SequenceRequest
+from repro.sched.scheduler import ContinuousBatchScheduler
 from repro.workloads.generator import SequenceGenerator
 
 
@@ -135,12 +141,25 @@ class ServingReport:
 
 
 class ServingSimulator:
-    """FIFO batch-size-one serving of one engine (the paper's regime)."""
+    """FIFO serving of one engine through the continuous-batch scheduler.
+
+    Args:
+        engine: the engine under load.
+        generator: deterministic workload source.
+        concurrency: maximum concurrently resident sequences.  The
+            default of 1 reproduces the paper's batch-size-one FIFO
+            regime; larger values interleave requests on the engine's
+            step machine.
+    """
 
     def __init__(self, engine: BaseEngine,
-                 generator: SequenceGenerator) -> None:
+                 generator: SequenceGenerator,
+                 concurrency: int = 1) -> None:
+        if concurrency < 1:
+            raise ValueError("concurrency must be positive")
         self.engine = engine
         self.generator = generator
+        self.concurrency = concurrency
 
     def run(self, arrival_times: np.ndarray, prompt_len: int,
             output_len: int) -> ServingReport:
@@ -151,30 +170,35 @@ class ServingSimulator:
         engines given the same arrival trace serve identical work.
         """
         arrival_times = np.sort(np.asarray(arrival_times, dtype=np.float64))
-        report = ServingReport(engine=self.engine.name)
-        engine_free = 0.0
-        for i, arrival in enumerate(arrival_times):
+        requests = []
+        for i, _ in enumerate(arrival_times):
             sequence = self.generator.sample_sequence(
                 prompt_len, output_len, sample_idx=i
             )
-            result = self.engine.generate(
-                sequence.prompt_tokens, output_len,
-                forced_tokens=sequence.continuation_tokens,
+            requests.append(
+                SequenceRequest(
+                    prompt_tokens=sequence.prompt_tokens,
+                    max_new_tokens=output_len,
+                    forced_tokens=sequence.continuation_tokens,
+                    seq_id=i,
+                )
             )
-            start = max(engine_free, float(arrival))
-            first_token = start + result.stats.prefill_time_s
-            finish = start + result.stats.total_time_s
-            engine_free = finish
+        scheduler = ContinuousBatchScheduler(
+            self.engine, max_batch=self.concurrency
+        )
+        batch = scheduler.run(requests, arrival_times)
+        report = ServingReport(engine=self.engine.name)
+        for rec in batch.records:
             report.requests.append(
                 ServedRequest(
-                    request_id=i,
-                    arrival_s=float(arrival),
-                    start_s=start,
-                    first_token_s=first_token,
-                    finish_s=finish,
-                    n_prompt_tokens=result.stats.n_prompt_tokens,
-                    n_generated=result.stats.n_generated,
-                    energy_j=result.stats.energy.total_j,
+                    request_id=rec.seq_id,
+                    arrival_s=rec.arrival_s,
+                    start_s=rec.service_start_s,
+                    first_token_s=rec.first_token_s,
+                    finish_s=rec.finish_s,
+                    n_prompt_tokens=rec.n_prompt_tokens,
+                    n_generated=rec.n_generated,
+                    energy_j=rec.result.stats.energy.total_j,
                 )
             )
         return report

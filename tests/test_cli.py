@@ -59,6 +59,23 @@ def test_serve(capsys):
     assert "TTFT p50" in out
 
 
+def test_bench_batch(tmp_path, capsys):
+    report_path = tmp_path / "bench.json"
+    rc = main(["bench-batch", *TINY, "--engines", "daop", "--requests",
+               "3", "--batch-sizes", "1", "3", "--input-len", "10",
+               "--output-len", "4", "--json", str(report_path)])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "bench-batch" in out and "overlap" in out
+    payload = json.loads(report_path.read_text())
+    assert len(payload["runs"]) == 2
+    batched = payload["runs"][1]
+    assert batched["max_batch"] == 3
+    # Acceptance: batched makespan undercuts the summed service spans.
+    assert batched["makespan_s"] < batched["sum_solo_makespans_s"]
+    assert batched["overlap_ratio"] > 0
+
+
 def test_trace_with_chrome_export(tmp_path, capsys):
     trace_path = tmp_path / "trace.json"
     rc = main(["trace", *TINY, "--engine", "daop", "--input-len", "10",

@@ -119,7 +119,7 @@ def test_decode_window_matches_trace(tiny_bundle, platform,
         for expert in event.experts:
             counts[event.block, expert] += 1.0
     expected = [per_token[pos] for pos in sorted(per_token)][-6:]
-    window = list(engine._decode_window)
+    window = list(engine._active_state.policy.window)
     assert len(window) == len(expected)
     for got, want in zip(window, expected):
         np.testing.assert_array_equal(got, want)

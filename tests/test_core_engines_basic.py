@@ -125,15 +125,22 @@ def test_duplicate_expert_ids_fill_every_slot(tiny_bundle, platform):
     weight slots (real routers never emit duplicates -- see
     test_model_gating -- but degraded selections may).
     """
-    from repro.core.engine import _SequenceContext
+    from repro.core.engine import (
+        EngineCounters,
+        SequenceRequest,
+        SequenceState,
+    )
     from repro.hardware.timeline import Timeline
+    from repro.model.sampling import greedy
     from repro.trace.recorder import ActivationTrace
 
     def fresh_ctx(engine):
-        from repro.core.engine import EngineCounters
-
-        engine.placement = engine.initial_placement.copy()
-        return _SequenceContext(
+        return SequenceState(
+            request=SequenceRequest(
+                prompt_tokens=np.array([0]), max_new_tokens=1
+            ),
+            sampler=greedy,
+            placement=engine.initial_placement.copy(),
             caches=engine.model.new_caches(),
             timeline=Timeline(),
             trace=ActivationTrace(engine.model.n_blocks,
