@@ -19,6 +19,7 @@ from repro.eval.significance import bootstrap_mean
 from repro.metrics import format_table
 from repro.model.quantization import quantize_experts
 from repro.model.zoo import build_mixtral_8x7b_sim
+from repro.perf import TensorCache
 from repro.workloads import get_task
 
 BITS = (8, 4, 3)
@@ -32,20 +33,33 @@ def test_ablation_quantized_expert_accuracy(benchmark, platform,
     task = get_task("triviaqa")
 
     def compute():
+        # One shared cache serves every configuration; quantization
+        # re-fingerprints the mutated model (via quantize_experts), so
+        # full-precision and per-bit-width entries can never alias.
+        cache = TensorCache(max_bytes=1024 * 1024 * 1024)
         reference_bundle = build_mixtral_8x7b_sim(seed=0, n_blocks=32)
-        harness = AccuracyHarness(reference_bundle, platform, seed=3)
-        out = {"official": harness.evaluate_official(task, n_samples=n)}
-        daop = build_engine("daop", reference_bundle, platform, ECR,
-                            mixtral_calibration)
-        out["daop"] = harness.evaluate(daop, task, n_samples=n)
-        for bits in BITS:
-            bundle = build_mixtral_8x7b_sim(seed=0, n_blocks=32)
-            quantize_experts(bundle.model, bits)
-            engine = OfficialEngine(bundle, platform)
-            engine.name = f"quantized-{bits}bit"
-            # Scored by the same (full-precision) harness references.
-            out[bits] = harness.evaluate(engine, task, n_samples=n)
-        return out
+        reference_bundle.model.attach_compute_cache(cache)
+        quantized_models = []
+        try:
+            harness = AccuracyHarness(reference_bundle, platform, seed=3)
+            out = {"official": harness.evaluate_official(task, n_samples=n)}
+            daop = build_engine("daop", reference_bundle, platform, ECR,
+                                mixtral_calibration)
+            out["daop"] = harness.evaluate(daop, task, n_samples=n)
+            for bits in BITS:
+                bundle = build_mixtral_8x7b_sim(seed=0, n_blocks=32)
+                quantize_experts(bundle.model, bits)
+                bundle.model.attach_compute_cache(cache)
+                quantized_models.append(bundle.model)
+                engine = OfficialEngine(bundle, platform)
+                engine.name = f"quantized-{bits}bit"
+                # Scored by the same (full-precision) harness references.
+                out[bits] = harness.evaluate(engine, task, n_samples=n)
+            return out
+        finally:
+            reference_bundle.model.detach_compute_cache()
+            for model in quantized_models:
+                model.detach_compute_cache()
 
     out = run_once(benchmark, compute)
     rows = []

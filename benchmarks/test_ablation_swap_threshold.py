@@ -13,6 +13,7 @@ from conftest import run_once, scale
 from repro.core import DAOPEngine
 from repro.memory.cache import CacheConfig
 from repro.metrics import format_table, summarize_results
+from repro.perf import TensorCache
 from repro.workloads import SHAREGPT, SequenceGenerator
 
 THRESHOLDS = (1.0, 1.05, 1.5, 3.0, 100.0)
@@ -28,23 +29,32 @@ def test_ablation_swap_threshold(benchmark, mixtral, platform,
                  for i in range(2)]
 
     def compute():
-        out = {}
-        for threshold in THRESHOLDS:
-            engine = DAOPEngine(
-                mixtral, platform, cache_config=CacheConfig(ecr=ECR),
-                calibration_probs=mixtral_calibration,
-                swap_threshold=threshold,
-            )
-            results = [
-                engine.generate(s.prompt_tokens, length,
-                                forced_tokens=s.continuation_tokens)
-                for s in sequences
-            ]
-            summary = summarize_results(f"thr={threshold}", results)
-            swaps = sum(r.stats.counters.prefill_swaps
-                        for r in results) / len(results)
-            out[threshold] = (summary, swaps)
-        return out
+        # The threshold moves swaps, not values: prefill forwards (and any
+        # decode prefix before the placements diverge) are shared across
+        # the sweep through one content-addressed cache.
+        mixtral.model.attach_compute_cache(
+            TensorCache(max_bytes=1024 * 1024 * 1024)
+        )
+        try:
+            out = {}
+            for threshold in THRESHOLDS:
+                engine = DAOPEngine(
+                    mixtral, platform, cache_config=CacheConfig(ecr=ECR),
+                    calibration_probs=mixtral_calibration,
+                    swap_threshold=threshold,
+                )
+                results = [
+                    engine.generate(s.prompt_tokens, length,
+                                    forced_tokens=s.continuation_tokens)
+                    for s in sequences
+                ]
+                summary = summarize_results(f"thr={threshold}", results)
+                swaps = sum(r.stats.counters.prefill_swaps
+                            for r in results) / len(results)
+                out[threshold] = (summary, swaps)
+            return out
+        finally:
+            mixtral.model.detach_compute_cache()
 
     out = run_once(benchmark, compute)
     rows = [[t, s.tokens_per_second, s.gpu_hit_rate, swaps]

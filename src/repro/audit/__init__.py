@@ -20,6 +20,7 @@ from repro.audit.differential import (
     StepParityComparison,
     StepParityReport,
     block_divergence_accounting,
+    cache_parity_problems,
     compare_token_streams,
     run_differential_audit,
     run_step_parity_audit,
@@ -50,6 +51,7 @@ __all__ = [
     "StepParityComparison",
     "StepParityReport",
     "block_divergence_accounting",
+    "cache_parity_problems",
     "compare_token_streams",
     "run_differential_audit",
     "run_step_parity_audit",

@@ -22,6 +22,14 @@ batch-1 :class:`~repro.sched.scheduler.ContinuousBatchScheduler` must
 reproduce the monolithic ``generate()`` run exactly — same tokens, same
 counters, same makespan — and the scheduler-produced result must pass
 the full invariant audit.
+
+Both audits accept a shared content-addressed ``compute_cache``
+(``repro.perf.TensorCache``): identical forwards are then computed once
+across the whole engine matrix.  ``cache_parity=True`` additionally runs
+every generation a second time with the cache detached and asserts the
+two runs are *bitwise* interchangeable — same tokens, same trace events,
+same counters, and a per-op-identical timeline — which is the memoization
+layer's own correctness contract.
 """
 
 from __future__ import annotations
@@ -95,17 +103,19 @@ class DifferentialReport:
     oracle: str
     comparisons: list = field(default_factory=list)
     oracle_audits: list = field(default_factory=list)
+    cache_parity_problems: list = field(default_factory=list)
 
     @property
     def ok(self) -> bool:
         """Whether every comparison and every invariant audit passed."""
         return (all(c.ok for c in self.comparisons)
-                and all(a.ok for a in self.oracle_audits))
+                and all(a.ok for a in self.oracle_audits)
+                and not self.cache_parity_problems)
 
     @property
     def problems(self) -> list:
         """Every problem string across all comparisons and audits."""
-        out = []
+        out = list(self.cache_parity_problems)
         for comparison in self.comparisons:
             prefix = f"{comparison.engine}/seed{comparison.seed}"
             out.extend(f"{prefix}: {p}" for p in comparison.problems)
@@ -188,6 +198,53 @@ def block_divergence_accounting(result: GenerationResult) -> list:
     ]
 
 
+def _timeline_signature(result: GenerationResult) -> list:
+    """Per-op timeline fingerprint (resource, timing, kind, label)."""
+    return [
+        (op.resource, op.duration, op.start, op.end, op.kind, op.label)
+        for op in result.timeline.ops
+    ]
+
+
+def cache_parity_problems(baseline: GenerationResult,
+                          cached: GenerationResult) -> list:
+    """Bitwise differences between a cache-off and a cache-on generation.
+
+    The compute cache's contract is invisibility: attaching it may change
+    wall-clock time only.  Tokens, trace events, engine counters, stats,
+    and the *per-op* simulated timeline must all match exactly.
+    """
+    problems = []
+    if not np.array_equal(baseline.tokens, cached.tokens):
+        problems.append("cache parity: token stream differs from cache-off run")
+    if baseline.trace.events != cached.trace.events:
+        problems.append("cache parity: trace events differ from cache-off run")
+    if baseline.stats.counters != cached.stats.counters:
+        problems.append("cache parity: EngineCounters differ from cache-off run")
+    for attr in ("prefill_time_s", "total_time_s"):
+        if getattr(baseline.stats, attr) != getattr(cached.stats, attr):
+            problems.append(
+                f"cache parity: {attr} differs from cache-off run"
+            )
+    if baseline.timeline.makespan != cached.timeline.makespan:
+        problems.append("cache parity: makespan differs from cache-off run")
+    if _timeline_signature(baseline) != _timeline_signature(cached):
+        problems.append(
+            "cache parity: per-op timeline differs from cache-off run"
+        )
+    return problems
+
+
+def _generate_cache_off(model, compute_cache, engine, prompt,
+                        max_new_tokens) -> GenerationResult:
+    """Run one generation with the compute cache temporarily detached."""
+    model.detach_compute_cache()
+    try:
+        return engine.generate(prompt, max_new_tokens)
+    finally:
+        model.attach_compute_cache(compute_cache)
+
+
 def _is_predictive(engine) -> bool:
     """Whether the engine's *math* may deviate from the true gate."""
     return bool(getattr(engine, "enable_precalc", False))
@@ -248,6 +305,8 @@ def run_differential_audit(
     calibration_probs: np.ndarray | None = None,
     dataset=C4,
     audit_invariants: bool = True,
+    compute_cache=None,
+    cache_parity: bool = False,
 ) -> DifferentialReport:
     """Run every engine against the oracle over a seeded prompt matrix.
 
@@ -265,11 +324,20 @@ def run_differential_audit(
         dataset: workload dataset the prompt matrix is drawn from.
         audit_invariants: also run the full invariant audit on every
             generation (including the oracle's).
+        compute_cache: optional shared ``repro.perf.TensorCache``
+            attached to the model for the whole run, so identical
+            forwards are computed once across engines and seeds.
+        cache_parity: with a ``compute_cache``, additionally re-run
+            every generation cache-off and assert the cache-on run is
+            bitwise interchangeable (tokens, trace events, counters,
+            per-op timeline).  Failures land in ``report.problems``.
 
     Returns:
         A :class:`DifferentialReport`; ``report.ok`` is the audited
         invariant of the whole reproduction.
     """
+    if cache_parity and compute_cache is None:
+        raise ValueError("cache_parity=True requires a compute_cache")
     if engine_names is None:
         engine_names = tuple(n for n in ENGINE_NAMES if n != ORACLE_ENGINE)
     oracle_engine = build_engine(ORACLE_ENGINE, bundle, platform,
@@ -280,23 +348,46 @@ def run_differential_audit(
         for name in engine_names
     }
     report = DifferentialReport(oracle=ORACLE_ENGINE)
-    for seed in seeds:
-        generator = SequenceGenerator(dataset, bundle.vocab,
-                                      seed=int(seed))
-        prompt = generator.sample_sequence(
-            prompt_len, 0, sample_idx=0
-        ).prompt_tokens
-        oracle_result = oracle_engine.generate(prompt, max_new_tokens)
-        if audit_invariants:
-            report.oracle_audits.append(
-                audit_generation(oracle_engine, oracle_result)
-            )
-        for name, engine in engines.items():
-            result = engine.generate(prompt, max_new_tokens)
-            report.comparisons.append(
-                _compare(engine, name, int(seed), oracle_result, result,
-                         audit_invariants)
-            )
+    model = bundle.model
+    if compute_cache is not None:
+        model.attach_compute_cache(compute_cache)
+    try:
+        for seed in seeds:
+            generator = SequenceGenerator(dataset, bundle.vocab,
+                                          seed=int(seed))
+            prompt = generator.sample_sequence(
+                prompt_len, 0, sample_idx=0
+            ).prompt_tokens
+            oracle_result = oracle_engine.generate(prompt, max_new_tokens)
+            if cache_parity:
+                baseline = _generate_cache_off(
+                    model, compute_cache, oracle_engine, prompt,
+                    max_new_tokens,
+                )
+                report.cache_parity_problems.extend(
+                    f"{ORACLE_ENGINE}/seed{seed}: {p}"
+                    for p in cache_parity_problems(baseline, oracle_result)
+                )
+            if audit_invariants:
+                report.oracle_audits.append(
+                    audit_generation(oracle_engine, oracle_result)
+                )
+            for name, engine in engines.items():
+                result = engine.generate(prompt, max_new_tokens)
+                comparison = _compare(engine, name, int(seed),
+                                      oracle_result, result,
+                                      audit_invariants)
+                if cache_parity:
+                    baseline = _generate_cache_off(
+                        model, compute_cache, engine, prompt, max_new_tokens
+                    )
+                    comparison.problems.extend(
+                        cache_parity_problems(baseline, result)
+                    )
+                report.comparisons.append(comparison)
+    finally:
+        if compute_cache is not None:
+            model.detach_compute_cache()
     return report
 
 
@@ -390,6 +481,7 @@ def run_step_parity_audit(
     calibration_probs: np.ndarray | None = None,
     dataset=C4,
     audit_invariants: bool = True,
+    compute_cache=None,
 ) -> StepParityReport:
     """Audit start/step/finish parity with ``generate()`` per engine.
 
@@ -399,38 +491,47 @@ def run_step_parity_audit(
     must agree bitwise on tokens, counters, and timing; the
     scheduler-produced result additionally passes the full invariant
     audit (so scheduler output is interchangeable with ``generate()``
-    output everywhere downstream).
+    output everywhere downstream).  An optional shared ``compute_cache``
+    is attached for the whole run — the three paths then also exercise
+    the memoization layer under the step machine and the scheduler.
     """
     if engine_names is None:
         engine_names = ENGINE_NAMES
     report = StepParityReport()
-    for seed in seeds:
-        generator = SequenceGenerator(dataset, bundle.vocab,
-                                      seed=int(seed))
-        prompt = generator.sample_sequence(
-            prompt_len, 0, sample_idx=0
-        ).prompt_tokens
-        for name in engine_names:
-            engine = build_engine(name, bundle, platform,
-                                  expert_cache_ratio, calibration_probs)
-            comparison = StepParityComparison(engine=name, seed=int(seed))
-            reference = engine.generate(prompt, max_new_tokens)
+    model = bundle.model
+    if compute_cache is not None:
+        model.attach_compute_cache(compute_cache)
+    try:
+        for seed in seeds:
+            generator = SequenceGenerator(dataset, bundle.vocab,
+                                          seed=int(seed))
+            prompt = generator.sample_sequence(
+                prompt_len, 0, sample_idx=0
+            ).prompt_tokens
+            for name in engine_names:
+                engine = build_engine(name, bundle, platform,
+                                      expert_cache_ratio, calibration_probs)
+                comparison = StepParityComparison(engine=name, seed=int(seed))
+                reference = engine.generate(prompt, max_new_tokens)
 
-            state = engine.start(SequenceRequest(
-                prompt_tokens=prompt, max_new_tokens=max_new_tokens,
-            ))
-            while not state.done:
-                engine.step(state)
-            _check_parity(comparison, "start/step/finish",
-                          reference, engine.finish(state))
+                state = engine.start(SequenceRequest(
+                    prompt_tokens=prompt, max_new_tokens=max_new_tokens,
+                ))
+                while not state.done:
+                    engine.step(state)
+                _check_parity(comparison, "start/step/finish",
+                              reference, engine.finish(state))
 
-            scheduler = ContinuousBatchScheduler(engine, max_batch=1)
-            batch = scheduler.run([SequenceRequest(
-                prompt_tokens=prompt, max_new_tokens=max_new_tokens,
-            )])
-            scheduled = batch.records[0].result
-            _check_parity(comparison, "scheduler@1", reference, scheduled)
-            if audit_invariants:
-                comparison.audit = audit_generation(engine, scheduled)
-            report.comparisons.append(comparison)
+                scheduler = ContinuousBatchScheduler(engine, max_batch=1)
+                batch = scheduler.run([SequenceRequest(
+                    prompt_tokens=prompt, max_new_tokens=max_new_tokens,
+                )])
+                scheduled = batch.records[0].result
+                _check_parity(comparison, "scheduler@1", reference, scheduled)
+                if audit_invariants:
+                    comparison.audit = audit_generation(engine, scheduled)
+                report.comparisons.append(comparison)
+    finally:
+        if compute_cache is not None:
+            model.detach_compute_cache()
     return report

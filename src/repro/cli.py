@@ -417,10 +417,14 @@ def cmd_trace(args) -> int:
 def cmd_audit(args) -> int:
     """Differential + invariant + step-parity audit of every engine."""
     from repro.audit import run_differential_audit, run_step_parity_audit
+    from repro.perf import TensorCache
 
     bundle = _build(args)
     platform = default_platform()
     calibration = _calibrate(bundle)
+    cache = None
+    if args.cache_mb > 0:
+        cache = TensorCache(max_bytes=args.cache_mb * 1024 * 1024)
     report = run_differential_audit(
         bundle, platform,
         engine_names=args.engines,
@@ -429,6 +433,8 @@ def cmd_audit(args) -> int:
         max_new_tokens=args.output_len,
         expert_cache_ratio=args.ecr,
         calibration_probs=calibration,
+        compute_cache=cache,
+        cache_parity=cache is not None,
     )
     print(format_table(
         ["engine", "seed", "identical", "divergent", "mispredicted",
@@ -446,8 +452,16 @@ def cmd_audit(args) -> int:
         max_new_tokens=args.output_len,
         expert_cache_ratio=args.ecr,
         calibration_probs=calibration,
+        compute_cache=cache,
     )
     print(parity.format())
+    if cache is not None:
+        stats = cache.stats()
+        print(f"compute cache: {stats['hits']} hit(s) / "
+              f"{stats['misses']} miss(es), {stats['entries']} entries, "
+              f"{stats['current_bytes'] / 1e6:.1f} MB used, "
+              f"{stats['evictions']} eviction(s); cache parity asserted "
+              "bitwise per engine")
     if not report.ok or not parity.ok:
         for problem in report.problems + parity.problems:
             print(f"AUDIT FAILURE: {problem}")
@@ -455,6 +469,74 @@ def cmd_audit(args) -> int:
     print(f"audit ok: {len(report.comparisons)} comparison(s), "
           f"{len(report.oracle_audits)} oracle audit(s), "
           f"{len(parity.comparisons)} step-parity comparison(s)")
+    return 0
+
+
+def cmd_bench_compute(args) -> int:
+    """Cold-vs-warm benchmark of the content-addressed compute cache."""
+    import json
+
+    from repro.model.config import SimSpec
+    from repro.perf import bench_compute
+
+    if args.model != "tiny" and args.sim_width:
+        # A wider functional model than the test-speed default: the bench
+        # measures *compute* savings, which the 64-wide SimSpec understates
+        # (per-op scheduling bookkeeping dominates it).
+        sim = SimSpec(d_model=args.sim_width, n_heads=4, n_kv_heads=2,
+                      d_ff=2 * args.sim_width)
+        bundle = _BUILDERS[args.model](seed=args.seed, n_blocks=args.blocks,
+                                       sim=sim)
+    else:
+        bundle = _build(args)
+    platform = default_platform()
+    calibration = _calibrate(bundle)
+    payload = bench_compute(
+        bundle, platform,
+        seeds=tuple(range(args.seed, args.seed + args.seeds)),
+        prompt_len=args.input_len,
+        max_new_tokens=args.output_len,
+        expert_cache_ratio=args.ecr,
+        calibration_probs=calibration,
+        sweep_len=args.sweep_len,
+        max_bytes=args.cache_mb * 1024 * 1024,
+    )
+    rows = []
+    for key, label in (("differential_audit", "differential audit"),
+                       ("ecr_sweep", "fig10 ECR sweep")):
+        section = payload[key]
+        stats = section["cache"]
+        rows.append([
+            label, f"{section['cold_s']:.3f}", f"{section['warm_s']:.3f}",
+            f"{section['speedup']:.2f}x",
+            f"{stats['hits']}/{stats['hits'] + stats['misses']}",
+            stats["entries"], stats["evictions"],
+        ])
+    print(format_table(
+        ["workload", "cold (s)", "warm (s)", "speedup", "hits/lookups",
+         "entries", "evictions"],
+        rows,
+        title=f"bench-compute: {args.model}, audit {args.seeds} seed(s) "
+              f"in/out {args.input_len}/{args.output_len}, sweep in/out "
+              f"{args.sweep_len}/{args.sweep_len}",
+    ))
+    for key, label in (("differential_audit", "audit"),
+                       ("ecr_sweep", "sweep")):
+        warm = payload[key]["stages_warm"]
+        detail = "  ".join(
+            f"{stage}={100 * s['hit_rate']:.0f}%"
+            for stage, s in warm.items()
+        )
+        print(f"warm hit rates ({label}): {detail}")
+    if args.json:
+        with open(args.json, "w") as handle:
+            handle.write(json.dumps(payload, indent=2, sort_keys=True))
+        print(f"compute benchmark written to {args.json}")
+    ok = payload["criteria"]
+    print(f"criteria: audit >=2x warm speedup: "
+          f"{'PASS' if ok['audit_warm_speedup_ge_2x'] else 'FAIL'}, "
+          f"sweep >=2x warm speedup: "
+          f"{'PASS' if ok['sweep_warm_speedup_ge_2x'] else 'FAIL'}")
     return 0
 
 
@@ -591,7 +673,34 @@ def build_parser() -> argparse.ArgumentParser:
                          help="number of seeded prompts in the matrix")
     p_audit.add_argument("--input-len", type=int, default=16)
     p_audit.add_argument("--output-len", type=int, default=12)
+    p_audit.add_argument("--cache-mb", type=int, default=256,
+                         help="shared compute-cache budget in MB; the "
+                              "audit then also asserts bitwise cache "
+                              "parity per engine (0 disables)")
     p_audit.set_defaults(func=cmd_audit)
+
+    p_bcompute = sub.add_parser(
+        "bench-compute",
+        help="cold-vs-warm benchmark of the forward-compute cache",
+    )
+    _add_common(p_bcompute)
+    p_bcompute.add_argument("--seeds", type=int, default=3,
+                            help="seeded prompts in the audit workload")
+    p_bcompute.add_argument("--input-len", type=int, default=16)
+    p_bcompute.add_argument("--output-len", type=int, default=12)
+    p_bcompute.add_argument("--sweep-len", type=int, default=32,
+                            help="in/out length of the fig10-style "
+                                 "ECR-sweep workload")
+    p_bcompute.add_argument("--cache-mb", type=int, default=256,
+                            help="compute-cache byte budget in MB")
+    p_bcompute.add_argument("--sim-width", type=int, default=256,
+                            help="functional d_model for mixtral/phi: the "
+                                 "bench measures compute savings, so it "
+                                 "defaults wider than the test-speed "
+                                 "SimSpec (tiny ignores this)")
+    p_bcompute.add_argument("--json", default=None,
+                            help="write BENCH_compute.json here")
+    p_bcompute.set_defaults(func=cmd_bench_compute)
 
     p_lint = sub.add_parser(
         "lint", help="daoplint: AST-based invariant checker"

@@ -134,9 +134,7 @@ class PreGatedMoEEngine(BaseEngine):
                         ctx.policy.pending[(block_idx + 1, expert)] = op
 
             logits, gate_op = self._gate(ctx, block_idx, h_att, [attn_op])
-            routing = self.model.blocks[block_idx].router.route_from_logits(
-                logits
-            )
+            routing = self.model.blocks[block_idx].route_from_logits(logits)
             ctx.trace.record(
                 DECODE_PHASE, block_idx, ctx.position, routing.experts[0]
             )

@@ -286,9 +286,7 @@ class DAOPEngine(BaseEngine):
                             attn_op: Op) -> tuple[np.ndarray, list[Op]]:
         """Blocks without a usable prediction run the original gate."""
         logits, gate_op = self._gate(ctx, block_idx, h_att, [attn_op])
-        routing = self.model.blocks[block_idx].router.route_from_logits(
-            logits
-        )
+        routing = self.model.blocks[block_idx].route_from_logits(logits)
         ctx.trace.record(
             DECODE, block_idx, ctx.position, routing.experts[0],
             executed_experts=routing.experts[0],

@@ -522,12 +522,20 @@ class BaseEngine:
         return logits, op
 
     def _expert_gpu(self, ctx: _SequenceContext, block_idx: int,
-                    expert: int, x: np.ndarray,
-                    deps: list[Op]) -> tuple[np.ndarray, Op]:
-        """Execute one expert on the GPU."""
-        y = self.model.blocks[block_idx].expert_forward(expert, x)
+                    expert: int, x: np.ndarray, deps: list[Op],
+                    token_idx: np.ndarray | None = None) -> tuple[np.ndarray, Op]:
+        """Execute one expert on the GPU.
+
+        ``token_idx`` optionally selects rows of ``x`` (the block-level
+        hidden states); passing the full array plus indices lets all
+        experts of a block share one ``ffn_norm``.
+        """
+        y = self.model.blocks[block_idx].expert_forward(
+            expert, x, token_idx=token_idx
+        )
+        n_tokens = x.shape[0] if token_idx is None else len(token_idx)
         duration = self.framework_overhead_s + self.cost_model.expert_time(
-            self.platform.gpu, x.shape[0]
+            self.platform.gpu, n_tokens
         )
         op = ctx.timeline.add(
             GPU, duration, deps=deps,
@@ -538,22 +546,27 @@ class BaseEngine:
 
     def _expert_cpu(self, ctx: _SequenceContext, block_idx: int,
                     expert: int, x: np.ndarray, deps: list[Op],
-                    stale_input: bool = False) -> tuple[np.ndarray, Op]:
+                    stale_input: bool = False,
+                    token_idx: np.ndarray | None = None) -> tuple[np.ndarray, Op]:
         """Execute one expert on the CPU with activation round-trip.
 
         The hidden states move device-to-host, the expert runs on the CPU,
         and the result returns host-to-device; per the paper these
         activation transfers are ~1/10000 the size of the expert weights.
-        Returns the output and the H2D op that lands it back on the GPU.
+        ``token_idx`` optionally selects rows of ``x`` as in
+        :meth:`_expert_gpu`.  Returns the output and the H2D op that lands
+        it back on the GPU.
         """
-        n_tokens = x.shape[0]
+        n_tokens = x.shape[0] if token_idx is None else len(token_idx)
         d2h = ctx.timeline.add(
             D2H,
             self.framework_overhead_s
             + self.cost_model.activation_transfer_time(n_tokens),
             deps=deps, label=f"act>cpu B{block_idx}", kind="act_d2h",
         )
-        y = self.model.blocks[block_idx].expert_forward(expert, x)
+        y = self.model.blocks[block_idx].expert_forward(
+            expert, x, token_idx=token_idx
+        )
         exec_op = ctx.timeline.add(
             CPU,
             self.framework_overhead_s
@@ -670,12 +683,17 @@ class BaseEngine:
             expert = int(expert)
             mask = experts_per_token == expert
             token_idx = np.nonzero(mask.any(axis=1))[0]
-            x = h_att[token_idx]
             expert_deps = deps + extra_deps.get(expert, [])
             if expert in force_gpu or ctx.placement.is_on_gpu(block_idx, expert):
-                y, op = self._expert_gpu(ctx, block_idx, expert, x, expert_deps)
+                y, op = self._expert_gpu(
+                    ctx, block_idx, expert, h_att, expert_deps,
+                    token_idx=token_idx,
+                )
             else:
-                y, op = self._expert_cpu(ctx, block_idx, expert, x, expert_deps)
+                y, op = self._expert_cpu(
+                    ctx, block_idx, expert, h_att, expert_deps,
+                    token_idx=token_idx,
+                )
             ops.append(op)
             for row, t in enumerate(token_idx):
                 # A router can only select an expert once per token, but a
@@ -699,9 +717,7 @@ class BaseEngine:
                 ctx, block_idx, h, last_ops, PREFILL
             )
             logits, gate_op = self._gate(ctx, block_idx, h_att, [attn_op])
-            routing = self.model.blocks[block_idx].router.route_from_logits(
-                logits
-            )
+            routing = self.model.blocks[block_idx].route_from_logits(logits)
             for t in range(n_tokens):
                 ctx.trace.record(
                     PREFILL, block_idx, ctx.position + t, routing.experts[t]
@@ -738,9 +754,7 @@ class BaseEngine:
                 ctx, block_idx, h, last_ops, DECODE
             )
             logits, gate_op = self._gate(ctx, block_idx, h_att, [attn_op])
-            routing = self.model.blocks[block_idx].router.route_from_logits(
-                logits
-            )
+            routing = self.model.blocks[block_idx].route_from_logits(logits)
             ctx.trace.record(
                 DECODE, block_idx, ctx.position, routing.experts[0]
             )

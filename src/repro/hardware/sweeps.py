@@ -80,9 +80,27 @@ def sweep(base: Platform, axis: str,
 
 
 def run_sweep(base: Platform, axis: str, factors: Iterable[float],
-              measure: Callable[[Platform], float]) -> dict[float, float]:
-    """Evaluate ``measure`` on each variant; returns factor -> value."""
-    return {
-        factor: measure(platform)
-        for factor, platform in sweep(base, axis, factors)
-    }
+              measure: Callable[[Platform], float],
+              model=None, compute_cache=None) -> dict[float, float]:
+    """Evaluate ``measure`` on each variant; returns factor -> value.
+
+    Platform scaling changes op *durations* only — the functional math is
+    identical at every sweep point.  Passing a ``model`` (any object with
+    ``attach_compute_cache``/``detach_compute_cache``, i.e. a
+    ``repro.model.MoETransformer``) together with a ``compute_cache``
+    (``repro.perf.TensorCache``) therefore lets every point after the
+    first reuse the first point's forward computations; the cache is
+    detached again when the sweep finishes.
+    """
+    if (model is None) != (compute_cache is None):
+        raise ValueError("model and compute_cache must be passed together")
+    if model is not None:
+        model.attach_compute_cache(compute_cache)
+    try:
+        return {
+            factor: measure(platform)
+            for factor, platform in sweep(base, axis, factors)
+        }
+    finally:
+        if model is not None:
+            model.detach_compute_cache()

@@ -33,7 +33,9 @@ from repro.lint.rules.docs_sync import (
 )
 from repro.lint.rules.engine_contract import (
     BaselineMigrationRule,
+    ExpertStageApiRule,
     PrivateSubstrateAccessRule,
+    SequenceExtraAccessRule,
     SubstrateOverrideRule,
 )
 from repro.lint.rules.layering import LAYERS, ImportLayeringRule
@@ -50,7 +52,9 @@ __all__ = [
     "UnseededNumpyRule",
     "WallClockRule",
     "BaselineMigrationRule",
+    "ExpertStageApiRule",
     "PrivateSubstrateAccessRule",
+    "SequenceExtraAccessRule",
     "SubstrateOverrideRule",
     "LAYERS",
     "ImportLayeringRule",

@@ -16,7 +16,12 @@ same cost model, timeline semantics, and trace instrumentation as DAOP
 4. engine policy code smuggling state through the sequence state's
    ``extra`` scratch dict instead of the typed hook API
    (:class:`~repro.core.engine.BlockPlan` returns and ``ctx.policy``) --
-   the side channel the step-machine refactor removed.
+   the side channel the step-machine refactor removed;
+5. engine or audit code invoking expert math directly
+   (``SwiGLUExpert.__call__`` / ``block.experts[i](...)``) instead of the
+   cache-aware ``MoEBlock`` stage API -- a direct call bypasses the
+   content-addressed compute cache and the shared ``ffn_norm`` hoist, so
+   its output would not participate in the cache-parity guarantee.
 
 Note the rules deliberately do NOT forbid baselines from *uploading*
 experts during decode: on-demand caching and prefetching baselines
@@ -175,3 +180,58 @@ class SequenceExtraAccessRule(Rule):
                 "residency through BlockPlan returns and keep per-"
                 "sequence policy state on ctx.policy",
             )
+
+
+@register
+class ExpertStageApiRule(Rule):
+    """Engine/audit code runs expert math via the MoEBlock stage API."""
+
+    name = "expert-stage-api"
+    code = "ENG005"
+    description = ("engine and audit code must invoke expert math through "
+                   "the cache-aware MoEBlock stage API "
+                   "(expert_forward/gate_logits/...), never by calling "
+                   "SwiGLUExpert or block.experts[i] directly")
+
+    def check(self, ctx: LintContext):
+        """Flag direct ``<obj>.experts[i](...)`` calls and SwiGLUExpert
+        imports in ``repro/core`` and ``repro/audit``.
+
+        Subscript *reads* of an ``experts`` attribute stay legal — routing
+        decisions and trace events expose ``experts`` arrays that engine
+        code inspects constantly; only *calling* the subscripted value
+        executes expert math outside the stage API.
+        """
+        if not (ctx.in_subpath("core") or ctx.in_subpath("audit")):
+            return
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Call):
+                func = node.func
+                if isinstance(func, ast.Subscript) \
+                        and isinstance(func.value, ast.Attribute) \
+                        and func.value.attr == "experts":
+                    owner = dotted_name(func.value.value) or "<expr>"
+                    yield self.diag(
+                        ctx, node,
+                        f"direct expert call '{owner}.experts[...](...)' "
+                        "bypasses the compute cache; use "
+                        "MoEBlock.expert_forward",
+                    )
+            elif isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.name.startswith("repro.model.experts"):
+                        yield self.diag(
+                            ctx, node,
+                            f"imports expert module '{alias.name}'; expert "
+                            "math must go through the MoEBlock stage API",
+                        )
+            elif isinstance(node, ast.ImportFrom) and node.module:
+                if node.module.startswith("repro.model.experts") or (
+                    node.module.startswith("repro.model")
+                    and any(a.name == "SwiGLUExpert" for a in node.names)
+                ):
+                    yield self.diag(
+                        ctx, node,
+                        f"imports SwiGLUExpert from '{node.module}'; expert "
+                        "math must go through the MoEBlock stage API",
+                    )

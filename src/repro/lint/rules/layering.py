@@ -14,7 +14,7 @@ Layer ranks (a package may import strictly lower ranks, plus itself)::
     3  core, lint
     4  sched
     5  analysis, audit, eval, metrics, serving
-    6  cluster
+    6  cluster, perf
     7  cli
 
 ``sched`` sits between the engines and the evaluation stack: the
@@ -23,9 +23,12 @@ continuous-batching scheduler drives the engine step machine directly
 the serving tier but one rank above ``serving``: the fleet simulator
 builds on the single-engine serving vocabulary (it extends
 ``ServingReport``'s request records), while ``serving`` must stay
-importable without any fleet machinery.  ``repro/__init__.py`` is the
-public facade and is exempt; unknown future packages are skipped rather
-than guessed at.
+importable without any fleet machinery.  ``perf`` (the forward-compute
+cache + its cold/warm benchmark harness) also ranks 6: its benchmark
+drives the differential audit (rank 5), while the model consumes the
+cache purely by duck typing — ``repro.model`` never imports ``perf``.
+``repro/__init__.py`` is the public facade and is exempt; unknown
+future packages are skipped rather than guessed at.
 """
 
 from __future__ import annotations
@@ -49,6 +52,7 @@ LAYERS = {
     "metrics": 5,
     "serving": 5,
     "cluster": 6,
+    "perf": 6,
     "cli": 7,
 }
 

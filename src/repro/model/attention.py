@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import hashlib
+
 import numpy as np
 
 from repro.model.config import SimSpec
@@ -23,6 +25,10 @@ class KVCache:
         self._len = 0
         self._k = np.zeros((n_kv_heads, self._capacity, head_dim), dtype=np.float32)
         self._v = np.zeros((n_kv_heads, self._capacity, head_dim), dtype=np.float32)
+        # Rolling digest of everything ever appended, in order — a cheap
+        # content address for the cache state (repro.perf memoization).
+        self._digest = hashlib.blake2b(digest_size=16)
+        self._digest_valid = True
 
     def __len__(self) -> int:
         return self._len
@@ -44,6 +50,9 @@ class KVCache:
         self._k[:, self._len : self._len + n_new] = k
         self._v[:, self._len : self._len + n_new] = v
         self._len += n_new
+        if self._digest_valid:
+            self._digest.update(np.ascontiguousarray(k).tobytes())
+            self._digest.update(np.ascontiguousarray(v).tobytes())
 
     @property
     def keys(self) -> np.ndarray:
@@ -55,10 +64,24 @@ class KVCache:
         """View of the cached values, shape ``(n_kv_heads, len, head_dim)``."""
         return self._v[:, : self._len]
 
+    @property
+    def content_digest(self) -> bytes | None:
+        """Digest of the append history, or ``None`` once untrackable.
+
+        The digest is chained over every ``append`` in order, so two
+        caches hold bitwise-identical content whenever their digests
+        match.  After a shrinking :meth:`truncate` the history no longer
+        describes the live content and the digest goes permanently
+        ``None`` — consumers (the compute cache) must then bypass.
+        """
+        return self._digest.digest() if self._digest_valid else None
+
     def truncate(self, length: int) -> None:
         """Drop cached entries beyond ``length`` (used to reset sequences)."""
         if length < 0 or length > self._len:
             raise ValueError("invalid truncation length")
+        if length < self._len:
+            self._digest_valid = False
         self._len = length
 
 
@@ -88,6 +111,18 @@ class GroupedQueryAttention:
         absolute positions of the new tokens; causality is enforced for the
         new tokens relative to each other and everything already cached is
         visible (it precedes them).
+        """
+        out, _, _ = self.forward_with_kv(x, cache, positions)
+        return out
+
+    def forward_with_kv(
+        self, x: np.ndarray, cache: KVCache, positions: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Like :meth:`__call__`, but also return the appended keys/values.
+
+        The extra ``(k, v)`` (shape ``(n_kv_heads, n_new, head_dim)``) let a
+        compute cache replay the exact ``cache.append`` side effect on a hit
+        without recomputing the projections.
         """
         sim = self.sim
         n_new = x.shape[0]
@@ -124,7 +159,7 @@ class GroupedQueryAttention:
         weights = softmax(scores, axis=-1)
         out = weights @ values_q                       # (n_heads, n_new, hd)
         out = np.transpose(out, (1, 0, 2)).reshape(n_new, sim.d_model)
-        return self.wo(out)
+        return self.wo(out), k, v
 
     @property
     def n_params(self) -> int:

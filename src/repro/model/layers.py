@@ -11,8 +11,15 @@ import numpy as np
 
 
 def silu(x: np.ndarray) -> np.ndarray:
-    """SiLU (swish) activation: ``x * sigmoid(x)``."""
-    return x / (1.0 + np.exp(-x))
+    """SiLU (swish) activation: ``x * sigmoid(x)``.
+
+    For large-magnitude negative inputs ``exp(-x)`` overflows float32 to
+    ``inf``; the quotient is still the correct limit (``-x / inf == -0.0``),
+    so the intermediate overflow warning is suppressed rather than the
+    math changed.
+    """
+    with np.errstate(over="ignore"):
+        return x / (1.0 + np.exp(-x))
 
 
 def softmax(x: np.ndarray, axis: int = -1) -> np.ndarray:

@@ -3,6 +3,15 @@
 The inference engines in :mod:`repro.core` schedule attention, gating, and
 individual expert FFNs separately (that is the whole point of DAOP), so the
 block exposes each stage as its own method instead of a single ``forward``.
+
+Every stage is *cache-aware*: when a content-addressed compute cache
+(duck-typed ``repro.perf.TensorCache``) is attached via
+:meth:`set_compute_cache` — normally through
+``MoETransformer.attach_compute_cache`` — each stage first looks up the
+digest of its inputs and only computes on a miss.  Because the stages are
+pure functions of their input bytes and the block weights, a hit is
+bitwise-identical to recomputation; with no cache attached the stages
+compute directly, unchanged.
 """
 
 from __future__ import annotations
@@ -38,26 +47,191 @@ class MoEBlock:
         self.experts = [
             SwiGLUExpert(sim.d_model, sim.d_ff, rng) for _ in range(n_experts)
         ]
+        # Content-addressed compute cache (duck-typed repro.perf.TensorCache)
+        # and its key namespace (the owning model's weights fingerprint).
+        # None means "compute directly".
+        self.compute_cache = None
+        self.cache_scope: str | None = None
+        # One-slot identity memo for ffn_norm: (h_att object, normed).
+        # Holding the input reference keeps its id() stable and valid.
+        self._norm_memo: tuple[np.ndarray, np.ndarray] | None = None
+        # One-slot identity memo for hidden-state digests: the gate, the
+        # routed experts, and ffn_norm all key on the same h_att object,
+        # which therefore only needs hashing once per block step.
+        self._digest_memo: tuple[np.ndarray, bytes] | None = None
+
+    # ---- compute-cache plumbing ----------------------------------------------
+
+    def set_compute_cache(self, cache, scope: str | None) -> None:
+        """Attach (or detach, with ``None``) a content-addressed cache.
+
+        ``scope`` namespaces every key — callers pass the model's weights
+        fingerprint so in-place weight mutation (quantization) can never
+        alias entries from different weight states.
+        """
+        self.compute_cache = cache
+        self.cache_scope = scope
+        self._norm_memo = None
+        self._digest_memo = None
+
+    def _arr_digest(self, arr: np.ndarray) -> bytes:
+        """Content digest of one array, memoized by object identity."""
+        memo = self._digest_memo
+        if memo is not None and memo[0] is arr:
+            return memo[1]
+        digest = self.compute_cache.key(arr)
+        self._digest_memo = (arr, digest)
+        return digest
+
+    def weight_arrays(self) -> list[np.ndarray]:
+        """Every functional weight array of the block, in a fixed order."""
+        arrays = [
+            self.attn_norm.gain,
+            self.attention.wq.weight,
+            self.attention.wk.weight,
+            self.attention.wv.weight,
+            self.attention.wo.weight,
+            self.ffn_norm.gain,
+            self.router.gate.weight,
+        ]
+        for expert in self.experts:
+            arrays.extend((expert.w1.weight, expert.w2.weight, expert.w3.weight))
+        return arrays
 
     # ---- fine-grained stages -------------------------------------------------
 
     def attention_part(self, h: np.ndarray, cache: KVCache,
                        positions: np.ndarray) -> np.ndarray:
-        """Non-MoE part: pre-norm attention plus residual connection."""
-        attn_out = self.attention(self.attn_norm(h), cache, positions)
-        return h + self.residual_scale * attn_out
+        """Non-MoE part: pre-norm attention plus residual connection.
+
+        With a compute cache attached, the key covers the KV cache's
+        content digest as well as ``h`` and ``positions`` (attention reads
+        the whole cached prefix), and the memoized value carries the
+        appended keys/values so a hit replays the ``cache.append`` side
+        effect exactly.  A KV cache whose digest is ``None`` (truncated
+        history) bypasses memoization.
+        """
+        tensor_cache = self.compute_cache
+        kv_digest = None if tensor_cache is None else cache.content_digest
+        if tensor_cache is None or kv_digest is None:
+            attn_out = self.attention(self.attn_norm(h), cache, positions)
+            return h + self.residual_scale * attn_out
+        key = tensor_cache.key(
+            self.cache_scope, self.block_idx, "attn", kv_digest,
+            self._arr_digest(h), np.asarray(positions),
+        )
+        hit = tensor_cache.get(key, "attn")
+        if hit is not None:
+            h_att, k, v = hit
+            cache.append(k, v)
+            return h_att
+        attn_out, k, v = self.attention.forward_with_kv(
+            self.attn_norm(h), cache, positions
+        )
+        h_att = h + self.residual_scale * attn_out
+        h_att, _, _ = tensor_cache.put(key, "attn", (h_att, k, v))
+        return h_att
+
+    def ffn_normed(self, h_att: np.ndarray) -> np.ndarray:
+        """``ffn_norm`` of the post-attention states, computed once.
+
+        The normalization is shared by the gate and every routed expert
+        (previously recomputed per consumer — 3x per token at top-2); a
+        one-slot identity memo makes repeat calls on the same array free
+        even without a compute cache attached.
+        """
+        h_att = np.atleast_2d(h_att)
+        memo = self._norm_memo
+        if memo is not None and memo[0] is h_att:
+            return memo[1]
+        tensor_cache = self.compute_cache
+        if tensor_cache is None:
+            normed = self.ffn_norm(h_att)
+        else:
+            key = tensor_cache.key(
+                self.cache_scope, self.block_idx, "ffn_norm",
+                self._arr_digest(h_att),
+            )
+            normed = tensor_cache.get(key, "ffn_norm")
+            if normed is None:
+                normed = tensor_cache.put(key, "ffn_norm", self.ffn_norm(h_att))
+        self._norm_memo = (h_att, normed)
+        return normed
 
     def gate_logits(self, h_att: np.ndarray) -> np.ndarray:
         """Router logits on the (normalized) post-attention hidden states."""
-        return self.router.logits(self.ffn_norm(np.atleast_2d(h_att)))
+        h_att = np.atleast_2d(h_att)
+        tensor_cache = self.compute_cache
+        if tensor_cache is None:
+            return self.router.logits(self.ffn_normed(h_att))
+        key = tensor_cache.key(
+            self.cache_scope, self.block_idx, "gate", self._arr_digest(h_att)
+        )
+        logits = tensor_cache.get(key, "gate")
+        if logits is None:
+            logits = tensor_cache.put(
+                key, "gate", self.router.logits(self.ffn_normed(h_att))
+            )
+        return logits
+
+    def route_from_logits(self, logits: np.ndarray) -> RoutingDecision:
+        """Top-k routing decision from precomputed gate logits.
+
+        The memoized value is the ``(experts, weights)`` pair; the caller's
+        logits are re-attached to the returned decision, so hit and miss
+        produce identical :class:`RoutingDecision` contents.
+        """
+        logits = np.atleast_2d(logits)
+        tensor_cache = self.compute_cache
+        if tensor_cache is None:
+            return self.router.route_from_logits(logits)
+        key = tensor_cache.key(self.cache_scope, self.block_idx, "route", logits)
+        hit = tensor_cache.get(key, "route")
+        if hit is None:
+            decision = self.router.route_from_logits(logits)
+            hit = tensor_cache.put(
+                key, "route", (decision.experts, decision.weights)
+            )
+        experts, weights = hit
+        return RoutingDecision(logits=logits, experts=experts, weights=weights)
 
     def route(self, h_att: np.ndarray) -> RoutingDecision:
         """Top-k routing decision from post-attention hidden states."""
-        return self.router.route_from_logits(self.gate_logits(h_att))
+        return self.route_from_logits(self.gate_logits(h_att))
 
-    def expert_forward(self, expert_idx: int, h_att: np.ndarray) -> np.ndarray:
-        """Run one expert FFN on post-attention hidden states."""
-        return self.experts[expert_idx](self.ffn_norm(np.atleast_2d(h_att)))
+    def expert_forward(self, expert_idx: int, h_att: np.ndarray,
+                       token_idx: np.ndarray | None = None) -> np.ndarray:
+        """Run one expert FFN on (a subset of) post-attention states.
+
+        ``token_idx`` selects rows of ``h_att`` *after* normalization —
+        RMSNorm is row-wise, so ``ffn_norm(h_att)[token_idx]`` is bitwise
+        equal to ``ffn_norm(h_att[token_idx])`` while letting all experts
+        of a block share one normalization (and one cache entry for it).
+        A ``token_idx`` covering every row in order is canonicalized to
+        ``None`` so both spellings share a cache key.
+        """
+        h_att = np.atleast_2d(h_att)
+        if token_idx is not None:
+            token_idx = np.asarray(token_idx, dtype=np.int64)
+            if token_idx.shape == (h_att.shape[0],) and np.array_equal(
+                token_idx, np.arange(h_att.shape[0])
+            ):
+                token_idx = None
+        tensor_cache = self.compute_cache
+        if tensor_cache is None:
+            normed = self.ffn_normed(h_att)
+            x = normed if token_idx is None else normed[token_idx]
+            return self.experts[expert_idx](x)
+        key = tensor_cache.key(
+            self.cache_scope, self.block_idx, "expert", int(expert_idx),
+            self._arr_digest(h_att), token_idx,
+        )
+        out = tensor_cache.get(key, "expert")
+        if out is None:
+            normed = self.ffn_normed(h_att)
+            x = normed if token_idx is None else normed[token_idx]
+            out = tensor_cache.put(key, "expert", self.experts[expert_idx](x))
+        return out
 
     def combine(self, h_att: np.ndarray, expert_outputs: np.ndarray,
                 weights: np.ndarray) -> np.ndarray:
@@ -75,18 +249,26 @@ class MoEBlock:
 
     def forward(self, h: np.ndarray, cache: KVCache,
                 positions: np.ndarray) -> tuple[np.ndarray, RoutingDecision]:
-        """Reference (exact) forward pass through the whole block."""
+        """Reference (exact) forward pass through the whole block.
+
+        Experts dispatch grouped per expert id — the same order and
+        batching as the engines' ``_execute_experts_at_location`` and
+        :meth:`MoETransformer.forward_exact` — so the reference path
+        produces (and, with a cache attached, shares) the exact tensors
+        the scheduled paths do.
+        """
         h_att = self.attention_part(h, cache, positions)
         decision = self.route(h_att)
-        outs = np.stack(
-            [
-                np.stack(
-                    [self.expert_forward(int(e), h_att[t : t + 1])[0]
-                     for e in decision.experts[t]]
-                )
-                for t in range(h_att.shape[0])
-            ]
+        outs = np.empty(
+            (h_att.shape[0], self.top_k, self.sim.d_model), dtype=np.float32
         )
+        for expert_idx in np.unique(decision.experts):
+            mask = decision.experts == expert_idx
+            token_idx = np.nonzero(mask.any(axis=1))[0]
+            out = self.expert_forward(int(expert_idx), h_att, token_idx=token_idx)
+            for row, t in enumerate(token_idx):
+                for slot in np.nonzero(mask[t])[0]:
+                    outs[t, int(slot)] = out[row]
         return self.combine(h_att, outs, decision.weights), decision
 
     @property

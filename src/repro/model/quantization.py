@@ -50,6 +50,11 @@ def quantize_experts(model: MoETransformer, bits: int,
     Returns the number of experts quantized.  Attention, router, and
     embedding weights stay full precision, matching Mixtral-Offloading's
     mixed-quantization design (only experts are compressed).
+
+    The model's weights fingerprint is invalidated afterwards so an
+    attached compute cache can never serve pre-quantization tensors for
+    the mutated model.  Callers of :func:`quantize_expert` directly (no
+    model handle) must invalidate themselves.
     """
     count = 0
     target_blocks = range(model.n_blocks) if blocks is None else blocks
@@ -57,6 +62,7 @@ def quantize_experts(model: MoETransformer, bits: int,
         for expert in model.blocks[block_idx].experts:
             quantize_expert(expert, bits)
             count += 1
+    model.invalidate_weights_fingerprint()
     return count
 
 

@@ -9,6 +9,8 @@ reference end-to-end path used as the accuracy oracle.
 
 from __future__ import annotations
 
+import hashlib
+
 import numpy as np
 
 from repro.model.attention import KVCache
@@ -38,6 +40,59 @@ class MoETransformer:
             for i in range(profile.n_blocks)
         ]
         self.final_norm = RMSNorm(sim.d_model)
+        # Content-addressed compute cache (duck-typed repro.perf.TensorCache);
+        # None means every stage computes directly.
+        self.compute_cache = None
+        self._weights_fingerprint: str | None = None
+
+    # ---- compute-cache plumbing ----------------------------------------------
+
+    def weights_fingerprint(self) -> str:
+        """Hex digest over every functional weight array of the model.
+
+        Used as the compute-cache key namespace, so two models (or one
+        model before/after in-place weight mutation) can never alias
+        cache entries.  Computed lazily and memoized;
+        :meth:`invalidate_weights_fingerprint` forces a re-hash.
+        """
+        if self._weights_fingerprint is None:
+            digest = hashlib.blake2b(digest_size=16)
+            digest.update(np.ascontiguousarray(self.embedding).tobytes())
+            for block in self.blocks:
+                for array in block.weight_arrays():
+                    digest.update(np.ascontiguousarray(array).tobytes())
+            digest.update(np.ascontiguousarray(self.final_norm.gain).tobytes())
+            self._weights_fingerprint = digest.hexdigest()
+        return self._weights_fingerprint
+
+    def attach_compute_cache(self, cache) -> None:
+        """Route every block stage and the LM head through ``cache``.
+
+        ``cache`` is duck-typed (``key``/``get``/``put`` — normally a
+        ``repro.perf.TensorCache``) so the model layer never imports the
+        perf package.  Keys are namespaced by :meth:`weights_fingerprint`.
+        """
+        scope = self.weights_fingerprint()
+        self.compute_cache = cache
+        for block in self.blocks:
+            block.set_compute_cache(cache, scope)
+
+    def detach_compute_cache(self) -> None:
+        """Restore direct (uncached) computation on every stage."""
+        self.compute_cache = None
+        for block in self.blocks:
+            block.set_compute_cache(None, None)
+
+    def invalidate_weights_fingerprint(self) -> None:
+        """Re-hash the weights after an in-place mutation (quantization).
+
+        If a compute cache is attached it is re-attached under the new
+        fingerprint, so stale entries keyed on the old weights can never
+        be returned for the mutated model.
+        """
+        self._weights_fingerprint = None
+        if self.compute_cache is not None:
+            self.attach_compute_cache(self.compute_cache)
 
     # ---- component access ----------------------------------------------------
 
@@ -70,7 +125,17 @@ class MoETransformer:
 
     def lm_logits(self, h: np.ndarray) -> np.ndarray:
         """Weight-tied LM head logits from final hidden states."""
-        return self.final_norm(np.atleast_2d(h)) @ self.embedding.T
+        h = np.atleast_2d(h)
+        cache = self.compute_cache
+        if cache is None:
+            return self.final_norm(h) @ self.embedding.T
+        key = cache.key(self.weights_fingerprint(), "lm_head", h)
+        logits = cache.get(key, "lm_head")
+        if logits is None:
+            logits = cache.put(
+                key, "lm_head", self.final_norm(h) @ self.embedding.T
+            )
+        return logits
 
     def lm_log_probs(self, h: np.ndarray) -> np.ndarray:
         """Log-probabilities over the vocabulary."""
@@ -106,7 +171,9 @@ class MoETransformer:
             for expert_idx in np.unique(decision.experts):
                 mask = decision.experts == expert_idx
                 token_idx = np.nonzero(mask.any(axis=1))[0]
-                out = block.expert_forward(int(expert_idx), h_att[token_idx])
+                out = block.expert_forward(
+                    int(expert_idx), h_att, token_idx=token_idx
+                )
                 for row, t in enumerate(token_idx):
                     slot = int(np.nonzero(mask[t])[0][0])
                     outs[t, slot] = out[row]

@@ -1,0 +1,34 @@
+"""Content-addressed forward-compute memoization and its benchmark.
+
+DAOP's core premise is that placement and scheduling change *time*, never
+*values*: every functional numpy forward in this repository is a pure
+function of its input bytes and the model weights.  ``repro.perf``
+exploits that for the simulator's own wall clock — a bounded-byte,
+BLAKE2-keyed LRU (:class:`TensorCache`) that the model stages consult via
+``MoETransformer.attach_compute_cache``, shared across engines by the
+differential audit and across sweep points by the benchmarks, plus the
+cold-vs-warm self-measurement harness behind ``repro bench-compute``
+(:func:`bench_compute`).  See ``docs/performance.md``.
+"""
+
+from repro.perf.bench import (
+    SWEEP_ECRS,
+    SWEEP_ENGINES,
+    bench_compute,
+)
+from repro.perf.tensor_cache import (
+    DEFAULT_MAX_BYTES,
+    StageCounters,
+    TensorCache,
+    content_key,
+)
+
+__all__ = [
+    "SWEEP_ECRS",
+    "SWEEP_ENGINES",
+    "bench_compute",
+    "DEFAULT_MAX_BYTES",
+    "StageCounters",
+    "TensorCache",
+    "content_key",
+]

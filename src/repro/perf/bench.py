@@ -1,0 +1,175 @@
+"""Cold-vs-warm wall-clock benchmark of the forward-compute cache.
+
+This is the repo's self-measurement harness (``repro bench-compute``):
+it runs the two workloads the cache was built for — the cross-engine
+differential audit and a fig10-style ECR sweep — twice each against one
+shared :class:`~repro.perf.tensor_cache.TensorCache`, and reports the
+cold (first, cache-filling) versus warm (second, cache-served) wall
+clock together with per-stage hit rates and the cache's occupancy
+counters.  The resulting payload is what CI uploads as
+``BENCH_compute.json``.
+
+Unlike everything else under ``src/repro``, this module intentionally
+reads the host wall clock: it measures the *simulator's own* execution
+cost, not simulated time, so ``Timeline`` durations are the wrong
+instrument.  The reads are confined to :func:`_now` and suppressed
+per-line for daoplint's DET003.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.audit.differential import run_differential_audit
+from repro.core import build_engine
+from repro.perf.tensor_cache import DEFAULT_MAX_BYTES, TensorCache
+from repro.workloads import SHAREGPT, SequenceGenerator
+
+#: Fig. 10's expert-cache-ratio sweep points.
+SWEEP_ECRS = (0.25, 0.375, 0.50, 0.625)
+
+#: Fig. 10's engine pair (the paper's headline comparison).
+SWEEP_ENGINES = ("fiddler", "daop")
+
+
+def _now() -> float:
+    """Host wall-clock timestamp (self-measurement, not simulated time)."""
+    return time.perf_counter()  # daoplint: disable=wall-clock
+
+
+def _stage_snapshot(cache: TensorCache) -> dict:
+    """Copy of the per-stage hit/miss counters."""
+    return {
+        stage: (c.hits, c.misses)
+        for stage, c in cache.stage_counters.items()
+    }
+
+
+def _stage_delta(before: dict, after: dict) -> dict:
+    """Per-stage hit rates accumulated between two snapshots."""
+    out = {}
+    for stage, (hits, misses) in sorted(after.items()):
+        h0, m0 = before.get(stage, (0, 0))
+        d_hits, d_misses = hits - h0, misses - m0
+        lookups = d_hits + d_misses
+        out[stage] = {
+            "hits": d_hits,
+            "misses": d_misses,
+            "hit_rate": d_hits / lookups if lookups else 0.0,
+        }
+    return out
+
+
+def _timed_phases(run, cache: TensorCache) -> dict:
+    """Run ``run()`` twice (cold, then warm) against a fresh-state cache.
+
+    Returns the section payload: cold/warm seconds, speedup, per-phase
+    stage hit rates, and the cache's final stats.
+    """
+    cold_start = _now()
+    run()
+    cold_s = _now() - cold_start
+    cold_stages = _stage_snapshot(cache)
+    warm_start = _now()
+    run()
+    warm_s = _now() - warm_start
+    warm_stages = _stage_delta(cold_stages, _stage_snapshot(cache))
+    return {
+        "cold_s": cold_s,
+        "warm_s": warm_s,
+        "speedup": cold_s / warm_s if warm_s > 0 else float("inf"),
+        "stages_cold": _stage_delta({}, cold_stages),
+        "stages_warm": warm_stages,
+        "cache": cache.stats(),
+    }
+
+
+def bench_compute(
+    bundle,
+    platform,
+    seeds=(0, 1, 2),
+    prompt_len: int = 16,
+    max_new_tokens: int = 12,
+    expert_cache_ratio: float = 0.5,
+    calibration_probs=None,
+    sweep_len: int = 32,
+    sweep_ecrs=SWEEP_ECRS,
+    sweep_engines=SWEEP_ENGINES,
+    max_bytes: int = DEFAULT_MAX_BYTES,
+) -> dict:
+    """Measure cold-vs-warm wall clock for the audit and sweep workloads.
+
+    Each section gets its own shared :class:`TensorCache` and is executed
+    twice: the cold pass fills the cache (paying digest+store overhead on
+    top of the compute), the warm pass re-runs the identical workload and
+    is served from it.  The differential audit runs with
+    ``audit_invariants=False`` — the post-hoc invariant audit is
+    bookkeeping, not forward compute, and is not what the cache
+    accelerates.
+
+    Returns a JSON-serializable payload (the ``BENCH_compute.json``
+    schema) with per-section timings, speedups, per-stage hit rates,
+    cache occupancy/eviction counters, and the >=2x acceptance booleans.
+    """
+    audit_cache = TensorCache(max_bytes=max_bytes)
+
+    def run_audit() -> None:
+        report = run_differential_audit(
+            bundle, platform, seeds=seeds, prompt_len=prompt_len,
+            max_new_tokens=max_new_tokens,
+            expert_cache_ratio=expert_cache_ratio,
+            calibration_probs=calibration_probs,
+            audit_invariants=False, compute_cache=audit_cache,
+        )
+        if not report.ok:
+            raise AssertionError(
+                "differential audit failed during bench-compute:\n"
+                + report.format()
+            )
+
+    audit_section = _timed_phases(run_audit, audit_cache)
+
+    sweep_cache = TensorCache(max_bytes=max_bytes)
+    generator = SequenceGenerator(SHAREGPT, bundle.vocab, seed=5)
+    sequence = generator.sample_sequence(sweep_len, sweep_len, sample_idx=0)
+
+    def run_sweep_grid() -> None:
+        bundle.model.attach_compute_cache(sweep_cache)
+        try:
+            for ecr in sweep_ecrs:
+                for name in sweep_engines:
+                    engine = build_engine(
+                        name, bundle, platform, expert_cache_ratio=ecr,
+                        calibration_probs=calibration_probs,
+                    )
+                    engine.generate(
+                        sequence.prompt_tokens, sweep_len,
+                        forced_tokens=sequence.continuation_tokens,
+                    )
+        finally:
+            bundle.model.detach_compute_cache()
+
+    sweep_section = _timed_phases(run_sweep_grid, sweep_cache)
+
+    return {
+        "config": {
+            "model": bundle.arch.name,
+            "n_blocks": bundle.model.n_blocks,
+            "sim_d_model": bundle.model.profile.sim.d_model,
+            "sim_d_ff": bundle.model.profile.sim.d_ff,
+            "seeds": [int(s) for s in seeds],
+            "prompt_len": prompt_len,
+            "max_new_tokens": max_new_tokens,
+            "expert_cache_ratio": expert_cache_ratio,
+            "sweep_len": sweep_len,
+            "sweep_ecrs": [float(e) for e in sweep_ecrs],
+            "sweep_engines": list(sweep_engines),
+            "max_bytes": max_bytes,
+        },
+        "differential_audit": audit_section,
+        "ecr_sweep": sweep_section,
+        "criteria": {
+            "audit_warm_speedup_ge_2x": audit_section["speedup"] >= 2.0,
+            "sweep_warm_speedup_ge_2x": sweep_section["speedup"] >= 2.0,
+        },
+    }

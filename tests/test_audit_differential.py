@@ -197,3 +197,76 @@ def test_detects_a_value_changing_engine(tiny_bundle, platform,
                           audit_invariants=False)
     assert not comparison.ok
     assert comparison.first_divergence == 2
+
+
+# ---- shared compute cache + cache parity -------------------------------------
+
+
+@pytest.fixture(scope="module")
+def cached_report(tiny_bundle, platform, tiny_calibration):
+    from repro.perf import TensorCache
+
+    cache = TensorCache()
+    report = run_differential_audit(
+        tiny_bundle, platform, engine_names=["fiddler", "daop"],
+        seeds=(0,), prompt_len=10, max_new_tokens=6,
+        calibration_probs=tiny_calibration,
+        compute_cache=cache, cache_parity=True,
+    )
+    return report, cache
+
+
+def test_cache_parity_audit_passes(cached_report):
+    report, cache = cached_report
+    assert report.ok, report.format()
+    assert report.cache_parity_problems == []
+    # The cache actually served forwards across the engine matrix.
+    assert cache.hits > 0
+
+
+def test_cache_detached_after_audit(tiny_bundle, cached_report):
+    assert tiny_bundle.model.compute_cache is None
+    assert all(b.compute_cache is None for b in tiny_bundle.model.blocks)
+
+
+def test_cache_parity_requires_a_cache(tiny_bundle, platform):
+    with pytest.raises(ValueError):
+        run_differential_audit(tiny_bundle, platform, cache_parity=True)
+
+
+def test_cache_parity_problems_catch_divergence():
+    from repro.audit import cache_parity_problems
+
+    a = SimpleNamespace(
+        tokens=np.array([1, 2, 3]),
+        trace=SimpleNamespace(events=[]),
+        stats=SimpleNamespace(counters={"expert_gpu": 4},
+                              prefill_time_s=1.0, total_time_s=2.0),
+        timeline=SimpleNamespace(ops=[], makespan=2.0),
+    )
+    b = SimpleNamespace(
+        tokens=np.array([1, 2, 9]),
+        trace=SimpleNamespace(events=[]),
+        stats=SimpleNamespace(counters={"expert_gpu": 5},
+                              prefill_time_s=1.0, total_time_s=2.5),
+        timeline=SimpleNamespace(ops=[], makespan=2.5),
+    )
+    problems = cache_parity_problems(a, b)
+    assert problems and all(p.startswith("cache parity") for p in problems)
+    assert cache_parity_problems(a, a) == []
+
+
+def test_step_parity_audit_with_shared_cache(tiny_bundle, platform,
+                                             tiny_calibration):
+    from repro.audit import run_step_parity_audit
+    from repro.perf import TensorCache
+
+    cache = TensorCache()
+    report = run_step_parity_audit(
+        tiny_bundle, platform, engine_names=["fiddler"], seeds=(0,),
+        prompt_len=10, max_new_tokens=6,
+        calibration_probs=tiny_calibration, compute_cache=cache,
+    )
+    assert report.ok, report.format()
+    assert cache.hits > 0
+    assert tiny_bundle.model.compute_cache is None

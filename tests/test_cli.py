@@ -126,3 +126,34 @@ def test_audit(capsys):
 def test_audit_rejects_unknown_engine():
     with pytest.raises(SystemExit):
         main(["audit", *TINY, "--engines", "vllm"])
+
+
+def test_bench_compute(tmp_path, capsys):
+    report_path = tmp_path / "bench_compute.json"
+    rc = main(["bench-compute", "--model", "tiny", "--blocks", "4",
+               "--seeds", "1", "--input-len", "10", "--output-len", "4",
+               "--sweep-len", "10", "--json", str(report_path)])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "bench-compute" in out and "speedup" in out
+    payload = json.loads(report_path.read_text())
+    for section in ("differential_audit", "ecr_sweep"):
+        run = payload[section]
+        assert run["cold_s"] > 0 and run["warm_s"] > 0
+        assert run["speedup"] == pytest.approx(
+            run["cold_s"] / run["warm_s"]
+        )
+        assert run["cache"]["hits"] > 0
+        assert run["stages_warm"]  # per-stage hit rates recorded
+    assert set(payload["criteria"]) == {
+        "audit_warm_speedup_ge_2x", "sweep_warm_speedup_ge_2x",
+    }
+
+
+def test_audit_cache_disabled(capsys):
+    rc = main(["audit", *TINY, "--engines", "fiddler", "--seeds", "1",
+               "--input-len", "10", "--output-len", "4", "--cache-mb", "0"])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "audit ok" in out
+    assert "compute cache" not in out

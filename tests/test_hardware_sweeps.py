@@ -79,3 +79,40 @@ def test_sweep_changes_cost_model(platform):
         ).expert_transfer_time(),
     )
     assert values[10.0] < values[1.0] / 5.0
+
+
+# ---- shared compute cache across sweep points --------------------------------
+
+
+def test_run_sweep_with_shared_compute_cache(platform):
+    from repro.model.zoo import build_tiny_moe
+    from repro.perf import TensorCache
+
+    model = build_tiny_moe(seed=0, n_blocks=2).model
+    tokens = list(range(6))
+    cache = TensorCache()
+
+    def measure(variant):
+        logits, _ = model.forward_exact(tokens)
+        return float(variant.link.bandwidth + logits[0, 0] * 0.0)
+
+    out = run_sweep(platform, "link_bandwidth", [1.0, 2.0, 4.0], measure,
+                    model=model, compute_cache=cache)
+    assert set(out) == {1.0, 2.0, 4.0}
+    # Points after the first reuse the first point's forwards...
+    assert cache.hits > 0
+    # ...and the sweep detaches the cache when it finishes.
+    assert model.compute_cache is None
+    assert all(b.compute_cache is None for b in model.blocks)
+
+
+def test_run_sweep_rejects_half_given_cache(platform):
+    from repro.model.zoo import build_tiny_moe
+    from repro.perf import TensorCache
+
+    with pytest.raises(ValueError):
+        run_sweep(platform, "link_bandwidth", [1.0], lambda p: 0.0,
+                  model=build_tiny_moe(seed=0, n_blocks=1).model)
+    with pytest.raises(ValueError):
+        run_sweep(platform, "link_bandwidth", [1.0], lambda p: 0.0,
+                  compute_cache=TensorCache())

@@ -23,8 +23,8 @@ def codes(diagnostics):
 def test_registry_exposes_all_rule_families():
     registered = {rule.code for rule in all_rules()}
     assert {"DET001", "DET002", "DET003", "LAY001", "ENG001", "ENG002",
-            "ENG003", "ENG004", "API001", "API002", "API003", "API004",
-            "TL001", "DOC001", "NUM001"} <= registered
+            "ENG003", "ENG004", "ENG005", "API001", "API002", "API003",
+            "API004", "TL001", "DOC001", "NUM001"} <= registered
     assert get_rule("stdlib-random").code == "DET001"
     assert get_rule("DET001").name == "stdlib-random"
     assert get_rule("timeline-ops-mutation").code == "TL001"
@@ -475,3 +475,67 @@ def test_real_golden_test_file_is_tolerant():
     report = lint_paths(["tests/test_golden_regression.py"],
                         select=["float-equality"])
     assert report.diagnostics == []
+
+
+# ---- ENG005: expert stage API -----------------------------------------------
+
+
+def test_direct_expert_call_flagged_in_core_and_audit():
+    src = '''\
+        """Doc."""
+        def run(block, x):
+            return block.experts[0](x)
+        '''
+    for path in (CORE, "src/repro/audit/sample.py"):
+        diags = lint(src, path=path, select=["expert-stage-api"])
+        assert codes(diags) == {"ENG005"}
+
+
+def test_swiglu_import_flagged_in_core():
+    diags = lint('"""Doc."""\nfrom repro.model.experts import SwiGLUExpert\n',
+                 select=["expert-stage-api"])
+    assert codes(diags) == {"ENG005"}
+    diags = lint('"""Doc."""\nimport repro.model.experts\n',
+                 select=["expert-stage-api"])
+    assert codes(diags) == {"ENG005"}
+
+
+def test_experts_subscript_reads_allowed():
+    """Reading routing decisions is legal; only *calling* is flagged."""
+    diags = lint(
+        '''\
+        """Doc."""
+        def inspect(routing, block):
+            first = routing.experts[0]
+            n = len(block.experts)
+            return first, n
+        ''',
+        select=["expert-stage-api"],
+    )
+    assert diags == []
+
+
+def test_stage_api_calls_allowed():
+    diags = lint(
+        '''\
+        """Doc."""
+        def run(block, h_att, token_idx):
+            logits = block.gate_logits(h_att)
+            routing = block.route_from_logits(logits)
+            return block.expert_forward(0, h_att, token_idx=token_idx)
+        ''',
+        select=["expert-stage-api"],
+    )
+    assert diags == []
+
+
+def test_expert_stage_api_scoped_to_core_and_audit():
+    """The model layer itself (and tests) may call experts directly."""
+    src = '''\
+        """Doc."""
+        from repro.model.experts import SwiGLUExpert
+        def run(block, x):
+            return block.experts[0](x)
+        '''
+    for path in ("src/repro/model/sample.py", "tests/sample.py"):
+        assert lint(src, path=path, select=["expert-stage-api"]) == []

@@ -1,5 +1,7 @@
 """Unit tests for the elementary layers."""
 
+import warnings
+
 import numpy as np
 import pytest
 
@@ -97,3 +99,17 @@ class TestRMSNorm:
         norm = RMSNorm(4)
         out = norm(np.zeros(4))
         assert np.all(np.isfinite(out))
+
+
+def test_silu_extreme_inputs_finite_and_quiet():
+    """No overflow warnings, finite float32 outputs at both extremes."""
+    x = np.array([-1e4, -88.0, -30.0, 0.0, 30.0, 88.0, 1e4],
+                 dtype=np.float32)
+    with warnings.catch_warnings():
+        warnings.simplefilter("error")
+        out = silu(x)
+    assert out.dtype == np.float32
+    assert np.all(np.isfinite(out))
+    # Asymptotics: silu(x) -> 0 for x -> -inf, -> x for x -> +inf.
+    assert out[0] == 0.0
+    assert out[-1] == x[-1]
