@@ -549,6 +549,16 @@ def cmd_lint(args) -> int:
         argv += ["--select", *args.select]
     if args.list_rules:
         argv.append("--list-rules")
+    if args.semantic:
+        argv.append("--semantic")
+    if args.sarif:
+        argv += ["--sarif", args.sarif]
+    if args.semantic_cache:
+        argv += ["--semantic-cache", args.semantic_cache]
+    if args.max_seconds is not None:
+        argv += ["--max-seconds", str(args.max_seconds)]
+    if args.list_suppressions:
+        argv.append("--list-suppressions")
     return lint_main(argv)
 
 
@@ -710,6 +720,19 @@ def build_parser() -> argparse.ArgumentParser:
                              "installed repro package)")
     p_lint.add_argument("--select", nargs="+", metavar="RULE",
                         help="run only these rules (names or codes)")
+    p_lint.add_argument("--semantic", action="store_true",
+                        help="also run the whole-program semantic "
+                             "analyses (docs/static-analysis.md)")
+    p_lint.add_argument("--sarif", metavar="PATH",
+                        help="write the report as SARIF 2.1.0")
+    p_lint.add_argument("--semantic-cache", metavar="PATH",
+                        help="reuse/store semantic findings across runs")
+    p_lint.add_argument("--max-seconds", type=float, metavar="S",
+                        help="fail if semantic analysis exceeds this "
+                             "wall-clock budget")
+    p_lint.add_argument("--list-suppressions", action="store_true",
+                        help="audit suppression markers (flags stale "
+                             "ones)")
     p_lint.add_argument("--list-rules", action="store_true",
                         help="list registered rules and exit")
     p_lint.set_defaults(func=cmd_lint)

@@ -10,10 +10,15 @@ deterministic end-to-end.  This package enforces them mechanically:
   pluggable rule registry, ``path:line:col`` diagnostics, and per-line
   ``# daoplint: disable=RULE`` suppressions
   (:mod:`repro.lint.runner`, :mod:`repro.lint.rules`);
+- a whole-program semantic layer (``repro lint --semantic``) with a
+  project index, call graph, CFGs, and flow-sensitive rule families
+  (:mod:`repro.lint.semantics`); findings can be exported as SARIF
+  (:mod:`repro.lint.sarif`) for GitHub code scanning;
 - opt-in runtime contract validators for timeline monotonicity, slot
   budgets, and prefill-only migration (:mod:`repro.lint.contracts`).
 
-See ``docs/linting.md`` for every rule and its paper justification.
+See ``docs/linting.md`` for every rule and its paper justification and
+``docs/static-analysis.md`` for the semantic framework.
 """
 
 from repro.lint.contracts import (
@@ -38,6 +43,16 @@ from repro.lint.runner import (
     package_root,
     run_lint,
 )
+from repro.lint.sarif import report_to_sarif, write_sarif
+from repro.lint.semantics import (
+    SemanticContext,
+    SemanticRule,
+    all_semantic_rules,
+    get_semantic_rule,
+    register_semantic,
+    run_semantic_lint,
+    semantic_lint_source,
+)
 from repro.lint.suppressions import SuppressionIndex, SuppressionMarker
 
 __all__ = [
@@ -58,6 +73,15 @@ __all__ = [
     "lint_source",
     "package_root",
     "run_lint",
+    "report_to_sarif",
+    "write_sarif",
+    "SemanticContext",
+    "SemanticRule",
+    "all_semantic_rules",
+    "get_semantic_rule",
+    "register_semantic",
+    "run_semantic_lint",
+    "semantic_lint_source",
     "SuppressionIndex",
     "SuppressionMarker",
 ]

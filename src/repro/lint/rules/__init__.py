@@ -4,7 +4,8 @@ Rule families (see ``docs/linting.md`` for the paper justification):
 
 - :mod:`repro.lint.rules.determinism` (DET00x) -- no hidden entropy or
   wall-clock reads; the simulation is deterministic end-to-end.
-- :mod:`repro.lint.rules.layering` (LAY001) -- the package import DAG.
+- :mod:`repro.lint.rules.layering` (LAY001/LAY002) -- the package
+  import DAG and its registration completeness.
 - :mod:`repro.lint.rules.engine_contract` (ENG00x) -- the "identical
   substrate" guarantee for DAOP vs. the baselines.
 - :mod:`repro.lint.rules.api_hygiene` (API00x) -- docstrings, __all__
@@ -38,7 +39,11 @@ from repro.lint.rules.engine_contract import (
     SequenceExtraAccessRule,
     SubstrateOverrideRule,
 )
-from repro.lint.rules.layering import LAYERS, ImportLayeringRule
+from repro.lint.rules.layering import (
+    LAYERS,
+    ImportLayeringRule,
+    PackageRegistrationRule,
+)
 from repro.lint.rules.timeline import TimelineOpsMutationRule
 
 __all__ = [
@@ -58,5 +63,6 @@ __all__ = [
     "SubstrateOverrideRule",
     "LAYERS",
     "ImportLayeringRule",
+    "PackageRegistrationRule",
     "TimelineOpsMutationRule",
 ]

@@ -27,8 +27,12 @@ importable without any fleet machinery.  ``perf`` (the forward-compute
 cache + its cold/warm benchmark harness) also ranks 6: its benchmark
 drives the differential audit (rank 5), while the model consumes the
 cache purely by duck typing — ``repro.model`` never imports ``perf``.
-``repro/__init__.py`` is the public facade and is exempt; unknown
-future packages are skipped rather than guessed at.
+``repro/__init__.py`` is the public facade and is exempt.  LAY001
+skips packages missing from ``LAYERS`` rather than guessing a rank —
+but that would silently exempt any new subpackage from the DAG, so
+LAY002 closes the escape hatch: every package under ``repro/`` must be
+registered here.  (``lint/semantics`` is not a new top-level package;
+it rides on ``lint`` at rank 3.)
 """
 
 from __future__ import annotations
@@ -99,3 +103,34 @@ class ImportLayeringRule(Rule):
                         f"{own_rank}) may not import repro.{dep} (layer "
                         f"{LAYERS[dep]})",
                     )
+
+
+@register
+class PackageRegistrationRule(Rule):
+    """Every subpackage under repro/ must be registered in LAYERS."""
+
+    name = "package-registration"
+    code = "LAY002"
+    description = ("every package under src/repro/ must have a layer "
+                   "rank in LAYERS; unregistered packages silently "
+                   "escape the import DAG")
+
+    def check(self, ctx: LintContext):
+        """Flag files in subpackages whose top package lacks a rank.
+
+        Only files nested under a subpackage count (``len(rel) > 1``):
+        modules sitting directly in the package root (``cli.py``,
+        ``__init__.py``) and virtual single-segment fixture paths have
+        no package to register.
+        """
+        if len(ctx.rel) < 2:
+            return
+        package = ctx.rel[0]
+        if package in LAYERS:
+            return
+        yield self.diag(
+            ctx, (1, 1),
+            f"package 'repro.{package}' is not registered in LAYERS "
+            "(src/repro/lint/rules/layering.py); assign it a layer "
+            "rank so LAY001 can enforce the import DAG",
+        )

@@ -11,6 +11,7 @@ from __future__ import annotations
 import argparse
 import ast
 import sys
+import time
 from dataclasses import dataclass, field
 from pathlib import Path
 
@@ -81,6 +82,34 @@ def _rel_parts(path: Path) -> tuple:
             if rel:
                 return rel
         return (resolved.name,)
+
+
+def _split_select(select):
+    """Partition ``--select`` names into (syntactic, semantic) rules.
+
+    A name may resolve in either registry; unknown names raise KeyError
+    like they always did.  Imported lazily to avoid a module cycle
+    (the semantic analyzer reuses this module's report/discovery
+    helpers).
+    """
+    from repro.lint.semantics.base import get_semantic_rule
+
+    if not select:
+        return None, None
+    syntactic, semantic = [], []
+    for name in select:
+        try:
+            get_rule(name)
+            syntactic.append(name)
+            continue
+        except KeyError:
+            pass
+        try:
+            get_semantic_rule(name)
+            semantic.append(name)
+        except KeyError:
+            raise KeyError(f"unknown rule {name!r}")
+    return syntactic, semantic
 
 
 def _select_rules(select):
@@ -158,12 +187,69 @@ def run_lint(root=None, select=None) -> LintReport:
     return lint_paths([root or package_root()], select=select)
 
 
+def _stale_markers(report):
+    """Suppression markers that muted nothing in this run.
+
+    A marker is *stale* when no suppressed diagnostic matched it: for a
+    line marker, nothing was muted on its line of its file; for a
+    file-wide marker, nothing was muted by its rules anywhere in the
+    file.  Stale markers are how dead suppressions hide — the audit
+    flag makes them visible so they can be deleted.
+    """
+    suppressed_by_file = {}
+    for diagnostic in report.suppressed:
+        suppressed_by_file.setdefault(diagnostic.path, []).append(
+            diagnostic
+        )
+    stale = []
+    for path, line, rules, file_wide in report.suppression_markers:
+        hits = suppressed_by_file.get(path, [])
+        rule_pool = set(rules)
+        if file_wide:
+            matched = any(
+                "all" in rule_pool or d.rule in rule_pool
+                or d.code in rule_pool
+                for d in hits
+            )
+        else:
+            matched = any(
+                d.line == line and (
+                    "all" in rule_pool or d.rule in rule_pool
+                    or d.code in rule_pool
+                )
+                for d in hits
+            )
+        if not matched:
+            stale.append((path, line, rules, file_wide))
+    return stale
+
+
+def _print_suppressions(report) -> None:
+    # The syntactic and semantic passes each collect the same file's
+    # markers; dedupe before printing.
+    markers = sorted(set(report.suppression_markers))
+    stale = set(
+        (path, line) for path, line, _rules, _fw in _stale_markers(report)
+    )
+    if not markers:
+        print("daoplint: no suppression markers found")
+        return
+    for path, line, rules, file_wide in markers:
+        kind = "disable-file" if file_wide else "disable"
+        flag = "  STALE (suppresses nothing)" \
+            if (path, line) in stale else ""
+        print(f"{path}:{line}: {kind}={','.join(rules)}{flag}")
+    print(f"daoplint: {len(markers)} suppression "
+          f"marker(s), {len(stale)} stale")
+
+
 def main(argv=None) -> int:
     """``repro lint`` / ``python -m repro.lint`` entry point."""
     parser = argparse.ArgumentParser(
         prog="daoplint",
         description="AST-based invariant checker for the DAOP "
-                    "reproduction (see docs/linting.md)",
+                    "reproduction (see docs/linting.md and "
+                    "docs/static-analysis.md)",
     )
     parser.add_argument("paths", nargs="*",
                         help="files/directories to lint (default: the "
@@ -172,22 +258,82 @@ def main(argv=None) -> int:
                         help="run only these rules (names or codes)")
     parser.add_argument("--list-rules", action="store_true",
                         help="list registered rules and exit")
+    parser.add_argument("--semantic", action="store_true",
+                        help="also run the whole-program semantic "
+                             "analyses (DET1xx/MUT/FPR/STL; see "
+                             "docs/static-analysis.md)")
+    parser.add_argument("--sarif", metavar="PATH",
+                        help="write the combined report as SARIF 2.1.0 "
+                             "for GitHub code scanning")
+    parser.add_argument("--semantic-cache", metavar="PATH",
+                        help="reuse/store semantic findings keyed on a "
+                             "digest of every source file")
+    parser.add_argument("--max-seconds", type=float, metavar="S",
+                        help="fail (exit 3) if the semantic analysis "
+                             "exceeds this wall-clock budget")
+    parser.add_argument("--list-suppressions", action="store_true",
+                        help="audit suppression markers (flagging "
+                             "stale ones) instead of printing "
+                             "diagnostics")
     args = parser.parse_args(argv)
+
+    from repro.lint.semantics.base import all_semantic_rules
 
     if args.list_rules:
         for rule in all_rules():
             print(f"{rule.code}  {rule.name:<22} {rule.description}")
+        for rule in all_semantic_rules():
+            print(f"{rule.code}  {rule.name:<22} [semantic] "
+                  f"{rule.description}")
         return 0
 
+    # Wall-clock reads below are legitimate: they meter the analyzer
+    # itself (the --max-seconds CI budget), not simulated time.
+    semantic_elapsed = None
     try:
-        if args.paths:
-            report = lint_paths(args.paths, select=args.select)
+        syntactic_select, semantic_select = _split_select(args.select)
+        run_semantic = args.semantic or bool(semantic_select) \
+            or args.list_suppressions
+        # A --select naming only semantic rules should not also run
+        # every syntactic rule (and vice versa).
+        skip_syntactic = bool(args.select) and not syntactic_select
+        if skip_syntactic:
+            report = LintReport()
+        elif args.paths:
+            report = lint_paths(args.paths, select=syntactic_select)
         else:
-            report = run_lint(select=args.select)
+            report = run_lint(select=syntactic_select)
+        if run_semantic and not (bool(args.select)
+                                 and not semantic_select):
+            from repro.lint.semantics.analyzer import run_semantic_lint
+
+            t0 = time.perf_counter()  # daoplint: disable=wall-clock
+            semantic_report = run_semantic_lint(
+                paths=args.paths or None, select=semantic_select,
+                cache_path=args.semantic_cache,
+            )
+            semantic_elapsed = \
+                time.perf_counter() - t0  # daoplint: disable=wall-clock
+            # The file sets overlap; keep the per-file count.
+            files = max(report.files, semantic_report.files)
+            report.merge(semantic_report)
+            report.files = files
+            report.finalize()
     except (KeyError, FileNotFoundError) as exc:
         message = exc.args[0] if exc.args else exc
         print(f"daoplint: error: {message}", file=sys.stderr)
         return 2
+
+    if args.sarif:
+        from repro.lint.sarif import write_sarif
+
+        rules = list(all_rules()) + list(all_semantic_rules())
+        write_sarif(args.sarif, report, rules)
+
+    if args.list_suppressions:
+        _print_suppressions(report)
+        return 0
+
     for diagnostic in report.diagnostics:
         print(diagnostic.format())
     if report.diagnostics:
@@ -195,4 +341,12 @@ def main(argv=None) -> int:
               f"{report.files} file(s)")
     else:
         print(f"daoplint: {report.files} file(s) clean")
+    if semantic_elapsed is not None:
+        print(f"daoplint: semantic analysis took "
+              f"{semantic_elapsed:.2f}s")
+        if args.max_seconds is not None \
+                and semantic_elapsed > args.max_seconds:
+            print(f"daoplint: semantic analysis exceeded the "
+                  f"{args.max_seconds:.0f}s budget", file=sys.stderr)
+            return 3
     return report.exit_code

@@ -1,0 +1,95 @@
+"""SARIF 2.1.0 serialization of daoplint reports.
+
+GitHub code scanning ingests SARIF; emitting it from ``repro lint
+--sarif`` lets every rule family (per-file and semantic) surface as
+inline annotations on pull requests instead of a failing CI log line.
+Only the small subset of SARIF that code scanning actually renders is
+produced: one run, one driver, one rule descriptor per registered rule,
+one result per diagnostic.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.lint.diagnostics import Severity
+
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA = ("https://raw.githubusercontent.com/oasis-tcs/"
+                "sarif-spec/master/Schemata/sarif-schema-2.1.0.json")
+
+
+def _level(severity: Severity) -> str:
+    return "error" if severity is Severity.ERROR else "warning"
+
+
+def report_to_sarif(report, rules) -> dict:
+    """Build the SARIF document for one lint report.
+
+    Args:
+        report: a :class:`repro.lint.runner.LintReport`.
+        rules: the rule instances that ran (their codes become SARIF
+            rule ids; unknown codes in the report are synthesized).
+
+    Returns:
+        A JSON-serializable SARIF 2.1.0 document.
+    """
+    descriptors = {}
+    for rule in rules:
+        descriptors[rule.code] = {
+            "id": rule.code,
+            "name": rule.name,
+            "shortDescription": {"text": rule.description or rule.name},
+            "defaultConfiguration": {"level": _level(rule.severity)},
+        }
+    results = []
+    for diagnostic in report.diagnostics:
+        if diagnostic.code not in descriptors:
+            descriptors[diagnostic.code] = {
+                "id": diagnostic.code,
+                "name": diagnostic.rule,
+                "shortDescription": {"text": diagnostic.rule},
+                "defaultConfiguration": {
+                    "level": _level(diagnostic.severity)
+                },
+            }
+        results.append({
+            "ruleId": diagnostic.code,
+            "level": _level(diagnostic.severity),
+            "message": {"text": f"[{diagnostic.rule}] "
+                                f"{diagnostic.message}"},
+            "locations": [{
+                "physicalLocation": {
+                    "artifactLocation": {
+                        "uri": diagnostic.path.replace("\\", "/"),
+                    },
+                    "region": {
+                        "startLine": diagnostic.line,
+                        "startColumn": max(1, diagnostic.col),
+                    },
+                },
+            }],
+        })
+    return {
+        "$schema": SARIF_SCHEMA,
+        "version": SARIF_VERSION,
+        "runs": [{
+            "tool": {
+                "driver": {
+                    "name": "daoplint",
+                    "informationUri": "docs/static-analysis.md",
+                    "rules": [descriptors[code]
+                              for code in sorted(descriptors)],
+                },
+            },
+            "results": results,
+        }],
+    }
+
+
+def write_sarif(path, report, rules) -> None:
+    """Serialize ``report`` to ``path`` as SARIF 2.1.0."""
+    document = report_to_sarif(report, rules)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(document, handle, indent=1, sort_keys=False)
+        handle.write("\n")

@@ -1,0 +1,77 @@
+"""Whole-program semantic analysis for daoplint.
+
+This subpackage (part of the ``lint`` layer, rank 3 in the package DAG)
+lifts daoplint from per-file AST matching to whole-program reasoning: a
+project-wide module/symbol index (:mod:`~repro.lint.semantics.index`),
+an approximate call graph (:mod:`~repro.lint.semantics.callgraph`),
+statement-level CFGs (:mod:`~repro.lint.semantics.cfg`), and a forward
+dataflow/taint framework (:mod:`~repro.lint.semantics.dataflow`) that
+the flow-sensitive rule families plug into:
+
+- DET1xx (:mod:`~repro.lint.semantics.rules_rng`): RNG provenance and
+  escape;
+- MUT00x (:mod:`~repro.lint.semantics.rules_mutation`): cache aliasing
+  and in-place parameter mutation;
+- FPR001 (:mod:`~repro.lint.semantics.rules_fingerprint`): weights-
+  fingerprint invalidation on every path;
+- STL001 (:mod:`~repro.lint.semantics.rules_state`): no module-level
+  mutable state behind the resumable step machine.
+
+See ``docs/static-analysis.md`` for the framework guide and how to
+write a new flow-sensitive rule.
+"""
+
+from repro.lint.semantics.analyzer import (
+    SemanticCache,
+    run_semantic_lint,
+    semantic_lint_source,
+)
+from repro.lint.semantics.base import (
+    SemanticContext,
+    SemanticRule,
+    all_semantic_rules,
+    get_semantic_rule,
+    register_semantic,
+)
+from repro.lint.semantics.callgraph import CallGraph
+from repro.lint.semantics.cfg import CFG, build_cfg
+from repro.lint.semantics.dataflow import FlowResult, analyze
+from repro.lint.semantics.index import (
+    ModuleRecord,
+    ProjectIndex,
+)
+from repro.lint.semantics.rules_fingerprint import (
+    FingerprintInvalidationRule,
+)
+from repro.lint.semantics.rules_mutation import (
+    CacheFreezeDefeatRule,
+    CacheValueMutationRule,
+    ParamMutationRule,
+)
+from repro.lint.semantics.rules_rng import RngEscapeRule, RngProvenanceRule
+from repro.lint.semantics.rules_state import StepStateLeakageRule
+
+__all__ = [
+    "SemanticCache",
+    "run_semantic_lint",
+    "semantic_lint_source",
+    "SemanticContext",
+    "SemanticRule",
+    "all_semantic_rules",
+    "get_semantic_rule",
+    "register_semantic",
+    "CallGraph",
+    "CFG",
+    "build_cfg",
+    "FlowResult",
+    "analyze",
+    "ModuleRecord",
+    "ProjectIndex",
+    "FingerprintInvalidationRule",
+    "CacheFreezeDefeatRule",
+    "CacheValueMutationRule",
+    "ParamMutationRule",
+    "RngEscapeRule",
+    "RngProvenanceRule",
+    "StepStateLeakageRule",
+]

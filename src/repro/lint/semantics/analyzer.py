@@ -1,0 +1,236 @@
+"""Whole-program semantic analysis entry points.
+
+``run_semantic_lint()`` is the analogue of ``repro.lint.runner.
+run_lint`` for the flow-sensitive rule families: it collects sources,
+builds the :class:`ProjectIndex` and :class:`CallGraph` once, runs
+every registered semantic rule per file, and folds the findings through
+the same suppression machinery per-file rules use, so ``# daoplint:
+disable=...`` markers work identically.
+
+An optional on-disk cache skips rule evaluation entirely when *no*
+source file changed: semantic findings are whole-program facts, so the
+only sound cache granularity is all-or-nothing, keyed on a digest of
+every file's contents plus the rule implementation version.  CI wires
+this to an actions cache so re-runs of an unchanged tree are free.
+"""
+
+from __future__ import annotations
+
+import ast
+import json
+from pathlib import Path
+
+from repro.lint.diagnostics import Diagnostic, Severity
+from repro.lint.registry import LintContext
+from repro.lint.runner import (
+    LintReport,
+    _display_path,
+    _rel_parts,
+    iter_source_files,
+    package_root,
+)
+from repro.lint.semantics.base import (
+    SEMANTIC_RULES_VERSION,
+    SemanticContext,
+    all_semantic_rules,
+    get_semantic_rule,
+)
+from repro.lint.semantics.callgraph import CallGraph
+from repro.lint.semantics.index import ModuleRecord, ProjectIndex
+from repro.lint.suppressions import SuppressionIndex
+
+
+def _select_semantic_rules(select):
+    if not select:
+        return all_semantic_rules()
+    return [get_semantic_rule(name) for name in select]
+
+
+def _collect_records(paths):
+    """Parse every source file under ``paths`` into module records.
+
+    Returns ``(records, parse_failures)`` where failures are
+    ``(display, SyntaxError)`` pairs reported as SYN000 diagnostics.
+    """
+    records = []
+    failures = []
+    for path in paths:
+        path = Path(path)
+        if not path.exists():
+            raise FileNotFoundError(f"no such file or directory: {path}")
+        for source_file in iter_source_files(path):
+            source = source_file.read_text(encoding="utf-8")
+            display = _display_path(source_file)
+            rel = _rel_parts(source_file)
+            try:
+                tree = ast.parse(source)
+            except SyntaxError as exc:
+                failures.append((display, exc))
+                continue
+            records.append(ModuleRecord.build(display, rel, source, tree))
+    return records, failures
+
+
+def _check_records(records, failures, select) -> LintReport:
+    """Run the selected semantic rules over prepared records."""
+    report = LintReport()
+    for display, exc in failures:
+        report.files += 1
+        report.diagnostics.append(Diagnostic(
+            path=display, line=exc.lineno or 1, col=exc.offset or 1,
+            rule="syntax-error", code="SYN000", severity=Severity.ERROR,
+            message=f"cannot parse file: {exc.msg}",
+        ))
+    project = ProjectIndex.build(records)
+    callgraph = CallGraph(project)
+    rules = _select_semantic_rules(select)
+    for record in records:
+        report.files += 1
+        suppressions = SuppressionIndex(record.source)
+        report.suppression_markers.extend(
+            (record.path, marker.line, marker.rules, marker.file_wide)
+            for marker in suppressions.markers
+        )
+        ctx = LintContext(path=record.path, rel=record.rel,
+                          tree=record.tree, source=record.source)
+        sctx = SemanticContext(ctx=ctx, record=record, project=project,
+                               callgraph=callgraph)
+        for rule in rules:
+            for diagnostic in rule.check(sctx):
+                if suppressions.is_suppressed(
+                    diagnostic.rule, diagnostic.code, diagnostic.line
+                ):
+                    report.suppressed.append(diagnostic)
+                else:
+                    report.diagnostics.append(diagnostic)
+    return report.finalize()
+
+
+def semantic_lint_source(source: str, path: str = "src/repro/module.py",
+                         select=None, extra_files=None) -> list:
+    """Semantically lint an in-memory snippet (fixture tests).
+
+    ``extra_files`` maps virtual paths to sources forming the rest of
+    the one-shot project, so cross-file behavior (call-graph caller
+    coverage, reachability) is testable without touching disk.
+    """
+    files = {path: source}
+    files.update(extra_files or {})
+    records = []
+    failures = []
+    for display, text in files.items():
+        try:
+            tree = ast.parse(text)
+        except SyntaxError as exc:
+            failures.append((display, exc))
+            continue
+        records.append(ModuleRecord.build(
+            display, _rel_parts(Path(display)), text, tree
+        ))
+    report = _check_records(records, failures, select)
+    return [d for d in report.diagnostics if d.path == path]
+
+
+class SemanticCache:
+    """All-or-nothing on-disk cache of one semantic run's findings."""
+
+    def __init__(self, path) -> None:
+        self.path = Path(path)
+
+    def load(self, key: str):
+        """Cached raw findings for ``key``, or None on any mismatch."""
+        try:
+            payload = json.loads(self.path.read_text(encoding="utf-8"))
+        except (OSError, ValueError):
+            return None
+        if payload.get("key") != key:
+            return None
+        try:
+            return [
+                Diagnostic(
+                    path=d["path"], line=int(d["line"]),
+                    col=int(d["col"]), rule=d["rule"], code=d["code"],
+                    severity=Severity[d["severity"]],
+                    message=d["message"],
+                )
+                for d in payload["findings"]
+            ], int(payload["files"])
+        except (KeyError, TypeError, ValueError):
+            return None
+
+    def store(self, key: str, findings, files: int) -> None:
+        """Persist one run's raw (pre-suppression) findings."""
+        payload = {
+            "version": SEMANTIC_RULES_VERSION,
+            "key": key,
+            "files": files,
+            "findings": [
+                {
+                    "path": d.path, "line": d.line, "col": d.col,
+                    "rule": d.rule, "code": d.code,
+                    "severity": d.severity.name, "message": d.message,
+                }
+                for d in findings
+            ],
+        }
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self.path.write_text(json.dumps(payload, indent=1),
+                             encoding="utf-8")
+
+
+def _cache_key(records, select) -> str:
+    project = ProjectIndex.build(records)
+    salt = SEMANTIC_RULES_VERSION + "|" + ",".join(
+        rule.code for rule in _select_semantic_rules(select)
+    )
+    return project.global_sha(salt)
+
+
+def run_semantic_lint(paths=None, select=None,
+                      cache_path=None) -> LintReport:
+    """Run the whole-program semantic analysis over ``paths``.
+
+    Defaults to the installed ``repro`` package.  With ``cache_path``,
+    a prior run over byte-identical sources (same rule selection, same
+    rule version) is replayed from disk instead of re-analyzed;
+    suppressions are always re-applied from the live sources, which the
+    matching content digest guarantees are unchanged.
+    """
+    records, failures = _collect_records(
+        [Path(p) for p in paths] if paths else [package_root()]
+    )
+    cache = SemanticCache(cache_path) if cache_path else None
+    key = _cache_key(records, select) if cache else None
+    if cache is not None and not failures:
+        cached = cache.load(key)
+        if cached is not None:
+            findings, files = cached
+            return _replay(records, findings, files)
+    report = _check_records(records, failures, select)
+    if cache is not None and not failures:
+        raw = sorted(report.diagnostics + report.suppressed,
+                     key=lambda d: d.sort_key)
+        cache.store(key, raw, report.files)
+    return report
+
+
+def _replay(records, findings, files: int) -> LintReport:
+    """Rebuild a report from cached raw findings + live suppressions."""
+    report = LintReport(files=files)
+    suppressions = {}
+    for record in records:
+        index = SuppressionIndex(record.source)
+        suppressions[record.path] = index
+        report.suppression_markers.extend(
+            (record.path, marker.line, marker.rules, marker.file_wide)
+            for marker in index.markers
+        )
+    for diagnostic in findings:
+        index = suppressions.get(diagnostic.path)
+        if index is not None and index.is_suppressed(
+            diagnostic.rule, diagnostic.code, diagnostic.line
+        ):
+            report.suppressed.append(diagnostic)
+        else:
+            report.diagnostics.append(diagnostic)
+    return report.finalize()

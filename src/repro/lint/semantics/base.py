@@ -1,0 +1,66 @@
+"""Semantic rule base class, context, and registry.
+
+Semantic rules see the whole program, not one file: their ``check``
+receives a :class:`SemanticContext` carrying the per-file
+:class:`~repro.lint.registry.LintContext` (for diagnostics and
+suppression anchoring) plus the :class:`~repro.lint.semantics.index.
+ProjectIndex` and :class:`~repro.lint.semantics.callgraph.CallGraph`.
+They are registered in their own registry so ``repro lint`` can run the
+cheap per-file rules alone and add the whole-program pass behind
+``--semantic``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.lint.registry import LintContext, Rule
+
+#: Bump when rule semantics change: folded into the on-disk semantic
+#: cache key so stale cached findings can never be replayed.
+SEMANTIC_RULES_VERSION = "1"
+
+
+@dataclass(frozen=True)
+class SemanticContext:
+    """Whole-program view handed to a semantic rule for one file."""
+
+    ctx: LintContext
+    record: object   # ModuleRecord of this file
+    project: object  # ProjectIndex
+    callgraph: object  # CallGraph
+
+
+class SemanticRule(Rule):
+    """Base class for whole-program daoplint rules."""
+
+    def check(self, sctx: SemanticContext):
+        """Yield diagnostics for one file under whole-program context."""
+        raise NotImplementedError
+
+
+_SEMANTIC_REGISTRY = {}
+
+
+def register_semantic(cls):
+    """Class decorator adding one rule instance to the semantic registry."""
+    instance = cls()
+    if instance.name in _SEMANTIC_REGISTRY:
+        raise ValueError(f"duplicate semantic rule name {instance.name!r}")
+    _SEMANTIC_REGISTRY[instance.name] = instance
+    return cls
+
+
+def all_semantic_rules():
+    """Every registered semantic rule, ordered by code."""
+    return sorted(_SEMANTIC_REGISTRY.values(), key=lambda rule: rule.code)
+
+
+def get_semantic_rule(name: str) -> SemanticRule:
+    """Look up one semantic rule by kebab-case name or code."""
+    if name in _SEMANTIC_REGISTRY:
+        return _SEMANTIC_REGISTRY[name]
+    for rule in _SEMANTIC_REGISTRY.values():
+        if rule.code == name:
+            return rule
+    raise KeyError(f"unknown semantic rule {name!r}")

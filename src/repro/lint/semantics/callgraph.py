@@ -1,0 +1,152 @@
+"""Approximate whole-program call graph over the project index.
+
+Resolution is name-based and deliberately over-approximate, the right
+polarity for the rules built on it:
+
+- a bare ``name(...)`` call resolves through the calling module's own
+  functions, then its ``from x import name`` aliases;
+- a dotted ``mod.func(...)`` call resolves through import aliases to a
+  known module's top-level function;
+- ``self.method(...)`` resolves inside the caller's own class first
+  (including single-level base classes defined in the project);
+- any other ``obj.method(...)`` resolves to *every* project method of
+  that name (the attribute receiver's type is unknown statically).
+
+Over-approximation makes reachability analyses (STL001) conservative
+and caller searches (FPR001) complete; it can only cause a rule to look
+harder, never to miss an edge that exists.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.lint.semantics.index import ProjectIndex
+
+
+class CallGraph:
+    """Resolved call edges between project functions."""
+
+    def __init__(self, index: ProjectIndex) -> None:
+        self.index = index
+        #: caller qualname -> set of callee qualnames.
+        self.edges: dict = {}
+        #: callee qualname -> set of caller qualnames.
+        self.callers: dict = {}
+        #: caller qualname -> set of *terminal* called names
+        #: (``foo`` for both ``foo()`` and ``obj.foo()``), resolved
+        #: or not -- rules match contract methods by bare name.
+        self.called_names: dict = {}
+        for qualname, info in sorted(index.functions.items()):
+            record = index.modules.get(info.module)
+            if record is None:
+                continue
+            callees = set()
+            names = set()
+            for call in self._calls_in(info.node):
+                terminal = self._terminal_name(call.func)
+                if terminal:
+                    names.add(terminal)
+                callees.update(self._resolve(call, info, record))
+            self.edges[qualname] = callees
+            self.called_names[qualname] = names
+            for callee in callees:
+                self.callers.setdefault(callee, set()).add(qualname)
+
+    @staticmethod
+    def _calls_in(func_node):
+        for node in ast.walk(func_node):
+            if isinstance(node, ast.Call):
+                yield node
+
+    @staticmethod
+    def _terminal_name(func):
+        if isinstance(func, ast.Name):
+            return func.id
+        if isinstance(func, ast.Attribute):
+            return func.attr
+        return None
+
+    def _resolve(self, call, info, record):
+        func = call.func
+        index = self.index
+        if isinstance(func, ast.Name):
+            name = func.id
+            # Own-module top-level function.
+            own = record.functions.get(name)
+            if own is not None and own.cls is None:
+                return {own.qualname}
+            # ``from repro.x import name`` alias.
+            target = record.imports.get(name)
+            if target and target in index.functions:
+                return {target}
+            return set()
+        if not isinstance(func, ast.Attribute):
+            return set()
+        attr = func.attr
+        receiver = func.value
+        # self.method() / cls.method(): own class, then project bases.
+        if isinstance(receiver, ast.Name) and receiver.id in ("self", "cls") \
+                and info.cls is not None:
+            resolved = self._resolve_method(record, info.cls, attr)
+            if resolved:
+                return resolved
+        # mod.func() through an import alias.
+        if isinstance(receiver, ast.Name):
+            target = record.imports.get(receiver.id)
+            if target:
+                qual = f"{target}.{attr}"
+                if qual in index.functions:
+                    return {qual}
+        # ClassName.method() on a project class in scope.
+        if isinstance(receiver, ast.Name):
+            cinfo = record.classes.get(receiver.id)
+            if cinfo is not None and attr in cinfo.methods:
+                return {cinfo.methods[attr].qualname}
+        # Unknown receiver: every project method of this name.
+        return set(self.index.method_index.get(attr, ()))
+
+    def _resolve_method(self, record, cls_name, attr, depth=0):
+        cinfo = record.classes.get(cls_name)
+        if cinfo is None or depth > 4:
+            return set()
+        if attr in cinfo.methods:
+            return {cinfo.methods[attr].qualname}
+        resolved = set()
+        for base in cinfo.node.bases:
+            base_name = base.id if isinstance(base, ast.Name) else (
+                base.attr if isinstance(base, ast.Attribute) else None
+            )
+            if not base_name:
+                continue
+            if base_name in record.classes:
+                resolved |= self._resolve_method(
+                    record, base_name, attr, depth + 1
+                )
+            else:
+                target = record.imports.get(base_name)
+                if target and target.rsplit(".", 1)[0] in self.index.modules:
+                    base_record = self.index.modules[
+                        target.rsplit(".", 1)[0]
+                    ]
+                    resolved |= self._resolve_method(
+                        base_record, target.rsplit(".", 1)[1], attr,
+                        depth + 1,
+                    )
+        return resolved
+
+    def reachable_from(self, roots) -> set:
+        """Transitive closure of callees starting from ``roots``."""
+        seen = set()
+        frontier = list(roots)
+        while frontier:
+            qualname = frontier.pop()
+            if qualname in seen:
+                continue
+            seen.add(qualname)
+            frontier.extend(self.edges.get(qualname, ()))
+        return seen
+
+    def callers_of(self, qualname: str) -> set:
+        """Direct callers of one function."""
+        return set(self.callers.get(qualname, ()))

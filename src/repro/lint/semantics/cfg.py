@@ -1,0 +1,254 @@
+"""Statement-level control-flow graphs for one function body.
+
+Each statement of a function becomes one CFG node; edges follow the
+possible orders of execution through ``if``/``while``/``for``/``try``
+and early exits (``return``/``raise``/``break``/``continue``).  The
+granularity is deliberately statements, not basic blocks: the functions
+in this repository are small, and the flow-sensitive rules reason about
+"which statements can run between X and Y", which a statement graph
+answers directly.
+
+Exception edges are approximated the usual conservative way: every
+statement inside a ``try`` body may also jump to each of its handlers,
+and a ``finally`` body runs on the way to whatever follows.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+
+#: Synthetic exit node id (function return / fall-off-the-end).
+EXIT = -1
+
+
+@dataclass
+class CFG:
+    """Control-flow graph of one function body."""
+
+    #: node id -> statement (ids are discovery order).
+    stmts: dict = field(default_factory=dict)
+    #: node id -> set of successor ids (may include :data:`EXIT`).
+    succ: dict = field(default_factory=dict)
+    #: id of the first executed statement (or EXIT for an empty body).
+    entry: int = EXIT
+
+    def add(self, stmt: ast.stmt) -> int:
+        """Register a statement as a node and return its id."""
+        node_id = len(self.stmts)
+        self.stmts[node_id] = stmt
+        self.succ[node_id] = set()
+        return node_id
+
+    def link(self, src: int, dst: int) -> None:
+        """Add the edge ``src -> dst``."""
+        self.succ[src].add(dst)
+
+    def reachable_avoiding(self, start, blocked) -> bool:
+        """Whether :data:`EXIT` is reachable from ``start`` while never
+        *executing* a node in ``blocked`` (start itself is exempt).
+
+        This is the primitive behind "on every path" checks: a property
+        holds on every path from ``start`` to the exit iff the exit is
+        unreachable once the property-establishing nodes are removed.
+        """
+        frontier = [start]
+        seen = set()
+        while frontier:
+            node = frontier.pop()
+            if node in seen:
+                continue
+            seen.add(node)
+            for nxt in self.succ.get(node, ()):
+                if nxt == EXIT:
+                    return True
+                if nxt in blocked or nxt in seen:
+                    continue
+                frontier.append(nxt)
+        return False
+
+    def topo_order(self):
+        """Deterministic iteration order for fixpoint solving (ids)."""
+        return sorted(self.stmts)
+
+
+@dataclass
+class _Frame:
+    """Jump targets active while building nested statements."""
+
+    break_to: object = None      # node-id list collecting break edges
+    continue_to: int | None = None
+    handlers: tuple = ()         # entry ids of active except handlers
+
+
+def build_cfg(func: ast.AST) -> CFG:
+    """Build the statement CFG of a function definition's body."""
+    cfg = CFG()
+
+    def handler_targets(frames):
+        targets = []
+        for frame in frames:
+            targets.extend(frame.handlers)
+        return targets
+
+    def build_body(body, frames):
+        """Wire ``body``; returns (entry ids, open tail ids).
+
+        ``open tails`` are node ids whose fall-through successor is the
+        statement that will follow the body; the caller links them.
+        """
+        entries = None
+        tails = []
+        for stmt in body:
+            stmt_entries, stmt_tails = build_stmt(stmt, frames)
+            if entries is None:
+                entries = stmt_entries
+            for tail in tails:
+                for e in stmt_entries:
+                    cfg.link(tail, e)
+            tails = stmt_tails
+            if not tails:
+                break  # unreachable code after return/raise/...
+        if entries is None:
+            return [], []
+        return entries, tails
+
+    def build_stmt(stmt, frames):
+        node = cfg.add(stmt)
+        # Any statement inside a try body may raise into a handler.
+        for target in handler_targets(frames):
+            cfg.link(node, target)
+        if isinstance(stmt, (ast.Return, ast.Raise)):
+            if not (isinstance(stmt, ast.Raise) and handler_targets(frames)):
+                cfg.link(node, EXIT)
+            return [node], []
+        if isinstance(stmt, ast.Break):
+            for frame in reversed(frames):
+                if frame.break_to is not None:
+                    frame.break_to.append(node)
+                    return [node], []
+            return [node], []
+        if isinstance(stmt, ast.Continue):
+            for frame in reversed(frames):
+                if frame.continue_to is not None:
+                    cfg.link(node, frame.continue_to)
+                    return [node], []
+            return [node], []
+        if isinstance(stmt, ast.If):
+            then_entries, then_tails = build_body(stmt.body, frames)
+            else_entries, else_tails = build_body(stmt.orelse, frames)
+            for e in then_entries:
+                cfg.link(node, e)
+            tails = list(then_tails) + list(else_tails)
+            if else_entries:
+                for e in else_entries:
+                    cfg.link(node, e)
+            else:
+                tails.append(node)  # false branch falls through
+            return [node], tails
+        if isinstance(stmt, (ast.While, ast.For, ast.AsyncFor)):
+            breaks: list = []
+            frame = _Frame(break_to=breaks, continue_to=node)
+            body_entries, body_tails = build_body(
+                stmt.body, frames + [frame]
+            )
+            for e in body_entries:
+                cfg.link(node, e)
+            for tail in body_tails:
+                cfg.link(tail, node)  # back edge
+            else_entries, else_tails = build_body(stmt.orelse, frames)
+            tails = list(else_tails) + breaks
+            if else_entries:
+                for e in else_entries:
+                    cfg.link(node, e)
+            else:
+                tails.append(node)  # loop condition exhausts / is false
+            return [node], tails
+        if isinstance(stmt, ast.Try):
+            handler_entries = []
+            handler_tails = []
+            for handler in stmt.handlers:
+                entries, tails = build_body(handler.body, frames)
+                handler_entries.extend(entries)
+                handler_tails.extend(tails)
+                if not entries:
+                    # Empty handler body: treat the bare handler as a
+                    # fall-through point.
+                    marker = cfg.add(handler)
+                    handler_entries.append(marker)
+                    handler_tails.append(marker)
+            frame = _Frame(handlers=tuple(handler_entries))
+            body_entries, body_tails = build_body(
+                stmt.body, frames + [frame]
+            )
+            for e in body_entries:
+                cfg.link(node, e)
+            for target in handler_entries:
+                cfg.link(node, target)
+            else_entries, else_tails = build_body(stmt.orelse, frames)
+            tails = []
+            if else_entries:
+                for tail in body_tails:
+                    for e in else_entries:
+                        cfg.link(tail, e)
+                tails.extend(else_tails)
+            else:
+                tails.extend(body_tails)
+            tails.extend(handler_tails)
+            if stmt.finalbody:
+                final_entries, final_tails = build_body(
+                    stmt.finalbody, frames
+                )
+                if final_entries:
+                    for tail in tails:
+                        for e in final_entries:
+                            cfg.link(tail, e)
+                    tails = final_tails
+            if not body_entries and not handler_entries:
+                tails.append(node)
+            return [node], tails
+        if isinstance(stmt, (ast.With, ast.AsyncWith)):
+            body_entries, body_tails = build_body(stmt.body, frames)
+            for e in body_entries:
+                cfg.link(node, e)
+            return [node], (body_tails if body_entries else [node])
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef,
+                             ast.ClassDef)):
+            # Nested definitions: the def statement executes, the body
+            # does not (it is analyzed as its own function).
+            return [node], [node]
+        # Generic compound statements (e.g. ``match``): route linearly
+        # through every sub-body, which over-approximates reachability.
+        sub_tails = [node]
+        for sub_body in _sub_bodies(stmt):
+            entries, tails = build_body(sub_body, frames)
+            if entries:
+                for e in entries:
+                    cfg.link(node, e)
+                sub_tails.extend(tails)
+        return [node], sub_tails
+
+    body = getattr(func, "body", [])
+    entries, tails = build_body(body, [])
+    if entries:
+        cfg.entry = entries[0]
+    for tail in tails:
+        cfg.link(tail, EXIT)
+    return cfg
+
+
+def _sub_bodies(stmt):
+    """Statement lists nested in an unrecognized compound statement."""
+    for field_name in ("body", "orelse", "finalbody", "cases",
+                      "handlers"):
+        value = getattr(stmt, field_name, None)
+        if not isinstance(value, list):
+            continue
+        if value and isinstance(value[0], ast.stmt):
+            yield value
+        else:
+            for item in value or ():
+                sub = getattr(item, "body", None)
+                if isinstance(sub, list) and sub \
+                        and isinstance(sub[0], ast.stmt):
+                    yield sub

@@ -1,0 +1,282 @@
+"""A small forward dataflow framework over the statement CFG.
+
+The abstract state is an environment mapping local variable names to
+frozensets of string *tags* ("what do we know about this value"); the
+join of two environments is the per-variable union, so the analysis is
+a may-analysis: a tag survives if it holds on *some* path into the
+statement.  Rules supply a transfer function for the right-hand side of
+assignments (``value_tags``) and read the fixed-point environments back
+through :class:`FlowResult` to judge each statement with flow-sensitive
+knowledge of its inputs.
+
+Def-use plumbing (which names a statement binds, which in-place
+operations it performs on which name) lives here too because every
+mutation-style rule shares it.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.lint.semantics.cfg import CFG
+
+#: ``np.ndarray`` method calls that mutate the receiver in place.
+INPLACE_NDARRAY_METHODS = frozenset({
+    "fill", "sort", "partition", "put", "itemset", "resize", "byteswap",
+})
+
+#: container method calls that mutate the receiver in place (STL001).
+INPLACE_CONTAINER_METHODS = frozenset({
+    "append", "extend", "insert", "add", "update", "setdefault",
+    "pop", "popitem", "popleft", "appendleft", "remove", "discard",
+    "clear", "sort", "reverse", "move_to_end",
+})
+
+
+def walk_expressions(stmt: ast.stmt):
+    """Walk a statement's AST without entering nested function bodies.
+
+    Nested ``def``/``lambda`` bodies run in their own scope (and their
+    own CFG/flow analysis); only their decorators and argument defaults
+    evaluate in the enclosing scope, so only those are yielded.  Class
+    bodies *do* execute in the enclosing scope and are walked normally
+    (their methods are pruned like any other nested function).  The
+    root node itself is never pruned: passing a ``FunctionDef`` walks
+    that function's own body, minus any defs nested inside it.
+    """
+
+    def expand(node):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            children = list(node.decorator_list)
+            children.extend(node.args.defaults)
+            children.extend(d for d in node.args.kw_defaults if d)
+            return children
+        if isinstance(node, ast.Lambda):
+            children = list(node.args.defaults)
+            children.extend(d for d in node.args.kw_defaults if d)
+            return children
+        return list(ast.iter_child_nodes(node))
+
+    yield stmt
+    stack = list(ast.iter_child_nodes(stmt))
+    while stack:
+        node = stack.pop()
+        yield node
+        stack.extend(expand(node))
+
+
+def own_expressions(stmt: ast.stmt):
+    """Expressions evaluated *at* this statement's CFG node.
+
+    Compound statements own only their header expressions — an ``if``
+    owns its test, a ``for`` its target and iterable — because their
+    bodies are separate CFG nodes.  Walking the whole subtree of an
+    ``ast.If`` from its CFG node would wrongly attribute body effects
+    to the branch point (e.g. an invalidation call guarded by the
+    condition would look unconditional).  Simple statements own their
+    entire subtree, minus nested scopes per :func:`walk_expressions`.
+    """
+    if isinstance(stmt, (ast.If, ast.While)):
+        roots = [stmt.test]
+    elif isinstance(stmt, (ast.For, ast.AsyncFor)):
+        roots = [stmt.target, stmt.iter]
+    elif isinstance(stmt, (ast.With, ast.AsyncWith)):
+        roots = []
+        for item in stmt.items:
+            roots.append(item.context_expr)
+            if item.optional_vars is not None:
+                roots.append(item.optional_vars)
+    elif isinstance(stmt, ast.Try):
+        roots = []
+    elif isinstance(stmt, ast.ExceptHandler):
+        roots = [stmt.type] if stmt.type is not None else []
+    elif isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef,
+                           ast.ClassDef)):
+        roots = list(stmt.decorator_list)
+        if isinstance(stmt, ast.ClassDef):
+            roots.extend(stmt.bases)
+            roots.extend(k.value for k in stmt.keywords)
+        else:
+            roots.extend(stmt.args.defaults)
+            roots.extend(d for d in stmt.args.kw_defaults if d)
+    elif hasattr(ast, "Match") and isinstance(stmt, ast.Match):
+        roots = [stmt.subject]
+    else:
+        yield from walk_expressions(stmt)
+        return
+    for root in roots:
+        yield from walk_expressions(root)
+
+
+def bound_names(stmt: ast.stmt):
+    """Names (re)bound by a statement: assignments, loop targets, withs.
+
+    Rebinding *kills* dataflow tags — ``x = x.copy()`` makes ``x``
+    owned again — so every rule needs this exact set.
+    """
+    names = set()
+
+    def collect_target(target):
+        for node in ast.walk(target):
+            if isinstance(node, ast.Name):
+                names.add(node.id)
+
+    if isinstance(stmt, ast.Assign):
+        for target in stmt.targets:
+            if isinstance(target, (ast.Name, ast.Tuple, ast.List)):
+                collect_target(target)
+    elif isinstance(stmt, ast.AnnAssign):
+        if isinstance(stmt.target, ast.Name):
+            names.add(stmt.target.id)
+    elif isinstance(stmt, ast.AugAssign):
+        if isinstance(stmt.target, ast.Name):
+            names.add(stmt.target.id)
+    elif isinstance(stmt, (ast.For, ast.AsyncFor)):
+        collect_target(stmt.target)
+    elif isinstance(stmt, (ast.With, ast.AsyncWith)):
+        for item in stmt.items:
+            if item.optional_vars is not None:
+                collect_target(item.optional_vars)
+    return names
+
+
+def assigned_name_values(stmt: ast.stmt):
+    """``(name, value_expr)`` pairs for simple-name assignments.
+
+    Tuple unpacking from a single call (``a, b = f()``) maps every
+    element name to the call expression, which is the right
+    over-approximation for taint-style tags.
+    """
+    pairs = []
+    if isinstance(stmt, ast.Assign):
+        for target in stmt.targets:
+            if isinstance(target, ast.Name):
+                pairs.append((target.id, stmt.value))
+            elif isinstance(target, (ast.Tuple, ast.List)):
+                for element in target.elts:
+                    if isinstance(element, ast.Name):
+                        pairs.append((element.id, stmt.value))
+    elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None \
+            and isinstance(stmt.target, ast.Name):
+        pairs.append((stmt.target.id, stmt.value))
+    return pairs
+
+
+def mutations_in(stmt: ast.stmt,
+                 inplace_methods=INPLACE_NDARRAY_METHODS):
+    """``(name, node, how)`` for every in-place mutation of a bare name.
+
+    Detected forms: ``x[...] = v`` / ``x[...] op= v`` (subscript store),
+    ``x op= v`` (augmented assignment on the name itself),
+    ``x.attr = v`` (attribute store), ``x.method(...)`` for mutating
+    method names, and ``f(..., out=x)`` (numpy out-parameter).
+    """
+    found = []
+
+    def root_name(node):
+        return node.id if isinstance(node, ast.Name) else None
+
+    if isinstance(stmt, ast.Assign):
+        for target in stmt.targets:
+            if isinstance(target, ast.Subscript):
+                name = root_name(target.value)
+                if name:
+                    found.append((name, target, "item assignment"))
+            elif isinstance(target, ast.Attribute):
+                name = root_name(target.value)
+                if name:
+                    found.append((name, target, "attribute assignment"))
+    elif isinstance(stmt, ast.AugAssign):
+        target = stmt.target
+        if isinstance(target, ast.Name):
+            found.append((target.id, target, "augmented assignment"))
+        elif isinstance(target, ast.Subscript):
+            name = root_name(target.value)
+            if name:
+                found.append((name, target, "augmented item assignment"))
+        elif isinstance(target, ast.Attribute):
+            name = root_name(target.value)
+            if name:
+                found.append((name, target,
+                              "augmented attribute assignment"))
+    for node in own_expressions(stmt):
+        if not isinstance(node, ast.Call):
+            continue
+        func = node.func
+        if isinstance(func, ast.Attribute) and func.attr in inplace_methods:
+            name = root_name(func.value)
+            if name:
+                found.append((name, node, f"in-place .{func.attr}() call"))
+        for keyword in node.keywords:
+            if keyword.arg == "out":
+                name = root_name(keyword.value)
+                if name:
+                    found.append((name, node, "out= argument"))
+    return found
+
+
+class FlowResult:
+    """Fixed-point environments of one function's dataflow analysis."""
+
+    def __init__(self, cfg: CFG, envs: dict) -> None:
+        self.cfg = cfg
+        self.envs = envs
+
+    def tags(self, node_id: int, name: str) -> frozenset:
+        """Tags of ``name`` on entry to statement ``node_id``."""
+        return self.envs.get(node_id, {}).get(name, frozenset())
+
+    def statements(self):
+        """``(node_id, stmt, env)`` triples in deterministic order."""
+        for node_id in self.cfg.topo_order():
+            yield node_id, self.cfg.stmts[node_id], \
+                self.envs.get(node_id, {})
+
+
+def _join(a: dict, b: dict) -> dict:
+    merged = dict(a)
+    for name, tags in b.items():
+        merged[name] = merged.get(name, frozenset()) | tags
+    return merged
+
+
+def analyze(cfg: CFG, init_env: dict, value_tags) -> FlowResult:
+    """Run the forward fixpoint.
+
+    Args:
+        cfg: the function's statement CFG.
+        init_env: environment on entry (typically parameter tags).
+        value_tags: ``f(value_expr, env) -> frozenset`` giving the tags
+            of an assigned right-hand side under the incoming
+            environment.
+
+    Returns:
+        The per-statement entry environments.
+    """
+    if cfg.entry < 0:
+        return FlowResult(cfg, {})
+    envs = {cfg.entry: dict(init_env)}
+    worklist = [cfg.entry]
+    while worklist:
+        node_id = worklist.pop()
+        env = envs.get(node_id, {})
+        stmt = cfg.stmts[node_id]
+        out_env = dict(env)
+        # Kill every rebound name, then gen tags from simple assignments.
+        for name in bound_names(stmt):
+            out_env.pop(name, None)
+        for name, value in assigned_name_values(stmt):
+            tags = value_tags(value, env)
+            if tags:
+                out_env[name] = frozenset(tags)
+            else:
+                out_env.pop(name, None)
+        for succ in sorted(cfg.succ.get(node_id, ())):
+            if succ < 0:
+                continue
+            merged = _join(envs.get(succ, {}), out_env) \
+                if succ in envs else out_env
+            if succ not in envs or merged != envs[succ]:
+                envs[succ] = merged
+                worklist.append(succ)
+    return FlowResult(cfg, envs)

@@ -1,0 +1,248 @@
+"""Project-wide module and symbol index for semantic analysis.
+
+The per-file rules in :mod:`repro.lint.rules` see one AST at a time;
+the flow-sensitive rules need to answer questions like "who calls
+``quantize_expert``" or "is this name a module-level mutable binding".
+This module builds that whole-program view: one :class:`ModuleRecord`
+per source file (imports, classes, functions, module-level bindings)
+collected into a :class:`ProjectIndex` with a flat function table and a
+method-name index that the approximate call graph resolves against.
+"""
+
+from __future__ import annotations
+
+import ast
+import hashlib
+from dataclasses import dataclass, field
+
+#: Constructor names whose module-level result is mutable shared state
+#: (the containers STL001 cares about).
+MUTABLE_CONSTRUCTORS = frozenset({
+    "list", "dict", "set", "bytearray", "deque", "defaultdict",
+    "OrderedDict", "Counter",
+})
+
+
+def source_digest(source: str) -> str:
+    """Stable hex digest of one file's source text."""
+    return hashlib.sha256(source.encode("utf-8")).hexdigest()
+
+
+def module_name_from_rel(rel: tuple) -> str:
+    """Dotted module name for path parts relative to the package root.
+
+    ``("core", "daop.py")`` -> ``"repro.core.daop"``;
+    ``("core", "__init__.py")`` -> ``"repro.core"``; a bare
+    ``("sample.py",)`` (fixture outside the package) -> ``"sample"``.
+    """
+    parts = [p[:-3] if p.endswith(".py") else p for p in rel]
+    if parts and parts[-1] == "__init__":
+        parts = parts[:-1]
+    if len(rel) == 1 and not rel[0].endswith(".py"):
+        parts = [rel[0]]
+    dotted = ".".join(p for p in parts if p)
+    if not dotted:
+        return "repro"
+    # Files reached through a repro package root are absolute repro
+    # modules; loose fixtures keep their bare stem.
+    return "repro." + dotted if len(rel) > 1 or rel[0].endswith(".py") \
+        else dotted
+
+
+@dataclass
+class FunctionInfo:
+    """One function or method definition in the project."""
+
+    qualname: str
+    module: str
+    name: str
+    node: ast.AST
+    cls: str | None = None
+
+    @property
+    def is_method(self) -> bool:
+        """Whether the function is defined inside a class body."""
+        return self.cls is not None
+
+
+@dataclass
+class ClassInfo:
+    """One class definition: its methods and class-level bindings."""
+
+    name: str
+    module: str
+    node: ast.ClassDef
+    methods: dict = field(default_factory=dict)
+    #: class-body names bound to mutable literals/constructors -> node.
+    mutable_class_attrs: dict = field(default_factory=dict)
+
+
+def _is_mutable_binding(value: ast.AST) -> bool:
+    """Whether an assigned expression builds a mutable container."""
+    if isinstance(value, (ast.List, ast.Dict, ast.Set, ast.ListComp,
+                          ast.DictComp, ast.SetComp)):
+        return True
+    if isinstance(value, ast.Call):
+        func = value.func
+        name = func.id if isinstance(func, ast.Name) else (
+            func.attr if isinstance(func, ast.Attribute) else ""
+        )
+        return name in MUTABLE_CONSTRUCTORS
+    return False
+
+
+@dataclass
+class ModuleRecord:
+    """Everything the semantic layer knows about one source file."""
+
+    path: str
+    rel: tuple
+    module: str
+    source: str
+    tree: ast.Module
+    sha: str
+    #: local alias -> dotted import target ("np" -> "numpy").
+    imports: dict = field(default_factory=dict)
+    #: local qualname ("func", "Class.method") -> FunctionInfo.
+    functions: dict = field(default_factory=dict)
+    #: class name -> ClassInfo.
+    classes: dict = field(default_factory=dict)
+    #: module-level name -> assignment node, mutable containers only.
+    mutable_globals: dict = field(default_factory=dict)
+    #: every module-level bound name (incl. immutable constants).
+    global_names: set = field(default_factory=set)
+
+    @classmethod
+    def build(cls, path: str, rel: tuple, source: str,
+              tree: ast.Module) -> "ModuleRecord":
+        """Parse one file's top-level structure into a record."""
+        record = cls(path=path, rel=rel,
+                     module=module_name_from_rel(rel), source=source,
+                     tree=tree, sha=source_digest(source))
+        record._collect_imports()
+        record._collect_module_bindings()
+        record._collect_functions()
+        return record
+
+    def _collect_imports(self) -> None:
+        for node in ast.walk(self.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    local = alias.asname or alias.name.split(".")[0]
+                    target = alias.name if alias.asname else \
+                        alias.name.split(".")[0]
+                    self.imports[local] = target
+            elif isinstance(node, ast.ImportFrom) and node.module \
+                    and node.level == 0:
+                for alias in node.names:
+                    if alias.name == "*":
+                        continue
+                    local = alias.asname or alias.name
+                    self.imports[local] = f"{node.module}.{alias.name}"
+
+    def _collect_module_bindings(self) -> None:
+        for stmt in self.tree.body:
+            targets = []
+            if isinstance(stmt, ast.Assign):
+                targets = [t for t in stmt.targets
+                           if isinstance(t, ast.Name)]
+                value = stmt.value
+            elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None \
+                    and isinstance(stmt.target, ast.Name):
+                targets = [stmt.target]
+                value = stmt.value
+            else:
+                continue
+            for target in targets:
+                self.global_names.add(target.id)
+                if _is_mutable_binding(value):
+                    self.mutable_globals[target.id] = stmt
+
+    def _collect_functions(self) -> None:
+        for stmt in self.tree.body:
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                info = FunctionInfo(
+                    qualname=f"{self.module}.{stmt.name}",
+                    module=self.module, name=stmt.name, node=stmt,
+                )
+                self.functions[stmt.name] = info
+            elif isinstance(stmt, ast.ClassDef):
+                cinfo = ClassInfo(name=stmt.name, module=self.module,
+                                  node=stmt)
+                for item in stmt.body:
+                    if isinstance(item, (ast.FunctionDef,
+                                         ast.AsyncFunctionDef)):
+                        local = f"{stmt.name}.{item.name}"
+                        info = FunctionInfo(
+                            qualname=f"{self.module}.{local}",
+                            module=self.module, name=item.name,
+                            node=item, cls=stmt.name,
+                        )
+                        cinfo.methods[item.name] = info
+                        self.functions[local] = info
+                    elif isinstance(item, ast.Assign):
+                        for target in item.targets:
+                            if isinstance(target, ast.Name) \
+                                    and _is_mutable_binding(item.value):
+                                cinfo.mutable_class_attrs[target.id] = item
+                self.classes[stmt.name] = cinfo
+
+
+class ProjectIndex:
+    """Whole-program symbol index over a set of module records."""
+
+    def __init__(self) -> None:
+        #: dotted module name -> ModuleRecord.
+        self.modules: dict = {}
+        #: fully qualified function name -> FunctionInfo.
+        self.functions: dict = {}
+        #: bare method name -> set of fully qualified method names.
+        self.method_index: dict = {}
+        #: memoized per-function CFGs and cross-rule analysis facts,
+        #: keyed by the rule that computed them (rules run once per
+        #: file; whole-program facts must not be rebuilt 181 times).
+        self._cfgs: dict = {}
+        self.analysis_cache: dict = {}
+
+    def cfg(self, func_node):
+        """Memoized statement CFG of one function definition."""
+        from repro.lint.semantics.cfg import build_cfg
+
+        key = id(func_node)
+        cached = self._cfgs.get(key)
+        if cached is None:
+            cached = self._cfgs[key] = build_cfg(func_node)
+        return cached
+
+    @classmethod
+    def build(cls, records) -> "ProjectIndex":
+        """Assemble the index from prepared module records."""
+        index = cls()
+        for record in records:
+            index.modules[record.module] = record
+            for info in record.functions.values():
+                index.functions[info.qualname] = info
+                if info.is_method:
+                    index.method_index.setdefault(
+                        info.name, set()
+                    ).add(info.qualname)
+        return index
+
+    def record_for(self, qualname: str):
+        """The ModuleRecord that defines a fully qualified function."""
+        info = self.functions.get(qualname)
+        return self.modules.get(info.module) if info else None
+
+    def global_sha(self, salt: str = "") -> str:
+        """Digest over every file's content hash (cache key).
+
+        Semantic findings are whole-program facts, so the only sound
+        cache granularity is "nothing changed anywhere"; ``salt`` folds
+        the rule implementation version into the key.
+        """
+        digest = hashlib.sha256(salt.encode("utf-8"))
+        for module in sorted(self.modules):
+            record = self.modules[module]
+            digest.update(module.encode("utf-8"))
+            digest.update(record.sha.encode("utf-8"))
+        return digest.hexdigest()

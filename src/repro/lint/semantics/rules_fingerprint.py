@@ -1,0 +1,240 @@
+"""FPR001: weight mutations must invalidate the weights fingerprint.
+
+``MoETransformer.weights_fingerprint()`` namespaces every TensorCache
+key; any in-place mutation of functional weights (quantization, future
+expert tiers) that fails to call ``invalidate_weights_fingerprint()``
+lets the cache serve tensors computed from the *old* weights — exactly
+the silent divergence the differential audit would later have to bisect
+at runtime.  This rule proves the discipline statically: every function
+that writes weight state must reach an invalidation call on every
+normal path to its exit, either directly (as ``quantize_experts``
+does), or in every one of its in-project callers after the call site
+(which is how helper mutators like ``quantize_expert`` stay legal).
+
+"Weight state" is an assignment/augmented-assignment/subscript store
+through an attribute named ``weight``, ``gain``, or ``embedding`` —
+exactly the arrays ``weights_fingerprint()`` hashes.  Constructors are
+exempt (a fresh model has no stale fingerprint), and explicit ``raise``
+statements are treated as abnormal exits rather than
+missing-invalidation paths.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.lint.semantics.base import (
+    SemanticContext,
+    SemanticRule,
+    register_semantic,
+)
+from repro.lint.semantics.dataflow import own_expressions, walk_expressions
+
+#: Attribute names whose stores count as weight-state mutation (the
+#: arrays hashed by ``MoETransformer.weights_fingerprint``).
+WEIGHT_ATTRS = frozenset({"weight", "gain", "embedding"})
+
+#: The invalidation entry point, matched by terminal call name.
+INVALIDATE_NAME = "invalidate_weights_fingerprint"
+
+#: Functions that may initialize weights without invalidating.
+_EXEMPT_FUNCTIONS = frozenset({"__init__", "__post_init__", "__setstate__"})
+
+
+def _weight_writes(func_node):
+    """AST target nodes in one function that store into a weight attr."""
+    writes = []
+    for node in walk_expressions(func_node):
+        targets = []
+        if isinstance(node, ast.Assign):
+            targets = node.targets
+        elif isinstance(node, ast.AugAssign):
+            targets = [node.target]
+        for target in targets:
+            attr = target
+            if isinstance(attr, ast.Subscript):
+                attr = attr.value
+            if isinstance(attr, ast.Attribute) \
+                    and attr.attr in WEIGHT_ATTRS:
+                writes.append(target)
+    return writes
+
+
+def _stmt_contains(stmt, predicate) -> bool:
+    """Predicate over the expressions this CFG node itself evaluates."""
+    return any(predicate(node) for node in own_expressions(stmt))
+
+
+def _is_invalidating_call(node, invalidators, record, method_index) -> bool:
+    """Whether an AST node is a call that certainly invalidates."""
+    if not isinstance(node, ast.Call):
+        return False
+    func = node.func
+    if isinstance(func, ast.Name):
+        if func.id == INVALIDATE_NAME:
+            return True
+        own = record.functions.get(func.id)
+        if own is not None and own.qualname in invalidators:
+            return True
+        return record.imports.get(func.id) in invalidators
+    if isinstance(func, ast.Attribute):
+        if func.attr == INVALIDATE_NAME:
+            return True
+        candidates = method_index.get(func.attr, ())
+        return bool(candidates) and all(
+            q in invalidators for q in candidates
+        )
+    return False
+
+
+def _always_invalidates(cfg, invalidators, record, method_index,
+                        start=None) -> bool:
+    """Whether every normal path from ``start`` (default: function
+    entry) to the exit executes an invalidating call."""
+    blocked = set()
+    for node_id, stmt in cfg.stmts.items():
+        if isinstance(stmt, ast.Raise):
+            blocked.add(node_id)
+        elif _stmt_contains(
+            stmt,
+            lambda n: _is_invalidating_call(n, invalidators, record,
+                                            method_index),
+        ):
+            blocked.add(node_id)
+    if start is None:
+        start = cfg.entry
+        if start < 0:
+            return False
+        if start in blocked:
+            return True
+    return not cfg.reachable_avoiding(start, blocked)
+
+
+@register_semantic
+class FingerprintInvalidationRule(SemanticRule):
+    """Weight writers must reach fingerprint invalidation on every path."""
+
+    name = "fingerprint-invalidation"
+    code = "FPR001"
+    description = ("functions that mutate weight state (.weight/.gain/"
+                   ".embedding stores) must reach invalidate_weights_"
+                   "fingerprint() on every path, directly or in every "
+                   "caller")
+
+    def check(self, sctx: SemanticContext):
+        """Flag weight-writing functions whose invalidation can be skipped."""
+        project = sctx.project
+        invalidators = self._invalidator_closure(project)
+        method_index = project.method_index
+
+        for info in sorted(sctx.record.functions.values(),
+                           key=lambda i: i.qualname):
+            if info.name in _EXEMPT_FUNCTIONS:
+                continue
+            writes = _weight_writes(info.node)
+            if not writes:
+                continue
+            record = project.modules[info.module]
+            cfg = project.cfg(info.node)
+            write_ids = set(map(id, writes))
+            unsatisfied = []
+            for node_id, stmt in sorted(cfg.stmts.items()):
+                if not any(id(n) in write_ids
+                           for n in own_expressions(stmt)):
+                    continue
+                if not _always_invalidates(cfg, invalidators, record,
+                                           method_index, start=node_id):
+                    unsatisfied.append(stmt)
+            if not unsatisfied:
+                continue
+            if self._callers_cover(info.qualname, sctx, invalidators,
+                                   visited=set()):
+                continue
+            for stmt in unsatisfied:
+                yield self.diag(
+                    sctx.ctx, stmt,
+                    f"'{info.name}' mutates weight state but neither it "
+                    "nor all of its callers reach "
+                    "invalidate_weights_fingerprint() on every path; "
+                    "stale TensorCache entries could be served for the "
+                    "mutated model",
+                )
+
+    # ---- helpers -------------------------------------------------------------
+
+    def _invalidator_closure(self, project) -> set:
+        """Functions that invalidate on every normal path (fixpoint).
+
+        Whole-program fact; memoized on the project's analysis cache so
+        the per-file rule runs do not recompute it.
+        """
+        cached = project.analysis_cache.get("fpr.invalidators")
+        if cached is not None:
+            return cached
+        invalidators: set = set()
+        method_index = project.method_index
+        changed = True
+        while changed:
+            changed = False
+            for qualname in sorted(project.functions):
+                if qualname in invalidators:
+                    continue
+                info = project.functions[qualname]
+                record = project.modules.get(info.module)
+                if record is None:
+                    continue
+                cfg = project.cfg(info.node)
+                if cfg.entry < 0:
+                    continue
+                if _always_invalidates(cfg, invalidators, record,
+                                       method_index):
+                    invalidators.add(qualname)
+                    changed = True
+        project.analysis_cache["fpr.invalidators"] = invalidators
+        return invalidators
+
+    def _callers_cover(self, qualname, sctx, invalidators,
+                       visited) -> bool:
+        """Whether every in-project caller invalidates after each call
+        to ``qualname`` on every path (or is itself fully covered)."""
+        if qualname in visited:
+            return False  # cycle: nobody ever invalidates
+        visited.add(qualname)
+        project = sctx.project
+        method_index = project.method_index
+        callers = sctx.callgraph.callers_of(qualname)
+        if not callers:
+            return False
+        target_name = qualname.rsplit(".", 1)[-1]
+
+        def is_target_call(node):
+            return isinstance(node, ast.Call) and (
+                (isinstance(node.func, ast.Name)
+                 and node.func.id == target_name)
+                or (isinstance(node.func, ast.Attribute)
+                    and node.func.attr == target_name)
+            )
+
+        for caller in sorted(callers):
+            info = project.functions.get(caller)
+            record = project.modules.get(info.module) if info else None
+            if info is None or record is None:
+                return False
+            cfg = project.cfg(info.node)
+            for node_id, stmt in sorted(cfg.stmts.items()):
+                if not _stmt_contains(stmt, is_target_call):
+                    continue
+                if _stmt_contains(
+                    stmt,
+                    lambda n: _is_invalidating_call(
+                        n, invalidators, record, method_index
+                    ),
+                ):
+                    continue
+                if _always_invalidates(cfg, invalidators, record,
+                                       method_index, start=node_id):
+                    continue
+                if not self._callers_cover(caller, sctx, invalidators,
+                                           visited):
+                    return False
+        return True

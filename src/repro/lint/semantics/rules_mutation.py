@@ -1,0 +1,209 @@
+"""MUT00x: cache-aliasing and in-place mutation rules.
+
+The TensorCache (PR 5) hands out read-only arrays and relies on two
+caller-side disciplines that nothing previously enforced statically:
+
+- a value obtained from a cache lookup is shared with every future hit
+  and must never be mutated (MUT001) nor have its write flag re-enabled
+  (MUT003 — ``setflags(write=True)`` would defeat the defensive freeze
+  and corrupt an entry for all later readers);
+- stage functions receive arrays they do not own — mutating a caller's
+  array in place aliases state across engines and breaks the bitwise
+  differential audit (MUT002).
+
+MUT001/002 are flow-sensitive: rebinding a name to a fresh copy
+(``x = x.copy()``) clears its taint, so defensive-copy idioms pass
+without suppressions.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.lint.semantics.base import (
+    SemanticContext,
+    SemanticRule,
+    register_semantic,
+)
+from repro.lint.semantics.cfg import build_cfg
+from repro.lint.semantics.dataflow import analyze, mutations_in
+
+_CACHE_OWNED = "cache-owned"
+_PARAM_ARRAY = "param-array"
+
+#: Parameter-name prefixes that signal an intentional output buffer the
+#: callee owns (the numpy ``out=`` convention spelled as a name).
+_OWNED_PARAM_PREFIXES = ("out", "dest", "buf", "scratch")
+
+
+def _receiver_is_cache(func: ast.Attribute) -> bool:
+    """Whether ``<recv>.get/put`` looks like a tensor-cache lookup.
+
+    Matches receivers whose terminal name contains ``cache`` —
+    ``tensor_cache.get(...)``, ``self.compute_cache.put(...)``,
+    ``cache.get(...)`` — which is the repo's (enforced) naming
+    convention for cache handles.
+    """
+    recv = func.value
+    terminal = None
+    if isinstance(recv, ast.Name):
+        terminal = recv.id
+    elif isinstance(recv, ast.Attribute):
+        terminal = recv.attr
+    return terminal is not None and "cache" in terminal.lower()
+
+
+def _cache_lookup(value: ast.AST) -> bool:
+    """Whether an expression is a cache ``get``/``put`` call."""
+    return (
+        isinstance(value, ast.Call)
+        and isinstance(value.func, ast.Attribute)
+        and value.func.attr in ("get", "put")
+        and _receiver_is_cache(value.func)
+    )
+
+
+def _annotation_is_ndarray(annotation) -> bool:
+    """Whether a parameter annotation names ``np.ndarray`` (incl. in
+    ``Optional``/union spellings)."""
+    if annotation is None:
+        return False
+    return "ndarray" in ast.dump(annotation)
+
+
+def _docstring_allows_inplace(func_node) -> bool:
+    doc = (ast.get_docstring(func_node) or "").lower()
+    return "in place" in doc or "in-place" in doc
+
+
+class _FlowMutationRule(SemanticRule):
+    """Shared flow machinery for MUT001/MUT002."""
+
+    tag = ""
+
+    def init_env(self, func_node) -> dict:
+        """Environment on function entry (parameter tags)."""
+        return {}
+
+    def value_tags(self, value, env) -> frozenset:
+        """Tags of an assigned right-hand side."""
+        return frozenset()
+
+    def message(self, name: str, how: str) -> str:
+        """Diagnostic text for one detected mutation."""
+        raise NotImplementedError
+
+    def function_exempt(self, func_node) -> bool:
+        """Whether a whole function is out of scope for the rule."""
+        return False
+
+    def check(self, sctx: SemanticContext):
+        """Flag in-place mutation of tagged values in every function."""
+        for info in sorted(sctx.record.functions.values(),
+                           key=lambda i: i.qualname):
+            if self.function_exempt(info.node):
+                continue
+            cfg = build_cfg(info.node)
+            if cfg.entry < 0:
+                continue
+            flow = analyze(cfg, self.init_env(info.node), self.value_tags)
+            for _node_id, stmt, env in flow.statements():
+                for name, node, how in mutations_in(stmt):
+                    if self.tag in env.get(name, frozenset()):
+                        yield self.diag(sctx.ctx, node,
+                                        self.message(name, how))
+
+
+@register_semantic
+class CacheValueMutationRule(_FlowMutationRule):
+    """Never mutate a value returned by a cache lookup."""
+
+    name = "cache-value-mutation"
+    code = "MUT001"
+    description = ("values returned by TensorCache/stage-API lookups "
+                   "are shared with every future hit and must not be "
+                   "mutated; copy first")
+    tag = _CACHE_OWNED
+
+    def value_tags(self, value, env):
+        """Tag cache get/put results; propagate through tuple unpack."""
+        if _cache_lookup(value):
+            return frozenset({_CACHE_OWNED})
+        return frozenset()
+
+    def message(self, name, how):
+        """Explain the aliasing hazard for one mutation site."""
+        return (f"{how} mutates '{name}', which aliases a cache entry "
+                "returned by a get()/put() lookup; operate on a copy "
+                "(np.array(x, copy=True)) instead")
+
+
+@register_semantic
+class ParamMutationRule(_FlowMutationRule):
+    """Functions must not mutate array parameters they do not own."""
+
+    name = "param-mutation"
+    code = "MUT002"
+    description = ("functions must not mutate np.ndarray parameters "
+                   "they do not own (no out*/dest*/buf* name, no "
+                   "documented in-place contract)")
+    tag = _PARAM_ARRAY
+
+    def init_env(self, func_node):
+        """Tag every borrowed ndarray-annotated parameter."""
+        env = {}
+        args = func_node.args
+        all_args = list(args.posonlyargs) + list(args.args) \
+            + list(args.kwonlyargs)
+        for arg in all_args:
+            if arg.arg in ("self", "cls"):
+                continue
+            if any(arg.arg.startswith(prefix)
+                   for prefix in _OWNED_PARAM_PREFIXES):
+                continue
+            if _annotation_is_ndarray(arg.annotation):
+                env[arg.arg] = frozenset({_PARAM_ARRAY})
+        return env
+
+    def function_exempt(self, func_node):
+        """Documented in-place mutators opt out explicitly."""
+        return _docstring_allows_inplace(func_node)
+
+    def message(self, name, how):
+        """Explain the borrowed-parameter contract for one site."""
+        return (f"{how} mutates parameter '{name}', an np.ndarray the "
+                "function does not own; copy it, return a new array, "
+                "or document an explicit in-place contract")
+
+
+@register_semantic
+class CacheFreezeDefeatRule(SemanticRule):
+    """Never re-enable writes on a (possibly cache-frozen) array."""
+
+    name = "cache-freeze-defeat"
+    code = "MUT003"
+    description = ("setflags(write=True) re-enables writes on arrays "
+                   "the TensorCache froze; mutate a copy instead")
+
+    def check(self, sctx: SemanticContext):
+        """Flag every ``setflags`` call that sets ``write=True``."""
+        for stmt in ast.walk(sctx.record.tree):
+            if not isinstance(stmt, ast.Call):
+                continue
+            func = stmt.func
+            if not (isinstance(func, ast.Attribute)
+                    and func.attr == "setflags"):
+                continue
+            enables_write = any(
+                kw.arg == "write" and isinstance(kw.value, ast.Constant)
+                and kw.value.value is True
+                for kw in stmt.keywords
+            ) or (stmt.args and isinstance(stmt.args[0], ast.Constant)
+                  and stmt.args[0].value is True)
+            if enables_write:
+                yield self.diag(
+                    sctx.ctx, stmt,
+                    "setflags(write=True) would re-enable mutation of "
+                    "an array the TensorCache may have frozen; build a "
+                    "writable copy instead",
+                )

@@ -1,0 +1,214 @@
+"""DET1xx: flow-sensitive RNG-provenance rules.
+
+The per-file DET002 rule catches ``np.random.default_rng()`` with no
+seed at the construction site, but it cannot see seedlessness that
+flows: a ``PCG64()`` bit generator built without a seed and wrapped in
+``np.random.Generator`` two statements later is exactly as
+non-reproducible.  DET101 tracks unseeded-RNG provenance through local
+assignments (rebinding to a seeded constructor clears the taint, so
+only draws actually reached by an unseeded definition are flagged).
+DET102 forbids RNG objects escaping into module-level state: a global
+generator is process-wide mutable state whose draw order depends on
+import order and caller interleaving, which breaks both reproducibility
+and the checkpoint/resume story.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.lint.registry import dotted_name
+from repro.lint.semantics.base import (
+    SemanticContext,
+    SemanticRule,
+    register_semantic,
+)
+from repro.lint.semantics.cfg import build_cfg
+from repro.lint.semantics.dataflow import analyze, own_expressions
+
+#: Bit-generator constructors under ``np.random``.
+_BITGEN_NAMES = frozenset({
+    "PCG64", "PCG64DXSM", "Philox", "SFC64", "MT19937",
+})
+
+#: Generator/bit-generator draw methods whose output depends on state.
+_DRAW_METHODS = frozenset({
+    "random", "standard_normal", "normal", "uniform", "integers",
+    "choice", "permutation", "permuted", "shuffle", "exponential",
+    "poisson", "binomial", "gamma", "beta", "bytes", "random_raw",
+})
+
+_UNSEEDED = "unseeded-rng"
+
+
+def _np_random_member(dotted: str):
+    """The member name for ``np.random.X`` / ``numpy.random.X``, else None."""
+    parts = dotted.split(".")
+    if len(parts) == 3 and parts[0] in ("np", "numpy") \
+            and parts[1] == "random":
+        return parts[2]
+    return None
+
+
+def _call_seed_args(call: ast.Call) -> bool:
+    """Whether a constructor call passes any seed material."""
+    return bool(call.args) or any(
+        kw.arg in ("seed", "key") or kw.arg is None for kw in call.keywords
+    )
+
+
+def _unseeded_construction(node: ast.AST, env: dict):
+    """Classify an expression: returns a reason string if it constructs
+    an RNG/bit generator with provably unseeded provenance."""
+    if not isinstance(node, ast.Call):
+        return None
+    member = _np_random_member(dotted_name(node.func))
+    if member is None:
+        return None
+    if member in _BITGEN_NAMES or member == "RandomState":
+        if not _call_seed_args(node):
+            return f"np.random.{member}() constructed without a seed"
+        return None
+    if member == "default_rng" and not _call_seed_args(node):
+        return "np.random.default_rng() constructed without a seed"
+    if member == "Generator":
+        if not node.args:
+            return None
+        arg = node.args[0]
+        if isinstance(arg, ast.Name):
+            if _UNSEEDED in env.get(arg.id, frozenset()):
+                return ("np.random.Generator wrapped around the "
+                        f"unseeded bit generator '{arg.id}'")
+            return None
+        nested = _unseeded_construction(arg, env)
+        if nested:
+            return ("np.random.Generator wrapped around an inline "
+                    "unseeded bit generator")
+    return None
+
+
+@register_semantic
+class RngProvenanceRule(SemanticRule):
+    """Every RNG must flow from a seeded constructor or a parameter."""
+
+    name = "rng-provenance"
+    code = "DET101"
+    description = ("np.random.Generator values must flow from a seeded "
+                   "constructor or an explicit rng/seed parameter; "
+                   "unseeded provenance is tracked through assignments")
+
+    def check(self, sctx: SemanticContext):
+        """Flag unseeded constructions and draws reached by them."""
+        for info in sorted(sctx.record.functions.values(),
+                           key=lambda i: i.qualname):
+            yield from self._check_function(sctx, info.node)
+        # Module top level: same analysis over the module body
+        # (constructions only; DET102 owns the escape angle).
+        yield from self._check_function(sctx, sctx.record.tree)
+
+    def _check_function(self, sctx, func_node):
+        cfg = build_cfg(func_node)
+        if cfg.entry < 0:
+            return
+
+        def value_tags(value, env):
+            if _unseeded_construction(value, env):
+                return frozenset({_UNSEEDED})
+            # Propagation through .spawn()/.bit_generator of a tainted
+            # rng keeps the taint.
+            if isinstance(value, ast.Call) \
+                    and isinstance(value.func, ast.Attribute) \
+                    and isinstance(value.func.value, ast.Name) \
+                    and _UNSEEDED in env.get(value.func.value.id,
+                                             frozenset()):
+                return frozenset({_UNSEEDED})
+            return frozenset()
+
+        flow = analyze(cfg, {}, value_tags)
+        reported = set()
+        for _node_id, stmt, env in flow.statements():
+            for node in own_expressions(stmt):
+                if not isinstance(node, ast.Call):
+                    continue
+                key = (node.lineno, node.col_offset)
+                reason = _unseeded_construction(node, env)
+                if reason is not None and key not in reported:
+                    reported.add(key)
+                    yield self.diag(
+                        sctx.ctx, node,
+                        f"{reason}; thread a seeded np.random.Generator "
+                        "down from configuration instead",
+                    )
+                    continue
+                func = node.func
+                if isinstance(func, ast.Attribute) \
+                        and func.attr in _DRAW_METHODS \
+                        and isinstance(func.value, ast.Name) \
+                        and _UNSEEDED in env.get(func.value.id,
+                                                 frozenset()) \
+                        and key not in reported:
+                    reported.add(key)
+                    yield self.diag(
+                        sctx.ctx, node,
+                        f"draw '.{func.attr}()' on '{func.value.id}', "
+                        "whose provenance includes an unseeded RNG "
+                        "constructor on some path",
+                    )
+
+
+def _is_rng_expression(node: ast.AST) -> bool:
+    """Whether an expression constructs any np.random generator object."""
+    if not isinstance(node, ast.Call):
+        return False
+    member = _np_random_member(dotted_name(node.func))
+    return member in _BITGEN_NAMES or member in (
+        "default_rng", "Generator", "RandomState"
+    )
+
+
+@register_semantic
+class RngEscapeRule(SemanticRule):
+    """RNG objects must not escape into module-global state."""
+
+    name = "rng-escape"
+    code = "DET102"
+    description = ("RNG objects bound at module level (or rebound via "
+                   "'global') are process-wide mutable state; keep "
+                   "generators on config/sequence objects")
+
+    def check(self, sctx: SemanticContext):
+        """Flag module-level RNG bindings and ``global`` RNG rebinding."""
+        for stmt in sctx.record.tree.body:
+            value = None
+            if isinstance(stmt, ast.Assign):
+                value = stmt.value
+            elif isinstance(stmt, ast.AnnAssign):
+                value = stmt.value
+            if value is not None and _is_rng_expression(value):
+                yield self.diag(
+                    sctx.ctx, stmt,
+                    "module-level RNG binding: generator state is "
+                    "shared process-wide and its draw order depends on "
+                    "import/caller interleaving",
+                )
+        for info in sorted(sctx.record.functions.values(),
+                           key=lambda i: i.qualname):
+            declared_global = set()
+            for node in ast.walk(info.node):
+                if isinstance(node, ast.Global):
+                    declared_global.update(node.names)
+            if not declared_global:
+                continue
+            for node in ast.walk(info.node):
+                if isinstance(node, ast.Assign):
+                    for target in node.targets:
+                        if isinstance(target, ast.Name) \
+                                and target.id in declared_global \
+                                and _is_rng_expression(node.value):
+                            yield self.diag(
+                                sctx.ctx, node,
+                                f"'global {target.id}' rebound to an "
+                                "RNG inside a function: generators must "
+                                "stay on sequence/config objects, not "
+                                "escape to module scope",
+                            )

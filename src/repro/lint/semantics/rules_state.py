@@ -1,0 +1,171 @@
+"""STL001: no module-level mutable state behind the step machine.
+
+The resumable step machine (PR 4) and the serving/cluster simulators
+promise that a sequence can be checkpointed, resumed, and bitwise
+replayed.  That promise dies silently the moment any code reachable
+from ``start``/``step``/``finish`` writes module-level state: the write
+survives across sequences and processes restarts differently, so a
+resumed run diverges from a straight-through run.  This rule walks the
+approximate call graph from every ``start``/``step``/``finish`` method
+(plus ``run`` on ``*Simulator``/``*Scheduler`` classes) and flags, in
+any reachable project function:
+
+- mutation of a module-level mutable container of the function's own
+  module (``_PENDING.append(...)``, ``TABLE[k] = v``, ...);
+- rebinding of any module-level name through ``global``;
+- and, at class scope, mutable class-attribute literals on classes
+  that define step-machine methods (shared across every instance).
+
+Reads of module constants are deliberately not flagged — lookup tables
+are fine; it is *writes* that leak state between sequences.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.lint.semantics.base import (
+    SemanticContext,
+    SemanticRule,
+    register_semantic,
+)
+from repro.lint.semantics.dataflow import (
+    INPLACE_CONTAINER_METHODS,
+    mutations_in,
+    walk_expressions,
+)
+
+#: Method names that anchor the step-machine contract.
+STEP_METHODS = frozenset({"start", "step", "finish"})
+
+#: Class-name suffixes whose ``run`` drives a step loop.
+_DRIVER_SUFFIXES = ("Simulator", "Scheduler", "Engine")
+
+
+def _entry_points(project):
+    """Qualnames of every step-machine entry method in the project."""
+    entries = set()
+    for qualname, info in project.functions.items():
+        if not info.is_method:
+            continue
+        if info.name in STEP_METHODS:
+            entries.add(qualname)
+        elif info.name == "run" and info.cls is not None \
+                and info.cls.endswith(_DRIVER_SUFFIXES):
+            entries.add(qualname)
+    return entries
+
+
+def _local_scope_names(func_node) -> set:
+    """Names bound anywhere in the function (locals, params, loops)."""
+    names = set()
+    args = func_node.args
+    for arg in list(args.posonlyargs) + list(args.args) \
+            + list(args.kwonlyargs):
+        names.add(arg.arg)
+    if args.vararg is not None:
+        names.add(args.vararg.arg)
+    if args.kwarg is not None:
+        names.add(args.kwarg.arg)
+    for node in walk_expressions(func_node):
+        if isinstance(node, ast.Name) and isinstance(node.ctx, ast.Store):
+            names.add(node.id)
+        elif isinstance(node, (ast.comprehension,)):
+            for sub in ast.walk(node.target):
+                if isinstance(sub, ast.Name):
+                    names.add(sub.id)
+    return names
+
+
+@register_semantic
+class StepStateLeakageRule(SemanticRule):
+    """start/step/finish must keep mutable state on sequence objects."""
+
+    name = "step-state-leakage"
+    code = "STL001"
+    description = ("code reachable from start/step/finish must not "
+                   "write module-level (or shared class-level) mutable "
+                   "state; checkpoints/resume require all state on the "
+                   "sequence/replica objects")
+
+    def check(self, sctx: SemanticContext):
+        """Flag global-state writes in step-reachable functions."""
+        project = sctx.project
+        reachable = self._reachable(project, sctx.callgraph)
+        for info in sorted(sctx.record.functions.values(),
+                           key=lambda i: i.qualname):
+            if info.qualname not in reachable:
+                continue
+            yield from self._check_function(sctx, info)
+        yield from self._check_class_attrs(sctx)
+
+    def _reachable(self, project, callgraph) -> set:
+        cached = project.analysis_cache.get("stl.reachable")
+        if cached is None:
+            cached = callgraph.reachable_from(_entry_points(project))
+            project.analysis_cache["stl.reachable"] = cached
+        return cached
+
+    def _check_function(self, sctx, info):
+        record = sctx.record
+        declared_global = set()
+        for node in walk_expressions(info.node):
+            if isinstance(node, ast.Global):
+                declared_global.update(node.names)
+        local_names = _local_scope_names(info.node) - declared_global
+        mutable_globals = set(record.mutable_globals) - local_names
+
+        cfg = sctx.project.cfg(info.node)
+        for _node_id, stmt in sorted(cfg.stmts.items()):
+            # ``global X`` rebinding.
+            for name in bound_global_names(stmt, declared_global):
+                yield self.diag(
+                    sctx.ctx, stmt,
+                    f"rebinding module-level '{name}' (via 'global') "
+                    "from step-machine code leaks state across "
+                    "sequences and breaks checkpoint/resume",
+                )
+            # In-place mutation of a module-level mutable container.
+            inplace = INPLACE_CONTAINER_METHODS \
+                | frozenset({"fill", "sort", "put", "resize"})
+            for name, node, how in mutations_in(stmt, inplace):
+                if name in mutable_globals or name in declared_global:
+                    yield self.diag(
+                        sctx.ctx, node,
+                        f"{how} on module-level '{name}' from code "
+                        "reachable from start/step/finish; keep "
+                        "mutable state on the sequence/replica object",
+                    )
+
+    def _check_class_attrs(self, sctx):
+        for cinfo in sorted(sctx.record.classes.values(),
+                            key=lambda c: c.name):
+            has_step_api = any(
+                name in STEP_METHODS for name in cinfo.methods
+            )
+            if not has_step_api:
+                continue
+            for name, node in sorted(cinfo.mutable_class_attrs.items()):
+                yield self.diag(
+                    sctx.ctx, node,
+                    f"class attribute '{name}' of '{cinfo.name}' is a "
+                    "mutable container shared by every instance; "
+                    "initialize it per-sequence in __init__ instead",
+                )
+
+
+def bound_global_names(stmt, declared_global):
+    """Names in ``declared_global`` that this statement rebinds."""
+    if not declared_global:
+        return ()
+    bound = set()
+    targets = []
+    if isinstance(stmt, ast.Assign):
+        targets = stmt.targets
+    elif isinstance(stmt, (ast.AugAssign, ast.AnnAssign)):
+        targets = [stmt.target]
+    for target in targets:
+        for node in ast.walk(target):
+            if isinstance(node, ast.Name) and node.id in declared_global:
+                bound.add(node.id)
+    return sorted(bound)

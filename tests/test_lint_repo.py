@@ -3,10 +3,13 @@
 This is the wiring that keeps future PRs honest: the full rule set must
 pass over ``src/repro`` with zero suppression markers anywhere in
 ``repro/core`` and ``repro/memory`` (acceptance criterion of the lint
-subsystem issue).
+subsystem issue).  The whole-program semantic analyses (DET1xx, MUT00x,
+FPR001, STL001 — see docs/static-analysis.md) gate here too: they must
+run over the full package and come back with zero unsuppressed
+findings.
 """
 
-from repro.lint import run_lint
+from repro.lint import run_lint, run_semantic_lint
 
 
 def _report():
@@ -19,6 +22,16 @@ def test_repo_is_lint_clean():
     report = _report()
     rendered = "\n".join(d.format() for d in report.diagnostics)
     assert report.diagnostics == [], f"daoplint violations:\n{rendered}"
+    assert report.exit_code == 0
+
+
+def test_repo_is_semantically_clean():
+    report = run_semantic_lint()
+    assert report.files > 50, "semantic lint walked suspiciously few files"
+    rendered = "\n".join(d.format() for d in report.diagnostics)
+    assert report.diagnostics == [], (
+        f"semantic analysis violations:\n{rendered}"
+    )
     assert report.exit_code == 0
 
 

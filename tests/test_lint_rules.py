@@ -127,6 +127,23 @@ def test_cli_may_import_everything():
     assert diags == []
 
 
+def test_unregistered_package_flagged():
+    diags = lint('"""Doc."""\n',
+                 path="src/repro/telemetry/sample.py",
+                 select=["package-registration"])
+    assert codes(diags) == {"LAY002"}
+    assert "repro.telemetry" in diags[0].message
+
+
+def test_registered_packages_and_root_modules_pass():
+    for path in ("src/repro/core/sample.py",
+                 "src/repro/lint/semantics/sample.py",
+                 "src/repro/cli.py",
+                 "src/repro/__init__.py"):
+        assert lint('"""Doc."""\n', path=path,
+                    select=["package-registration"]) == []
+
+
 # ---- engine contract -----------------------------------------------------------
 
 

@@ -1,0 +1,706 @@
+"""Fixture tests for the whole-program semantic rule families.
+
+Every family gets at least one true positive and one near miss (code
+that looks like the violation but honors the invariant), exercised
+through ``semantic_lint_source`` so the full pipeline — project index,
+call graph, CFG, dataflow, suppression filtering — runs on each
+snippet.  Cross-file behavior (FPR001 caller coverage, STL001
+reachability) uses ``extra_files`` to assemble small virtual projects.
+"""
+
+import textwrap
+
+from repro.lint import all_semantic_rules, get_semantic_rule
+from repro.lint.semantics import (
+    CFG,
+    ProjectIndex,
+    SemanticCache,
+    build_cfg,
+    semantic_lint_source,
+)
+
+MODULE = "src/repro/core/sample.py"
+
+
+def lint(source, path=MODULE, select=None, extra_files=None):
+    """Semantically lint a dedented snippet against a virtual path."""
+    return semantic_lint_source(
+        textwrap.dedent(source), path=path, select=select,
+        extra_files={
+            p: textwrap.dedent(s)
+            for p, s in (extra_files or {}).items()
+        },
+    )
+
+
+def codes(diagnostics):
+    """The set of diagnostic codes found."""
+    return {d.code for d in diagnostics}
+
+
+# ---- registry -----------------------------------------------------------------
+
+
+def test_semantic_registry_exposes_all_families():
+    registered = {rule.code for rule in all_semantic_rules()}
+    assert {"DET101", "DET102", "MUT001", "MUT002", "MUT003",
+            "FPR001", "STL001"} <= registered
+    assert get_semantic_rule("rng-provenance").code == "DET101"
+    assert get_semantic_rule("FPR001").name == "fingerprint-invalidation"
+
+
+# ---- DET101 rng-provenance ----------------------------------------------------
+
+
+def test_det101_unseeded_default_rng_and_draw_flagged():
+    diags = lint(
+        '''\
+        """Doc."""
+        import numpy as np
+
+        def sample():
+            """Doc."""
+            rng = np.random.default_rng()
+            return rng.normal()
+        ''',
+        select=["rng-provenance"],
+    )
+    assert codes(diags) == {"DET101"}
+    assert len(diags) == 2  # the construction and the draw
+
+
+def test_det101_seeded_construction_passes():
+    diags = lint(
+        '''\
+        """Doc."""
+        import numpy as np
+
+        def sample(seed):
+            """Doc."""
+            rng = np.random.default_rng(seed)
+            return rng.normal()
+        ''',
+        select=["rng-provenance"],
+    )
+    assert diags == []
+
+
+def test_det101_unseeded_bitgen_flows_into_generator():
+    diags = lint(
+        '''\
+        """Doc."""
+        import numpy as np
+
+        def sample():
+            """Doc."""
+            bitgen = np.random.PCG64()
+            rng = np.random.Generator(bitgen)
+            return rng.normal()
+        ''',
+        select=["rng-provenance"],
+    )
+    assert codes(diags) == {"DET101"}
+
+
+def test_det101_rebinding_to_seeded_clears_taint():
+    diags = lint(
+        '''\
+        """Doc."""
+        import numpy as np
+
+        def sample():
+            """Doc."""
+            rng = np.random.default_rng()
+            rng = np.random.default_rng(7)
+            return rng.normal()
+        ''',
+        select=["rng-provenance"],
+    )
+    # The unseeded construction itself is still flagged; the draw,
+    # reached only by the reseeded binding, is not.
+    assert [d.line for d in diags] == [6]
+
+
+def test_det101_parameter_rng_is_trusted():
+    diags = lint(
+        '''\
+        """Doc."""
+
+        def sample(rng):
+            """Doc."""
+            return rng.normal()
+        ''',
+        select=["rng-provenance"],
+    )
+    assert diags == []
+
+
+# ---- DET102 rng-escape --------------------------------------------------------
+
+
+def test_det102_module_level_rng_flagged():
+    diags = lint(
+        '''\
+        """Doc."""
+        import numpy as np
+
+        RNG = np.random.default_rng(0)
+        ''',
+        select=["rng-escape"],
+    )
+    assert codes(diags) == {"DET102"}
+
+
+def test_det102_global_rebinding_flagged():
+    diags = lint(
+        '''\
+        """Doc."""
+        import numpy as np
+
+        _RNG = None
+
+        def reseed(seed):
+            """Doc."""
+            global _RNG
+            _RNG = np.random.default_rng(seed)
+        ''',
+        select=["rng-escape"],
+    )
+    assert codes(diags) == {"DET102"}
+
+
+def test_det102_local_and_attribute_rngs_pass():
+    diags = lint(
+        '''\
+        """Doc."""
+        import numpy as np
+
+        class Config:
+            """Doc."""
+
+            def __init__(self, seed):
+                """Doc."""
+                self.rng = np.random.default_rng(seed)
+
+        def local(seed):
+            """Doc."""
+            rng = np.random.default_rng(seed)
+            return rng
+        ''',
+        select=["rng-escape"],
+    )
+    assert diags == []
+
+
+# ---- MUT001 cache-value-mutation ----------------------------------------------
+
+
+def test_mut001_mutating_cache_get_result_flagged():
+    diags = lint(
+        '''\
+        """Doc."""
+
+        def warm(tensor_cache, key):
+            """Doc."""
+            value = tensor_cache.get(key)
+            value[0] = 1.0
+            return value
+        ''',
+        select=["cache-value-mutation"],
+    )
+    assert codes(diags) == {"MUT001"}
+
+
+def test_mut001_tuple_unpacked_put_result_flagged():
+    diags = lint(
+        '''\
+        """Doc."""
+
+        def stage(self, h):
+            """Doc."""
+            h_att, key, hit = self.compute_cache.put(h)
+            h_att += 1.0
+            return h_att, key, hit
+        ''',
+        select=["cache-value-mutation"],
+    )
+    assert codes(diags) == {"MUT001"}
+
+
+def test_mut001_copy_before_mutation_passes():
+    diags = lint(
+        '''\
+        """Doc."""
+
+        def warm(tensor_cache, key):
+            """Doc."""
+            value = tensor_cache.get(key)
+            value = value.copy()
+            value[0] = 1.0
+            return value
+        ''',
+        select=["cache-value-mutation"],
+    )
+    assert diags == []
+
+
+def test_mut001_non_cache_receiver_passes():
+    diags = lint(
+        '''\
+        """Doc."""
+
+        def fetch(registry, key):
+            """Doc."""
+            value = registry.get(key)
+            value[0] = 1.0
+            return value
+        ''',
+        select=["cache-value-mutation"],
+    )
+    assert diags == []
+
+
+# ---- MUT002 param-mutation ----------------------------------------------------
+
+
+def test_mut002_mutating_borrowed_ndarray_param_flagged():
+    diags = lint(
+        '''\
+        """Doc."""
+        import numpy as np
+
+        def normalize(x: np.ndarray):
+            """Doc."""
+            x /= x.sum()
+            return x
+        ''',
+        select=["param-mutation"],
+    )
+    assert codes(diags) == {"MUT002"}
+
+
+def test_mut002_out_buffer_and_documented_inplace_pass():
+    diags = lint(
+        '''\
+        """Doc."""
+        import numpy as np
+
+        def write_into(out: np.ndarray, value):
+            """Doc."""
+            out[:] = value
+
+        def scale(x: np.ndarray, factor):
+            """Scale ``x`` in place (documented contract)."""
+            x *= factor
+        ''',
+        select=["param-mutation"],
+    )
+    assert diags == []
+
+
+def test_mut002_copy_rebinding_clears_taint():
+    diags = lint(
+        '''\
+        """Doc."""
+        import numpy as np
+
+        def normalize(x: np.ndarray):
+            """Doc."""
+            x = x.copy()
+            x /= x.sum()
+            return x
+        ''',
+        select=["param-mutation"],
+    )
+    assert diags == []
+
+
+# ---- MUT003 cache-freeze-defeat -----------------------------------------------
+
+
+def test_mut003_setflags_write_true_flagged():
+    diags = lint(
+        '''\
+        """Doc."""
+
+        def thaw(frozen):
+            """Doc."""
+            frozen.setflags(write=True)
+            return frozen
+        ''',
+        select=["cache-freeze-defeat"],
+    )
+    assert codes(diags) == {"MUT003"}
+
+
+def test_mut003_setflags_write_false_passes():
+    diags = lint(
+        '''\
+        """Doc."""
+
+        def freeze(value):
+            """Doc."""
+            value.setflags(write=False)
+            return value
+        ''',
+        select=["cache-freeze-defeat"],
+    )
+    assert diags == []
+
+
+# ---- FPR001 fingerprint-invalidation ------------------------------------------
+
+
+def test_fpr001_uninvalidated_weight_write_flagged():
+    diags = lint(
+        '''\
+        """Doc."""
+
+        class Model:
+            """Doc."""
+
+            def set_weight(self, w):
+                """Doc."""
+                self.layer.weight = w
+        ''',
+        select=["fingerprint-invalidation"],
+    )
+    assert codes(diags) == {"FPR001"}
+
+
+def test_fpr001_invalidation_on_every_path_passes():
+    diags = lint(
+        '''\
+        """Doc."""
+
+        class Model:
+            """Doc."""
+
+            def set_weight(self, w):
+                """Doc."""
+                self.layer.weight = w
+                self.invalidate_weights_fingerprint()
+        ''',
+        select=["fingerprint-invalidation"],
+    )
+    assert diags == []
+
+
+def test_fpr001_invalidation_on_one_branch_only_flagged():
+    diags = lint(
+        '''\
+        """Doc."""
+
+        class Model:
+            """Doc."""
+
+            def set_weight(self, w, notify):
+                """Doc."""
+                self.layer.weight = w
+                if notify:
+                    self.invalidate_weights_fingerprint()
+        ''',
+        select=["fingerprint-invalidation"],
+    )
+    assert codes(diags) == {"FPR001"}
+
+
+def test_fpr001_raise_paths_do_not_count_as_missing():
+    diags = lint(
+        '''\
+        """Doc."""
+
+        class Model:
+            """Doc."""
+
+            def set_weight(self, w):
+                """Doc."""
+                self.layer.weight = w
+                if w is None:
+                    raise ValueError("no weight")
+                self.invalidate_weights_fingerprint()
+        ''',
+        select=["fingerprint-invalidation"],
+    )
+    assert diags == []
+
+
+def test_fpr001_constructors_are_exempt():
+    diags = lint(
+        '''\
+        """Doc."""
+
+        class Model:
+            """Doc."""
+
+            def __init__(self, w):
+                """Doc."""
+                self.layer.weight = w
+        ''',
+        select=["fingerprint-invalidation"],
+    )
+    assert diags == []
+
+
+HELPER = '''\
+"""Doc."""
+
+def quantize_one(layer, w):
+    """Doc."""
+    layer.weight = w
+'''
+
+
+def test_fpr001_caller_invalidation_covers_helper():
+    caller = '''\
+    """Doc."""
+    from repro.core.sample import quantize_one
+
+    def quantize_all(model, weights):
+        """Doc."""
+        for layer, w in zip(model.layers, weights):
+            quantize_one(layer, w)
+        model.invalidate_weights_fingerprint()
+    '''
+    diags = lint(HELPER, select=["fingerprint-invalidation"],
+                 extra_files={"src/repro/core/consumer.py": caller})
+    assert diags == []
+
+
+def test_fpr001_caller_without_invalidation_flags_helper():
+    caller = '''\
+    """Doc."""
+    from repro.core.sample import quantize_one
+
+    def quantize_all(model, weights):
+        """Doc."""
+        for layer, w in zip(model.layers, weights):
+            quantize_one(layer, w)
+    '''
+    diags = lint(HELPER, select=["fingerprint-invalidation"],
+                 extra_files={"src/repro/core/consumer.py": caller})
+    assert codes(diags) == {"FPR001"}
+
+
+# ---- STL001 step-state-leakage ------------------------------------------------
+
+
+def test_stl001_step_mutating_module_global_flagged():
+    diags = lint(
+        '''\
+        """Doc."""
+
+        _PENDING = []
+
+        class Engine:
+            """Doc."""
+
+            def step(self):
+                """Doc."""
+                _PENDING.append(1)
+        ''',
+        select=["step-state-leakage"],
+    )
+    assert codes(diags) == {"STL001"}
+
+
+def test_stl001_helper_reached_from_step_flagged():
+    diags = lint(
+        '''\
+        """Doc."""
+
+        _COUNTS = {}
+
+        class Engine:
+            """Doc."""
+
+            def step(self):
+                """Doc."""
+                bump("step")
+
+        def bump(key):
+            """Doc."""
+            _COUNTS[key] = _COUNTS.get(key, 0) + 1
+        ''',
+        select=["step-state-leakage"],
+    )
+    assert codes(diags) == {"STL001"}
+
+
+def test_stl001_instance_state_and_module_constant_reads_pass():
+    diags = lint(
+        '''\
+        """Doc."""
+
+        POLICIES = {"greedy": 1}
+
+        class Engine:
+            """Doc."""
+
+            def __init__(self):
+                """Doc."""
+                self.pending = []
+
+            def step(self):
+                """Doc."""
+                self.pending.append(POLICIES["greedy"])
+        ''',
+        select=["step-state-leakage"],
+    )
+    assert diags == []
+
+
+def test_stl001_mutable_class_attribute_on_step_class_flagged():
+    diags = lint(
+        '''\
+        """Doc."""
+
+        class Engine:
+            """Doc."""
+
+            history = []
+
+            def step(self):
+                """Doc."""
+                self.history.append(1)
+        ''',
+        select=["step-state-leakage"],
+    )
+    assert codes(diags) == {"STL001"}
+
+
+def test_stl001_unreachable_function_may_touch_globals():
+    diags = lint(
+        '''\
+        """Doc."""
+
+        _REGISTRY = {}
+
+        def register(name, value):
+            """Doc."""
+            _REGISTRY[name] = value
+        ''',
+        select=["step-state-leakage"],
+    )
+    assert diags == []
+
+
+# ---- suppressions flow through the semantic pipeline --------------------------
+
+
+def test_semantic_findings_respect_suppressions():
+    diags = lint(
+        '''\
+        """Doc."""
+        import numpy as np
+
+        RNG = np.random.default_rng(0)  # daoplint: disable=rng-escape
+        ''',
+        select=["rng-escape"],
+    )
+    assert diags == []
+
+
+# ---- CFG primitives -----------------------------------------------------------
+
+
+def _cfg_of(source):
+    import ast
+
+    tree = ast.parse(textwrap.dedent(source))
+    return build_cfg(tree.body[0])
+
+
+def test_cfg_branch_reaches_exit_around_blocked_node():
+    cfg = _cfg_of(
+        '''\
+        def f(flag):
+            a = 1
+            if flag:
+                b = 2
+            return a
+        ''',
+    )
+    assert isinstance(cfg, CFG)
+    blocked = {
+        node_id for node_id, stmt in cfg.stmts.items()
+        if getattr(stmt, "lineno", 0) == 4
+    }
+    # Blocking only the if-body still leaves the fall-through path.
+    assert cfg.reachable_avoiding(cfg.entry, blocked)
+    # Blocking the return statement cuts every path to the exit...
+    returns = {
+        node_id for node_id, stmt in cfg.stmts.items()
+        if stmt.__class__.__name__ == "Return"
+    }
+    assert not cfg.reachable_avoiding(cfg.entry, blocked | returns)
+
+
+def test_cfg_while_loop_has_back_edge_and_exit():
+    cfg = _cfg_of(
+        '''\
+        def f(n):
+            total = 0
+            while n:
+                total += n
+                n -= 1
+            return total
+        ''',
+    )
+    assert cfg.reachable_avoiding(cfg.entry, set())
+
+
+# ---- semantic cache -----------------------------------------------------------
+
+
+def test_semantic_cache_round_trip(tmp_path):
+    from repro.lint.diagnostics import Diagnostic, Severity
+
+    cache = SemanticCache(tmp_path / "semantic.json")
+    finding = Diagnostic(
+        path="src/repro/core/sample.py", line=3, col=1,
+        rule="rng-escape", code="DET102", severity=Severity.ERROR,
+        message="module-level RNG binding",
+    )
+    cache.store("key123", [finding], files=7)
+    loaded = cache.load("key123")
+    assert loaded is not None
+    findings, files = loaded
+    assert files == 7
+    assert findings[0].code == "DET102"
+    assert findings[0].severity is Severity.ERROR
+    # A different key (sources changed) misses.
+    assert cache.load("other-key") is None
+
+
+def test_semantic_cache_end_to_end_replay(tmp_path):
+    from repro.lint.semantics import run_semantic_lint
+
+    cache_path = tmp_path / "semantic.json"
+    first = run_semantic_lint(cache_path=str(cache_path))
+    assert cache_path.exists()
+    second = run_semantic_lint(cache_path=str(cache_path))
+    assert [d.format() for d in second.diagnostics] \
+        == [d.format() for d in first.diagnostics]
+    assert second.files == first.files
+
+
+def test_project_global_sha_changes_with_salt_and_source():
+    import ast
+
+    from repro.lint.semantics.index import ModuleRecord
+
+    def project_for(text):
+        record = ModuleRecord.build(
+            "src/repro/core/sample.py", ("core", "sample.py"),
+            text, ast.parse(text),
+        )
+        return ProjectIndex.build([record])
+
+    a = project_for('"""Doc."""\nX = 1\n')
+    b = project_for('"""Doc."""\nX = 2\n')
+    assert a.global_sha("s1") != b.global_sha("s1")
+    assert a.global_sha("s1") != a.global_sha("s2")
+    assert a.global_sha("s1") == project_for(
+        '"""Doc."""\nX = 1\n'
+    ).global_sha("s1")

@@ -1,0 +1,213 @@
+"""Edge-case tests for suppression markers and the audit tooling.
+
+Covers multi-rule ``disable=`` lines, markers on decorated and
+multi-line statements (the marker must sit on the line the diagnostic
+anchors to), the ``--list-suppressions`` audit flag with stale-marker
+detection, and the SARIF export of a lint report.
+"""
+
+import json
+import textwrap
+
+from repro.lint import lint_source, write_sarif
+from repro.lint.runner import LintReport, _stale_markers, main
+from repro.lint.suppressions import SuppressionIndex
+
+
+def lint(source, path="src/repro/core/sample.py", select=None):
+    """Lint a dedented snippet against a virtual repo path."""
+    return lint_source(textwrap.dedent(source), path=path, select=select)
+
+
+# ---- marker parsing -----------------------------------------------------------
+
+
+def test_multi_rule_disable_line_parses_every_rule():
+    index = SuppressionIndex(
+        "x = 1  # daoplint: disable=stdlib-random,DET002, wall-clock\n"
+    )
+    assert len(index.markers) == 1
+    marker = index.markers[0]
+    assert marker.rules == ("stdlib-random", "DET002", "wall-clock")
+    assert not marker.file_wide
+    assert index.is_suppressed("stdlib-random", "DET001", 1)
+    assert index.is_suppressed("unseeded-numpy", "DET002", 1)
+    assert index.is_suppressed("wall-clock", "DET003", 1)
+    assert not index.is_suppressed("import-layering", "LAY001", 1)
+    assert not index.is_suppressed("stdlib-random", "DET001", 2)
+
+
+def test_multi_rule_disable_suppresses_both_diagnostics():
+    diags = lint(
+        '''\
+        """Doc."""
+        import time
+        import numpy as np
+
+        def f():
+            """Doc."""
+            return np.random.rand(3), time.time()  # daoplint: disable=DET002,DET003
+        ''',
+        select=["unseeded-numpy", "wall-clock"],
+    )
+    assert diags == []
+
+
+def test_disable_file_marker_spans_the_whole_file():
+    diags = lint(
+        '''\
+        """Doc."""
+        # daoplint: disable-file=unseeded-numpy
+        import numpy as np
+
+        a = np.random.rand(3)
+        b = np.random.rand(3)
+        ''',
+        select=["unseeded-numpy"],
+    )
+    assert diags == []
+
+
+def test_marker_on_decorated_function_line_placement():
+    # DET003 anchors at the call inside the body, not at the decorator:
+    # a marker on the decorator line must NOT suppress it, a marker on
+    # the offending line must.
+    undecorated = '''\
+    """Doc."""
+    import functools
+    import time
+
+    @functools.lru_cache  # daoplint: disable=wall-clock
+    def now():
+        """Doc."""
+        return time.time()
+    '''
+    diags = lint(undecorated, select=["wall-clock"])
+    assert [d.code for d in diags] == ["DET003"]
+
+    on_line = '''\
+    """Doc."""
+    import functools
+    import time
+
+    @functools.lru_cache
+    def now():
+        """Doc."""
+        return time.time()  # daoplint: disable=wall-clock
+    '''
+    assert lint(on_line, select=["wall-clock"]) == []
+
+
+def test_marker_inside_multiline_statement():
+    # The diagnostic anchors at the expression's own line; a marker on
+    # that physical line works even mid-expression.
+    diags = lint(
+        '''\
+        """Doc."""
+        import numpy as np
+
+        values = (
+            np.random.rand(3)  # daoplint: disable=unseeded-numpy
+            + 1.0
+        )
+        ''',
+        select=["unseeded-numpy"],
+    )
+    assert diags == []
+
+
+# ---- stale-marker audit -------------------------------------------------------
+
+
+def _report_with(markers, suppressed):
+    report = LintReport()
+    report.suppression_markers = markers
+    report.suppressed = suppressed
+    return report
+
+
+def test_stale_marker_detection():
+    from repro.lint.diagnostics import Diagnostic, Severity
+
+    live = ("a.py", 3, ("DET002",), False)
+    stale_line = ("a.py", 9, ("DET002",), False)
+    stale_file = ("b.py", 1, ("wall-clock",), True)
+    hit = Diagnostic(path="a.py", line=3, col=1, rule="unseeded-numpy",
+                     code="DET002", severity=Severity.ERROR, message="m")
+    report = _report_with([live, stale_line, stale_file], [hit])
+    assert sorted(_stale_markers(report)) == sorted(
+        [stale_line, stale_file]
+    )
+
+
+def test_list_suppressions_cli_flags_stale_markers(tmp_path, capsys):
+    target = tmp_path / "sample.py"
+    target.write_text(textwrap.dedent(
+        '''\
+        """Doc."""
+        import numpy as np
+
+        a = np.random.rand(3)  # daoplint: disable=unseeded-numpy
+        b = 1  # daoplint: disable=wall-clock
+        '''
+    ), encoding="utf-8")
+    exit_code = main([str(target), "--list-suppressions"])
+    out = capsys.readouterr().out
+    assert exit_code == 0
+    assert "disable=unseeded-numpy" in out
+    assert "disable=wall-clock" in out
+    assert out.count("STALE") == 1
+    assert "2 suppression marker(s), 1 stale" in out
+
+
+def test_list_suppressions_cli_reports_empty(tmp_path, capsys):
+    target = tmp_path / "clean.py"
+    target.write_text('"""Doc."""\n', encoding="utf-8")
+    assert main([str(target), "--list-suppressions"]) == 0
+    assert "no suppression markers" in capsys.readouterr().out
+
+
+# ---- SARIF export -------------------------------------------------------------
+
+
+def test_sarif_export_round_trips_diagnostics(tmp_path):
+    from repro.lint import all_rules
+    from repro.lint.diagnostics import Diagnostic, Severity
+
+    report = LintReport(files=1)
+    report.diagnostics.append(Diagnostic(
+        path="src/repro/core/sample.py", line=4, col=2,
+        rule="unseeded-numpy", code="DET002", severity=Severity.ERROR,
+        message="legacy singleton call",
+    ))
+    out = tmp_path / "report.sarif"
+    write_sarif(out, report, all_rules())
+    document = json.loads(out.read_text(encoding="utf-8"))
+    assert document["version"] == "2.1.0"
+    run = document["runs"][0]
+    assert run["tool"]["driver"]["name"] == "daoplint"
+    rule_ids = {rule["id"] for rule in run["tool"]["driver"]["rules"]}
+    assert "DET002" in rule_ids
+    (result,) = run["results"]
+    assert result["ruleId"] == "DET002"
+    assert result["level"] == "error"
+    assert "unseeded-numpy" in result["message"]["text"]
+    location = result["locations"][0]["physicalLocation"]
+    assert location["artifactLocation"]["uri"] \
+        == "src/repro/core/sample.py"
+    assert location["region"] == {"startLine": 4, "startColumn": 2}
+
+
+def test_sarif_cli_flag_writes_file(tmp_path, capsys):
+    target = tmp_path / "bad.py"
+    target.write_text(
+        '"""Doc."""\nimport numpy as np\n\na = np.random.rand(3)\n',
+        encoding="utf-8",
+    )
+    out = tmp_path / "out.sarif"
+    exit_code = main([str(target), "--select", "unseeded-numpy",
+                      "--sarif", str(out)])
+    capsys.readouterr()
+    assert exit_code == 1
+    document = json.loads(out.read_text(encoding="utf-8"))
+    assert document["runs"][0]["results"][0]["ruleId"] == "DET002"
