@@ -1,0 +1,121 @@
+#!/usr/bin/env python
+"""Run the scenario library end-to-end and replay one scenario bit-exactly.
+
+The scenario library (`repro.scenarios`, docs/scenarios.md) packages
+named serving workloads -- arrival process, tenant mix with per-tenant
+SLO classes, length distributions, session prefix reuse -- so serving
+experiments are declared once and reproduced anywhere.  This example:
+
+1. runs every registered scenario through a DAOP `ServingSimulator` and
+   tabulates per-scenario SLO attainment and tail latency;
+2. breaks one multi-tenant scenario out per tenant and per SLO class;
+3. records a scenario's materialized workload to disk (replay format
+   v2) and replays it, verifying the report content digest matches
+   bit-exactly.
+
+Run:  python examples/scenario_suite.py
+"""
+
+import os
+import tempfile
+
+from repro import build_mixtral_8x7b_sim, default_platform
+from repro.core import build_engine, calibrate_activation_probs
+from repro.metrics import format_table
+from repro.scenarios import SCENARIO_NAMES, ScenarioRunner, get_scenario
+from repro.serving import ServingSimulator
+from repro.workloads.replay import (
+    load_request_specs,
+    record_request_specs,
+    save_workload,
+)
+
+SEED = 7
+
+
+def make_simulator(bundle, platform, calibration) -> ServingSimulator:
+    """A fresh DAOP serving backend (placement reset between scenarios)."""
+    engine = build_engine("daop", bundle, platform,
+                          expert_cache_ratio=0.469,
+                          calibration_probs=calibration)
+    return ServingSimulator(engine)
+
+
+def main() -> None:
+    bundle = build_mixtral_8x7b_sim(seed=0, n_blocks=16)
+    platform = default_platform()
+    calibration = calibrate_activation_probs(
+        bundle, n_sequences=4, prompt_len=24, decode_len=24
+    )
+
+    # 1. Every registered scenario, one row each.  `fast` caps request
+    # counts and token lengths so the suite finishes in a few minutes.
+    rows = []
+    reports = {}
+    for name in SCENARIO_NAMES:
+        runner = ScenarioRunner(get_scenario(name), bundle.vocab,
+                                seed=SEED, fast=True)
+        report = runner.run(make_simulator(bundle, platform, calibration))
+        reports[name] = report
+        summary = report.to_dict()["summary"]
+        rows.append([
+            name,
+            f"{summary['served']}/{summary['offered']}",
+            f"{100 * summary['slo_attainment']:.0f}%",
+            summary["throughput_tokens_per_s"],
+            summary["ttft_p95_s"],
+            report.content_digest()[:12],
+        ])
+        print(f"ran scenario {name} ...")
+    print()
+    print(format_table(
+        ["scenario", "served", "SLO", "tok/s", "TTFT p95 (s)", "digest"],
+        rows, title=f"scenario suite (DAOP, seed {SEED}, fast mode)",
+    ))
+
+    # 2. Per-tenant / per-SLO-class breakdown of the multi-tenant mix.
+    report = reports["multi-tenant-slo"]
+    tenant_rows = [
+        [tenant, stats["served"],
+         f"{100 * stats['slo_attainment']:.0f}%",
+         stats["ttft_p95_s"], stats["latency_p95_s"]]
+        for tenant, stats in report.per_tenant().items()
+    ]
+    print()
+    print(format_table(
+        ["tenant", "served", "SLO", "TTFT p95 (s)", "latency p95 (s)"],
+        tenant_rows, title="multi-tenant-slo: per-tenant breakdown",
+    ))
+    slo_rows = [
+        [cls, stats["served"], f"{100 * stats['slo_attainment']:.0f}%",
+         stats["tpot_p50_s"]]
+        for cls, stats in report.per_slo_class().items()
+    ]
+    print()
+    print(format_table(
+        ["SLO class", "served", "attained", "TPOT p50 (s)"],
+        slo_rows, title="multi-tenant-slo: per-SLO-class breakdown",
+    ))
+
+    # 3. Record the workload, replay it from disk, compare digests.
+    runner = ScenarioRunner(get_scenario("multi-tenant-slo"), bundle.vocab,
+                            seed=SEED, fast=True)
+    specs = runner.build_requests()
+    with tempfile.TemporaryDirectory() as tmp:
+        path = os.path.join(tmp, "multi-tenant-slo.workload.json")
+        save_workload(path, record_request_specs(specs,
+                                                 label="multi-tenant-slo"))
+        loaded = load_request_specs(path)
+        replayed = runner.run(make_simulator(bundle, platform, calibration),
+                              requests=loaded)
+    print()
+    fresh_digest = report.content_digest()
+    replay_digest = replayed.content_digest()
+    print(f"fresh run digest:  {fresh_digest}")
+    print(f"replayed digest:   {replay_digest}")
+    print("bit-exact replay:  "
+          + ("PASS" if fresh_digest == replay_digest else "FAIL"))
+
+
+if __name__ == "__main__":
+    main()

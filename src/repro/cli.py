@@ -8,6 +8,7 @@ Subcommands::
     repro observe  [--dataset ...]     similarity + prediction statistics
     repro serve    [--rate ...]        request-level serving simulation
     repro serve-cluster [--policy ...] multi-replica cluster simulation
+    repro scenarios {list,run,replay,compare}  scenario library driver
     repro bench-batch [--batch-sizes ...] continuous-batching benchmark
     repro trace    [--engine ...]      schedule analysis + Chrome trace
     repro audit    [--engines ...]     differential + invariant audit
@@ -318,6 +319,147 @@ def cmd_serve_cluster(args) -> int:
         with open(args.json, "w") as handle:
             handle.write(report.to_json())
         print(f"cluster report ({args.policies[-1]}) written to {args.json}")
+    return 0
+
+
+def _scenario_backend(args, bundle, platform, calibration):
+    """Build the serving backend one scenario run drives."""
+    if args.replicas > 1:
+        engines = [
+            build_engine(args.engine, bundle, platform,
+                         expert_cache_ratio=args.ecr,
+                         calibration_probs=calibration)
+            for _ in range(args.replicas)
+        ]
+        return ClusterSimulator(
+            engines, None, build_policy(args.policy),
+            concurrency=args.concurrency,
+        )
+    engine = build_engine(args.engine, bundle, platform,
+                          expert_cache_ratio=args.ecr,
+                          calibration_probs=calibration)
+    return ServingSimulator(engine, concurrency=args.concurrency)
+
+
+def _scenarios_compare(paths) -> int:
+    """Diff two scenario-report JSON files; 0 iff digests match."""
+    import json
+
+    payloads = []
+    for path in paths:
+        with open(path) as handle:
+            payloads.append(json.load(handle))
+    a, b = payloads
+    if a.get("digest") and a.get("digest") == b.get("digest"):
+        print(f"reports identical (digest {a['digest']})")
+        return 0
+    print(f"digest: {a.get('digest')} != {b.get('digest')}")
+    for key in sorted(set(a.get("summary", {})) | set(b.get("summary", {}))):
+        va = a.get("summary", {}).get(key)
+        vb = b.get("summary", {}).get(key)
+        if va != vb:
+            print(f"summary.{key}: {va!r} != {vb!r}")
+    for field in ("scenario", "engine", "mode", "seed"):
+        if a.get(field) != b.get(field):
+            print(f"{field}: {a.get(field)!r} != {b.get(field)!r}")
+    return 1
+
+
+def cmd_scenarios(args) -> int:
+    """Scenario library: list, run, replay, and compare scenarios."""
+    import os
+
+    from repro.scenarios import SCENARIO_NAMES, ScenarioRunner, get_scenario
+    from repro.workloads.replay import (
+        load_request_specs,
+        record_request_specs,
+        save_workload,
+    )
+
+    if args.action == "list":
+        rows = []
+        for name in SCENARIO_NAMES:
+            spec = get_scenario(name)
+            rows.append([
+                name, spec.arrival.kind, spec.arrival.n_requests,
+                len(spec.tenants), spec.description,
+            ])
+        print(format_table(
+            ["scenario", "arrivals", "requests", "tenants", "description"],
+            rows, title="registered scenarios",
+        ))
+        return 0
+
+    if args.action == "compare":
+        if len(args.names) != 2:
+            print("compare takes exactly two report JSON paths")
+            return 2
+        return _scenarios_compare(args.names)
+
+    if args.action == "replay":
+        if args.workload is None or len(args.names) != 1:
+            print("replay takes exactly one scenario name and --workload")
+            return 2
+        names = list(args.names)
+    else:  # run
+        names = list(args.names) if args.names else list(SCENARIO_NAMES)
+        if args.all:
+            names = list(SCENARIO_NAMES)
+        unknown = [n for n in names if n not in SCENARIO_NAMES]
+        if unknown:
+            print(f"unknown scenario(s): {unknown}; known: "
+                  f"{list(SCENARIO_NAMES)}")
+            return 2
+
+    bundle = _build(args)
+    platform = default_platform()
+    calibration = _calibrate(bundle)
+    for directory in (args.out_dir, args.record):
+        if directory:
+            os.makedirs(directory, exist_ok=True)
+    rows = []
+    for name in names:
+        spec = get_scenario(name)
+        runner = ScenarioRunner(spec, bundle.vocab, seed=args.seed,
+                                fast=args.fast)
+        requests = None
+        if args.action == "replay":
+            requests = load_request_specs(args.workload)
+        report = runner.run(
+            _scenario_backend(args, bundle, platform, calibration),
+            requests=requests,
+        )
+        if args.record:
+            specs = requests if requests is not None \
+                else runner.build_requests()
+            workload_path = os.path.join(args.record,
+                                         f"{name}.workload.json")
+            save_workload(workload_path,
+                          record_request_specs(specs, label=name))
+            print(f"workload recorded to {workload_path}")
+        if args.out_dir:
+            report_path = os.path.join(args.out_dir, f"{name}.json")
+            with open(report_path, "w") as handle:
+                handle.write(report.to_json())
+                handle.write("\n")
+        summary = report.to_dict()["summary"]
+        rows.append([
+            name, report.mode, f"{summary['served']}/{summary['offered']}",
+            f"{100 * summary['slo_attainment']:.0f}%",
+            summary["throughput_tokens_per_s"],
+            summary["ttft_p95_s"],
+            report.content_digest()[:12],
+        ])
+    print(format_table(
+        ["scenario", "mode", "served", "SLO", "tok/s", "TTFT p95 (s)",
+         "digest"],
+        rows,
+        title=f"scenarios {args.action}: {args.engine} "
+              f"x{args.replicas}, seed {args.seed}"
+              + (" (fast)" if args.fast else ""),
+    ))
+    if args.out_dir:
+        print(f"report JSON written to {args.out_dir}/")
     return 0
 
 
@@ -642,6 +784,42 @@ def build_parser() -> argparse.ArgumentParser:
                            help="write the last policy's ClusterReport "
                                 "JSON here")
     p_cluster.set_defaults(func=cmd_serve_cluster)
+
+    p_scen = sub.add_parser(
+        "scenarios", help="scenario library: list/run/replay/compare"
+    )
+    _add_common(p_scen)
+    p_scen.add_argument("action",
+                        choices=("list", "run", "replay", "compare"),
+                        help="list the registry, run scenarios, replay a "
+                             "recorded workload, or diff two report JSONs")
+    p_scen.add_argument("names", nargs="*",
+                        help="scenario names (run/replay) or two report "
+                             "paths (compare); run defaults to all")
+    p_scen.add_argument("--all", action="store_true",
+                        help="run every registered scenario")
+    p_scen.add_argument("--engine", default="daop", choices=ENGINE_NAMES)
+    p_scen.add_argument("--replicas", type=int, default=1,
+                        help="replica count; >1 uses the cluster "
+                             "simulator")
+    p_scen.add_argument("--policy", default="round-robin",
+                        choices=POLICY_NAMES,
+                        help="routing policy when --replicas > 1")
+    p_scen.add_argument("--concurrency", type=int, default=1,
+                        help="concurrent sequences per engine")
+    p_scen.add_argument("--fast", action="store_true",
+                        help="smoke mode: cap request counts and token "
+                             "lengths (CI)")
+    p_scen.add_argument("--out-dir", default=None,
+                        help="write one ScenarioReport JSON per scenario "
+                             "here")
+    p_scen.add_argument("--record", default=None,
+                        help="record each scenario's materialized "
+                             "workload (v2 JSON) into this directory")
+    p_scen.add_argument("--workload", default=None,
+                        help="recorded workload file to replay "
+                             "(replay action)")
+    p_scen.set_defaults(func=cmd_scenarios)
 
     p_batch = sub.add_parser(
         "bench-batch", help="continuous-batching benchmark"

@@ -52,6 +52,7 @@ from repro.core.engine import BaseEngine, SequenceRequest
 from repro.memory.placement import ExpertPlacement
 from repro.sched.scheduler import ContinuousBatchScheduler
 from repro.workloads.generator import SequenceGenerator
+from repro.workloads.requests import RequestSpec
 
 
 def prefill_fingerprint(model, prompt_tokens: np.ndarray) -> np.ndarray:
@@ -118,7 +119,7 @@ class ClusterSimulator:
     def __init__(
         self,
         engines: list[BaseEngine],
-        generator: SequenceGenerator,
+        generator: SequenceGenerator | None,
         policy: RoutingPolicy,
         admission: AdmissionController | None = None,
         slo: SLOTarget | None = None,
@@ -156,6 +157,11 @@ class ClusterSimulator:
                 templates) — the regime where cache-affinity routing
                 pays off.
         """
+        if self.generator is None:
+            raise ValueError(
+                "run() needs a workload generator; construct the "
+                "simulator with one or call run_requests() directly"
+            )
         arrival_times = np.sort(
             np.asarray(arrival_times, dtype=np.float64)
         )
@@ -178,16 +184,77 @@ class ClusterSimulator:
                 fingerprints[idx] = prefill_fingerprint(
                     model, sequences[idx].prompt_tokens
                 )
-        requests = [
-            RequestInfo(
+        requests = {
+            i: RequestInfo(
                 request_id=i,
                 arrival_s=float(arrival_times[i]),
                 sample_idx=int(sample_indices[i]),
                 fingerprint=fingerprints[int(sample_indices[i])],
             )
             for i in range(n_requests)
-        ]
+        }
+        payloads = {
+            idx: (sequence.prompt_tokens, sequence.continuation_tokens,
+                  output_len)
+            for idx, sequence in sequences.items()
+        }
+        return self._simulate(requests, payloads)
 
+    def run_requests(self, specs: list[RequestSpec]) -> ClusterReport:
+        """Simulate the fleet over fully-materialized requests.
+
+        Each :class:`~repro.workloads.requests.RequestSpec` carries its
+        own arrival time, tokens, and decode length, so heterogeneous
+        scenario traffic flows through the same routing/admission/gang
+        machinery as the uniform regime.  Prefill fingerprints are
+        deduplicated by *content* (prompt + forced tokens + decode
+        length), not by ``sample_idx`` — per-tenant generators can reuse
+        sample indices for different token content, so requests with
+        identical content share one fingerprint (and read as
+        similarity-clustered traffic to affinity routing) while distinct
+        content never aliases.
+        """
+        ordered = sorted(specs,
+                         key=lambda spec: (spec.arrival_s,
+                                           spec.request_id))
+        if len({spec.request_id for spec in ordered}) != len(ordered):
+            raise ValueError("request_id values must be unique")
+
+        model = self.engines[0].model
+        key_by_content = {}
+        payloads = {}
+        fingerprints = {}
+        requests = {}
+        for spec in ordered:
+            content = (spec.content_key(), spec.output_len)
+            if content not in key_by_content:
+                key_by_content[content] = spec.request_id
+                payloads[spec.request_id] = (
+                    spec.prompt_tokens, spec.forced_tokens,
+                    spec.output_len,
+                )
+                fingerprints[spec.request_id] = prefill_fingerprint(
+                    model, spec.prompt_tokens
+                )
+            key = key_by_content[content]
+            requests[spec.request_id] = RequestInfo(
+                request_id=spec.request_id,
+                arrival_s=spec.arrival_s,
+                sample_idx=key,
+                fingerprint=fingerprints[key],
+            )
+        return self._simulate(requests, payloads)
+
+    def _simulate(self, requests: dict, payloads: dict) -> ClusterReport:
+        """Run the discrete-event loop over prepared requests.
+
+        Args:
+            requests: ``request_id -> RequestInfo``, inserted in arrival
+                order (ties broken by request id); each info's
+                ``sample_idx`` is the key of its payload.
+            payloads: payload key -> ``(prompt_tokens, forced_tokens,
+                output_len)`` served when a request dispatches.
+        """
         replicas = [ReplicaState() for _ in self.engines]
         warm = [placement.copy() for placement in self._base_placements]
         for engine, placement in zip(self.engines, warm):
@@ -201,7 +268,7 @@ class ClusterSimulator:
             slo=self.slo,
         )
         heap = EventQueue()
-        for request in requests:
+        for request in requests.values():
             heap.push(request.arrival_s, ARRIVAL,
                       request_id=request.request_id)
 
@@ -212,7 +279,7 @@ class ClusterSimulator:
                                  replicas, report)
             elif event.kind == DISPATCH:
                 self._on_dispatch(heap, event.replica, requests, replicas,
-                                  warm, output_len, sequences, report)
+                                  warm, payloads, report)
             elif event.kind == COMPLETION:
                 self._on_completion(heap, event.replica, replicas)
 
@@ -243,9 +310,9 @@ class ClusterSimulator:
             heap.push(heap.now, DISPATCH, replica=replica_idx)
 
     def _on_dispatch(self, heap: EventQueue, replica_idx: int,
-                     requests: list[RequestInfo],
+                     requests: dict[int, RequestInfo],
                      replicas: list[ReplicaState], warm: list,
-                     output_len: int, sequences: dict,
+                     payloads: dict,
                      report: ClusterReport) -> None:
         """Start service on an idle replica, expiring dead requests.
 
@@ -299,12 +366,13 @@ class ClusterSimulator:
             engine.initial_placement = warm[replica_idx]
         seq_requests = []
         for member in gang:
-            sequence = sequences[member.sample_idx]
+            prompt_tokens, forced_tokens, member_output_len = \
+                payloads[member.sample_idx]
             seq_requests.append(
                 SequenceRequest(
-                    prompt_tokens=sequence.prompt_tokens,
-                    max_new_tokens=output_len,
-                    forced_tokens=sequence.continuation_tokens,
+                    prompt_tokens=prompt_tokens,
+                    max_new_tokens=member_output_len,
+                    forced_tokens=forced_tokens,
                     seq_id=member.request_id,
                 )
             )

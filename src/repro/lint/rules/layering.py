@@ -10,14 +10,21 @@ Layer ranks (a package may import strictly lower ranks, plus itself)::
 
     0  model
     1  hardware, workloads
-    2  memory, trace
+    2  memory, scenarios, trace
     3  core, lint
     4  sched
     5  analysis, audit, eval, metrics, serving
     6  cluster, perf
     7  cli
 
-``sched`` sits between the engines and the evaluation stack: the
+``scenarios`` (the scenario library) sits with the substrate at rank
+2: it materializes workloads from ``model``'s vocabulary and
+``workloads``' generators, while the serving tiers *above* it consume
+its ``RequestSpec`` lists and re-export its arrival generators — the
+``ScenarioRunner`` drives ``ServingSimulator``/``ClusterSimulator``
+purely by duck typing (``run_requests``), so the scenario layer never
+imports an engine.  ``sched`` sits between the engines and the
+evaluation stack: the
 continuous-batching scheduler drives the engine step machine directly
 (rank 3) and is itself consumed by ``serving``.  ``cluster`` sits in
 the serving tier but one rank above ``serving``: the fleet simulator
@@ -46,6 +53,7 @@ LAYERS = {
     "hardware": 1,
     "workloads": 1,
     "memory": 2,
+    "scenarios": 2,
     "trace": 2,
     "core": 3,
     "lint": 3,

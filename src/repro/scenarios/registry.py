@@ -1,0 +1,182 @@
+"""Named scenario registry.
+
+Every entry is a fully-declarative :class:`~repro.scenarios.spec.ScenarioSpec`
+capturing one serving regime the DAOP claims should be tested under.
+The paper's own evaluation regime — GSM8K-style within-sequence topic
+drift served one request at a time — is just one entry
+(``gsm8k-topic-drift``); the rest cover the workload axes the
+data-aware-offloading argument actually depends on: time-varying load
+(diurnal, flash crowd, on/off), tenant mixes with heterogeneous SLO
+classes and length distributions, similarity-clustered traffic, and
+session-level prefix reuse.
+
+Use :func:`get_scenario` / :data:`SCENARIO_NAMES` to look entries up and
+:func:`register_scenario` to add project-local ones (tests register
+throwaway scenarios this way).
+"""
+
+from __future__ import annotations
+
+from repro.scenarios.spec import (
+    ArrivalSpec,
+    LengthSpec,
+    ScenarioSpec,
+    SessionSpec,
+    TenantSpec,
+)
+from repro.workloads.requests import BATCH, INTERACTIVE, LONG_CONTEXT
+
+#: The built-in scenario library, keyed by name.
+SCENARIOS = {}
+
+
+def register_scenario(spec: ScenarioSpec) -> ScenarioSpec:
+    """Add a scenario to the registry (name must be unused)."""
+    if spec.name in SCENARIOS:
+        raise ValueError(f"scenario {spec.name!r} already registered")
+    SCENARIOS[spec.name] = spec
+    return spec
+
+
+def get_scenario(name: str) -> ScenarioSpec:
+    """Look up a registered scenario by name."""
+    try:
+        return SCENARIOS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown scenario {name!r}; known: {sorted(SCENARIOS)}"
+        ) from None
+
+
+# -- The built-in library ------------------------------------------------------
+
+register_scenario(ScenarioSpec(
+    name="gsm8k-topic-drift",
+    description="The paper's Obs.-3 regime: high within-sequence topic "
+                "drift (GSM8K), steady Poisson arrivals, uniform "
+                "lengths.",
+    arrival=ArrivalSpec(kind="poisson", rate_per_s=0.05, n_requests=12),
+    tenants=(
+        TenantSpec(
+            name="gsm8k", dataset="gsm8k", slo_class=INTERACTIVE,
+            prompt_len=LengthSpec(kind="fixed", value=32),
+            output_len=LengthSpec(kind="fixed", value=16),
+        ),
+    ),
+))
+
+register_scenario(ScenarioSpec(
+    name="chat-diurnal",
+    description="Chat traffic under a sinusoidal day/night load swing "
+                "(diurnal-modulated Poisson).",
+    arrival=ArrivalSpec(kind="diurnal", rate_per_s=0.08, n_requests=16,
+                        period_s=400.0, amplitude=0.85),
+    tenants=(
+        TenantSpec(
+            name="chat", dataset="sharegpt", slo_class=INTERACTIVE,
+            prompt_len=LengthSpec(kind="uniform", low=16, high=48),
+            output_len=LengthSpec(kind="uniform", low=8, high=24),
+        ),
+    ),
+))
+
+register_scenario(ScenarioSpec(
+    name="flash-crowd",
+    description="A viral spike: baseline Poisson chat traffic with an "
+                "8x rate surge over a short window.",
+    arrival=ArrivalSpec(kind="flash-crowd", rate_per_s=0.04,
+                        n_requests=16, spike_start_s=120.0,
+                        spike_duration_s=60.0, spike_multiplier=8.0),
+    tenants=(
+        TenantSpec(
+            name="chat", dataset="sharegpt", slo_class=INTERACTIVE,
+            prompt_len=LengthSpec(kind="uniform", low=16, high=40),
+            output_len=LengthSpec(kind="fixed", value=12),
+        ),
+    ),
+))
+
+register_scenario(ScenarioSpec(
+    name="multi-tenant-slo",
+    description="Three tenants with distinct SLO classes: interactive "
+                "chat, batch summarization, and long-context analysis.",
+    arrival=ArrivalSpec(kind="poisson", rate_per_s=0.06, n_requests=18),
+    tenants=(
+        TenantSpec(
+            name="chat", weight=3.0, dataset="sharegpt",
+            slo_class=INTERACTIVE,
+            prompt_len=LengthSpec(kind="uniform", low=12, high=32),
+            output_len=LengthSpec(kind="uniform", low=8, high=16),
+        ),
+        TenantSpec(
+            name="summarize", weight=2.0, dataset="c4", slo_class=BATCH,
+            prompt_len=LengthSpec(kind="lognormal", mean_log=3.4,
+                                  sigma_log=0.3, low=16, high=64),
+            output_len=LengthSpec(kind="fixed", value=24),
+        ),
+        TenantSpec(
+            name="analyst", weight=1.0, dataset="mmlu",
+            slo_class=LONG_CONTEXT,
+            prompt_len=LengthSpec(kind="uniform", low=48, high=96),
+            output_len=LengthSpec(kind="fixed", value=8),
+        ),
+    ),
+))
+
+register_scenario(ScenarioSpec(
+    name="session-prefix-reuse",
+    description="Multi-turn sessions sharing a prompt prefix (warm "
+                "expert caches pay off), arriving in bursts.",
+    arrival=ArrivalSpec(kind="bursty", rate_per_s=0.08, n_requests=16,
+                        burst_size=4, burst_spread_s=2.0),
+    tenants=(
+        TenantSpec(
+            name="sessions", dataset="triviaqa", slo_class=INTERACTIVE,
+            prompt_len=LengthSpec(kind="uniform", low=8, high=16),
+            output_len=LengthSpec(kind="fixed", value=8),
+            session=SessionSpec(requests_per_session=4, prefix_len=24),
+        ),
+    ),
+))
+
+register_scenario(ScenarioSpec(
+    name="onoff-batch-bursts",
+    description="Markov-modulated on/off arrivals from an upstream "
+                "batch pipeline, drawing on a small clustered prompt "
+                "pool.",
+    arrival=ArrivalSpec(kind="onoff", rate_per_s=0.3, n_requests=16,
+                        mean_on_s=30.0, mean_off_s=120.0),
+    tenants=(
+        TenantSpec(
+            name="pipeline", dataset="alpaca", slo_class=BATCH,
+            prompt_len=LengthSpec(kind="fixed", value=24),
+            output_len=LengthSpec(kind="fixed", value=12),
+            n_distinct=4,
+        ),
+    ),
+))
+
+register_scenario(ScenarioSpec(
+    name="mixed-interactive-batch",
+    description="Interactive chat sharing the fleet with a background "
+                "batch tenant that carries long outputs.",
+    arrival=ArrivalSpec(kind="bursty", rate_per_s=0.07, n_requests=16,
+                        burst_size=3, burst_spread_s=1.0),
+    tenants=(
+        TenantSpec(
+            name="chat", weight=2.0, dataset="sharegpt",
+            slo_class=INTERACTIVE,
+            prompt_len=LengthSpec(kind="uniform", low=12, high=32),
+            output_len=LengthSpec(kind="uniform", low=8, high=16),
+        ),
+        TenantSpec(
+            name="background", weight=1.0, dataset="c4", slo_class=BATCH,
+            prompt_len=LengthSpec(kind="fixed", value=16),
+            output_len=LengthSpec(kind="fixed", value=32),
+            n_distinct=2,
+        ),
+    ),
+))
+
+#: Registered scenario names in deterministic (sorted) order.
+SCENARIO_NAMES = tuple(sorted(SCENARIOS))

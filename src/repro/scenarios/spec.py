@@ -1,0 +1,277 @@
+"""Declarative serving-scenario specifications.
+
+A :class:`ScenarioSpec` describes a complete serving workload without
+materializing it: an arrival process (:class:`ArrivalSpec`), a weighted
+tenant mix (:class:`TenantSpec`) where each tenant carries its own
+dataset, SLO class, and prompt/output length distributions
+(:class:`LengthSpec`), and optional session structure
+(:class:`SessionSpec`) under which consecutive requests of a tenant
+share a prompt prefix (the multi-turn / shared-template reuse regime
+that warms expert caches).
+
+Specs are pure frozen data: materialization into
+:class:`~repro.workloads.requests.RequestSpec` lists is the
+:class:`~repro.scenarios.runner.ScenarioRunner`'s job and is fully
+deterministic given ``(spec, seed)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+import numpy as np
+
+from repro.scenarios.arrivals import (
+    bursty_arrivals,
+    diurnal_arrivals,
+    flash_crowd_arrivals,
+    onoff_arrivals,
+    poisson_arrivals,
+    uniform_arrivals,
+)
+from repro.workloads.requests import SLO_CLASSES
+
+#: Length-distribution kinds understood by :meth:`LengthSpec.sample`.
+LENGTH_KINDS = ("fixed", "uniform", "lognormal")
+
+#: Arrival-pattern kinds understood by :meth:`ArrivalSpec.generate`.
+ARRIVAL_KINDS = ("poisson", "uniform", "bursty", "diurnal",
+                 "flash-crowd", "onoff")
+
+
+@dataclass(frozen=True)
+class LengthSpec:
+    """Distribution of a per-request token count.
+
+    Attributes:
+        kind: one of :data:`LENGTH_KINDS`.  ``fixed`` always returns
+            ``value``; ``uniform`` draws integers in ``[low, high]``;
+            ``lognormal`` draws ``exp(N(mean_log, sigma_log))`` rounded
+            and clipped to ``[low, high]`` (the heavy-tailed shape of
+            real prompt-length distributions).
+        value: the fixed token count (``fixed`` kind).
+        low: inclusive lower clip bound in tokens.
+        high: inclusive upper clip bound in tokens.
+        mean_log: log-space mean of the lognormal kind.
+        sigma_log: log-space standard deviation of the lognormal kind.
+    """
+
+    kind: str = "fixed"
+    value: int = 32
+    low: int = 1
+    high: int = 4096
+    mean_log: float = 3.0
+    sigma_log: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.kind not in LENGTH_KINDS:
+            raise ValueError(
+                f"unknown length kind {self.kind!r}; known: {LENGTH_KINDS}"
+            )
+        if self.value < 1 or self.low < 1 or self.high < self.low:
+            raise ValueError("length bounds must satisfy 1 <= low <= high")
+        if self.sigma_log < 0:
+            raise ValueError("sigma_log must be non-negative")
+
+    def sample(self, rng: np.random.Generator) -> int:
+        """Draw one token count from the distribution."""
+        if self.kind == "fixed":
+            return int(self.value)
+        if self.kind == "uniform":
+            return int(rng.integers(self.low, self.high + 1))
+        drawn = int(round(float(rng.lognormal(self.mean_log,
+                                              self.sigma_log))))
+        return int(np.clip(drawn, self.low, self.high))
+
+
+@dataclass(frozen=True)
+class SessionSpec:
+    """Session-level prefix-reuse structure of one tenant.
+
+    Attributes:
+        requests_per_session: consecutive requests of the tenant grouped
+            into one session (>= 1).
+        prefix_len: tokens of the session's shared prompt prefix; every
+            request in the session starts with the same ``prefix_len``
+            tokens followed by its own fresh suffix — the multi-turn /
+            shared-template structure that rewards warm expert caches
+            and cache-affinity routing.
+    """
+
+    requests_per_session: int = 4
+    prefix_len: int = 16
+
+    def __post_init__(self) -> None:
+        if self.requests_per_session < 1:
+            raise ValueError("requests_per_session must be positive")
+        if self.prefix_len < 1:
+            raise ValueError("prefix_len must be positive")
+
+
+@dataclass(frozen=True)
+class TenantSpec:
+    """One tenant of a scenario's request mix.
+
+    Attributes:
+        name: tenant identifier (unique within a scenario).
+        weight: relative share of requests (> 0; normalized over the
+            scenario's tenants).
+        dataset: name of the synthetic dataset the tenant's tokens are
+            drawn from (:func:`repro.workloads.datasets.get_dataset`).
+        slo_class: one of :data:`repro.workloads.requests.SLO_CLASSES`.
+        prompt_len: per-request prompt-length distribution (tokens).
+        output_len: per-request decode-length distribution (tokens).
+        session: optional prefix-reuse structure; None means every
+            request is independent.
+        n_distinct: if set, the tenant draws from only this many
+            distinct samples (request ``i`` reuses sample ``i mod
+            n_distinct``) — similarity-clustered traffic (sticky
+            prompts, shared templates).  None means every request is
+            unique.  Ignored for session tenants, whose reuse structure
+            comes from the shared prefix instead.
+    """
+
+    name: str
+    weight: float = 1.0
+    dataset: str = "sharegpt"
+    slo_class: str = "interactive"
+    prompt_len: LengthSpec = field(default_factory=LengthSpec)
+    output_len: LengthSpec = field(
+        default_factory=lambda: LengthSpec(kind="fixed", value=16)
+    )
+    session: SessionSpec | None = None
+    n_distinct: int | None = None
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("tenant name must be non-empty")
+        if self.weight <= 0:
+            raise ValueError("tenant weight must be positive")
+        if self.slo_class not in SLO_CLASSES:
+            raise ValueError(
+                f"unknown slo_class {self.slo_class!r}; "
+                f"known: {SLO_CLASSES}"
+            )
+        if self.n_distinct is not None and self.n_distinct < 1:
+            raise ValueError("n_distinct must be positive when set")
+
+
+@dataclass(frozen=True)
+class ArrivalSpec:
+    """Arrival process of a scenario.
+
+    Attributes:
+        kind: one of :data:`ARRIVAL_KINDS`.
+        rate_per_s: mean (``poisson`` / ``uniform`` / ``bursty``), base
+            (``diurnal`` / ``flash-crowd``), or ON-state
+            (``onoff``) arrival rate in requests per simulated second.
+        n_requests: number of requests the scenario offers.
+        burst_size: requests per burst (``bursty``).
+        burst_spread_s: intra-burst spread in seconds (``bursty``).
+        period_s: sinusoid period in seconds (``diurnal``).
+        amplitude: sinusoid amplitude in [0, 1) (``diurnal``).
+        spike_start_s: spike-window start in seconds (``flash-crowd``).
+        spike_duration_s: spike-window length in seconds
+            (``flash-crowd``).
+        spike_multiplier: in-window rate multiplier (``flash-crowd``).
+        mean_on_s: mean ON-state sojourn in seconds (``onoff``).
+        mean_off_s: mean OFF-state sojourn in seconds (``onoff``).
+    """
+
+    kind: str = "poisson"
+    rate_per_s: float = 0.1
+    n_requests: int = 16
+    burst_size: int = 4
+    burst_spread_s: float = 0.05
+    period_s: float = 600.0
+    amplitude: float = 0.8
+    spike_start_s: float = 60.0
+    spike_duration_s: float = 30.0
+    spike_multiplier: float = 8.0
+    mean_on_s: float = 20.0
+    mean_off_s: float = 60.0
+
+    def __post_init__(self) -> None:
+        if self.kind not in ARRIVAL_KINDS:
+            raise ValueError(
+                f"unknown arrival kind {self.kind!r}; "
+                f"known: {ARRIVAL_KINDS}"
+            )
+        if self.rate_per_s <= 0:
+            raise ValueError("rate_per_s must be positive")
+        if self.n_requests < 1:
+            raise ValueError("n_requests must be positive")
+
+    def generate(self, rng: np.random.Generator,
+                 n_requests: int | None = None) -> np.ndarray:
+        """Materialize the arrival-time array (sorted, seconds).
+
+        Args:
+            rng: seeded generator (determinism flows from the caller).
+            n_requests: override of the spec's request count (used by
+                fast/smoke runs); None keeps the spec's value.
+        """
+        n = self.n_requests if n_requests is None else n_requests
+        if self.kind == "poisson":
+            return poisson_arrivals(self.rate_per_s, n, rng)
+        if self.kind == "uniform":
+            return uniform_arrivals(self.rate_per_s, n)
+        if self.kind == "bursty":
+            return bursty_arrivals(
+                self.rate_per_s, n, rng,
+                burst_size=self.burst_size,
+                burst_spread_s=self.burst_spread_s,
+            )
+        if self.kind == "diurnal":
+            return diurnal_arrivals(
+                self.rate_per_s, n, rng,
+                period_s=self.period_s, amplitude=self.amplitude,
+            )
+        if self.kind == "flash-crowd":
+            return flash_crowd_arrivals(
+                self.rate_per_s, n, rng,
+                spike_start_s=self.spike_start_s,
+                spike_duration_s=self.spike_duration_s,
+                spike_multiplier=self.spike_multiplier,
+            )
+        return onoff_arrivals(
+            self.rate_per_s, n, rng,
+            mean_on_s=self.mean_on_s, mean_off_s=self.mean_off_s,
+        )
+
+
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """One named, fully-declarative serving scenario.
+
+    Attributes:
+        name: registry key (kebab-case).
+        description: one-line summary shown by ``repro scenarios list``.
+        arrival: the scenario's arrival process.
+        tenants: weighted tenant mix (non-empty, unique names).
+    """
+
+    name: str
+    description: str
+    arrival: ArrivalSpec = field(default_factory=ArrivalSpec)
+    tenants: tuple = (TenantSpec(name="default"),)
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("scenario name must be non-empty")
+        if not self.tenants:
+            raise ValueError("a scenario needs at least one tenant")
+        names = [tenant.name for tenant in self.tenants]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate tenant names: {sorted(names)}")
+
+    @property
+    def tenant_weights(self) -> np.ndarray:
+        """Normalized tenant selection probabilities."""
+        weights = np.asarray([t.weight for t in self.tenants],
+                             dtype=np.float64)
+        return weights / weights.sum()
+
+    def with_overrides(self, **kwargs) -> "ScenarioSpec":
+        """Copy with some fields replaced."""
+        return replace(self, **kwargs)

@@ -1,46 +1,23 @@
-"""Request arrival processes for the serving simulator."""
+"""Request arrival processes (compatibility re-export).
+
+The arrival-pattern generators grew into the scenario library and now
+live in :mod:`repro.scenarios.arrivals` (a lower layer, so the serving
+and cluster tiers keep importing them freely); this module re-exports
+the classic trio under their historical import path.  New code should
+import from ``repro.scenarios.arrivals``, which also provides the
+time-varying patterns (diurnal, flash-crowd, Markov on/off).
+"""
 
 from __future__ import annotations
 
-import numpy as np
+from repro.scenarios.arrivals import (
+    bursty_arrivals,
+    poisson_arrivals,
+    uniform_arrivals,
+)
 
-
-def poisson_arrivals(rate_per_s: float, n_requests: int,
-                     rng: np.random.Generator) -> np.ndarray:
-    """Arrival times of a Poisson process with the given mean rate."""
-    if rate_per_s <= 0:
-        raise ValueError("rate_per_s must be positive")
-    if n_requests < 1:
-        raise ValueError("n_requests must be positive")
-    gaps = rng.exponential(1.0 / rate_per_s, size=n_requests)
-    return np.cumsum(gaps)
-
-
-def uniform_arrivals(rate_per_s: float, n_requests: int) -> np.ndarray:
-    """Deterministic evenly-spaced arrivals."""
-    if rate_per_s <= 0:
-        raise ValueError("rate_per_s must be positive")
-    gap = 1.0 / rate_per_s
-    return gap * np.arange(1, n_requests + 1)
-
-
-def bursty_arrivals(rate_per_s: float, n_requests: int,
-                    rng: np.random.Generator,
-                    burst_size: int = 4,
-                    burst_spread_s: float = 0.05) -> np.ndarray:
-    """Arrivals clustered into bursts (chat traffic is bursty).
-
-    Bursts arrive as a Poisson process at ``rate / burst_size``; requests
-    within a burst land within ``burst_spread_s`` of the burst start.
-    """
-    if burst_size < 1:
-        raise ValueError("burst_size must be positive")
-    n_bursts = (n_requests + burst_size - 1) // burst_size
-    burst_times = poisson_arrivals(rate_per_s / burst_size, n_bursts, rng)
-    times = []
-    for burst_start in burst_times:
-        for _ in range(burst_size):
-            if len(times) == n_requests:
-                break
-            times.append(burst_start + rng.uniform(0, burst_spread_s))
-    return np.sort(np.asarray(times[:n_requests]))
+__all__ = [
+    "bursty_arrivals",
+    "poisson_arrivals",
+    "uniform_arrivals",
+]

@@ -23,6 +23,7 @@ import numpy as np
 from repro.core.engine import BaseEngine, SequenceRequest
 from repro.sched.scheduler import ContinuousBatchScheduler
 from repro.workloads.generator import SequenceGenerator
+from repro.workloads.requests import RequestSpec
 
 
 def percentile_or_zero(values, q: float) -> float:
@@ -153,7 +154,7 @@ class ServingSimulator:
     """
 
     def __init__(self, engine: BaseEngine,
-                 generator: SequenceGenerator,
+                 generator: SequenceGenerator | None = None,
                  concurrency: int = 1) -> None:
         if concurrency < 1:
             raise ValueError("concurrency must be positive")
@@ -163,30 +164,67 @@ class ServingSimulator:
 
     def run(self, arrival_times: np.ndarray, prompt_len: int,
             output_len: int) -> ServingReport:
-        """Serve one request per arrival time; returns the report.
+        """Serve one uniform-length request per arrival time.
 
         Requests are generated deterministically from the simulator's
         workload generator (request ``i`` uses ``sample_idx=i``), so two
-        engines given the same arrival trace serve identical work.
+        engines given the same arrival trace serve identical work.  This
+        is a thin wrapper over :meth:`run_requests` and is byte-identical
+        to the historical uniform-length behavior.
         """
+        if self.generator is None:
+            raise ValueError(
+                "run() needs a workload generator; construct the "
+                "simulator with one or call run_requests() directly"
+            )
         arrival_times = np.sort(np.asarray(arrival_times, dtype=np.float64))
-        requests = []
-        for i, _ in enumerate(arrival_times):
+        specs = []
+        for i, arrival in enumerate(arrival_times):
             sequence = self.generator.sample_sequence(
                 prompt_len, output_len, sample_idx=i
             )
-            requests.append(
-                SequenceRequest(
+            specs.append(
+                RequestSpec(
+                    request_id=i,
+                    arrival_s=float(arrival),
                     prompt_tokens=sequence.prompt_tokens,
-                    max_new_tokens=output_len,
+                    output_len=output_len,
                     forced_tokens=sequence.continuation_tokens,
-                    seq_id=i,
+                    dataset=self.generator.spec.name,
+                    sample_idx=i,
                 )
             )
+        return self.run_requests(specs)
+
+    def run_requests(self, specs: list[RequestSpec]) -> ServingReport:
+        """Serve fully-materialized requests; returns the report.
+
+        Each :class:`~repro.workloads.requests.RequestSpec` carries its
+        own arrival time, tokens, and decode length, so heterogeneous
+        scenario traffic (mixed tenants, varying lengths) flows through
+        the same FIFO/continuous-batching machinery as the uniform
+        regime.  Requests are served in ``(arrival_s, request_id)``
+        order; the spec's ``request_id`` is carried through as the
+        report's ``request_id``.
+        """
+        ordered = sorted(specs,
+                         key=lambda spec: (spec.arrival_s,
+                                           spec.request_id))
+        requests = [
+            SequenceRequest(
+                prompt_tokens=spec.prompt_tokens,
+                max_new_tokens=spec.output_len,
+                forced_tokens=spec.forced_tokens,
+                seq_id=spec.request_id,
+            )
+            for spec in ordered
+        ]
+        arrivals = np.asarray([spec.arrival_s for spec in ordered],
+                              dtype=np.float64)
         scheduler = ContinuousBatchScheduler(
             self.engine, max_batch=self.concurrency
         )
-        batch = scheduler.run(requests, arrival_times)
+        batch = scheduler.run(requests, arrivals)
         report = ServingReport(engine=self.engine.name)
         for rec in batch.records:
             report.requests.append(

@@ -5,6 +5,18 @@ continuations, arrival order) of an experiment as a JSON file, so a
 result can be re-examined later, shared, or replayed against a different
 engine/platform without depending on generator code staying bit-stable
 across versions.
+
+Format history:
+
+- **v1** stored uniform-length batches: top-level ``prompt_len`` /
+  ``continuation_len`` plus per-entry token lists.
+- **v2** (current) additionally records per-entry ``arrival_s``,
+  ``tenant``, ``slo_class``, ``output_len``, ``dataset``, ``session``,
+  and ``request_id`` — everything a
+  :class:`~repro.workloads.requests.RequestSpec` carries — so an entire
+  serving *scenario* (not just its token content) can be pinned to disk
+  and replayed bit-exactly.  v1 files still load; their entries get
+  default metadata (arrival 0.0, the default tenant, interactive SLO).
 """
 
 from __future__ import annotations
@@ -14,8 +26,13 @@ import json
 import numpy as np
 
 from repro.workloads.generator import SequenceGenerator, SyntheticSequence
+from repro.workloads.requests import DEFAULT_TENANT, INTERACTIVE, RequestSpec
 
-FORMAT_VERSION = 1
+FORMAT_VERSION = 2
+
+#: Format versions :func:`load_workload` / :func:`load_request_specs`
+#: accept.
+SUPPORTED_VERSIONS = (1, 2)
 
 
 def record_workload(generator: SequenceGenerator, n_sequences: int,
@@ -34,31 +51,79 @@ def record_workload(generator: SequenceGenerator, n_sequences: int,
                 "sample_idx": seq.seed,
                 "prompt": seq.prompt_tokens.tolist(),
                 "continuation": seq.continuation_tokens.tolist(),
+                "arrival_s": 0.0,
+                "tenant": DEFAULT_TENANT,
+                "slo_class": INTERACTIVE,
             }
             for seq in sequences
         ],
     }
 
 
+def record_request_specs(specs: list, label: str = "scenario") -> dict:
+    """Serialize fully-materialized requests as a v2 workload payload.
+
+    Args:
+        specs: the :class:`~repro.workloads.requests.RequestSpec` list
+            (typically a scenario's built requests).
+        label: free-form provenance string stored as the payload's
+            ``dataset`` field (per-entry datasets are recorded
+            individually).
+    """
+    return {
+        "version": FORMAT_VERSION,
+        "dataset": label,
+        "seed": None,
+        "sequences": [
+            {
+                "request_id": spec.request_id,
+                "sample_idx": spec.sample_idx,
+                "prompt": spec.prompt_tokens.tolist(),
+                "continuation": (
+                    [] if spec.forced_tokens is None
+                    else spec.forced_tokens.tolist()
+                ),
+                "arrival_s": spec.arrival_s,
+                "output_len": spec.output_len,
+                "dataset": spec.dataset,
+                "tenant": spec.tenant,
+                "slo_class": spec.slo_class,
+                "session": spec.session,
+            }
+            for spec in specs
+        ],
+    }
+
+
 def save_workload(path: str, payload: dict) -> None:
-    """Write a recorded workload to disk."""
+    """Write a recorded workload to disk (deterministic rendering)."""
     with open(path, "w") as handle:
-        json.dump(payload, handle)
+        json.dump(payload, handle, indent=2, sort_keys=True)
 
 
-def load_workload(path: str) -> list[SyntheticSequence]:
-    """Load a recorded workload back into sequence objects."""
+def _load_payload(path: str) -> dict:
+    """Read and version-check a recorded workload file."""
     with open(path) as handle:
         payload = json.load(handle)
-    if payload.get("version") != FORMAT_VERSION:
+    if payload.get("version") not in SUPPORTED_VERSIONS:
         raise ValueError(
             f"unsupported workload format: {payload.get('version')!r}"
         )
+    return payload
+
+
+def load_workload(path: str) -> list[SyntheticSequence]:
+    """Load a recorded workload back into sequence objects.
+
+    Both v1 and v2 files load; serving metadata a v2 file may carry is
+    dropped here — use :func:`load_request_specs` to keep it.
+    """
+    payload = _load_payload(path)
     sequences = []
     for entry in payload["sequences"]:
         sequences.append(
             SyntheticSequence(
-                dataset=payload["dataset"],
+                dataset=entry.get("dataset", payload["dataset"]),
                 prompt_tokens=np.asarray(entry["prompt"], dtype=np.int64),
                 continuation_tokens=np.asarray(entry["continuation"],
                                                dtype=np.int64),
@@ -67,6 +132,38 @@ def load_workload(path: str) -> list[SyntheticSequence]:
             )
         )
     return sequences
+
+
+def load_request_specs(path: str) -> list[RequestSpec]:
+    """Load a recorded workload as fully-materialized request specs.
+
+    v2 entries restore their recorded serving metadata exactly; v1
+    entries (which predate metadata) default to arrival 0.0, the
+    default tenant, the interactive SLO class, and an ``output_len``
+    equal to their recorded continuation length.
+    """
+    payload = _load_payload(path)
+    specs = []
+    for i, entry in enumerate(payload["sequences"]):
+        continuation = np.asarray(entry["continuation"], dtype=np.int64)
+        output_len = int(
+            entry.get("output_len", max(int(continuation.size), 1))
+        )
+        specs.append(
+            RequestSpec(
+                request_id=int(entry.get("request_id", i)),
+                arrival_s=float(entry.get("arrival_s", 0.0)),
+                prompt_tokens=np.asarray(entry["prompt"], dtype=np.int64),
+                output_len=output_len,
+                forced_tokens=continuation if continuation.size else None,
+                dataset=str(entry.get("dataset", payload["dataset"])),
+                tenant=str(entry.get("tenant", DEFAULT_TENANT)),
+                slo_class=str(entry.get("slo_class", INTERACTIVE)),
+                session=entry.get("session"),
+                sample_idx=int(entry.get("sample_idx", i)),
+            )
+        )
+    return specs
 
 
 def replay_workload(engine, sequences: list[SyntheticSequence],

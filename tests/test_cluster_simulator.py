@@ -137,6 +137,106 @@ class TestDeterminism:
         assert first.to_json() == second.to_json()
 
 
+class TestRunRequests:
+    """The RequestSpec entry point added for the scenario library."""
+
+    def _specs_from_pattern(self, tiny_bundle, arrivals):
+        from repro.workloads import RequestSpec
+
+        generator = SequenceGenerator(SHAREGPT, tiny_bundle.vocab,
+                                      seed=61)
+        sequences = {
+            idx: generator.sample_sequence(12, 6, sample_idx=idx)
+            for idx in set(PATTERN)
+        }
+        ordered = np.sort(np.asarray(arrivals, dtype=np.float64))
+        return [
+            RequestSpec(
+                request_id=i,
+                arrival_s=float(ordered[i]),
+                prompt_tokens=sequences[idx].prompt_tokens,
+                output_len=6,
+                forced_tokens=sequences[idx].continuation_tokens,
+                sample_idx=idx,
+            )
+            for i, idx in enumerate(PATTERN)
+        ]
+
+    def test_matches_uniform_run_on_equivalent_specs(
+            self, tiny_bundle, platform, tiny_calibration):
+        """run() and run_requests() fed the same work produce the same
+        report: the uniform path is a true thin wrapper."""
+        arrivals = uniform_arrivals(0.002, len(PATTERN))
+        baseline = run_policy(tiny_bundle, platform, tiny_calibration,
+                              "cache-affinity")
+        engines = build_fleet(tiny_bundle, platform, tiny_calibration)
+        simulator = ClusterSimulator(engines, None,
+                                     build_policy("cache-affinity"))
+        specs = self._specs_from_pattern(tiny_bundle, arrivals)
+        report = simulator.run_requests(specs)
+        assert report.to_json() == baseline.to_json()
+
+    def test_content_dedupe_across_sample_idx_collision(
+            self, tiny_bundle, platform, tiny_calibration):
+        """Two requests with the same sample_idx but different token
+        content must not alias to one payload (the per-tenant
+        generator regime)."""
+        from repro.workloads import RequestSpec
+
+        generator_a = SequenceGenerator(SHAREGPT, tiny_bundle.vocab,
+                                        seed=61)
+        generator_b = SequenceGenerator(SHAREGPT, tiny_bundle.vocab,
+                                        seed=62)
+        seq_a = generator_a.sample_sequence(12, 6, sample_idx=0)
+        seq_b = generator_b.sample_sequence(10, 4, sample_idx=0)
+        specs = [
+            RequestSpec(request_id=0, arrival_s=0.0,
+                        prompt_tokens=seq_a.prompt_tokens, output_len=6,
+                        forced_tokens=seq_a.continuation_tokens,
+                        sample_idx=0),
+            RequestSpec(request_id=1, arrival_s=1.0,
+                        prompt_tokens=seq_b.prompt_tokens, output_len=4,
+                        forced_tokens=seq_b.continuation_tokens,
+                        sample_idx=0),
+        ]
+        engines = build_fleet(tiny_bundle, platform, tiny_calibration)
+        simulator = ClusterSimulator(engines, None,
+                                     build_policy("round-robin"))
+        report = simulator.run_requests(specs)
+        served = {r.request_id: r for r in report.requests}
+        assert served[0].n_prompt_tokens == 12
+        assert served[0].n_generated == 6
+        assert served[1].n_prompt_tokens == 10
+        assert served[1].n_generated == 4
+
+    def test_duplicate_request_ids_rejected(self, tiny_bundle, platform,
+                                            tiny_calibration):
+        from repro.workloads import RequestSpec
+
+        generator = SequenceGenerator(SHAREGPT, tiny_bundle.vocab,
+                                      seed=61)
+        seq = generator.sample_sequence(8, 2, sample_idx=0)
+        specs = [
+            RequestSpec(request_id=3, arrival_s=float(i),
+                        prompt_tokens=seq.prompt_tokens, output_len=2,
+                        forced_tokens=seq.continuation_tokens)
+            for i in range(2)
+        ]
+        engines = build_fleet(tiny_bundle, platform, tiny_calibration)
+        simulator = ClusterSimulator(engines, None,
+                                     build_policy("round-robin"))
+        with pytest.raises(ValueError):
+            simulator.run_requests(specs)
+
+    def test_run_without_generator_raises(self, tiny_bundle, platform,
+                                          tiny_calibration):
+        engines = build_fleet(tiny_bundle, platform, tiny_calibration)
+        simulator = ClusterSimulator(engines, None,
+                                     build_policy("round-robin"))
+        with pytest.raises(ValueError):
+            simulator.run(uniform_arrivals(1.0, 2), 8, 4)
+
+
 class TestCacheAffinityWins:
     """The subsystem's headline property (ISSUE acceptance criterion)."""
 

@@ -1,0 +1,130 @@
+"""Unit tests for the time-varying arrival generators."""
+
+import numpy as np
+import pytest
+
+from repro.scenarios.arrivals import (
+    diurnal_arrivals,
+    flash_crowd_arrivals,
+    onoff_arrivals,
+)
+
+
+class TestDiurnal:
+    def test_count_and_sortedness(self, rng):
+        times = diurnal_arrivals(2.0, 200, rng, period_s=100.0)
+        assert times.shape == (200,)
+        assert np.all(np.diff(times) >= 0)
+        assert np.all(times > 0)
+
+    def test_seed_determinism(self):
+        a = diurnal_arrivals(1.0, 50, np.random.default_rng(5),
+                             period_s=40.0)
+        b = diurnal_arrivals(1.0, 50, np.random.default_rng(5),
+                             period_s=40.0)
+        np.testing.assert_array_equal(a, b)
+
+    def test_peak_denser_than_trough(self, rng):
+        """Arrivals concentrate in the sinusoid's high-rate half."""
+        period = 100.0
+        times = diurnal_arrivals(5.0, 3000, rng, period_s=period,
+                                 amplitude=0.9)
+        phase = (times % period) / period
+        # sin is positive on the first half of each period.
+        in_peak_half = np.mean(phase < 0.5)
+        assert in_peak_half > 0.6
+
+    def test_zero_amplitude_is_homogeneous(self, rng):
+        """amplitude=0 collapses to a plain Poisson process."""
+        times = diurnal_arrivals(10.0, 2000, rng, period_s=50.0,
+                                 amplitude=0.0)
+        mean_gap = times[-1] / times.size
+        assert mean_gap == pytest.approx(0.1, rel=0.15)
+
+    def test_validation(self, rng):
+        with pytest.raises(ValueError):
+            diurnal_arrivals(0.0, 5, rng)
+        with pytest.raises(ValueError):
+            diurnal_arrivals(1.0, 0, rng)
+        with pytest.raises(ValueError):
+            diurnal_arrivals(1.0, 5, rng, amplitude=1.0)
+        with pytest.raises(ValueError):
+            diurnal_arrivals(1.0, 5, rng, period_s=0.0)
+
+
+class TestFlashCrowd:
+    def test_count_and_sortedness(self, rng):
+        times = flash_crowd_arrivals(1.0, 100, rng, spike_start_s=20.0,
+                                     spike_duration_s=10.0)
+        assert times.shape == (100,)
+        assert np.all(np.diff(times) >= 0)
+
+    def test_seed_determinism(self):
+        a = flash_crowd_arrivals(1.0, 40, np.random.default_rng(9),
+                                 spike_start_s=5.0, spike_duration_s=5.0)
+        b = flash_crowd_arrivals(1.0, 40, np.random.default_rng(9),
+                                 spike_start_s=5.0, spike_duration_s=5.0)
+        np.testing.assert_array_equal(a, b)
+
+    def test_spike_window_is_denser(self, rng):
+        """The in-window arrival rate beats the baseline rate."""
+        start, duration = 50.0, 50.0
+        times = flash_crowd_arrivals(1.0, 400, rng, spike_start_s=start,
+                                     spike_duration_s=duration,
+                                     spike_multiplier=10.0)
+        in_window = np.sum((times >= start) & (times < start + duration))
+        window_rate = in_window / duration
+        outside = times[(times < start) | (times >= start + duration)]
+        span_outside = (times[-1] - times[0]) - duration
+        outside_rate = outside.size / max(span_outside, 1e-9)
+        assert window_rate > 2 * outside_rate
+
+    def test_validation(self, rng):
+        with pytest.raises(ValueError):
+            flash_crowd_arrivals(0.0, 5, rng, spike_start_s=1.0,
+                                 spike_duration_s=1.0)
+        with pytest.raises(ValueError):
+            flash_crowd_arrivals(1.0, 0, rng, spike_start_s=1.0,
+                                 spike_duration_s=1.0)
+        with pytest.raises(ValueError):
+            flash_crowd_arrivals(1.0, 5, rng, spike_start_s=-1.0,
+                                 spike_duration_s=1.0)
+        with pytest.raises(ValueError):
+            flash_crowd_arrivals(1.0, 5, rng, spike_start_s=1.0,
+                                 spike_duration_s=0.0)
+        with pytest.raises(ValueError):
+            flash_crowd_arrivals(1.0, 5, rng, spike_start_s=1.0,
+                                 spike_duration_s=1.0,
+                                 spike_multiplier=0.5)
+
+
+class TestOnOff:
+    def test_count_and_sortedness(self, rng):
+        times = onoff_arrivals(5.0, 120, rng, mean_on_s=10.0,
+                               mean_off_s=30.0)
+        assert times.shape == (120,)
+        assert np.all(np.diff(times) >= 0)
+
+    def test_seed_determinism(self):
+        a = onoff_arrivals(2.0, 30, np.random.default_rng(3))
+        b = onoff_arrivals(2.0, 30, np.random.default_rng(3))
+        np.testing.assert_array_equal(a, b)
+
+    def test_burstier_than_poisson(self, rng):
+        """OFF periods stretch the gap distribution's tail: the gap
+        coefficient of variation exceeds the Poisson value of 1."""
+        times = onoff_arrivals(10.0, 2000, rng, mean_on_s=5.0,
+                               mean_off_s=50.0)
+        gaps = np.diff(times)
+        cv = float(np.std(gaps) / np.mean(gaps))
+        assert cv > 1.5
+
+    def test_validation(self, rng):
+        with pytest.raises(ValueError):
+            onoff_arrivals(0.0, 5, rng)
+        with pytest.raises(ValueError):
+            onoff_arrivals(1.0, 0, rng)
+        with pytest.raises(ValueError):
+            onoff_arrivals(1.0, 5, rng, mean_on_s=0.0)
+        with pytest.raises(ValueError):
+            onoff_arrivals(1.0, 5, rng, mean_off_s=-1.0)

@@ -1,0 +1,144 @@
+"""Unit tests for scenario specs and the named registry."""
+
+import numpy as np
+import pytest
+
+from repro.scenarios import (
+    SCENARIO_NAMES,
+    SCENARIOS,
+    ArrivalSpec,
+    LengthSpec,
+    ScenarioSpec,
+    SessionSpec,
+    TenantSpec,
+    get_scenario,
+    register_scenario,
+)
+from repro.scenarios.spec import ARRIVAL_KINDS
+
+
+class TestLengthSpec:
+    def test_fixed_returns_value(self, rng):
+        spec = LengthSpec(kind="fixed", value=17)
+        assert spec.sample(rng) == 17
+
+    def test_uniform_stays_in_bounds(self, rng):
+        spec = LengthSpec(kind="uniform", low=4, high=9)
+        draws = [spec.sample(rng) for _ in range(200)]
+        assert min(draws) >= 4
+        assert max(draws) <= 9
+        assert len(set(draws)) > 1
+
+    def test_lognormal_clipped(self, rng):
+        spec = LengthSpec(kind="lognormal", mean_log=5.0, sigma_log=2.0,
+                          low=8, high=32)
+        draws = [spec.sample(rng) for _ in range(200)]
+        assert min(draws) >= 8
+        assert max(draws) <= 32
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            LengthSpec(kind="zipf")
+        with pytest.raises(ValueError):
+            LengthSpec(low=0)
+        with pytest.raises(ValueError):
+            LengthSpec(low=10, high=5)
+        with pytest.raises(ValueError):
+            LengthSpec(sigma_log=-0.1)
+
+
+class TestSessionAndTenant:
+    def test_session_validation(self):
+        with pytest.raises(ValueError):
+            SessionSpec(requests_per_session=0)
+        with pytest.raises(ValueError):
+            SessionSpec(prefix_len=0)
+
+    def test_tenant_validation(self):
+        with pytest.raises(ValueError):
+            TenantSpec(name="")
+        with pytest.raises(ValueError):
+            TenantSpec(name="t", weight=0.0)
+        with pytest.raises(ValueError):
+            TenantSpec(name="t", slo_class="platinum")
+        with pytest.raises(ValueError):
+            TenantSpec(name="t", n_distinct=0)
+
+
+class TestArrivalSpec:
+    @pytest.mark.parametrize("kind", ARRIVAL_KINDS)
+    def test_generate_count_and_sortedness(self, kind, rng):
+        spec = ArrivalSpec(kind=kind, rate_per_s=0.5, n_requests=12)
+        times = spec.generate(rng)
+        assert times.shape == (12,)
+        assert np.all(np.diff(times) >= 0)
+
+    def test_generate_count_override(self, rng):
+        spec = ArrivalSpec(kind="poisson", n_requests=16)
+        assert spec.generate(rng, n_requests=3).shape == (3,)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ArrivalSpec(kind="weibull")
+        with pytest.raises(ValueError):
+            ArrivalSpec(rate_per_s=0.0)
+        with pytest.raises(ValueError):
+            ArrivalSpec(n_requests=0)
+
+
+class TestScenarioSpec:
+    def test_duplicate_tenant_names_rejected(self):
+        with pytest.raises(ValueError):
+            ScenarioSpec(
+                name="dup", description="d",
+                tenants=(TenantSpec(name="a"), TenantSpec(name="a")),
+            )
+
+    def test_empty_tenants_rejected(self):
+        with pytest.raises(ValueError):
+            ScenarioSpec(name="none", description="d", tenants=())
+
+    def test_tenant_weights_normalized(self):
+        spec = ScenarioSpec(
+            name="mix", description="d",
+            tenants=(TenantSpec(name="a", weight=3.0),
+                     TenantSpec(name="b", weight=1.0)),
+        )
+        np.testing.assert_allclose(spec.tenant_weights, [0.75, 0.25])
+
+    def test_with_overrides(self):
+        base = get_scenario("gsm8k-topic-drift")
+        small = base.with_overrides(
+            arrival=ArrivalSpec(kind="uniform", rate_per_s=1.0,
+                                n_requests=3)
+        )
+        assert small.arrival.n_requests == 3
+        assert small.name == base.name
+        assert base.arrival.n_requests != 3  # original untouched
+
+
+class TestRegistry:
+    def test_library_size_and_order(self):
+        assert len(SCENARIO_NAMES) >= 6
+        assert list(SCENARIO_NAMES) == sorted(SCENARIO_NAMES)
+        assert "gsm8k-topic-drift" in SCENARIO_NAMES
+
+    def test_get_scenario(self):
+        spec = get_scenario("multi-tenant-slo")
+        assert spec.name == "multi-tenant-slo"
+        assert len(spec.tenants) == 3
+
+    def test_get_unknown_raises(self):
+        with pytest.raises(KeyError):
+            get_scenario("no-such-scenario")
+
+    def test_register_duplicate_rejected(self):
+        name = next(iter(SCENARIOS))
+        with pytest.raises(ValueError):
+            register_scenario(ScenarioSpec(name=name, description="d"))
+
+    def test_every_entry_materializes_arrivals(self, rng):
+        for name in SCENARIO_NAMES:
+            spec = get_scenario(name)
+            times = spec.arrival.generate(rng, n_requests=4)
+            assert times.shape == (4,)

@@ -1,5 +1,7 @@
 """Unit tests for the serving simulator and arrival processes."""
 
+import importlib
+
 import numpy as np
 import pytest
 
@@ -13,54 +15,79 @@ from repro.serving import (
 from repro.workloads import SHAREGPT, SequenceGenerator
 
 
+@pytest.fixture(params=["repro.scenarios.arrivals",
+                        "repro.serving.arrivals"])
+def arrivals_mod(request):
+    """The arrival generators via both their canonical and legacy paths.
+
+    The generators live in ``repro.scenarios.arrivals``;
+    ``repro.serving.arrivals`` re-exports them for compatibility.  Every
+    behavioral test below runs against both import paths.
+    """
+    return importlib.import_module(request.param)
+
+
 class TestArrivals:
-    def test_poisson_mean_rate(self, rng):
-        times = poisson_arrivals(10.0, 2000, rng)
+    def test_poisson_mean_rate(self, rng, arrivals_mod):
+        times = arrivals_mod.poisson_arrivals(10.0, 2000, rng)
         assert times.shape == (2000,)
         assert np.all(np.diff(times) >= 0)
         mean_gap = times[-1] / 2000
         assert mean_gap == pytest.approx(0.1, rel=0.15)
 
-    def test_uniform_spacing(self):
-        times = uniform_arrivals(4.0, 8)
+    def test_uniform_spacing(self, arrivals_mod):
+        times = arrivals_mod.uniform_arrivals(4.0, 8)
         np.testing.assert_allclose(np.diff(times), 0.25)
 
-    def test_bursty_clusters(self, rng):
-        times = bursty_arrivals(10.0, 40, rng, burst_size=4,
-                                burst_spread_s=0.01)
+    def test_bursty_clusters(self, rng, arrivals_mod):
+        times = arrivals_mod.bursty_arrivals(10.0, 40, rng, burst_size=4,
+                                             burst_spread_s=0.01)
         assert times.shape == (40,)
         assert np.all(np.diff(times) >= 0)
         # Most consecutive gaps inside bursts are tiny.
         gaps = np.diff(times)
         assert np.median(gaps) < 0.05
 
-    def test_validation(self, rng):
+    def test_validation(self, rng, arrivals_mod):
         with pytest.raises(ValueError):
-            poisson_arrivals(0.0, 5, rng)
+            arrivals_mod.poisson_arrivals(0.0, 5, rng)
         with pytest.raises(ValueError):
-            poisson_arrivals(1.0, 0, rng)
+            arrivals_mod.poisson_arrivals(1.0, 0, rng)
         with pytest.raises(ValueError):
-            uniform_arrivals(-1.0, 5)
+            arrivals_mod.uniform_arrivals(-1.0, 5)
         with pytest.raises(ValueError):
-            bursty_arrivals(1.0, 5, rng, burst_size=0)
+            arrivals_mod.bursty_arrivals(1.0, 5, rng, burst_size=0)
 
-    def test_bursty_exact_count_non_multiple(self, rng):
+    def test_bursty_exact_count_non_multiple(self, rng, arrivals_mod):
         """10 requests in bursts of 4: the last burst is truncated."""
-        times = bursty_arrivals(10.0, 10, rng, burst_size=4)
+        times = arrivals_mod.bursty_arrivals(10.0, 10, rng, burst_size=4)
         assert times.shape == (10,)
 
     @pytest.mark.parametrize("n_requests", [1, 3, 4, 5, 17])
-    def test_bursty_count_and_sortedness(self, rng, n_requests):
-        times = bursty_arrivals(5.0, n_requests, rng, burst_size=4)
+    def test_bursty_count_and_sortedness(self, rng, arrivals_mod,
+                                         n_requests):
+        times = arrivals_mod.bursty_arrivals(5.0, n_requests, rng,
+                                             burst_size=4)
         assert times.shape == (n_requests,)
         assert np.all(np.diff(times) >= 0)
 
-    def test_bursty_seed_determinism(self):
-        a = bursty_arrivals(10.0, 11, np.random.default_rng(7),
-                            burst_size=3)
-        b = bursty_arrivals(10.0, 11, np.random.default_rng(7),
-                            burst_size=3)
+    def test_bursty_seed_determinism(self, arrivals_mod):
+        a = arrivals_mod.bursty_arrivals(10.0, 11,
+                                         np.random.default_rng(7),
+                                         burst_size=3)
+        b = arrivals_mod.bursty_arrivals(10.0, 11,
+                                         np.random.default_rng(7),
+                                         burst_size=3)
         np.testing.assert_array_equal(a, b)
+
+    def test_reexport_is_same_object(self):
+        """The legacy path re-exports the very same functions."""
+        from repro.scenarios import arrivals as canonical
+        from repro.serving import arrivals as legacy
+
+        assert legacy.poisson_arrivals is canonical.poisson_arrivals
+        assert legacy.bursty_arrivals is canonical.bursty_arrivals
+        assert legacy.uniform_arrivals is canonical.uniform_arrivals
 
 
 @pytest.fixture(scope="module")
@@ -165,6 +192,94 @@ class TestServingSimulator:
         # Service spans overlap under concurrency.
         reqs = sorted(batched.requests, key=lambda r: r.start_s)
         assert any(b.start_s < a.finish_s for a, b in zip(reqs, reqs[1:]))
+
+    def test_uniform_run_wrapper_byte_identical(self, tiny_bundle,
+                                                platform,
+                                                tiny_calibration):
+        """run() (now a RequestSpec wrapper) must reproduce the
+        pre-wrapper body's report exactly, field for field."""
+        from repro.core.engine import SequenceRequest
+        from repro.sched.scheduler import ContinuousBatchScheduler
+        from repro.serving.simulator import ServedRequest
+
+        arrivals = bursty_arrivals(2.0, 5, np.random.default_rng(17),
+                                   burst_size=2)
+
+        engine = build_engine("daop", tiny_bundle, platform, 0.5,
+                              tiny_calibration)
+        generator = SequenceGenerator(SHAREGPT, tiny_bundle.vocab,
+                                      seed=66)
+        report = ServingSimulator(engine, generator).run(arrivals, 12, 6)
+
+        # Hand-rolled replica of the historical run() body.
+        engine_b = build_engine("daop", tiny_bundle, platform, 0.5,
+                                tiny_calibration)
+        generator_b = SequenceGenerator(SHAREGPT, tiny_bundle.vocab,
+                                        seed=66)
+        arrival_times = np.sort(np.asarray(arrivals, dtype=np.float64))
+        requests = []
+        for i, _ in enumerate(arrival_times):
+            sequence = generator_b.sample_sequence(12, 6, sample_idx=i)
+            requests.append(SequenceRequest(
+                prompt_tokens=sequence.prompt_tokens,
+                max_new_tokens=6,
+                forced_tokens=sequence.continuation_tokens,
+                seq_id=i,
+            ))
+        batch = ContinuousBatchScheduler(engine_b, max_batch=1).run(
+            requests, arrival_times
+        )
+        expected = [
+            ServedRequest(
+                request_id=rec.seq_id,
+                arrival_s=rec.arrival_s,
+                start_s=rec.service_start_s,
+                first_token_s=rec.first_token_s,
+                finish_s=rec.finish_s,
+                n_prompt_tokens=rec.n_prompt_tokens,
+                n_generated=rec.n_generated,
+                energy_j=rec.result.stats.energy.total_j,
+            )
+            for rec in batch.records
+        ]
+        assert repr(report.requests) == repr(expected)
+
+    def test_run_requests_heterogeneous(self, tiny_bundle, platform,
+                                        tiny_calibration):
+        """Per-request lengths and ids flow through run_requests."""
+        from repro.workloads import RequestSpec
+
+        engine = build_engine("daop", tiny_bundle, platform, 0.5,
+                              tiny_calibration)
+        simulator = ServingSimulator(engine)
+        generator = SequenceGenerator(SHAREGPT, tiny_bundle.vocab,
+                                      seed=67)
+        shapes = [(8, 3), (14, 6), (10, 4)]
+        specs = []
+        for i, (prompt_len, output_len) in enumerate(shapes):
+            sequence = generator.sample_sequence(prompt_len, output_len,
+                                                 sample_idx=i)
+            specs.append(RequestSpec(
+                request_id=10 + i,
+                arrival_s=float(i),
+                prompt_tokens=sequence.prompt_tokens,
+                output_len=output_len,
+                forced_tokens=sequence.continuation_tokens,
+            ))
+        report = simulator.run_requests(specs)
+        generated = {r.request_id: r.n_generated for r in report.requests}
+        assert generated == {10: 3, 11: 6, 12: 4}
+        prompts = {r.request_id: r.n_prompt_tokens
+                   for r in report.requests}
+        assert prompts == {10: 8, 11: 14, 12: 10}
+
+    def test_run_without_generator_raises(self, tiny_bundle, platform,
+                                          tiny_calibration):
+        engine = build_engine("daop", tiny_bundle, platform, 0.5,
+                              tiny_calibration)
+        simulator = ServingSimulator(engine)
+        with pytest.raises(ValueError):
+            simulator.run(uniform_arrivals(1.0, 2), 8, 4)
 
     def test_empty_report(self):
         from repro.serving.simulator import ServingReport

@@ -1,6 +1,7 @@
 """Unit tests for workload recording and replay."""
 
 import json
+import os
 
 import numpy as np
 import pytest
@@ -8,12 +9,19 @@ import pytest
 from repro.core import build_engine
 from repro.workloads import (
     C4,
+    DEFAULT_TENANT,
+    INTERACTIVE,
     SequenceGenerator,
+    load_request_specs,
     load_workload,
+    record_request_specs,
     record_workload,
     replay_workload,
     save_workload,
 )
+
+V1_FIXTURE = os.path.join(os.path.dirname(__file__), "fixtures",
+                          "workload_v1.json")
 
 
 @pytest.fixture()
@@ -74,6 +82,105 @@ def test_replay_is_reproducible(tmp_path, generator, tiny_bundle,
     b = replay_workload(engine, load_workload(str(path)))[0]
     np.testing.assert_array_equal(a.tokens, b.tokens)
     assert a.stats.total_time_s == pytest.approx(b.stats.total_time_s)
+
+
+class TestFormatV1Compat:
+    """A pinned on-disk v1 file must keep loading under format v2."""
+
+    def test_load_workload_reads_v1_fixture(self):
+        sequences = load_workload(V1_FIXTURE)
+        assert len(sequences) == 2
+        assert sequences[0].dataset == "c4"
+        np.testing.assert_array_equal(sequences[0].prompt_tokens,
+                                      [1, 17, 42, 9, 88, 23])
+        np.testing.assert_array_equal(sequences[1].continuation_tokens,
+                                      [11, 76, 40])
+        assert sequences[1].seed == 5
+
+    def test_load_request_specs_defaults_v1_metadata(self):
+        specs = load_request_specs(V1_FIXTURE)
+        assert [s.request_id for s in specs] == [0, 1]
+        assert [s.sample_idx for s in specs] == [0, 5]
+        for spec in specs:
+            assert spec.arrival_s == 0.0
+            assert spec.tenant == DEFAULT_TENANT
+            assert spec.slo_class == INTERACTIVE
+            assert spec.output_len == 3
+            assert spec.forced_tokens is not None
+
+
+class TestFormatV2:
+    def test_record_workload_emits_v2(self, generator):
+        payload = record_workload(generator, 2, 8, 4)
+        assert payload["version"] == 2
+        entry = payload["sequences"][0]
+        assert entry["arrival_s"] == 0.0
+        assert entry["tenant"] == DEFAULT_TENANT
+        assert entry["slo_class"] == INTERACTIVE
+
+    def test_request_spec_round_trip(self, tmp_path, generator):
+        """record -> save -> load restores every RequestSpec field."""
+        from repro.workloads import RequestSpec
+
+        originals = []
+        for i, (prompt_len, output_len) in enumerate([(8, 3), (12, 5)]):
+            sequence = generator.sample_sequence(prompt_len, output_len,
+                                                 sample_idx=i)
+            originals.append(RequestSpec(
+                request_id=i,
+                arrival_s=1.5 * i,
+                prompt_tokens=sequence.prompt_tokens,
+                output_len=output_len,
+                forced_tokens=sequence.continuation_tokens,
+                dataset="c4",
+                tenant="chat" if i else "batchers",
+                slo_class="interactive" if i else "batch",
+                session=None if i else 4,
+                sample_idx=i,
+            ))
+        path = tmp_path / "scenario.workload.json"
+        save_workload(str(path), record_request_specs(originals,
+                                                      label="test"))
+        loaded = load_request_specs(str(path))
+        assert len(loaded) == len(originals)
+        for original, restored in zip(originals, loaded):
+            assert restored.request_id == original.request_id
+            assert restored.arrival_s == original.arrival_s
+            assert restored.output_len == original.output_len
+            assert restored.dataset == original.dataset
+            assert restored.tenant == original.tenant
+            assert restored.slo_class == original.slo_class
+            assert restored.session == original.session
+            assert restored.sample_idx == original.sample_idx
+            np.testing.assert_array_equal(restored.prompt_tokens,
+                                          original.prompt_tokens)
+            np.testing.assert_array_equal(restored.forced_tokens,
+                                          original.forced_tokens)
+
+    def test_saved_file_is_deterministic(self, tmp_path, generator):
+        payload = record_workload(generator, 2, 8, 4)
+        path_a = tmp_path / "a.json"
+        path_b = tmp_path / "b.json"
+        save_workload(str(path_a), payload)
+        save_workload(str(path_b), payload)
+        assert path_a.read_text() == path_b.read_text()
+
+    def test_v2_loads_via_legacy_loader(self, tmp_path, generator):
+        """load_workload drops v2 metadata but keeps the tokens."""
+        sequence = generator.sample_sequence(8, 3, sample_idx=0)
+        from repro.workloads import RequestSpec
+
+        spec = RequestSpec(request_id=0, arrival_s=2.0,
+                           prompt_tokens=sequence.prompt_tokens,
+                           output_len=3,
+                           forced_tokens=sequence.continuation_tokens,
+                           dataset="c4", tenant="t", slo_class="batch")
+        path = tmp_path / "v2.json"
+        save_workload(str(path), record_request_specs([spec]))
+        sequences = load_workload(str(path))
+        assert len(sequences) == 1
+        np.testing.assert_array_equal(sequences[0].prompt_tokens,
+                                      sequence.prompt_tokens)
 
 
 def test_replay_max_tokens_override(generator, tiny_bundle, platform,
