@@ -43,7 +43,7 @@ from repro.core import ENGINE_NAMES, build_engine
 from repro.core.engine import GenerationResult, SequenceRequest
 from repro.hardware.platform import Platform
 from repro.model.zoo import ModelBundle
-from repro.sched.scheduler import ContinuousBatchScheduler
+from repro.sched.scheduler import GATHERED, ContinuousBatchScheduler
 from repro.trace.recorder import DECODE
 from repro.workloads import C4, SequenceGenerator
 
@@ -399,11 +399,14 @@ class StepParityComparison:
     seed: int
     problems: list = field(default_factory=list)
     audit: AuditReport | None = None
+    batch_audits: list = field(default_factory=list)
 
     @property
     def ok(self) -> bool:
-        """Whether both step paths reproduced ``generate()`` exactly."""
-        return not self.problems and (self.audit is None or self.audit.ok)
+        """Whether every step path reproduced ``generate()`` exactly."""
+        return (not self.problems
+                and (self.audit is None or self.audit.ok)
+                and all(a.ok for a in self.batch_audits))
 
 
 @dataclass
@@ -427,6 +430,9 @@ class StepParityReport:
             if c.audit is not None:
                 out.extend(f"{prefix}: {v.format()}"
                            for v in c.audit.violations)
+            for i, audit in enumerate(c.batch_audits):
+                out.extend(f"{prefix}/gathered seq{i}: {v.format()}"
+                           for v in audit.violations)
         return out
 
     def format(self) -> str:
@@ -491,9 +497,18 @@ def run_step_parity_audit(
     must agree bitwise on tokens, counters, and timing; the
     scheduler-produced result additionally passes the full invariant
     audit (so scheduler output is interchangeable with ``generate()``
-    output everywhere downstream).  An optional shared ``compute_cache``
-    is attached for the whole run — the three paths then also exercise
-    the memoization layer under the step machine and the scheduler.
+    output everywhere downstream).
+
+    A fourth path audits gathered cross-sequence execution: four
+    distinct prompts run through a batch-4 gathered scheduler, and every
+    sequence's tokens and counters must match its own solo
+    ``generate()`` token for token (the ``step_batch`` contract — only
+    the simulated schedule may change), with each batched result passing
+    the invariant audit on its rebased timeline.
+
+    An optional shared ``compute_cache`` is attached for the whole run —
+    the paths then also exercise the memoization layer under the step
+    machine and the scheduler.
     """
     if engine_names is None:
         engine_names = ENGINE_NAMES
@@ -505,9 +520,13 @@ def run_step_parity_audit(
         for seed in seeds:
             generator = SequenceGenerator(dataset, bundle.vocab,
                                           seed=int(seed))
-            prompt = generator.sample_sequence(
-                prompt_len, 0, sample_idx=0
-            ).prompt_tokens
+            prompts = [
+                generator.sample_sequence(
+                    prompt_len, 0, sample_idx=i
+                ).prompt_tokens
+                for i in range(4)
+            ]
+            prompt = prompts[0]
             for name in engine_names:
                 engine = build_engine(name, bundle, platform,
                                       expert_cache_ratio, calibration_probs)
@@ -530,6 +549,35 @@ def run_step_parity_audit(
                 _check_parity(comparison, "scheduler@1", reference, scheduled)
                 if audit_invariants:
                     comparison.audit = audit_generation(engine, scheduled)
+
+                solo_refs = [reference] + [
+                    engine.generate(p, max_new_tokens) for p in prompts[1:]
+                ]
+                gathered = ContinuousBatchScheduler(
+                    engine, max_batch=len(prompts), mode=GATHERED
+                )
+                batch4 = gathered.run([
+                    SequenceRequest(prompt_tokens=p,
+                                    max_new_tokens=max_new_tokens, seq_id=i)
+                    for i, p in enumerate(prompts)
+                ])
+                records = sorted(batch4.records, key=lambda r: r.seq_id)
+                for i, (record, solo) in enumerate(zip(records, solo_refs)):
+                    batched = record.result
+                    if not np.array_equal(solo.tokens, batched.tokens):
+                        comparison.problems.append(
+                            f"gathered@4 seq{i}: token stream differs "
+                            "from solo generate()"
+                        )
+                    if solo.stats.counters != batched.stats.counters:
+                        comparison.problems.append(
+                            f"gathered@4 seq{i}: EngineCounters differ "
+                            "from solo generate()"
+                        )
+                    if audit_invariants:
+                        comparison.batch_audits.append(
+                            audit_generation(engine, batched)
+                        )
                 report.comparisons.append(comparison)
     finally:
         if compute_cache is not None:

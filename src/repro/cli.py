@@ -464,12 +464,12 @@ def cmd_scenarios(args) -> int:
 
 
 def cmd_bench_batch(args) -> int:
-    """Benchmark continuous batching across batch sizes."""
+    """Benchmark continuous batching across batch sizes and modes."""
     import json
 
     from repro.core.engine import SequenceRequest
     from repro.hardware.timeline import GPU
-    from repro.sched import ContinuousBatchScheduler
+    from repro.sched import GATHERED, INTERLEAVED, ContinuousBatchScheduler
 
     bundle = _build(args)
     platform = default_platform()
@@ -482,7 +482,9 @@ def cmd_bench_batch(args) -> int:
         "input_len": args.input_len,
         "output_len": args.output_len,
         "runs": [],
+        "comparison": [],
     }
+    throughput: dict = {}
     for name in args.engines:
         generator = SequenceGenerator(
             get_dataset(args.dataset), bundle.vocab, seed=args.seed + 8
@@ -499,28 +501,51 @@ def cmd_bench_batch(args) -> int:
                 seq_id=i,
             ))
         for batch_size in args.batch_sizes:
-            engine = build_engine(name, bundle, platform,
-                                  expert_cache_ratio=args.ecr,
-                                  calibration_probs=calibration)
-            scheduler = ContinuousBatchScheduler(engine,
-                                                 max_batch=batch_size)
-            report = scheduler.run(requests)
-            rows.append([
-                name, batch_size,
-                report.makespan_s, report.sum_solo_makespans_s,
-                f"{100 * report.overlap_ratio:.1f}%",
-                report.throughput_tokens_per_s,
-                report.mean_ttft_s(),
-                f"{100 * report.occupancy(GPU):.0f}%",
-            ])
-            payload["runs"].append(json.loads(report.to_json()))
+            for mode in args.modes:
+                engine = build_engine(name, bundle, platform,
+                                      expert_cache_ratio=args.ecr,
+                                      calibration_probs=calibration)
+                scheduler = ContinuousBatchScheduler(
+                    engine, max_batch=batch_size, mode=mode
+                )
+                report = scheduler.run(requests)
+                throughput[(name, batch_size, mode)] = \
+                    report.throughput_tokens_per_s
+                rows.append([
+                    name, batch_size, mode,
+                    report.makespan_s,
+                    f"{100 * report.overlap_ratio:.1f}%",
+                    report.throughput_tokens_per_s,
+                    report.mean_ttft_s(),
+                    f"{report.n_expert_kernels}/{report.n_expert_ops}",
+                    f"{100 * report.occupancy(GPU):.0f}%",
+                ])
+                payload["runs"].append(json.loads(report.to_json()))
+        if set(args.modes) >= {GATHERED, INTERLEAVED}:
+            for batch_size in args.batch_sizes:
+                base = throughput[(name, batch_size, INTERLEAVED)]
+                gath = throughput[(name, batch_size, GATHERED)]
+                payload["comparison"].append({
+                    "engine": name,
+                    "max_batch": batch_size,
+                    "interleaved_tokens_per_s": base,
+                    "gathered_tokens_per_s": gath,
+                    "gathered_speedup": gath / base if base > 0 else 0.0,
+                })
     print(format_table(
-        ["engine", "batch", "makespan (s)", "sum solo (s)", "overlap",
-         "tok/s", "mean TTFT (s)", "GPU busy"],
+        ["engine", "batch", "mode", "makespan (s)", "overlap",
+         "tok/s", "mean TTFT (s)", "kernels/ops", "GPU busy"],
         rows,
         title=f"bench-batch: {args.requests} requests, in/out "
               f"{args.input_len}/{args.output_len} ({args.dataset})",
     ))
+    for entry in payload["comparison"]:
+        print(
+            f"{entry['engine']} @ batch {entry['max_batch']}: gathered "
+            f"{entry['gathered_tokens_per_s']:.2f} tok/s vs interleaved "
+            f"{entry['interleaved_tokens_per_s']:.2f} tok/s "
+            f"({entry['gathered_speedup']:.2f}x)"
+        )
     if args.json:
         with open(args.json, "w") as handle:
             handle.write(json.dumps(payload, indent=2, sort_keys=True))
@@ -835,6 +860,10 @@ def build_parser() -> argparse.ArgumentParser:
                          help="max_batch values to sweep")
     p_batch.add_argument("--input-len", type=int, default=32)
     p_batch.add_argument("--output-len", type=int, default=16)
+    p_batch.add_argument("--modes", nargs="+",
+                         default=("interleaved", "gathered"),
+                         choices=("interleaved", "gathered"),
+                         help="scheduler execution modes to compare")
     p_batch.add_argument("--json", default=None,
                          help="write the full batch report JSON here")
     p_batch.set_defaults(func=cmd_bench_batch)

@@ -106,8 +106,9 @@ class PreGatedMoEEngine(BaseEngine):
 
     # ---- decode: predictive prefetch one block ahead --------------------------
 
-    def _decode_step(self, ctx: _SequenceContext, token: int,
-                     deps: list[Op]) -> tuple[np.ndarray, Op]:
+    def _decode_blocks(self, ctx: _SequenceContext, token: int,
+                       deps: list[Op]):
+        """Decode policy generator: prefetch ahead, then yield routed work."""
         h = self.model.embed(np.asarray([token]))
         last_ops = list(deps)
         for block_idx in range(self.model.n_blocks):
@@ -154,7 +155,7 @@ class PreGatedMoEEngine(BaseEngine):
                     )
                     if op is not None:
                         extra[expert] = [op]
-            h, expert_ops = self._execute_experts_at_location(
+            h, expert_ops = yield from self._routed_block_work(
                 ctx, block_idx, h_att, routing.experts, routing.weights,
                 [gate_op], extra,
                 force_gpu={int(e) for e in routing.experts[0]},

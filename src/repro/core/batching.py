@@ -1,0 +1,129 @@
+"""Cross-sequence expert gathering: the decode block-work protocol.
+
+The engines' decode policies (true-gated, predictive pre-calculation,
+prefetch-ahead) are all expressed as generators that *describe* each
+block's routed expert executions as :class:`BlockWork` instead of
+executing them inline (:meth:`~repro.core.engine.BaseEngine.
+_decode_blocks`).  A driver then decides how the described work runs:
+
+- solo (:meth:`~repro.core.engine.BaseEngine.step`): each call executes
+  immediately, in call order, exactly as the pre-protocol engines did —
+  batch size one stays bitwise identical by construction;
+- gathered (:meth:`~repro.core.engine.BaseEngine.step_batch`): calls
+  from *different sequences* that target the same ``(block, expert,
+  device)`` are grouped into one simulated kernel whose cost follows the
+  hardware batch-efficiency curves
+  (:meth:`~repro.hardware.cost_model.CostModel.batch_efficiency`), while
+  each participant's functional values are still evaluated row-by-row
+  through the cache-aware stage API
+  (:meth:`~repro.model.moe_block.MoEBlock.expert_forward_rows`), so the
+  token stream is identical to a solo run token for token.
+
+This module holds the protocol's data types; the drivers live on
+:class:`~repro.core.engine.BaseEngine` so they share the engines'
+substrate (cost model, timeline, counters) under the same lint contract.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.hardware.timeline import Op
+
+#: Execution locations an :class:`ExpertCall` may name.
+GPU_LOC = "gpu"
+CPU_LOC = "cpu"
+
+
+@dataclass(frozen=True)
+class ExpertCall:
+    """One routed expert execution requested by a decode policy.
+
+    Attributes:
+        expert: expert id within the block.
+        location: where the expert's weights reside for this execution
+            (``"gpu"`` or ``"cpu"``); CPU calls pay the activation
+            round-trip.
+        h_att: the sequence's post-attention hidden states ``(n, d)``
+            (borrowed, never mutated).
+        deps: ops this execution must wait for — all from the *own*
+            sequence's timeline (gate, uploads, pre-calc round-trips).
+        token_idx: optional row selection of ``h_att`` exactly as in
+            :meth:`~repro.model.moe_block.MoEBlock.expert_forward`.
+    """
+
+    expert: int
+    location: str
+    h_att: np.ndarray
+    deps: tuple[Op, ...]
+    token_idx: np.ndarray | None = None
+
+    @property
+    def n_rows(self) -> int:
+        """Token rows this call feeds through the expert."""
+        if self.token_idx is None:
+            return int(np.atleast_2d(self.h_att).shape[0])
+        return int(len(self.token_idx))
+
+
+@dataclass(frozen=True)
+class BlockWork:
+    """All routed expert executions one sequence requests for one block.
+
+    Yielded by an engine's ``_decode_blocks`` generator; the driver
+    sends back a list of ``(output, op)`` pairs aligned with ``calls``.
+    ``calls`` may be empty (every selected expert was pre-calculated) —
+    the yield still happens so all sequences advance block-locked.
+    """
+
+    block_idx: int
+    calls: tuple[ExpertCall, ...]
+
+
+@dataclass
+class GatherStats:
+    """Physical-kernel accounting of gathered execution.
+
+    One *logical* expert op is one sequence's routed expert execution
+    (what the per-sequence timelines and counters record); one
+    *physical* kernel is one gathered launch serving every participant
+    at once.  The gap between the two is the amortization the gathered
+    scheduler mode buys.
+    """
+
+    expert_ops: int = 0
+    expert_kernels: int = 0
+    gathered_rows: int = 0
+    lm_head_ops: int = 0
+    lm_head_kernels: int = 0
+    max_group_size: int = 0
+
+    @property
+    def expert_amortization(self) -> float:
+        """Logical expert ops per physical kernel launch (>= 1.0)."""
+        if self.expert_kernels == 0:
+            return 1.0
+        return self.expert_ops / self.expert_kernels
+
+
+def group_block_work(works: list) -> dict:
+    """Group calls across sequences by ``(block, expert, location)``.
+
+    Args:
+        works: list of ``BlockWork`` items, one per sequence, in
+            admission order.
+
+    Returns:
+        Mapping from ``(block_idx, expert, location)`` to the list of
+        ``(work_index, call_index)`` participants, insertion-ordered by
+        sequence then call — the stable per-sequence ordering that keeps
+        gathered execution deterministic and batch=1 bitwise-identical.
+    """
+    groups: dict = {}
+    for i, work in enumerate(works):
+        for j, call in enumerate(work.calls):
+            key = (work.block_idx, call.expert, call.location)
+            groups.setdefault(key, []).append((i, j))
+    return groups

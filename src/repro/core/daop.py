@@ -30,6 +30,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.core.allocation import SWAP_IN_OUT_DEFAULT, plan_block_swaps
+from repro.core.batching import CPU_LOC, GPU_LOC, BlockWork, ExpertCall
 from repro.core.engine import BaseEngine, BlockPlan, _SequenceContext
 from repro.core.precalc import apply_graceful_degradation
 from repro.core.predictor import (
@@ -171,10 +172,20 @@ class DAOPEngine(BaseEngine):
 
     # ---- decode: predictive pre-calculation ---------------------------------------
 
-    def _decode_step(self, ctx: _SequenceContext, token: int,
-                     deps: list[Op]) -> tuple[np.ndarray, Op]:
+    def _decode_blocks(self, ctx: _SequenceContext, token: int,
+                       deps: list[Op]):
+        """DAOP decode policy as a block-work generator.
+
+        Yields one :class:`~repro.core.batching.BlockWork` per block so
+        the same policy runs under the solo driver (bitwise identical to
+        the pre-protocol inline path) and under
+        :meth:`~repro.core.engine.BaseEngine.step_batch` (routed expert
+        executions gathered across sequences).  The predictive
+        pre-calculation round-trips stay per-sequence — they are policy-
+        internal work issued a block early, not routed executions.
+        """
         if not self.enable_precalc:
-            return self._decode_step_standard(ctx, token, deps)
+            return (yield from self._decode_blocks_standard(ctx, token, deps))
 
         h = self.model.embed(np.asarray([token]))
         last_ops = list(deps)
@@ -184,11 +195,11 @@ class DAOPEngine(BaseEngine):
                                              DECODE)
             next_carry = self._issue_precalc(ctx, block_idx, h_att, attn_op)
             if carry is None:
-                h, last_ops = self._execute_true_gated(
+                h, last_ops = yield from self._true_gated_work(
                     ctx, block_idx, h_att, attn_op
                 )
             else:
-                h, last_ops = self._execute_predicted(
+                h, last_ops = yield from self._predicted_work(
                     ctx, block_idx, h_att, attn_op, carry
                 )
             carry = next_carry
@@ -281,10 +292,13 @@ class DAOPEngine(BaseEngine):
             cpu_results[expert] = (y[0], h2d)
         return degradation.experts, prediction.logits, cpu_results
 
-    def _execute_true_gated(self, ctx: _SequenceContext, block_idx: int,
-                            h_att: np.ndarray,
-                            attn_op: Op) -> tuple[np.ndarray, list[Op]]:
-        """Blocks without a usable prediction run the original gate."""
+    def _true_gated_work(self, ctx: _SequenceContext, block_idx: int,
+                         h_att: np.ndarray, attn_op: Op):
+        """Blocks without a usable prediction run the original gate.
+
+        Generator: yields the block's routed work and returns
+        ``(h, expert_ops)``; use via ``yield from``.
+        """
         logits, gate_op = self._gate(ctx, block_idx, h_att, [attn_op])
         routing = self.model.blocks[block_idx].route_from_logits(logits)
         ctx.trace.record(
@@ -294,7 +308,7 @@ class DAOPEngine(BaseEngine):
         self._record_activation_counters(ctx, block_idx, routing.experts[0])
         extra = self._consume_pending_uploads(ctx, block_idx,
                                               routing.experts[0])
-        h, expert_ops = self._execute_experts_at_location(
+        h, expert_ops = yield from self._routed_block_work(
             ctx, block_idx, h_att, routing.experts, routing.weights,
             [gate_op], extra,
         )
@@ -312,10 +326,15 @@ class DAOPEngine(BaseEngine):
                 extra[int(expert)] = [pending]
         return extra
 
-    def _execute_predicted(self, ctx: _SequenceContext, block_idx: int,
-                           h_att: np.ndarray, attn_op: Op,
-                           carry) -> tuple[np.ndarray, list[Op]]:
-        """Execute a block whose expert set was predicted one block ago."""
+    def _predicted_work(self, ctx: _SequenceContext, block_idx: int,
+                        h_att: np.ndarray, attn_op: Op, carry):
+        """Execute a block whose expert set was predicted one block ago.
+
+        Generator: pre-calculated CPU results are consumed directly;
+        the remaining GPU/fallback executions are yielded as routed
+        work (in slot order, matching the pre-protocol inline path) and
+        scattered back into their slots.  Use via ``yield from``.
+        """
         executed, pred_logits, cpu_results = carry
         block = self.model.blocks[block_idx]
 
@@ -332,35 +351,43 @@ class DAOPEngine(BaseEngine):
         self._record_activation_counters(ctx, block_idx, executed)
 
         weights = Router.renormalize(pred_logits, np.asarray(executed))
-        outs = np.zeros(
-            (1, len(executed), h_att.shape[1]), dtype=np.float32
-        )
-        expert_ops: list[Op] = []
+        precomputed: dict[int, tuple[np.ndarray, Op]] = {}
+        calls: list[ExpertCall] = []
+        call_slots: list[int] = []
         for slot, expert in enumerate(executed):
             expert = int(expert)
             if expert in cpu_results:
-                y, op = cpu_results[expert]
-                outs[0, slot] = y
-                expert_ops.append(op)
+                precomputed[slot] = cpu_results[expert]
             elif ctx.placement.is_on_gpu(block_idx, expert):
                 pending = ctx.policy.pending_uploads.pop((block_idx, expert),
                                                          None)
-                gpu_deps = [attn_op] + ([pending] if pending else [])
-                y, op = self._expert_gpu(
-                    ctx, block_idx, expert, h_att, gpu_deps
-                )
-                outs[0, slot] = y[0]
-                expert_ops.append(op)
+                gpu_deps = (attn_op,) + ((pending,) if pending else ())
+                calls.append(ExpertCall(
+                    expert=expert, location=GPU_LOC, h_att=h_att,
+                    deps=gpu_deps,
+                ))
+                call_slots.append(slot)
             else:
                 # Predicted CPU expert whose pre-calculation was not issued
                 # (e.g. degradation disabled and more CPU experts than
                 # pre-calc slots): fall back to a Fiddler-style round-trip
                 # with fresh inputs.
-                y, op = self._expert_cpu(
-                    ctx, block_idx, expert, h_att, [attn_op]
-                )
-                outs[0, slot] = y[0]
-                expert_ops.append(op)
+                calls.append(ExpertCall(
+                    expert=expert, location=CPU_LOC, h_att=h_att,
+                    deps=(attn_op,),
+                ))
+                call_slots.append(slot)
+        results = yield BlockWork(block_idx=block_idx, calls=tuple(calls))
+        outs = np.zeros(
+            (1, len(executed), h_att.shape[1]), dtype=np.float32
+        )
+        expert_ops: list[Op | None] = [None] * len(executed)
+        for slot, (y, op) in precomputed.items():
+            outs[0, slot] = y
+            expert_ops[slot] = op
+        for slot, (y, op) in zip(call_slots, results):
+            outs[0, slot] = y[0]
+            expert_ops[slot] = op
         h = block.combine(h_att, outs, weights.reshape(1, -1))
         return h, expert_ops
 

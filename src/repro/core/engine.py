@@ -17,6 +17,13 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.core.batching import (
+    CPU_LOC,
+    GPU_LOC,
+    BlockWork,
+    ExpertCall,
+    group_block_work,
+)
 from repro.hardware.cost_model import CostModel
 from repro.hardware.device import DeviceKind
 from repro.hardware.energy import EnergyBreakdown, EnergyModel
@@ -404,6 +411,116 @@ class BaseEngine:
             n_generated=len(state.generated),
         )
 
+    def step_batch(self, states: list, gather_stats=None) -> list:
+        """Advance several decode-phase sequences one token each, batched.
+
+        Tokens routed to the same expert *across sequences* execute as
+        one gathered kernel: the decode policies run block-locked (one
+        :class:`~repro.core.batching.BlockWork` yield per block per
+        sequence), same-``(block, expert, device)`` calls group into a
+        single simulated launch charged the cost model's batched time,
+        and the final LM head runs once over all last-token rows.  Each
+        participant's functional values are evaluated row-by-row through
+        the cache-aware stage API, so every sequence's token stream is
+        identical to its solo run token for token; only the simulated
+        schedule changes.  With a single state the gathered path
+        degenerates to exactly the ops :meth:`step` schedules, so
+        batch=1 stays bitwise-identical to ``generate()``.
+
+        Args:
+            states: decode-phase sequence states, in admission order
+                (the stable per-sequence gather order).  When more than
+                one, all must share one
+                :class:`~repro.hardware.timeline.ResourceClock` — the
+                scheduler regime; private clocks cannot express a
+                shared kernel.
+            gather_stats: optional
+                :class:`~repro.core.batching.GatherStats` accumulating
+                physical-kernel counts.
+
+        Returns:
+            One :class:`StepResult` per state, aligned with ``states``.
+
+        Raises:
+            ValueError: for an empty batch or mixed resource clocks.
+            RuntimeError: for a state not in the decode phase.
+        """
+        if not states:
+            raise ValueError("step_batch needs at least one state")
+        for state in states:
+            if state.phase == SEQ_DONE:
+                raise RuntimeError(
+                    f"sequence {state.seq_id} is done; call finish()"
+                )
+            if state.phase != SEQ_DECODE:
+                raise RuntimeError(
+                    f"sequence {state.seq_id} is in phase "
+                    f"{state.phase!r}; step_batch serves decode-phase "
+                    "sequences — run prefill via step()"
+                )
+        if len(states) > 1:
+            clocks = {id(state.timeline.clock) for state in states}
+            if len(clocks) != 1:
+                raise ValueError(
+                    "batched stepping requires all states to share one "
+                    "ResourceClock (scheduler-built timelines); private "
+                    "clocks cannot express a gathered kernel"
+                )
+        gens = []
+        for state in states:
+            forced = state.request.forced_tokens
+            step_idx = len(state.generated) - 1
+            step_input = (
+                int(forced[step_idx]) if forced is not None
+                else state.generated[-1]
+            )
+            gens.append(self._decode_blocks(
+                state, step_input, [state.last_op]
+            ))
+        results: list = [None] * len(states)
+        for _round in range(self.model.n_blocks):
+            works = []
+            for i, gen in enumerate(gens):
+                try:
+                    works.append((states[i], gen.send(results[i])))
+                except StopIteration:
+                    raise RuntimeError(
+                        f"decode policy of {self.name!r} yielded fewer "
+                        f"than n_blocks work sets"
+                    ) from None
+            results = self._execute_block_work_gathered(works, gather_stats)
+        finals = []
+        for i, gen in enumerate(gens):
+            try:
+                gen.send(results[i])
+            except StopIteration as stop:
+                finals.append(stop.value)
+            else:
+                raise RuntimeError(
+                    f"decode policy of {self.name!r} yielded more than "
+                    f"n_blocks work sets"
+                )
+        logits_rows, lm_ops = self._lm_head_batch(
+            states, [h for h, _ in finals], [op for _, op in finals],
+            gather_stats,
+        )
+        step_results = []
+        for state, logits, lm_op in zip(states, logits_rows, lm_ops):
+            state.last_op = lm_op
+            token = int(state.sampler(logits))
+            state.generated.append(token)
+            if len(state.generated) >= state.request.max_new_tokens:
+                state.phase = SEQ_DONE
+            else:
+                state.phase = SEQ_DECODE
+            step_results.append(StepResult(
+                phase=SEQ_DECODE,
+                token=token,
+                done=state.done,
+                n_generated=len(state.generated),
+            ))
+        return step_results
+
     def finish(self, state: SequenceState) -> GenerationResult:
         """Summarize a finished sequence into a :class:`GenerationResult`.
 
@@ -744,9 +861,79 @@ class BaseEngine:
         )
         return h[-1], done
 
-    def _decode_step_standard(self, ctx: _SequenceContext, token: int,
-                              deps: list[Op]) -> tuple[np.ndarray, Op]:
-        """Shared decode step: true gate, experts run where they live."""
+    # ---- decode block-work protocol ----------------------------------------------
+    #
+    # Decode policies are generators yielding one BlockWork per block
+    # (see repro.core.batching); a driver decides how the described
+    # expert executions run — immediately (solo) or gathered with the
+    # same-expert calls of other in-flight sequences (step_batch).
+
+    def _routed_block_work(
+        self,
+        ctx: _SequenceContext,
+        block_idx: int,
+        h_att: np.ndarray,
+        experts_per_token: np.ndarray,
+        weights: np.ndarray,
+        deps: list[Op],
+        extra_deps: dict[int, list[Op]] | None = None,
+        force_gpu: set[int] | None = None,
+    ):
+        """Describe-and-combine analog of ``_execute_experts_at_location``.
+
+        A generator: yields one :class:`~repro.core.batching.BlockWork`
+        describing each activated expert's execution (same unique-expert
+        order, dependencies, and locations as the inline path), receives
+        the driver's ``(output, op)`` results back, and returns the
+        combined block output plus the expert ops.  Use as
+        ``h, ops = yield from self._routed_block_work(...)``.
+        """
+        extra_deps = extra_deps or {}
+        force_gpu = force_gpu or set()
+        block = self.model.blocks[block_idx]
+        n_tokens, top_k = experts_per_token.shape
+        calls: list[ExpertCall] = []
+        metas: list[tuple[np.ndarray, np.ndarray]] = []
+        for expert in np.unique(experts_per_token):
+            expert = int(expert)
+            mask = experts_per_token == expert
+            token_idx = np.nonzero(mask.any(axis=1))[0]
+            expert_deps = tuple(deps + extra_deps.get(expert, []))
+            on_gpu = (expert in force_gpu
+                      or ctx.placement.is_on_gpu(block_idx, expert))
+            calls.append(ExpertCall(
+                expert=expert,
+                location=GPU_LOC if on_gpu else CPU_LOC,
+                h_att=h_att,
+                deps=expert_deps,
+                token_idx=token_idx,
+            ))
+            metas.append((mask, token_idx))
+        results = yield BlockWork(block_idx=block_idx, calls=tuple(calls))
+        outs = np.zeros(
+            (n_tokens, top_k, h_att.shape[1]), dtype=np.float32
+        )
+        ops: list[Op] = []
+        for (mask, token_idx), (y, op) in zip(metas, results):
+            ops.append(op)
+            for row, t in enumerate(token_idx):
+                # A router can only select an expert once per token, but a
+                # hand-built (or degraded) selection may repeat an id; every
+                # matching slot gets the output so its weight is honored.
+                for slot in np.nonzero(mask[t])[0]:
+                    outs[t, int(slot)] = y[row]
+        h_out = block.combine(h_att, outs, weights)
+        return h_out, ops
+
+    def _decode_blocks_standard(self, ctx: _SequenceContext, token: int,
+                                deps: list[Op]):
+        """Shared decode policy: true gate, experts run where they live.
+
+        A generator yielding exactly ``n_blocks`` :class:`BlockWork`
+        items and returning ``(h_last, done_op)``; the dataflow (and,
+        under the solo driver, the op schedule) is identical to the
+        pre-protocol ``_decode_step_standard``.
+        """
         h = self.model.embed(np.asarray([token]))
         last_ops = list(deps)
         for block_idx in range(self.model.n_blocks):
@@ -764,16 +951,238 @@ class BaseEngine:
             plan = self._prepare_decode_block(
                 ctx, block_idx, routing.experts[0], [gate_op]
             )
-            h, expert_ops = self._execute_experts_at_location(
+            h, last_ops = yield from self._routed_block_work(
                 ctx, block_idx, h_att, routing.experts, routing.weights,
                 [gate_op], plan.extra_deps, plan.force_gpu,
             )
-            last_ops = expert_ops
         ctx.position += 1
         done = ctx.timeline.add(
             GPU, 0.0, deps=last_ops, label="decode done", kind="sync"
         )
         return h[-1], done
+
+    def _execute_block_work_solo(self, ctx: _SequenceContext,
+                                 work) -> list:
+        """Execute one sequence's block work immediately, in call order.
+
+        Returns ``(output, op)`` per call — the faithful inline
+        execution the pre-protocol engines performed, so a solo-driven
+        sequence schedules exactly the same ops at the same times.
+        """
+        results = []
+        for call in work.calls:
+            if call.location == GPU_LOC:
+                y, op = self._expert_gpu(
+                    ctx, work.block_idx, call.expert, call.h_att,
+                    list(call.deps), token_idx=call.token_idx,
+                )
+            else:
+                y, op = self._expert_cpu(
+                    ctx, work.block_idx, call.expert, call.h_att,
+                    list(call.deps), token_idx=call.token_idx,
+                )
+            results.append((y, op))
+        return results
+
+    def _drive_decode_blocks(self, ctx: _SequenceContext,
+                             gen) -> tuple[np.ndarray, Op]:
+        """Run one decode-policy generator solo to completion."""
+        results = None
+        while True:
+            try:
+                work = gen.send(results)
+            except StopIteration as stop:
+                return stop.value
+            results = self._execute_block_work_solo(ctx, work)
+
+    # ---- gathered (cross-sequence) execution --------------------------------------
+
+    @staticmethod
+    def _group_barrier(works: list, participants: list) -> float:
+        """Latest dependency end among a gathered group's calls (seconds)."""
+        barrier = 0.0
+        for i, j in participants:
+            call = works[i][1].calls[j]
+            if call.deps:
+                barrier = max(barrier, max(d.end for d in call.deps))
+        return barrier
+
+    def _execute_block_work_gathered(self, works: list,
+                                     gather_stats=None) -> list:
+        """Execute one round of block work gathered across sequences.
+
+        Args:
+            works: ``(state, BlockWork)`` per sequence, admission order.
+            gather_stats: optional
+                :class:`~repro.core.batching.GatherStats` accumulator.
+
+        Returns:
+            Per sequence, the ``(output, op)`` list aligned with its
+            calls.  Groups execute in deterministic ``(block, expert,
+            location)`` order; within a group, participants keep
+            admission order, so the whole schedule is reproducible.
+        """
+        results = [[None] * len(work.calls) for _, work in works]
+        groups = group_block_work([work for _, work in works])
+        for key in sorted(groups):
+            block_idx, expert, location = key
+            participants = groups[key]
+            if location == GPU_LOC:
+                self._gathered_expert_gpu(
+                    works, results, block_idx, expert, participants,
+                    gather_stats,
+                )
+            else:
+                self._gathered_expert_cpu(
+                    works, results, block_idx, expert, participants,
+                    gather_stats,
+                )
+        return results
+
+    def _gathered_rows(self, block_idx: int, expert: int, works: list,
+                       participants: list) -> tuple[list, int]:
+        """Evaluate a gathered group's functional values, row-stable.
+
+        Delegates to :meth:`~repro.model.moe_block.MoEBlock.
+        expert_forward_rows` — functionally the single batched matmul of
+        the gathered kernel, evaluated segment-by-segment so each
+        sequence's values (and compute-cache keys) stay bitwise
+        identical to its solo run.  Returns the per-participant outputs
+        and the total row count.
+        """
+        block = self.model.blocks[block_idx]
+        segments = []
+        for i, j in participants:
+            call = works[i][1].calls[j]
+            segments.append((call.h_att, call.token_idx))
+        ys = block.expert_forward_rows(expert, segments)
+        rows = sum(y.shape[0] for y in ys)
+        return ys, rows
+
+    def _note_gathered_kernel(self, gather_stats, participants: list,
+                              rows: int) -> None:
+        """Account one physical gathered kernel launch."""
+        if gather_stats is None:
+            return
+        gather_stats.expert_kernels += 1
+        gather_stats.expert_ops += len(participants)
+        gather_stats.gathered_rows += rows
+        gather_stats.max_group_size = max(
+            gather_stats.max_group_size, len(participants)
+        )
+
+    def _gathered_expert_gpu(self, works: list, results: list,
+                             block_idx: int, expert: int,
+                             participants: list, gather_stats=None) -> None:
+        """One gathered GPU expert kernel over all participants' rows.
+
+        The kernel is charged once at the cost model's batched time
+        (weight bytes read once, one framework overhead) and starts at
+        the group's dependency barrier; each participant records a
+        proportional slice in its *own* timeline with its *own*
+        dependencies, so per-sequence counter conservation, energy
+        integration, and causality audits all hold unchanged.
+        """
+        ys, rows = self._gathered_rows(block_idx, expert, works,
+                                       participants)
+        duration = self.framework_overhead_s + self.cost_model.expert_time(
+            self.platform.gpu, rows
+        )
+        clock = works[0][0].timeline.clock
+        clock.hold(GPU, self._group_barrier(works, participants))
+        for (i, j), y in zip(participants, ys):
+            state, work = works[i]
+            call = work.calls[j]
+            op = state.timeline.add(
+                GPU, duration * y.shape[0] / rows, deps=list(call.deps),
+                label=f"E{expert}@B{block_idx} gpu", kind="expert_gpu",
+            )
+            state.counters.gpu_expert_execs += 1
+            results[i][j] = (y, op)
+        self._note_gathered_kernel(gather_stats, participants, rows)
+
+    def _gathered_expert_cpu(self, works: list, results: list,
+                             block_idx: int, expert: int,
+                             participants: list, gather_stats=None) -> None:
+        """One gathered CPU expert execution with batched round-trips.
+
+        The three stages of the solo path (activations device-to-host,
+        CPU execution, result host-to-device) each run as one batched
+        transfer/kernel over every participant's rows, sliced into
+        per-sequence ops exactly like the GPU path; each stage's lane is
+        held to the previous stage's group barrier.
+        """
+        ys, rows = self._gathered_rows(block_idx, expert, works,
+                                       participants)
+        act_total = (
+            self.framework_overhead_s
+            + self.cost_model.activation_transfer_time(rows)
+        )
+        exec_total = (
+            self.framework_overhead_s
+            + self.cost_model.expert_time(self.platform.cpu, rows)
+        )
+        clock = works[0][0].timeline.clock
+        clock.hold(D2H, self._group_barrier(works, participants))
+        d2h_ops = []
+        for (i, j), y in zip(participants, ys):
+            state, work = works[i]
+            call = work.calls[j]
+            d2h_ops.append(state.timeline.add(
+                D2H, act_total * y.shape[0] / rows, deps=list(call.deps),
+                label=f"act>cpu B{block_idx}", kind="act_d2h",
+            ))
+        clock.hold(CPU, max(op.end for op in d2h_ops))
+        exec_ops = []
+        for (i, j), y, d2h in zip(participants, ys, d2h_ops):
+            state, _ = works[i]
+            exec_ops.append(state.timeline.add(
+                CPU, exec_total * y.shape[0] / rows, deps=[d2h],
+                label=f"E{expert}@B{block_idx} cpu", kind="expert_cpu",
+            ))
+            state.counters.cpu_expert_execs += 1
+        clock.hold(H2D, max(op.end for op in exec_ops))
+        for (i, j), y, exec_op in zip(participants, ys, exec_ops):
+            state, _ = works[i]
+            h2d = state.timeline.add(
+                H2D, act_total * y.shape[0] / rows, deps=[exec_op],
+                label=f"act>gpu B{block_idx}", kind="act_h2d",
+            )
+            results[i][j] = (y, h2d)
+        self._note_gathered_kernel(gather_stats, participants, rows)
+
+    def _lm_head_batch(self, states: list, h_lasts: list, done_ops: list,
+                       gather_stats=None) -> tuple[list, list]:
+        """Final norm + LM head gathered over every sequence's last token.
+
+        One simulated launch over ``len(states)`` rows, sliced into
+        per-sequence ops; logits are computed row-by-row (sharing cache
+        keys with solo runs) so sampling stays bitwise identical.
+        """
+        n = len(states)
+        logits_rows = self.model.lm_logits_rows(h_lasts)
+        duration = self.framework_overhead_s + self.cost_model.lm_head_time(
+            self.platform.gpu, n
+        )
+        clock = states[0].timeline.clock
+        clock.hold(GPU, max(op.end for op in done_ops))
+        ops = []
+        for state, done in zip(states, done_ops):
+            ops.append(state.timeline.add(
+                GPU, duration / n, deps=[done], label="lm_head",
+                kind="lm_head",
+            ))
+        if gather_stats is not None:
+            gather_stats.lm_head_kernels += 1
+            gather_stats.lm_head_ops += n
+        return logits_rows, ops
+
+    def _decode_step_standard(self, ctx: _SequenceContext, token: int,
+                              deps: list[Op]) -> tuple[np.ndarray, Op]:
+        """Shared decode step: the standard policy under the solo driver."""
+        return self._drive_decode_blocks(
+            ctx, self._decode_blocks_standard(ctx, token, deps)
+        )
 
     # Default implementations: engines that follow the standard dataflow
     # simply inherit these.
@@ -782,6 +1191,21 @@ class BaseEngine:
                  prompt_tokens: np.ndarray) -> tuple[np.ndarray, Op]:
         return self._prefill_standard(ctx, prompt_tokens)
 
+    def _decode_blocks(self, ctx: _SequenceContext, token: int,
+                       deps: list[Op]):
+        """Policy hook: the decode block-work generator for one token.
+
+        Engines with a custom decode policy (DAOP's predictive
+        pre-calculation, Pre-gated's prefetch) override *this* instead
+        of ``_decode_step``, so one policy serves both the solo and the
+        gathered driver.  Must yield exactly ``n_blocks``
+        :class:`BlockWork` items and return ``(h_last, done_op)``.
+        """
+        return (yield from self._decode_blocks_standard(ctx, token, deps))
+
     def _decode_step(self, ctx: _SequenceContext, token: int,
                      deps: list[Op]) -> tuple[np.ndarray, Op]:
-        return self._decode_step_standard(ctx, token, deps)
+        """One decode token under the solo driver (substrate; not a hook)."""
+        return self._drive_decode_blocks(
+            ctx, self._decode_blocks(ctx, token, deps)
+        )

@@ -10,10 +10,19 @@ Decode-stage ops at batch size one are memory-bandwidth-bound (every weight
 byte is read once per token); prefill ops over hundreds of tokens shift
 toward the compute roof, which is why CPU prefill of a busy expert is
 expensive and why the paper maps hot experts to the GPU before decode.
+
+The same roofline yields the *batch-efficiency curves* used by gathered
+cross-sequence execution (:meth:`CostModel.batch_efficiency`): a dense op
+over ``n`` token rows reads its weights once instead of ``n`` times and
+pays one fixed per-op overhead instead of ``n``, so in the
+bandwidth-bound decode regime the gathered op costs barely more than a
+solo one until ``n`` crosses into the compute-bound regime
+(:meth:`CostModel.batch_crossover_tokens`).
 """
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 
 from repro.hardware.device import DeviceSpec
@@ -89,6 +98,72 @@ class CostModel:
             + self.gate_time(device, n_tokens)
             + self.arch.top_k * self.expert_time(device, n_tokens)
         )
+
+    # ---- batch-efficiency curves ---------------------------------------------
+
+    def batch_efficiency(self, device: DeviceSpec, weight_params: int,
+                         n_tokens: int, overhead_s: float = 0.0) -> float:
+        """Per-token cost of one gathered op relative to ``n_tokens`` solo ops.
+
+        Dimensionless ratio in ``(0, 1]``: ``time(one op over n rows) /
+        (n * time(one op over 1 row))``, each side optionally charged a
+        fixed per-op ``overhead_s`` (seconds, e.g. the engines'
+        framework dispatch overhead).  In the bandwidth-bound decode
+        regime the weight bytes dominate, so a gathered op amortizes
+        them across all rows and the ratio approaches ``1 / n`` plus
+        the per-row activation traffic; past the compute roofline the
+        flops scale with ``n`` and the curve flattens.
+        """
+        if n_tokens < 1:
+            raise ValueError("n_tokens must be positive")
+        gathered = overhead_s + self._weights_op_time(
+            device, weight_params, n_tokens
+        )
+        solo = n_tokens * (
+            overhead_s + self._weights_op_time(device, weight_params, 1)
+        )
+        return gathered / solo
+
+    def expert_batch_efficiency(self, device: DeviceSpec, n_tokens: int,
+                                overhead_s: float = 0.0) -> float:
+        """Batch-efficiency curve of one expert FFN (see
+        :meth:`batch_efficiency`)."""
+        return self.batch_efficiency(
+            device, self.arch.expert_params, n_tokens, overhead_s
+        )
+
+    def lm_head_batch_efficiency(self, device: DeviceSpec, n_tokens: int,
+                                 overhead_s: float = 0.0) -> float:
+        """Batch-efficiency curve of the LM head (see
+        :meth:`batch_efficiency`)."""
+        return self.batch_efficiency(
+            device, self.arch.embedding_params, n_tokens, overhead_s
+        )
+
+    def batch_crossover_tokens(self, device: DeviceSpec,
+                               weight_params: int | None = None) -> int:
+        """Row count where a dense op leaves the bandwidth-bound regime.
+
+        The smallest ``n`` for which the compute roofline time of an op
+        over ``weight_params`` weights (default: one expert FFN) meets
+        or exceeds its memory roofline time — i.e. where gathering more
+        rows stops being nearly free.  Returns 0 when the op never
+        becomes compute-bound on this device (per-token flops time below
+        per-token bytes time at any batch).
+        """
+        if weight_params is None:
+            weight_params = self.arch.expert_params
+        flops_time_per_token = 2.0 * weight_params / device.effective_flops
+        bytes_time_per_token = (
+            2.0 * self.arch.hidden_state_bytes / device.effective_bandwidth
+        )
+        gain = flops_time_per_token - bytes_time_per_token
+        if gain <= 0.0:
+            return 0
+        fixed_bytes_time = (
+            weight_params * self.arch.dtype_bytes / device.effective_bandwidth
+        )
+        return max(1, math.ceil(fixed_bytes_time / gain))
 
     # ---- transfers -----------------------------------------------------------
 

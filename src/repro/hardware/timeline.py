@@ -81,6 +81,27 @@ class ResourceClock:
             if self.free[resource] < t:
                 self.free[resource] = t
 
+    def hold(self, resource: str, t: float) -> None:
+        """Hold one lane until at least ``t`` (forward-only).
+
+        A gathered cross-sequence kernel starts only when every
+        participant's inputs are ready; the engine models that by
+        holding the lane to the group's dependency barrier and then
+        adding each participant's slice op.  Dependencies stay
+        timeline-local (an op's ``dep_indices`` index its own
+        timeline), so the cross-sequence coupling flows through the
+        shared clock — never through cross-timeline dependency edges,
+        which would corrupt the causality audit.  A lane already past
+        ``t`` is left untouched.
+
+        Raises:
+            ValueError: for an unknown resource name.
+        """
+        if resource not in self.free:
+            raise ValueError(f"unknown resource {resource!r}")
+        if self.free[resource] < t:
+            self.free[resource] = t
+
     @property
     def horizon(self) -> float:
         """Latest lane-availability time across all resources."""

@@ -222,9 +222,13 @@ class MoEBlock:
             normed = self.ffn_normed(h_att)
             x = normed if token_idx is None else normed[token_idx]
             return self.experts[expert_idx](x)
+        # The key carries the input's row count explicitly (on top of the
+        # shape already folded into the array digest) so a gathered
+        # ``[batch*k, d]`` input can never alias a ``[k, d]``
+        # single-sequence digest.
         key = tensor_cache.key(
             self.cache_scope, self.block_idx, "expert", int(expert_idx),
-            self._arr_digest(h_att), token_idx,
+            int(h_att.shape[0]), self._arr_digest(h_att), token_idx,
         )
         out = tensor_cache.get(key, "expert")
         if out is None:
@@ -232,6 +236,29 @@ class MoEBlock:
             x = normed if token_idx is None else normed[token_idx]
             out = tensor_cache.put(key, "expert", self.experts[expert_idx](x))
         return out
+
+    def expert_forward_rows(self, expert_idx: int, segments) -> list:
+        """Gathered expert execution over per-sequence row segments.
+
+        ``segments`` is a sequence of ``(h_att, token_idx)`` pairs, one
+        per participating sequence, each exactly as
+        :meth:`expert_forward` would receive it.  Functionally this is
+        the batched ``[sum(rows), d]`` expert matmul of one gathered
+        cross-sequence kernel, but it is evaluated segment-by-segment:
+        BLAS GEMM reductions are not row-wise bitwise stable, so a naive
+        ``vstack`` would change every participant's values at the last
+        ulp and break the batch=1 parity contract.  Per-segment
+        evaluation keeps each sequence's outputs (and compute-cache
+        keys) bitwise identical to its solo call; the simulated *cost*
+        of the single gathered kernel is charged by the engine's cost
+        model, not here.
+
+        Returns one output array per segment, in segment order.
+        """
+        return [
+            self.expert_forward(expert_idx, h_att, token_idx=token_idx)
+            for h_att, token_idx in segments
+        ]
 
     def combine(self, h_att: np.ndarray, expert_outputs: np.ndarray,
                 weights: np.ndarray) -> np.ndarray:

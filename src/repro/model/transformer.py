@@ -137,6 +137,21 @@ class MoETransformer:
             )
         return logits
 
+    def lm_logits_rows(self, rows) -> list:
+        """Row-stable gathered LM head: one logits row per hidden row.
+
+        ``rows`` is a sequence of ``(d,)`` last-token hidden states, one
+        per in-flight sequence.  Functionally this is the batched
+        ``[batch, d]`` LM-head matmul of a gathered decode step, but it
+        is evaluated row-by-row because BLAS GEMM reductions are not
+        row-wise bitwise stable — per-row evaluation keeps every
+        sequence's logits (and compute-cache keys) identical to its solo
+        :meth:`lm_logits` call, so sampling cannot diverge under
+        batching.  The gathered kernel's simulated cost is charged by
+        the engine's cost model.
+        """
+        return [self.lm_logits(row.reshape(1, -1))[0] for row in rows]
+
     def lm_log_probs(self, h: np.ndarray) -> np.ndarray:
         """Log-probabilities over the vocabulary."""
         return log_softmax(self.lm_logits(h), axis=-1)

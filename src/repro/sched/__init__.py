@@ -1,6 +1,8 @@
 """Continuous batching of resumable sequences on one engine."""
 
 from repro.sched.scheduler import (
+    GATHERED,
+    INTERLEAVED,
     BatchReport,
     ContinuousBatchScheduler,
     SequenceRecord,
@@ -9,5 +11,7 @@ from repro.sched.scheduler import (
 __all__ = [
     "BatchReport",
     "ContinuousBatchScheduler",
+    "GATHERED",
+    "INTERLEAVED",
     "SequenceRecord",
 ]

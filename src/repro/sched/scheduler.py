@@ -40,13 +40,29 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.core.engine import BaseEngine, GenerationResult, SequenceRequest
+from repro.core.batching import GatherStats
+from repro.core.engine import (
+    SEQ_PREFILL,
+    BaseEngine,
+    GenerationResult,
+    SequenceRequest,
+)
 from repro.hardware.timeline import (
     GPU,
     RESOURCES,
     ResourceClock,
     Timeline,
 )
+
+#: Execution modes for a batch round.  ``GATHERED`` (the default) steps
+#: every decode-phase sequence through one
+#: :meth:`~repro.core.engine.BaseEngine.step_batch` call, merging
+#: same-expert tokens across sequences into shared kernels;
+#: ``INTERLEAVED`` is the legacy round-robin of independent
+#: :meth:`~repro.core.engine.BaseEngine.step` calls.  Both produce the
+#: same token streams; only the simulated schedule differs.
+GATHERED = "gathered"
+INTERLEAVED = "interleaved"
 
 
 @dataclass(frozen=True)
@@ -107,6 +123,8 @@ class BatchReport:
     engine: str
     max_batch: int
     records: list = field(default_factory=list)
+    mode: str = GATHERED
+    gather: GatherStats | None = None
 
     @property
     def n_sequences(self) -> int:
@@ -150,18 +168,46 @@ class BatchReport:
 
     @property
     def overlap_ratio(self) -> float:
-        """``1 - makespan / sum_solo_makespans``.
+        """``max(0, 1 - makespan / sum_solo_makespans)``.
 
         0.0 under sequential service; positive when sequence service
         spans overlap in wall-clock time.  Note the lane clocks are
         forward-only (FIFO list scheduling, no backfill), so batching
         reduces queueing delay and TTFT rather than total lane-busy
-        time.
+        time.  Degenerate batches are guarded: an empty report or one
+        whose sequences all have zero-duration service spans reports
+        0.0 (never a division by zero), and sparse arrivals whose idle
+        gaps inflate the makespan beyond the summed spans clamp to 0.0
+        instead of going negative — the ratio stays in ``[0, 1)``.
         """
         solo = self.sum_solo_makespans_s
         if solo <= 0:
             return 0.0
-        return 1.0 - self.makespan_s / solo
+        return max(0.0, 1.0 - self.makespan_s / solo)
+
+    @property
+    def n_expert_ops(self) -> int:
+        """Logical expert executions across all sequences (both devices)."""
+        return sum(
+            1
+            for r in self.records
+            for op in r.result.timeline.ops
+            if op.kind in ("expert_gpu", "expert_cpu")
+        )
+
+    @property
+    def n_expert_kernels(self) -> int:
+        """Physical expert kernel launches the schedule actually paid for.
+
+        Equals :attr:`n_expert_ops` under interleaved execution; under
+        gathered execution, every logical op that joined a shared
+        cross-sequence launch is replaced by its group's single kernel
+        (prefill and any solo-stepped ops keep one kernel per op).
+        """
+        if self.gather is None:
+            return self.n_expert_ops
+        return (self.n_expert_ops - self.gather.expert_ops
+                + self.gather.expert_kernels)
 
     def occupancy(self, resource: str) -> float:
         """Busy fraction of one lane over the batch makespan."""
@@ -189,6 +235,13 @@ class BatchReport:
         payload = {
             "engine": self.engine,
             "max_batch": self.max_batch,
+            "mode": self.mode,
+            "n_expert_ops": self.n_expert_ops,
+            "n_expert_kernels": self.n_expert_kernels,
+            "expert_amortization": (
+                self.gather.expert_amortization
+                if self.gather is not None else 1.0
+            ),
             "n_sequences": self.n_sequences,
             "makespan_s": self.makespan_s,
             "sum_solo_makespans_s": self.sum_solo_makespans_s,
@@ -232,13 +285,24 @@ class ContinuousBatchScheduler:
         engine: any registered engine; its policy hooks run per sequence
             on per-sequence state, so baselines and DAOP batch alike.
         max_batch: maximum concurrently resident sequences (>= 1).
+        mode: :data:`GATHERED` (default) merges same-expert decode work
+            across sequences into shared kernels via
+            :meth:`~repro.core.engine.BaseEngine.step_batch`;
+            :data:`INTERLEAVED` round-robins independent ``step`` calls.
     """
 
-    def __init__(self, engine: BaseEngine, max_batch: int = 4) -> None:
+    def __init__(self, engine: BaseEngine, max_batch: int = 4,
+                 mode: str = GATHERED) -> None:
         if max_batch < 1:
             raise ValueError("max_batch must be positive")
+        if mode not in (GATHERED, INTERLEAVED):
+            raise ValueError(
+                f"mode must be {GATHERED!r} or {INTERLEAVED!r}, "
+                f"got {mode!r}"
+            )
         self.engine = engine
         self.max_batch = max_batch
+        self.mode = mode
 
     def run(self, requests: list[SequenceRequest],
             arrival_times: np.ndarray | None = None) -> BatchReport:
@@ -267,12 +331,15 @@ class ContinuousBatchScheduler:
         )
         clock = ResourceClock()
         active: list[_ActiveSequence] = []
-        report = BatchReport(engine=self.engine.name,
-                             max_batch=self.max_batch)
+        report = BatchReport(
+            engine=self.engine.name,
+            max_batch=self.max_batch,
+            mode=self.mode,
+            gather=GatherStats() if self.mode == GATHERED else None,
+        )
         while queue or active:
             self._admit(queue, active, clock)
-            for entry in active:
-                self.engine.step(entry.state)
+            self._step_round(active, report)
             finished = [e for e in active if e.state.done]
             active = [e for e in active if not e.state.done]
             last_finish = 0.0
@@ -288,6 +355,29 @@ class ContinuousBatchScheduler:
         return report
 
     # ---- internals -------------------------------------------------------------
+
+    def _step_round(self, active: list, report: BatchReport) -> None:
+        """Advance every resident sequence one unit of work.
+
+        Interleaved mode round-robins independent ``step`` calls in
+        admission order.  Gathered mode keeps prefill passes solo (still
+        admission-ordered — prompt lengths differ, so prefill does not
+        gather) and advances all decode-phase sequences together through
+        one :meth:`~repro.core.engine.BaseEngine.step_batch` call.
+        Either way each active sequence steps exactly once per round.
+        """
+        if self.mode == INTERLEAVED:
+            for entry in active:
+                self.engine.step(entry.state)
+            return
+        decode_states = []
+        for entry in active:
+            if entry.state.phase == SEQ_PREFILL:
+                self.engine.step(entry.state)
+            else:
+                decode_states.append(entry.state)
+        if decode_states:
+            self.engine.step_batch(decode_states, gather_stats=report.gather)
 
     def _admit(self, queue: deque, active: list, clock: ResourceClock) -> None:
         """Admit queued requests into the batch, FIFO in arrival order."""

@@ -68,12 +68,20 @@ def test_bench_batch(tmp_path, capsys):
     out = capsys.readouterr().out
     assert "bench-batch" in out and "overlap" in out
     payload = json.loads(report_path.read_text())
-    assert len(payload["runs"]) == 2
-    batched = payload["runs"][1]
-    assert batched["max_batch"] == 3
+    # Two batch sizes x two modes (interleaved + gathered by default).
+    assert len(payload["runs"]) == 4
+    by_key = {(r["max_batch"], r["mode"]): r for r in payload["runs"]}
+    batched = by_key[(3, "gathered")]
     # Acceptance: batched makespan undercuts the summed service spans.
     assert batched["makespan_s"] < batched["sum_solo_makespans_s"]
     assert batched["overlap_ratio"] > 0
+    # Gathered execution amortizes expert kernels across sequences.
+    interleaved = by_key[(3, "interleaved")]
+    assert batched["n_expert_kernels"] < batched["n_expert_ops"]
+    assert interleaved["n_expert_kernels"] == interleaved["n_expert_ops"]
+    comparison = {(c["engine"], c["max_batch"]): c
+                  for c in payload["comparison"]}
+    assert comparison[("daop", 3)]["gathered_speedup"] > 1.0
 
 
 def test_trace_with_chrome_export(tmp_path, capsys):

@@ -1,0 +1,162 @@
+"""The decode block-work protocol and gathered-batch validation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import build_engine
+from repro.core.batching import (
+    CPU_LOC,
+    GPU_LOC,
+    BlockWork,
+    ExpertCall,
+    GatherStats,
+    group_block_work,
+)
+from repro.core.engine import SequenceRequest
+from repro.hardware.timeline import ResourceClock, Timeline
+
+
+def _call(expert, location, rows=1):
+    return ExpertCall(
+        expert=expert, location=location,
+        h_att=np.zeros((rows, 4), dtype=np.float32), deps=(),
+    )
+
+
+def _prompt(bundle, seed=0, n=10):
+    rng = np.random.default_rng(seed)
+    return rng.integers(0, bundle.vocab.vocab_size, size=n, dtype=np.int64)
+
+
+# ---- data types --------------------------------------------------------------
+
+
+def test_expert_call_n_rows_counts_selection():
+    full = _call(0, GPU_LOC, rows=3)
+    assert full.n_rows == 3
+    selected = ExpertCall(
+        expert=0, location=GPU_LOC,
+        h_att=np.zeros((3, 4), dtype=np.float32), deps=(),
+        token_idx=np.asarray([0, 2]),
+    )
+    assert selected.n_rows == 2
+
+
+def test_gather_stats_amortization():
+    stats = GatherStats()
+    assert stats.expert_amortization == 1.0
+    stats.expert_ops = 8
+    stats.expert_kernels = 2
+    assert stats.expert_amortization == pytest.approx(4.0)
+
+
+def test_group_block_work_merges_across_sequences():
+    work_a = BlockWork(block_idx=3, calls=(
+        _call(1, GPU_LOC), _call(2, CPU_LOC),
+    ))
+    work_b = BlockWork(block_idx=3, calls=(_call(1, GPU_LOC),))
+    groups = group_block_work([work_a, work_b])
+    assert groups[(3, 1, GPU_LOC)] == [(0, 0), (1, 0)]
+    assert groups[(3, 2, CPU_LOC)] == [(0, 1)]
+    # Same expert on another device is a different kernel.
+    assert (3, 1, CPU_LOC) not in groups
+
+
+def test_group_block_work_preserves_admission_order():
+    works = [
+        BlockWork(block_idx=0, calls=(_call(5, GPU_LOC),))
+        for _ in range(4)
+    ]
+    groups = group_block_work(works)
+    assert groups[(0, 5, GPU_LOC)] == [(i, 0) for i in range(4)]
+
+
+# ---- step_batch validation ---------------------------------------------------
+
+
+@pytest.fixture()
+def daop(tiny_bundle, platform, tiny_calibration):
+    return build_engine("daop", tiny_bundle, platform,
+                        expert_cache_ratio=0.5,
+                        calibration_probs=tiny_calibration)
+
+
+def test_step_batch_rejects_empty(daop):
+    with pytest.raises(ValueError):
+        daop.step_batch([])
+
+
+def test_step_batch_rejects_prefill_phase(daop, tiny_bundle):
+    state = daop.start(SequenceRequest(
+        prompt_tokens=_prompt(tiny_bundle), max_new_tokens=4,
+    ))
+    with pytest.raises(RuntimeError, match="prefill"):
+        daop.step_batch([state])
+
+
+def test_step_batch_rejects_done_sequence(daop, tiny_bundle):
+    state = daop.start(SequenceRequest(
+        prompt_tokens=_prompt(tiny_bundle), max_new_tokens=1,
+    ))
+    daop.step(state)
+    assert state.done
+    with pytest.raises(RuntimeError, match="finish"):
+        daop.step_batch([state])
+
+
+def test_step_batch_rejects_mixed_clocks(daop, tiny_bundle):
+    states = []
+    for seed in (0, 1):
+        state = daop.start(
+            SequenceRequest(prompt_tokens=_prompt(tiny_bundle, seed),
+                            max_new_tokens=4, seq_id=seed),
+            timeline=Timeline(clock=ResourceClock()),
+        )
+        daop.step(state)
+        states.append(state)
+    with pytest.raises(ValueError, match="ResourceClock"):
+        daop.step_batch(states)
+
+
+def test_step_batch_single_state_matches_step(daop, tiny_bundle):
+    """n=1 gathered execution degenerates to the solo schedule bitwise."""
+    prompt = _prompt(tiny_bundle)
+    solo = daop.start(SequenceRequest(prompt_tokens=prompt,
+                                      max_new_tokens=4))
+    batched = daop.start(SequenceRequest(prompt_tokens=prompt,
+                                         max_new_tokens=4))
+    daop.step(solo)
+    daop.step(batched)
+    while not solo.done:
+        daop.step(solo)
+        daop.step_batch([batched])
+    assert batched.done
+    assert solo.generated == batched.generated
+    assert len(solo.timeline.ops) == len(batched.timeline.ops)
+    for got, want in zip(batched.timeline.ops, solo.timeline.ops):
+        assert (got.resource, got.kind, got.start, got.end) == \
+            (want.resource, want.kind, want.start, want.end)
+
+
+def test_step_batch_distinct_sequences_share_kernels(
+        daop, tiny_bundle):
+    """Two decode-phase sequences on one clock gather same-expert calls."""
+    clock = ResourceClock()
+    states = []
+    for seed in (0, 1):
+        state = daop.start(
+            SequenceRequest(prompt_tokens=_prompt(tiny_bundle, seed),
+                            max_new_tokens=4, seq_id=seed),
+            timeline=Timeline(clock=clock),
+        )
+        daop.step(state)
+        states.append(state)
+    stats = GatherStats()
+    results = daop.step_batch(states, gather_stats=stats)
+    assert len(results) == 2
+    assert all(r.phase == "decode" for r in results)
+    assert stats.expert_ops >= stats.expert_kernels > 0
+    assert stats.lm_head_kernels == 1
+    assert stats.lm_head_ops == 2

@@ -92,3 +92,56 @@ class TestCapacity:
         cm = CostModel(MIXTRAL_8X7B_ARCH, platform)
         ecr = cm.gpu_expert_slots() / (32 * 8)
         assert ecr == pytest.approx(0.469, abs=0.05)
+
+
+class TestBatchEfficiency:
+    """Batch-efficiency curves backing gathered cross-sequence kernels."""
+
+    def test_single_row_is_unity(self, cm):
+        assert cm.expert_batch_efficiency(cm.platform.gpu, 1) == 1.0
+        assert cm.lm_head_batch_efficiency(cm.platform.gpu, 1) == 1.0
+
+    def test_ratio_bounded_and_decreasing(self, cm):
+        prev = 1.0
+        for n in (2, 4, 8, 16):
+            eff = cm.expert_batch_efficiency(cm.platform.gpu, n)
+            assert 0.0 < eff <= 1.0
+            assert eff < prev
+            prev = eff
+
+    def test_bandwidth_bound_regime_is_nearly_free(self, cm):
+        """In the decode regime, 4 gathered rows cost far less than 4 ops."""
+        eff = cm.expert_batch_efficiency(cm.platform.gpu, 4)
+        # Weight bytes dominate: amortization should approach 1/4.
+        assert eff < 0.5
+
+    def test_overhead_amortizes(self, cm):
+        plain = cm.expert_batch_efficiency(cm.platform.gpu, 4)
+        with_overhead = cm.expert_batch_efficiency(
+            cm.platform.gpu, 4, overhead_s=1e-3
+        )
+        # A fixed per-op overhead is paid once instead of n times, so it
+        # only improves the gathered-to-solo ratio.
+        assert with_overhead < plain
+
+    def test_rejects_nonpositive_rows(self, cm):
+        with pytest.raises(ValueError):
+            cm.batch_efficiency(cm.platform.gpu, cm.arch.expert_params, 0)
+
+    def test_crossover_matches_roofline(self, cm):
+        n = cm.batch_crossover_tokens(cm.platform.gpu)
+        if n == 0:
+            # Never compute-bound: efficiency keeps dropping with n.
+            assert cm.expert_batch_efficiency(
+                cm.platform.gpu, 64
+            ) < cm.expert_batch_efficiency(cm.platform.gpu, 32)
+            return
+        assert n >= 1
+        gpu = cm.platform.gpu
+        flops = 2.0 * cm.arch.expert_params * n
+        weight_bytes = cm.arch.expert_params * cm.arch.dtype_bytes
+        act_bytes = 2.0 * n * cm.arch.hidden_state_bytes
+        # At the crossover, compute time meets or exceeds memory time.
+        assert flops / gpu.effective_flops >= (
+            (weight_bytes + act_bytes) / gpu.effective_bandwidth
+        )

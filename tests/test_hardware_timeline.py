@@ -106,3 +106,21 @@ def test_render_gantt_contains_rows():
     assert " cpu |" in art
     assert "A" in art  # attn glyph
     assert "E" in art  # expert glyph
+
+
+def test_clock_hold_is_forward_only():
+    tl = Timeline()
+    clock = tl.clock
+    clock.hold(GPU, 2.5)
+    assert clock.free[GPU] == 2.5
+    # Holding to an earlier time never rewinds the lane.
+    clock.hold(GPU, 1.0)
+    assert clock.free[GPU] == 2.5
+    op = tl.add(GPU, 1.0)
+    assert op.start == 2.5 and op.end == 3.5
+
+
+def test_clock_hold_rejects_unknown_resource():
+    tl = Timeline()
+    with pytest.raises(ValueError):
+        tl.clock.hold("tpu", 1.0)

@@ -183,3 +183,43 @@ def test_clear_and_reset_counters(rng):
     cache.reset_counters()
     assert cache.hits == 0 and cache.misses == 0
     assert cache.evictions == 0 and cache.oversize_skips == 0
+
+
+# ---- batch-dimension aliasing (gathered execution) ---------------------------
+
+
+def test_key_discriminates_leading_batch_dim():
+    """Same bytes under different leading dims must never share a key."""
+    flat = np.arange(256, dtype=np.float32)
+    assert content_key(flat.reshape(4, 64)) != content_key(
+        flat.reshape(1, 256)
+    )
+    assert content_key(flat.reshape(4, 64)) != content_key(
+        flat.reshape(2, 128)
+    )
+
+
+def test_expert_stage_key_separates_gathered_from_solo(tiny_bundle, rng):
+    """A [batch*k, d] gathered input misses against the [k, d] solo entry."""
+    model = tiny_bundle.model
+    cache = TensorCache()
+    model.attach_compute_cache(cache)
+    try:
+        block = model.blocks[0]
+        d_model = model.profile.sim.d_model
+        solo = rng.standard_normal((1, d_model)).astype(np.float32)
+        stacked = np.vstack([solo, solo])
+
+        block.expert_forward(0, solo)
+        counters = cache.stage_counters["expert"]
+        assert (counters.hits, counters.misses) == (0, 1)
+
+        # Two rows of identical bytes: distinct shape, distinct key.
+        block.expert_forward(0, stacked)
+        assert (counters.hits, counters.misses) == (0, 2)
+
+        # The original solo entry is still retrievable.
+        block.expert_forward(0, solo)
+        assert (counters.hits, counters.misses) == (1, 2)
+    finally:
+        model.detach_compute_cache()

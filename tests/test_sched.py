@@ -3,13 +3,20 @@
 from __future__ import annotations
 
 import json
+from collections import Counter
+from types import SimpleNamespace
 
 import numpy as np
 import pytest
 
 from repro.core import build_engine
 from repro.core.engine import SequenceRequest
-from repro.sched import BatchReport, ContinuousBatchScheduler
+from repro.sched import (
+    GATHERED,
+    INTERLEAVED,
+    BatchReport,
+    ContinuousBatchScheduler,
+)
 
 PROMPT_LEN = 10
 MAX_NEW = 5
@@ -148,3 +155,176 @@ def test_empty_run_is_a_clean_report(daop):
     assert report.makespan_s == 0.0
     assert report.overlap_ratio == 0.0
     assert report.occupancy("gpu") == 0.0
+
+
+# ---- overlap_ratio degenerate inputs (zero spans, idle gaps) -----------------
+
+
+def _stub_record(arrival_s, finish_s, span_s, n_generated=1):
+    """Minimal SequenceRecord stand-in for report-math tests."""
+    stats = SimpleNamespace(total_time_s=span_s)
+    result = SimpleNamespace(stats=stats)
+    return SimpleNamespace(
+        arrival_s=arrival_s, finish_s=finish_s,
+        n_generated=n_generated, result=result,
+    )
+
+
+def test_overlap_ratio_zero_for_empty_batch():
+    report = BatchReport(engine="stub", max_batch=2)
+    assert report.overlap_ratio == 0.0
+    assert report.throughput_tokens_per_s == 0.0
+
+
+def test_overlap_ratio_zero_for_zero_duration_sequences():
+    """All-zero service spans must yield 0.0, not a division by zero."""
+    report = BatchReport(engine="stub", max_batch=2, records=[
+        _stub_record(arrival_s=0.0, finish_s=0.0, span_s=0.0),
+        _stub_record(arrival_s=0.0, finish_s=0.0, span_s=0.0),
+    ])
+    assert report.sum_solo_makespans_s == 0.0
+    assert report.overlap_ratio == 0.0
+
+
+def test_overlap_ratio_clamped_under_sparse_arrivals():
+    """Idle arrival gaps inflate the makespan past the summed spans;
+    the ratio clamps to 0.0 instead of going negative."""
+    report = BatchReport(engine="stub", max_batch=1, records=[
+        _stub_record(arrival_s=0.0, finish_s=1.0, span_s=1.0),
+        _stub_record(arrival_s=100.0, finish_s=101.0, span_s=1.0),
+    ])
+    assert report.makespan_s == pytest.approx(101.0)
+    assert report.sum_solo_makespans_s == pytest.approx(2.0)
+    assert report.overlap_ratio == 0.0
+
+
+def test_overlap_ratio_clamped_end_to_end(daop, tiny_bundle):
+    """Scheduler-produced reports stay in [0, 1) even with idle gaps."""
+    requests = _requests(tiny_bundle, n=2)
+    report = ContinuousBatchScheduler(daop, max_batch=2).run(
+        requests, np.array([0.0, 1e6])
+    )
+    assert 0.0 <= report.overlap_ratio < 1.0
+
+
+# ---- round-robin fairness: every active sequence steps once per round --------
+
+
+class _StepCountingEngine:
+    """Wraps an engine, counting step/step_batch invocations per seq_id."""
+
+    def __init__(self, engine):
+        self._engine = engine
+        self.step_counts = Counter()
+
+    def __getattr__(self, name):
+        return getattr(self._engine, name)
+
+    def step(self, state):
+        self.step_counts[state.seq_id] += 1
+        return self._engine.step(state)
+
+    def step_batch(self, states, gather_stats=None):
+        for state in states:
+            self.step_counts[state.seq_id] += 1
+        return self._engine.step_batch(states, gather_stats=gather_stats)
+
+
+@pytest.mark.parametrize("mode", [INTERLEAVED, GATHERED])
+def test_every_active_sequence_steps_once_per_round(
+        fiddler, tiny_bundle, mode):
+    """Mid-round finishes must never skip or double-step a survivor.
+
+    Each sequence needs exactly ``max_new_tokens`` step units (one
+    prefill + the decode tokens); heterogeneous lengths force sequences
+    to retire mid-batch while others continue.
+    """
+    rng = np.random.default_rng(11)
+    lengths = [2, 5, 3, 7]
+    requests = [
+        SequenceRequest(
+            prompt_tokens=rng.integers(0, tiny_bundle.vocab.vocab_size,
+                                       size=PROMPT_LEN, dtype=np.int64),
+            max_new_tokens=n,
+            seq_id=i,
+        )
+        for i, n in enumerate(lengths)
+    ]
+    counting = _StepCountingEngine(fiddler)
+    report = ContinuousBatchScheduler(counting, max_batch=4,
+                                      mode=mode).run(requests)
+    assert report.n_sequences == len(lengths)
+    assert dict(counting.step_counts) == {
+        i: n for i, n in enumerate(lengths)
+    }
+    for record in report.records:
+        assert record.n_generated == lengths[record.seq_id]
+
+
+# ---- gathered cross-sequence execution ---------------------------------------
+
+
+def test_mode_validated(daop):
+    with pytest.raises(ValueError):
+        ContinuousBatchScheduler(daop, max_batch=2, mode="turbo")
+
+
+@pytest.mark.parametrize("engine_fixture", ["fiddler", "daop"])
+def test_gathered_matches_interleaved_tokens_and_beats_it_on_time(
+        engine_fixture, tiny_bundle, request):
+    engine = request.getfixturevalue(engine_fixture)
+    requests = _requests(tiny_bundle)
+    interleaved = ContinuousBatchScheduler(
+        engine, max_batch=4, mode=INTERLEAVED
+    ).run(requests)
+    gathered = ContinuousBatchScheduler(
+        engine, max_batch=4, mode=GATHERED
+    ).run(requests)
+    # Identical token streams: gathering only changes the schedule.
+    for a, b in zip(interleaved.records, gathered.records):
+        assert np.array_equal(a.result.tokens, b.result.tokens)
+        assert a.result.stats.counters == b.result.stats.counters
+    # Acceptance: gathered decode is strictly faster at batch 4 and
+    # physically launches fewer expert kernels than logical ops.
+    assert gathered.makespan_s < interleaved.makespan_s
+    assert (gathered.throughput_tokens_per_s
+            > interleaved.throughput_tokens_per_s)
+    assert gathered.n_expert_kernels < gathered.n_expert_ops
+    assert interleaved.n_expert_kernels == interleaved.n_expert_ops
+    assert gathered.gather.expert_amortization > 1.0
+    assert gathered.gather.max_group_size > 1
+
+
+def test_gathered_batch1_equals_interleaved_batch1(daop, tiny_bundle):
+    """With one resident sequence there is nothing to gather: the two
+    modes must produce identical schedules."""
+    requests = _requests(tiny_bundle, n=2)
+    interleaved = ContinuousBatchScheduler(
+        daop, max_batch=1, mode=INTERLEAVED
+    ).run(requests)
+    gathered = ContinuousBatchScheduler(
+        daop, max_batch=1, mode=GATHERED
+    ).run(requests)
+    assert interleaved.makespan_s == gathered.makespan_s
+    for a, b in zip(interleaved.records, gathered.records):
+        assert np.array_equal(a.result.tokens, b.result.tokens)
+        assert a.finish_s == b.finish_s
+
+
+def test_gathered_results_pass_invariant_audit(
+        fiddler, tiny_bundle, audit_result):
+    report = ContinuousBatchScheduler(
+        fiddler, max_batch=4, mode=GATHERED
+    ).run(_requests(tiny_bundle))
+    for record in report.records:
+        audit_result(fiddler, record.result)
+
+
+def test_batch_report_json_carries_mode_and_kernels(fiddler, tiny_bundle):
+    report = ContinuousBatchScheduler(
+        fiddler, max_batch=4, mode=GATHERED
+    ).run(_requests(tiny_bundle))
+    payload = json.loads(report.to_json())
+    assert payload["mode"] == GATHERED
+    assert payload["n_expert_kernels"] < payload["n_expert_ops"]
+    assert payload["expert_amortization"] > 1.0

@@ -20,7 +20,7 @@ from repro.core.engine import (
     SEQ_PREFILL,
     SequenceRequest,
 )
-from repro.sched import ContinuousBatchScheduler
+from repro.sched import GATHERED, ContinuousBatchScheduler
 
 PROMPT_LEN = 12
 MAX_NEW = 6
@@ -79,6 +79,29 @@ def test_scheduler_batch1_is_bitwise_identical_to_generate(
     assert result.stats.counters == reference.stats.counters
     assert result.stats.total_time_s == reference.stats.total_time_s
     assert result.timeline.makespan == reference.timeline.makespan
+
+
+def test_gathered_batch4_matches_solo_runs_token_for_token(
+        engine, tiny_bundle):
+    """Gathered cross-sequence execution may only change the schedule:
+    every sequence in a batch-4 gathered run must reproduce its own solo
+    ``generate()`` tokens and counters exactly."""
+    prompts = [_prompt(tiny_bundle, seed=s) for s in range(4)]
+    references = [engine.generate(p, MAX_NEW) for p in prompts]
+
+    scheduler = ContinuousBatchScheduler(engine, max_batch=4, mode=GATHERED)
+    report = scheduler.run([
+        SequenceRequest(prompt_tokens=p, max_new_tokens=MAX_NEW, seq_id=i)
+        for i, p in enumerate(prompts)
+    ])
+    assert report.n_sequences == 4
+    records = sorted(report.records, key=lambda r: r.seq_id)
+    for record, reference in zip(records, references):
+        result = record.result
+        assert np.array_equal(result.tokens, reference.tokens)
+        assert result.stats.counters == reference.stats.counters
+    # The batch actually gathered: fewer kernels than logical ops.
+    assert report.n_expert_kernels < report.n_expert_ops
 
 
 def test_step_raises_after_done_and_finish_requires_done(
