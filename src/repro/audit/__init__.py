@@ -8,7 +8,11 @@ divergence provenance), and the differential harness
 (:mod:`repro.audit.differential`) asserts that expert placement never
 changes *values* -- every non-predictive engine is token-identical to
 the all-on-GPU oracle, and DAOP diverges only through trace events
-marked ``predicted=True``.  See ``docs/auditing.md``.
+marked ``predicted=True``.  The resume-parity audit
+(:mod:`repro.audit.resume`) asserts the lifecycle invariant on top:
+checkpointing any run mid-decode and restoring it — through JSON bytes,
+into a fresh engine — is bitwise invisible.  See ``docs/auditing.md``
+and ``docs/lifecycle.md``.
 """
 
 from repro.audit.differential import (
@@ -41,6 +45,13 @@ from repro.audit.invariants import (
     check_upload_placement,
     expects_prefill_only_uploads,
 )
+from repro.audit.resume import (
+    DEFAULT_CUTS,
+    ResumeParityComparison,
+    ResumeParityReport,
+    run_resume_parity_audit,
+    timeline_signature,
+)
 
 __all__ = [
     "DEFAULT_SEEDS",
@@ -55,6 +66,11 @@ __all__ = [
     "compare_token_streams",
     "run_differential_audit",
     "run_step_parity_audit",
+    "DEFAULT_CUTS",
+    "ResumeParityComparison",
+    "ResumeParityReport",
+    "run_resume_parity_audit",
+    "timeline_signature",
     "EXPERT_OP_KINDS",
     "TIME_TOLERANCE_S",
     "AuditReport",

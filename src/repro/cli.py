@@ -8,10 +8,12 @@ Subcommands::
     repro observe  [--dataset ...]     similarity + prediction statistics
     repro serve    [--rate ...]        request-level serving simulation
     repro serve-cluster [--policy ...] multi-replica cluster simulation
+    repro watch    [--engine ...]      live event stream from a serving run
     repro scenarios {list,run,replay,compare}  scenario library driver
     repro bench-batch [--batch-sizes ...] continuous-batching benchmark
     repro trace    [--engine ...]      schedule analysis + Chrome trace
-    repro audit    [--engines ...]     differential + invariant audit
+    repro audit    [--engines ...]     differential + resume-parity audit
+    repro perf-delta BASELINE CANDIDATE  benchmark regression gate
     repro lint     [paths ...]         daoplint static invariant checker
 
 Every command accepts ``--model {mixtral,phi,tiny}``, ``--blocks N`` (to
@@ -240,7 +242,9 @@ def cmd_serve(args) -> int:
         generator = SequenceGenerator(
             get_dataset(args.dataset), bundle.vocab, seed=args.seed + 5
         )
-        simulator = ServingSimulator(engine, generator)
+        simulator = ServingSimulator(engine, generator,
+                                     concurrency=args.concurrency,
+                                     mode=args.mode)
         arrivals = poisson_arrivals(
             args.rate, args.requests,
             np.random.default_rng(args.seed + 6),
@@ -295,6 +299,8 @@ def cmd_serve_cluster(args) -> int:
                 ttft_deadline_s=args.ttft_deadline,
             ),
             slo=SLOTarget(ttft_s=args.slo_ttft, tpot_s=args.slo_tpot),
+            concurrency=args.concurrency,
+            mode=args.mode,
         )
         report = simulator.run(arrivals, args.input_len, args.output_len,
                                sample_indices=sample_indices)
@@ -322,6 +328,66 @@ def cmd_serve_cluster(args) -> int:
     return 0
 
 
+def cmd_watch(args) -> int:
+    """Stream live lifecycle events from a serving simulation."""
+    from repro.events import EVENT_KINDS, JsonlEventWriter, format_event
+
+    bundle = _build(args)
+    platform = default_platform()
+    calibration = _calibrate(bundle)
+    engine = build_engine(args.engine, bundle, platform,
+                          expert_cache_ratio=args.ecr,
+                          calibration_probs=calibration)
+    generator = SequenceGenerator(
+        get_dataset(args.dataset), bundle.vocab, seed=args.seed + 5
+    )
+    simulator = ServingSimulator(engine, generator,
+                                 concurrency=args.concurrency,
+                                 mode=args.mode)
+    counts: dict = {}
+
+    def on_event(event) -> None:
+        counts[event.kind] = counts.get(event.kind, 0) + 1
+        print(format_event(event))
+
+    kinds = tuple(args.kinds) if args.kinds else None
+    simulator.events.subscribe(on_event, kinds=kinds)
+    writer = None
+    if args.jsonl:
+        writer = JsonlEventWriter(args.jsonl)
+        simulator.events.subscribe(writer)
+    arrivals = poisson_arrivals(
+        args.rate, args.requests, np.random.default_rng(args.seed + 6)
+    )
+    report = simulator.run(arrivals, args.input_len, args.output_len)
+    if writer is not None:
+        writer.close()
+        print(f"{writer.n_written} event(s) written to {args.jsonl}")
+    breakdown = "  ".join(
+        f"{kind}={counts[kind]}" for kind in EVENT_KINDS if kind in counts
+    )
+    print(f"watched {report.n_requests} request(s) on {args.engine} "
+          f"({args.mode}, concurrency {args.concurrency}): "
+          f"{sum(counts.values())} event(s) [{breakdown}]")
+    return 0
+
+
+def cmd_perf_delta(args) -> int:
+    """Gate a candidate benchmark artifact against its baseline."""
+    from repro.perf import diff_benchmarks, load_benchmark
+
+    try:
+        baseline = load_benchmark(args.baseline)
+        candidate = load_benchmark(args.candidate)
+        report = diff_benchmarks(baseline, candidate,
+                                 threshold=args.threshold)
+    except (OSError, ValueError) as exc:
+        print(f"perf-delta error: {exc}")
+        return 2
+    print(report.format())
+    return 0 if report.ok else 1
+
+
 def _scenario_backend(args, bundle, platform, calibration):
     """Build the serving backend one scenario run drives."""
     if args.replicas > 1:
@@ -334,11 +400,13 @@ def _scenario_backend(args, bundle, platform, calibration):
         return ClusterSimulator(
             engines, None, build_policy(args.policy),
             concurrency=args.concurrency,
+            mode=args.mode,
         )
     engine = build_engine(args.engine, bundle, platform,
                           expert_cache_ratio=args.ecr,
                           calibration_probs=calibration)
-    return ServingSimulator(engine, concurrency=args.concurrency)
+    return ServingSimulator(engine, concurrency=args.concurrency,
+                            mode=args.mode)
 
 
 def _scenarios_compare(paths) -> int:
@@ -411,6 +479,16 @@ def cmd_scenarios(args) -> int:
                   f"{list(SCENARIO_NAMES)}")
             return 2
 
+    lifecycle = (args.resume_from is not None
+                 or args.pause_after is not None)
+    if args.pause_after is not None and not args.checkpoint_to:
+        print("--pause-after needs --checkpoint-to PATH to save into")
+        return 2
+    if lifecycle and len(names) != 1:
+        print("--resume-from/--pause-after operate on exactly one "
+              "scenario")
+        return 2
+
     bundle = _build(args)
     platform = default_platform()
     calibration = _calibrate(bundle)
@@ -425,10 +503,44 @@ def cmd_scenarios(args) -> int:
         requests = None
         if args.action == "replay":
             requests = load_request_specs(args.workload)
-        report = runner.run(
-            _scenario_backend(args, bundle, platform, calibration),
-            requests=requests,
-        )
+        backend = _scenario_backend(args, bundle, platform, calibration)
+        if not lifecycle:
+            report = runner.run(backend, requests=requests)
+        else:
+            from repro.serving import (
+                CheckpointError,
+                load_checkpoint,
+                save_checkpoint,
+            )
+
+            try:
+                if args.resume_from:
+                    session = runner.resume(
+                        backend, load_checkpoint(args.resume_from),
+                        requests=requests,
+                    )
+                    print(f"resumed {name} from {args.resume_from}")
+                else:
+                    session = runner.begin(backend, requests=requests)
+            except CheckpointError as exc:
+                print(f"cannot resume: {exc}")
+                return 1
+            alive = True
+            if args.pause_after is not None:
+                ticks = 0
+                while alive and ticks < args.pause_after:
+                    alive = runner.tick(backend, session)
+                    ticks += 1
+            while alive and args.pause_after is None:
+                alive = runner.tick(backend, session)
+            if alive:
+                save_checkpoint(args.checkpoint_to,
+                                backend.checkpoint(session.backend))
+                print(f"{name} paused after {args.pause_after} tick(s); "
+                      f"checkpoint written to {args.checkpoint_to} "
+                      f"(resume with --resume-from)")
+                return 0
+            report = runner.finish(backend, session)
         if args.record:
             specs = requests if requests is not None \
                 else runner.build_requests()
@@ -582,8 +694,12 @@ def cmd_trace(args) -> int:
 
 
 def cmd_audit(args) -> int:
-    """Differential + invariant + step-parity audit of every engine."""
-    from repro.audit import run_differential_audit, run_step_parity_audit
+    """Differential + step-parity + resume-parity audit of every engine."""
+    from repro.audit import (
+        run_differential_audit,
+        run_resume_parity_audit,
+        run_step_parity_audit,
+    )
     from repro.perf import TensorCache
 
     bundle = _build(args)
@@ -622,6 +738,16 @@ def cmd_audit(args) -> int:
         compute_cache=cache,
     )
     print(parity.format())
+    resume = run_resume_parity_audit(
+        bundle, platform,
+        engine_names=args.engines,
+        seeds=(args.seed,),
+        prompt_len=args.input_len,
+        max_new_tokens=args.output_len,
+        expert_cache_ratio=args.ecr,
+        calibration_probs=calibration,
+    )
+    print(resume.format())
     if cache is not None:
         stats = cache.stats()
         print(f"compute cache: {stats['hits']} hit(s) / "
@@ -629,13 +755,14 @@ def cmd_audit(args) -> int:
               f"{stats['current_bytes'] / 1e6:.1f} MB used, "
               f"{stats['evictions']} eviction(s); cache parity asserted "
               "bitwise per engine")
-    if not report.ok or not parity.ok:
-        for problem in report.problems + parity.problems:
+    if not report.ok or not parity.ok or not resume.ok:
+        for problem in report.problems + parity.problems + resume.problems:
             print(f"AUDIT FAILURE: {problem}")
         return 1
     print(f"audit ok: {len(report.comparisons)} comparison(s), "
           f"{len(report.oracle_audits)} oracle audit(s), "
-          f"{len(parity.comparisons)} step-parity comparison(s)")
+          f"{len(parity.comparisons)} step-parity comparison(s), "
+          f"{len(resume.comparisons)} resume-parity comparison(s)")
     return 0
 
 
@@ -774,7 +901,35 @@ def build_parser() -> argparse.ArgumentParser:
     p_serve.add_argument("--requests", type=int, default=4)
     p_serve.add_argument("--input-len", type=int, default=48)
     p_serve.add_argument("--output-len", type=int, default=48)
+    p_serve.add_argument("--concurrency", type=int, default=1,
+                         help="concurrent sequences per engine")
+    p_serve.add_argument("--mode", choices=("gathered", "interleaved"),
+                         default="gathered",
+                         help="scheduler execution mode")
     p_serve.set_defaults(func=cmd_serve)
+
+    p_watch = sub.add_parser(
+        "watch", help="live event stream from a serving simulation"
+    )
+    _add_common(p_watch)
+    p_watch.add_argument("--engine", default="daop", choices=ENGINE_NAMES)
+    p_watch.add_argument("--dataset", default="sharegpt")
+    p_watch.add_argument("--rate", type=float, default=0.05,
+                         help="mean request arrival rate per second")
+    p_watch.add_argument("--requests", type=int, default=3)
+    p_watch.add_argument("--input-len", type=int, default=24)
+    p_watch.add_argument("--output-len", type=int, default=12)
+    p_watch.add_argument("--concurrency", type=int, default=2,
+                         help="concurrent sequences per engine")
+    p_watch.add_argument("--mode", choices=("gathered", "interleaved"),
+                         default="gathered",
+                         help="scheduler execution mode")
+    p_watch.add_argument("--kinds", nargs="+", default=None,
+                         help="only stream these event kinds "
+                              "(default: all)")
+    p_watch.add_argument("--jsonl", default=None,
+                         help="also append every event to this JSONL log")
+    p_watch.set_defaults(func=cmd_watch)
 
     p_cluster = sub.add_parser(
         "serve-cluster", help="multi-replica cluster serving simulation"
@@ -808,6 +963,11 @@ def build_parser() -> argparse.ArgumentParser:
     p_cluster.add_argument("--json", default=None,
                            help="write the last policy's ClusterReport "
                                 "JSON here")
+    p_cluster.add_argument("--concurrency", type=int, default=1,
+                           help="concurrent sequences per replica")
+    p_cluster.add_argument("--mode", choices=("gathered", "interleaved"),
+                           default="gathered",
+                           help="per-replica scheduler execution mode")
     p_cluster.set_defaults(func=cmd_serve_cluster)
 
     p_scen = sub.add_parser(
@@ -844,6 +1004,18 @@ def build_parser() -> argparse.ArgumentParser:
     p_scen.add_argument("--workload", default=None,
                         help="recorded workload file to replay "
                              "(replay action)")
+    p_scen.add_argument("--mode", choices=("gathered", "interleaved"),
+                        default="gathered",
+                        help="backend scheduler execution mode")
+    p_scen.add_argument("--pause-after", type=int, default=None,
+                        metavar="TICKS",
+                        help="pause the (single) scenario after this many "
+                             "backend ticks and checkpoint it")
+    p_scen.add_argument("--checkpoint-to", default=None, metavar="PATH",
+                        help="where --pause-after writes the checkpoint")
+    p_scen.add_argument("--resume-from", default=None, metavar="PATH",
+                        help="resume the (single) scenario from a "
+                             "checkpoint file instead of starting fresh")
     p_scen.set_defaults(func=cmd_scenarios)
 
     p_batch = sub.add_parser(
@@ -918,6 +1090,19 @@ def build_parser() -> argparse.ArgumentParser:
     p_bcompute.add_argument("--json", default=None,
                             help="write BENCH_compute.json here")
     p_bcompute.set_defaults(func=cmd_bench_compute)
+
+    p_delta = sub.add_parser(
+        "perf-delta",
+        help="benchmark regression gate: diff two BENCH_*.json artifacts",
+    )
+    p_delta.add_argument("baseline",
+                         help="committed baseline benchmark JSON")
+    p_delta.add_argument("candidate",
+                         help="freshly produced benchmark JSON to gate")
+    p_delta.add_argument("--threshold", type=float, default=0.15,
+                         help="maximum tolerated relative regression "
+                              "(default 0.15 = 15%%)")
+    p_delta.set_defaults(func=cmd_perf_delta)
 
     p_lint = sub.add_parser(
         "lint", help="daoplint: AST-based invariant checker"

@@ -41,6 +41,7 @@ from repro.cluster.routing import (
     least_loaded,
 )
 from repro.cluster.simulator import (
+    ClusterSession,
     ClusterSimulator,
     prefill_fingerprint,
     warm_hit_rate,
@@ -69,6 +70,7 @@ __all__ = [
     "RoutingPolicy",
     "build_policy",
     "least_loaded",
+    "ClusterSession",
     "ClusterSimulator",
     "prefill_fingerprint",
     "warm_hit_rate",

@@ -18,6 +18,8 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.model.serialization import decode_array, encode_array
+
 ARRIVAL = "arrival"
 DISPATCH = "dispatch"
 COMPLETION = "completion"
@@ -45,6 +47,27 @@ class Event:
     kind: str
     request_id: int = -1
     replica: int = -1
+
+    def to_state_dict(self) -> dict:
+        """Serialize the event for a checkpoint."""
+        return {
+            "time": self.time,
+            "seq": self.seq,
+            "kind": self.kind,
+            "request_id": self.request_id,
+            "replica": self.replica,
+        }
+
+    @classmethod
+    def from_state_dict(cls, payload: dict) -> "Event":
+        """Rebuild an event captured by :meth:`to_state_dict`."""
+        return cls(
+            time=float(payload["time"]),
+            seq=int(payload["seq"]),
+            kind=payload["kind"],
+            request_id=int(payload["request_id"]),
+            replica=int(payload["replica"]),
+        )
 
 
 class EventQueue:
@@ -89,6 +112,30 @@ class EventQueue:
     def __bool__(self) -> bool:
         return bool(self._heap)
 
+    def to_state_dict(self) -> dict:
+        """Serialize the pending events and the clock for a checkpoint.
+
+        Pending events are written sorted by ``(time, seq)`` so the
+        serialized form is canonical regardless of internal heap layout.
+        """
+        ordered = sorted(self._heap, key=lambda entry: (entry[0], entry[1]))
+        return {
+            "now": self._now,
+            "seq": self._seq,
+            "events": [event.to_state_dict() for _, _, event in ordered],
+        }
+
+    @classmethod
+    def from_state_dict(cls, payload: dict) -> "EventQueue":
+        """Rebuild the queue captured by :meth:`to_state_dict`."""
+        queue = cls()
+        queue._now = float(payload["now"])
+        queue._seq = int(payload["seq"])
+        for entry in payload["events"]:
+            event = Event.from_state_dict(entry)
+            heapq.heappush(queue._heap, (event.time, event.seq, event))
+        return queue
+
 
 @dataclass(frozen=True)
 class RequestInfo:
@@ -112,6 +159,27 @@ class RequestInfo:
     arrival_s: float
     sample_idx: int
     fingerprint: np.ndarray = field(repr=False, default=None)
+
+    def to_state_dict(self) -> dict:
+        """Serialize the request metadata (fingerprint bitwise)."""
+        return {
+            "request_id": self.request_id,
+            "arrival_s": self.arrival_s,
+            "sample_idx": self.sample_idx,
+            "fingerprint": encode_array(
+                np.asarray(self.fingerprint, dtype=np.float64)
+            ),
+        }
+
+    @classmethod
+    def from_state_dict(cls, payload: dict) -> "RequestInfo":
+        """Rebuild the metadata captured by :meth:`to_state_dict`."""
+        return cls(
+            request_id=int(payload["request_id"]),
+            arrival_s=float(payload["arrival_s"]),
+            sample_idx=int(payload["sample_idx"]),
+            fingerprint=decode_array(payload["fingerprint"]),
+        )
 
 
 @dataclass
@@ -147,3 +215,27 @@ class ReplicaState:
         """Waiting plus in-service request count (the JSQ load signal)."""
         active = max(self.in_flight, 0 if self.in_service is None else 1)
         return len(self.queue) + active
+
+    def to_state_dict(self) -> dict:
+        """Serialize the replica's queueing state for a checkpoint."""
+        return {
+            "queue": [int(request_id) for request_id in self.queue],
+            "in_service": self.in_service,
+            "in_flight": self.in_flight,
+            "busy_until": self.busy_until,
+            "busy_time_s": self.busy_time_s,
+            "n_served": self.n_served,
+        }
+
+    @classmethod
+    def from_state_dict(cls, payload: dict) -> "ReplicaState":
+        """Rebuild the state captured by :meth:`to_state_dict`."""
+        in_service = payload["in_service"]
+        return cls(
+            queue=deque(int(r) for r in payload["queue"]),
+            in_service=None if in_service is None else int(in_service),
+            in_flight=int(payload["in_flight"]),
+            busy_until=float(payload["busy_until"]),
+            busy_time_s=float(payload["busy_time_s"]),
+            n_served=int(payload["n_served"]),
+        )

@@ -27,6 +27,7 @@ import json
 from dataclasses import dataclass, field
 
 from repro.cluster.admission import EXPIRED, SHED, SLOTarget
+from repro.core.batching import GatherStats
 from repro.serving.simulator import ServedRequest, percentile_or_zero
 
 
@@ -51,6 +52,41 @@ class ClusterRequest(ServedRequest):
     engine_hit_rate: float = 0.0
     prefill_swaps: int = 0
 
+    def to_state_dict(self) -> dict:
+        """Serialize the record for a checkpoint."""
+        return {
+            "request_id": self.request_id,
+            "arrival_s": self.arrival_s,
+            "start_s": self.start_s,
+            "first_token_s": self.first_token_s,
+            "finish_s": self.finish_s,
+            "n_prompt_tokens": self.n_prompt_tokens,
+            "n_generated": self.n_generated,
+            "energy_j": self.energy_j,
+            "replica": self.replica,
+            "warm_hit_rate": self.warm_hit_rate,
+            "engine_hit_rate": self.engine_hit_rate,
+            "prefill_swaps": self.prefill_swaps,
+        }
+
+    @classmethod
+    def from_state_dict(cls, payload: dict) -> "ClusterRequest":
+        """Rebuild the record captured by :meth:`to_state_dict`."""
+        return cls(
+            request_id=int(payload["request_id"]),
+            arrival_s=float(payload["arrival_s"]),
+            start_s=float(payload["start_s"]),
+            first_token_s=float(payload["first_token_s"]),
+            finish_s=float(payload["finish_s"]),
+            n_prompt_tokens=int(payload["n_prompt_tokens"]),
+            n_generated=int(payload["n_generated"]),
+            energy_j=float(payload["energy_j"]),
+            replica=int(payload["replica"]),
+            warm_hit_rate=float(payload["warm_hit_rate"]),
+            engine_hit_rate=float(payload["engine_hit_rate"]),
+            prefill_swaps=int(payload["prefill_swaps"]),
+        )
+
 
 @dataclass(frozen=True)
 class RejectedRequest:
@@ -69,6 +105,25 @@ class RejectedRequest:
     replica: int
     reason: str
 
+    def to_state_dict(self) -> dict:
+        """Serialize the rejection for a checkpoint."""
+        return {
+            "request_id": self.request_id,
+            "arrival_s": self.arrival_s,
+            "replica": self.replica,
+            "reason": self.reason,
+        }
+
+    @classmethod
+    def from_state_dict(cls, payload: dict) -> "RejectedRequest":
+        """Rebuild the rejection captured by :meth:`to_state_dict`."""
+        return cls(
+            request_id=int(payload["request_id"]),
+            arrival_s=float(payload["arrival_s"]),
+            replica=int(payload["replica"]),
+            reason=payload["reason"],
+        )
+
 
 @dataclass
 class ClusterReport:
@@ -81,6 +136,7 @@ class ClusterReport:
     requests: list[ClusterRequest] = field(default_factory=list)
     rejected: list[RejectedRequest] = field(default_factory=list)
     replica_busy_s: list[float] = field(default_factory=list)
+    replica_gather: list[GatherStats] = field(default_factory=list)
 
     # ---- counts ---------------------------------------------------------------
 
@@ -204,6 +260,17 @@ class ClusterReport:
             return 0.0
         return sum(rates) / len(rates)
 
+    def replica_gather_stats(self, replica: int) -> GatherStats:
+        """Cumulative kernel-amortization stats of one replica.
+
+        Populated by the cluster simulator when its scheduler runs in
+        gathered mode; replicas of an interleaved (or pre-gather) run
+        report the all-zero accumulator, whose amortization is 1.0.
+        """
+        if replica < len(self.replica_gather):
+            return self.replica_gather[replica]
+        return GatherStats()
+
     # ---- serialization --------------------------------------------------------
 
     def to_dict(self) -> dict:
@@ -238,6 +305,15 @@ class ClusterReport:
                     "warm_hit_rate": self.replica_warm_hit_rate(i),
                     "served": sum(1 for r in self.requests
                                   if r.replica == i),
+                    "expert_ops": self.replica_gather_stats(i).expert_ops,
+                    "expert_kernels":
+                        self.replica_gather_stats(i).expert_kernels,
+                    "expert_amortization":
+                        self.replica_gather_stats(i).expert_amortization,
+                    "gathered_rows":
+                        self.replica_gather_stats(i).gathered_rows,
+                    "max_group_size":
+                        self.replica_gather_stats(i).max_group_size,
                 }
                 for i, (busy, util) in enumerate(
                     zip(self.replica_busy_s, self.replica_utilization())
@@ -273,3 +349,35 @@ class ClusterReport:
     def to_json(self, indent: int = 2) -> str:
         """Deterministic JSON rendering (byte-identical across replays)."""
         return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+    def to_state_dict(self) -> dict:
+        """Serialize the (possibly partial) report for a checkpoint."""
+        return {
+            "engine": self.engine,
+            "policy": self.policy,
+            "n_replicas": self.n_replicas,
+            "slo": {"ttft_s": self.slo.ttft_s, "tpot_s": self.slo.tpot_s},
+            "requests": [r.to_state_dict() for r in self.requests],
+            "rejected": [r.to_state_dict() for r in self.rejected],
+            "replica_busy_s": list(self.replica_busy_s),
+            "replica_gather": [g.to_state_dict()
+                               for g in self.replica_gather],
+        }
+
+    @classmethod
+    def from_state_dict(cls, payload: dict) -> "ClusterReport":
+        """Rebuild the report captured by :meth:`to_state_dict`."""
+        return cls(
+            engine=payload["engine"],
+            policy=payload["policy"],
+            n_replicas=int(payload["n_replicas"]),
+            slo=SLOTarget(ttft_s=float(payload["slo"]["ttft_s"]),
+                          tpot_s=float(payload["slo"]["tpot_s"])),
+            requests=[ClusterRequest.from_state_dict(r)
+                      for r in payload["requests"]],
+            rejected=[RejectedRequest.from_state_dict(r)
+                      for r in payload["rejected"]],
+            replica_busy_s=[float(b) for b in payload["replica_busy_s"]],
+            replica_gather=[GatherStats.from_state_dict(g)
+                            for g in payload["replica_gather"]],
+        )

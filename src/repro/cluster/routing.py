@@ -23,6 +23,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.cluster.events import ReplicaState, RequestInfo
+from repro.model.serialization import decode_array, encode_array
 from repro.trace.similarity import cosine_similarity
 
 
@@ -45,6 +46,13 @@ class RoutingPolicy:
     def observe(self, replica_idx: int, request: RequestInfo) -> None:
         """Record that ``request`` was admitted to ``replica_idx``."""
 
+    def state_dict(self) -> dict:
+        """Serializable per-run state beyond what ``reset`` rebuilds."""
+        return {}
+
+    def load_state_dict(self, payload: dict) -> None:
+        """Restore state captured by :meth:`state_dict`, after ``reset``."""
+
 
 class RoundRobinPolicy(RoutingPolicy):
     """Cycle through replicas regardless of load or content."""
@@ -62,6 +70,14 @@ class RoundRobinPolicy(RoutingPolicy):
         chosen = self._next
         self._next = (self._next + 1) % self.n_replicas
         return chosen
+
+    def state_dict(self) -> dict:
+        """Serialize the rotation counter."""
+        return {"next": self._next}
+
+    def load_state_dict(self, payload: dict) -> None:
+        """Restore the rotation counter."""
+        self._next = int(payload["next"])
 
 
 def least_loaded(replicas: list[ReplicaState]) -> int:
@@ -148,6 +164,24 @@ class CacheAffinityPolicy(RoutingPolicy):
                 self._centroids[replica_idx] * count + fingerprint
             ) / (count + 1)
         self._counts[replica_idx] = count + 1
+
+    def state_dict(self) -> dict:
+        """Serialize centroids (bitwise) and admission counts."""
+        return {
+            "centroids": [
+                None if centroid is None else encode_array(centroid)
+                for centroid in self._centroids
+            ],
+            "counts": list(self._counts),
+        }
+
+    def load_state_dict(self, payload: dict) -> None:
+        """Restore centroids and admission counts, after ``reset``."""
+        self._centroids = [
+            None if centroid is None else decode_array(centroid)
+            for centroid in payload["centroids"]
+        ]
+        self._counts = [int(count) for count in payload["counts"]]
 
 
 POLICIES = {

@@ -31,6 +31,8 @@ exact), treated as control-plane work that charges no simulated time.
 
 from __future__ import annotations
 
+from dataclasses import dataclass
+
 import numpy as np
 
 from repro.cluster.admission import AdmissionController, EXPIRED, SHED, SLOTarget
@@ -48,9 +50,30 @@ from repro.cluster.report import (
     RejectedRequest,
 )
 from repro.cluster.routing import RoutingPolicy
+from repro.core.batching import GatherStats
 from repro.core.engine import BaseEngine, SequenceRequest
+from repro.events import (
+    CHECKPOINT_RESTORE,
+    CHECKPOINT_SAVE,
+    CLUSTER_ARRIVAL,
+    CLUSTER_COMPLETION,
+    CLUSTER_DISPATCH,
+    CLUSTER_REJECT,
+    EventBus,
+)
 from repro.memory.placement import ExpertPlacement
-from repro.sched.scheduler import ContinuousBatchScheduler
+from repro.model.serialization import (
+    decode_array,
+    decode_optional_array,
+    encode_array,
+    encode_optional_array,
+)
+from repro.sched.scheduler import GATHERED, INTERLEAVED, ContinuousBatchScheduler
+from repro.serving.checkpoint import (
+    CLUSTER_KIND,
+    CheckpointError,
+    SimCheckpoint,
+)
 from repro.workloads.generator import SequenceGenerator
 from repro.workloads.requests import RequestSpec
 
@@ -90,6 +113,41 @@ def warm_hit_rate(placement: ExpertPlacement,
     return float(resident.sum() / total)
 
 
+@dataclass
+class ClusterSession:
+    """Resumable state of one cluster simulation, between events.
+
+    Every field is either plain data or rebuildable from plain data, so
+    a session checkpoints cleanly at any event boundary: the cluster's
+    dispatches are atomic (a gang's whole service is computed when it
+    starts), so no partial engine state ever needs to be captured.
+
+    Attributes:
+        requests: ``request_id -> RequestInfo`` for every offered
+            request (insertion in arrival order, ties by request id).
+        payloads: payload key -> ``(prompt_tokens, forced_tokens,
+            output_len)`` served when a request dispatches.
+        heap: the pending-event queue (the simulation clock).
+        replicas: per-replica queueing state.
+        warm: per-replica expert placements carried across gangs.
+        report: the report under construction.
+        gather: per-replica cumulative kernel-amortization stats.
+    """
+
+    requests: dict
+    payloads: dict
+    heap: EventQueue
+    replicas: list
+    warm: list
+    report: ClusterReport
+    gather: list
+
+    @property
+    def drained(self) -> bool:
+        """Whether the event loop has run to completion."""
+        return not self.heap
+
+
 class ClusterSimulator:
     """Serve one arrival trace across N engine replicas.
 
@@ -114,6 +172,11 @@ class ClusterSimulator:
             the next gang only once the whole gang has completed.  The
             default of 1 is the sequential one-request-at-a-time service
             of the paper's regime.
+        mode: scheduler execution mode within each gang —
+            :data:`~repro.sched.scheduler.GATHERED` (default) merges
+            same-expert decode work across gang members into shared
+            kernels; :data:`~repro.sched.scheduler.INTERLEAVED`
+            round-robins independent steps.
     """
 
     def __init__(
@@ -125,11 +188,17 @@ class ClusterSimulator:
         slo: SLOTarget | None = None,
         carry_placement: bool = True,
         concurrency: int = 1,
+        mode: str = GATHERED,
     ) -> None:
         if not engines:
             raise ValueError("at least one engine replica is required")
         if concurrency < 1:
             raise ValueError("concurrency must be positive")
+        if mode not in (GATHERED, INTERLEAVED):
+            raise ValueError(
+                f"mode must be {GATHERED!r} or {INTERLEAVED!r}, "
+                f"got {mode!r}"
+            )
         self.engines = list(engines)
         self.generator = generator
         self.policy = policy
@@ -137,6 +206,8 @@ class ClusterSimulator:
         self.slo = slo or SLOTarget()
         self.carry_placement = carry_placement
         self.concurrency = concurrency
+        self.mode = mode
+        self.events = EventBus()
         # Snapshot so repeated run() calls replay from identical state.
         self._base_placements = [
             engine.initial_placement.copy() for engine in self.engines
@@ -198,10 +269,18 @@ class ClusterSimulator:
                   output_len)
             for idx, sequence in sequences.items()
         }
-        return self._simulate(requests, payloads)
+        return self._drain(self._begin(requests, payloads))
 
     def run_requests(self, specs: list[RequestSpec]) -> ClusterReport:
         """Simulate the fleet over fully-materialized requests.
+
+        Equivalent to :meth:`begin_session` followed by :meth:`tick`
+        until drained and :meth:`finish_session`.
+        """
+        return self._drain(self.begin_session(specs))
+
+    def begin_session(self, specs: list[RequestSpec]) -> ClusterSession:
+        """Open a resumable session over fully-materialized requests.
 
         Each :class:`~repro.workloads.requests.RequestSpec` carries its
         own arrival time, tokens, and decode length, so heterogeneous
@@ -243,10 +322,10 @@ class ClusterSimulator:
                 sample_idx=key,
                 fingerprint=fingerprints[key],
             )
-        return self._simulate(requests, payloads)
+        return self._begin(requests, payloads)
 
-    def _simulate(self, requests: dict, payloads: dict) -> ClusterReport:
-        """Run the discrete-event loop over prepared requests.
+    def _begin(self, requests: dict, payloads: dict) -> ClusterSession:
+        """Build a fresh session over prepared requests.
 
         Args:
             requests: ``request_id -> RequestInfo``, inserted in arrival
@@ -271,49 +350,235 @@ class ClusterSimulator:
         for request in requests.values():
             heap.push(request.arrival_s, ARRIVAL,
                       request_id=request.request_id)
+        return ClusterSession(
+            requests=requests,
+            payloads=payloads,
+            heap=heap,
+            replicas=replicas,
+            warm=warm,
+            report=report,
+            gather=[GatherStats() for _ in self.engines],
+        )
 
-        while heap:
-            event = heap.pop()
-            if event.kind == ARRIVAL:
-                self._on_arrival(heap, requests[event.request_id],
-                                 replicas, report)
-            elif event.kind == DISPATCH:
-                self._on_dispatch(heap, event.replica, requests, replicas,
-                                  warm, payloads, report)
-            elif event.kind == COMPLETION:
-                self._on_completion(heap, event.replica, replicas)
+    def tick(self, session: ClusterSession) -> bool:
+        """Fire the next pending event; False once the loop is drained.
 
-        report.replica_busy_s = [r.busy_time_s for r in replicas]
-        return report
+        Each tick handles exactly one event, so the session sits at an
+        event boundary — the granularity :meth:`checkpoint` captures —
+        after every call.
+        """
+        if not session.heap:
+            return False
+        event = session.heap.pop()
+        if event.kind == ARRIVAL:
+            self._on_arrival(session, session.requests[event.request_id])
+        elif event.kind == DISPATCH:
+            self._on_dispatch(session, event.replica)
+        elif event.kind == COMPLETION:
+            self._on_completion(session, event.request_id, event.replica)
+        return True
+
+    def finish_session(self, session: ClusterSession) -> ClusterReport:
+        """Seal a drained session and return its report."""
+        if not session.drained:
+            raise RuntimeError(
+                "cluster session still has pending events; tick() it "
+                "to completion first"
+            )
+        session.report.replica_busy_s = [
+            replica.busy_time_s for replica in session.replicas
+        ]
+        session.report.replica_gather = list(session.gather)
+        return session.report
+
+    def _drain(self, session: ClusterSession) -> ClusterReport:
+        """Tick a session to completion and seal it."""
+        while self.tick(session):
+            pass
+        return self.finish_session(session)
+
+    # ---- checkpoint / restore --------------------------------------------------
+
+    def checkpoint(self, session: ClusterSession) -> SimCheckpoint:
+        """Freeze a session at its current event boundary.
+
+        Dispatches are atomic, so a between-events snapshot needs no
+        partial engine state: the heap, replica queues, warm placements,
+        routing-policy state, and the report-so-far fully determine the
+        remainder of the simulation.
+        """
+        payload = {
+            "n_replicas": len(self.engines),
+            "concurrency": self.concurrency,
+            "mode": self.mode,
+            "carry_placement": self.carry_placement,
+            "policy": {
+                "name": self.policy.name,
+                "state": self.policy.state_dict(),
+            },
+            "admission": {
+                "max_queue_len": self.admission.max_queue_len,
+                "ttft_deadline_s": self.admission.ttft_deadline_s,
+            },
+            "heap": session.heap.to_state_dict(),
+            "replicas": [replica.to_state_dict()
+                         for replica in session.replicas],
+            "warm": [placement.to_state_dict()
+                     for placement in session.warm],
+            "report": session.report.to_state_dict(),
+            "gather": [stats.to_state_dict() for stats in session.gather],
+            "requests": [info.to_state_dict()
+                         for info in session.requests.values()],
+            "payloads": [
+                {
+                    "key": key,
+                    "prompt": encode_array(
+                        np.asarray(prompt, dtype=np.int64)
+                    ),
+                    "forced": encode_optional_array(forced),
+                    "output_len": int(output_len),
+                }
+                for key, (prompt, forced, output_len)
+                in session.payloads.items()
+            ],
+        }
+        checkpoint = SimCheckpoint(
+            kind=CLUSTER_KIND,
+            engine=session.report.engine,
+            payload=payload,
+        )
+        if self.events.active:
+            self.events.emit(
+                CHECKPOINT_SAVE, session.heap.now, sim_kind=CLUSTER_KIND,
+                engine=session.report.engine,
+                n_pending=len(session.heap),
+                n_completed=len(session.report.requests),
+            )
+        return checkpoint
+
+    def restore(self, checkpoint: SimCheckpoint) -> ClusterSession:
+        """Rebuild a session frozen by :meth:`checkpoint`.
+
+        Raises:
+            CheckpointError: if the checkpoint belongs to another
+                simulator kind or was written under a different fleet
+                configuration than this simulator's.
+        """
+        if checkpoint.kind != CLUSTER_KIND:
+            raise CheckpointError(
+                f"cannot restore a {checkpoint.kind!r} checkpoint into "
+                f"a cluster simulator"
+            )
+        payload = checkpoint.payload
+        expected = {
+            "n_replicas": len(self.engines),
+            "concurrency": self.concurrency,
+            "mode": self.mode,
+            "carry_placement": self.carry_placement,
+            "policy": self.policy.name,
+            "engine": ",".join(sorted({e.name for e in self.engines})),
+            "max_queue_len": self.admission.max_queue_len,
+            "ttft_deadline_s": self.admission.ttft_deadline_s,
+        }
+        recorded = {
+            "n_replicas": payload["n_replicas"],
+            "concurrency": payload["concurrency"],
+            "mode": payload["mode"],
+            "carry_placement": payload["carry_placement"],
+            "policy": payload["policy"]["name"],
+            "engine": checkpoint.engine,
+            "max_queue_len": payload["admission"]["max_queue_len"],
+            "ttft_deadline_s": payload["admission"]["ttft_deadline_s"],
+        }
+        for key, want in expected.items():
+            if recorded[key] != want:
+                raise CheckpointError(
+                    f"checkpoint {key} mismatch: it records "
+                    f"{recorded[key]!r} but this simulator is "
+                    f"configured with {want!r}"
+                )
+
+        warm = [ExpertPlacement.from_state_dict(entry)
+                for entry in payload["warm"]]
+        for engine, placement in zip(self.engines, warm):
+            engine.initial_placement = placement
+        self.policy.reset(len(self.engines))
+        self.policy.load_state_dict(payload["policy"]["state"])
+        session = ClusterSession(
+            requests={
+                int(entry["request_id"]): RequestInfo.from_state_dict(entry)
+                for entry in payload["requests"]
+            },
+            payloads={
+                int(entry["key"]): (
+                    decode_array(entry["prompt"]),
+                    decode_optional_array(entry["forced"]),
+                    int(entry["output_len"]),
+                )
+                for entry in payload["payloads"]
+            },
+            heap=EventQueue.from_state_dict(payload["heap"]),
+            replicas=[ReplicaState.from_state_dict(entry)
+                      for entry in payload["replicas"]],
+            warm=warm,
+            report=ClusterReport.from_state_dict(payload["report"]),
+            gather=[GatherStats.from_state_dict(entry)
+                    for entry in payload["gather"]],
+        )
+        if self.events.active:
+            self.events.emit(
+                CHECKPOINT_RESTORE, session.heap.now, sim_kind=CLUSTER_KIND,
+                engine=checkpoint.engine, n_pending=len(session.heap),
+                n_completed=len(session.report.requests),
+            )
+        return session
 
     # ---- event handlers --------------------------------------------------------
 
-    def _on_arrival(self, heap: EventQueue, request: RequestInfo,
-                    replicas: list[ReplicaState],
-                    report: ClusterReport) -> None:
-        """Route one arrival; admit it to a queue or shed it."""
-        replica_idx = self.policy.select(request, replicas)
-        replica = replicas[replica_idx]
-        if not self.admission.admit(len(replica.queue)):
-            report.rejected.append(
-                RejectedRequest(
-                    request_id=request.request_id,
-                    arrival_s=request.arrival_s,
-                    replica=replica_idx,
-                    reason=SHED,
-                )
+    def _forward_event(self, event) -> None:
+        """Re-emit an engine/scheduler event on the simulator's bus."""
+        self.events.emit(event.kind, event.time_s, **event.payload)
+
+    def _reject(self, session: ClusterSession, request: RequestInfo,
+                replica_idx: int, reason: str) -> None:
+        """Record one admission rejection (shed or expired)."""
+        session.report.rejected.append(
+            RejectedRequest(
+                request_id=request.request_id,
+                arrival_s=request.arrival_s,
+                replica=replica_idx,
+                reason=reason,
             )
+        )
+        if self.events.active:
+            self.events.emit(
+                CLUSTER_REJECT, session.heap.now,
+                request_id=request.request_id, replica=replica_idx,
+                reason=reason,
+            )
+
+    def _on_arrival(self, session: ClusterSession,
+                    request: RequestInfo) -> None:
+        """Route one arrival; admit it to a queue or shed it."""
+        heap = session.heap
+        replica_idx = self.policy.select(request, session.replicas)
+        replica = session.replicas[replica_idx]
+        if not self.admission.admit(len(replica.queue)):
+            self._reject(session, request, replica_idx, SHED)
             return
         replica.queue.append(request.request_id)
         self.policy.observe(replica_idx, request)
+        if self.events.active:
+            self.events.emit(
+                CLUSTER_ARRIVAL, heap.now,
+                request_id=request.request_id, replica=replica_idx,
+                n_queued=len(replica.queue),
+            )
         if replica.idle:
             heap.push(heap.now, DISPATCH, replica=replica_idx)
 
-    def _on_dispatch(self, heap: EventQueue, replica_idx: int,
-                     requests: dict[int, RequestInfo],
-                     replicas: list[ReplicaState], warm: list,
-                     payloads: dict,
-                     report: ClusterReport) -> None:
+    def _on_dispatch(self, session: ClusterSession,
+                     replica_idx: int) -> None:
         """Start service on an idle replica, expiring dead requests.
 
         The replica pulls a *gang* of up to ``self.concurrency`` queued
@@ -324,39 +589,27 @@ class ClusterSimulator:
         by the *previous* gang; the placement carried forward is the one
         left by the gang's last-finishing member.
         """
-        replica = replicas[replica_idx]
+        heap = session.heap
+        replica = session.replicas[replica_idx]
         if not replica.idle or not replica.queue:
             return  # stale dispatch event
         now = heap.now
-        request = requests[replica.queue.popleft()]
+        request = session.requests[replica.queue.popleft()]
         if self.admission.expired(request.arrival_s, now):
-            report.rejected.append(
-                RejectedRequest(
-                    request_id=request.request_id,
-                    arrival_s=request.arrival_s,
-                    replica=replica_idx,
-                    reason=EXPIRED,
-                )
-            )
+            self._reject(session, request, replica_idx, EXPIRED)
             if replica.queue:
                 heap.push(now, DISPATCH, replica=replica_idx)
             return
         gang = [request]
         while len(gang) < self.concurrency and replica.queue:
-            extra = requests[replica.queue.popleft()]
+            extra = session.requests[replica.queue.popleft()]
             if self.admission.expired(extra.arrival_s, now):
-                report.rejected.append(
-                    RejectedRequest(
-                        request_id=extra.request_id,
-                        arrival_s=extra.arrival_s,
-                        replica=replica_idx,
-                        reason=EXPIRED,
-                    )
-                )
+                self._reject(session, extra, replica_idx, EXPIRED)
                 continue
             gang.append(extra)
 
         engine = self.engines[replica_idx]
+        warm = session.warm
         hit_rates = {
             member.request_id: warm_hit_rate(warm[replica_idx],
                                              member.fingerprint)
@@ -367,7 +620,7 @@ class ClusterSimulator:
         seq_requests = []
         for member in gang:
             prompt_tokens, forced_tokens, member_output_len = \
-                payloads[member.sample_idx]
+                session.payloads[member.sample_idx]
             seq_requests.append(
                 SequenceRequest(
                     prompt_tokens=prompt_tokens,
@@ -377,9 +630,21 @@ class ClusterSimulator:
                 )
             )
         scheduler = ContinuousBatchScheduler(
-            engine, max_batch=self.concurrency
+            engine, max_batch=self.concurrency, mode=self.mode
         )
+        if self.events.active:
+            self.events.emit(
+                CLUSTER_DISPATCH, now, replica=replica_idx,
+                gang=[member.request_id for member in gang],
+            )
+            scheduler.events.subscribe(self._forward_event)
+            # Re-subscribing after an unsubscribe keeps the forwarder
+            # single even when one engine serves many gangs.
+            engine.events.unsubscribe(self._forward_event)
+            engine.events.subscribe(self._forward_event)
         batch = scheduler.run(seq_requests)
+        if batch.gather is not None:
+            session.gather[replica_idx].merge(batch.gather)
         if self.carry_placement:
             last = max(batch.records,
                        key=lambda rec: (rec.finish_s, rec.seq_id))
@@ -395,7 +660,7 @@ class ClusterSimulator:
         for member in gang:
             rec = by_id[member.request_id]
             stats = rec.result.stats
-            report.requests.append(
+            session.report.requests.append(
                 ClusterRequest(
                     request_id=member.request_id,
                     arrival_s=member.arrival_s,
@@ -414,12 +679,18 @@ class ClusterSimulator:
             heap.push(now + rec.finish_s, COMPLETION,
                       request_id=member.request_id, replica=replica_idx)
 
-    def _on_completion(self, heap: EventQueue, replica_idx: int,
-                       replicas: list[ReplicaState]) -> None:
+    def _on_completion(self, session: ClusterSession, request_id: int,
+                       replica_idx: int) -> None:
         """Retire one gang member; free the replica once all are done."""
-        replica = replicas[replica_idx]
+        heap = session.heap
+        replica = session.replicas[replica_idx]
         if replica.in_flight > 0:
             replica.in_flight -= 1
+        if self.events.active:
+            self.events.emit(
+                CLUSTER_COMPLETION, heap.now, request_id=request_id,
+                replica=replica_idx, in_flight=replica.in_flight,
+            )
         if replica.in_flight:
             return
         replica.in_service = None

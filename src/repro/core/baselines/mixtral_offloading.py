@@ -67,6 +67,17 @@ class MixtralOffloadingEngine(BaseEngine):
             lru.append(cache)
         ctx.policy = lru
 
+    def _policy_state_dict(self, state):
+        return {
+            "lru": [cache.to_state_dict() for cache in state.policy],
+        }
+
+    def _restore_policy(self, state, payload):
+        state.policy = [
+            LRUExpertCache.from_state_dict(cache)
+            for cache in payload["lru"]
+        ]
+
     def _ensure_resident(self, ctx: _SequenceContext, block_idx: int,
                          activated: np.ndarray,
                          deps: list[Op]) -> BlockPlan:

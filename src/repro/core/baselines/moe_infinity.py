@@ -26,6 +26,7 @@ from repro.hardware.platform import Platform
 from repro.hardware.timeline import Op
 from repro.memory.cache import CacheConfig
 from repro.memory.lru import LRUExpertCache
+from repro.model.serialization import decode_array, encode_array
 from repro.model.zoo import ModelBundle
 
 
@@ -80,6 +81,30 @@ class MoEInfinityEngine(BaseEngine):
                 (self.model.n_blocks, self.model.n_experts),
                 dtype=np.float64,
             ),
+        )
+
+    def _policy_state_dict(self, state):
+        policy = state.policy
+        return {
+            "lru": [cache.to_state_dict() for cache in policy.lru],
+            "scores": encode_array(policy.scores),
+            "pending": [
+                [block, expert, op.index]
+                for (block, expert), op in policy.pending.items()
+            ],
+        }
+
+    def _restore_policy(self, state, payload):
+        state.policy = _InfinitySequencePolicy(
+            lru=[
+                LRUExpertCache.from_state_dict(cache)
+                for cache in payload["lru"]
+            ],
+            scores=decode_array(payload["scores"]),
+            pending={
+                (int(block), int(expert)): state.timeline.ops[int(idx)]
+                for block, expert, idx in payload["pending"]
+            },
         )
 
     def _observe(self, ctx: _SequenceContext, block_idx: int,

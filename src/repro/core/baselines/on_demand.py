@@ -64,6 +64,17 @@ class MoEOnDemandEngine(BaseEngine):
             caches.append(cache)
         ctx.policy = caches
 
+    def _policy_state_dict(self, state):
+        return {
+            "caches": [cache.to_state_dict() for cache in state.policy],
+        }
+
+    def _restore_policy(self, state, payload):
+        state.policy = [
+            EvictionPolicyCache.from_state_dict(cache)
+            for cache in payload["caches"]
+        ]
+
     def _ensure_resident(self, ctx: _SequenceContext, block_idx: int,
                          activated: np.ndarray,
                          deps: list[Op]) -> BlockPlan:

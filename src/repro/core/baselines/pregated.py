@@ -72,6 +72,28 @@ class PreGatedMoEEngine(BaseEngine):
             lru.append(cache)
         ctx.policy = _PreGatedSequencePolicy(lru=lru)
 
+    def _policy_state_dict(self, state):
+        policy = state.policy
+        return {
+            "lru": [cache.to_state_dict() for cache in policy.lru],
+            "pending": [
+                [block, expert, op.index]
+                for (block, expert), op in policy.pending.items()
+            ],
+        }
+
+    def _restore_policy(self, state, payload):
+        state.policy = _PreGatedSequencePolicy(
+            lru=[
+                LRUExpertCache.from_state_dict(cache)
+                for cache in payload["lru"]
+            ],
+            pending={
+                (int(block), int(expert)): state.timeline.ops[int(idx)]
+                for block, expert, idx in payload["pending"]
+            },
+        )
+
     def _upload_with_lru(self, ctx: _SequenceContext, block_idx: int,
                          expert: int, deps: list[Op]) -> Op | None:
         """Upload ``expert`` evicting via LRU; None if already resident."""

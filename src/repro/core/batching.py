@@ -107,6 +107,32 @@ class GatherStats:
             return 1.0
         return self.expert_ops / self.expert_kernels
 
+    def merge(self, other: "GatherStats") -> None:
+        """Fold another accumulator into this one (cross-batch totals)."""
+        self.expert_ops += other.expert_ops
+        self.expert_kernels += other.expert_kernels
+        self.gathered_rows += other.gathered_rows
+        self.lm_head_ops += other.lm_head_ops
+        self.lm_head_kernels += other.lm_head_kernels
+        self.max_group_size = max(self.max_group_size,
+                                  other.max_group_size)
+
+    def to_state_dict(self) -> dict:
+        """Serialize the accumulator for a checkpoint."""
+        return {
+            "expert_ops": self.expert_ops,
+            "expert_kernels": self.expert_kernels,
+            "gathered_rows": self.gathered_rows,
+            "lm_head_ops": self.lm_head_ops,
+            "lm_head_kernels": self.lm_head_kernels,
+            "max_group_size": self.max_group_size,
+        }
+
+    @classmethod
+    def from_state_dict(cls, payload: dict) -> "GatherStats":
+        """Rebuild an accumulator captured by :meth:`to_state_dict`."""
+        return cls(**{key: int(value) for key, value in payload.items()})
+
 
 def group_block_work(works: list) -> dict:
     """Group calls across sequences by ``(block, expert, location)``.

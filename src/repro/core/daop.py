@@ -41,6 +41,7 @@ from repro.hardware.platform import Platform
 from repro.hardware.timeline import GPU, Op
 from repro.memory.cache import CacheConfig
 from repro.model.gating import Router
+from repro.model.serialization import decode_array, encode_array
 from repro.model.zoo import ModelBundle
 from repro.trace.recorder import DECODE
 
@@ -134,6 +135,30 @@ class DAOPEngine(BaseEngine):
         # state so interleaved sequences never share migration state.
         ctx.policy = _DAOPSequencePolicy(
             window=deque(maxlen=self.decode_realloc_window)
+        )
+
+    def _policy_state_dict(self, state):
+        policy = state.policy
+        return {
+            "window": [encode_array(counts) for counts in policy.window],
+            "steps": policy.steps,
+            "pending_uploads": [
+                [block, expert, op.index]
+                for (block, expert), op in policy.pending_uploads.items()
+            ],
+        }
+
+    def _restore_policy(self, state, payload):
+        state.policy = _DAOPSequencePolicy(
+            window=deque(
+                (decode_array(counts) for counts in payload["window"]),
+                maxlen=self.decode_realloc_window,
+            ),
+            steps=int(payload["steps"]),
+            pending_uploads={
+                (int(block), int(expert)): state.timeline.ops[int(idx)]
+                for block, expert, idx in payload["pending_uploads"]
+            },
         )
 
     @property

@@ -24,6 +24,12 @@ from repro.core.batching import (
     ExpertCall,
     group_block_work,
 )
+from repro.events import (
+    ENGINE_STEP,
+    SEQUENCE_FINISH,
+    SEQUENCE_START,
+    EventBus,
+)
 from repro.hardware.cost_model import CostModel
 from repro.hardware.device import DeviceKind
 from repro.hardware.energy import EnergyBreakdown, EnergyModel
@@ -33,8 +39,20 @@ from repro.memory.cache import CacheConfig, build_calibrated_placement
 from repro.memory.placement import ExpertPlacement
 from repro.model.attention import KVCache
 from repro.model.sampling import greedy
+from repro.model.serialization import (
+    canonical_digest,
+    decode_array,
+    decode_optional_array,
+    encode_array,
+    encode_optional_array,
+)
 from repro.model.zoo import ModelBundle
 from repro.trace.recorder import DECODE, PREFILL, ActivationTrace
+
+#: Version of the sequence-checkpoint payload layout.  Bumped whenever
+#: the state-dict schema changes shape; restore rejects other versions
+#: instead of misreading them.
+SEQUENCE_CHECKPOINT_VERSION = 1
 
 
 @dataclass
@@ -58,6 +76,26 @@ class EngineCounters:
         if self.activated_total == 0:
             return 0.0
         return self.activated_gpu_resident / self.activated_total
+
+    def to_state_dict(self) -> dict:
+        """Serialize the counters for a checkpoint."""
+        return {
+            "gpu_expert_execs": self.gpu_expert_execs,
+            "cpu_expert_execs": self.cpu_expert_execs,
+            "expert_uploads": self.expert_uploads,
+            "expert_downloads": self.expert_downloads,
+            "stale_input_execs": self.stale_input_execs,
+            "degraded_swaps": self.degraded_swaps,
+            "activated_gpu_resident": self.activated_gpu_resident,
+            "activated_total": self.activated_total,
+            "prefill_swaps": self.prefill_swaps,
+            "decode_swaps": self.decode_swaps,
+        }
+
+    @classmethod
+    def from_state_dict(cls, payload: dict) -> "EngineCounters":
+        """Rebuild counters captured by :meth:`to_state_dict`."""
+        return cls(**{key: int(value) for key, value in payload.items()})
 
 
 @dataclass
@@ -111,6 +149,29 @@ class GenerationStats:
             return 0.0
         return self.energy.total_j / self.total_time_s
 
+    def to_state_dict(self) -> dict:
+        """Serialize the stats for a checkpoint."""
+        return {
+            "n_prompt_tokens": self.n_prompt_tokens,
+            "n_generated": self.n_generated,
+            "prefill_time_s": self.prefill_time_s,
+            "total_time_s": self.total_time_s,
+            "energy": self.energy.to_state_dict(),
+            "counters": self.counters.to_state_dict(),
+        }
+
+    @classmethod
+    def from_state_dict(cls, payload: dict) -> "GenerationStats":
+        """Rebuild stats captured by :meth:`to_state_dict`."""
+        return cls(
+            n_prompt_tokens=int(payload["n_prompt_tokens"]),
+            n_generated=int(payload["n_generated"]),
+            prefill_time_s=payload["prefill_time_s"],
+            total_time_s=payload["total_time_s"],
+            energy=EnergyBreakdown.from_state_dict(payload["energy"]),
+            counters=EngineCounters.from_state_dict(payload["counters"]),
+        )
+
 
 @dataclass
 class GenerationResult:
@@ -121,6 +182,32 @@ class GenerationResult:
     timeline: Timeline
     stats: GenerationStats
     placement: ExpertPlacement
+
+    def to_state_dict(self) -> dict:
+        """Serialize the result for a checkpoint.
+
+        The timeline is rebased sequence-local time by the time a result
+        exists, so its resource clock carries no information and is not
+        serialized.
+        """
+        return {
+            "tokens": encode_array(self.tokens),
+            "trace": self.trace.to_state_dict(),
+            "timeline": self.timeline.to_state_dict(include_clock=False),
+            "stats": self.stats.to_state_dict(),
+            "placement": self.placement.to_state_dict(),
+        }
+
+    @classmethod
+    def from_state_dict(cls, payload: dict) -> "GenerationResult":
+        """Rebuild a result captured by :meth:`to_state_dict`."""
+        return cls(
+            tokens=decode_array(payload["tokens"]),
+            trace=ActivationTrace.from_state_dict(payload["trace"]),
+            timeline=Timeline.from_state_dict(payload["timeline"]),
+            stats=GenerationStats.from_state_dict(payload["stats"]),
+            placement=ExpertPlacement.from_state_dict(payload["placement"]),
+        )
 
 
 #: Sequence lifecycle phases (:attr:`SequenceState.phase`).
@@ -150,6 +237,39 @@ class SequenceRequest:
     forced_tokens: np.ndarray | None = None
     sampler: object = None
     seq_id: int = 0
+
+    def to_state_dict(self) -> dict:
+        """Serialize the request for a checkpoint.
+
+        Raises:
+            ValueError: for a custom sampler.  An arbitrary callable
+                cannot be captured in a checkpoint; only the default
+                greedy sampler (``sampler=None``) is serializable.
+        """
+        if self.sampler is not None:
+            raise ValueError(
+                "a request with a custom sampler cannot be checkpointed; "
+                "only greedy sampling (sampler=None) is serializable"
+            )
+        return {
+            "prompt_tokens": encode_array(
+                np.asarray(self.prompt_tokens, dtype=np.int64)
+            ),
+            "max_new_tokens": self.max_new_tokens,
+            "forced_tokens": encode_optional_array(self.forced_tokens),
+            "seq_id": self.seq_id,
+        }
+
+    @classmethod
+    def from_state_dict(cls, payload: dict) -> "SequenceRequest":
+        """Rebuild a request captured by :meth:`to_state_dict`."""
+        return cls(
+            prompt_tokens=decode_array(payload["prompt_tokens"]),
+            max_new_tokens=int(payload["max_new_tokens"]),
+            forced_tokens=decode_optional_array(payload["forced_tokens"]),
+            sampler=None,
+            seq_id=int(payload["seq_id"]),
+        )
 
 
 @dataclass(frozen=True)
@@ -214,6 +334,76 @@ class SequenceState:
     def n_generated(self) -> int:
         """Tokens generated so far."""
         return len(self.generated)
+
+    def to_state_dict(self, include_clock: bool = True) -> dict:
+        """Serialize everything the sequence owns except ``policy``.
+
+        Engine policy state is serialized by the owning engine
+        (:meth:`BaseEngine.checkpoint_sequence`) because only the engine
+        knows its shape.  States are checkpointable exactly *between*
+        step calls: decode-policy generators live only inside
+        ``step``/``step_batch``, so position/phase/generated plus the
+        last op fully determine the resume point.
+
+        Args:
+            include_clock: serialize the timeline's resource clock.
+                Pass ``False`` in the shared-clock scheduler regime,
+                where the scheduler checkpoints the one clock itself.
+        """
+        return {
+            "request": self.request.to_state_dict(),
+            "placement": self.placement.to_state_dict(),
+            "caches": [cache.to_state_dict() for cache in self.caches],
+            "timeline": self.timeline.to_state_dict(
+                include_clock=include_clock
+            ),
+            "trace": self.trace.to_state_dict(),
+            "counters": self.counters.to_state_dict(),
+            "position": self.position,
+            "phase": self.phase,
+            "generated": list(self.generated),
+            "last_op": None if self.last_op is None else self.last_op.index,
+            "prefill_time_s": self.prefill_time_s,
+            "extra": dict(self.extra),
+        }
+
+    @classmethod
+    def from_state_dict(cls, payload: dict,
+                        clock=None) -> "SequenceState":
+        """Rebuild a state captured by :meth:`to_state_dict`.
+
+        Args:
+            payload: the captured state dict.
+            clock: resource clock for the restored timeline; ``None``
+                restores the serialized clock (or a fresh one if the
+                clock was not serialized).
+
+        The restored ``policy`` is ``None``; the owning engine's
+        ``_restore_policy`` reinstalls it.
+        """
+        timeline = Timeline.from_state_dict(payload["timeline"], clock=clock)
+        last_op = payload["last_op"]
+        state = cls(
+            request=SequenceRequest.from_state_dict(payload["request"]),
+            sampler=greedy,
+            placement=ExpertPlacement.from_state_dict(payload["placement"]),
+            caches=[
+                KVCache.from_state_dict(cache)
+                for cache in payload["caches"]
+            ],
+            timeline=timeline,
+            trace=ActivationTrace.from_state_dict(payload["trace"]),
+            counters=EngineCounters.from_state_dict(payload["counters"]),
+            position=int(payload["position"]),
+            phase=payload["phase"],
+            generated=[int(token) for token in payload["generated"]],
+            last_op=(
+                None if last_op is None else timeline.ops[int(last_op)]
+            ),
+            prefill_time_s=payload["prefill_time_s"],
+            extra=dict(payload["extra"]),
+        )
+        return state
 
 
 #: Deprecated alias kept for code written against the pre-step-machine
@@ -296,6 +486,9 @@ class BaseEngine:
             placement = ExpertPlacement.all_on_gpu(n_blocks, n_experts)
         self.initial_placement = placement
         self.calibration_probs = calibration_probs
+        #: Instance-scoped event bus; subscribers observe the sequence
+        #: lifecycle (start / step / finish) without perturbing it.
+        self.events = EventBus()
         #: Most recently started sequence state (deprecated access path
         #: for post-hoc inspection; see the ``placement`` property).
         self._active_state: SequenceState | None = None
@@ -362,6 +555,13 @@ class BaseEngine:
         )
         self._active_state = state
         self._begin_sequence(state)
+        if self.events.active:
+            self.events.emit(
+                SEQUENCE_START, state.timeline.clock.free[GPU],
+                engine=self.name, seq_id=state.seq_id,
+                n_prompt_tokens=int(prompt_tokens.size),
+                max_new_tokens=request.max_new_tokens,
+            )
         return state
 
     def step(self, state: SequenceState) -> StepResult:
@@ -404,6 +604,12 @@ class BaseEngine:
             state.phase = SEQ_DONE
         else:
             state.phase = SEQ_DECODE
+        if self.events.active:
+            self.events.emit(
+                ENGINE_STEP, last_op.end, engine=self.name,
+                seq_id=state.seq_id, phase=phase_run, token=token,
+                n_generated=len(state.generated), done=state.done,
+            )
         return StepResult(
             phase=phase_run,
             token=token,
@@ -513,6 +719,13 @@ class BaseEngine:
                 state.phase = SEQ_DONE
             else:
                 state.phase = SEQ_DECODE
+            if self.events.active:
+                self.events.emit(
+                    ENGINE_STEP, lm_op.end, engine=self.name,
+                    seq_id=state.seq_id, phase=SEQ_DECODE, token=token,
+                    n_generated=len(state.generated), done=state.done,
+                    batched=len(states),
+                )
             step_results.append(StepResult(
                 phase=SEQ_DECODE,
                 token=token,
@@ -550,6 +763,12 @@ class BaseEngine:
             energy=self.energy_model.energy(state.timeline),
             counters=state.counters,
         )
+        if self.events.active:
+            self.events.emit(
+                SEQUENCE_FINISH, stats.total_time_s, engine=self.name,
+                seq_id=state.seq_id, n_generated=stats.n_generated,
+                total_time_s=stats.total_time_s,
+            )
         return GenerationResult(
             tokens=np.asarray(state.generated, dtype=np.int64),
             trace=state.trace,
@@ -597,10 +816,101 @@ class BaseEngine:
             self.step(state)
         return self.finish(state)
 
+    # ---- checkpoint / restore ----------------------------------------------------
+
+    def checkpoint_sequence(self, state: SequenceState,
+                            include_clock: bool = True) -> dict:
+        """Capture one in-flight sequence as a plain-data checkpoint.
+
+        The payload is JSON-compatible and carries a content digest plus
+        the engine name and format version, so :meth:`restore_sequence`
+        can reject corrupted, foreign, or version-skewed checkpoints
+        with a clear error instead of resuming garbage.  Restoring the
+        payload (in this process or a fresh one) and stepping to
+        completion is bitwise identical to never pausing.
+
+        Args:
+            state: a sequence between step calls (any phase).
+            include_clock: serialize the timeline's resource clock; a
+                scheduler holding the shared clock passes ``False``.
+        """
+        body = {
+            "version": SEQUENCE_CHECKPOINT_VERSION,
+            "engine": self.name,
+            "state": state.to_state_dict(include_clock=include_clock),
+            "policy": self._policy_state_dict(state),
+        }
+        body["digest"] = canonical_digest(body)
+        return body
+
+    def restore_sequence(self, payload: dict,
+                         clock=None) -> SequenceState:
+        """Rebuild a sequence captured by :meth:`checkpoint_sequence`.
+
+        Args:
+            payload: the checkpoint payload.
+            clock: resource clock for the restored timeline (the
+                scheduler regime); ``None`` restores the serialized
+                clock.
+
+        Raises:
+            ValueError: for a corrupted payload (digest mismatch), a
+                checkpoint from a different engine, or an unsupported
+                format version.
+        """
+        version = payload.get("version")
+        if version != SEQUENCE_CHECKPOINT_VERSION:
+            raise ValueError(
+                f"unsupported sequence-checkpoint version {version!r}; "
+                f"this build reads version {SEQUENCE_CHECKPOINT_VERSION}"
+            )
+        body = {key: payload[key] for key in
+                ("version", "engine", "state", "policy")}
+        digest = canonical_digest(body)
+        if digest != payload.get("digest"):
+            raise ValueError(
+                "sequence checkpoint is corrupted: content digest "
+                f"{digest} does not match the recorded "
+                f"{payload.get('digest')!r}"
+            )
+        if payload["engine"] != self.name:
+            raise ValueError(
+                f"checkpoint belongs to engine {payload['engine']!r}; "
+                f"it cannot resume on {self.name!r}"
+            )
+        state = SequenceState.from_state_dict(payload["state"], clock=clock)
+        self._restore_policy(state, payload["policy"])
+        self._active_state = state
+        return state
+
     # ---- policy hooks (subclasses override) -------------------------------------
 
     def _begin_sequence(self, ctx: SequenceState) -> None:
         """Install per-sequence policy state on ``ctx.policy`` (optional)."""
+
+    def _policy_state_dict(self, state: SequenceState):
+        """Hook: serialize ``state.policy`` as plain data (or ``None``).
+
+        Engines whose ``_begin_sequence`` installs policy state must
+        override this together with :meth:`_restore_policy`.  Ops held
+        by policy state (pending prefetches) serialize as their index in
+        ``state.timeline.ops``.
+        """
+        if state.policy is None:
+            return None
+        raise NotImplementedError(
+            f"engine {self.name!r} keeps per-sequence policy state but "
+            "does not implement _policy_state_dict/_restore_policy"
+        )
+
+    def _restore_policy(self, state: SequenceState, payload) -> None:
+        """Hook: reinstall ``state.policy`` from :meth:`_policy_state_dict`."""
+        if payload is None:
+            return
+        raise NotImplementedError(
+            f"engine {self.name!r} keeps per-sequence policy state but "
+            "does not implement _policy_state_dict/_restore_policy"
+        )
 
     # ---- shared primitives -------------------------------------------------------
 

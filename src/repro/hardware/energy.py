@@ -41,6 +41,25 @@ class EnergyBreakdown:
         """Total platform energy in kilojoules."""
         return self.total_j / 1e3
 
+    def to_state_dict(self) -> dict:
+        """Serialize the breakdown for a checkpoint."""
+        return {
+            "gpu_j": self.gpu_j,
+            "cpu_j": self.cpu_j,
+            "link_j": self.link_j,
+            "base_j": self.base_j,
+        }
+
+    @classmethod
+    def from_state_dict(cls, payload: dict) -> "EnergyBreakdown":
+        """Rebuild a breakdown captured by :meth:`to_state_dict`."""
+        return cls(
+            gpu_j=payload["gpu_j"],
+            cpu_j=payload["cpu_j"],
+            link_j=payload["link_j"],
+            base_j=payload["base_j"],
+        )
+
 
 class EnergyModel:
     """Integrates platform power over a timeline."""

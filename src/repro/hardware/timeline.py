@@ -52,6 +52,33 @@ class Op:
     def __hash__(self) -> int:
         return self.index
 
+    def to_state_dict(self) -> dict:
+        """Serialize the op for a checkpoint (all plain data)."""
+        return {
+            "index": self.index,
+            "resource": self.resource,
+            "duration": self.duration,
+            "start": self.start,
+            "end": self.end,
+            "label": self.label,
+            "kind": self.kind,
+            "dep_indices": list(self.dep_indices),
+        }
+
+    @classmethod
+    def from_state_dict(cls, payload: dict) -> "Op":
+        """Rebuild an op captured by :meth:`to_state_dict`."""
+        return cls(
+            index=int(payload["index"]),
+            resource=payload["resource"],
+            duration=payload["duration"],
+            start=payload["start"],
+            end=payload["end"],
+            label=payload["label"],
+            kind=payload["kind"],
+            dep_indices=tuple(int(i) for i in payload["dep_indices"]),
+        )
+
 
 @dataclass
 class ResourceClock:
@@ -106,6 +133,20 @@ class ResourceClock:
     def horizon(self) -> float:
         """Latest lane-availability time across all resources."""
         return max(self.free.values())
+
+    def to_state_dict(self) -> dict:
+        """Serialize the per-lane availability times."""
+        return {"free": dict(self.free)}
+
+    @classmethod
+    def from_state_dict(cls, payload: dict) -> "ResourceClock":
+        """Rebuild a clock captured by :meth:`to_state_dict`."""
+        clock = cls()
+        for resource, t in payload["free"].items():
+            if resource not in clock.free:
+                raise ValueError(f"unknown resource {resource!r}")
+            clock.free[resource] = float(t)
+        return clock
 
 
 @dataclass
@@ -180,6 +221,38 @@ class Timeline:
         if not deps:
             return 0.0
         return max(d.end for d in deps)
+
+    def to_state_dict(self, include_clock: bool = True) -> dict:
+        """Serialize the recorded ops (and, optionally, the clock).
+
+        A sequence on a *shared* clock serializes ``include_clock=False``
+        — the owning scheduler checkpoints the clock once and hands it
+        back to every restored timeline, preserving the lane coupling.
+        """
+        payload = {"ops": [op.to_state_dict() for op in self.ops]}
+        if include_clock:
+            payload["clock"] = self.clock.to_state_dict()
+        return payload
+
+    @classmethod
+    def from_state_dict(cls, payload: dict,
+                        clock: ResourceClock | None = None) -> "Timeline":
+        """Rebuild a timeline captured by :meth:`to_state_dict`.
+
+        Args:
+            payload: the captured state.
+            clock: externally restored shared clock; ``None`` restores
+                the private clock stored in the payload (or a fresh one
+                if the payload carries none).
+        """
+        if clock is None:
+            clock = (ResourceClock.from_state_dict(payload["clock"])
+                     if "clock" in payload else ResourceClock())
+        timeline = cls(clock=clock)
+        timeline.ops.extend(
+            Op.from_state_dict(op) for op in payload["ops"]
+        )
+        return timeline
 
     # ---- statistics ----------------------------------------------------------
 

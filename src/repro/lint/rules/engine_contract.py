@@ -21,7 +21,12 @@ same cost model, timeline semantics, and trace instrumentation as DAOP
    (``SwiGLUExpert.__call__`` / ``block.experts[i](...)``) instead of the
    cache-aware ``MoEBlock`` stage API -- a direct call bypasses the
    content-addressed compute cache and the shared ``ffn_norm`` hoist, so
-   its output would not participate in the cache-parity guarantee.
+   its output would not participate in the cache-parity guarantee;
+6. an engine implementing only half of the checkpoint policy-hook pair
+   (``_policy_state_dict`` without ``_restore_policy`` or vice versa) --
+   a one-sided implementation checkpoints state it can never reinstall
+   (or restores state it never saved), breaking the resume-parity
+   guarantee silently until the first mid-decode restore.
 
 Note the rules deliberately do NOT forbid baselines from *uploading*
 experts during decode: on-demand caching and prefetching baselines
@@ -53,6 +58,7 @@ _MIGRATION_NAMES = frozenset({
 #: (``_decode_step``) and gathered (``step_batch``) — are substrate.
 _SUBSTRATE_METHODS = frozenset({
     "generate", "start", "step", "step_batch", "finish",
+    "checkpoint_sequence", "restore_sequence",
     "_attention", "_gate", "_expert_gpu", "_expert_cpu",
     "_upload_expert", "_drop_expert", "_lm_head", "_lm_head_batch",
     "_execute_experts_at_location", "_record_activation_counters",
@@ -63,6 +69,9 @@ _SUBSTRATE_METHODS = frozenset({
     "_note_gathered_kernel", "_gathered_expert_gpu",
     "_gathered_expert_cpu", "_device_spec",
 })
+
+#: The checkpoint policy-hook pair every engine implements together.
+_CHECKPOINT_HOOK_PAIR = ("_policy_state_dict", "_restore_policy")
 
 
 @register
@@ -132,6 +141,47 @@ class SubstrateOverrideRule(Rule):
                         f"primitive '{stmt.name}'; engines must be "
                         "compared on an identical substrate",
                     )
+
+
+@register
+class CheckpointHookPairRule(Rule):
+    """Checkpoint policy hooks come in pairs: save with restore."""
+
+    name = "checkpoint-hook-pair"
+    code = "ENG006"
+    description = ("an engine class defining one of _policy_state_dict/"
+                   "_restore_policy must define both; a one-sided "
+                   "implementation breaks resume parity silently")
+
+    def check(self, ctx: LintContext):
+        """Flag engine classes defining exactly one hook of the pair.
+
+        ``BaseEngine`` itself defines both (as ``NotImplementedError``
+        stubs), so the pairing requirement applies uniformly to every
+        class in ``repro/core`` — a subclass inheriting both stubs is
+        fine, one overriding a single side is not.
+        """
+        if not ctx.in_subpath("core"):
+            return
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.ClassDef):
+                continue
+            defined = {
+                stmt.name for stmt in node.body
+                if isinstance(stmt, (ast.FunctionDef,
+                                     ast.AsyncFunctionDef))
+                and stmt.name in _CHECKPOINT_HOOK_PAIR
+            }
+            if len(defined) == 1:
+                present = defined.pop()
+                missing = next(h for h in _CHECKPOINT_HOOK_PAIR
+                               if h != present)
+                yield self.diag(
+                    ctx, node,
+                    f"engine '{node.name}' defines '{present}' without "
+                    f"'{missing}'; the checkpoint policy hooks must be "
+                    "implemented as a pair",
+                )
 
 
 @register

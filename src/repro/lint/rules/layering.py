@@ -9,13 +9,18 @@ lower layer can never grow a hidden dependency on engine policy code.
 Layer ranks (a package may import strictly lower ranks, plus itself)::
 
     0  model
-    1  hardware, workloads
+    1  events, hardware, workloads
     2  memory, scenarios, trace
     3  core, lint
     4  sched
     5  analysis, audit, eval, metrics, serving
     6  cluster, perf
     7  cli
+
+``events`` (the typed simulation event bus) sits at rank 1 with the
+substrate: every emitting layer above it (engines, scheduler, the
+simulators) must be able to import it, while the bus itself depends on
+nothing — subscribers receive plain-data events.
 
 ``scenarios`` (the scenario library) sits with the substrate at rank
 2: it materializes workloads from ``model``'s vocabulary and
@@ -50,6 +55,7 @@ from repro.lint.registry import LintContext, Rule, register
 
 LAYERS = {
     "model": 0,
+    "events": 1,
     "hardware": 1,
     "workloads": 1,
     "memory": 2,

@@ -56,3 +56,18 @@ class LRUExpertCache:
         """Pre-populate the cache (calibration order: coldest first)."""
         for expert in experts:
             self.admit(expert)
+
+    def to_state_dict(self) -> dict:
+        """Serialize the cache for a checkpoint (recency order kept)."""
+        return {
+            "capacity": self.capacity,
+            "experts": list(self._entries),
+        }
+
+    @classmethod
+    def from_state_dict(cls, payload: dict) -> "LRUExpertCache":
+        """Rebuild a cache captured by :meth:`to_state_dict`."""
+        cache = cls(int(payload["capacity"]))
+        for expert in payload["experts"]:
+            cache._entries[int(expert)] = None
+        return cache

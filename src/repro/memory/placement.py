@@ -5,6 +5,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.hardware.device import DeviceKind
+from repro.model.serialization import decode_array, encode_array
 
 
 class ExpertPlacement:
@@ -85,3 +86,18 @@ class ExpertPlacement:
     def as_matrix(self) -> np.ndarray:
         """Boolean (n_blocks, n_experts) residence matrix (GPU = True)."""
         return self._on_gpu.copy()
+
+    def to_state_dict(self) -> dict:
+        """Serialize the placement for a checkpoint."""
+        return {
+            "n_blocks": self.n_blocks,
+            "n_experts": self.n_experts,
+            "on_gpu": encode_array(self._on_gpu),
+        }
+
+    @classmethod
+    def from_state_dict(cls, payload: dict) -> "ExpertPlacement":
+        """Rebuild a placement captured by :meth:`to_state_dict`."""
+        placement = cls(int(payload["n_blocks"]), int(payload["n_experts"]))
+        placement._on_gpu = decode_array(payload["on_gpu"]).astype(bool)
+        return placement

@@ -84,3 +84,33 @@ class EvictionPolicyCache:
         """Pre-populate (first = coldest under LRU)."""
         for expert in experts:
             self.admit(expert)
+
+    def to_state_dict(self) -> dict:
+        """Serialize the cache for a checkpoint.
+
+        Entries are ``[expert, frequency]`` pairs in recency order
+        (least recent first): recency drives the LRU victim and breaks
+        LFU frequency ties, so both must survive a round trip.
+        """
+        return {
+            "capacity": self.capacity,
+            "policy": self.policy,
+            "priorities": (
+                None if self.priorities is None else self.priorities.tolist()
+            ),
+            "entries": [
+                [expert, freq] for expert, freq in self._entries.items()
+            ],
+        }
+
+    @classmethod
+    def from_state_dict(cls, payload: dict) -> "EvictionPolicyCache":
+        """Rebuild a cache captured by :meth:`to_state_dict`."""
+        cache = cls(
+            int(payload["capacity"]),
+            policy=payload["policy"],
+            priorities=payload["priorities"],
+        )
+        for expert, freq in payload["entries"]:
+            cache._entries[int(expert)] = int(freq)
+        return cache

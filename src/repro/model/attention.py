@@ -9,6 +9,7 @@ import numpy as np
 from repro.model.config import SimSpec
 from repro.model.layers import Linear, softmax
 from repro.model.rope import RotaryEmbedding
+from repro.model.serialization import decode_array, encode_array
 
 
 class KVCache:
@@ -29,6 +30,10 @@ class KVCache:
         # content address for the cache state (repro.perf memoization).
         self._digest = hashlib.blake2b(digest_size=16)
         self._digest_valid = True
+        # Row count of each append, in order: the digest chains over
+        # (k, v) pairs *per append call*, so restoring a checkpoint must
+        # replay the exact append boundaries to land on the same digest.
+        self._chunks: list[int] = []
 
     def __len__(self) -> int:
         return self._len
@@ -50,6 +55,7 @@ class KVCache:
         self._k[:, self._len : self._len + n_new] = k
         self._v[:, self._len : self._len + n_new] = v
         self._len += n_new
+        self._chunks.append(int(n_new))
         if self._digest_valid:
             self._digest.update(np.ascontiguousarray(k).tobytes())
             self._digest.update(np.ascontiguousarray(v).tobytes())
@@ -83,6 +89,49 @@ class KVCache:
         if length < self._len:
             self._digest_valid = False
         self._len = length
+
+    def to_state_dict(self) -> dict:
+        """Serialize the cache for a checkpoint (bitwise round-trip).
+
+        Captures the live content *and* the append-chunk boundaries so
+        :meth:`from_state_dict` can replay the appends one chunk at a
+        time, reproducing the exact chained content digest — a restored
+        cache is indistinguishable from the original to the compute
+        cache's content addressing.
+        """
+        return {
+            "n_kv_heads": self.n_kv_heads,
+            "head_dim": self.head_dim,
+            "k": encode_array(self._k[:, : self._len]),
+            "v": encode_array(self._v[:, : self._len]),
+            # A truncated cache's chunk history no longer describes its
+            # live content (and its digest is dead anyway): store the
+            # content as one opaque chunk instead.
+            "chunks": (list(self._chunks) if self._digest_valid
+                       else [self._len]),
+            "digest_valid": self._digest_valid,
+        }
+
+    @classmethod
+    def from_state_dict(cls, payload: dict) -> "KVCache":
+        """Rebuild a cache captured by :meth:`to_state_dict`."""
+        cache = cls(int(payload["n_kv_heads"]), int(payload["head_dim"]))
+        k = decode_array(payload["k"])
+        v = decode_array(payload["v"])
+        if not payload["digest_valid"]:
+            cache._digest_valid = False
+        pos = 0
+        for n_new in payload["chunks"]:
+            n_new = int(n_new)
+            if n_new:
+                cache.append(k[:, pos: pos + n_new], v[:, pos: pos + n_new])
+            pos += n_new
+        if pos != k.shape[1]:
+            raise ValueError(
+                "KV-cache chunk boundaries do not cover the content: "
+                f"chunks sum to {pos}, content holds {k.shape[1]} rows"
+            )
+        return cache
 
 
 class GroupedQueryAttention:

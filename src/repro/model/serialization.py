@@ -1,0 +1,61 @@
+"""Bitwise array/state serialization shared by every checkpoint layer.
+
+Checkpoints must restore *bitwise* identical state (the resume-parity
+audit compares tokens, counters, and per-op timelines exactly), so the
+array codec round-trips raw buffer bytes rather than decimal renderings:
+``encode_array`` captures dtype, shape, and a base64 of ``tobytes()``;
+``decode_array`` rebuilds the identical ndarray.  Everything here is
+plain-JSON-compatible so checkpoints stay diffable text artifacts.
+
+The module lives in :mod:`repro.model` (layer rank 0) so every layer of
+the stack — engine, scheduler, simulators, scenarios — may import it
+without violating the import DAG.
+"""
+
+from __future__ import annotations
+
+import base64
+import hashlib
+import json
+
+import numpy as np
+
+
+def encode_array(arr: np.ndarray) -> dict:
+    """Encode an ndarray as a JSON-compatible dict, bitwise."""
+    arr = np.ascontiguousarray(arr)
+    return {
+        "dtype": arr.dtype.str,
+        "shape": list(arr.shape),
+        "data": base64.b64encode(arr.tobytes()).decode("ascii"),
+    }
+
+
+def decode_array(payload: dict) -> np.ndarray:
+    """Rebuild the exact ndarray :func:`encode_array` captured."""
+    raw = base64.b64decode(payload["data"])
+    arr = np.frombuffer(raw, dtype=np.dtype(payload["dtype"]))
+    return arr.reshape(payload["shape"]).copy()
+
+
+def encode_optional_array(arr: np.ndarray | None) -> dict | None:
+    """``encode_array`` that passes ``None`` through."""
+    return None if arr is None else encode_array(arr)
+
+
+def decode_optional_array(payload: dict | None) -> np.ndarray | None:
+    """``decode_array`` that passes ``None`` through."""
+    return None if payload is None else decode_array(payload)
+
+
+def canonical_digest(payload: object) -> str:
+    """Content digest of a JSON-compatible payload (hex, 32 chars).
+
+    The digest is over the *canonical* JSON rendering (sorted keys,
+    minimal separators), so semantically identical payloads hash
+    identically regardless of construction order — the same convention
+    the TensorCache content keys and ScenarioReport digests use.
+    """
+    rendered = json.dumps(payload, sort_keys=True,
+                          separators=(",", ":"), ensure_ascii=True)
+    return hashlib.sha256(rendered.encode("utf-8")).hexdigest()[:32]

@@ -8,13 +8,28 @@ BLAKE2-keyed LRU (:class:`TensorCache`) that the model stages consult via
 ``MoETransformer.attach_compute_cache``, shared across engines by the
 differential audit and across sweep points by the benchmarks, plus the
 cold-vs-warm self-measurement harness behind ``repro bench-compute``
-(:func:`bench_compute`).  See ``docs/performance.md``.
+(:func:`bench_compute`).  The committed benchmark artifacts double as a
+regression gate: :mod:`repro.perf.perf_delta` diffs two ``BENCH_*.json``
+renderings and fails on throughput/speedup regressions beyond a
+threshold (``repro perf-delta``).  See ``docs/performance.md``.
 """
 
 from repro.perf.bench import (
     SWEEP_ECRS,
     SWEEP_ENGINES,
     bench_compute,
+)
+from repro.perf.perf_delta import (
+    BATCH_BENCH,
+    COMPUTE_BENCH,
+    DEFAULT_THRESHOLD,
+    MetricDelta,
+    PerfDeltaReport,
+    detect_kind,
+    diff_batch_bench,
+    diff_benchmarks,
+    diff_compute_bench,
+    load_benchmark,
 )
 from repro.perf.tensor_cache import (
     DEFAULT_MAX_BYTES,
@@ -27,6 +42,16 @@ __all__ = [
     "SWEEP_ECRS",
     "SWEEP_ENGINES",
     "bench_compute",
+    "BATCH_BENCH",
+    "COMPUTE_BENCH",
+    "DEFAULT_THRESHOLD",
+    "MetricDelta",
+    "PerfDeltaReport",
+    "detect_kind",
+    "diff_batch_bench",
+    "diff_benchmarks",
+    "diff_compute_bench",
+    "load_benchmark",
     "DEFAULT_MAX_BYTES",
     "StageCounters",
     "TensorCache",

@@ -34,7 +34,7 @@ from repro.scenarios.report import (
     classify_slo,
     diff_reports,
 )
-from repro.scenarios.runner import ScenarioRunner
+from repro.scenarios.runner import ScenarioRunner, ScenarioSession
 from repro.scenarios.spec import (
     ARRIVAL_KINDS,
     LENGTH_KINDS,
@@ -62,6 +62,7 @@ __all__ = [
     "classify_slo",
     "diff_reports",
     "ScenarioRunner",
+    "ScenarioSession",
     "ARRIVAL_KINDS",
     "LENGTH_KINDS",
     "ArrivalSpec",

@@ -98,6 +98,8 @@ class ScenarioReport:
     engine: str
     mode: str
     seed: int
+    backend_mode: str = ""
+    concurrency: int = 1
     requests: list = field(default_factory=list)
     rejected: list = field(default_factory=list)
 
@@ -176,6 +178,14 @@ class ScenarioReport:
             "engine": self.engine,
             "mode": self.mode,
             "seed": self.seed,
+            # Backend execution knobs are part of the report identity:
+            # two runs that schedule differently (gathered vs
+            # interleaved kernels, different admission width) must never
+            # alias to one digest even when their metrics happen to tie.
+            "backend": {
+                "mode": self.backend_mode,
+                "concurrency": self.concurrency,
+            },
             "summary": {
                 "makespan_s": self.makespan_s,
                 **self._group_summary(self.requests, self.rejected),

@@ -28,6 +28,7 @@ Materialization rules:
 from __future__ import annotations
 
 import zlib
+from dataclasses import dataclass
 
 import numpy as np
 
@@ -48,6 +49,20 @@ _PREFIX_SAMPLE_BASE = 1_000_000
 
 #: Per-tenant session-id stride, so session ids stay globally unique.
 _SESSION_STRIDE = 100_000
+
+
+@dataclass
+class ScenarioSession:
+    """Resumable state of one scenario run.
+
+    Pairs the materialized request list with the backend's own session
+    object; the runner threads both through ``tick``/``finish`` and the
+    backend handles all checkpointable state (the request list itself is
+    re-materialized deterministically from ``(spec, seed)`` on resume).
+    """
+
+    specs: list
+    backend: object
 
 
 class ScenarioRunner:
@@ -188,8 +203,13 @@ class ScenarioRunner:
     def run(self, simulator, requests: list | None = None) -> ScenarioReport:
         """Serve the scenario through a simulator; returns the report.
 
+        Composed from the resumable lifecycle — :meth:`begin`,
+        :meth:`tick` to drain, :meth:`finish` — so an uninterrupted run
+        and a checkpoint/resume run flow through identical code.
+
         Args:
-            simulator: any backend exposing ``run_requests(specs)`` and
+            simulator: any backend exposing the session lifecycle
+                (``begin_session`` / ``tick`` / ``finish_session``) and
                 returning a report with per-request records carrying
                 ``request_id`` (``ServingSimulator`` or
                 ``ClusterSimulator``).
@@ -198,11 +218,46 @@ class ScenarioRunner:
                 replay a pinned workload bit-exactly; None materializes
                 fresh from the spec.
         """
-        specs = self.build_requests() if requests is None else requests
-        backend_report = simulator.run_requests(specs)
-        return self._join(specs, backend_report)
+        session = self.begin(simulator, requests=requests)
+        while self.tick(simulator, session):
+            pass
+        return self.finish(simulator, session)
 
-    def _join(self, specs: list, backend_report) -> ScenarioReport:
+    def begin(self, simulator, requests: list | None = None) -> ScenarioSession:
+        """Materialize the workload and open a backend session."""
+        specs = self.build_requests() if requests is None else requests
+        return ScenarioSession(
+            specs=specs,
+            backend=simulator.begin_session(specs),
+        )
+
+    def resume(self, simulator, checkpoint,
+               requests: list | None = None) -> ScenarioSession:
+        """Reopen a session from a backend checkpoint.
+
+        The request list is re-materialized deterministically from
+        ``(spec, seed)`` (or passed in for pinned replays) — it is not
+        part of the checkpoint, which carries only the backend's
+        progress through it.
+        """
+        specs = self.build_requests() if requests is None else requests
+        return ScenarioSession(
+            specs=specs,
+            backend=simulator.restore(checkpoint),
+        )
+
+    def tick(self, simulator, session: ScenarioSession) -> bool:
+        """Advance the backend one step; ``False`` once drained."""
+        return simulator.tick(session.backend)
+
+    def finish(self, simulator, session: ScenarioSession) -> ScenarioReport:
+        """Close the backend session and join the scenario report."""
+        backend_report = simulator.finish_session(session.backend)
+        return self._join(session.specs, backend_report,
+                          simulator=simulator)
+
+    def _join(self, specs: list, backend_report,
+              simulator=None) -> ScenarioReport:
         """Join backend serving records with scenario metadata."""
         by_id = {spec.request_id: spec for spec in specs}
         rejected = getattr(backend_report, "rejected", [])
@@ -212,6 +267,8 @@ class ScenarioRunner:
             mode="cluster" if hasattr(backend_report, "rejected")
             else "serving",
             seed=self.seed,
+            backend_mode=str(getattr(simulator, "mode", "")),
+            concurrency=int(getattr(simulator, "concurrency", 1)),
         )
         for served in sorted(backend_report.requests,
                              key=lambda r: r.request_id):

@@ -47,12 +47,18 @@ from repro.core.engine import (
     GenerationResult,
     SequenceRequest,
 )
+from repro.events import SCHED_ADMIT, SCHED_RETIRE, EventBus
 from repro.hardware.timeline import (
     GPU,
     RESOURCES,
     ResourceClock,
     Timeline,
 )
+from repro.model.serialization import canonical_digest
+
+#: Version of the scheduler-session checkpoint layout; restore rejects
+#: other versions instead of misreading them.
+SCHED_CHECKPOINT_VERSION = 1
 
 #: Execution modes for a batch round.  ``GATHERED`` (the default) steps
 #: every decode-phase sequence through one
@@ -114,6 +120,33 @@ class SequenceRecord:
         if self.n_generated <= 1:
             return 0.0
         return decode / (self.n_generated - 1)
+
+    def to_state_dict(self) -> dict:
+        """Serialize the record for a checkpoint."""
+        return {
+            "seq_id": self.seq_id,
+            "arrival_s": self.arrival_s,
+            "service_start_s": self.service_start_s,
+            "first_token_s": self.first_token_s,
+            "finish_s": self.finish_s,
+            "n_prompt_tokens": self.n_prompt_tokens,
+            "n_generated": self.n_generated,
+            "result": self.result.to_state_dict(),
+        }
+
+    @classmethod
+    def from_state_dict(cls, payload: dict) -> "SequenceRecord":
+        """Rebuild a record captured by :meth:`to_state_dict`."""
+        return cls(
+            seq_id=int(payload["seq_id"]),
+            arrival_s=payload["arrival_s"],
+            service_start_s=payload["service_start_s"],
+            first_token_s=payload["first_token_s"],
+            finish_s=payload["finish_s"],
+            n_prompt_tokens=int(payload["n_prompt_tokens"]),
+            n_generated=int(payload["n_generated"]),
+            result=GenerationResult.from_state_dict(payload["result"]),
+        )
 
 
 @dataclass
@@ -278,6 +311,36 @@ class _ActiveSequence:
     arrival_s: float
 
 
+@dataclass
+class BatchSession:
+    """Resumable state of one scheduler run.
+
+    Built by :meth:`ContinuousBatchScheduler.begin`, advanced one round
+    at a time by :meth:`~ContinuousBatchScheduler.tick`, summarized by
+    :meth:`~ContinuousBatchScheduler.finish` — and checkpointable
+    between ticks via
+    :meth:`~ContinuousBatchScheduler.checkpoint_session`.
+
+    Attributes:
+        queue: pending ``(request, arrival_s)`` pairs in arrival order.
+        clock: the shared resource clock every admitted sequence's
+            timeline schedules against.
+        active: currently resident sequences, admission order.
+        report: the report under construction (completed records plus
+            gather statistics).
+    """
+
+    queue: deque
+    clock: ResourceClock
+    active: list
+    report: BatchReport
+
+    @property
+    def drained(self) -> bool:
+        """Whether every request has been served."""
+        return not (self.queue or self.active)
+
+
 class ContinuousBatchScheduler:
     """Interleave up to ``max_batch`` sequences on one engine.
 
@@ -303,10 +366,14 @@ class ContinuousBatchScheduler:
         self.engine = engine
         self.max_batch = max_batch
         self.mode = mode
+        #: Instance-scoped event bus (admission / retirement events).
+        self.events = EventBus()
 
-    def run(self, requests: list[SequenceRequest],
-            arrival_times: np.ndarray | None = None) -> BatchReport:
-        """Serve every request; returns the batch report.
+    # ---- lifecycle -------------------------------------------------------------
+
+    def begin(self, requests: list[SequenceRequest],
+              arrival_times: np.ndarray | None = None) -> BatchSession:
+        """Queue every request and build a resumable batch session.
 
         Args:
             requests: the generation requests.  ``seq_id`` values are
@@ -329,30 +396,182 @@ class ContinuousBatchScheduler:
         queue = deque(
             (requests[int(i)], float(arrivals[int(i)])) for i in order
         )
-        clock = ResourceClock()
-        active: list[_ActiveSequence] = []
         report = BatchReport(
             engine=self.engine.name,
             max_batch=self.max_batch,
             mode=self.mode,
             gather=GatherStats() if self.mode == GATHERED else None,
         )
-        while queue or active:
-            self._admit(queue, active, clock)
-            self._step_round(active, report)
-            finished = [e for e in active if e.state.done]
-            active = [e for e in active if not e.state.done]
-            last_finish = 0.0
-            for entry in finished:
-                record = self._retire(entry)
-                report.records.append(record)
-                last_finish = max(last_finish, record.finish_s)
-            if finished and not active:
-                # Fully drained: lanes synchronize before new work, which
-                # reproduces sequential FIFO service at max_batch=1.
-                clock.advance_all(last_finish)
-        report.records.sort(key=lambda r: (r.arrival_s, r.seq_id))
-        return report
+        return BatchSession(
+            queue=queue, clock=ResourceClock(), active=[], report=report,
+        )
+
+    def tick(self, session: BatchSession) -> bool:
+        """Advance the session one scheduler round.
+
+        One round admits what fits, steps every resident sequence one
+        unit of work, and retires finished sequences.  Returns ``False``
+        (doing nothing) once the session is drained, so
+        ``while scheduler.tick(session): ...`` serves every request.
+        The session is checkpointable between any two ticks.
+        """
+        if session.drained:
+            return False
+        self._admit(session.queue, session.active, session.clock)
+        self._step_round(session.active, session.report)
+        finished = [e for e in session.active if e.state.done]
+        session.active = [e for e in session.active if not e.state.done]
+        last_finish = 0.0
+        for entry in finished:
+            record = self._retire(entry)
+            session.report.records.append(record)
+            last_finish = max(last_finish, record.finish_s)
+        if finished and not session.active:
+            # Fully drained: lanes synchronize before new work, which
+            # reproduces sequential FIFO service at max_batch=1.
+            session.clock.advance_all(last_finish)
+        return True
+
+    def finish(self, session: BatchSession) -> BatchReport:
+        """Summarize a drained session into its batch report.
+
+        Raises:
+            RuntimeError: if the session still has queued or resident
+                sequences.
+        """
+        if not session.drained:
+            raise RuntimeError(
+                "batch session still has in-flight work; tick() it to "
+                "completion first"
+            )
+        session.report.records.sort(key=lambda r: (r.arrival_s, r.seq_id))
+        return session.report
+
+    def run(self, requests: list[SequenceRequest],
+            arrival_times: np.ndarray | None = None) -> BatchReport:
+        """Serve every request; returns the batch report.
+
+        A thin wrapper over the resumable session lifecycle
+        (:meth:`begin` / :meth:`tick` / :meth:`finish`), so an
+        uninterrupted run and a checkpointed-and-resumed one produce
+        bitwise-identical reports.
+        """
+        session = self.begin(requests, arrival_times)
+        while self.tick(session):
+            pass
+        return self.finish(session)
+
+    # ---- checkpoint / restore --------------------------------------------------
+
+    def checkpoint_session(self, session: BatchSession) -> dict:
+        """Capture a between-ticks session as a plain-data checkpoint.
+
+        Active sequences serialize through the engine's
+        :meth:`~repro.core.engine.BaseEngine.checkpoint_sequence`
+        without their (shared) clock; the session checkpoints the one
+        clock itself.
+        """
+        body = {
+            "version": SCHED_CHECKPOINT_VERSION,
+            "engine": self.engine.name,
+            "max_batch": self.max_batch,
+            "mode": self.mode,
+            "clock": session.clock.to_state_dict(),
+            "queue": [
+                {"request": request.to_state_dict(), "arrival_s": arrival}
+                for request, arrival in session.queue
+            ],
+            "active": [
+                {
+                    "sequence": self.engine.checkpoint_sequence(
+                        entry.state, include_clock=False
+                    ),
+                    "arrival_s": entry.arrival_s,
+                }
+                for entry in session.active
+            ],
+            "records": [
+                record.to_state_dict()
+                for record in session.report.records
+            ],
+            "gather": (
+                None if session.report.gather is None
+                else session.report.gather.to_state_dict()
+            ),
+        }
+        body["digest"] = canonical_digest(body)
+        return body
+
+    def restore_session(self, payload: dict) -> BatchSession:
+        """Rebuild a session captured by :meth:`checkpoint_session`.
+
+        Raises:
+            ValueError: for a corrupted payload (digest mismatch), a
+                version-skewed checkpoint, or a scheduler/engine
+                configuration that does not match the checkpoint.
+        """
+        version = payload.get("version")
+        if version != SCHED_CHECKPOINT_VERSION:
+            raise ValueError(
+                f"unsupported scheduler-checkpoint version {version!r}; "
+                f"this build reads version {SCHED_CHECKPOINT_VERSION}"
+            )
+        body = {
+            key: payload[key]
+            for key in ("version", "engine", "max_batch", "mode", "clock",
+                        "queue", "active", "records", "gather")
+        }
+        digest = canonical_digest(body)
+        if digest != payload.get("digest"):
+            raise ValueError(
+                "scheduler checkpoint is corrupted: content digest "
+                f"{digest} does not match the recorded "
+                f"{payload.get('digest')!r}"
+            )
+        if payload["engine"] != self.engine.name:
+            raise ValueError(
+                f"checkpoint belongs to engine {payload['engine']!r}; "
+                f"this scheduler drives {self.engine.name!r}"
+            )
+        if (payload["max_batch"] != self.max_batch
+                or payload["mode"] != self.mode):
+            raise ValueError(
+                "scheduler configuration mismatch: checkpoint was taken "
+                f"with max_batch={payload['max_batch']} "
+                f"mode={payload['mode']!r}, this scheduler runs "
+                f"max_batch={self.max_batch} mode={self.mode!r}"
+            )
+        clock = ResourceClock.from_state_dict(payload["clock"])
+        queue = deque(
+            (SequenceRequest.from_state_dict(entry["request"]),
+             float(entry["arrival_s"]))
+            for entry in payload["queue"]
+        )
+        active = [
+            _ActiveSequence(
+                state=self.engine.restore_sequence(
+                    entry["sequence"], clock=clock
+                ),
+                arrival_s=float(entry["arrival_s"]),
+            )
+            for entry in payload["active"]
+        ]
+        report = BatchReport(
+            engine=self.engine.name,
+            max_batch=self.max_batch,
+            mode=self.mode,
+            records=[
+                SequenceRecord.from_state_dict(record)
+                for record in payload["records"]
+            ],
+            gather=(
+                None if payload["gather"] is None
+                else GatherStats.from_state_dict(payload["gather"])
+            ),
+        )
+        return BatchSession(
+            queue=queue, clock=clock, active=active, report=report,
+        )
 
     # ---- internals -------------------------------------------------------------
 
@@ -391,6 +610,12 @@ class ContinuousBatchScheduler:
             timeline = Timeline(clock=clock)
             state = self.engine.start(request, timeline=timeline)
             active.append(_ActiveSequence(state=state, arrival_s=arrival))
+            if self.events.active:
+                self.events.emit(
+                    SCHED_ADMIT, clock.free[GPU], seq_id=state.seq_id,
+                    arrival_s=arrival, n_active=len(active),
+                    n_queued=len(queue),
+                )
 
     def _retire(self, entry: _ActiveSequence) -> SequenceRecord:
         """Capture absolute times, then finalize the sequence."""
@@ -400,6 +625,12 @@ class ContinuousBatchScheduler:
         first_token = state.prefill_time_s
         finish = max(op.end for op in timeline.ops)
         result = self.engine.finish(state)
+        if self.events.active:
+            self.events.emit(
+                SCHED_RETIRE, finish, seq_id=state.seq_id,
+                finish_s=finish,
+                n_generated=result.stats.n_generated,
+            )
         return SequenceRecord(
             seq_id=state.seq_id,
             arrival_s=entry.arrival_s,

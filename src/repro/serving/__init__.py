@@ -5,9 +5,20 @@ from repro.serving.arrivals import (
     poisson_arrivals,
     uniform_arrivals,
 )
+from repro.serving.checkpoint import (
+    CHECKPOINT_KINDS,
+    CLUSTER_KIND,
+    SERVING_KIND,
+    SIM_CHECKPOINT_VERSION,
+    CheckpointError,
+    SimCheckpoint,
+    load_checkpoint,
+    save_checkpoint,
+)
 from repro.serving.simulator import (
     ServedRequest,
     ServingReport,
+    ServingSession,
     ServingSimulator,
     percentile_or_zero,
 )
@@ -17,7 +28,16 @@ __all__ = [
     "poisson_arrivals",
     "uniform_arrivals",
     "percentile_or_zero",
+    "CHECKPOINT_KINDS",
+    "CLUSTER_KIND",
+    "SERVING_KIND",
+    "SIM_CHECKPOINT_VERSION",
+    "CheckpointError",
+    "SimCheckpoint",
+    "load_checkpoint",
+    "save_checkpoint",
     "ServedRequest",
     "ServingReport",
+    "ServingSession",
     "ServingSimulator",
 ]

@@ -21,7 +21,19 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.core.engine import BaseEngine, SequenceRequest
-from repro.sched.scheduler import ContinuousBatchScheduler
+from repro.events import CHECKPOINT_RESTORE, CHECKPOINT_SAVE, EventBus
+from repro.hardware.timeline import GPU
+from repro.sched.scheduler import (
+    GATHERED,
+    INTERLEAVED,
+    BatchSession,
+    ContinuousBatchScheduler,
+)
+from repro.serving.checkpoint import (
+    SERVING_KIND,
+    CheckpointError,
+    SimCheckpoint,
+)
 from repro.workloads.generator import SequenceGenerator
 from repro.workloads.requests import RequestSpec
 
@@ -141,6 +153,14 @@ class ServingReport:
         return sum(r.n_generated for r in self.requests) / kj
 
 
+@dataclass
+class ServingSession:
+    """Resumable state of one serving run (scheduler plus its session)."""
+
+    scheduler: ContinuousBatchScheduler
+    batch: BatchSession
+
+
 class ServingSimulator:
     """FIFO serving of one engine through the continuous-batch scheduler.
 
@@ -151,16 +171,47 @@ class ServingSimulator:
             default of 1 reproduces the paper's batch-size-one FIFO
             regime; larger values interleave requests on the engine's
             step machine.
+        mode: scheduler execution mode —
+            :data:`~repro.sched.scheduler.GATHERED` (default) merges
+            same-expert decode work across resident sequences into
+            shared kernels; :data:`~repro.sched.scheduler.INTERLEAVED`
+            round-robins independent steps.
     """
 
     def __init__(self, engine: BaseEngine,
                  generator: SequenceGenerator | None = None,
-                 concurrency: int = 1) -> None:
+                 concurrency: int = 1, mode: str = GATHERED) -> None:
         if concurrency < 1:
             raise ValueError("concurrency must be positive")
+        if mode not in (GATHERED, INTERLEAVED):
+            raise ValueError(
+                f"mode must be {GATHERED!r} or {INTERLEAVED!r}, "
+                f"got {mode!r}"
+            )
         self.engine = engine
         self.generator = generator
         self.concurrency = concurrency
+        self.mode = mode
+        #: Instance-scoped event bus; when anything subscribes, engine
+        #: and scheduler events are forwarded here for live observation.
+        self.events = EventBus()
+
+    def _forward_event(self, event) -> None:
+        """Re-emit an engine/scheduler event on the simulator's bus."""
+        self.events.emit(event.kind, event.time_s, **event.payload)
+
+    def _build_scheduler(self) -> ContinuousBatchScheduler:
+        """Per-session scheduler, bridged onto the simulator's bus."""
+        scheduler = ContinuousBatchScheduler(
+            self.engine, max_batch=self.concurrency, mode=self.mode,
+        )
+        if self.events.active:
+            scheduler.events.subscribe(self._forward_event)
+            # Re-subscribing after an unsubscribe keeps the forwarder
+            # single even when one simulator runs several sessions.
+            self.engine.events.unsubscribe(self._forward_event)
+            self.engine.events.subscribe(self._forward_event)
+        return scheduler
 
     def run(self, arrival_times: np.ndarray, prompt_len: int,
             output_len: int) -> ServingReport:
@@ -207,6 +258,15 @@ class ServingSimulator:
         order; the spec's ``request_id`` is carried through as the
         report's ``request_id``.
         """
+        session = self.begin_session(specs)
+        while self.tick(session):
+            pass
+        return self.finish_session(session)
+
+    # ---- resumable lifecycle ---------------------------------------------------
+
+    def begin_session(self, specs: list[RequestSpec]) -> ServingSession:
+        """Queue fully-materialized requests into a resumable session."""
         ordered = sorted(specs,
                          key=lambda spec: (spec.arrival_s,
                                            spec.request_id))
@@ -221,10 +281,19 @@ class ServingSimulator:
         ]
         arrivals = np.asarray([spec.arrival_s for spec in ordered],
                               dtype=np.float64)
-        scheduler = ContinuousBatchScheduler(
-            self.engine, max_batch=self.concurrency
+        scheduler = self._build_scheduler()
+        return ServingSession(
+            scheduler=scheduler,
+            batch=scheduler.begin(requests, arrivals),
         )
-        batch = scheduler.run(requests, arrivals)
+
+    def tick(self, session: ServingSession) -> bool:
+        """Advance the session one scheduler round; ``False`` when done."""
+        return session.scheduler.tick(session.batch)
+
+    def finish_session(self, session: ServingSession) -> ServingReport:
+        """Summarize a drained session into a :class:`ServingReport`."""
+        batch = session.scheduler.finish(session.batch)
         report = ServingReport(engine=self.engine.name)
         for rec in batch.records:
             report.requests.append(
@@ -240,3 +309,64 @@ class ServingSimulator:
                 )
             )
         return report
+
+    # ---- checkpoint / restore --------------------------------------------------
+
+    def checkpoint(self, session: ServingSession) -> SimCheckpoint:
+        """Capture a between-ticks session as a :class:`SimCheckpoint`."""
+        checkpoint = SimCheckpoint(
+            kind=SERVING_KIND,
+            engine=self.engine.name,
+            payload={
+                "concurrency": self.concurrency,
+                "mode": self.mode,
+                "scheduler": session.scheduler.checkpoint_session(
+                    session.batch
+                ),
+            },
+        )
+        if self.events.active:
+            self.events.emit(
+                CHECKPOINT_SAVE, session.batch.clock.free[GPU],
+                sim_kind=SERVING_KIND, engine=self.engine.name,
+                n_active=len(session.batch.active),
+                n_queued=len(session.batch.queue),
+                n_completed=len(session.batch.report.records),
+            )
+        return checkpoint
+
+    def restore(self, checkpoint: SimCheckpoint) -> ServingSession:
+        """Rebuild a session captured by :meth:`checkpoint`.
+
+        Raises:
+            CheckpointError: if the checkpoint belongs to a different
+                simulator kind or configuration.
+        """
+        if checkpoint.kind != SERVING_KIND:
+            raise CheckpointError(
+                f"checkpoint kind {checkpoint.kind!r} cannot resume on a "
+                "serving simulator"
+            )
+        payload = checkpoint.payload
+        if (payload["concurrency"] != self.concurrency
+                or payload["mode"] != self.mode):
+            raise CheckpointError(
+                "serving configuration mismatch: checkpoint was taken "
+                f"with concurrency={payload['concurrency']} "
+                f"mode={payload['mode']!r}, this simulator runs "
+                f"concurrency={self.concurrency} mode={self.mode!r}"
+            )
+        scheduler = self._build_scheduler()
+        try:
+            batch = scheduler.restore_session(payload["scheduler"])
+        except ValueError as exc:
+            raise CheckpointError(str(exc)) from exc
+        if self.events.active:
+            self.events.emit(
+                CHECKPOINT_RESTORE, batch.clock.free[GPU],
+                sim_kind=SERVING_KIND, engine=self.engine.name,
+                n_active=len(batch.active),
+                n_queued=len(batch.queue),
+                n_completed=len(batch.report.records),
+            )
+        return ServingSession(scheduler=scheduler, batch=batch)

@@ -28,6 +28,35 @@ class RoutingEvent:
     executed_experts: tuple[int, ...] | None = None
     predicted: bool = False
 
+    def to_state_dict(self) -> dict:
+        """Serialize the event for a checkpoint (all plain data)."""
+        return {
+            "phase": self.phase,
+            "block": self.block,
+            "token_pos": self.token_pos,
+            "experts": list(self.experts),
+            "executed_experts": (
+                None if self.executed_experts is None
+                else list(self.executed_experts)
+            ),
+            "predicted": self.predicted,
+        }
+
+    @classmethod
+    def from_state_dict(cls, payload: dict) -> "RoutingEvent":
+        """Rebuild an event captured by :meth:`to_state_dict`."""
+        executed = payload["executed_experts"]
+        return cls(
+            phase=payload["phase"],
+            block=int(payload["block"]),
+            token_pos=int(payload["token_pos"]),
+            experts=tuple(int(e) for e in payload["experts"]),
+            executed_experts=(
+                None if executed is None else tuple(int(e) for e in executed)
+            ),
+            predicted=bool(payload["predicted"]),
+        )
+
 
 @dataclass
 class ActivationTrace:
@@ -55,6 +84,24 @@ class ActivationTrace:
                 predicted=predicted,
             )
         )
+
+    def to_state_dict(self) -> dict:
+        """Serialize the trace for a checkpoint."""
+        return {
+            "n_blocks": self.n_blocks,
+            "n_experts": self.n_experts,
+            "events": [event.to_state_dict() for event in self.events],
+        }
+
+    @classmethod
+    def from_state_dict(cls, payload: dict) -> "ActivationTrace":
+        """Rebuild a trace captured by :meth:`to_state_dict`."""
+        trace = cls(int(payload["n_blocks"]), int(payload["n_experts"]))
+        trace.events.extend(
+            RoutingEvent.from_state_dict(event)
+            for event in payload["events"]
+        )
+        return trace
 
     # ---- aggregation ---------------------------------------------------------
 

@@ -165,3 +165,96 @@ def test_audit_cache_disabled(capsys):
     out = capsys.readouterr().out
     assert "audit ok" in out
     assert "compute cache" not in out
+
+
+def test_watch(tmp_path, capsys):
+    log_path = tmp_path / "events.jsonl"
+    rc = main(["watch", *TINY, "--engine", "daop", "--requests", "2",
+               "--rate", "1.0", "--input-len", "10", "--output-len", "4",
+               "--jsonl", str(log_path)])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "sequence_start" in out and "sequence_finish" in out
+    assert "watched 2 request(s)" in out
+    lines = log_path.read_text().splitlines()
+    assert lines
+    kinds = {json.loads(line)["kind"] for line in lines}
+    assert "engine_step" in kinds
+
+
+def test_watch_kind_filter(capsys):
+    rc = main(["watch", *TINY, "--engine", "fiddler", "--requests", "1",
+               "--rate", "1.0", "--input-len", "10", "--output-len", "4",
+               "--kinds", "sequence_finish"])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "sequence_finish" in out
+    assert "engine_step" not in out
+
+
+def test_perf_delta_gate(tmp_path, capsys):
+    baseline = {
+        "runs": [{"engine": "daop", "max_batch": 4, "mode": "gathered",
+                  "throughput_tokens_per_s": 100.0}],
+        "comparison": [],
+    }
+    base_path = tmp_path / "base.json"
+    base_path.write_text(json.dumps(baseline))
+
+    assert main(["perf-delta", str(base_path), str(base_path)]) == 0
+    assert "-> ok" in capsys.readouterr().out
+
+    degraded = json.loads(base_path.read_text())
+    degraded["runs"][0]["throughput_tokens_per_s"] = 80.0
+    bad_path = tmp_path / "bad.json"
+    bad_path.write_text(json.dumps(degraded))
+    assert main(["perf-delta", str(base_path), str(bad_path)]) == 1
+    out = capsys.readouterr().out
+    assert "REGRESSION" in out and "FAIL" in out
+
+    # A looser threshold lets the same candidate through.
+    assert main(["perf-delta", str(base_path), str(bad_path),
+                 "--threshold", "0.5"]) == 0
+
+
+def test_perf_delta_unreadable_input(tmp_path, capsys):
+    missing = tmp_path / "nope.json"
+    good = tmp_path / "good.json"
+    good.write_text(json.dumps({"runs": [], "comparison": []}))
+    assert main(["perf-delta", str(good), str(missing)]) == 2
+    assert "perf-delta error:" in capsys.readouterr().out
+
+
+def test_scenarios_pause_resume_round_trip(tmp_path, capsys):
+    scenario_args = ["scenarios", "run", "mixed-interactive-batch",
+                     "--model", "tiny", "--blocks", "4", "--fast"]
+    ref_dir = tmp_path / "ref"
+    res_dir = tmp_path / "res"
+    ckpt = tmp_path / "scenario.ckpt.json"
+
+    assert main([*scenario_args, "--out-dir", str(ref_dir)]) == 0
+    rc = main([*scenario_args, "--pause-after", "2",
+               "--checkpoint-to", str(ckpt)])
+    assert rc == 0
+    assert "paused after 2 tick(s)" in capsys.readouterr().out
+    assert ckpt.exists()
+    assert main([*scenario_args, "--resume-from", str(ckpt),
+                 "--out-dir", str(res_dir)]) == 0
+
+    reference = json.loads(
+        (ref_dir / "mixed-interactive-batch.json").read_text())
+    resumed = json.loads(
+        (res_dir / "mixed-interactive-batch.json").read_text())
+    assert resumed["digest"] == reference["digest"]
+
+
+def test_scenarios_lifecycle_flag_validation(capsys):
+    rc = main(["scenarios", "run", "mixed-interactive-batch",
+               "--model", "tiny", "--blocks", "4", "--fast",
+               "--pause-after", "2"])
+    assert rc == 2
+    assert "--checkpoint-to" in capsys.readouterr().out
+    rc = main(["scenarios", "run", "--all", "--model", "tiny",
+               "--blocks", "4", "--fast", "--pause-after", "2",
+               "--checkpoint-to", "/tmp/x.json"])
+    assert rc == 2

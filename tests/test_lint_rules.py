@@ -23,9 +23,10 @@ def codes(diagnostics):
 def test_registry_exposes_all_rule_families():
     registered = {rule.code for rule in all_rules()}
     assert {"DET001", "DET002", "DET003", "LAY001", "ENG001", "ENG002",
-            "ENG003", "ENG004", "ENG005", "API001", "API002", "API003",
-            "API004", "TL001", "DOC001", "NUM001"} <= registered
+            "ENG003", "ENG004", "ENG005", "ENG006", "API001", "API002",
+            "API003", "API004", "TL001", "DOC001", "NUM001"} <= registered
     assert get_rule("stdlib-random").code == "DET001"
+    assert get_rule("checkpoint-hook-pair").code == "ENG006"
     assert get_rule("DET001").name == "stdlib-random"
     assert get_rule("timeline-ops-mutation").code == "TL001"
 
@@ -556,3 +557,94 @@ def test_expert_stage_api_scoped_to_core_and_audit():
         '''
     for path in ("src/repro/model/sample.py", "tests/sample.py"):
         assert lint(src, path=path, select=["expert-stage-api"]) == []
+
+
+# ---- ENG006: checkpoint hook pair -------------------------------------------
+
+
+def test_one_sided_checkpoint_hooks_flagged():
+    for present, missing in (("_policy_state_dict", "_restore_policy"),
+                             ("_restore_policy", "_policy_state_dict")):
+        src = f'''\
+            """Doc."""
+
+            class Half:
+                """Doc."""
+
+                def {present}(self, *args):
+                    """Doc."""
+                    return None
+            '''
+        diags = lint(src, path=BASELINE,
+                     select=["checkpoint-hook-pair"])
+        assert codes(diags) == {"ENG006"}
+        assert present in diags[0].message
+        assert missing in diags[0].message
+
+
+def test_paired_or_absent_checkpoint_hooks_allowed():
+    paired = '''\
+        """Doc."""
+
+        class Whole:
+            """Doc."""
+
+            def _policy_state_dict(self, state):
+                """Doc."""
+                return None
+
+            def _restore_policy(self, state, payload):
+                """Doc."""
+                return None
+        '''
+    neither = '''\
+        """Doc."""
+
+        class Stateless:
+            """Doc."""
+
+            def _begin_sequence(self, ctx):
+                """Doc."""
+                return None
+        '''
+    for src in (paired, neither):
+        assert lint(src, path=BASELINE,
+                    select=["checkpoint-hook-pair"]) == []
+
+
+def test_checkpoint_hook_pair_scoped_to_core():
+    """Non-engine layers may use the names freely (e.g. adapters)."""
+    src = '''\
+        """Doc."""
+
+        class Adapter:
+            """Doc."""
+
+            def _policy_state_dict(self):
+                """Doc."""
+                return {}
+        '''
+    assert lint(src, path="src/repro/serving/sample.py",
+                select=["checkpoint-hook-pair"]) == []
+
+
+def test_checkpoint_resume_are_substrate_methods():
+    """Baselines may not override the checkpoint/restore substrate."""
+    src = '''\
+        """Doc."""
+        from repro.core.engine import BaseEngine
+
+        class Sneaky(BaseEngine):
+            """Doc."""
+
+            def checkpoint_sequence(self, state, include_clock=True):
+                """Doc."""
+                return {}
+
+            def restore_sequence(self, payload, clock=None):
+                """Doc."""
+                return None
+        '''
+    diags = lint(src, path=BASELINE, select=["substrate-override"])
+    assert codes(diags) == {"ENG002"}
+    assert len(diags) == 2

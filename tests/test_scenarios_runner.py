@@ -185,3 +185,84 @@ class TestReport:
         lines = diff_reports(report, altered)
         assert lines
         assert lines[0].startswith("digest:")
+
+
+class TestLifecycle:
+    """Resumable scenario runs (docs/lifecycle.md) and digest scope."""
+
+    SPEC = "mixed-interactive-batch"
+
+    def _simulator(self, tiny_bundle, platform, tiny_calibration,
+                   concurrency=2, mode="gathered"):
+        engine = build_engine("daop", tiny_bundle, platform, 0.5,
+                              tiny_calibration)
+        return ServingSimulator(engine, concurrency=concurrency,
+                                mode=mode)
+
+    def _runner(self, tiny_bundle, seed=7):
+        return ScenarioRunner(get_scenario(self.SPEC), tiny_bundle.vocab,
+                              seed=seed, fast=True)
+
+    def test_begin_tick_finish_equals_run(self, tiny_bundle, platform,
+                                          tiny_calibration):
+        runner = self._runner(tiny_bundle)
+        whole = runner.run(
+            self._simulator(tiny_bundle, platform, tiny_calibration))
+        simulator = self._simulator(tiny_bundle, platform,
+                                    tiny_calibration)
+        session = runner.begin(simulator)
+        while simulator.tick(session.backend):
+            pass
+        stepped = runner.finish(simulator, session)
+        assert stepped.content_digest() == whole.content_digest()
+
+    def test_pause_checkpoint_resume_digest_parity(
+            self, tiny_bundle, platform, tiny_calibration):
+        from repro.serving import SimCheckpoint
+
+        runner = self._runner(tiny_bundle)
+        reference = runner.run(
+            self._simulator(tiny_bundle, platform, tiny_calibration))
+
+        first = self._simulator(tiny_bundle, platform, tiny_calibration)
+        session = runner.begin(first)
+        for _ in range(3):
+            if not first.tick(session.backend):
+                break
+        # Through real JSON bytes, as the CLI's --checkpoint-to writes.
+        checkpoint = SimCheckpoint.from_dict(json.loads(json.dumps(
+            first.checkpoint(session.backend).to_dict(), sort_keys=True)))
+
+        second = self._simulator(tiny_bundle, platform, tiny_calibration)
+        resumed = runner.resume(second, checkpoint)
+        while second.tick(resumed.backend):
+            pass
+        report = runner.finish(second, resumed)
+        assert report.content_digest() == reference.content_digest()
+        assert report.to_json() == reference.to_json()
+
+    def test_digest_discriminates_backend_config(
+            self, tiny_bundle, platform, tiny_calibration):
+        """Runs that scheduled differently must never alias."""
+        runner = self._runner(tiny_bundle)
+        gathered = runner.run(self._simulator(
+            tiny_bundle, platform, tiny_calibration, mode="gathered"))
+        interleaved = runner.run(self._simulator(
+            tiny_bundle, platform, tiny_calibration, mode="interleaved"))
+        solo = runner.run(self._simulator(
+            tiny_bundle, platform, tiny_calibration, concurrency=1))
+        digests = {gathered.content_digest(),
+                   interleaved.content_digest(),
+                   solo.content_digest()}
+        assert len(digests) == 3
+
+    def test_report_records_backend_config(self, tiny_bundle, platform,
+                                           tiny_calibration):
+        runner = self._runner(tiny_bundle)
+        report = runner.run(self._simulator(
+            tiny_bundle, platform, tiny_calibration, concurrency=2))
+        assert report.backend_mode == "gathered"
+        assert report.concurrency == 2
+        payload = json.loads(report.to_json())
+        assert payload["backend"] == {"mode": "gathered",
+                                      "concurrency": 2}
