@@ -504,7 +504,11 @@ def run_step_parity_audit(
     sequence's tokens and counters must match its own solo
     ``generate()`` token for token (the ``step_batch`` contract — only
     the simulated schedule may change), with each batched result passing
-    the invariant audit on its rebased timeline.
+    the invariant audit on its rebased timeline.  The four prompts share
+    one length, so the scheduler's prompt-length bucketing forms a
+    prefill cohort and the same parity check covers gathered *prefill*
+    too; the audit additionally asserts that prefill kernels really were
+    gathered, so this coverage cannot silently degrade to solo prefill.
 
     An optional shared ``compute_cache`` is attached for the whole run —
     the paths then also exercise the memoization layer under the step
@@ -561,6 +565,18 @@ def run_step_parity_audit(
                                     max_new_tokens=max_new_tokens, seq_id=i)
                     for i, p in enumerate(prompts)
                 ])
+                gather = batch4.gather
+                if gather is None or gather.prefill_expert_kernels == 0:
+                    comparison.problems.append(
+                        "gathered@4: prefill kernels were not gathered "
+                        "(bucketing did not form a cohort)"
+                    )
+                elif not (gather.prefill_expert_kernels
+                          < gather.prefill_expert_ops):
+                    comparison.problems.append(
+                        "gathered@4: prefill expert calls were not "
+                        "amortized across the cohort"
+                    )
                 records = sorted(batch4.records, key=lambda r: r.seq_id)
                 for i, (record, solo) in enumerate(zip(records, solo_refs)):
                     batched = record.result

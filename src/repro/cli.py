@@ -297,6 +297,13 @@ def cmd_serve_cluster(args) -> int:
             admission=AdmissionController(
                 max_queue_len=args.max_queue,
                 ttft_deadline_s=args.ttft_deadline,
+                batch_hold_s=args.batch_hold,
+                # Prompts at/above the crossover saturate a solo kernel
+                # already, so holding them buys nothing.
+                crossover_tokens=(
+                    engines[0].cost_model.batch_crossover_tokens(platform.gpu)
+                    if args.batch_hold > 0 else 0
+                ),
             ),
             slo=SLOTarget(ttft_s=args.slo_ttft, tpot_s=args.slo_tpot),
             concurrency=args.concurrency,
@@ -575,8 +582,27 @@ def cmd_scenarios(args) -> int:
     return 0
 
 
+def _length_pairs(input_lens: list, output_lens: list) -> list:
+    """Zip sweepable ``--input-len``/``--output-len`` values pairwise.
+
+    Equal-length lists pair positionally; a length-one list broadcasts
+    against the other.  Anything else is ambiguous and rejected.
+    """
+    if len(input_lens) == len(output_lens):
+        return list(zip(input_lens, output_lens))
+    if len(input_lens) == 1:
+        return [(input_lens[0], ol) for ol in output_lens]
+    if len(output_lens) == 1:
+        return [(il, output_lens[0]) for il in input_lens]
+    raise SystemExit(
+        "--input-len and --output-len must have equal lengths "
+        f"(or one value to broadcast); got {len(input_lens)} and "
+        f"{len(output_lens)}"
+    )
+
+
 def cmd_bench_batch(args) -> int:
-    """Benchmark continuous batching across batch sizes and modes."""
+    """Benchmark continuous batching across lengths, batch sizes, modes."""
     import json
 
     from repro.core.engine import SequenceRequest
@@ -586,74 +612,92 @@ def cmd_bench_batch(args) -> int:
     bundle = _build(args)
     platform = default_platform()
     calibration = _calibrate(bundle)
+    pairs = _length_pairs(args.input_len, args.output_len)
     rows = []
     payload = {
         "model": args.model,
         "dataset": args.dataset,
         "requests": args.requests,
-        "input_len": args.input_len,
-        "output_len": args.output_len,
+        "input_len": (args.input_len[0] if len(args.input_len) == 1
+                      else list(args.input_len)),
+        "output_len": (args.output_len[0] if len(args.output_len) == 1
+                       else list(args.output_len)),
         "runs": [],
         "comparison": [],
     }
     throughput: dict = {}
     for name in args.engines:
-        generator = SequenceGenerator(
-            get_dataset(args.dataset), bundle.vocab, seed=args.seed + 8
-        )
-        requests = []
-        for i in range(args.requests):
-            sequence = generator.sample_sequence(
-                args.input_len, args.output_len, sample_idx=i
+        for input_len, output_len in pairs:
+            generator = SequenceGenerator(
+                get_dataset(args.dataset), bundle.vocab, seed=args.seed + 8
             )
-            requests.append(SequenceRequest(
-                prompt_tokens=sequence.prompt_tokens,
-                max_new_tokens=args.output_len,
-                forced_tokens=sequence.continuation_tokens,
-                seq_id=i,
-            ))
-        for batch_size in args.batch_sizes:
-            for mode in args.modes:
-                engine = build_engine(name, bundle, platform,
-                                      expert_cache_ratio=args.ecr,
-                                      calibration_probs=calibration)
-                scheduler = ContinuousBatchScheduler(
-                    engine, max_batch=batch_size, mode=mode
+            requests = []
+            for i in range(args.requests):
+                sequence = generator.sample_sequence(
+                    input_len, output_len, sample_idx=i
                 )
-                report = scheduler.run(requests)
-                throughput[(name, batch_size, mode)] = \
-                    report.throughput_tokens_per_s
-                rows.append([
-                    name, batch_size, mode,
-                    report.makespan_s,
-                    f"{100 * report.overlap_ratio:.1f}%",
-                    report.throughput_tokens_per_s,
-                    report.mean_ttft_s(),
-                    f"{report.n_expert_kernels}/{report.n_expert_ops}",
-                    f"{100 * report.occupancy(GPU):.0f}%",
-                ])
-                payload["runs"].append(json.loads(report.to_json()))
-        if set(args.modes) >= {GATHERED, INTERLEAVED}:
+                requests.append(SequenceRequest(
+                    prompt_tokens=sequence.prompt_tokens,
+                    max_new_tokens=output_len,
+                    forced_tokens=sequence.continuation_tokens,
+                    seq_id=i,
+                ))
             for batch_size in args.batch_sizes:
-                base = throughput[(name, batch_size, INTERLEAVED)]
-                gath = throughput[(name, batch_size, GATHERED)]
-                payload["comparison"].append({
-                    "engine": name,
-                    "max_batch": batch_size,
-                    "interleaved_tokens_per_s": base,
-                    "gathered_tokens_per_s": gath,
-                    "gathered_speedup": gath / base if base > 0 else 0.0,
-                })
+                for mode in args.modes:
+                    engine = build_engine(name, bundle, platform,
+                                          expert_cache_ratio=args.ecr,
+                                          calibration_probs=calibration)
+                    scheduler = ContinuousBatchScheduler(
+                        engine, max_batch=batch_size, mode=mode
+                    )
+                    report = scheduler.run(requests)
+                    throughput[(name, input_len, output_len,
+                                batch_size, mode)] = \
+                        report.throughput_tokens_per_s
+                    prefill = report.phase_gather_stats()["prefill"]
+                    rows.append([
+                        name, f"{input_len}/{output_len}", batch_size, mode,
+                        report.makespan_s,
+                        f"{100 * report.overlap_ratio:.1f}%",
+                        report.throughput_tokens_per_s,
+                        report.mean_ttft_s(),
+                        f"{report.n_expert_kernels}/{report.n_expert_ops}",
+                        f"{prefill['expert_kernels']}"
+                        f"/{prefill['expert_ops']}",
+                        f"{100 * report.occupancy(GPU):.0f}%",
+                    ])
+                    run = json.loads(report.to_json())
+                    run["input_len"] = input_len
+                    run["output_len"] = output_len
+                    payload["runs"].append(run)
+            if set(args.modes) >= {GATHERED, INTERLEAVED}:
+                for batch_size in args.batch_sizes:
+                    base = throughput[(name, input_len, output_len,
+                                       batch_size, INTERLEAVED)]
+                    gath = throughput[(name, input_len, output_len,
+                                       batch_size, GATHERED)]
+                    payload["comparison"].append({
+                        "engine": name,
+                        "input_len": input_len,
+                        "output_len": output_len,
+                        "max_batch": batch_size,
+                        "interleaved_tokens_per_s": base,
+                        "gathered_tokens_per_s": gath,
+                        "gathered_speedup": gath / base if base > 0 else 0.0,
+                    })
+    lengths_label = ", ".join(f"{il}/{ol}" for il, ol in pairs)
     print(format_table(
-        ["engine", "batch", "mode", "makespan (s)", "overlap",
-         "tok/s", "mean TTFT (s)", "kernels/ops", "GPU busy"],
+        ["engine", "in/out", "batch", "mode", "makespan (s)", "overlap",
+         "tok/s", "mean TTFT (s)", "kernels/ops", "prefill k/ops",
+         "GPU busy"],
         rows,
         title=f"bench-batch: {args.requests} requests, in/out "
-              f"{args.input_len}/{args.output_len} ({args.dataset})",
+              f"{lengths_label} ({args.dataset})",
     ))
     for entry in payload["comparison"]:
         print(
-            f"{entry['engine']} @ batch {entry['max_batch']}: gathered "
+            f"{entry['engine']} @ {entry['input_len']}/"
+            f"{entry['output_len']} batch {entry['max_batch']}: gathered "
             f"{entry['gathered_tokens_per_s']:.2f} tok/s vs interleaved "
             f"{entry['interleaved_tokens_per_s']:.2f} tok/s "
             f"({entry['gathered_speedup']:.2f}x)"
@@ -956,6 +1000,10 @@ def build_parser() -> argparse.ArgumentParser:
     p_cluster.add_argument("--ttft-deadline", type=float, default=None,
                            help="expire queued requests past this TTFT "
                                 "deadline (seconds)")
+    p_cluster.add_argument("--batch-hold", type=float, default=0.0,
+                           help="hold a lone sub-crossover prefill this "
+                                "many seconds hoping a batchmate arrives "
+                                "(0 = dispatch immediately)")
     p_cluster.add_argument("--slo-ttft", type=float, default=30.0,
                            help="TTFT SLO target in seconds")
     p_cluster.add_argument("--slo-tpot", type=float, default=1.0,
@@ -1030,8 +1078,12 @@ def build_parser() -> argparse.ArgumentParser:
     p_batch.add_argument("--batch-sizes", nargs="+", type=int,
                          default=(1, 2, 4),
                          help="max_batch values to sweep")
-    p_batch.add_argument("--input-len", type=int, default=32)
-    p_batch.add_argument("--output-len", type=int, default=16)
+    p_batch.add_argument("--input-len", type=int, nargs="+", default=[32],
+                         help="prompt lengths to sweep (pairs with "
+                              "--output-len; one value broadcasts)")
+    p_batch.add_argument("--output-len", type=int, nargs="+", default=[16],
+                         help="decode lengths to sweep (pairs with "
+                              "--input-len; one value broadcasts)")
     p_batch.add_argument("--modes", nargs="+",
                          default=("interleaved", "gathered"),
                          choices=("interleaved", "gathered"),

@@ -271,6 +271,35 @@ class ClusterReport:
             return self.replica_gather[replica]
         return GatherStats()
 
+    def replica_phase_stats(self, replica: int) -> dict:
+        """Per-phase (prefill/decode) gathered kernel counts of one
+        replica, so the two regimes' amortization is separable."""
+        gather = self.replica_gather_stats(replica)
+        return {
+            "prefill": {
+                "expert_ops": gather.prefill_expert_ops,
+                "expert_kernels": gather.prefill_expert_kernels,
+                "expert_amortization": gather.prefill_expert_amortization,
+                "lm_head_ops": gather.prefill_lm_head_ops,
+                "lm_head_kernels": gather.prefill_lm_head_kernels,
+                "attn_ops": gather.attn_ops,
+                "attn_kernels": gather.attn_kernels,
+                "gate_ops": gather.gate_ops,
+                "gate_kernels": gather.gate_kernels,
+            },
+            "decode": {
+                "expert_ops": gather.decode_expert_ops,
+                "expert_kernels": gather.decode_expert_kernels,
+                "expert_amortization": gather.decode_expert_amortization,
+                "lm_head_ops": (
+                    gather.lm_head_ops - gather.prefill_lm_head_ops
+                ),
+                "lm_head_kernels": (
+                    gather.lm_head_kernels - gather.prefill_lm_head_kernels
+                ),
+            },
+        }
+
     # ---- serialization --------------------------------------------------------
 
     def to_dict(self) -> dict:
@@ -314,6 +343,7 @@ class ClusterReport:
                         self.replica_gather_stats(i).gathered_rows,
                     "max_group_size":
                         self.replica_gather_stats(i).max_group_size,
+                    "phases": self.replica_phase_stats(i),
                 }
                 for i, (busy, util) in enumerate(
                     zip(self.replica_busy_s, self.replica_utilization())

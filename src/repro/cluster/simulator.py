@@ -58,6 +58,7 @@ from repro.events import (
     CLUSTER_ARRIVAL,
     CLUSTER_COMPLETION,
     CLUSTER_DISPATCH,
+    CLUSTER_HOLD,
     CLUSTER_REJECT,
     EventBus,
 )
@@ -419,6 +420,8 @@ class ClusterSimulator:
             "admission": {
                 "max_queue_len": self.admission.max_queue_len,
                 "ttft_deadline_s": self.admission.ttft_deadline_s,
+                "batch_hold_s": self.admission.batch_hold_s,
+                "crossover_tokens": self.admission.crossover_tokens,
             },
             "heap": session.heap.to_state_dict(),
             "replicas": [replica.to_state_dict()
@@ -479,6 +482,8 @@ class ClusterSimulator:
             "engine": ",".join(sorted({e.name for e in self.engines})),
             "max_queue_len": self.admission.max_queue_len,
             "ttft_deadline_s": self.admission.ttft_deadline_s,
+            "batch_hold_s": self.admission.batch_hold_s,
+            "crossover_tokens": self.admission.crossover_tokens,
         }
         recorded = {
             "n_replicas": payload["n_replicas"],
@@ -489,6 +494,12 @@ class ClusterSimulator:
             "engine": checkpoint.engine,
             "max_queue_len": payload["admission"]["max_queue_len"],
             "ttft_deadline_s": payload["admission"]["ttft_deadline_s"],
+            # Pre-hold checkpoints default to hold-off, which matches a
+            # simulator configured without the feature.
+            "batch_hold_s": payload["admission"].get("batch_hold_s", 0.0),
+            "crossover_tokens": payload["admission"].get(
+                "crossover_tokens", 0
+            ),
         }
         for key, want in expected.items():
             if recorded[key] != want:
@@ -594,6 +605,29 @@ class ClusterSimulator:
         if not replica.idle or not replica.queue:
             return  # stale dispatch event
         now = heap.now
+        head = session.requests[replica.queue[0]]
+        # The window-expiry guard must use the *same* float expression
+        # as the fallback push below: (arrival + window) - arrival can
+        # round below window, so comparing `now - arrival < window`
+        # would re-hold forever when the fallback dispatch fires.
+        hold_until_s = head.arrival_s + self.admission.hold_window_s
+        if (self.concurrency > 1 and now < hold_until_s
+                and self.admission.should_hold(
+                    len(replica.queue),
+                    int(session.payloads[head.sample_idx][0].size),
+                    now - head.arrival_s)):
+            # A lone sub-crossover prefill: wait (bounded) for a second
+            # request so the prefills dispatch as a gathered cohort.
+            # The fallback dispatch below fires at the hold window's
+            # end; an arrival in the meantime pushes an immediate
+            # dispatch, and whichever fires second hits the stale guard.
+            heap.push(hold_until_s, DISPATCH, replica=replica_idx)
+            if self.events.active:
+                self.events.emit(
+                    CLUSTER_HOLD, now, request_id=head.request_id,
+                    replica=replica_idx, until_s=hold_until_s,
+                )
+            return
         request = session.requests[replica.queue.popleft()]
         if self.admission.expired(request.arrival_s, now):
             self._reject(session, request, replica_idx, EXPIRED)

@@ -1,10 +1,12 @@
-"""Cross-sequence expert gathering: the decode block-work protocol.
+"""Cross-sequence expert gathering: the block-work protocol.
 
 The engines' decode policies (true-gated, predictive pre-calculation,
-prefetch-ahead) are all expressed as generators that *describe* each
-block's routed expert executions as :class:`BlockWork` instead of
-executing them inline (:meth:`~repro.core.engine.BaseEngine.
-_decode_blocks`).  A driver then decides how the described work runs:
+prefetch-ahead) and the shared prefill pass are all expressed as
+generators that *describe* each block's routed expert executions as
+:class:`BlockWork` instead of executing them inline
+(:meth:`~repro.core.engine.BaseEngine._decode_blocks`,
+:meth:`~repro.core.engine.BaseEngine._prefill_blocks`).  A driver then
+decides how the described work runs:
 
 - solo (:meth:`~repro.core.engine.BaseEngine.step`): each call executes
   immediately, in call order, exactly as the pre-protocol engines did —
@@ -39,7 +41,7 @@ CPU_LOC = "cpu"
 
 @dataclass(frozen=True)
 class ExpertCall:
-    """One routed expert execution requested by a decode policy.
+    """One routed expert execution requested by a block-work generator.
 
     Attributes:
         expert: expert id within the block.
@@ -72,10 +74,11 @@ class ExpertCall:
 class BlockWork:
     """All routed expert executions one sequence requests for one block.
 
-    Yielded by an engine's ``_decode_blocks`` generator; the driver
-    sends back a list of ``(output, op)`` pairs aligned with ``calls``.
-    ``calls`` may be empty (every selected expert was pre-calculated) —
-    the yield still happens so all sequences advance block-locked.
+    Yielded by an engine's ``_decode_blocks`` or ``_prefill_blocks``
+    generator; the driver sends back a list of ``(output, op)`` pairs
+    aligned with ``calls``.  ``calls`` may be empty (every selected
+    expert was pre-calculated) — the yield still happens so all
+    sequences advance block-locked.
     """
 
     block_idx: int
@@ -86,11 +89,17 @@ class BlockWork:
 class GatherStats:
     """Physical-kernel accounting of gathered execution.
 
-    One *logical* expert op is one sequence's routed expert execution
-    (what the per-sequence timelines and counters record); one
-    *physical* kernel is one gathered launch serving every participant
-    at once.  The gap between the two is the amortization the gathered
-    scheduler mode buys.
+    One *logical* op is one sequence's share of a stage (what the
+    per-sequence timelines and counters record); one *physical* kernel
+    is one gathered launch serving every participant at once.  The gap
+    between the two is the amortization the gathered scheduler mode
+    buys.
+
+    ``expert_*`` and ``lm_head_*`` are whole-run totals across both
+    phases; the ``prefill_*`` fields split out the gathered-prefill
+    share (decode's share is the difference, exposed as the
+    ``decode_*`` properties).  ``attn_*`` and ``gate_*`` count the
+    non-MoE stages, which only gather during prefill cohorts.
     """
 
     expert_ops: int = 0
@@ -99,6 +108,14 @@ class GatherStats:
     lm_head_ops: int = 0
     lm_head_kernels: int = 0
     max_group_size: int = 0
+    attn_ops: int = 0
+    attn_kernels: int = 0
+    gate_ops: int = 0
+    gate_kernels: int = 0
+    prefill_expert_ops: int = 0
+    prefill_expert_kernels: int = 0
+    prefill_lm_head_ops: int = 0
+    prefill_lm_head_kernels: int = 0
 
     @property
     def expert_amortization(self) -> float:
@@ -106,6 +123,30 @@ class GatherStats:
         if self.expert_kernels == 0:
             return 1.0
         return self.expert_ops / self.expert_kernels
+
+    @property
+    def prefill_expert_amortization(self) -> float:
+        """Prefill-phase logical expert ops per physical kernel."""
+        if self.prefill_expert_kernels == 0:
+            return 1.0
+        return self.prefill_expert_ops / self.prefill_expert_kernels
+
+    @property
+    def decode_expert_ops(self) -> int:
+        """Decode-phase share of the logical expert ops."""
+        return self.expert_ops - self.prefill_expert_ops
+
+    @property
+    def decode_expert_kernels(self) -> int:
+        """Decode-phase share of the physical expert kernels."""
+        return self.expert_kernels - self.prefill_expert_kernels
+
+    @property
+    def decode_expert_amortization(self) -> float:
+        """Decode-phase logical expert ops per physical kernel."""
+        if self.decode_expert_kernels == 0:
+            return 1.0
+        return self.decode_expert_ops / self.decode_expert_kernels
 
     def merge(self, other: "GatherStats") -> None:
         """Fold another accumulator into this one (cross-batch totals)."""
@@ -116,6 +157,14 @@ class GatherStats:
         self.lm_head_kernels += other.lm_head_kernels
         self.max_group_size = max(self.max_group_size,
                                   other.max_group_size)
+        self.attn_ops += other.attn_ops
+        self.attn_kernels += other.attn_kernels
+        self.gate_ops += other.gate_ops
+        self.gate_kernels += other.gate_kernels
+        self.prefill_expert_ops += other.prefill_expert_ops
+        self.prefill_expert_kernels += other.prefill_expert_kernels
+        self.prefill_lm_head_ops += other.prefill_lm_head_ops
+        self.prefill_lm_head_kernels += other.prefill_lm_head_kernels
 
     def to_state_dict(self) -> dict:
         """Serialize the accumulator for a checkpoint."""
@@ -126,11 +175,23 @@ class GatherStats:
             "lm_head_ops": self.lm_head_ops,
             "lm_head_kernels": self.lm_head_kernels,
             "max_group_size": self.max_group_size,
+            "attn_ops": self.attn_ops,
+            "attn_kernels": self.attn_kernels,
+            "gate_ops": self.gate_ops,
+            "gate_kernels": self.gate_kernels,
+            "prefill_expert_ops": self.prefill_expert_ops,
+            "prefill_expert_kernels": self.prefill_expert_kernels,
+            "prefill_lm_head_ops": self.prefill_lm_head_ops,
+            "prefill_lm_head_kernels": self.prefill_lm_head_kernels,
         }
 
     @classmethod
     def from_state_dict(cls, payload: dict) -> "GatherStats":
-        """Rebuild an accumulator captured by :meth:`to_state_dict`."""
+        """Rebuild an accumulator captured by :meth:`to_state_dict`.
+
+        Pre-gathered-prefill checkpoints lack the per-stage fields;
+        they default to zero, which reads as "nothing gathered".
+        """
         return cls(**{key: int(value) for key, value in payload.items()})
 
 

@@ -734,6 +734,136 @@ class BaseEngine:
             ))
         return step_results
 
+    def step_prefill_batch(self, states: list, gather_stats=None) -> list:
+        """Advance several prefill-phase sequences one full pass, batched.
+
+        A prompt-length cohort's prefill passes run block-locked through
+        the same gathered driver as :meth:`step_batch`: every sequence's
+        :meth:`_prefill_blocks` generator yields one
+        :class:`~repro.core.batching.BlockWork` per block, same-``(block,
+        expert, device)`` calls merge into one simulated kernel, and the
+        final LM head runs once over all last-token rows.  Attention and
+        gate ops cannot merge across sequences functionally (each works
+        on its own hidden states), but a cohort's are priced as shares
+        of one batched launch via the cost model's
+        ``attention_batch_efficiency`` / ``gate_batch_efficiency``
+        curves: each op's solo duration is scaled by ``eff(total cohort
+        rows) / eff(own rows)``, so the cohort's summed time equals one
+        kernel over all rows.  Functional values are still evaluated
+        per-sequence through the cache-aware stage API, so token bytes,
+        cache keys, traces, and counters are bitwise identical to solo
+        prefill; a cohort of one degenerates to exactly the ops
+        :meth:`step` schedules (the pricing ratio is identically 1.0).
+
+        Args:
+            states: prefill-phase sequence states, in admission order.
+                When more than one, all must share one
+                :class:`~repro.hardware.timeline.ResourceClock`.
+            gather_stats: optional
+                :class:`~repro.core.batching.GatherStats` accumulating
+                physical-kernel counts (prefill-phase fields included).
+
+        Returns:
+            One :class:`StepResult` per state, aligned with ``states``.
+
+        Raises:
+            ValueError: for an empty batch or mixed resource clocks.
+            RuntimeError: for a state not in the prefill phase.
+        """
+        if not states:
+            raise ValueError("step_prefill_batch needs at least one state")
+        for state in states:
+            if state.phase == SEQ_DONE:
+                raise RuntimeError(
+                    f"sequence {state.seq_id} is done; call finish()"
+                )
+            if state.phase != SEQ_PREFILL:
+                raise RuntimeError(
+                    f"sequence {state.seq_id} is in phase "
+                    f"{state.phase!r}; step_prefill_batch serves "
+                    "prefill-phase sequences — run decode via "
+                    "step_batch()"
+                )
+        if len(states) > 1:
+            clocks = {id(state.timeline.clock) for state in states}
+            if len(clocks) != 1:
+                raise ValueError(
+                    "batched stepping requires all states to share one "
+                    "ResourceClock (scheduler-built timelines); private "
+                    "clocks cannot express a gathered kernel"
+                )
+        rows_total = sum(
+            int(state.request.prompt_tokens.size) for state in states
+        )
+        gens = []
+        for state in states:
+            state.extra["gather_pricing"] = {"rows_total": rows_total}
+            gens.append(self._prefill_blocks(
+                state, state.request.prompt_tokens
+            ))
+        try:
+            results: list = [None] * len(states)
+            for _round in range(self.model.n_blocks):
+                works = []
+                for i, gen in enumerate(gens):
+                    try:
+                        works.append((states[i], gen.send(results[i])))
+                    except StopIteration:
+                        raise RuntimeError(
+                            f"prefill pass of {self.name!r} yielded "
+                            f"fewer than n_blocks work sets"
+                        ) from None
+                if gather_stats is not None:
+                    gather_stats.attn_kernels += 1
+                    gather_stats.attn_ops += len(states)
+                    gather_stats.gate_kernels += 1
+                    gather_stats.gate_ops += len(states)
+                results = self._execute_block_work_gathered(
+                    works, gather_stats, phase=SEQ_PREFILL
+                )
+            finals = []
+            for i, gen in enumerate(gens):
+                try:
+                    gen.send(results[i])
+                except StopIteration as stop:
+                    finals.append(stop.value)
+                else:
+                    raise RuntimeError(
+                        f"prefill pass of {self.name!r} yielded more "
+                        f"than n_blocks work sets"
+                    )
+            logits_rows, lm_ops = self._lm_head_batch(
+                states, [h for h, _ in finals], [op for _, op in finals],
+                gather_stats, phase=SEQ_PREFILL,
+            )
+        finally:
+            for state in states:
+                state.extra.pop("gather_pricing", None)
+        step_results = []
+        for state, logits, lm_op in zip(states, logits_rows, lm_ops):
+            state.last_op = lm_op
+            state.prefill_time_s = lm_op.end
+            token = int(state.sampler(logits))
+            state.generated.append(token)
+            if len(state.generated) >= state.request.max_new_tokens:
+                state.phase = SEQ_DONE
+            else:
+                state.phase = SEQ_DECODE
+            if self.events.active:
+                self.events.emit(
+                    ENGINE_STEP, lm_op.end, engine=self.name,
+                    seq_id=state.seq_id, phase=SEQ_PREFILL, token=token,
+                    n_generated=len(state.generated), done=state.done,
+                    batched=len(states),
+                )
+            step_results.append(StepResult(
+                phase=SEQ_PREFILL,
+                token=token,
+                done=state.done,
+                n_generated=len(state.generated),
+            ))
+        return step_results
+
     def finish(self, state: SequenceState) -> GenerationResult:
         """Summarize a finished sequence into a :class:`GenerationResult`.
 
@@ -929,6 +1059,22 @@ class BaseEngine:
         duration = self.framework_overhead_s + self.cost_model.non_moe_time(
             self.platform.gpu, n_tokens, context_len
         )
+        pricing = ctx.extra.get("gather_pricing")
+        if pricing is not None:
+            # Gathered-prefill pricing: scaling each cohort member's solo
+            # duration by eff(R)/eff(own rows) makes the cohort's summed
+            # attention time equal one batched kernel over all R rows.
+            # A cohort of one has R == n_tokens, so the ratio is exactly
+            # 1.0 and the op stays bitwise identical to a solo step.
+            duration *= (
+                self.cost_model.attention_batch_efficiency(
+                    self.platform.gpu, int(pricing["rows_total"]),
+                    self.framework_overhead_s,
+                )
+                / self.cost_model.attention_batch_efficiency(
+                    self.platform.gpu, n_tokens, self.framework_overhead_s,
+                )
+            )
         op = ctx.timeline.add(
             GPU, duration, deps=deps,
             label=f"attn B{block_idx} {phase}", kind="non_moe",
@@ -943,6 +1089,20 @@ class BaseEngine:
         duration = self.framework_overhead_s + self.cost_model.gate_time(
             self.platform.gpu, h_att.shape[0]
         )
+        pricing = ctx.extra.get("gather_pricing")
+        if pricing is not None:
+            # Same cohort pricing as _attention; eff(R)/eff(own rows)
+            # sums to one batched router launch over all R rows.
+            duration *= (
+                self.cost_model.gate_batch_efficiency(
+                    self.platform.gpu, int(pricing["rows_total"]),
+                    self.framework_overhead_s,
+                )
+                / self.cost_model.gate_batch_efficiency(
+                    self.platform.gpu, int(h_att.shape[0]),
+                    self.framework_overhead_s,
+                )
+            )
         op = ctx.timeline.add(
             GPU, duration, deps=deps, label=f"gate B{block_idx}", kind="gate",
         )
@@ -1133,7 +1293,31 @@ class BaseEngine:
 
     def _prefill_standard(self, ctx: _SequenceContext,
                           prompt_tokens: np.ndarray) -> tuple[np.ndarray, Op]:
-        """Shared prefill: per block, attend -> gate -> prepare -> execute."""
+        """Shared prefill under the solo driver (one inline-order pass)."""
+        return self._drive_blocks(
+            ctx, self._prefill_blocks_standard(ctx, prompt_tokens)
+        )
+
+    # ---- block-work protocol ------------------------------------------------------
+    #
+    # Decode policies and the shared prefill pass are generators
+    # yielding one BlockWork per block (see repro.core.batching); a
+    # driver decides how the described expert executions run —
+    # immediately (solo) or gathered with the same-expert calls of
+    # other in-flight sequences (step_batch / step_prefill_batch).
+
+    def _prefill_blocks_standard(self, ctx: _SequenceContext,
+                                 prompt_tokens: np.ndarray):
+        """Shared prefill pass as a block-work generator.
+
+        Per block: attend -> gate -> prepare -> describe the routed
+        expert executions.  Yields exactly ``n_blocks``
+        :class:`BlockWork` items and returns ``(h_last, done_op)``;
+        under the solo driver the op schedule is identical to the
+        historical inline prefill, and under the gathered driver a
+        prompt-length cohort's same-expert calls merge into shared
+        kernels.
+        """
         from repro.core.allocation import activity_from_routing
 
         h = self.model.embed(prompt_tokens)
@@ -1160,7 +1344,7 @@ class BaseEngine:
                 self._record_activation_counters(
                     ctx, block_idx, routing.experts[t]
                 )
-            h, expert_ops = self._execute_experts_at_location(
+            h, expert_ops = yield from self._routed_block_work(
                 ctx, block_idx, h_att, routing.experts, routing.weights,
                 [gate_op], plan.extra_deps, plan.force_gpu,
             )
@@ -1170,13 +1354,6 @@ class BaseEngine:
             GPU, 0.0, deps=last_ops, label="prefill done", kind="sync"
         )
         return h[-1], done
-
-    # ---- decode block-work protocol ----------------------------------------------
-    #
-    # Decode policies are generators yielding one BlockWork per block
-    # (see repro.core.batching); a driver decides how the described
-    # expert executions run — immediately (solo) or gathered with the
-    # same-expert calls of other in-flight sequences (step_batch).
 
     def _routed_block_work(
         self,
@@ -1294,9 +1471,9 @@ class BaseEngine:
             results.append((y, op))
         return results
 
-    def _drive_decode_blocks(self, ctx: _SequenceContext,
-                             gen) -> tuple[np.ndarray, Op]:
-        """Run one decode-policy generator solo to completion."""
+    def _drive_blocks(self, ctx: _SequenceContext,
+                      gen) -> tuple[np.ndarray, Op]:
+        """Run one block-work generator (decode or prefill) solo."""
         results = None
         while True:
             try:
@@ -1318,13 +1495,17 @@ class BaseEngine:
         return barrier
 
     def _execute_block_work_gathered(self, works: list,
-                                     gather_stats=None) -> list:
+                                     gather_stats=None,
+                                     phase: str = SEQ_DECODE) -> list:
         """Execute one round of block work gathered across sequences.
 
         Args:
             works: ``(state, BlockWork)`` per sequence, admission order.
             gather_stats: optional
                 :class:`~repro.core.batching.GatherStats` accumulator.
+            phase: which phase's stats bucket the kernels land in
+                (``"prefill"`` additionally counts the ``prefill_*``
+                fields).
 
         Returns:
             Per sequence, the ``(output, op)`` list aligned with its
@@ -1340,12 +1521,12 @@ class BaseEngine:
             if location == GPU_LOC:
                 self._gathered_expert_gpu(
                     works, results, block_idx, expert, participants,
-                    gather_stats,
+                    gather_stats, phase,
                 )
             else:
                 self._gathered_expert_cpu(
                     works, results, block_idx, expert, participants,
-                    gather_stats,
+                    gather_stats, phase,
                 )
         return results
 
@@ -1370,7 +1551,7 @@ class BaseEngine:
         return ys, rows
 
     def _note_gathered_kernel(self, gather_stats, participants: list,
-                              rows: int) -> None:
+                              rows: int, phase: str = SEQ_DECODE) -> None:
         """Account one physical gathered kernel launch."""
         if gather_stats is None:
             return
@@ -1380,10 +1561,14 @@ class BaseEngine:
         gather_stats.max_group_size = max(
             gather_stats.max_group_size, len(participants)
         )
+        if phase == SEQ_PREFILL:
+            gather_stats.prefill_expert_kernels += 1
+            gather_stats.prefill_expert_ops += len(participants)
 
     def _gathered_expert_gpu(self, works: list, results: list,
                              block_idx: int, expert: int,
-                             participants: list, gather_stats=None) -> None:
+                             participants: list, gather_stats=None,
+                             phase: str = SEQ_DECODE) -> None:
         """One gathered GPU expert kernel over all participants' rows.
 
         The kernel is charged once at the cost model's batched time
@@ -1409,11 +1594,12 @@ class BaseEngine:
             )
             state.counters.gpu_expert_execs += 1
             results[i][j] = (y, op)
-        self._note_gathered_kernel(gather_stats, participants, rows)
+        self._note_gathered_kernel(gather_stats, participants, rows, phase)
 
     def _gathered_expert_cpu(self, works: list, results: list,
                              block_idx: int, expert: int,
-                             participants: list, gather_stats=None) -> None:
+                             participants: list, gather_stats=None,
+                             phase: str = SEQ_DECODE) -> None:
         """One gathered CPU expert execution with batched round-trips.
 
         The three stages of the solo path (activations device-to-host,
@@ -1459,10 +1645,11 @@ class BaseEngine:
                 label=f"act>gpu B{block_idx}", kind="act_h2d",
             )
             results[i][j] = (y, h2d)
-        self._note_gathered_kernel(gather_stats, participants, rows)
+        self._note_gathered_kernel(gather_stats, participants, rows, phase)
 
     def _lm_head_batch(self, states: list, h_lasts: list, done_ops: list,
-                       gather_stats=None) -> tuple[list, list]:
+                       gather_stats=None,
+                       phase: str = SEQ_DECODE) -> tuple[list, list]:
         """Final norm + LM head gathered over every sequence's last token.
 
         One simulated launch over ``len(states)`` rows, sliced into
@@ -1485,12 +1672,15 @@ class BaseEngine:
         if gather_stats is not None:
             gather_stats.lm_head_kernels += 1
             gather_stats.lm_head_ops += n
+            if phase == SEQ_PREFILL:
+                gather_stats.prefill_lm_head_kernels += 1
+                gather_stats.prefill_lm_head_ops += n
         return logits_rows, ops
 
     def _decode_step_standard(self, ctx: _SequenceContext, token: int,
                               deps: list[Op]) -> tuple[np.ndarray, Op]:
         """Shared decode step: the standard policy under the solo driver."""
-        return self._drive_decode_blocks(
+        return self._drive_blocks(
             ctx, self._decode_blocks_standard(ctx, token, deps)
         )
 
@@ -1499,7 +1689,20 @@ class BaseEngine:
 
     def _prefill(self, ctx: _SequenceContext,
                  prompt_tokens: np.ndarray) -> tuple[np.ndarray, Op]:
-        return self._prefill_standard(ctx, prompt_tokens)
+        return self._drive_blocks(
+            ctx, self._prefill_blocks(ctx, prompt_tokens)
+        )
+
+    def _prefill_blocks(self, ctx: _SequenceContext,
+                        prompt_tokens: np.ndarray):
+        """Policy hook: the prefill block-work generator for one prompt.
+
+        An engine with a custom prefill policy overrides *this* instead
+        of ``_prefill``, so one policy serves both the solo and the
+        gathered driver.  Must yield exactly ``n_blocks``
+        :class:`BlockWork` items and return ``(h_last, done_op)``.
+        """
+        return (yield from self._prefill_blocks_standard(ctx, prompt_tokens))
 
     def _decode_blocks(self, ctx: _SequenceContext, token: int,
                        deps: list[Op]):
@@ -1516,6 +1719,6 @@ class BaseEngine:
     def _decode_step(self, ctx: _SequenceContext, token: int,
                      deps: list[Op]) -> tuple[np.ndarray, Op]:
         """One decode token under the solo driver (substrate; not a hook)."""
-        return self._drive_decode_blocks(
+        return self._drive_blocks(
             ctx, self._decode_blocks(ctx, token, deps)
         )

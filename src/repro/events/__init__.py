@@ -21,6 +21,7 @@ from repro.events.bus import (
     CLUSTER_ARRIVAL,
     CLUSTER_COMPLETION,
     CLUSTER_DISPATCH,
+    CLUSTER_HOLD,
     CLUSTER_REJECT,
     ENGINE_STEP,
     EventBus,
@@ -40,6 +41,7 @@ __all__ = [
     "CLUSTER_ARRIVAL",
     "CLUSTER_COMPLETION",
     "CLUSTER_DISPATCH",
+    "CLUSTER_HOLD",
     "CLUSTER_REJECT",
     "ENGINE_STEP",
     "EventBus",

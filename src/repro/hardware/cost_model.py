@@ -140,6 +140,28 @@ class CostModel:
             device, self.arch.embedding_params, n_tokens, overhead_s
         )
 
+    def attention_batch_efficiency(self, device: DeviceSpec, n_tokens: int,
+                                   overhead_s: float = 0.0) -> float:
+        """Batch-efficiency curve of a block's attention projections.
+
+        Prices the weight-bound part of :meth:`non_moe_time` (the QKV/O
+        projections); the per-sequence score/value work against the KV
+        cache scales with each sequence's own context and never
+        amortizes, so gathered prefill pricing applies this curve to the
+        whole attention op as a conservative lower bound on the gain.
+        """
+        return self.batch_efficiency(
+            device, self.arch.attention_params, n_tokens, overhead_s
+        )
+
+    def gate_batch_efficiency(self, device: DeviceSpec, n_tokens: int,
+                              overhead_s: float = 0.0) -> float:
+        """Batch-efficiency curve of the router MLP (see
+        :meth:`batch_efficiency`)."""
+        return self.batch_efficiency(
+            device, self.arch.gate_params, n_tokens, overhead_s
+        )
+
     def batch_crossover_tokens(self, device: DeviceSpec,
                                weight_params: int | None = None) -> int:
         """Row count where a dense op leaves the bandwidth-bound regime.

@@ -55,6 +55,11 @@ class MoEBlock:
         # One-slot identity memo for ffn_norm: (h_att object, normed).
         # Holding the input reference keeps its id() stable and valid.
         self._norm_memo: tuple[np.ndarray, np.ndarray] | None = None
+        # Bounded identity-LRU upgrade of the ffn_norm memo, built by an
+        # attached cache's duck-typed ``identity_memo`` factory (gathered
+        # rounds interleave many sequences' arrays through one block,
+        # which thrashes a single slot).  None -> one-slot fallback.
+        self._norm_lru = None
         # One-slot identity memo for hidden-state digests: the gate, the
         # routed experts, and ffn_norm all key on the same h_att object,
         # which therefore only needs hashing once per block step.
@@ -73,6 +78,10 @@ class MoEBlock:
         self.cache_scope = scope
         self._norm_memo = None
         self._digest_memo = None
+        memo_factory = getattr(cache, "identity_memo", None)
+        self._norm_lru = (
+            memo_factory("ffn_norm") if memo_factory is not None else None
+        )
 
     def _arr_digest(self, arr: np.ndarray) -> bytes:
         """Content digest of one array, memoized by object identity."""
@@ -136,14 +145,24 @@ class MoEBlock:
         """``ffn_norm`` of the post-attention states, computed once.
 
         The normalization is shared by the gate and every routed expert
-        (previously recomputed per consumer — 3x per token at top-2); a
-        one-slot identity memo makes repeat calls on the same array free
-        even without a compute cache attached.
+        (previously recomputed per consumer — 3x per token at top-2); an
+        identity memo makes repeat calls on the same array free even
+        without a compute cache attached.  With a cache attached the
+        memo is a bounded LRU from its ``identity_memo`` factory, so
+        gathered rounds that interleave several sequences' arrays
+        through the block still hit; standalone blocks fall back to a
+        one-slot memo.
         """
         h_att = np.atleast_2d(h_att)
-        memo = self._norm_memo
-        if memo is not None and memo[0] is h_att:
-            return memo[1]
+        lru = self._norm_lru
+        if lru is not None:
+            normed = lru.get(h_att)
+            if normed is not None:
+                return normed
+        else:
+            memo = self._norm_memo
+            if memo is not None and memo[0] is h_att:
+                return memo[1]
         tensor_cache = self.compute_cache
         if tensor_cache is None:
             normed = self.ffn_norm(h_att)
@@ -155,7 +174,10 @@ class MoEBlock:
             normed = tensor_cache.get(key, "ffn_norm")
             if normed is None:
                 normed = tensor_cache.put(key, "ffn_norm", self.ffn_norm(h_att))
-        self._norm_memo = (h_att, normed)
+        if lru is not None:
+            lru.put(h_att, normed)
+        else:
+            self._norm_memo = (h_att, normed)
         return normed
 
     def gate_logits(self, h_att: np.ndarray) -> np.ndarray:

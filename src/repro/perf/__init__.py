@@ -31,8 +31,10 @@ from repro.perf.perf_delta import (
     diff_compute_bench,
     load_benchmark,
 )
+from repro.perf.memo import IdentityLRUMemo
 from repro.perf.tensor_cache import (
     DEFAULT_MAX_BYTES,
+    DEFAULT_MEMO_CAPACITY,
     StageCounters,
     TensorCache,
     content_key,
@@ -53,6 +55,8 @@ __all__ = [
     "diff_compute_bench",
     "load_benchmark",
     "DEFAULT_MAX_BYTES",
+    "DEFAULT_MEMO_CAPACITY",
+    "IdentityLRUMemo",
     "StageCounters",
     "TensorCache",
     "content_key",

@@ -38,24 +38,30 @@ def _now() -> float:
 
 
 def _stage_snapshot(cache: TensorCache) -> dict:
-    """Copy of the per-stage hit/miss counters."""
+    """Copy of the per-stage hit/miss/memo counters."""
     return {
-        stage: (c.hits, c.misses)
+        stage: (c.hits, c.misses, c.memo_hits)
         for stage, c in cache.stage_counters.items()
     }
 
 
 def _stage_delta(before: dict, after: dict) -> dict:
-    """Per-stage hit rates accumulated between two snapshots."""
+    """Per-stage hit rates accumulated between two snapshots.
+
+    Identity-memo hits (:meth:`TensorCache.identity_memo`) count toward
+    the stage's hit rate — a memoized call avoided recomputation just
+    like a content hit, only cheaper.
+    """
     out = {}
-    for stage, (hits, misses) in sorted(after.items()):
-        h0, m0 = before.get(stage, (0, 0))
-        d_hits, d_misses = hits - h0, misses - m0
-        lookups = d_hits + d_misses
+    for stage, (hits, misses, memo_hits) in sorted(after.items()):
+        h0, m0, n0 = before.get(stage, (0, 0, 0))
+        d_hits, d_misses, d_memo = hits - h0, misses - m0, memo_hits - n0
+        lookups = d_hits + d_misses + d_memo
         out[stage] = {
             "hits": d_hits,
             "misses": d_misses,
-            "hit_rate": d_hits / lookups if lookups else 0.0,
+            "memo_hits": d_memo,
+            "hit_rate": (d_hits + d_memo) / lookups if lookups else 0.0,
         }
     return out
 

@@ -115,13 +115,37 @@ def detect_kind(payload: dict) -> str:
     )
 
 
+def _run_lengths(run: dict, payload: dict) -> tuple:
+    """``(input_len, output_len)`` of one run, oldest artifacts included.
+
+    Sweep-era artifacts stamp the pair on every run; earlier single-pair
+    artifacts only carried it at the payload top level, so fall back
+    there (``0`` when even that is absent) to keep old baselines
+    diffable against new candidates.
+    """
+    def pick(field: str) -> int:
+        value = run.get(field, payload.get(field, 0))
+        # A top-level sweep list cannot identify a single run.
+        return int(value) if not isinstance(value, list) else 0
+
+    return pick("input_len"), pick("output_len")
+
+
 def _batch_throughputs(payload: dict) -> dict:
-    """Decode throughput keyed by ``(engine, max_batch, mode)``."""
+    """Throughput keyed by ``(engine, input_len, output_len, max_batch,
+    mode)``."""
     return {
-        (run["engine"], int(run["max_batch"]), run["mode"]):
+        (run["engine"],) + _run_lengths(run, payload)
+        + (int(run["max_batch"]), run["mode"]):
         float(run["throughput_tokens_per_s"])
         for run in payload.get("runs", [])
     }
+
+
+def _batch_key_label(key: tuple) -> str:
+    engine, input_len, output_len, max_batch, mode = key
+    return (f"{engine}/in={input_len}/out={output_len}"
+            f"/max_batch={max_batch}/{mode}")
 
 
 def diff_batch_bench(baseline: dict, candidate: dict,
@@ -131,16 +155,13 @@ def diff_batch_bench(baseline: dict, candidate: dict,
     base = _batch_throughputs(baseline)
     cand = _batch_throughputs(candidate)
     for key in sorted(set(base) - set(cand)):
-        engine, max_batch, mode = key
         report.problems.append(
-            f"baseline run {engine}/max_batch={max_batch}/{mode} is "
-            "missing from the candidate"
+            f"baseline run {_batch_key_label(key)} is missing from the "
+            "candidate"
         )
     for key in sorted(set(base) & set(cand)):
-        engine, max_batch, mode = key
         report.deltas.append(MetricDelta(
-            metric=(f"{engine}/max_batch={max_batch}/{mode} "
-                    "throughput_tokens_per_s"),
+            metric=f"{_batch_key_label(key)} throughput_tokens_per_s",
             baseline=base[key],
             candidate=cand[key],
         ))

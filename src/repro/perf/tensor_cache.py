@@ -26,27 +26,45 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.perf.memo import IdentityLRUMemo
+
 #: Default byte budget: generous for audit-scale runs, small enough to
 #: stay friendly on a laptop (all cached values are float32 activations).
 DEFAULT_MAX_BYTES = 256 * 1024 * 1024
 
+#: Default entry bound of :meth:`TensorCache.identity_memo` — enough for
+#: every sequence of a gathered batch round (scheduler batches are
+#: single digits) times the handful of per-block consumers.
+DEFAULT_MEMO_CAPACITY = 16
+
 
 @dataclass
 class StageCounters:
-    """Hit/miss tally for one named compute stage."""
+    """Hit/miss tally for one named compute stage.
+
+    ``hits``/``misses`` count content-addressed lookups that reached
+    the cache; ``memo_hits`` counts calls served even earlier by an
+    identity memo fronting the stage (:meth:`TensorCache.
+    identity_memo`), which never touch the cache at all.  The hit rate
+    covers both, so it reflects the fraction of *stage calls* that
+    avoided recomputation, however they avoided it.
+    """
 
     hits: int = 0
     misses: int = 0
+    memo_hits: int = 0
 
     @property
     def lookups(self) -> int:
-        """Total lookups recorded for the stage."""
-        return self.hits + self.misses
+        """Total stage calls recorded (cache lookups plus memo hits)."""
+        return self.hits + self.misses + self.memo_hits
 
     @property
     def hit_rate(self) -> float:
-        """Fraction of lookups served from cache (0.0 when unused)."""
-        return self.hits / self.lookups if self.lookups else 0.0
+        """Fraction of stage calls served without recomputation."""
+        if not self.lookups:
+            return 0.0
+        return (self.hits + self.memo_hits) / self.lookups
 
 
 def _update_part(digest: "hashlib._Hash", part: object) -> None:
@@ -141,6 +159,19 @@ class TensorCache:
             counters = self.stage_counters[stage] = StageCounters()
         return counters
 
+    def identity_memo(self, stage: str | None = None,
+                      capacity: int = DEFAULT_MEMO_CAPACITY) -> IdentityLRUMemo:
+        """Build an :class:`~repro.perf.memo.IdentityLRUMemo` whose hits
+        are credited to ``stage``'s counters (uncounted when ``None``).
+
+        The memo fronts this cache for a stage whose callers re-present
+        the *same input object* repeatedly: a memo hit skips digesting
+        and lookup entirely yet still shows up in the stage's hit rate,
+        so :meth:`stats` reflects all stage calls, however served.
+        """
+        counters = self._counters(stage) if stage is not None else None
+        return IdentityLRUMemo(capacity=capacity, counters=counters)
+
     def get(self, key: bytes, stage: str):
         """Return the cached value for ``key`` (marking it most recent),
         or ``None`` on a miss.  Either way the ``stage`` counters are
@@ -222,6 +253,7 @@ class TensorCache:
                 stage: {
                     "hits": c.hits,
                     "misses": c.misses,
+                    "memo_hits": c.memo_hits,
                     "hit_rate": c.hit_rate,
                 }
                 for stage, c in sorted(self.stage_counters.items())

@@ -41,6 +41,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.core.batching import GatherStats
+from repro.core.bucketing import bucket_prompt_lengths
 from repro.core.engine import (
     SEQ_PREFILL,
     BaseEngine,
@@ -57,8 +58,9 @@ from repro.hardware.timeline import (
 from repro.model.serialization import canonical_digest
 
 #: Version of the scheduler-session checkpoint layout; restore rejects
-#: other versions instead of misreading them.
-SCHED_CHECKPOINT_VERSION = 1
+#: other versions instead of misreading them.  Version 2 added the
+#: ``gathered_prefill`` capability flag to the body.
+SCHED_CHECKPOINT_VERSION = 2
 
 #: Execution modes for a batch round.  ``GATHERED`` (the default) steps
 #: every decode-phase sequence through one
@@ -263,6 +265,39 @@ class BatchReport:
             return 0.0
         return float(np.mean([r.tpot_s for r in self.records]))
 
+    def phase_gather_stats(self) -> dict:
+        """Per-phase (prefill/decode) gathered kernel and op counts.
+
+        Splits the gather accumulator so the two regimes' amortization
+        is separable in reports; all-zero counts with unit amortization
+        when the run gathered nothing (interleaved mode).
+        """
+        gather = self.gather if self.gather is not None else GatherStats()
+        return {
+            "prefill": {
+                "expert_ops": gather.prefill_expert_ops,
+                "expert_kernels": gather.prefill_expert_kernels,
+                "expert_amortization": gather.prefill_expert_amortization,
+                "lm_head_ops": gather.prefill_lm_head_ops,
+                "lm_head_kernels": gather.prefill_lm_head_kernels,
+                "attn_ops": gather.attn_ops,
+                "attn_kernels": gather.attn_kernels,
+                "gate_ops": gather.gate_ops,
+                "gate_kernels": gather.gate_kernels,
+            },
+            "decode": {
+                "expert_ops": gather.decode_expert_ops,
+                "expert_kernels": gather.decode_expert_kernels,
+                "expert_amortization": gather.decode_expert_amortization,
+                "lm_head_ops": (
+                    gather.lm_head_ops - gather.prefill_lm_head_ops
+                ),
+                "lm_head_kernels": (
+                    gather.lm_head_kernels - gather.prefill_lm_head_kernels
+                ),
+            },
+        }
+
     def to_json(self, indent: int = 2) -> str:
         """Deterministic JSON rendering (CI artifacts, diffing)."""
         payload = {
@@ -275,6 +310,7 @@ class BatchReport:
                 self.gather.expert_amortization
                 if self.gather is not None else 1.0
             ),
+            "phases": self.phase_gather_stats(),
             "n_sequences": self.n_sequences,
             "makespan_s": self.makespan_s,
             "sum_solo_makespans_s": self.sum_solo_makespans_s,
@@ -352,10 +388,18 @@ class ContinuousBatchScheduler:
             across sequences into shared kernels via
             :meth:`~repro.core.engine.BaseEngine.step_batch`;
             :data:`INTERLEAVED` round-robins independent ``step`` calls.
+        gathered_prefill: whether prefill-phase sequences in the same
+            prompt-length bucket (:mod:`repro.core.bucketing`) advance
+            together through
+            :meth:`~repro.core.engine.BaseEngine.step_prefill_batch`.
+            Defaults to on in :data:`GATHERED` mode; forbidden in
+            :data:`INTERLEAVED` mode (which by definition runs
+            independent steps).
     """
 
     def __init__(self, engine: BaseEngine, max_batch: int = 4,
-                 mode: str = GATHERED) -> None:
+                 mode: str = GATHERED,
+                 gathered_prefill: bool | None = None) -> None:
         if max_batch < 1:
             raise ValueError("max_batch must be positive")
         if mode not in (GATHERED, INTERLEAVED):
@@ -363,9 +407,17 @@ class ContinuousBatchScheduler:
                 f"mode must be {GATHERED!r} or {INTERLEAVED!r}, "
                 f"got {mode!r}"
             )
+        if gathered_prefill is None:
+            gathered_prefill = mode == GATHERED
+        if gathered_prefill and mode == INTERLEAVED:
+            raise ValueError(
+                "gathered_prefill requires gathered mode; interleaved "
+                "rounds run independent step() calls by definition"
+            )
         self.engine = engine
         self.max_batch = max_batch
         self.mode = mode
+        self.gathered_prefill = bool(gathered_prefill)
         #: Instance-scoped event bus (admission / retirement events).
         self.events = EventBus()
 
@@ -476,6 +528,7 @@ class ContinuousBatchScheduler:
             "engine": self.engine.name,
             "max_batch": self.max_batch,
             "mode": self.mode,
+            "gathered_prefill": self.gathered_prefill,
             "clock": session.clock.to_state_dict(),
             "queue": [
                 {"request": request.to_state_dict(), "arrival_s": arrival}
@@ -518,8 +571,9 @@ class ContinuousBatchScheduler:
             )
         body = {
             key: payload[key]
-            for key in ("version", "engine", "max_batch", "mode", "clock",
-                        "queue", "active", "records", "gather")
+            for key in ("version", "engine", "max_batch", "mode",
+                        "gathered_prefill", "clock", "queue", "active",
+                        "records", "gather")
         }
         digest = canonical_digest(body)
         if digest != payload.get("digest"):
@@ -534,12 +588,16 @@ class ContinuousBatchScheduler:
                 f"this scheduler drives {self.engine.name!r}"
             )
         if (payload["max_batch"] != self.max_batch
-                or payload["mode"] != self.mode):
+                or payload["mode"] != self.mode
+                or payload["gathered_prefill"] != self.gathered_prefill):
             raise ValueError(
                 "scheduler configuration mismatch: checkpoint was taken "
                 f"with max_batch={payload['max_batch']} "
-                f"mode={payload['mode']!r}, this scheduler runs "
-                f"max_batch={self.max_batch} mode={self.mode!r}"
+                f"mode={payload['mode']!r} "
+                f"gathered_prefill={payload['gathered_prefill']}, this "
+                f"scheduler runs max_batch={self.max_batch} "
+                f"mode={self.mode!r} "
+                f"gathered_prefill={self.gathered_prefill}"
             )
         clock = ResourceClock.from_state_dict(payload["clock"])
         queue = deque(
@@ -579,24 +637,53 @@ class ContinuousBatchScheduler:
         """Advance every resident sequence one unit of work.
 
         Interleaved mode round-robins independent ``step`` calls in
-        admission order.  Gathered mode keeps prefill passes solo (still
-        admission-ordered — prompt lengths differ, so prefill does not
-        gather) and advances all decode-phase sequences together through
-        one :meth:`~repro.core.engine.BaseEngine.step_batch` call.
-        Either way each active sequence steps exactly once per round.
+        admission order.  Gathered mode groups prefill-phase sequences
+        into prompt-length buckets — cohorts of two or more advance
+        together through one
+        :meth:`~repro.core.engine.BaseEngine.step_prefill_batch` call
+        (solo, admission-ordered ``step`` calls when
+        ``gathered_prefill`` is off or a bucket holds one sequence) —
+        and advances all decode-phase sequences together through one
+        :meth:`~repro.core.engine.BaseEngine.step_batch` call.  Either
+        way each active sequence steps exactly once per round.
         """
         if self.mode == INTERLEAVED:
             for entry in active:
                 self.engine.step(entry.state)
             return
+        prefill_states = []
         decode_states = []
         for entry in active:
             if entry.state.phase == SEQ_PREFILL:
-                self.engine.step(entry.state)
+                prefill_states.append(entry.state)
             else:
                 decode_states.append(entry.state)
+        if prefill_states:
+            self._step_prefills(prefill_states, report)
         if decode_states:
             self.engine.step_batch(decode_states, gather_stats=report.gather)
+
+    def _step_prefills(self, states: list, report: BatchReport) -> None:
+        """Run one round's prefill passes, bucketed when enabled.
+
+        Buckets follow first-appearance (admission) order and members
+        keep admission order within a bucket, so the schedule stays
+        deterministic; singleton buckets take the solo path, which is
+        bitwise identical to ``step()`` by construction.
+        """
+        if not self.gathered_prefill:
+            for state in states:
+                self.engine.step(state)
+            return
+        lengths = [int(s.request.prompt_tokens.size) for s in states]
+        for bucket in bucket_prompt_lengths(lengths):
+            cohort = [states[i] for i in bucket.indices]
+            if bucket.is_cohort:
+                self.engine.step_prefill_batch(
+                    cohort, gather_stats=report.gather
+                )
+            else:
+                self.engine.step(cohort[0])
 
     def _admit(self, queue: deque, active: list, clock: ResourceClock) -> None:
         """Admit queued requests into the batch, FIFO in arrival order."""

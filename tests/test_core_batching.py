@@ -160,3 +160,97 @@ def test_step_batch_distinct_sequences_share_kernels(
     assert stats.expert_ops >= stats.expert_kernels > 0
     assert stats.lm_head_kernels == 1
     assert stats.lm_head_ops == 2
+
+
+# ---- step_prefill_batch validation and parity --------------------------------
+
+
+def test_step_prefill_batch_rejects_empty(daop):
+    with pytest.raises(ValueError):
+        daop.step_prefill_batch([])
+
+
+def test_step_prefill_batch_rejects_decode_phase(daop, tiny_bundle):
+    state = daop.start(SequenceRequest(
+        prompt_tokens=_prompt(tiny_bundle), max_new_tokens=4,
+    ))
+    daop.step(state)
+    with pytest.raises(RuntimeError, match="decode"):
+        daop.step_prefill_batch([state])
+
+
+def test_step_prefill_batch_rejects_done_sequence(daop, tiny_bundle):
+    state = daop.start(SequenceRequest(
+        prompt_tokens=_prompt(tiny_bundle), max_new_tokens=1,
+    ))
+    daop.step(state)
+    assert state.done
+    with pytest.raises(RuntimeError, match="finish"):
+        daop.step_prefill_batch([state])
+
+
+def test_step_prefill_batch_rejects_mixed_clocks(daop, tiny_bundle):
+    states = [
+        daop.start(
+            SequenceRequest(prompt_tokens=_prompt(tiny_bundle, seed),
+                            max_new_tokens=4, seq_id=seed),
+            timeline=Timeline(clock=ResourceClock()),
+        )
+        for seed in (0, 1)
+    ]
+    with pytest.raises(ValueError, match="ResourceClock"):
+        daop.step_prefill_batch(states)
+
+
+def test_step_prefill_batch_single_state_matches_step(daop, tiny_bundle):
+    """n=1 gathered prefill degenerates to the solo schedule bitwise."""
+    prompt = _prompt(tiny_bundle)
+    solo = daop.start(SequenceRequest(prompt_tokens=prompt,
+                                      max_new_tokens=4))
+    batched = daop.start(SequenceRequest(prompt_tokens=prompt,
+                                         max_new_tokens=4))
+    daop.step(solo)
+    daop.step_prefill_batch([batched])
+    assert solo.generated == batched.generated
+    assert len(solo.timeline.ops) == len(batched.timeline.ops)
+    for got, want in zip(batched.timeline.ops, solo.timeline.ops):
+        assert (got.resource, got.kind, got.start, got.end) == \
+            (want.resource, want.kind, want.start, want.end)
+
+
+def test_step_prefill_batch_cohort_counts_and_token_parity(
+        daop, tiny_bundle):
+    """A two-sequence cohort gathers every stage yet samples solo tokens."""
+    prompts = [_prompt(tiny_bundle, seed) for seed in (0, 1)]
+    solo_tokens = []
+    for prompt in prompts:
+        solo = daop.start(SequenceRequest(prompt_tokens=prompt,
+                                          max_new_tokens=4))
+        daop.step(solo)
+        solo_tokens.append(list(solo.generated))
+
+    clock = ResourceClock()
+    states = [
+        daop.start(
+            SequenceRequest(prompt_tokens=prompt, max_new_tokens=4,
+                            seq_id=i),
+            timeline=Timeline(clock=clock),
+        )
+        for i, prompt in enumerate(prompts)
+    ]
+    stats = GatherStats()
+    results = daop.step_prefill_batch(states, gather_stats=stats)
+    assert all(r.phase == "prefill" for r in results)
+    assert [list(s.generated) for s in states] == solo_tokens
+
+    n_blocks = len(tiny_bundle.model.blocks)
+    assert stats.attn_kernels == n_blocks
+    assert stats.attn_ops == 2 * n_blocks
+    assert stats.gate_kernels == n_blocks
+    assert stats.gate_ops == 2 * n_blocks
+    assert stats.prefill_expert_ops >= stats.prefill_expert_kernels > 0
+    assert stats.prefill_lm_head_kernels == 1
+    assert stats.prefill_lm_head_ops == 2
+    # Totals accrue to the same ledger, so the decode share stays zero.
+    assert stats.decode_expert_ops == 0
+    assert stats.lm_head_ops == stats.prefill_lm_head_ops

@@ -128,6 +128,51 @@ class TestBatchEfficiency:
         with pytest.raises(ValueError):
             cm.batch_efficiency(cm.platform.gpu, cm.arch.expert_params, 0)
 
+    # (curve method, ArchSpec weight field) for every priced stage.
+    STAGE_CURVES = (
+        ("expert_batch_efficiency", "expert_params"),
+        ("lm_head_batch_efficiency", "embedding_params"),
+        ("attention_batch_efficiency", "attention_params"),
+        ("gate_batch_efficiency", "gate_params"),
+    )
+
+    @pytest.mark.parametrize("curve,params_field", STAGE_CURVES)
+    @pytest.mark.parametrize("overhead", (0.0, 2.5e-4))
+    def test_every_stage_curve_monotone_non_increasing(
+        self, cm, curve, params_field, overhead
+    ):
+        """Gathering one more row never makes the per-row cost worse."""
+        eff = [
+            getattr(cm, curve)(cm.platform.gpu, n, overhead_s=overhead)
+            for n in range(1, 65)
+        ]
+        assert eff[0] == 1.0
+        assert all(0.0 < e <= 1.0 for e in eff)
+        for wider, narrower in zip(eff[1:], eff):
+            assert wider <= narrower + 1e-12
+
+    @pytest.mark.parametrize("curve,params_field", STAGE_CURVES)
+    @pytest.mark.parametrize("overhead", (0.0, 2.5e-4))
+    def test_every_stage_curve_bounded_by_compute_roofline(
+        self, cm, curve, params_field, overhead
+    ):
+        """No curve dips below the per-row compute-roofline ratio.
+
+        ``eff(n) = (oh + T(n)) / (n * (oh + T(1)))`` and ``T(n)`` can
+        never beat the compute roofline ``2*W*n / flops``, so the curve
+        is bounded below by ``(2*W/flops) / (oh + T(1))`` at every n.
+        """
+        gpu = cm.platform.gpu
+        weights = getattr(cm.arch, params_field)
+        solo = overhead + gpu.op_time(
+            2.0 * weights,
+            weights * cm.arch.dtype_bytes + 2.0 * cm.arch.hidden_state_bytes,
+        )
+        floor = (2.0 * weights / gpu.effective_flops) / solo
+        for n in (1, 2, 4, 8, 32, 256, 4096):
+            eff = getattr(cm, curve)(cm.platform.gpu, n, overhead_s=overhead)
+            assert eff >= floor - 1e-15
+
     def test_crossover_matches_roofline(self, cm):
         n = cm.batch_crossover_tokens(cm.platform.gpu)
         if n == 0:

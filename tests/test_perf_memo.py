@@ -1,0 +1,100 @@
+"""Unit tests for the identity LRU memo (repro.perf.memo)."""
+
+import numpy as np
+import pytest
+
+from repro.perf import (
+    DEFAULT_MEMO_CAPACITY,
+    IdentityLRUMemo,
+    StageCounters,
+    TensorCache,
+)
+
+
+class TestIdentityLRUMemo:
+    def test_hit_returns_exact_object(self, rng):
+        memo = IdentityLRUMemo(capacity=4)
+        arr = rng.standard_normal(8).astype(np.float32)
+        value = rng.standard_normal(8).astype(np.float32)
+        assert memo.get(arr) is None
+        assert memo.put(arr, value) is value
+        assert memo.get(arr) is value
+
+    def test_identity_not_equality(self, rng):
+        """An equal-bytes copy is a different object and must miss."""
+        memo = IdentityLRUMemo(capacity=4)
+        arr = rng.standard_normal(8).astype(np.float32)
+        memo.put(arr, arr * 2)
+        assert memo.get(arr.copy()) is None
+
+    def test_capacity_evicts_lru(self):
+        memo = IdentityLRUMemo(capacity=2)
+        arrays = [np.zeros(2) + i for i in range(3)]
+        memo.put(arrays[0], "a")
+        memo.put(arrays[1], "b")
+        assert memo.get(arrays[0]) == "a"  # refresh: arrays[1] is now LRU
+        memo.put(arrays[2], "c")
+        assert len(memo) == 2
+        assert memo.get(arrays[1]) is None
+        assert memo.get(arrays[0]) == "a"
+        assert memo.get(arrays[2]) == "c"
+
+    def test_put_same_object_replaces_without_growth(self):
+        memo = IdentityLRUMemo(capacity=2)
+        arr = np.zeros(2)
+        memo.put(arr, "old")
+        memo.put(arr, "new")
+        assert len(memo) == 1
+        assert memo.get(arr) == "new"
+
+    def test_counters_credit_memo_hits_only(self, rng):
+        counters = StageCounters()
+        memo = IdentityLRUMemo(capacity=2, counters=counters)
+        arr = rng.standard_normal(4).astype(np.float32)
+        memo.get(arr)  # miss: deliberately uncounted
+        memo.put(arr, arr)
+        memo.get(arr)
+        memo.get(arr)
+        assert counters.memo_hits == 2
+        assert (counters.hits, counters.misses) == (0, 0)
+        assert counters.lookups == 2
+        assert counters.hit_rate == 1.0
+
+    def test_clear(self):
+        memo = IdentityLRUMemo(capacity=2)
+        arr = np.zeros(2)
+        memo.put(arr, "v")
+        memo.clear()
+        assert len(memo) == 0
+        assert memo.get(arr) is None
+
+    def test_rejects_nonpositive_capacity(self):
+        with pytest.raises(ValueError):
+            IdentityLRUMemo(capacity=0)
+
+
+class TestTensorCacheIdentityMemoFactory:
+    def test_factory_binds_stage_counters(self, rng):
+        cache = TensorCache()
+        memo = cache.identity_memo("ffn_norm", capacity=4)
+        arr = rng.standard_normal(4).astype(np.float32)
+        memo.put(arr, arr)
+        memo.get(arr)
+        counters = cache.stage_counters["ffn_norm"]
+        assert counters.memo_hits == 1
+        # Memo hits show in the stage hit rate but not in cache.hits.
+        assert counters.hit_rate == 1.0
+        assert cache.hits == 0
+        assert cache.stats()["stages"]["ffn_norm"]["memo_hits"] == 1
+
+    def test_default_capacity(self):
+        memo = TensorCache().identity_memo("ffn_norm")
+        assert memo.capacity == DEFAULT_MEMO_CAPACITY
+
+    def test_unnamed_stage_uncounted(self, rng):
+        cache = TensorCache()
+        memo = cache.identity_memo()
+        arr = rng.standard_normal(4).astype(np.float32)
+        memo.put(arr, arr)
+        memo.get(arr)
+        assert cache.stage_counters == {}

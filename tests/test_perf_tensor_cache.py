@@ -159,7 +159,7 @@ def test_stage_counters_and_stats(rng):
     assert stats["max_bytes"] == DEFAULT_MAX_BYTES
     assert stats["stages"]["gate"]["hit_rate"] == pytest.approx(0.5)
     assert stats["stages"]["route"] == {
-        "hits": 0, "misses": 1, "hit_rate": 0.0,
+        "hits": 0, "misses": 1, "memo_hits": 0, "hit_rate": 0.0,
     }
     # JSON-serializable snapshot.
     import json

@@ -211,7 +211,7 @@ def test_overlap_ratio_clamped_end_to_end(daop, tiny_bundle):
 
 
 class _StepCountingEngine:
-    """Wraps an engine, counting step/step_batch invocations per seq_id."""
+    """Wraps an engine, counting batched/solo step invocations per seq_id."""
 
     def __init__(self, engine):
         self._engine = engine
@@ -228,6 +228,13 @@ class _StepCountingEngine:
         for state in states:
             self.step_counts[state.seq_id] += 1
         return self._engine.step_batch(states, gather_stats=gather_stats)
+
+    def step_prefill_batch(self, states, gather_stats=None):
+        for state in states:
+            self.step_counts[state.seq_id] += 1
+        return self._engine.step_prefill_batch(
+            states, gather_stats=gather_stats
+        )
 
 
 @pytest.mark.parametrize("mode", [INTERLEAVED, GATHERED])
@@ -328,3 +335,55 @@ def test_batch_report_json_carries_mode_and_kernels(fiddler, tiny_bundle):
     assert payload["mode"] == GATHERED
     assert payload["n_expert_kernels"] < payload["n_expert_ops"]
     assert payload["expert_amortization"] > 1.0
+
+
+# ---- gathered prefill --------------------------------------------------------
+
+
+def test_gathered_prefill_defaults_follow_mode(daop):
+    assert ContinuousBatchScheduler(
+        daop, max_batch=2, mode=GATHERED
+    ).gathered_prefill
+    assert not ContinuousBatchScheduler(
+        daop, max_batch=2, mode=INTERLEAVED
+    ).gathered_prefill
+
+
+def test_gathered_prefill_rejected_in_interleaved_mode(daop):
+    with pytest.raises(ValueError):
+        ContinuousBatchScheduler(daop, max_batch=2, mode=INTERLEAVED,
+                                 gathered_prefill=True)
+
+
+def test_gathered_prefill_opt_out_leaves_prefill_solo(daop, tiny_bundle):
+    """Opting out keeps decode gathering but never forms prefill cohorts."""
+    requests = _requests(tiny_bundle)
+    solo_prefill = ContinuousBatchScheduler(
+        daop, max_batch=4, mode=GATHERED, gathered_prefill=False
+    ).run(requests)
+    assert solo_prefill.gather.prefill_expert_kernels == 0
+    assert solo_prefill.gather.expert_kernels < solo_prefill.gather.expert_ops
+    cohort = ContinuousBatchScheduler(
+        daop, max_batch=4, mode=GATHERED
+    ).run(requests)
+    assert cohort.gather.prefill_expert_kernels > 0
+    # Either way the token streams match.
+    for a, b in zip(solo_prefill.records, cohort.records):
+        assert np.array_equal(a.result.tokens, b.result.tokens)
+
+
+def test_batch_report_json_carries_phase_stats(fiddler, tiny_bundle):
+    report = ContinuousBatchScheduler(
+        fiddler, max_batch=4, mode=GATHERED
+    ).run(_requests(tiny_bundle))
+    payload = json.loads(report.to_json())
+    phases = payload["phases"]
+    prefill, decode = phases["prefill"], phases["decode"]
+    assert prefill["expert_kernels"] < prefill["expert_ops"]
+    assert prefill["expert_amortization"] > 1.0
+    assert prefill["attn_kernels"] > 0
+    assert prefill["gate_kernels"] > 0
+    assert prefill["lm_head_kernels"] == 1  # all 4 prompts, one bucket
+    assert decode["expert_kernels"] < decode["expert_ops"]
+    assert (prefill["expert_ops"] + decode["expert_ops"]
+            == payload["n_expert_ops"])
